@@ -1,0 +1,149 @@
+//! Critical links: single points of failure per source/destination pair.
+//!
+//! A link is *critical* for a pair when every routing path of the pair
+//! uses it — equivalently, blocking it alone disconnects the pair. Pivot
+//! theory pins these down exactly: below `k̂ = v₂(d - s)` there is a
+//! single pivot (the source switch, by Lemma A2.1) and its straight link
+//! is the only participating link, so it is critical; at stage `k̂` the
+//! pivot offers two equivalent nonstraight links (Theorem 3.2) and above
+//! `k̂` there are two pivots — no single link is ever critical there.
+//!
+//! Hence: `critical(s, d) = { straight(l, s) : l < k̂ }`, and every link of
+//! the unique all-straight path when `s = d`. This module computes the set
+//! in O(log N) and the tests verify it against brute force (blocking each
+//! of the `3·N·log N` links and consulting the oracle).
+
+use iadm_core::pivot::k_hat;
+use iadm_topology::{Link, Size};
+
+/// The links whose individual failure disconnects `(s, d)`.
+///
+/// # Panics
+///
+/// Panics if `s` or `d` is `>= N`.
+///
+/// # Example
+///
+/// ```
+/// use iadm_analysis::critical::critical_links;
+/// use iadm_topology::{Link, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// // 0 -> 4: distance 4 = 2^2, so stages 0 and 1 are forced straight.
+/// assert_eq!(
+///     critical_links(size, 0, 4),
+///     vec![Link::straight(0, 0), Link::straight(1, 0)]
+/// );
+/// // 1 -> 0: distance 7 is odd — no critical links at all.
+/// assert!(critical_links(size, 1, 0).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn critical_links(size: Size, s: usize, d: usize) -> Vec<Link> {
+    assert!(s < size.n() && d < size.n(), "address out of range");
+    let forced_stages = match k_hat(size, s, d) {
+        None => size.stages(), // s == d: the whole path is forced
+        Some(k) => k,
+    };
+    (0..forced_stages).map(|l| Link::straight(l, s)).collect()
+}
+
+/// The number of pairs for which `link` is critical — a per-link
+/// importance measure for maintenance prioritization. Only straight links
+/// ever score above zero (Theorem 3.2: nonstraight links always have a
+/// same-destination twin).
+pub fn criticality(size: Size, link: Link) -> usize {
+    let mut count = 0;
+    for s in size.switches() {
+        for d in size.switches() {
+            if critical_links(size, s, d).contains(&link) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use iadm_fault::scenario::{self, KindFilter};
+    use iadm_fault::BlockageMap;
+    use iadm_topology::LinkKind;
+
+    #[test]
+    fn matches_brute_force_everywhere() {
+        // Ground truth: a link is critical iff blocking it alone
+        // disconnects the pair.
+        for n in [4usize, 8, 16] {
+            let size = Size::new(n).unwrap();
+            let links = scenario::candidate_links(size, KindFilter::Any);
+            for s in size.switches() {
+                for d in size.switches() {
+                    let predicted = critical_links(size, s, d);
+                    for &link in &links {
+                        let blockages = BlockageMap::from_links(size, [link]);
+                        let disconnects = !oracle::free_path_exists(size, &blockages, s, d);
+                        assert_eq!(
+                            predicted.contains(&link),
+                            disconnects,
+                            "N={n} s={s} d={d} {link}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonstraight_links_are_never_critical() {
+        let size = Size::new(16).unwrap();
+        for s in size.switches() {
+            for d in size.switches() {
+                assert!(critical_links(size, s, d)
+                    .iter()
+                    .all(|l| l.kind == LinkKind::Straight));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_distance_pairs_have_no_single_point_of_failure() {
+        let size = Size::new(8).unwrap();
+        for s in size.switches() {
+            for d in size.switches() {
+                if size.sub(d, s) % 2 == 1 {
+                    assert!(critical_links(size, s, d).is_empty(), "s={s} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_pairs_depend_on_every_straight_hop() {
+        let size = Size::new(8).unwrap();
+        for s in size.switches() {
+            let critical = critical_links(size, s, s);
+            assert_eq!(critical.len(), size.stages());
+            for (stage, link) in critical.iter().enumerate() {
+                assert_eq!(*link, Link::straight(stage, s));
+            }
+        }
+    }
+
+    #[test]
+    fn criticality_scores() {
+        // straight(0, j) is critical exactly for pairs (j, d) with even
+        // distance: N/2 destinations.
+        let size = Size::new(8).unwrap();
+        for j in size.switches() {
+            assert_eq!(criticality(size, Link::straight(0, j)), 4);
+            assert_eq!(criticality(size, Link::plus(0, j)), 0);
+            assert_eq!(criticality(size, Link::minus(1, j)), 0);
+        }
+        // straight(1, j): critical for pairs (j, d) with distance ≡ 0 mod 4.
+        assert_eq!(criticality(size, Link::straight(1, 0)), 2);
+    }
+}

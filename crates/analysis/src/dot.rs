@@ -1,0 +1,206 @@
+//! Graphviz DOT output for networks, subgraphs, paths and multicast trees
+//! — figure-quality renderings of the paper's diagrams.
+//!
+//! The emitted graphs use one cluster per stage column (ranked left to
+//! right), so `dot -Tsvg` reproduces the layout of the paper's Figures
+//! 1–3 and 8.
+
+use iadm_core::broadcast::MulticastTree;
+use iadm_topology::{LayeredGraph, Link, Multistage, Path, Size};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Node identifier for switch `sw` of column `col` (columns `0..=n`).
+fn node_id(col: usize, sw: usize) -> String {
+    format!("s{col}_{sw}")
+}
+
+fn emit_columns(out: &mut String, size: Size) {
+    for col in 0..=size.stages() {
+        let _ = writeln!(out, "  subgraph cluster_stage{col} {{");
+        let label = if col == size.stages() {
+            "out".to_string()
+        } else {
+            format!("S{col}")
+        };
+        let _ = writeln!(out, "    label=\"{label}\"; rank=same; style=dotted;");
+        for sw in size.switches() {
+            let _ = writeln!(out, "    {} [label=\"{sw}\", shape=box];", node_id(col, sw));
+        }
+        let _ = writeln!(out, "  }}");
+    }
+}
+
+fn edge_attrs(link: Link, highlighted: bool) -> String {
+    let style = match link.kind {
+        iadm_topology::LinkKind::Straight => "solid",
+        _ => "dashed",
+    };
+    if highlighted {
+        format!("[style={style}, color=red, penwidth=2.0]")
+    } else {
+        format!("[style={style}]")
+    }
+}
+
+/// Renders a whole network as DOT.
+///
+/// # Example
+///
+/// ```
+/// use iadm_analysis::dot;
+/// use iadm_topology::{Iadm, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let text = dot::network(&Iadm::new(Size::new(4)?));
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("s0_0 -> s1_1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn network<M: Multistage + ?Sized>(net: &M) -> String {
+    let size = net.size();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", net.name());
+    let _ = writeln!(out, "  rankdir=LR; splines=true;");
+    emit_columns(&mut out, size);
+    for link in net.all_links() {
+        let to = net.link_target(link.stage, link.from, link.kind);
+        let _ = writeln!(
+            out,
+            "  {} -> {} {};",
+            node_id(link.stage, link.from),
+            node_id(link.stage + 1, to),
+            edge_attrs(link, false)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a network with one path highlighted in red — the rendering
+/// behind the Figure 5/6/7 reroute illustrations.
+pub fn network_with_path<M: Multistage + ?Sized>(net: &M, path: &Path) -> String {
+    let size = net.size();
+    let on_path: BTreeSet<Link> = path.links(size).into_iter().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {}_path {{", net.name());
+    let _ = writeln!(out, "  rankdir=LR; splines=true;");
+    emit_columns(&mut out, size);
+    for link in net.all_links() {
+        let to = net.link_target(link.stage, link.from, link.kind);
+        let _ = writeln!(
+            out,
+            "  {} -> {} {};",
+            node_id(link.stage, link.from),
+            node_id(link.stage + 1, to),
+            edge_attrs(link, on_path.contains(&link))
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a [`LayeredGraph`] (e.g. a Figure-8 cube subgraph) as DOT.
+pub fn layered_graph(graph: &LayeredGraph, name: &str) -> String {
+    let size = graph.size();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR; splines=true;");
+    emit_columns(&mut out, size);
+    for edge in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} {};",
+            node_id(edge.link.stage, edge.link.from),
+            node_id(edge.link.stage + 1, edge.to),
+            edge_attrs(edge.link, false)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a multicast tree: tree links red over the faded network.
+pub fn multicast<M: Multistage + ?Sized>(net: &M, tree: &MulticastTree) -> String {
+    let size = net.size();
+    let tree_links: BTreeSet<Link> = tree.links().into_iter().collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph multicast {{");
+    let _ = writeln!(out, "  rankdir=LR; splines=true;");
+    emit_columns(&mut out, size);
+    for link in net.all_links() {
+        let to = net.link_target(link.stage, link.from, link.kind);
+        let _ = writeln!(
+            out,
+            "  {} -> {} {};",
+            node_id(link.stage, link.from),
+            node_id(link.stage + 1, to),
+            edge_attrs(link, tree_links.contains(&link))
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_core::broadcast::broadcast_tree;
+    use iadm_core::NetworkState;
+    use iadm_topology::{ICube, Iadm, LinkKind};
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn network_dot_has_all_edges() {
+        let net = Iadm::new(size8());
+        let text = network(&net);
+        // 3 stages x 8 switches x 3 links.
+        assert_eq!(text.matches(" -> ").count(), 72);
+        assert!(text.contains("digraph IADM"));
+        assert!(text.contains("cluster_stage3"), "output column present");
+    }
+
+    #[test]
+    fn icube_dot_has_two_edges_per_switch() {
+        let text = network(&ICube::new(size8()));
+        assert_eq!(text.matches(" -> ").count(), 48);
+    }
+
+    #[test]
+    fn path_highlight_marks_exactly_n_edges() {
+        let net = Iadm::new(size8());
+        let path = Path::new(1, vec![LinkKind::Plus, LinkKind::Plus, LinkKind::Plus]);
+        let text = network_with_path(&net, &path);
+        assert_eq!(text.matches("color=red").count(), 3);
+    }
+
+    #[test]
+    fn subgraph_dot_round_trips_edge_count() {
+        let g = LayeredGraph::from_network(&ICube::new(size8()));
+        let text = layered_graph(&g, "cube");
+        assert_eq!(text.matches(" -> ").count(), g.edge_count());
+    }
+
+    #[test]
+    fn multicast_dot_highlights_tree_links() {
+        let size = size8();
+        let net = Iadm::new(size);
+        let tree = broadcast_tree(size, 0, &NetworkState::all_c(size));
+        let text = multicast(&net, &tree);
+        assert_eq!(text.matches("color=red").count(), tree.link_count());
+    }
+
+    #[test]
+    fn dot_is_parseable_shape() {
+        // Cheap syntax sanity: balanced braces, semicolon-terminated edges.
+        let text = network(&Iadm::new(size8()));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        for line in text.lines().filter(|l| l.contains("->")) {
+            assert!(line.trim_end().ends_with(';'), "{line}");
+        }
+    }
+}

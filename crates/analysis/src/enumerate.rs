@@ -1,0 +1,268 @@
+//! Exhaustive enumeration of the routing paths of a source/destination
+//! pair — the computational form of Parker–Raghavendra's observation that
+//! IADM paths correspond one-to-one to signed-digit representations of the
+//! distance, and the generator behind the paper's Figure 7.
+
+use iadm_fault::BlockageMap;
+use iadm_topology::{LinkKind, Path, Size};
+
+/// All routing paths from `source` to `dest` in an unblocked IADM network
+/// of `size`, in lexicographic `Minus < Straight < Plus` order of the link
+/// kinds.
+///
+/// Each path corresponds to a representation of the distance
+/// `D = (d - s) mod N` as `Σ c_i 2^i (mod N)` with digits `c_i ∈ {-1,0,1}`.
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+///
+/// # Example — the paper's Figure 7 (all paths from 1 to 0, N = 8)
+///
+/// ```
+/// use iadm_analysis::enumerate::all_paths;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let paths = all_paths(size, 1, 0);
+/// let as_switches: Vec<Vec<usize>> =
+///     paths.iter().map(|p| p.switches(size)).collect();
+/// assert_eq!(as_switches, vec![
+///     vec![1, 0, 0, 0], // -1
+///     vec![1, 2, 0, 0], // +1 -2
+///     vec![1, 2, 4, 0], // +1 +2 -4
+///     vec![1, 2, 4, 0], // +1 +2 +4 (distinct links at the last stage)
+/// ]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn all_paths(size: Size, source: usize, dest: usize) -> Vec<Path> {
+    all_paths_avoiding(size, source, dest, None)
+}
+
+/// All routing paths from `source` to `dest` that avoid every blockage.
+pub fn all_free_paths(
+    size: Size,
+    blockages: &BlockageMap,
+    source: usize,
+    dest: usize,
+) -> Vec<Path> {
+    all_paths_avoiding(size, source, dest, Some(blockages))
+}
+
+fn all_paths_avoiding(
+    size: Size,
+    source: usize,
+    dest: usize,
+    blockages: Option<&BlockageMap>,
+) -> Vec<Path> {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let mut result = Vec::new();
+    let mut kinds = Vec::with_capacity(size.stages());
+    descend(
+        size,
+        blockages,
+        source,
+        source,
+        dest,
+        0,
+        &mut kinds,
+        &mut result,
+    );
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    size: Size,
+    blockages: Option<&BlockageMap>,
+    source: usize,
+    sw: usize,
+    dest: usize,
+    stage: usize,
+    kinds: &mut Vec<LinkKind>,
+    result: &mut Vec<Path>,
+) {
+    if stage == size.stages() {
+        if sw == dest {
+            result.push(Path::new(source, kinds.clone()));
+        }
+        return;
+    }
+    // Prune: the remaining stages can only change bits >= stage, so the low
+    // `stage` bits must already match the destination (Lemma 2.1).
+    let mask = (1usize << stage) - 1;
+    if sw & mask != dest & mask {
+        return;
+    }
+    for kind in LinkKind::ALL {
+        if let Some(b) = blockages {
+            if b.is_blocked(iadm_topology::Link::new(stage, sw, kind)) {
+                continue;
+            }
+        }
+        kinds.push(kind);
+        descend(
+            size,
+            blockages,
+            source,
+            kind.target(size, stage, sw),
+            dest,
+            stage + 1,
+            kinds,
+            result,
+        );
+        kinds.pop();
+    }
+}
+
+/// The number of routing paths from `source` to `dest` — computed by
+/// dynamic programming over stages, without materializing the paths.
+pub fn count_paths(size: Size, source: usize, dest: usize) -> u64 {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let n = size.n();
+    let mut counts = vec![0u64; n];
+    counts[source] = 1;
+    for stage in size.stage_indices() {
+        let mut next = vec![0u64; n];
+        for sw in 0..n {
+            if counts[sw] == 0 {
+                continue;
+            }
+            for kind in LinkKind::ALL {
+                next[kind.target(size, stage, sw)] += counts[sw];
+            }
+        }
+        counts = next;
+    }
+    counts[dest]
+}
+
+/// All signed-digit (`-1, 0, +1`) stage-digit vectors realizing the
+/// distance `(dest - source) mod N`: digit `i` is the sign of the link the
+/// corresponding path takes at stage `i`.
+pub fn signed_digit_representations(size: Size, source: usize, dest: usize) -> Vec<Vec<i8>> {
+    all_paths(size, source, dest)
+        .into_iter()
+        .map(|p| {
+            p.kinds()
+                .iter()
+                .map(|k| match k {
+                    LinkKind::Minus => -1i8,
+                    LinkKind::Straight => 0,
+                    LinkKind::Plus => 1,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn figure7_has_four_paths() {
+        let paths = all_paths(size8(), 1, 0);
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(p.destination(size8()), 0);
+            assert_eq!(p.source(), 1);
+        }
+    }
+
+    #[test]
+    fn identity_pair_has_exactly_one_path() {
+        let size = size8();
+        for s in size.switches() {
+            let paths = all_paths(size, s, s);
+            assert_eq!(paths.len(), 1);
+            assert!(paths[0].kinds().iter().all(|k| *k == LinkKind::Straight));
+        }
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                assert_eq!(
+                    count_paths(size, s, d),
+                    all_paths(size, s, d).len() as u64,
+                    "s={s} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_counts_depend_only_on_distance() {
+        let size = Size::new(16).unwrap();
+        for d in size.switches() {
+            let reference = count_paths(size, 0, d);
+            for s in size.switches() {
+                assert_eq!(count_paths(size, s, size.add(s, d)), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn digit_representations_sum_to_distance() {
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                for rep in signed_digit_representations(size, s, d) {
+                    let sum: i64 = rep
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| c as i64 * (1i64 << i))
+                        .sum();
+                    let dist = size.sub(d, s) as i64;
+                    assert_eq!(
+                        sum.rem_euclid(size.n() as i64),
+                        dist,
+                        "s={s} d={d} rep={rep:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn free_paths_subset_of_all_paths() {
+        let size = size8();
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(iadm_topology::Link::minus(0, 1));
+        let all = all_paths(size, 1, 0);
+        let free = all_free_paths(size, &blockages, 1, 0);
+        assert_eq!(all.len(), 4);
+        assert_eq!(free.len(), 3);
+        for p in &free {
+            assert!(blockages.path_is_free(p));
+        }
+    }
+
+    #[test]
+    fn adjacent_pair_path_count_is_n() {
+        // Distance 1 = 2^0 has representations 1, 1-2+... hmm: verified
+        // empirically: for N=8 the count is 4 (1; -1+2; -1-2+4; -1-2-4).
+        let size = size8();
+        assert_eq!(count_paths(size, 0, 1), 4);
+        // Distance 0 has exactly 1; distance N/2 is the richest last-stage
+        // case: ±4 both reach, and representations abound.
+        assert_eq!(count_paths(size, 0, 0), 1);
+    }
+}

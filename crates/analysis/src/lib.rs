@@ -1,0 +1,25 @@
+//! Analysis tools for the IADM network: exhaustive path enumeration, a
+//! ground-truth rerouting oracle, reachability metrics and ASCII rendering.
+//!
+//! The oracle ([`oracle`]) is the reference implementation against which the
+//! paper's Algorithm REROUTE is validated: it performs a plain breadth-first
+//! search over the layered IADM graph with blocked links removed, so its
+//! "path exists / does not exist" verdict is trivially correct. REROUTE's
+//! central claim — it finds a blockage-free path *iff* one exists — is
+//! property-tested against this oracle (see the `iadm` integration tests
+//! and experiment E3).
+//!
+//! [`enumerate`] lists *all* routing paths of a source/destination pair,
+//! reproducing the paper's Figure 7 and the Parker–Raghavendra result that
+//! paths correspond to signed-digit representations of the distance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod critical;
+pub mod dot;
+pub mod enumerate;
+pub mod oracle;
+pub mod reach;
+pub mod render;

@@ -1,0 +1,199 @@
+//! The ground-truth rerouting oracle: exhaustive search for a
+//! blockage-free path.
+//!
+//! Where the paper's Algorithm REROUTE reasons from theorems, the oracle
+//! simply searches the layered IADM graph (blocked links removed) stage by
+//! stage. It is slower — O(N·n) per query versus REROUTE's near-O(n) — but
+//! its verdicts are correct by construction, which makes it the reference
+//! for validating REROUTE's iff-completeness claim (experiment E3).
+
+use iadm_fault::BlockageMap;
+use iadm_topology::{Link, LinkKind, Path, Size};
+
+/// Finds any blockage-free path from `source` (stage 0) to `dest`
+/// (the output column) by breadth-first search over the layered IADM graph,
+/// or returns `None` when no such path exists.
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+///
+/// # Example
+///
+/// ```
+/// use iadm_analysis::oracle::find_free_path;
+/// use iadm_fault::BlockageMap;
+/// use iadm_topology::{Link, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let mut blockages = BlockageMap::new(size);
+/// blockages.block(Link::minus(0, 1));
+/// let path = find_free_path(size, &blockages, 1, 0).expect("path exists");
+/// assert!(blockages.path_is_free(&path));
+/// assert_eq!(path.destination(size), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_free_path(
+    size: Size,
+    blockages: &BlockageMap,
+    source: usize,
+    dest: usize,
+) -> Option<Path> {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let n = size.n();
+    let stages = size.stages();
+    // reached[stage][switch]: which link kind got us there (for rebuild).
+    let mut reached: Vec<Vec<Option<LinkKind>>> = vec![vec![None; n]; stages + 1];
+    let mut frontier = vec![false; n];
+    frontier[source] = true;
+    for stage in 0..stages {
+        let mut next = vec![false; n];
+        let mut advanced = false;
+        for (sw, _) in frontier.iter().enumerate().filter(|(_, &f)| f) {
+            for kind in LinkKind::ALL {
+                let link = Link::new(stage, sw, kind);
+                if blockages.is_blocked(link) {
+                    continue;
+                }
+                let to = link.target(size);
+                if reached[stage + 1][to].is_none() {
+                    reached[stage + 1][to] = Some(kind);
+                    next[to] = true;
+                    advanced = true;
+                }
+            }
+        }
+        // Keep the BFS front; several kinds can reach the same switch,
+        // first writer wins (any witness path is fine).
+        frontier = next;
+        if !advanced {
+            return None;
+        }
+    }
+    reached[stages][dest]?;
+    // Rebuild the path backwards from (stages, dest).
+    let mut kinds = vec![LinkKind::Straight; stages];
+    let mut sw = dest;
+    for stage in (0..stages).rev() {
+        let kind = reached[stage + 1][sw].expect("reached switch must have a predecessor kind");
+        kinds[stage] = kind;
+        sw = size.sub(sw, kind.delta(size, stage));
+    }
+    debug_assert_eq!(sw, source);
+    let path = Path::new(source, kinds);
+    debug_assert!(blockages.path_is_free(&path));
+    debug_assert_eq!(path.destination(size), dest);
+    Some(path)
+}
+
+/// Does any blockage-free path from `source` to `dest` exist?
+pub fn free_path_exists(size: Size, blockages: &BlockageMap, source: usize, dest: usize) -> bool {
+    find_free_path(size, blockages, source, dest).is_some()
+}
+
+/// The set of destinations reachable from `source` through free links,
+/// as a boolean vector indexed by destination.
+pub fn reachable_destinations(size: Size, blockages: &BlockageMap, source: usize) -> Vec<bool> {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    let n = size.n();
+    let mut frontier = vec![false; n];
+    frontier[source] = true;
+    for stage in size.stage_indices() {
+        let mut next = vec![false; n];
+        for (sw, _) in frontier.iter().enumerate().filter(|(_, &f)| f) {
+            for kind in LinkKind::ALL {
+                let link = Link::new(stage, sw, kind);
+                if blockages.is_free(link) {
+                    next[link.target(size)] = true;
+                }
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_fault::scenario::{self, KindFilter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn unblocked_network_connects_everything() {
+        let size = size8();
+        let blockages = BlockageMap::new(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let p = find_free_path(size, &blockages, s, d).unwrap();
+                assert_eq!(p.destination(size), d);
+                assert_eq!(p.source(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_prefix_blockage_disconnects() {
+        let size = size8();
+        // s == d: the only path is all-straight on switch s.
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(Link::straight(1, 3));
+        assert!(!free_path_exists(size, &blockages, 3, 3));
+        assert!(free_path_exists(size, &blockages, 3, 4));
+    }
+
+    #[test]
+    fn returned_paths_always_avoid_blockages() {
+        let size = Size::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let blockages = scenario::random_faults(&mut rng, size, 30, KindFilter::Any);
+            for s in [0usize, 7, 12] {
+                for d in [1usize, 9, 15] {
+                    if let Some(p) = find_free_path(size, &blockages, s, d) {
+                        assert!(blockages.path_is_free(&p));
+                        assert_eq!(p.destination(size), d);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_destinations_matches_pairwise_queries() {
+        let size = size8();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..25 {
+            let blockages = scenario::random_faults(&mut rng, size, 15, KindFilter::Any);
+            for s in size.switches() {
+                let reach = reachable_destinations(size, &blockages, s);
+                for d in size.switches() {
+                    assert_eq!(reach[d], free_path_exists(size, &blockages, s, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_blocked_network_reaches_nothing() {
+        let size = size8();
+        let mut rng = StdRng::seed_from_u64(2);
+        let blockages = scenario::bernoulli_faults(&mut rng, size, 1.0, KindFilter::Any);
+        for s in size.switches() {
+            assert!(reachable_destinations(size, &blockages, s)
+                .iter()
+                .all(|&b| !b));
+        }
+    }
+}

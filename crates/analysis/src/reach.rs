@@ -1,0 +1,146 @@
+//! Reachability metrics under blockages — the measurements behind the
+//! fault-tolerance experiment (E6): what fraction of source/destination
+//! pairs can still communicate, per routing scheme, as links fail.
+
+use crate::oracle;
+use iadm_core::reroute::reroute;
+use iadm_core::ssdt;
+use iadm_core::{icube_routing, NetworkState};
+use iadm_fault::BlockageMap;
+use iadm_topology::Size;
+
+/// Which routing scheme a reachability measurement exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Scheme {
+    /// Plain ICube-emulation (all state `C`, no rerouting): the zero-
+    /// redundancy baseline.
+    ICube,
+    /// SSDT with per-switch state flips (evades single nonstraight
+    /// blockages only).
+    Ssdt,
+    /// TSDT driven by the universal REROUTE algorithm (evades everything
+    /// evadable).
+    TsdtReroute,
+    /// The exhaustive oracle (upper bound; identical to `TsdtReroute` if
+    /// the paper's universality claim holds).
+    Oracle,
+}
+
+impl Scheme {
+    /// All schemes, in increasing order of rerouting power.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::ICube,
+        Scheme::Ssdt,
+        Scheme::TsdtReroute,
+        Scheme::Oracle,
+    ];
+
+    /// Short display label used by experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::ICube => "ICube (no rerouting)",
+            Scheme::Ssdt => "SSDT",
+            Scheme::TsdtReroute => "TSDT+REROUTE",
+            Scheme::Oracle => "oracle (BFS)",
+        }
+    }
+
+    /// Can `scheme` deliver a message from `s` to `d` under `blockages`?
+    pub fn routes(self, size: Size, blockages: &BlockageMap, s: usize, d: usize) -> bool {
+        match self {
+            Scheme::ICube => {
+                let path = icube_routing::route(size, s, d);
+                blockages.path_is_free(&path)
+            }
+            Scheme::Ssdt => {
+                let mut state = NetworkState::all_c(size);
+                ssdt::route(size, blockages, &mut state, s, d).is_ok()
+            }
+            Scheme::TsdtReroute => reroute(size, blockages, s, d).is_ok(),
+            Scheme::Oracle => oracle::free_path_exists(size, blockages, s, d),
+        }
+    }
+}
+
+/// The fraction of all `N²` source/destination pairs `scheme` can still
+/// serve under `blockages` (1.0 = fully connected).
+///
+/// # Example
+///
+/// ```
+/// use iadm_analysis::reach::{routable_fraction, Scheme};
+/// use iadm_fault::BlockageMap;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let fraction = routable_fraction(size, &BlockageMap::new(size), Scheme::Ssdt);
+/// assert_eq!(fraction, 1.0); // no faults: everything routes
+/// # Ok(())
+/// # }
+/// ```
+pub fn routable_fraction(size: Size, blockages: &BlockageMap, scheme: Scheme) -> f64 {
+    let n = size.n();
+    let mut ok = 0usize;
+    for s in 0..n {
+        for d in 0..n {
+            if scheme.routes(size, blockages, s, d) {
+                ok += 1;
+            }
+        }
+    }
+    ok as f64 / (n * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_fault::scenario::{self, KindFilter};
+    use iadm_topology::Link;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn unblocked_everything_fully_routable() {
+        let blockages = BlockageMap::new(size8());
+        for scheme in Scheme::ALL {
+            assert_eq!(routable_fraction(size8(), &blockages, scheme), 1.0);
+        }
+    }
+
+    #[test]
+    fn scheme_power_is_monotone() {
+        // ICube <= SSDT <= TSDT+REROUTE <= oracle, pair by pair.
+        let size = size8();
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..40 {
+            let blockages =
+                scenario::random_faults(&mut rng, size, (trial % 12) + 1, KindFilter::Any);
+            for s in size.switches() {
+                for d in size.switches() {
+                    let icube = Scheme::ICube.routes(size, &blockages, s, d);
+                    let ssdt = Scheme::Ssdt.routes(size, &blockages, s, d);
+                    let tsdt = Scheme::TsdtReroute.routes(size, &blockages, s, d);
+                    let oracle = Scheme::Oracle.routes(size, &blockages, s, d);
+                    assert!(!icube || ssdt, "SSDT must dominate ICube (s={s},d={d})");
+                    assert!(!ssdt || tsdt, "TSDT must dominate SSDT (s={s},d={d})");
+                    assert!(!tsdt || oracle, "oracle must dominate TSDT (s={s},d={d})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_nonstraight_fault_does_not_hurt_ssdt() {
+        let size = size8();
+        // Plus(1, 1) is an ICube link (switch 1 is even_1), so the no-
+        // redundancy baseline loses pairs while SSDT keeps them all.
+        let blockages = BlockageMap::from_links(size, [Link::plus(1, 1)]);
+        assert_eq!(routable_fraction(size, &blockages, Scheme::Ssdt), 1.0);
+        assert!(routable_fraction(size, &blockages, Scheme::ICube) < 1.0);
+    }
+}

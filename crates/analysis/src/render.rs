@@ -1,0 +1,187 @@
+//! ASCII rendering of networks, states and paths — reproduces the paper's
+//! figures in text form (Figures 1–4, 7 and 8).
+
+use iadm_core::NetworkState;
+use iadm_topology::{bit, LinkKind, Multistage, Path, Size};
+use std::fmt::Write as _;
+
+/// Renders the switch-by-switch connection table of a network, one stage
+/// per block: for every switch the targets of its output links
+/// (`-`, `=`, `+` as present). This is the textual form of the paper's
+/// Figures 2 and 3.
+///
+/// # Example
+///
+/// ```
+/// use iadm_analysis::render::connection_table;
+/// use iadm_topology::{Iadm, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let table = connection_table(&Iadm::new(Size::new(4)?));
+/// assert!(table.contains("IADM network"));
+/// assert!(table.contains("switch"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn connection_table<M: Multistage + ?Sized>(net: &M) -> String {
+    let size = net.size();
+    let mut out = String::new();
+    let _ = writeln!(out, "{} network, {}:", net.name(), size);
+    for stage in size.stage_indices() {
+        let _ = writeln!(
+            out,
+            "  stage {stage} (displacement ±2^{}):",
+            net.delta_exponent(stage)
+        );
+        for j in size.switches() {
+            let parity = if bit(j, net.delta_exponent(stage)) == 0 {
+                "even"
+            } else {
+                "odd "
+            };
+            let links: Vec<String> = net
+                .outputs(stage, j)
+                .map(|(kind, to)| format!("{kind}{to}"))
+                .collect();
+            let _ = writeln!(out, "    switch {j:>3} [{parity}] -> {}", links.join(" "));
+        }
+    }
+    out
+}
+
+/// Renders a path as the paper writes them:
+/// `(s ∈ S0, j ∈ S1, …, d ∈ Sn)`.
+pub fn path_inline(size: Size, path: &Path) -> String {
+    let parts: Vec<String> = path
+        .switches(size)
+        .iter()
+        .enumerate()
+        .map(|(stage, sw)| format!("{sw} in S{stage}"))
+        .collect();
+    format!("({})", parts.join(", "))
+}
+
+/// Renders one stage column per line with the path's switch marked, plus the
+/// link kinds taken — a quick visual check of routes in examples.
+pub fn path_column_view(size: Size, path: &Path) -> String {
+    let mut out = String::new();
+    let switches = path.switches(size);
+    for (stage, window) in switches.windows(2).enumerate() {
+        let kind = path.kind_at(stage);
+        let _ = writeln!(
+            out,
+            "  S{stage}:{:>3}  --{}-->  S{}:{:>3}",
+            window[0],
+            kind,
+            stage + 1,
+            window[1]
+        );
+    }
+    out
+}
+
+/// Renders a network state as a grid of `C`/`~` characters (stage per row).
+pub fn state_grid(state: &NetworkState) -> String {
+    let size = state.size();
+    let mut out = String::new();
+    for stage in size.stage_indices() {
+        let _ = write!(out, "  stage {stage}: ");
+        for j in size.switches() {
+            let ch = match state.get(stage, j) {
+                iadm_core::SwitchState::C => 'C',
+                iadm_core::SwitchState::Cbar => '~',
+            };
+            let _ = write!(out, "{ch}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the full Figure-7-style listing: every path of a pair with its
+/// signed-digit representation.
+pub fn all_paths_listing(size: Size, source: usize, dest: usize) -> String {
+    let mut out = String::new();
+    let paths = crate::enumerate::all_paths(size, source, dest);
+    let _ = writeln!(
+        out,
+        "all {} routing paths from {source} to {dest} (N={}):",
+        paths.len(),
+        size.n()
+    );
+    for p in &paths {
+        let digits: Vec<String> = p
+            .kinds()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| match k {
+                LinkKind::Minus => format!("-2^{i}"),
+                LinkKind::Straight => "  0 ".to_string(),
+                LinkKind::Plus => format!("+2^{i}"),
+            })
+            .collect();
+        let _ = writeln!(out, "  {}  [{}]", path_inline(size, p), digits.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_topology::{ICube, Iadm};
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn connection_table_mentions_every_switch() {
+        let table = connection_table(&Iadm::new(size8()));
+        assert!(table.contains("IADM network"));
+        for stage in 0..3 {
+            assert!(table.contains(&format!("stage {stage}")));
+        }
+        // 3 stages x 8 switches = 24 switch lines.
+        assert_eq!(table.matches("switch").count(), 24);
+    }
+
+    #[test]
+    fn icube_table_has_two_links_per_switch() {
+        let table = connection_table(&ICube::new(size8()));
+        for line in table.lines().filter(|l| l.contains("switch")) {
+            let arrow = line.split("->").nth(1).unwrap();
+            assert_eq!(arrow.split_whitespace().count(), 2, "{line}");
+        }
+    }
+
+    #[test]
+    fn path_inline_matches_paper_notation() {
+        let path = Path::new(1, vec![LinkKind::Plus, LinkKind::Plus, LinkKind::Plus]);
+        assert_eq!(
+            path_inline(size8(), &path),
+            "(1 in S0, 2 in S1, 4 in S2, 0 in S3)"
+        );
+    }
+
+    #[test]
+    fn state_grid_shape() {
+        let grid = state_grid(&NetworkState::all_c(size8()));
+        assert_eq!(grid.lines().count(), 3);
+        assert_eq!(grid.matches('C').count(), 24);
+    }
+
+    #[test]
+    fn figure7_listing_contains_all_four_paths() {
+        let listing = all_paths_listing(size8(), 1, 0);
+        assert!(listing.contains("all 4 routing paths"));
+        assert!(listing.contains("(1 in S0, 0 in S1, 0 in S2, 0 in S3)"));
+        assert!(listing.contains("(1 in S0, 2 in S1, 4 in S2, 0 in S3)"));
+    }
+
+    #[test]
+    fn column_view_one_line_per_stage() {
+        let path = Path::new(1, vec![LinkKind::Plus, LinkKind::Minus, LinkKind::Straight]);
+        let view = path_column_view(size8(), &path);
+        assert_eq!(view.lines().count(), 3);
+    }
+}

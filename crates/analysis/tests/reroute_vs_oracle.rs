@@ -1,0 +1,186 @@
+//! Experiment E3 backbone: Algorithm REROUTE must agree with the
+//! exhaustive oracle on *every* blockage scenario — it finds a
+//! blockage-free path iff one exists (the paper's universality claim).
+
+use iadm_analysis::oracle;
+use iadm_core::reroute::reroute;
+use iadm_core::route::trace_tsdt;
+use iadm_fault::scenario::{self, KindFilter};
+use iadm_fault::BlockageMap;
+use iadm_topology::{Link, LinkKind, Size};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checks agreement for every (s, d) pair under the given blockages.
+fn assert_agreement(size: Size, blockages: &BlockageMap, context: &str) {
+    for s in size.switches() {
+        for d in size.switches() {
+            let oracle_says = oracle::free_path_exists(size, blockages, s, d);
+            match reroute(size, blockages, s, d) {
+                Ok(tag) => {
+                    let path = trace_tsdt(size, s, &tag);
+                    assert!(
+                        blockages.path_is_free(&path),
+                        "{context}: s={s} d={d}: REROUTE returned a blocked path {path}"
+                    );
+                    assert_eq!(path.destination(size), d, "{context}: wrong destination");
+                    assert!(
+                        oracle_says,
+                        "{context}: s={s} d={d}: REROUTE found a path the oracle says cannot exist"
+                    );
+                }
+                Err(err) => {
+                    assert!(
+                        !oracle_says,
+                        "{context}: s={s} d={d}: REROUTE failed ({err}) but the oracle finds a path"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn agrees_on_every_single_link_blockage_n8() {
+    let size = Size::new(8).unwrap();
+    for link in scenario::candidate_links(size, KindFilter::Any) {
+        let blockages = BlockageMap::from_links(size, [link]);
+        assert_agreement(size, &blockages, &format!("single {link}"));
+    }
+}
+
+#[test]
+fn agrees_on_every_link_pair_blockage_n4() {
+    // Exhaustive over all pairs of blocked links for N=4 (24 links -> 276
+    // pairs, each checked for all 16 (s,d) pairs).
+    let size = Size::new(4).unwrap();
+    let links = scenario::candidate_links(size, KindFilter::Any);
+    for (i, &a) in links.iter().enumerate() {
+        for &b in &links[i + 1..] {
+            let blockages = BlockageMap::from_links(size, [a, b]);
+            assert_agreement(size, &blockages, &format!("pair {a} {b}"));
+        }
+    }
+}
+
+#[test]
+fn agrees_on_every_double_nonstraight_blockage_n8() {
+    let size = Size::new(8).unwrap();
+    for stage in size.stage_indices() {
+        for sw in size.switches() {
+            let blockages = scenario::double_nonstraight(size, stage, sw);
+            assert_agreement(size, &blockages, &format!("double@S{stage}:{sw}"));
+        }
+    }
+}
+
+#[test]
+fn agrees_on_random_multi_blockages_n8() {
+    let size = Size::new(8).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for trial in 0..400 {
+        let count = 1 + (trial % 30);
+        let blockages = scenario::random_faults(&mut rng, size, count, KindFilter::Any);
+        assert_agreement(
+            size,
+            &blockages,
+            &format!("random trial {trial} ({count} faults)"),
+        );
+    }
+}
+
+#[test]
+fn agrees_on_random_multi_blockages_n16() {
+    let size = Size::new(16).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for trial in 0..60 {
+        let count = 1 + (trial % 60);
+        let blockages = scenario::random_faults(&mut rng, size, count, KindFilter::Any);
+        assert_agreement(
+            size,
+            &blockages,
+            &format!("random16 trial {trial} ({count} faults)"),
+        );
+    }
+}
+
+#[test]
+fn agrees_on_random_multi_blockages_n32_spot() {
+    let size = Size::new(32).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for trial in 0..10 {
+        let count = 20 + 10 * (trial % 5);
+        let blockages = scenario::random_faults(&mut rng, size, count, KindFilter::Any);
+        assert_agreement(size, &blockages, &format!("random32 trial {trial}"));
+    }
+}
+
+#[test]
+fn agrees_on_switch_blockages() {
+    let size = Size::new(8).unwrap();
+    for stage in 1..=size.stages() {
+        for sw in size.switches() {
+            let mut blockages = BlockageMap::new(size);
+            blockages.block_switch(stage, sw);
+            assert_agreement(size, &blockages, &format!("switch@S{stage}:{sw}"));
+        }
+    }
+}
+
+#[test]
+fn agrees_on_adversarial_straight_runs() {
+    // Blockages placed specifically on the straight runs of the forced
+    // prefix and on all nonstraight escapes — the hardest FAIL cases.
+    let size = Size::new(8).unwrap();
+    for s in size.switches() {
+        for d in size.switches() {
+            let mut blockages = BlockageMap::new(size);
+            // Block the straight link at the highest stage of the forced
+            // prefix plus both escapes one stage earlier where possible.
+            blockages.block(Link::new(size.stages() - 1, s, LinkKind::Straight));
+            blockages.block(Link::new(size.stages() - 1, s, LinkKind::Plus));
+            blockages.block(Link::new(size.stages() - 1, s, LinkKind::Minus));
+            assert_agreement(size, &blockages, &format!("walled-off s={s} d={d}"));
+        }
+    }
+}
+
+#[test]
+fn agrees_on_every_link_triple_blockage_n4() {
+    // Exhaustive over all 2024 triples of blocked links for N=4, every
+    // (s, d) pair — the strongest machine check of the universality claim.
+    let size = Size::new(4).unwrap();
+    let links = scenario::candidate_links(size, KindFilter::Any);
+    for (i, &a) in links.iter().enumerate() {
+        for (j, &b) in links.iter().enumerate().skip(i + 1) {
+            for &c in &links[j + 1..] {
+                let blockages = BlockageMap::from_links(size, [a, b, c]);
+                assert_agreement(size, &blockages, &format!("triple {a} {b} {c}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn agrees_on_all_nonstraight_subsets_per_stage_n4() {
+    // Block every subset of the nonstraight links of a single stage
+    // (2^8 = 256 subsets per stage): stresses the last-stage degeneracy
+    // where +2^{n-1} and -2^{n-1} are parallel links.
+    let size = Size::new(4).unwrap();
+    for stage in size.stage_indices() {
+        let stage_links: Vec<Link> = scenario::candidate_links(size, KindFilter::NonstraightOnly)
+            .into_iter()
+            .filter(|l| l.stage == stage)
+            .collect();
+        assert_eq!(stage_links.len(), 8);
+        for mask in 0..(1usize << stage_links.len()) {
+            let chosen = stage_links
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &l)| l);
+            let blockages = BlockageMap::from_links(size, chosen);
+            assert_agreement(size, &blockages, &format!("stage{stage} mask {mask:#010b}"));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Distance tags: signed-digit representations of `(d - s) mod N`.
+//!
+//! All prior-work schemes route the IADM by a representation of the
+//! distance as `Σ c_i 2^i (mod N)` with digits `c_i ∈ {-1, 0, +1}`: digit
+//! `+1` takes the `+2^i` link, `-1` the `-2^i` link, `0` the straight link.
+//! (Contrast with the paper's destination tags, which never compute the
+//! distance at all.)
+
+use core::fmt;
+use iadm_topology::{LinkKind, Path, Size};
+
+/// An operation counter, in units of single-bit/single-digit operations.
+///
+/// The baselines charge `n = log2 N` operations for every full-width
+/// addition, subtraction or two's complement (that is what the paper means
+/// by their O(log N) time×space hardware), and 1 per digit/bit
+/// inspection or write. The paper's own schemes cost O(1) bit flips
+/// (Corollary 4.1) or O(k) bit writes (Corollary 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct OpCount(pub u64);
+
+impl OpCount {
+    /// Adds `c` single-bit operations.
+    #[inline]
+    pub fn charge(&mut self, c: u64) {
+        self.0 += c;
+    }
+
+    /// Charges one full-width arithmetic operation on `n`-bit words.
+    #[inline]
+    pub fn charge_word(&mut self, size: Size) {
+        self.0 += size.stages() as u64;
+    }
+}
+
+impl fmt::Display for OpCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bit-ops", self.0)
+    }
+}
+
+/// A distance tag: one signed digit per stage.
+///
+/// # Example
+///
+/// ```
+/// use iadm_baselines::DistanceTag;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// // Route 1 -> 0: distance 7; the natural binary representation is
+/// // +1 +2 +4.
+/// let tag = DistanceTag::natural(size, 1, 0);
+/// assert_eq!(tag.digits(), &[1, 1, 1]);
+/// let path = tag.trace(size, 1);
+/// assert_eq!(path.switches(size), vec![1, 2, 4, 0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DistanceTag {
+    digits: Vec<i8>,
+}
+
+impl DistanceTag {
+    /// Builds a tag from explicit digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any digit is outside `{-1, 0, 1}`.
+    pub fn from_digits(digits: Vec<i8>) -> Self {
+        assert!(
+            digits.iter().all(|d| (-1..=1).contains(d)),
+            "digits must be in -1..=1"
+        );
+        DistanceTag { digits }
+    }
+
+    /// The *natural* (nonnegative binary) representation of the distance
+    /// `(dest - source) mod N`: digit `i` is bit `i` of the distance, so
+    /// only `+2^i` and straight links are used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `dest` is `>= N`.
+    pub fn natural(size: Size, source: usize, dest: usize) -> Self {
+        assert!(source < size.n() && dest < size.n(), "address out of range");
+        let dist = size.sub(dest, source);
+        let digits = size
+            .stage_indices()
+            .map(|i| ((dist >> i) & 1) as i8)
+            .collect();
+        DistanceTag { digits }
+    }
+
+    /// The *negative-dominant* (two's complement) representation: the
+    /// distance is taken as `D - N` and represented with `-2^i` links, so
+    /// digit `i` is `-1` where bit `i` of `N - D` is 1 (for `D != 0`).
+    pub fn negative_dominant(size: Size, source: usize, dest: usize) -> Self {
+        assert!(source < size.n() && dest < size.n(), "address out of range");
+        let dist = size.sub(dest, source);
+        let mag = size.sub(0, dist); // N - D mod N
+        let digits = size
+            .stage_indices()
+            .map(|i| -(((mag >> i) & 1) as i8))
+            .collect();
+        DistanceTag { digits }
+    }
+
+    /// The digits, one per stage (`digits()[i]` drives stage `i`).
+    pub fn digits(&self) -> &[i8] {
+        &self.digits
+    }
+
+    /// Digit at `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= digits().len()`.
+    pub fn digit(&self, stage: usize) -> i8 {
+        self.digits[stage]
+    }
+
+    /// Replaces the digit at `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range or `digit` not in `{-1,0,1}`.
+    pub fn set_digit(&mut self, stage: usize, digit: i8) {
+        assert!((-1..=1).contains(&digit), "digit must be in -1..=1");
+        self.digits[stage] = digit;
+    }
+
+    /// The link kind digit `c` selects.
+    pub fn kind_of(digit: i8) -> LinkKind {
+        match digit {
+            -1 => LinkKind::Minus,
+            0 => LinkKind::Straight,
+            1 => LinkKind::Plus,
+            _ => panic!("digit {digit} out of range"),
+        }
+    }
+
+    /// The value `Σ c_i 2^i mod N` this tag routes across.
+    pub fn value(&self, size: Size) -> usize {
+        let mut acc: i64 = 0;
+        for (i, &c) in self.digits.iter().enumerate() {
+            acc += c as i64 * (1i64 << i);
+        }
+        acc.rem_euclid(size.n() as i64) as usize
+    }
+
+    /// Traces the path this tag specifies from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= N` or the tag length differs from the stage
+    /// count.
+    pub fn trace(&self, size: Size, source: usize) -> Path {
+        assert!(source < size.n(), "source {source} out of range");
+        assert_eq!(self.digits.len(), size.stages(), "tag length mismatch");
+        Path::new(
+            source,
+            self.digits.iter().map(|&c| Self::kind_of(c)).collect(),
+        )
+    }
+
+    /// The remaining distance still to cover from stage `stage` onward:
+    /// `Σ_{i >= stage} c_i 2^i mod N`.
+    pub fn remaining(&self, size: Size, stage: usize) -> usize {
+        let mut acc: i64 = 0;
+        for (i, &c) in self.digits.iter().enumerate().skip(stage) {
+            acc += c as i64 * (1i64 << i);
+        }
+        acc.rem_euclid(size.n() as i64) as usize
+    }
+}
+
+impl fmt::Display for DistanceTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &c in &self.digits {
+            let ch = match c {
+                -1 => '-',
+                0 => '0',
+                1 => '+',
+                _ => '?',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn natural_tag_reaches_destination() {
+        let size = Size::new(16).unwrap();
+        for s in size.switches() {
+            for d in size.switches() {
+                let tag = DistanceTag::natural(size, s, d);
+                assert_eq!(tag.trace(size, s).destination(size), d, "s={s} d={d}");
+                assert_eq!(tag.value(size), size.sub(d, s));
+            }
+        }
+    }
+
+    #[test]
+    fn negative_dominant_reaches_destination() {
+        let size = Size::new(16).unwrap();
+        for s in size.switches() {
+            for d in size.switches() {
+                let tag = DistanceTag::negative_dominant(size, s, d);
+                assert_eq!(tag.trace(size, s).destination(size), d, "s={s} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn natural_uses_only_plus_and_straight() {
+        let tag = DistanceTag::natural(size8(), 1, 0);
+        assert!(tag.digits().iter().all(|&c| c >= 0));
+    }
+
+    #[test]
+    fn negative_dominant_uses_only_minus_and_straight() {
+        let tag = DistanceTag::negative_dominant(size8(), 0, 1);
+        // distance 1 -> N - 1 = 7 = 111 -> digits -1,-1,-1.
+        assert_eq!(tag.digits(), &[-1, -1, -1]);
+        assert!(tag.digits().iter().all(|&c| c <= 0));
+    }
+
+    #[test]
+    fn remaining_decreases_with_stage() {
+        let size = size8();
+        let tag = DistanceTag::natural(size, 1, 0); // +1 +2 +4
+        assert_eq!(tag.remaining(size, 0), 7);
+        assert_eq!(tag.remaining(size, 1), 6);
+        assert_eq!(tag.remaining(size, 2), 4);
+        assert_eq!(tag.remaining(size, 3), 0);
+    }
+
+    #[test]
+    fn display_encodes_signs() {
+        let tag = DistanceTag::from_digits(vec![1, 0, -1]);
+        assert_eq!(tag.to_string(), "+0-");
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_digits_rejects_out_of_range() {
+        let _ = DistanceTag::from_digits(vec![2]);
+    }
+
+    #[test]
+    fn op_count_charges() {
+        let size = size8();
+        let mut ops = OpCount::default();
+        ops.charge(2);
+        ops.charge_word(size);
+        assert_eq!(ops.0, 5);
+        assert_eq!(ops.to_string(), "5 bit-ops");
+    }
+}

@@ -1,0 +1,147 @@
+//! Lee & Lee's local control algorithms \[7\] for the ADM/IADM networks.
+//!
+//! Two tag forms that need no distance computation:
+//!
+//! * the **signed bit difference** tag ([`signed_bit_difference`]): digit
+//!   `c_i = d_i - s_i ∈ {-1, 0, +1}` per bit of the source and destination
+//!   addresses, which sums exactly to `d - s`;
+//! * the **destination tag local control** ([`route_local`]): each switch
+//!   `j` at stage `i` compares `d_i` with `j_i` and goes straight on a
+//!   match, otherwise takes the nonstraight link that writes `d_i` into
+//!   bit `i` without a carry — which is precisely the state-`C` behavior
+//!   of the paper's state model.
+//!
+//! As the paper notes, "their local control algorithms can only find one
+//! routing path for each source and destination pair. If the need for
+//! rerouting arises, they still resort to the distance tag schemes" —
+//! reproduced here by [`route_local`] returning `None` on any blockage.
+
+use crate::distance::DistanceTag;
+use iadm_fault::BlockageMap;
+use iadm_topology::{bit, Link, Path, Size};
+
+/// The signed-bit-difference tag: digit `i` is `d_i - s_i`.
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+///
+/// ```
+/// use iadm_baselines::lee_lee::signed_bit_difference;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// // s = 110b, d = 011b: digits (1-0, 1-1, 0-1) = (+1, 0, -1).
+/// let tag = signed_bit_difference(size, 0b110, 0b011);
+/// assert_eq!(tag.digits(), &[1, 0, -1]);
+/// assert_eq!(tag.trace(size, 0b110).destination(size), 0b011);
+/// # Ok(())
+/// # }
+/// ```
+pub fn signed_bit_difference(size: Size, source: usize, dest: usize) -> DistanceTag {
+    assert!(source < size.n() && dest < size.n(), "address out of range");
+    DistanceTag::from_digits(
+        size.stage_indices()
+            .map(|i| bit(dest, i) as i8 - bit(source, i) as i8)
+            .collect(),
+    )
+}
+
+/// Destination-tag local control: traces the unique path each switch picks
+/// by comparing its own label bit with the destination bit. Returns `None`
+/// at the first blocked link — Lee & Lee's local algorithms have no
+/// rerouting of their own.
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+pub fn route_local(
+    size: Size,
+    blockages: &BlockageMap,
+    source: usize,
+    dest: usize,
+) -> Option<Path> {
+    assert!(source < size.n() && dest < size.n(), "address out of range");
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        // Compare d_i with j_i; straight on match, else the carry-free
+        // nonstraight link (exactly ΔC_i of the paper's state model).
+        let kind = iadm_core::delta_c_kind(sw, stage, bit(dest, stage));
+        let link = Link::new(stage, sw, kind);
+        if blockages.is_blocked(link) {
+            return None;
+        }
+        kinds.push(kind);
+        sw = kind.target(size, stage, sw);
+    }
+    Some(Path::new(source, kinds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_core::icube_routing;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn signed_bit_difference_sums_exactly() {
+        let size = Size::new(16).unwrap();
+        for s in size.switches() {
+            for d in size.switches() {
+                let tag = signed_bit_difference(size, s, d);
+                let sum: i64 = tag
+                    .digits()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| c as i64 * (1 << i))
+                    .sum();
+                assert_eq!(sum, d as i64 - s as i64, "exact, not just mod N");
+                assert_eq!(tag.trace(size, s).destination(size), d);
+            }
+        }
+    }
+
+    #[test]
+    fn local_control_equals_icube_routing() {
+        // Lee & Lee's one-path local control coincides with the paper's
+        // all-state-C (embedded ICube) path — the state model explains why.
+        let size = size8();
+        let blockages = BlockageMap::new(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                assert_eq!(
+                    route_local(size, &blockages, s, d).unwrap(),
+                    icube_routing::route(size, s, d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn any_blockage_defeats_local_control() {
+        let size = size8();
+        let blockages = BlockageMap::from_links(size, [Link::minus(0, 1)]);
+        assert_eq!(route_local(size, &blockages, 1, 0), None);
+        // The paper's SSDT handles the same blockage with one state flip.
+        let mut state = iadm_core::NetworkState::all_c(size);
+        assert!(iadm_core::ssdt::route(size, &blockages, &mut state, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn signed_bit_difference_differs_from_natural_tag() {
+        // s=6, d=3: distance 5 = 101b natural (+1,0,+1); the signed bit
+        // difference (+1,0,-1) encodes -3 = 5 - 8. Different paths, same
+        // endpoints.
+        let size = size8();
+        let sbd = signed_bit_difference(size, 6, 3);
+        let nat = DistanceTag::natural(size, 6, 3);
+        assert_ne!(sbd.digits(), nat.digits());
+        assert_eq!(sbd.trace(size, 6).destination(size), 3);
+        assert_eq!(nat.trace(size, 6).destination(size), 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! Prior-work routing schemes for the IADM network, reimplemented as the
+//! comparison baselines for the paper's evaluation claims.
+//!
+//! The paper's Section 1 surveys four families of earlier schemes, all of
+//! which are *distance-tag* schemes (they compute the distance
+//! `D = (d - s) mod N` and route by a signed-digit representation of it):
+//!
+//! * **McMillen & Siegel \[9\]** — dynamic rerouting for nonstraight
+//!   blockages via (1) switching to the two's-complement representation of
+//!   the remaining distance, (2) `±2^{i+1}` addition to the remaining
+//!   distance, or (3) an extra tag bit carrying both representations
+//!   ([`mcmillen_siegel`]). All cost O(log N) time×space per reroute.
+//! * **McMillen & Siegel \[10\]** — a single-stage look-ahead scheme that
+//!   evades *some* straight-link blockages, again with two's-complement
+//!   computations ([`lookahead`]).
+//! * **Parker & Raghavendra \[13\]** — exhaustive enumeration of the
+//!   redundant (signed-digit) representations of the distance, i.e. all
+//!   routing paths; complete but too expensive for dynamic routing
+//!   ([`parker_raghavendra`]).
+//! * **Lee & Lee \[7\]** — local control by the signed bit difference of
+//!   destination and source; finds exactly one path and falls back to
+//!   distance tags for rerouting ([`lee_lee`]).
+//!
+//! Every scheme reports an *operation count* ([`OpCount`]) in single-bit or
+//! single-word operations so that experiment E2 can regenerate the paper's
+//! O(1)-versus-O(log N) complexity comparison with measured numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod lee_lee;
+pub mod lookahead;
+pub mod mcmillen_siegel;
+pub mod parker_raghavendra;
+
+pub use distance::{DistanceTag, OpCount};

@@ -1,0 +1,186 @@
+//! The single-stage look-ahead scheme of McMillen & Siegel \[10\] for
+//! straight-link blockages.
+//!
+//! A straight link cannot be bypassed *at its own stage* (paper, Theorem
+//! 3.2), so \[10\] looks ahead: at a stage whose digit is nonstraight the
+//! message has two representation choices — keep the current signed-digit
+//! representation or switch to its two's complement from this stage on —
+//! and the two choices put the message on *different* switches at the next
+//! stage. By probing one stage ahead, the scheme picks the branch whose
+//! next link is healthy, thereby avoiding a straight fault at stage `i+1`.
+//!
+//! It is valid only for *some* straight-link blockages: a fault more than
+//! one stage past the last nonstraight digit is seen too late (the paper's
+//! TSDT backtracking handles all of them). Each representation switch is a
+//! two's-complement computation, so the scheme retains the O(log N)
+//! time×space cost the paper's schemes eliminate.
+
+use crate::distance::{DistanceTag, OpCount};
+use crate::mcmillen_siegel::reroute_twos_complement;
+use iadm_fault::BlockageMap;
+use iadm_topology::{Link, LinkKind, Path, Size};
+
+/// Routes `source → dest` with the natural distance tag, applying
+/// single-stage look-ahead at every nonstraight digit (and the \[9\]
+/// two's-complement swap when the nonstraight link itself is blocked).
+///
+/// Returns the delivered path and the operation count, or `None` when the
+/// combined scheme fails — which can happen for straight faults the
+/// look-ahead window cannot see, even when a free path exists.
+///
+/// # Example
+///
+/// ```
+/// use iadm_baselines::lookahead::route_with_lookahead;
+/// use iadm_fault::BlockageMap;
+/// use iadm_topology::{Link, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// // A straight fault one stage past a nonstraight digit: visible to the
+/// // look-ahead window.
+/// let blockages = BlockageMap::from_links(size, [Link::straight(1, 1)]);
+/// let (path, _) = route_with_lookahead(size, &blockages, 0, 1);
+/// assert_eq!(path.unwrap().destination(size), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn route_with_lookahead(
+    size: Size,
+    blockages: &BlockageMap,
+    source: usize,
+    dest: usize,
+) -> (Option<Path>, OpCount) {
+    let mut ops = OpCount::default();
+    ops.charge_word(size);
+    let mut tag = DistanceTag::natural(size, source, dest);
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        let digit = tag.digit(stage);
+        ops.charge(1);
+        let taken = if digit == 0 {
+            // Straight hop: no recourse at this stage; the look-ahead at
+            // the previous nonstraight stage was the only chance.
+            let link = Link::straight(stage, sw);
+            if blockages.is_blocked(link) {
+                return (None, ops);
+            }
+            LinkKind::Straight
+        } else {
+            // Two candidate representations: keep, or two's-complement
+            // flip from this stage on.
+            let keep = tag.clone();
+            let flip = reroute_twos_complement(size, &tag, stage, &mut ops);
+            let mut chosen: Option<DistanceTag> = None;
+            let mut fallback: Option<DistanceTag> = None;
+            for cand in [Some(keep), flip].into_iter().flatten() {
+                let kind = DistanceTag::kind_of(cand.digit(stage));
+                let link = Link::new(stage, sw, kind);
+                ops.charge(1);
+                if blockages.is_blocked(link) {
+                    continue;
+                }
+                // Single-stage look-ahead: probe the next stage's link.
+                let next_ok = if stage + 1 < size.stages() {
+                    let next_sw = kind.target(size, stage, sw);
+                    let next_kind = DistanceTag::kind_of(cand.digit(stage + 1));
+                    ops.charge(1);
+                    blockages.is_free(Link::new(stage + 1, next_sw, next_kind))
+                } else {
+                    true
+                };
+                if next_ok {
+                    chosen = Some(cand);
+                    break;
+                } else if fallback.is_none() {
+                    fallback = Some(cand);
+                }
+            }
+            match chosen.or(fallback) {
+                Some(cand) => {
+                    tag = cand;
+                    DistanceTag::kind_of(tag.digit(stage))
+                }
+                None => return (None, ops),
+            }
+        };
+        kinds.push(taken);
+        sw = taken.target(size, stage, sw);
+    }
+    if sw == dest {
+        (Some(Path::new(source, kinds)), ops)
+    } else {
+        (None, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_core::reroute::reroute;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn unblocked_routes_deliver() {
+        let size = Size::new(16).unwrap();
+        let blockages = BlockageMap::new(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let (path, _) = route_with_lookahead(size, &blockages, s, d);
+                assert_eq!(path.unwrap().destination(size), d, "s={s} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn evades_straight_fault_one_stage_past_a_nonstraight_digit() {
+        // 0 -> 1: digits (1,0,0); path (0,1,1,1). Block straight(1,1): the
+        // look-ahead at stage 0 sees it and flips to the complement
+        // (-1,-1,-1), routing (0,7,5,1).
+        let size = size8();
+        let blockages = BlockageMap::from_links(size, [Link::straight(1, 1)]);
+        let (path, ops) = route_with_lookahead(size, &blockages, 0, 1);
+        let path = path.expect("look-ahead handles this straight blockage");
+        assert!(blockages.path_is_free(&path));
+        assert_eq!(path.destination(size), 1);
+        assert_eq!(path.switches(size), vec![0, 7, 5, 1]);
+        assert!(ops.0 > 0);
+    }
+
+    #[test]
+    fn cannot_see_straight_faults_two_stages_ahead() {
+        // Same pair, but the fault sits at stage 2 — outside the
+        // single-stage window. Look-ahead fails even though the paper's
+        // REROUTE finds (0,7,5,1).
+        let size = size8();
+        let blockages = BlockageMap::from_links(size, [Link::straight(2, 1)]);
+        let (path, _) = route_with_lookahead(size, &blockages, 0, 1);
+        assert!(path.is_none(), "fault is outside the look-ahead window");
+        assert!(reroute(size, &blockages, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn nonstraight_blockage_still_evaded() {
+        let size = size8();
+        let blockages = BlockageMap::from_links(size, [Link::plus(0, 0)]);
+        let (path, _) = route_with_lookahead(size, &blockages, 0, 1);
+        let path = path.unwrap();
+        assert!(blockages.path_is_free(&path));
+        assert_eq!(path.destination(size), 1);
+    }
+
+    #[test]
+    fn forced_prefix_fault_fails_for_everyone() {
+        // s == d: only the all-straight path exists; neither look-ahead
+        // nor REROUTE can help (Theorem 3.3 "only if").
+        let size = size8();
+        let blockages = BlockageMap::from_links(size, [Link::straight(0, 4)]);
+        let (path, _) = route_with_lookahead(size, &blockages, 4, 4);
+        assert!(path.is_none());
+        assert!(reroute(size, &blockages, 4, 4).is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! The three dynamic rerouting techniques of McMillen & Siegel \[9\]
+//! for nonstraight (±2^i) link blockages in the IADM network.
+//!
+//! All three fix a blocked `±2^i` link by taking the oppositely signed
+//! `∓2^i` link and *recomputing the remaining distance tag*, which costs a
+//! full-width arithmetic operation — the O(log N) time×space the paper's
+//! SSDT/TSDT schemes eliminate:
+//!
+//! 1. **Two's-complement scheme** ([`reroute_twos_complement`]): switch the
+//!    remaining distance to its two's-complement representation, flipping
+//!    the sign of every remaining digit.
+//! 2. **±2^{i+1}-addition scheme** ([`reroute_add`]): take the opposite
+//!    link and add `±2^{i+1}` to the remaining distance, re-deriving the
+//!    digits of later stages.
+//! 3. **Extra-tag-bit scheme** ([`DualTag`]): carry both the natural and
+//!    the two's-complement representation plus a one-bit selector that is
+//!    updated as the message propagates.
+
+use crate::distance::{DistanceTag, OpCount};
+use iadm_fault::BlockageMap;
+use iadm_topology::{Link, LinkKind, Path, Size};
+
+/// Scheme 1: reroutes a nonstraight blockage at `stage` by switching the
+/// *remaining* distance (stages `>= stage`) to its two's-complement
+/// representation: remaining `R` becomes `R - 2^n`, i.e. every remaining
+/// digit is re-derived from the complemented magnitude.
+///
+/// Charges one full-width two's complement plus one digit write per
+/// remaining stage (O(log N)).
+///
+/// Returns `None` if the blocked digit is straight (the scheme only
+/// handles nonstraight blockages) or if the flipped representation does
+/// not change the blocked stage's link sign.
+pub fn reroute_twos_complement(
+    size: Size,
+    tag: &DistanceTag,
+    stage: usize,
+    ops: &mut OpCount,
+) -> Option<DistanceTag> {
+    let digit = tag.digit(stage);
+    ops.charge(1); // inspect the blocked digit
+    if digit == 0 {
+        return None;
+    }
+    // Remaining distance from `stage` on, as a multiple of 2^stage.
+    let remaining = tag.remaining(size, stage);
+    ops.charge_word(size); // compute remaining by summation/subtraction
+    ops.charge_word(size); // the two's complement operation
+                           // Flip the representation sign: a positive-going remainder R is
+                           // re-expressed as -(N - R) with negative digits; a negative-going one
+                           // (R ≡ remaining mod N was being written with minus digits) as +R with
+                           // positive digits.
+    let new_sign = -digit.signum();
+    let mag = if digit > 0 {
+        size.sub(0, remaining) >> stage // magnitude of R - N
+    } else {
+        remaining >> stage // magnitude of R itself
+    };
+    debug_assert_eq!(remaining % (1 << stage), 0);
+    let mut new_tag = tag.clone();
+    for (offset, s) in (stage..size.stages()).enumerate() {
+        let bit = ((mag >> offset) & 1) as i8;
+        new_tag.set_digit(s, new_sign * bit);
+        ops.charge(1); // one digit write per remaining stage
+    }
+    if new_tag.digit(stage) == digit {
+        return None;
+    }
+    debug_assert_eq!(new_tag.value(size), tag.value(size));
+    Some(new_tag)
+}
+
+/// Scheme 2: reroutes a nonstraight blockage at `stage` by taking the
+/// opposite link and adding `±2^{stage+1}` to the remaining distance
+/// (digit `+1` blocked → take `-1`, owe `+2^{stage+1}`; digit `-1` blocked
+/// → take `+1`, owe `-2^{stage+1}`), re-deriving the digits of stages
+/// `stage+1..` from the adjusted remainder in the sign-uniform
+/// representation with the same sign as the adjustment.
+///
+/// Charges one full-width addition plus one digit write per remaining
+/// stage (O(log N)). Returns `None` for a straight digit.
+pub fn reroute_add(
+    size: Size,
+    tag: &DistanceTag,
+    stage: usize,
+    ops: &mut OpCount,
+) -> Option<DistanceTag> {
+    let digit = tag.digit(stage);
+    ops.charge(1);
+    if digit == 0 {
+        return None;
+    }
+    let mut new_tag = tag.clone();
+    new_tag.set_digit(stage, -digit);
+    ops.charge(1);
+    // Remaining distance to cover at stages > stage after the swap:
+    // original remainder plus 2^{stage+1} in the direction of the
+    // original digit.
+    let rest = tag.remaining(size, stage + 1);
+    ops.charge_word(size); // the ±2^{i+1} addition
+    let adjusted = if digit > 0 {
+        size.add(rest, 1 << (stage + 1))
+    } else {
+        size.sub(rest, 1 << (stage + 1))
+    };
+    debug_assert_eq!(adjusted % (1 << (stage + 1)), 0);
+    // Represent `adjusted` with digits of one sign: positive digits if the
+    // original direction was +, negative otherwise (magnitude N - adjusted).
+    let (sign, mag) = if digit > 0 {
+        (1i8, adjusted >> (stage + 1))
+    } else {
+        (-1i8, size.sub(0, adjusted) >> (stage + 1))
+    };
+    for (offset, s) in ((stage + 1)..size.stages()).enumerate() {
+        let bit = ((mag >> offset) & 1) as i8;
+        new_tag.set_digit(s, sign * bit);
+        ops.charge(1);
+    }
+    debug_assert_eq!(
+        new_tag.value(size),
+        tag.value(size),
+        "distance must be preserved"
+    );
+    Some(new_tag)
+}
+
+/// Scheme 3: the extra-tag-bit technique. The message carries **both** the
+/// natural (all-`+`) and the negative-dominant (all-`-`) representations of
+/// the distance plus a selector bit saying which one is active; when the
+/// active representation's nonstraight link is blocked at a stage where the
+/// inactive one also has a nonstraight digit, the selector flips (one bit —
+/// but keeping the two representations coherent costs a full-width update
+/// as the message advances, which is the O(log N) the paper charges this
+/// scheme).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualTag {
+    /// The all-positive representation.
+    pub positive: DistanceTag,
+    /// The all-negative representation.
+    pub negative: DistanceTag,
+    /// Which representation is currently active.
+    pub use_negative: bool,
+}
+
+impl DualTag {
+    /// Builds the dual tag for the pair `(source, dest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` or `dest` is `>= N`.
+    pub fn new(size: Size, source: usize, dest: usize, ops: &mut OpCount) -> Self {
+        ops.charge_word(size); // distance subtraction
+        ops.charge_word(size); // two's complement for the second form
+        DualTag {
+            positive: DistanceTag::natural(size, source, dest),
+            negative: DistanceTag::negative_dominant(size, source, dest),
+            use_negative: false,
+        }
+    }
+
+    /// The active digit at `stage`.
+    pub fn digit(&self, stage: usize) -> i8 {
+        if self.use_negative {
+            self.negative.digit(stage)
+        } else {
+            self.positive.digit(stage)
+        }
+    }
+
+    /// Attempts to flip the selector to evade a blocked nonstraight link at
+    /// `stage`. Succeeds when the inactive representation takes a different
+    /// link at this stage. Charges the representation-coherence update.
+    pub fn flip(&mut self, size: Size, stage: usize, ops: &mut OpCount) -> bool {
+        let active = self.digit(stage);
+        let other = if self.use_negative {
+            self.positive.digit(stage)
+        } else {
+            self.negative.digit(stage)
+        };
+        ops.charge(2);
+        if other == active {
+            return false;
+        }
+        // Keeping both representations aligned past this stage costs a
+        // full-width update (this is the dynamic tag update of [9]).
+        ops.charge_word(size);
+        self.use_negative = !self.use_negative;
+        true
+    }
+}
+
+/// Routes `source → dest` with the natural distance tag, dynamically
+/// applying `scheme` at each blocked nonstraight link. Straight blockages
+/// and double-nonstraight blockages make the schemes fail, as in \[9\].
+///
+/// Returns the path and the accumulated operation count, or `None` when
+/// the message cannot be delivered.
+///
+/// # Example
+///
+/// ```
+/// use iadm_baselines::mcmillen_siegel::{route_dynamic, Scheme};
+/// use iadm_fault::BlockageMap;
+/// use iadm_topology::{Link, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let blockages = BlockageMap::from_links(size, [Link::plus(0, 1)]);
+/// let (path, ops) = route_dynamic(size, &blockages, 1, 0, Scheme::TwosComplement);
+/// assert_eq!(path.unwrap().destination(size), 0);
+/// assert!(ops.0 > 0); // the reroute cost O(log N) operations
+/// # Ok(())
+/// # }
+/// ```
+pub fn route_dynamic(
+    size: Size,
+    blockages: &BlockageMap,
+    source: usize,
+    dest: usize,
+    scheme: Scheme,
+) -> (Option<Path>, OpCount) {
+    let mut ops = OpCount::default();
+    ops.charge_word(size); // distance computation
+    let mut tag = DistanceTag::natural(size, source, dest);
+    let mut dual = if scheme == Scheme::ExtraTagBit {
+        Some(DualTag::new(size, source, dest, &mut ops))
+    } else {
+        None
+    };
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        let digit = match &dual {
+            Some(d) => d.digit(stage),
+            None => tag.digit(stage),
+        };
+        let kind = DistanceTag::kind_of(digit);
+        let link = Link::new(stage, sw, kind);
+        ops.charge(1); // link probe
+        let taken = if blockages.is_free(link) {
+            kind
+        } else if kind == LinkKind::Straight {
+            return (None, ops); // [9] has no straight-link recourse
+        } else {
+            let rerouted = match scheme {
+                Scheme::TwosComplement => {
+                    reroute_twos_complement(size, &tag, stage, &mut ops).map(|t| tag = t)
+                }
+                Scheme::Add => reroute_add(size, &tag, stage, &mut ops).map(|t| tag = t),
+                Scheme::ExtraTagBit => {
+                    let d = dual.as_mut().expect("dual tag present");
+                    d.flip(size, stage, &mut ops).then_some(())
+                }
+            };
+            if rerouted.is_none() {
+                return (None, ops);
+            }
+            let new_digit = match &dual {
+                Some(d) => d.digit(stage),
+                None => tag.digit(stage),
+            };
+            let new_kind = DistanceTag::kind_of(new_digit);
+            let new_link = Link::new(stage, sw, new_kind);
+            if new_kind == kind || blockages.is_blocked(new_link) {
+                return (None, ops);
+            }
+            new_kind
+        };
+        kinds.push(taken);
+        sw = taken.target(size, stage, sw);
+    }
+    if sw == dest {
+        (Some(Path::new(source, kinds)), ops)
+    } else {
+        (None, ops)
+    }
+}
+
+/// Which of the three \[9\] rerouting techniques [`route_dynamic`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Two's-complement representation switch.
+    TwosComplement,
+    /// `±2^{i+1}` addition to the remaining distance.
+    Add,
+    /// Extra tag bit selecting between two precomputed representations.
+    ExtraTagBit,
+}
+
+impl Scheme {
+    /// All three schemes.
+    pub const ALL: [Scheme; 3] = [Scheme::TwosComplement, Scheme::Add, Scheme::ExtraTagBit];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn unblocked_routes_deliver_for_all_schemes() {
+        let size = Size::new(16).unwrap();
+        let blockages = BlockageMap::new(size);
+        for scheme in Scheme::ALL {
+            for s in size.switches() {
+                for d in size.switches() {
+                    let (path, _) = route_dynamic(size, &blockages, s, d, scheme);
+                    let path = path.unwrap_or_else(|| panic!("{scheme:?} s={s} d={d}"));
+                    assert_eq!(path.destination(size), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn twos_complement_preserves_distance() {
+        let size = size8();
+        let mut ops = OpCount::default();
+        for s in size.switches() {
+            for d in size.switches() {
+                let tag = DistanceTag::natural(size, s, d);
+                for stage in size.stage_indices() {
+                    if tag.digit(stage) != 0 {
+                        let new = reroute_twos_complement(size, &tag, stage, &mut ops)
+                            .expect("nonstraight digit is reroutable");
+                        assert_eq!(new.value(size), tag.value(size));
+                        assert_eq!(new.trace(size, s).destination(size), d);
+                        assert_ne!(new.digit(stage), tag.digit(stage));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_scheme_preserves_distance() {
+        let size = size8();
+        let mut ops = OpCount::default();
+        for s in size.switches() {
+            for d in size.switches() {
+                let tag = DistanceTag::natural(size, s, d);
+                for stage in size.stage_indices() {
+                    if tag.digit(stage) != 0 {
+                        let new = reroute_add(size, &tag, stage, &mut ops).unwrap();
+                        assert_eq!(new.trace(size, s).destination(size), d);
+                        assert_eq!(new.digit(stage), -tag.digit(stage));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straight_digit_is_not_reroutable() {
+        let size = size8();
+        let mut ops = OpCount::default();
+        let tag = DistanceTag::natural(size, 0, 2); // digits 0,1,0
+        assert_eq!(reroute_twos_complement(size, &tag, 0, &mut ops), None);
+        assert_eq!(reroute_add(size, &tag, 0, &mut ops), None);
+    }
+
+    #[test]
+    fn single_nonstraight_blockage_is_evaded() {
+        // Block the +1 link on the natural path 1 -> 0 and verify each
+        // scheme delivers via the minus side.
+        let size = size8();
+        let blockages = BlockageMap::from_links(size, [Link::plus(0, 1)]);
+        for scheme in Scheme::ALL {
+            let (path, ops) = route_dynamic(size, &blockages, 1, 0, scheme);
+            let path = path.unwrap_or_else(|| panic!("{scheme:?} must deliver"));
+            assert!(blockages.path_is_free(&path));
+            assert_eq!(path.destination(size), 0);
+            assert!(ops.0 > 0);
+        }
+    }
+
+    #[test]
+    fn rerouting_cost_scales_with_n() {
+        // The essence of experiment E2: [9]'s rerouting cost grows with
+        // log N while the paper's Corollary 4.1 is a single bit flip.
+        let small = Size::new(8).unwrap();
+        let large = Size::new(1024).unwrap();
+        let mut ops_small = OpCount::default();
+        let mut ops_large = OpCount::default();
+        let t_small = DistanceTag::natural(small, 1, 0);
+        let t_large = DistanceTag::natural(large, 1, 0);
+        reroute_twos_complement(small, &t_small, 0, &mut ops_small).unwrap();
+        reroute_twos_complement(large, &t_large, 0, &mut ops_large).unwrap();
+        assert!(
+            ops_large.0 > 2 * ops_small.0,
+            "cost must grow with log N: {ops_small} vs {ops_large}"
+        );
+    }
+
+    #[test]
+    fn straight_blockage_fails_all_schemes() {
+        // 0 -> 1 has natural digits (1, 0, 0): path (0, 1, 1, 1) with a
+        // straight hop at stage 1 *above* a nonstraight hop. Blocking it
+        // defeats every [9] scheme, but the paper's TSDT backtracking
+        // evades it (Theorem 3.3: a nonstraight link precedes it).
+        let size = size8();
+        let blockages = BlockageMap::from_links(size, [Link::straight(1, 1)]);
+        for scheme in Scheme::ALL {
+            let (path, _) = route_dynamic(size, &blockages, 0, 1, scheme);
+            assert!(path.is_none(), "{scheme:?} cannot evade straight blockage");
+        }
+        assert!(iadm_core::reroute::reroute(size, &blockages, 0, 1).is_ok());
+    }
+}

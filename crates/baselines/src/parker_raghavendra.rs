@@ -1,0 +1,203 @@
+//! Parker & Raghavendra's redundant-number-representation routing \[13\].
+//!
+//! Their algorithm enumerates **all** signed-digit representations of the
+//! distance `D = (d - s) mod N` — each representation is a routing path —
+//! and can therefore always exhibit an alternate path when one exists. The
+//! paper's critique (quoting \[19\]) is that "the cost of computation is
+//! prohibitively large so that it is infeasible to implement the algorithm
+//! in order to achieve dynamic routing": the number of representations
+//! grows quickly and no rerouting discipline was given. This module
+//! reproduces the enumeration (digit-recursive, directly from the number,
+//! independent of the path-DFS in `iadm-analysis` so the two can be
+//! cross-checked) and a brute-force rerouter built on it.
+
+use crate::distance::{DistanceTag, OpCount};
+use iadm_fault::BlockageMap;
+use iadm_topology::{Path, Size};
+
+/// Enumerates every signed-digit (`{-1,0,1}` per stage) representation of
+/// the distance `(dest - source) mod N`, i.e. every routing tag of the
+/// pair. Digit recursion: at stage `i` the running remainder `R` must have
+/// `c_i ≡ R (mod 2)`; odd remainders branch into `c_i = +1` and `c_i = -1`.
+///
+/// The returned tags are in no particular order; their count equals the
+/// number of routing paths (cross-checked against
+/// `iadm_analysis::enumerate`).
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+///
+/// # Example
+///
+/// ```
+/// use iadm_baselines::parker_raghavendra::all_representations;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// // Figure 7 of the paper: four paths from 1 to 0 = four representations
+/// // of the distance 7.
+/// assert_eq!(all_representations(size, 1, 0).len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn all_representations(size: Size, source: usize, dest: usize) -> Vec<DistanceTag> {
+    all_representations_counted(size, source, dest, &mut OpCount::default())
+}
+
+/// [`all_representations`] with explicit operation counting — each digit
+/// decision and each remainder halving charges one operation, making the
+/// exponential enumeration cost measurable for experiment E2.
+pub fn all_representations_counted(
+    size: Size,
+    source: usize,
+    dest: usize,
+    ops: &mut OpCount,
+) -> Vec<DistanceTag> {
+    assert!(source < size.n() && dest < size.n(), "address out of range");
+    let dist = size.sub(dest, source) as i64;
+    let n = size.stages();
+    let modulus = size.n() as i64;
+    let mut result = Vec::new();
+    let mut digits = vec![0i8; n];
+    // The remainder is tracked exactly (not mod N): at stage i we need
+    // Σ_{k>=i} c_k 2^k = R, where R starts at D or D - N (both classes mod
+    // 2^n are explored through the ± branching below).
+    fn descend(
+        stage: usize,
+        n: usize,
+        remainder: i64,
+        digits: &mut Vec<i8>,
+        result: &mut Vec<DistanceTag>,
+        ops: &mut OpCount,
+    ) {
+        ops.charge(1);
+        if stage == n {
+            if remainder == 0 {
+                result.push(DistanceTag::from_digits(digits.clone()));
+            }
+            return;
+        }
+        let weight = 1i64 << stage;
+        if remainder.rem_euclid(2 * weight) == 0 {
+            digits[stage] = 0;
+            descend(stage + 1, n, remainder, digits, result, ops);
+        } else {
+            digits[stage] = 1;
+            descend(stage + 1, n, remainder - weight, digits, result, ops);
+            digits[stage] = -1;
+            descend(stage + 1, n, remainder + weight, digits, result, ops);
+        }
+        digits[stage] = 0;
+    }
+    // Explore both residue classes: D and D - N (positive and negative
+    // total displacement).
+    descend(0, n, dist, &mut digits, &mut result, ops);
+    if dist != 0 {
+        descend(0, n, dist - modulus, &mut digits, &mut result, ops);
+    }
+    result
+}
+
+/// Brute-force rerouting in the spirit of \[13\]: generate all
+/// representations and return the first whose path avoids every blockage.
+/// Complete, but costs the full enumeration (the infeasibility the paper
+/// criticizes).
+pub fn reroute_by_enumeration(
+    size: Size,
+    blockages: &BlockageMap,
+    source: usize,
+    dest: usize,
+    ops: &mut OpCount,
+) -> Option<Path> {
+    for tag in all_representations_counted(size, source, dest, ops) {
+        let path = tag.trace(size, source);
+        ops.charge(size.stages() as u64); // path check
+        if blockages.path_is_free(&path) {
+            return Some(path);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn every_representation_routes_correctly() {
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                for tag in all_representations(size, s, d) {
+                    assert_eq!(
+                        tag.trace(size, s).destination(size),
+                        d,
+                        "s={s} d={d} tag={tag}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representation_count_matches_figure7() {
+        assert_eq!(all_representations(size8(), 1, 0).len(), 4);
+    }
+
+    #[test]
+    fn zero_distance_has_unique_representation() {
+        let size = size8();
+        let reps = all_representations(size, 3, 3);
+        assert_eq!(reps.len(), 1);
+        assert!(reps[0].digits().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn representations_are_distinct() {
+        let size = Size::new(16).unwrap();
+        for s in [0usize, 5] {
+            for d in size.switches() {
+                let reps = all_representations(size, s, d);
+                let mut seen = std::collections::BTreeSet::new();
+                for rep in &reps {
+                    assert!(seen.insert(rep.digits().to_vec()), "duplicate {rep}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_rerouting_is_complete_but_costly() {
+        let size = size8();
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(iadm_topology::Link::minus(0, 1));
+        blockages.block(iadm_topology::Link::minus(1, 2));
+        let mut ops = OpCount::default();
+        let path = reroute_by_enumeration(size, &blockages, 1, 0, &mut ops).unwrap();
+        assert!(blockages.path_is_free(&path));
+        assert_eq!(path.destination(size), 0);
+        // Cost grows with the number of representations, far beyond the
+        // O(1) bit flip of Corollary 4.1.
+        assert!(ops.0 > 8);
+    }
+
+    #[test]
+    fn enumeration_cost_grows_with_n() {
+        // Alternating-bit distances maximize the number of signed-digit
+        // representations; the enumeration cost explodes with log N, while
+        // the paper's rerouting tags stay O(1)/O(k).
+        let mut ops8 = OpCount::default();
+        let mut ops256 = OpCount::default();
+        let s8 = size8();
+        let s256 = Size::new(256).unwrap();
+        all_representations_counted(s8, 0, 0b101, &mut ops8);
+        all_representations_counted(s256, 0, 0b01010101, &mut ops256);
+        assert!(ops256.0 > 8 * ops8.0, "{} vs {}", ops256.0, ops8.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the baseline schemes: every reroute must preserve
+//! the distance and deliver, at random sizes and endpoints.
+
+use iadm_baselines::mcmillen_siegel::{reroute_add, reroute_twos_complement};
+use iadm_baselines::{lee_lee, parker_raghavendra, DistanceTag, OpCount};
+use iadm_topology::Size;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn twos_complement_reroute_preserves_delivery(
+        log2 in 1u32..=8,
+        s_seed in any::<usize>(),
+        d_seed in any::<usize>(),
+        stage_seed in any::<usize>(),
+    ) {
+        let size = Size::from_stages(log2);
+        let s = s_seed & size.mask();
+        let d = d_seed & size.mask();
+        let stage = stage_seed % size.stages();
+        let tag = DistanceTag::natural(size, s, d);
+        let mut ops = OpCount::default();
+        if let Some(new) = reroute_twos_complement(size, &tag, stage, &mut ops) {
+            prop_assert_eq!(new.value(size), tag.value(size));
+            prop_assert_eq!(new.trace(size, s).destination(size), d);
+            prop_assert_eq!(new.digit(stage), -tag.digit(stage));
+            prop_assert!(ops.0 > 0);
+        } else {
+            prop_assert_eq!(tag.digit(stage), 0, "only straight digits are unreroutable");
+        }
+    }
+
+    #[test]
+    fn add_reroute_preserves_delivery(
+        log2 in 1u32..=8,
+        s_seed in any::<usize>(),
+        d_seed in any::<usize>(),
+        stage_seed in any::<usize>(),
+    ) {
+        let size = Size::from_stages(log2);
+        let s = s_seed & size.mask();
+        let d = d_seed & size.mask();
+        let stage = stage_seed % size.stages();
+        // Exercise the negative-digit branch too via the negative-dominant
+        // representation.
+        for tag in [
+            DistanceTag::natural(size, s, d),
+            DistanceTag::negative_dominant(size, s, d),
+        ] {
+            let mut ops = OpCount::default();
+            if let Some(new) = reroute_add(size, &tag, stage, &mut ops) {
+                prop_assert_eq!(new.value(size), tag.value(size));
+                prop_assert_eq!(new.trace(size, s).destination(size), d);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_bit_difference_always_delivers(
+        log2 in 1u32..=9,
+        s_seed in any::<usize>(),
+        d_seed in any::<usize>(),
+    ) {
+        let size = Size::from_stages(log2);
+        let s = s_seed & size.mask();
+        let d = d_seed & size.mask();
+        let tag = lee_lee::signed_bit_difference(size, s, d);
+        prop_assert_eq!(tag.trace(size, s).destination(size), d);
+    }
+
+    #[test]
+    fn representations_all_deliver_and_are_distinct(
+        log2 in 1u32..=5,
+        s_seed in any::<usize>(),
+        d_seed in any::<usize>(),
+    ) {
+        let size = Size::from_stages(log2);
+        let s = s_seed & size.mask();
+        let d = d_seed & size.mask();
+        let reps = parker_raghavendra::all_representations(size, s, d);
+        prop_assert!(!reps.is_empty());
+        let mut seen = std::collections::BTreeSet::new();
+        for rep in &reps {
+            prop_assert_eq!(rep.trace(size, s).destination(size), d);
+            prop_assert!(seen.insert(rep.digits().to_vec()));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! E6 — fault-tolerance evaluation cost: computing the routable fraction
+//! of all pairs under each routing scheme (the measurement kernel behind
+//! the fault-tolerance curves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iadm_analysis::reach::{routable_fraction, Scheme};
+use iadm_topology::Size;
+use std::hint::black_box;
+
+fn bench_fault_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_tolerance");
+    group.sample_size(20);
+    let size = Size::new(16).unwrap();
+    let blockages = iadm_bench::bench_blockages(size, 12, 5);
+    for scheme in Scheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("routable_fraction_n16", scheme.label()),
+            &scheme,
+            |b, &scheme| b.iter(|| black_box(routable_fraction(size, &blockages, scheme))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_tolerance);
+criterion_main!(benches);

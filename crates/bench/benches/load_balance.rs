@@ -1,0 +1,40 @@
+//! E7 — packet-simulator throughput per routing policy: cycles of the
+//! synchronous IADM simulator under uniform traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm_topology::Size;
+use std::hint::black_box;
+
+fn bench_load_balance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let cycles = 500usize;
+    group.throughput(Throughput::Elements(cycles as u64));
+    for policy in [
+        RoutingPolicy::FixedC,
+        RoutingPolicy::SsdtBalance,
+        RoutingPolicy::RandomSign,
+    ] {
+        for n in [16usize, 64] {
+            let config = SimConfig {
+                size: Size::new(n).unwrap(),
+                queue_capacity: 4,
+                cycles,
+                warmup: 50,
+                offered_load: 0.5,
+                seed: 1,
+            };
+            group.bench_with_input(BenchmarkId::new(format!("{policy:?}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let sim = Simulator::new(config, policy, TrafficPattern::Uniform);
+                    black_box(sim.run())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_balance);
+criterion_main!(benches);

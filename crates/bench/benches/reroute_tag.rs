@@ -1,0 +1,69 @@
+//! E2 — rerouting-tag computation cost: the paper's O(1) Corollary 4.1
+//! state-bit flip versus the O(log N) distance-tag recomputations of
+//! McMillen–Siegel \[9\]/\[10\] and the exhaustive enumeration of
+//! Parker–Raghavendra \[13\], swept across network sizes.
+//!
+//! The shape to observe: the Corollary 4.1 series is flat in N, the \[9\]
+//! and \[10\] series grow with log N, and the \[13\] series explodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iadm_baselines::mcmillen_siegel::reroute_twos_complement;
+use iadm_baselines::parker_raghavendra::all_representations_counted;
+use iadm_baselines::{DistanceTag, OpCount};
+use iadm_core::route::trace_tsdt;
+use iadm_core::TsdtTag;
+use iadm_topology::Size;
+use std::hint::black_box;
+
+fn bench_reroute_tag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reroute_tag");
+    for n in iadm_bench::SWEEP_SIZES {
+        let size = Size::new(n).unwrap();
+
+        // The paper's Corollary 4.1: one state-bit complement.
+        let tag = TsdtTag::new(size, 0);
+        group.bench_with_input(BenchmarkId::new("tsdt_corollary_4_1", n), &n, |b, _| {
+            b.iter(|| black_box(tag.corollary_4_1(black_box(0))))
+        });
+
+        // The paper's Corollary 4.2: k-stage backtrack (worst case k = n-1).
+        let path = trace_tsdt(size, 1, &tag);
+        group.bench_with_input(BenchmarkId::new("tsdt_corollary_4_2", n), &n, |b, _| {
+            b.iter(|| black_box(tag.corollary_4_2(&path, black_box(size.stages() - 1))))
+        });
+
+        // [9]: two's-complement representation switch, O(log N).
+        let dist_tag = DistanceTag::natural(size, 1, 0);
+        group.bench_with_input(BenchmarkId::new("ms_twos_complement", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ops = OpCount::default();
+                black_box(reroute_twos_complement(size, &dist_tag, 0, &mut ops))
+            })
+        });
+
+        // [13]: full enumeration of redundant representations (only up to
+        // moderate N; distance chosen as the worst-case alternating bits).
+        if n <= 512 {
+            let dest = {
+                // 0b0101…01 pattern within n bits.
+                let mut d = 0usize;
+                let mut i = 0;
+                while (1usize << i) < n {
+                    d |= 1 << i;
+                    i += 2;
+                }
+                d
+            };
+            group.bench_with_input(BenchmarkId::new("pr_enumeration", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut ops = OpCount::default();
+                    black_box(all_representations_counted(size, 0, dest, &mut ops))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reroute_tag);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E3 — universal rerouting under multiple blockages: Algorithm REROUTE
+//! versus the exhaustive BFS oracle, across network sizes and fault
+//! densities. REROUTE matches the oracle's verdicts (tested elsewhere);
+//! here we measure that it is also cheaper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iadm_analysis::oracle;
+use iadm_core::reroute::reroute;
+use iadm_topology::Size;
+use std::hint::black_box;
+
+fn bench_reroute_universal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reroute_universal");
+    for n in [16usize, 64, 256, 1024] {
+        let size = Size::new(n).unwrap();
+        // Fault 10% of the links.
+        let faults = 3 * n * size.stages() / 10;
+        let blockages = iadm_bench::bench_blockages(size, faults, 42);
+        let pairs = iadm_bench::bench_pairs(size, 32, 7);
+
+        group.bench_with_input(BenchmarkId::new("reroute", n), &n, |b, _| {
+            b.iter(|| {
+                for &(s, d) in &pairs {
+                    black_box(reroute(size, &blockages, s, d).ok());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oracle_bfs", n), &n, |b, _| {
+            b.iter(|| {
+                for &(s, d) in &pairs {
+                    black_box(oracle::find_free_path(size, &blockages, s, d));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pivot_oracle", n), &n, |b, _| {
+            b.iter(|| {
+                for &(s, d) in &pairs {
+                    black_box(iadm_core::pivot::pivot_oracle(size, &blockages, s, d));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reroute_universal);
+criterion_main!(benches);

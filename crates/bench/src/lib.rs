@@ -1,0 +1,50 @@
+//! Shared helpers for the benchmark harness and the `tables` experiment
+//! binary (see DESIGN.md's experiment index E1–E8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iadm_fault::scenario::{self, KindFilter};
+use iadm_fault::BlockageMap;
+use iadm_topology::Size;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The network sizes the complexity sweeps use.
+pub const SWEEP_SIZES: [usize; 6] = [8, 32, 128, 512, 2048, 4096];
+
+/// A deterministic blockage set of `count` faults for benchmarking.
+pub fn bench_blockages(size: Size, count: usize, seed: u64) -> BlockageMap {
+    scenario::random_faults(
+        &mut StdRng::seed_from_u64(seed),
+        size,
+        count,
+        KindFilter::Any,
+    )
+}
+
+/// A deterministic (source, destination) sample of `count` pairs.
+pub fn bench_pairs(size: Size, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                rand::Rng::gen_range(&mut rng, 0..size.n()),
+                rand::Rng::gen_range(&mut rng, 0..size.n()),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_are_deterministic() {
+        let size = Size::new(64).unwrap();
+        assert_eq!(bench_blockages(size, 10, 1), bench_blockages(size, 10, 1));
+        assert_eq!(bench_pairs(size, 5, 2), bench_pairs(size, 5, 2));
+        assert_eq!(bench_blockages(size, 10, 1).blocked_count(), 10);
+    }
+}

@@ -1,0 +1,261 @@
+//! The state model applied to the ADM network — and why the paper's
+//! destination-tag results are specific to the *IADM* orientation.
+//!
+//! The ADM network is the IADM with input and output sides interchanged
+//! (paper, Section 1): stage `i` of the ADM displaces by `±2^{n-1-i}` and
+//! therefore controls bit `n-1-i` of the address, most-significant first.
+//! Under all state `C` the analog of destination-tag routing works (the
+//! ADM emulates the embedded Generalized Cube, and `C` hops never carry).
+//! **But Theorem 3.1 does not transfer**: a `C̄` hop's carry/borrow
+//! propagates into *higher* bits — bits the MSB-first order has already
+//! fixed — so under general states the destination tag misdelivers. In
+//! the IADM the same carry lands in bits that later stages still control,
+//! which is exactly what makes Lemma 2.1's induction (and with it the
+//! whole paper) work. [`theorem_3_1_does_not_transfer_to_adm` in the
+//! tests] demonstrates the failure constructively.
+//!
+//! What *does* transfer is the reversal correspondence: a valid ADM path
+//! from `s` to `d` is a reversed IADM path from `d` to `s` with negated
+//! link signs ([`reverse_to_iadm`]), so ADM rerouting can always be done
+//! by running the paper's algorithms on the reversed problem.
+
+use crate::state::{NetworkState, SwitchState};
+use iadm_topology::{bit, LinkKind, Path, Size};
+
+/// The bit of the address that ADM stage `stage` controls: `n - 1 - stage`.
+#[inline]
+pub fn controlled_bit(size: Size, stage: usize) -> usize {
+    assert!(stage < size.stages(), "stage {stage} out of range");
+    size.stages() - 1 - stage
+}
+
+/// The ADM state-model routing function: the output link switch `j` of
+/// ADM stage `stage` drives a message onto, given tag bit `t` (the
+/// destination's bit `n-1-stage`) and the switch state.
+///
+/// # Panics
+///
+/// Panics if `t > 1` or `stage` is out of range.
+#[inline]
+pub fn route_kind_adm(
+    size: Size,
+    j: usize,
+    stage: usize,
+    t: usize,
+    state: SwitchState,
+) -> LinkKind {
+    assert!(t <= 1, "tag bit must be 0 or 1, got {t}");
+    let b = controlled_bit(size, stage);
+    let c_kind = match (bit(j, b) == 0, t) {
+        (true, 0) | (false, 1) => LinkKind::Straight,
+        (false, 0) => LinkKind::Minus,
+        (true, 1) => LinkKind::Plus,
+        _ => unreachable!(),
+    };
+    match state {
+        SwitchState::C => c_kind,
+        SwitchState::Cbar => c_kind.opposite(),
+    }
+}
+
+/// Traces a message from `source` toward `dest` through an ADM network in
+/// `state`, applying the destination address as an MSB-first tag.
+///
+/// Under all state `C` this delivers to `dest` for every pair; under
+/// states containing `C̄` it may **not** (see the module docs) — the
+/// returned path is the behavior, not a delivery guarantee.
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+pub fn trace_adm(size: Size, source: usize, dest: usize, state: &NetworkState) -> Path {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        let b = controlled_bit(size, stage);
+        let kind = route_kind_adm(size, sw, stage, bit(dest, b), state.get(stage, sw));
+        kinds.push(kind);
+        // ADM displacement: ±2^{n-1-stage}.
+        sw = kind.target(size, b, sw);
+    }
+    Path::new(source, kinds)
+}
+
+/// The switch the path occupies at `stage` — note [`Path::switch_at`]
+/// assumes IADM displacement, so ADM paths need this companion.
+pub fn adm_switch_at(size: Size, path: &Path, stage: usize) -> usize {
+    assert!(stage <= path.len(), "stage {stage} beyond path end");
+    let mut sw = path.source();
+    for (i, kind) in path.kinds()[..stage].iter().enumerate() {
+        sw = kind.target(size, controlled_bit(size, i), sw);
+    }
+    sw
+}
+
+/// The destination an ADM path reaches.
+pub fn adm_destination(size: Size, path: &Path) -> usize {
+    adm_switch_at(size, path, path.len())
+}
+
+/// Reverses an ADM path into the corresponding IADM path: the ADM path
+/// `(s ∈ S_0, …, d ∈ S_n)` using kind `k_i` at stage `i` becomes the IADM
+/// path `(d ∈ S_0, …, s ∈ S_n)` using the opposite kind at IADM stage
+/// `n-1-i`.
+pub fn reverse_to_iadm(size: Size, path: &Path) -> Path {
+    let dest = adm_destination(size, path);
+    let kinds: Vec<LinkKind> = path.kinds().iter().rev().map(|k| k.opposite()).collect();
+    Path::new(dest, kinds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_topology::{Adm, Multistage};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_c_destination_tags_deliver_on_the_adm() {
+        for n in [2usize, 4, 8, 16] {
+            let size = Size::new(n).unwrap();
+            let state = NetworkState::all_c(size);
+            for s in size.switches() {
+                for d in size.switches() {
+                    let path = trace_adm(size, s, d, &state);
+                    assert_eq!(adm_destination(size, &path), d, "N={n} s={s} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_1_does_not_transfer_to_adm() {
+        // The constructive counterexample promised by the module docs: a
+        // C̄ hop at an early (MSB) stage carries into already-fixed high
+        // bits and the destination tag misdelivers. This is the structural
+        // reason the paper develops its schemes on the IADM, not the ADM.
+        let size = Size::new(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut failures = 0usize;
+        let mut total = 0usize;
+        for _ in 0..10 {
+            let state = NetworkState::random(size, &mut rng);
+            for s in size.switches() {
+                for d in size.switches() {
+                    total += 1;
+                    if adm_destination(size, &trace_adm(size, s, d, &state)) != d {
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            failures > 0,
+            "ADM destination tags must fail under some states ({total} trials)"
+        );
+        // Contrast: the IADM never fails (Theorem 3.1), checked elsewhere.
+    }
+
+    #[test]
+    fn all_cbar_misdelivers_somewhere() {
+        let size = Size::new(8).unwrap();
+        let state = NetworkState::all_cbar(size);
+        let any_wrong = (0..8usize).any(|s| {
+            (0..8usize).any(|d| adm_destination(size, &trace_adm(size, s, d, &state)) != d)
+        });
+        assert!(any_wrong);
+    }
+
+    #[test]
+    fn reversal_correspondence_with_iadm() {
+        // A valid ADM path s -> d reverses into a valid IADM path d -> s.
+        let size = Size::new(8).unwrap();
+        let state = NetworkState::all_c(size);
+        let iadm = iadm_topology::Iadm::new(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let adm_path = trace_adm(size, s, d, &state);
+                let iadm_path = reverse_to_iadm(size, &adm_path);
+                assert_eq!(iadm_path.source(), d);
+                assert_eq!(iadm_path.destination(size), s);
+                iadm_path.validate(&iadm).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn adm_paths_are_valid_in_adm_topology() {
+        let size = Size::new(8).unwrap();
+        let net = Adm::new(size);
+        let state = NetworkState::all_c(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let path = trace_adm(size, s, d, &state);
+                // Validate hop by hop against the network's own targets.
+                let mut sw = s;
+                for (stage, &kind) in path.kinds().iter().enumerate() {
+                    assert!(net.has_link(stage, sw, kind));
+                    sw = net.link_target(stage, sw, kind);
+                }
+                assert_eq!(sw, d);
+            }
+        }
+    }
+
+    #[test]
+    fn all_c_adm_trace_emulates_generalized_cube() {
+        // Under all state C the ADM emulates the embedded Generalized
+        // Cube: each hop is the GC destination-tag hop.
+        use iadm_topology::GeneralizedCube;
+        let size = Size::new(16).unwrap();
+        let gc = GeneralizedCube::new(size);
+        let state = NetworkState::all_c(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let path = trace_adm(size, s, d, &state);
+                let mut sw = s;
+                for (stage, &kind) in path.kinds().iter().enumerate() {
+                    assert!(
+                        gc.has_link(stage, sw, kind),
+                        "all-C ADM hop must be a GC link (s={s} d={d} stage={stage})"
+                    );
+                    sw = gc.link_target(stage, sw, kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_flip_swaps_nonstraight_sign_only() {
+        // Theorem 3.2 analog on the ADM.
+        let size = Size::new(8).unwrap();
+        for j in size.switches() {
+            for stage in size.stage_indices() {
+                for t in 0..2usize {
+                    let c = route_kind_adm(size, j, stage, t, SwitchState::C);
+                    let cbar = route_kind_adm(size, j, stage, t, SwitchState::Cbar);
+                    if c == LinkKind::Straight {
+                        assert_eq!(cbar, LinkKind::Straight);
+                    } else {
+                        assert_eq!(cbar, c.opposite());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_bits_descend() {
+        let size = Size::new(16).unwrap();
+        let bits: Vec<usize> = size
+            .stage_indices()
+            .map(|i| controlled_bit(size, i))
+            .collect();
+        assert_eq!(bits, vec![3, 2, 1, 0]);
+    }
+}

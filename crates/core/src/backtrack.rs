@@ -1,0 +1,512 @@
+//! Algorithm BACKTRACK (paper, Section 5 and Appendix A2).
+//!
+//! BACKTRACK computes a TSDT rerouting tag around a *straight* or *double
+//! nonstraight* link blockage at stage `i` of the current routing path `P`,
+//! performing iterated backtracking when blockages also lie on the
+//! rerouting path. It returns updated state bits specifying a path that is
+//! blockage-free from stage 0 through stage `i`, or a [`FailReason`]
+//! proving that **no** blockage-free path exists for the
+//! source/destination pair (Appendix A2 proves each FAIL condition closes
+//! or makes unreachable all pivots of some stage — Lemma A2.2).
+//!
+//! The implementation transcribes the paper's steps 0–10 literally; the
+//! variable names `q`, `r`, `j` and the `linkfound` flag (here
+//! `Found::Plus` for the paper's `linkfound = 0`, `Found::Minus` for
+//! `linkfound = 1`) match the paper so the code can be read side by side
+//! with Appendix A2.
+
+use crate::tsdt::TsdtTag;
+use core::fmt;
+use iadm_fault::BlockageMap;
+use iadm_topology::{bit, bit_range, Link, LinkKind, Path, Size};
+
+/// Which sign of nonstraight link backtracking found at stage `r` on the
+/// original path (the paper's `linkfound` flag).
+///
+/// `Plus` (paper `linkfound = 0`): the path used `+2^r`, so the rerouting
+/// path descends through `-2^l` links on the `j - 2^l` side. `Minus`
+/// (paper `linkfound = 1`): the path used `-2^r`, so the rerouting path
+/// climbs through `+2^l` links on the `j + 2^l` side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Found {
+    Plus,
+    Minus,
+}
+
+impl Found {
+    /// The link kind the *rerouting* path uses while climbing/descending.
+    fn climb_kind(self) -> LinkKind {
+        match self {
+            Found::Plus => LinkKind::Minus,
+            Found::Minus => LinkKind::Plus,
+        }
+    }
+
+    /// The rerouting-path switch at stage `l`: `j - 2^l` (Plus) or
+    /// `j + 2^l` (Minus).
+    fn reroute_switch(self, size: Size, j: usize, l: usize) -> usize {
+        match self {
+            Found::Plus => size.sub(j, 1usize << l),
+            Found::Minus => size.add(j, 1usize << l),
+        }
+    }
+}
+
+/// Why BACKTRACK (and hence REROUTE) concluded that no blockage-free path
+/// exists. Each variant corresponds to a FAIL return in the paper's
+/// algorithm, and Appendix A2 proves each implies all pivots of some stage
+/// are closed or unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// Steps 1/8: no nonstraight link exists at any stage preceding the
+    /// blockage — the path prefix is forced and broken (Theorems 3.3/3.4,
+    /// "only if" direction).
+    NoPrecedingNonstraight {
+        /// The stage whose preceding stages were searched.
+        before_stage: usize,
+    },
+    /// Steps 4a/4b: every continuation at the blocked stage is itself
+    /// blocked, closing both pivots of that stage.
+    PivotsClosed {
+        /// The stage whose pivots are closed.
+        stage: usize,
+    },
+    /// Step 5: a link of the climb segment `Q̂` of the rerouting path is
+    /// blocked, closing one pivot and making the other unreachable.
+    ReroutePathBlocked {
+        /// The stage of the blocked climb link.
+        stage: usize,
+    },
+    /// Step 9: a deeper backtracking iteration found a nonstraight link of
+    /// the opposite sign, which Appendix A2 shows cannot lead to the
+    /// surviving pivot.
+    SignMismatch {
+        /// The stage where the wrong-signed nonstraight link was found.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::NoPrecedingNonstraight { before_stage } => write!(
+                f,
+                "no nonstraight link precedes stage {before_stage}; the path prefix is forced"
+            ),
+            FailReason::PivotsClosed { stage } => {
+                write!(f, "both pivots of stage {stage} are closed")
+            }
+            FailReason::ReroutePathBlocked { stage } => {
+                write!(f, "rerouting path blocked at stage {stage}")
+            }
+            FailReason::SignMismatch { stage } => write!(
+                f,
+                "oppositely signed nonstraight link at stage {stage} cannot reach the surviving pivot"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FailReason {}
+
+/// Sets state bits `b_{n+from} … b_{n+to-1}` per Corollary 4.2 / step 3:
+/// destination bits `d` for [`Found::Plus`], complemented for
+/// [`Found::Minus`].
+fn set_state_bits(tag: TsdtTag, from: usize, to: usize, found: Found) -> TsdtTag {
+    debug_assert!(from < to);
+    let field = bit_range(tag.dest(), from, to - 1);
+    let mask = (1usize << (to - from)) - 1;
+    let bits = match found {
+        Found::Plus => field,
+        Found::Minus => !field & mask,
+    };
+    tag.with_state_bits(from, to - 1, bits)
+}
+
+/// **Algorithm BACKTRACK** (paper, Section 5): given the current routing
+/// path `path` (a full path realizing `tag`), a straight or double
+/// nonstraight link blockage at stage `blocked_stage`, and the blockage
+/// map, returns a tag whose path is blockage-free from stage 0 through
+/// `blocked_stage`.
+///
+/// # Errors
+///
+/// Returns a [`FailReason`] when the blockages sever the source from the
+/// destination (in which case no blockage-free path exists at all).
+///
+/// # Panics
+///
+/// Panics if `path` is not a full path, if `blocked_stage` is out of range,
+/// or (debug builds) if the blockage at `blocked_stage` is not of the kind
+/// BACKTRACK handles (a free link or a single-nonstraight blockage belongs
+/// to Corollary 4.1 instead).
+pub fn backtrack(
+    blockages: &BlockageMap,
+    path: &Path,
+    blocked_stage: usize,
+    tag: TsdtTag,
+) -> Result<TsdtTag, FailReason> {
+    backtrack_bounded(blockages, path, blocked_stage, tag, usize::MAX).map_err(|e| match e {
+        BoundedFail::NoPath(reason) => reason,
+        BoundedFail::BudgetExceeded { .. } => {
+            unreachable!("an unbounded budget cannot be exceeded")
+        }
+    })
+}
+
+/// Why a bounded BACKTRACK gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedFail {
+    /// No blockage-free path exists (a genuine FAIL; see [`FailReason`]).
+    NoPath(FailReason),
+    /// Rerouting would require backtracking farther than the allowed
+    /// budget. A path may still exist — a sender-side (unbounded) REROUTE
+    /// would find it.
+    BudgetExceeded {
+        /// The backtrack distance `k = q - r` that was needed.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for BoundedFail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundedFail::NoPath(reason) => write!(f, "{reason}"),
+            BoundedFail::BudgetExceeded { needed } => {
+                write!(
+                    f,
+                    "rerouting needs {needed}-stage backtracking, beyond the budget"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundedFail {}
+
+/// [`backtrack`] with a *backtrack budget*: the paper notes that "whether
+/// rerouting is done by the sender or dynamically is an implementation
+/// decision which depends on how many stages of backtracking are allowed".
+/// A dynamic (in-network) implementation can only signal blockages back a
+/// limited number of stages; `max_backtrack` models that limit as the
+/// largest allowed distance `k = q - r` from any blockage handled to the
+/// stage the algorithm restarts from (measured from the *original*
+/// blocked stage, so iterated deeper backtracking also counts).
+///
+/// Returns the rerouting tag together with the largest backtrack distance
+/// actually used.
+///
+/// # Errors
+///
+/// [`BoundedFail::NoPath`] when no blockage-free path exists;
+/// [`BoundedFail::BudgetExceeded`] when one may exist but lies beyond the
+/// budget.
+///
+/// # Panics
+///
+/// As [`backtrack`].
+pub fn backtrack_bounded(
+    blockages: &BlockageMap,
+    path: &Path,
+    blocked_stage: usize,
+    tag: TsdtTag,
+    max_backtrack: usize,
+) -> Result<TsdtTag, BoundedFail> {
+    backtrack_impl(blockages, path, blocked_stage, tag, max_backtrack).map(|(tag, _)| tag)
+}
+
+/// [`backtrack_bounded`], also reporting the deepest backtrack distance
+/// used (for the E10 depth-distribution experiment).
+pub fn backtrack_measured(
+    blockages: &BlockageMap,
+    path: &Path,
+    blocked_stage: usize,
+    tag: TsdtTag,
+    max_backtrack: usize,
+) -> Result<(TsdtTag, usize), BoundedFail> {
+    backtrack_impl(blockages, path, blocked_stage, tag, max_backtrack)
+}
+
+fn backtrack_impl(
+    blockages: &BlockageMap,
+    path: &Path,
+    blocked_stage: usize,
+    tag: TsdtTag,
+    max_backtrack: usize,
+) -> Result<(TsdtTag, usize), BoundedFail> {
+    let size = tag.size();
+    assert!(path.is_full(size), "BACKTRACK requires a full routing path");
+    assert!(
+        blocked_stage < size.stages(),
+        "stage {blocked_stage} out of range"
+    );
+
+    // Step 0: q <- i; j is the switch on P whose output is blocked.
+    let mut q = blocked_stage;
+    let mut j = path.switch_at(size, q);
+    let kind_at_q = path.kind_at(q);
+    // BACKTRACK handles exactly the straight and double-nonstraight cases.
+    let mut straight_mode = kind_at_q == LinkKind::Straight;
+    debug_assert!(
+        blockages.is_blocked(Link::new(q, j, kind_at_q)),
+        "link at stage {q} is not blocked"
+    );
+    debug_assert!(
+        straight_mode || blockages.is_blocked(Link::new(q, j, kind_at_q.opposite())),
+        "single nonstraight blockage belongs to Corollary 4.1, not BACKTRACK"
+    );
+
+    // Step 1: backtrack on P from stage q for a nonstraight link.
+    let Some(mut r) = path.last_nonstraight_before(q) else {
+        return Err(BoundedFail::NoPath(FailReason::NoPrecedingNonstraight {
+            before_stage: q,
+        }));
+    };
+    // Backtrack-budget accounting: distances are measured from the
+    // original blocked stage, matching what a dynamic implementation's
+    // blockage signal would have to travel.
+    let mut max_used = blocked_stage - r;
+    if max_used > max_backtrack {
+        return Err(BoundedFail::BudgetExceeded { needed: max_used });
+    }
+    // Step 2: classify its sign.
+    let found = match path.kind_at(r) {
+        LinkKind::Plus => Found::Plus,
+        LinkKind::Minus => Found::Minus,
+        LinkKind::Straight => unreachable!("last_nonstraight_before returned a straight link"),
+    };
+    // Step 3: rewrite state bits r .. q-1 (Corollary 4.2).
+    let mut tag = set_state_bits(tag, r, q, found);
+
+    loop {
+        let w_q = found.reroute_switch(size, j, q);
+        if straight_mode {
+            // Step 4a (first iteration only, straight blockage at q on P):
+            // the rerouting path leaves w_q = j ∓ 2^q by a nonstraight
+            // link. Default: continue away from j (Lemma A1.2 gives the
+            // state bit); fall back to the link rejoining j; both blocked
+            // means both pivots of stage q are closed.
+            let (default_kind, default_bit) = match found {
+                Found::Plus => (LinkKind::Minus, bit(tag.dest(), q)),
+                Found::Minus => (LinkKind::Plus, 1 - bit(tag.dest(), q)),
+            };
+            let default_link = Link::new(q, w_q, default_kind);
+            if blockages.is_free(default_link) {
+                tag = tag.with_state_bit(q, default_bit);
+            } else if blockages.is_free(default_link.opposite()) {
+                tag = tag.with_state_bit(q, 1 - default_bit);
+            } else {
+                return Err(BoundedFail::NoPath(FailReason::PivotsClosed { stage: q }));
+            }
+        } else {
+            // Step 4b (double nonstraight blockage at q): the rerouting
+            // path must use the straight link of w_q; if it is blocked,
+            // both pivots of stage q are closed.
+            if blockages.is_blocked(Link::straight(q, w_q)) {
+                return Err(BoundedFail::NoPath(FailReason::PivotsClosed { stage: q }));
+            }
+        }
+
+        // Step 5: check the climb segment Q̂ (stages r+1 .. q-1) of the
+        // rerouting path; any blockage there is fatal.
+        for l in (r + 1)..q {
+            let w_l = found.reroute_switch(size, j, l);
+            if blockages.is_blocked(Link::new(l, w_l, found.climb_kind())) {
+                return Err(BoundedFail::NoPath(FailReason::ReroutePathBlocked {
+                    stage: l,
+                }));
+            }
+        }
+
+        // Step 6: check the stage-r link of the rerouting path (the state
+        // flip of the nonstraight link found in backtracking).
+        let w_r = found.reroute_switch(size, j, r);
+        if blockages.is_free(Link::new(r, w_r, found.climb_kind())) {
+            return Ok((tag, max_used));
+        }
+
+        // Step 7: deeper backtracking — the blocked switch is now w_r
+        // (P's switch at stage r), whose nonstraight outputs are dead.
+        j = w_r;
+        q = r;
+        straight_mode = false; // paper: "Go to step 4b."
+
+        // Step 8: search again for a nonstraight link before stage q.
+        let Some(r2) = path.last_nonstraight_before(q) else {
+            return Err(BoundedFail::NoPath(FailReason::NoPrecedingNonstraight {
+                before_stage: q,
+            }));
+        };
+        r = r2;
+        max_used = max_used.max(blocked_stage - r);
+        if max_used > max_backtrack {
+            return Err(BoundedFail::BudgetExceeded { needed: max_used });
+        }
+
+        // Step 9: the sign must match the first iteration's.
+        let kind_r = path.kind_at(r);
+        let matches = matches!(
+            (found, kind_r),
+            (Found::Plus, LinkKind::Plus) | (Found::Minus, LinkKind::Minus)
+        );
+        if !matches {
+            return Err(BoundedFail::NoPath(FailReason::SignMismatch { stage: r }));
+        }
+
+        // Step 10 (= step 3): rewrite state bits r .. q-1 and loop to 4b.
+        tag = set_state_bits(tag, r, q, found);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::trace_tsdt;
+    use iadm_fault::scenario;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    /// Helper: build the all-C tag and its path for (s, d).
+    fn base(size: Size, s: usize, d: usize) -> (TsdtTag, Path) {
+        let tag = TsdtTag::new(size, d);
+        let path = trace_tsdt(size, s, &tag);
+        (tag, path)
+    }
+
+    #[test]
+    fn paper_straight_blockage_example() {
+        // Figure 7 / Section 4 example (a): path (1,0,0,0), straight link
+        // (0∈S1, 0∈S2) blocked; rerouting must yield (1,2,4,0) or (1,2,0,0).
+        let size = size8();
+        let (tag, path) = base(size, 1, 0);
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(Link::straight(1, 0));
+        let new_tag = backtrack(&blockages, &path, 1, tag).unwrap();
+        let new_path = trace_tsdt(size, 1, &new_tag);
+        assert!(blockages.path_is_free(&new_path));
+        assert_eq!(new_path.destination(size), 0);
+        assert_eq!(new_path.switches(size)[..2], [1, 2]);
+    }
+
+    #[test]
+    fn paper_double_nonstraight_example() {
+        // Section 4 example (b): tag 000110 routes (1,2,4,0); both
+        // nonstraight outputs of 4∈S2 blocked; reroute gives (1,2,0,0).
+        let size = size8();
+        let tag = TsdtTag::with_state(size, 0, 0b011);
+        let path = trace_tsdt(size, 1, &tag);
+        assert_eq!(path.switches(size), vec![1, 2, 4, 0]);
+        let blockages = scenario::double_nonstraight(size, 2, 4);
+        let new_tag = backtrack(&blockages, &path, 2, tag).unwrap();
+        let new_path = trace_tsdt(size, 1, &new_tag);
+        assert!(blockages.path_is_free(&new_path));
+        assert_eq!(new_path.switches(size), vec![1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn all_straight_prefix_fails_immediately() {
+        // s == d: any straight blockage on the unique path is fatal.
+        let size = size8();
+        let (tag, path) = base(size, 5, 5);
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(Link::straight(2, 5));
+        assert_eq!(
+            backtrack(&blockages, &path, 2, tag),
+            Err(FailReason::NoPrecedingNonstraight { before_stage: 2 })
+        );
+    }
+
+    #[test]
+    fn pivots_closed_detected_for_straight_mode() {
+        // Straight blockage plus both alternatives at the pivot switch
+        // blocked -> PivotsClosed.
+        let size = size8();
+        let (tag, path) = base(size, 1, 0);
+        // Path (1,0,0,0); straight (0∈S1,0∈S2) blocked. Rerouting pivot at
+        // stage 1 is w_q = 0 - 2 = 6 ... for found=Minus (link -2^0 at
+        // stage 0), w_q = j + 2^q = 0 + 2 = 2. Block both its nonstraight
+        // outputs at stage 1.
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(Link::straight(1, 0));
+        blockages.block(Link::plus(1, 2));
+        blockages.block(Link::minus(1, 2));
+        assert_eq!(
+            backtrack(&blockages, &path, 1, tag),
+            Err(FailReason::PivotsClosed { stage: 1 })
+        );
+    }
+
+    #[test]
+    fn deeper_backtracking_succeeds() {
+        // Construct: path 1 -> 0 via (1,0,0,0). Straight blockage at stage
+        // 2 (0∈S2 -> 0∈S3). Backtracking finds -2^0 at stage 0 (r=0).
+        // Climb link at stage 1 (2∈S1 -> 4∈S2) also blocked -> step 6
+        // fires? No: r=0, q=2, climb stage 1 is step 5... block instead the
+        // stage-0 link of the rerouting path (1∈S0 -> 2∈S1) to force
+        // deeper backtracking, which must fail (no stage before 0).
+        let size = size8();
+        let (tag, path) = base(size, 1, 0);
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(Link::straight(2, 0));
+        blockages.block(Link::plus(0, 1));
+        assert_eq!(
+            backtrack(&blockages, &path, 2, tag),
+            Err(FailReason::NoPrecedingNonstraight { before_stage: 0 })
+        );
+    }
+
+    #[test]
+    fn climb_segment_blockage_fails() {
+        // Path (1,0,0,0), straight blocked at stage 2; climb goes
+        // 1 -(+)-> 2 -(+)-> 4 -> straight/± at stage 2. Block (2∈S1,4∈S2):
+        // step 5 detects Q̂ blocked.
+        let size = size8();
+        let (tag, path) = base(size, 1, 0);
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(Link::straight(2, 0));
+        blockages.block(Link::plus(1, 2));
+        assert_eq!(
+            backtrack(&blockages, &path, 2, tag),
+            Err(FailReason::ReroutePathBlocked { stage: 1 })
+        );
+    }
+
+    #[test]
+    fn result_path_prefix_is_blockage_free() {
+        // For a batch of random-ish scenarios, any Ok result must be
+        // blockage-free from stage 0 through the blocked stage and still
+        // reach the destination.
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                let (tag, path) = base(size, s, d);
+                for stage in 0..size.stages() {
+                    let link = path.link_at(size, stage);
+                    if link.kind != LinkKind::Straight {
+                        continue;
+                    }
+                    let mut blockages = BlockageMap::new(size);
+                    blockages.block(link);
+                    match backtrack(&blockages, &path, stage, tag) {
+                        Ok(new_tag) => {
+                            let new_path = trace_tsdt(size, s, &new_tag);
+                            assert_eq!(new_path.destination(size), d);
+                            for l in 0..=stage {
+                                assert!(
+                                    blockages.is_free(new_path.link_at(size, l)),
+                                    "s={s} d={d} blocked stage {stage}: reroute reuses blocked link"
+                                );
+                            }
+                        }
+                        Err(_) => {
+                            // Only acceptable when the prefix is forced.
+                            assert_eq!(path.last_nonstraight_before(stage), None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

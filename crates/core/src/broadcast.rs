@@ -1,0 +1,268 @@
+//! One-to-many (multicast/broadcast) routing under the state model.
+//!
+//! The paper notes that an IADM switch "selects one of its three input
+//! links and connects it to *one or more* of its three output links" and
+//! then sets broadcast aside ("this paper considers only one-to-one and
+//! permutation routing"). This module supplies the natural completion: a
+//! destination-tag multicast tree.
+//!
+//! The construction follows from Lemma 2.1 exactly as in cube networks: a
+//! message at stage `i` holding a destination *set* splits on bit `i` —
+//! destinations whose bit `i` matches the current switch's parity continue
+//! straight, the rest leave on a nonstraight link (its sign chosen by the
+//! switch state, as in one-to-one routing). Every copy's tag is just the
+//! destination subset; no distance computation appears anywhere, in the
+//! spirit of the paper's schemes.
+
+use crate::connect::route_kind;
+use crate::state::NetworkState;
+use iadm_topology::{bit, LayeredGraph, Link, Size};
+use std::collections::BTreeMap;
+
+/// A multicast tree: the set of links used, organized per stage, plus the
+/// destination set served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastTree {
+    size: Size,
+    source: usize,
+    destinations: Vec<usize>,
+    /// links[stage] = links used at that stage.
+    links: Vec<Vec<Link>>,
+}
+
+impl MulticastTree {
+    /// The source port.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The destinations served, sorted ascending.
+    pub fn destinations(&self) -> &[usize] {
+        &self.destinations
+    }
+
+    /// All links of the tree, in stage order.
+    pub fn links(&self) -> Vec<Link> {
+        self.links.iter().flatten().copied().collect()
+    }
+
+    /// Links used at one stage.
+    pub fn links_at(&self, stage: usize) -> &[Link] {
+        &self.links[stage]
+    }
+
+    /// Total link count — the tree's cost.
+    pub fn link_count(&self) -> usize {
+        self.links.iter().map(Vec::len).sum()
+    }
+
+    /// The tree as a layered graph (for rendering or overlap analysis).
+    pub fn to_graph(&self) -> LayeredGraph {
+        let mut g = LayeredGraph::new(self.size);
+        for link in self.links() {
+            g.insert(link);
+        }
+        g
+    }
+}
+
+/// Builds the destination-tag multicast tree from `source` to
+/// `destinations` under `state`.
+///
+/// At each stage every active copy splits its destination set on the
+/// stage's bit; the copy bound for matching-bit destinations goes
+/// straight, the other copy takes the nonstraight link the switch state
+/// selects. By Lemma 2.1 each leaf ends exactly at its destination.
+///
+/// # Panics
+///
+/// Panics if `source` or any destination is `>= N`, or if `destinations`
+/// is empty.
+///
+/// # Example
+///
+/// ```
+/// use iadm_core::broadcast::multicast_tree;
+/// use iadm_core::NetworkState;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let tree = multicast_tree(size, 1, &[0, 5, 7], &NetworkState::all_c(size));
+/// assert_eq!(tree.destinations(), &[0, 5, 7]);
+/// // A tree serving 3 leaves over 3 stages uses at most 3 links/stage.
+/// assert!(tree.link_count() <= 9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn multicast_tree(
+    size: Size,
+    source: usize,
+    destinations: &[usize],
+    state: &NetworkState,
+) -> MulticastTree {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(!destinations.is_empty(), "destination set must be nonempty");
+    for &d in destinations {
+        assert!(d < size.n(), "destination {d} out of range for {size}");
+    }
+    let mut dests: Vec<usize> = destinations.to_vec();
+    dests.sort_unstable();
+    dests.dedup();
+
+    // Active copies: switch -> destination subset (sorted).
+    let mut copies: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    copies.insert(source, dests.clone());
+    let mut links: Vec<Vec<Link>> = Vec::with_capacity(size.stages());
+
+    for stage in size.stage_indices() {
+        let mut stage_links = Vec::new();
+        let mut next: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (sw, subset) in copies {
+            // Split on bit `stage`: one group per tag-bit value actually
+            // present.
+            for t in 0..2usize {
+                let group: Vec<usize> = subset
+                    .iter()
+                    .copied()
+                    .filter(|&d| bit(d, stage) == t)
+                    .collect();
+                if group.is_empty() {
+                    continue;
+                }
+                let kind = route_kind(sw, stage, t, state.get(stage, sw));
+                let link = Link::new(stage, sw, kind);
+                stage_links.push(link);
+                let to = link.target(size);
+                next.entry(to).or_default().extend(group);
+            }
+        }
+        for subset in next.values_mut() {
+            subset.sort_unstable();
+        }
+        links.push(stage_links);
+        copies = next;
+    }
+    // Each surviving copy must sit exactly on its destination.
+    debug_assert!(copies
+        .iter()
+        .all(|(&sw, subset)| subset.iter().all(|&d| d == sw)));
+    MulticastTree {
+        size,
+        source,
+        destinations: dests,
+        links,
+    }
+}
+
+/// Broadcast to every port: the full spanning tree from `source`.
+pub fn broadcast_tree(size: Size, source: usize, state: &NetworkState) -> MulticastTree {
+    let all: Vec<usize> = size.switches().collect();
+    multicast_tree(size, source, &all, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::trace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    /// The tree must contain, for each destination, the unicast path the
+    /// same state would route (the tree is exactly the union of them).
+    #[test]
+    fn tree_is_union_of_unicast_paths() {
+        let size = size8();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5 {
+            let state = NetworkState::random(size, &mut rng);
+            for source in size.switches() {
+                let dests = [0usize, 3, 4, 6];
+                let tree = multicast_tree(size, source, &dests, &state);
+                let g = tree.to_graph();
+                let mut union = LayeredGraph::new(size);
+                for &d in &dests {
+                    for link in trace(size, source, d, &state).links(size) {
+                        union.insert(link);
+                    }
+                }
+                assert_eq!(g, union, "source {source}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_destination_degenerates_to_unicast() {
+        let size = size8();
+        let state = NetworkState::all_c(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let tree = multicast_tree(size, s, &[d], &state);
+                let path_links = trace(size, s, d, &state).links(size);
+                assert_eq!(tree.links(), path_links);
+                assert_eq!(tree.link_count(), size.stages());
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ports_with_n_minus_1_splits() {
+        // A full broadcast tree over n stages doubles its copies wherever
+        // needed: total links = N-1 splits + ... exactly sum_{i} 2^{i+1}/
+        // ... simply: stage i serves min(2^{i+1}, N) copies; total links =
+        // 2 + 4 + ... + N = 2N - 2.
+        for n in [2usize, 4, 8, 16, 32] {
+            let size = Size::new(n).unwrap();
+            let state = NetworkState::all_c(size);
+            for s in [0usize, n / 2, n - 1] {
+                let tree = broadcast_tree(size, s, &state);
+                assert_eq!(tree.destinations().len(), n);
+                assert_eq!(tree.link_count(), 2 * n - 2, "N={n} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_destinations_are_deduplicated() {
+        let size = size8();
+        let state = NetworkState::all_c(size);
+        let tree = multicast_tree(size, 2, &[5, 5, 5, 1], &state);
+        assert_eq!(tree.destinations(), &[1, 5]);
+    }
+
+    #[test]
+    fn tree_cost_is_at_most_sum_of_paths() {
+        let size = Size::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let state = NetworkState::random(size, &mut rng);
+            let dests = [1usize, 2, 3, 9, 14];
+            let tree = multicast_tree(size, 0, &dests, &state);
+            assert!(tree.link_count() <= dests.len() * size.stages());
+            // And sharing must actually happen from a common source.
+            assert!(tree.link_count() < dests.len() * size.stages());
+        }
+    }
+
+    #[test]
+    fn per_stage_links_expose_fanout() {
+        let size = size8();
+        let state = NetworkState::all_c(size);
+        let tree = broadcast_tree(size, 0, &state);
+        // Stage 0 has at most 2 links, stage 1 at most 4, stage 2 at most 8.
+        for (stage, expect_max) in [(0usize, 2usize), (1, 4), (2, 8)] {
+            assert!(tree.links_at(stage).len() <= expect_max);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_destination_set_rejected() {
+        let size = size8();
+        let _ = multicast_tree(size, 0, &[], &NetworkState::all_c(size));
+    }
+}

@@ -1,0 +1,240 @@
+//! The connection functions of the state model (paper, Section 2).
+//!
+//! A switch `j` of stage `i` is an `even_i` switch if bit `i` of `j` is 0
+//! and an `odd_i` switch if it is 1. The functions `ΔC_i` and `ΔC̄_i` give
+//! the signed displacement a message takes at stage `i` as a function of
+//! the switch parity and the tag bit `t_i`:
+//!
+//! ```text
+//!            ΔC_i(j, t_i) = 0      if even_i and t_i = 0, or odd_i and t_i = 1
+//!                           -2^i   if odd_i  and t_i = 0
+//!                           +2^i   if even_i and t_i = 1
+//!            ΔC̄_i(j, t_i) = -ΔC_i(j, t_i)
+//! ```
+//!
+//! and `C_i(j,t) = j + ΔC_i(j,t)`, `C̄_i(j,t) = j + ΔC̄_i(j,t)` (mod N).
+//!
+//! Lemma 2.1: both `C_i` and `C̄_i` set bit `i` of the result to `t_i`; `C_i`
+//! leaves all other bits unchanged, while `C̄_i` may alter bits above `i`
+//! through carry/borrow propagation.
+
+use crate::state::SwitchState;
+use iadm_topology::{bit, LinkKind, Size};
+
+/// Is `j` an `even_i` switch at stage `stage` (bit `stage` of `j` is 0)?
+///
+/// ```
+/// assert!(iadm_core::is_even(0b010, 0));
+/// assert!(!iadm_core::is_even(0b010, 1));
+/// ```
+#[inline]
+pub fn is_even(j: usize, stage: usize) -> bool {
+    bit(j, stage) == 0
+}
+
+/// The link kind selected by `ΔC_i(j, t)`: straight when the tag bit equals
+/// the switch parity bit, otherwise the nonstraight link that writes `t`
+/// into bit `i` *without* disturbing other bits.
+///
+/// # Panics
+///
+/// Panics if `t > 1`.
+#[inline]
+pub fn delta_c_kind(j: usize, stage: usize, t: usize) -> LinkKind {
+    assert!(t <= 1, "tag bit must be 0 or 1, got {t}");
+    match (is_even(j, stage), t) {
+        (true, 0) | (false, 1) => LinkKind::Straight,
+        (false, 0) => LinkKind::Minus,
+        (true, 1) => LinkKind::Plus,
+        _ => unreachable!(),
+    }
+}
+
+/// The link kind selected by `ΔC̄_i(j, t) = -ΔC_i(j, t)`.
+///
+/// # Panics
+///
+/// Panics if `t > 1`.
+#[inline]
+pub fn delta_cbar_kind(j: usize, stage: usize, t: usize) -> LinkKind {
+    delta_c_kind(j, stage, t).opposite()
+}
+
+/// `C_i(j, t) = j + ΔC_i(j, t) mod N`: the stage-`i+1` switch reached in
+/// state `C`. By Lemma 2.1 this is `j` with bit `i` replaced by `t`.
+#[inline]
+pub fn c(size: Size, stage: usize, j: usize, t: usize) -> usize {
+    delta_c_kind(j, stage, t).target(size, stage, j)
+}
+
+/// `C̄_i(j, t) = j + ΔC̄_i(j, t) mod N`: the stage-`i+1` switch reached in
+/// state `C̄`. By Lemma 2.1 bit `i` of the result is `t`, but bits above `i`
+/// may change by carry propagation.
+#[inline]
+pub fn cbar(size: Size, stage: usize, j: usize, t: usize) -> usize {
+    delta_cbar_kind(j, stage, t).target(size, stage, j)
+}
+
+/// The heart of the state model: the output link a switch drives a message
+/// onto, as a function of its parity (`even_i`/`odd_i`, from `j` and
+/// `stage`), its state, and the tag bit `t` (the paper's Figure 4 table).
+///
+/// * tag bit equal to the switch parity bit → straight link (either state);
+/// * otherwise → the nonstraight link, whose sign the state selects.
+///
+/// # Panics
+///
+/// Panics if `t > 1`.
+///
+/// ```
+/// use iadm_core::{route_kind, SwitchState};
+/// use iadm_topology::LinkKind;
+///
+/// // odd_0 switch (j=1), t=0: state C takes -2^0, state C̄ takes +2^0.
+/// assert_eq!(route_kind(1, 0, 0, SwitchState::C), LinkKind::Minus);
+/// assert_eq!(route_kind(1, 0, 0, SwitchState::Cbar), LinkKind::Plus);
+/// // tag bit matching parity goes straight regardless of state.
+/// assert_eq!(route_kind(1, 0, 1, SwitchState::C), LinkKind::Straight);
+/// assert_eq!(route_kind(1, 0, 1, SwitchState::Cbar), LinkKind::Straight);
+/// ```
+#[inline]
+pub fn route_kind(j: usize, stage: usize, t: usize, state: SwitchState) -> LinkKind {
+    match state {
+        SwitchState::C => delta_c_kind(j, stage, t),
+        SwitchState::Cbar => delta_cbar_kind(j, stage, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_topology::BitsExt;
+    use proptest::prelude::*;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn delta_c_matches_paper_case_table() {
+        // even_i, t=0 -> 0 ; odd_i, t=1 -> 0 ; odd_i, t=0 -> -2^i ;
+        // even_i, t=1 -> +2^i.
+        assert_eq!(delta_c_kind(0b000, 1, 0), LinkKind::Straight);
+        assert_eq!(delta_c_kind(0b010, 1, 1), LinkKind::Straight);
+        assert_eq!(delta_c_kind(0b010, 1, 0), LinkKind::Minus);
+        assert_eq!(delta_c_kind(0b000, 1, 1), LinkKind::Plus);
+    }
+
+    #[test]
+    fn delta_cbar_is_negated_delta_c() {
+        for j in 0..8usize {
+            for stage in 0..3 {
+                for t in 0..2 {
+                    assert_eq!(
+                        delta_cbar_kind(j, stage, t),
+                        delta_c_kind(j, stage, t).opposite()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_1_c_replaces_only_bit_i() {
+        let size = Size::new(64).unwrap();
+        for j in size.switches() {
+            for stage in size.stage_indices() {
+                for t in 0..2 {
+                    let to = c(size, stage, j, t);
+                    assert_eq!(to, j.with_bit(stage, t) & size.mask());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_1_cbar_sets_bit_i_preserves_low_bits() {
+        let size = Size::new(64).unwrap();
+        for j in size.switches() {
+            for stage in size.stage_indices() {
+                for t in 0..2 {
+                    let to = cbar(size, stage, j, t);
+                    assert_eq!(bit(to, stage), t, "bit {stage} of C̄({j},{t})");
+                    if stage > 0 {
+                        assert_eq!(
+                            to.bit_range(0, stage - 1),
+                            j.bit_range(0, stage - 1),
+                            "low bits must be preserved"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c_and_cbar_agree_exactly_when_straight() {
+        let size = size8();
+        for j in size.switches() {
+            for stage in size.stage_indices() {
+                for t in 0..2 {
+                    let same = c(size, stage, j, t) == cbar(size, stage, j, t);
+                    let straight = delta_c_kind(j, stage, t) == LinkKind::Straight;
+                    // At the last stage ±2^{n-1} coincide mod N, so the
+                    // targets agree even for nonstraight kinds.
+                    if stage == size.stages() - 1 {
+                        assert!(same);
+                    } else {
+                        assert_eq!(same, straight, "j={j} stage={stage} t={t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_even_odd_pair_link_sets() {
+        // Figure 4, N=8, stage i: an even_i switch offers {straight, +2^i}
+        // under C and {straight, -2^i} under C̄; odd_i mirrored.
+        let stage = 1;
+        let even = 0b001; // bit 1 = 0
+        let odd = 0b011; // bit 1 = 1
+        assert_eq!(
+            route_kind(even, stage, 0, SwitchState::C),
+            LinkKind::Straight
+        );
+        assert_eq!(route_kind(even, stage, 1, SwitchState::C), LinkKind::Plus);
+        assert_eq!(
+            route_kind(even, stage, 1, SwitchState::Cbar),
+            LinkKind::Minus
+        );
+        assert_eq!(
+            route_kind(odd, stage, 1, SwitchState::C),
+            LinkKind::Straight
+        );
+        assert_eq!(route_kind(odd, stage, 0, SwitchState::C), LinkKind::Minus);
+        assert_eq!(route_kind(odd, stage, 0, SwitchState::Cbar), LinkKind::Plus);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_theorem_3_2_state_change_swaps_nonstraight_only(
+            log2 in 1u32..8,
+            j in any::<usize>(),
+            stage_seed in any::<usize>(),
+            t in 0usize..2,
+        ) {
+            let size = Size::from_stages(log2);
+            let j = j & size.mask();
+            let stage = stage_seed % size.stages();
+            let kc = route_kind(j, stage, t, SwitchState::C);
+            let kcbar = route_kind(j, stage, t, SwitchState::Cbar);
+            if kc == LinkKind::Straight {
+                prop_assert_eq!(kcbar, LinkKind::Straight);
+            } else {
+                prop_assert_eq!(kcbar, kc.opposite());
+                prop_assert!(kcbar.is_nonstraight());
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Classic destination-tag routing on the ICube network.
+//!
+//! The ICube network is the `state C` shadow of the IADM network: switch
+//! `j` of stage `i` sends a message toward `C_i(j, d_i)`. There is exactly
+//! one path per (source, destination) pair and no rerouting is possible —
+//! which is precisely why the paper treats the IADM network as a
+//! fault-tolerant ICube network.
+
+use crate::connect::delta_c_kind;
+use iadm_topology::{bit, Path, Size};
+
+/// The unique ICube routing path from `source` to `dest`.
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+///
+/// ```
+/// use iadm_core::icube_routing::route;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let path = route(size, 0b110, 0b011);
+/// assert_eq!(path.switches(size), vec![0b110, 0b111, 0b111, 0b011]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn route(size: Size, source: usize, dest: usize) -> Path {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        let kind = delta_c_kind(sw, stage, bit(dest, stage));
+        kinds.push(kind);
+        sw = kind.target(size, stage, sw);
+    }
+    Path::new(source, kinds)
+}
+
+/// The switch the ICube path from `source` to `dest` occupies at `stage`:
+/// `d_{0/stage-1} s_{stage/n-1}` (low bits already corrected, high bits
+/// still the source's).
+pub fn switch_at(size: Size, source: usize, dest: usize, stage: usize) -> usize {
+    assert!(stage <= size.stages(), "stage {stage} out of range");
+    let low_mask = (1usize << stage).wrapping_sub(1) & size.mask();
+    ((dest & low_mask) | (source & !low_mask)) & size.mask()
+}
+
+/// Do the ICube paths of two (source, destination) pairs collide on a
+/// switch (and hence on the single input a non-crossbar switch can serve)?
+///
+/// Two paths conflict at stage `k` iff their stage-`k` switches coincide
+/// but they arrived from different stage-`k-1` switches — used by
+/// `iadm-permute` to decide cube-admissibility of permutations.
+pub fn paths_conflict(size: Size, a: (usize, usize), b: (usize, usize)) -> bool {
+    if a == b {
+        return false;
+    }
+    for stage in 1..=size.stages() {
+        let sw_a = switch_at(size, a.0, a.1, stage);
+        let sw_b = switch_at(size, b.0, b.1, stage);
+        if sw_a == sw_b {
+            let prev_a = switch_at(size, a.0, a.1, stage - 1);
+            let prev_b = switch_at(size, b.0, b.1, stage - 1);
+            if prev_a != prev_b {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::trace;
+    use crate::state::NetworkState;
+    use iadm_topology::ICube;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn reaches_destination_for_all_pairs() {
+        let size = Size::new(32).unwrap();
+        for s in size.switches() {
+            for d in size.switches() {
+                let p = route(size, s, d);
+                assert_eq!(p.destination(size), d);
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_valid_in_icube_topology() {
+        let size = size8();
+        let net = ICube::new(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                route(size, s, d).validate(&net).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn matches_iadm_trace_under_all_c() {
+        let size = Size::new(16).unwrap();
+        let all_c = NetworkState::all_c(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                assert_eq!(route(size, s, d), trace(size, s, d, &all_c));
+            }
+        }
+    }
+
+    #[test]
+    fn switch_at_matches_route() {
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                let switches = route(size, s, d).switches(size);
+                for (stage, &sw) in switches.iter().enumerate() {
+                    assert_eq!(switch_at(size, s, d, stage), sw);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_paths_never_conflict() {
+        let size = size8();
+        for a in size.switches() {
+            for b in size.switches() {
+                assert!(!paths_conflict(size, (a, a), (b, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn known_conflicting_pair() {
+        // 0 -> 0 and 1 -> 0 merge at stage 1 arriving from different
+        // switches: conflict.
+        assert!(paths_conflict(size8(), (0, 0), (1, 0)));
+        // 0 -> 0 and 1 -> 1 never share a switch: no conflict.
+        assert!(!paths_conflict(size8(), (0, 0), (1, 1)));
+    }
+}

@@ -1,0 +1,69 @@
+//! State-model destination-tag routing for the IADM network.
+//!
+//! This crate implements the primary contribution of Rau, Fortes and Siegel,
+//! *"Destination Tag Routing Techniques Based on a State Model for the IADM
+//! Network"* (ISCA 1988):
+//!
+//! * the **state model** itself — `even_i`/`odd_i` switches, switch states
+//!   `C` and `C̄`, and the connection functions `ΔC_i`, `ΔC̄_i`, `C_i`,
+//!   `C̄_i` of Section 2 ([`connect`], [`state`]);
+//! * **destination-tag routing** under any network state (Theorem 3.1:
+//!   the destination address is the unique destination tag) ([`route`]);
+//! * the **SSDT scheme** — Self-repairing State-based Destination Tag
+//!   routing, where a switch evades a blocked nonstraight link by flipping
+//!   its own state, transparently to the sender ([`ssdt`]);
+//! * the **TSDT scheme** — Two-bit State-based Destination Tag routing with
+//!   2n-bit tags carrying a destination bit and a state bit per stage,
+//!   including the O(1) rerouting of Corollary 4.1 and the k-stage
+//!   backtracking of Corollary 4.2 ([`tsdt`]);
+//! * **Algorithm BACKTRACK** and the universal rerouting **Algorithm
+//!   REROUTE** of Section 5, which find a blockage-free path for any
+//!   combination of blockages whenever one exists ([`backtrack`],
+//!   [`reroute()`]);
+//! * the **pivot theory** of Appendix A2 (Lemma A2.1) used in the
+//!   algorithms' correctness proofs ([`pivot`]);
+//! * classic destination-tag routing on the embedded ICube network
+//!   ([`icube_routing`]), and the state model transferred to the ADM
+//!   network ([`adm_routing`]) per the paper's concluding remark.
+//!
+//! # Quick start
+//!
+//! ```
+//! use iadm_core::reroute::reroute;
+//! use iadm_core::route::trace_tsdt;
+//! use iadm_fault::BlockageMap;
+//! use iadm_topology::{Link, Size};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let size = Size::new(8)?;
+//! let mut blockages = BlockageMap::new(size);
+//! // Figure 7 of the paper: route from 1 to 0; links (1∈S0,0∈S1) and
+//! // (2∈S1,0∈S2) are blocked.
+//! blockages.block(Link::minus(0, 1));
+//! blockages.block(Link::minus(1, 2));
+//! let tag = reroute(size, &blockages, 1, 0)?;
+//! let path = trace_tsdt(size, 1, &tag);
+//! assert_eq!(path.switches(size), vec![1, 2, 4, 0]); // the paper's reroute
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adm_routing;
+pub mod backtrack;
+pub mod broadcast;
+pub mod connect;
+pub mod icube_routing;
+pub mod pivot;
+pub mod reroute;
+pub mod route;
+pub mod ssdt;
+pub mod state;
+pub mod tsdt;
+
+pub use connect::{c, cbar, delta_c_kind, delta_cbar_kind, is_even, route_kind};
+pub use reroute::{reroute, RerouteError};
+pub use state::{NetworkState, SwitchState};
+pub use tsdt::TsdtTag;

@@ -1,0 +1,323 @@
+//! Pivot theory (paper, Appendix A2, Lemma A2.1).
+//!
+//! For a given source/destination pair, a *pivot* at stage `k` is a switch
+//! that lies on at least one routing path for the pair; every routing path
+//! must pass through a pivot at every stage. Lemma A2.1: with `k̂` the
+//! smallest stage at which some routing path uses a nonstraight link, there
+//! is exactly one pivot at stages `0..=k̂` and exactly two pivots (at mutual
+//! distance `2^k`) at stages `k̂+1..=n-1`.
+//!
+//! Pivots drive the FAIL-correctness of Algorithm BACKTRACK: if all pivots
+//! of some stage are closed (all participating output links blocked) or
+//! unreachable, no blockage-free path exists (Lemma A2.2).
+
+use iadm_topology::Size;
+
+/// The pivots of one stage for a source/destination pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pivots {
+    /// The pivot on the all-`C` (ICube-emulating) routing path:
+    /// `d_{0/k-1} s_{k/n-1}`.
+    pub primary: usize,
+    /// The second pivot, `primary ± 2^k`, present only at stages above
+    /// `k̂`.
+    pub secondary: Option<usize>,
+}
+
+impl Pivots {
+    /// Both pivots as a small vector.
+    pub fn to_vec(self) -> Vec<usize> {
+        match self.secondary {
+            Some(s) => vec![self.primary, s],
+            None => vec![self.primary],
+        }
+    }
+
+    /// Is `switch` a pivot of this stage?
+    pub fn contains(self, switch: usize) -> bool {
+        self.primary == switch || self.secondary == Some(switch)
+    }
+}
+
+/// The smallest stage `k̂` at which some routing path from `s` to `d` uses
+/// a nonstraight link, or `None` when `s == d` (the unique path is all
+/// straight and *no* stage carries a nonstraight link).
+///
+/// Every signed-digit representation of the distance `D = (d - s) mod N`
+/// has its lowest nonzero digit at the 2-adic valuation of `D`, so
+/// `k̂ = v₂(D)`.
+///
+/// ```
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// assert_eq!(iadm_core::pivot::k_hat(size, 1, 0), Some(0)); // D = 7
+/// assert_eq!(iadm_core::pivot::k_hat(size, 0, 4), Some(2)); // D = 4
+/// assert_eq!(iadm_core::pivot::k_hat(size, 5, 5), None);    // D = 0
+/// # Ok(())
+/// # }
+/// ```
+pub fn k_hat(size: Size, s: usize, d: usize) -> Option<usize> {
+    let dist = size.sub(d, s);
+    if dist == 0 {
+        None
+    } else {
+        Some(dist.trailing_zeros() as usize)
+    }
+}
+
+/// The pivots of `stage` (`0..=n`) for the pair `(s, d)` (Lemma A2.1).
+///
+/// A stage-`k` switch `w` is a pivot iff (a) the destination is reachable
+/// from it, which by Lemma 2.1 forces `w ≡ d (mod 2^k)`, and (b) it is
+/// reachable from `s` with displacements `±2^i`, `i < k`, which bounds the
+/// displacement magnitude below `2^k`. That leaves `s + (D mod 2^k)` and,
+/// when `D mod 2^k ≠ 0`, also `s + (D mod 2^k) - 2^k`.
+///
+/// # Panics
+///
+/// Panics if `stage > n`, or `s`/`d` out of range.
+pub fn pivots(size: Size, s: usize, d: usize, stage: usize) -> Pivots {
+    assert!(stage <= size.stages(), "stage {stage} out of range");
+    assert!(s < size.n() && d < size.n(), "address out of range");
+    if stage == size.stages() {
+        // Output column: only the destination itself.
+        return Pivots {
+            primary: d,
+            secondary: None,
+        };
+    }
+    let dist = size.sub(d, s);
+    let m = dist & ((1usize << stage) - 1);
+    let primary = size.add(s, m);
+    if m == 0 {
+        Pivots {
+            primary,
+            secondary: None,
+        }
+    } else {
+        Pivots {
+            primary,
+            secondary: Some(size.sub(primary, 1usize << stage)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_topology::bit_range;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn k_hat_matches_two_adic_valuation() {
+        let size = Size::new(16).unwrap();
+        for s in size.switches() {
+            for d in size.switches() {
+                let dist = size.sub(d, s);
+                let expect = if dist == 0 {
+                    None
+                } else {
+                    Some(dist.trailing_zeros() as usize)
+                };
+                assert_eq!(k_hat(size, s, d), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn single_pivot_at_and_below_k_hat() {
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                let khat = k_hat(size, s, d);
+                for stage in 0..=size.stages() {
+                    let p = pivots(size, s, d, stage);
+                    let expect_single = match khat {
+                        None => true,
+                        Some(k) => stage <= k || stage == size.stages(),
+                    };
+                    assert_eq!(
+                        p.secondary.is_none(),
+                        expect_single,
+                        "s={s} d={d} stage={stage}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primary_pivot_is_d_low_s_high() {
+        // Lemma A2.1: the pivot on the all-C path at stage k is
+        // d_{0/k-1} s_{k/n-1}.
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                for stage in 0..size.stages() {
+                    let p = pivots(size, s, d, stage);
+                    let expected = if stage == 0 {
+                        s
+                    } else {
+                        let low = bit_range(d, 0, stage - 1);
+                        (s & !((1 << stage) - 1)) | low
+                    };
+                    // Note: primary = s + (D mod 2^stage); this may carry
+                    // into high bits. Lemma A2.1's pivot formula holds
+                    // *as a set with the secondary*: the all-C path switch
+                    // must be one of the two pivots.
+                    let icube_switch = expected & size.mask();
+                    assert!(
+                        p.contains(icube_switch),
+                        "s={s} d={d} stage={stage}: all-C switch {icube_switch} not in {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_pair_distance_is_two_to_stage() {
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                for stage in 0..size.stages() {
+                    let p = pivots(size, s, d, stage);
+                    if let Some(sec) = p.secondary {
+                        assert_eq!(
+                            size.sub(p.primary, sec),
+                            1usize << stage,
+                            "pivots must differ by 2^{stage}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pivots_low_bits_match_destination() {
+        // Any stage-k switch on a path to d has low k bits equal to d's.
+        let size = size8();
+        for s in size.switches() {
+            for d in size.switches() {
+                for stage in 0..=size.stages() {
+                    let mask = if stage >= size.stages() {
+                        size.mask()
+                    } else {
+                        (1usize << stage) - 1
+                    };
+                    for w in pivots(size, s, d, stage).to_vec() {
+                        assert_eq!(w & mask, d & mask, "s={s} d={d} k={stage} w={w}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_stage_pivot_is_destination() {
+        let size = size8();
+        let p = pivots(size, 3, 6, size.stages());
+        assert_eq!(p.primary, 6);
+        assert_eq!(p.secondary, None);
+    }
+}
+
+/// An O(n)-time exact feasibility check built from Lemma A2.1: since every
+/// routing path of the pair passes through a pivot at every stage, and
+/// there are at most two pivots per stage, a blockage-free path exists iff
+/// the pivot-restricted reachability front survives to the destination.
+///
+/// This is the fastest exact decision procedure in the crate — it touches
+/// at most `2` switches and `6` links per stage, versus the full BFS
+/// oracle's `O(N)` per stage — and is validated against both the BFS
+/// oracle and Algorithm REROUTE in the test suite (Lemma A2.2 in
+/// executable form).
+pub fn pivot_oracle(size: Size, blockages: &iadm_fault::BlockageMap, s: usize, d: usize) -> bool {
+    assert!(s < size.n() && d < size.n(), "address out of range");
+    // The reachable subset of each stage's pivot set, at most two entries.
+    let mut front: Vec<usize> = vec![s];
+    for stage in size.stage_indices() {
+        let next_pivots = pivots(size, s, d, stage + 1);
+        let mut next_front: Vec<usize> = Vec::with_capacity(2);
+        for &from in &front {
+            for kind in iadm_topology::LinkKind::ALL {
+                let link = iadm_topology::Link::new(stage, from, kind);
+                if blockages.is_blocked(link) {
+                    continue;
+                }
+                let to = link.target(size);
+                if next_pivots.contains(to) && !next_front.contains(&to) {
+                    next_front.push(to);
+                }
+            }
+        }
+        if next_front.is_empty() {
+            return false;
+        }
+        front = next_front;
+    }
+    front.contains(&d)
+}
+
+#[cfg(test)]
+mod pivot_oracle_tests {
+    use super::*;
+    use iadm_fault::scenario::{self, KindFilter};
+    use iadm_fault::BlockageMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agrees_with_reroute_on_random_blockages() {
+        for n in [4usize, 8, 16, 32] {
+            let size = Size::new(n).unwrap();
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            for trial in 0..60 {
+                let faults = 1 + trial % (2 * n);
+                let blockages = scenario::random_faults(&mut rng, size, faults, KindFilter::Any);
+                for s in size.switches() {
+                    for d in size.switches() {
+                        let fast = pivot_oracle(size, &blockages, s, d);
+                        let slow = crate::reroute::reroute(size, &blockages, s, d).is_ok();
+                        assert_eq!(fast, slow, "N={n} s={s} d={d} trial={trial}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_single_and_double_blockages_n8() {
+        let size = Size::new(8).unwrap();
+        let links = scenario::candidate_links(size, KindFilter::Any);
+        for &link in &links {
+            let blockages = BlockageMap::from_links(size, [link]);
+            for s in size.switches() {
+                for d in size.switches() {
+                    assert_eq!(
+                        pivot_oracle(size, &blockages, s, d),
+                        crate::reroute::reroute(size, &blockages, s, d).is_ok(),
+                        "{link} s={s} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unblocked_network_is_fully_connected() {
+        let size = Size::new(16).unwrap();
+        let blockages = BlockageMap::new(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                assert!(pivot_oracle(size, &blockages, s, d));
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Destination-tag message tracing under the state model.
+//!
+//! Theorem 3.1 of the paper: for any destination `d` and *any* network
+//! state, using the binary representation of `d` as the routing tag steers
+//! the message to `d`, and `d` is the unique tag with this property. The
+//! functions here trace the stage-by-stage path a message takes, either
+//! under an explicit [`NetworkState`] (SSDT view) or under the states
+//! carried in a [`TsdtTag`] (TSDT view).
+
+use crate::connect::route_kind;
+use crate::state::NetworkState;
+use crate::tsdt::TsdtTag;
+use iadm_topology::{bit, LinkKind, Path, Size};
+
+/// Traces the path a message takes from `source` to destination `dest`
+/// through an IADM network in state `state`, using the destination address
+/// as the routing tag (`t_i = d_i`).
+///
+/// By Theorem 3.1 the returned path always ends at `dest`.
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+///
+/// # Example
+///
+/// ```
+/// use iadm_core::{route::trace, NetworkState};
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// // All switches in state C: the IADM emulates the ICube network.
+/// let path = trace(size, 1, 0, &NetworkState::all_c(size));
+/// assert_eq!(path.destination(size), 0);
+/// assert_eq!(path.switches(size), vec![1, 0, 0, 0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn trace(size: Size, source: usize, dest: usize, state: &NetworkState) -> Path {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        let kind = route_kind(sw, stage, bit(dest, stage), state.get(stage, sw));
+        kinds.push(kind);
+        sw = kind.target(size, stage, sw);
+    }
+    Path::new(source, kinds)
+}
+
+/// Traces the path specified by a TSDT tag from `source`: at each stage the
+/// switch applies the tag's destination bit under the tag's state bit.
+///
+/// # Panics
+///
+/// Panics if `source >= N`.
+pub fn trace_tsdt(size: Size, source: usize, tag: &TsdtTag) -> Path {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        let kind = route_kind(sw, stage, tag.dest_bit(stage), tag.switch_state(stage));
+        kinds.push(kind);
+        sw = kind.target(size, stage, sw);
+    }
+    Path::new(source, kinds)
+}
+
+/// The single routing step of the state model: which link the switch `sw`
+/// of `stage` uses, and the switch reached, for tag bit `t` under `state`.
+pub fn step(
+    size: Size,
+    stage: usize,
+    sw: usize,
+    t: usize,
+    state: crate::state::SwitchState,
+) -> (LinkKind, usize) {
+    let kind = route_kind(sw, stage, t, state);
+    (kind, kind.target(size, stage, sw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SwitchState;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theorem_3_1_exhaustive_small() {
+        // Every (s, d) pair reaches d under all-C, all-C̄ and several random
+        // states, for N in {2,4,8,16}.
+        for n in [2usize, 4, 8, 16] {
+            let size = Size::new(n).unwrap();
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let mut states = vec![NetworkState::all_c(size), NetworkState::all_cbar(size)];
+            for _ in 0..8 {
+                states.push(NetworkState::random(size, &mut rng));
+            }
+            for state in &states {
+                for s in size.switches() {
+                    for d in size.switches() {
+                        let path = trace(size, s, d, state);
+                        assert_eq!(path.destination(size), d, "N={n} s={s} d={d}");
+                        assert!(path.is_full(size));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_1_uniqueness_exhaustive_small() {
+        // Any tag f routes to f (not to any other address), in any state:
+        // hence d is the *unique* tag reaching d.
+        for n in [4usize, 8] {
+            let size = Size::new(n).unwrap();
+            let mut rng = StdRng::seed_from_u64(97);
+            for _ in 0..4 {
+                let state = NetworkState::random(size, &mut rng);
+                for s in size.switches() {
+                    for f in size.switches() {
+                        let path = trace(size, s, f, &state);
+                        assert_eq!(path.destination(size), f);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_c_state_emulates_icube() {
+        // Under all-C the stage-i switch on the path is d_{0/i-1} s_{i/n-1}
+        // (paper, Section 4 "locating the switches on the routing path").
+        let size = Size::new(16).unwrap();
+        let state = NetworkState::all_c(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let path = trace(size, s, d, &state);
+                let switches = path.switches(size);
+                for (i, &sw) in switches.iter().enumerate() {
+                    let low_mask = (1usize << i) - 1;
+                    let expected = (d & low_mask) | (s & !low_mask & size.mask());
+                    assert_eq!(sw, expected & size.mask(), "s={s} d={d} stage={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tsdt_trace_matches_network_state_trace() {
+        let size = Size::new(8).unwrap();
+        for dest in size.switches() {
+            for state_bits in 0..size.n() {
+                let tag = TsdtTag::with_state(size, dest, state_bits);
+                // Build the equivalent uniform-per-stage network state.
+                let mut ns = NetworkState::all_c(size);
+                for stage in size.stage_indices() {
+                    for j in size.switches() {
+                        ns.set(stage, j, tag.switch_state(stage));
+                    }
+                }
+                for s in size.switches() {
+                    assert_eq!(trace_tsdt(size, s, &tag), trace(size, s, dest, &ns));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_is_one_stage_of_trace() {
+        let size = Size::new(8).unwrap();
+        let (kind, to) = step(size, 0, 1, 0, SwitchState::C);
+        assert_eq!(kind, LinkKind::Minus);
+        assert_eq!(to, 0);
+        let (kind, to) = step(size, 0, 1, 0, SwitchState::Cbar);
+        assert_eq!(kind, LinkKind::Plus);
+        assert_eq!(to, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_theorem_3_1_random_states(
+            log2 in 1u32..9,
+            s_seed in any::<usize>(),
+            d_seed in any::<usize>(),
+            seed in any::<u64>(),
+        ) {
+            let size = Size::from_stages(log2);
+            let s = s_seed & size.mask();
+            let d = d_seed & size.mask();
+            let state = NetworkState::random(size, &mut StdRng::seed_from_u64(seed));
+            let path = trace(size, s, d, &state);
+            prop_assert_eq!(path.destination(size), d);
+            // Lemma 2.1 induction: after stage i the low i+1 bits match d.
+            let switches = path.switches(size);
+            for (i, &sw) in switches.iter().enumerate().skip(1) {
+                let mask = (1usize << i) - 1;
+                prop_assert_eq!(sw & mask, d & mask);
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The Self-Repairing State-Based Destination Tag (SSDT) scheme
+//! (paper, Section 4).
+//!
+//! Under SSDT a message carries only the n-bit destination address. Each
+//! switch holds a logic state (`C` or `C̄`); when the state-selected link is
+//! a nonstraight link that turns out to be blocked, the switch *flips its
+//! own state* and uses the oppositely signed nonstraight link instead
+//! (valid by Theorem 3.2 — both nonstraight links reach the same subset of
+//! destinations). Rerouting is therefore fully distributed, dynamic and
+//! transparent to the sender; its time×space complexity is O(1), versus
+//! O(log N) for the distance-tag schemes of prior work.
+//!
+//! SSDT cannot evade straight-link blockages (Theorem 3.2 "only if"
+//! direction) or double-nonstraight blockages — those require the TSDT
+//! scheme's sender-side backtracking ([`crate::reroute()`]).
+
+use crate::connect::route_kind;
+use crate::state::{NetworkState, SwitchState};
+use core::fmt;
+use iadm_fault::BlockageMap;
+use iadm_topology::{bit, Link, LinkKind, Path, Size};
+
+/// A record of one SSDT self-repair: at `stage`, the switch flipped its
+/// state to avoid `blocked` and used `used` instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repair {
+    /// Stage at which the flip happened.
+    pub stage: usize,
+    /// The blocked nonstraight link that was avoided.
+    pub blocked: Link,
+    /// The oppositely signed nonstraight link used instead.
+    pub used: Link,
+}
+
+/// Successful SSDT routing: the path taken and the self-repairs performed
+/// along the way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsdtRoute {
+    /// The blockage-free path the message followed.
+    pub path: Path,
+    /// Stages where a switch flipped its state to evade a blockage.
+    pub repairs: Vec<Repair>,
+}
+
+/// SSDT routing failure: the message met a blockage no state flip can fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsdtBlocked {
+    /// A straight link on the path is blocked; SSDT has no recourse
+    /// (Theorem 3.2: state changes only swap nonstraight links).
+    Straight {
+        /// The blocked straight link.
+        link: Link,
+    },
+    /// Both nonstraight output links of a switch on the path are blocked.
+    DoubleNonstraight {
+        /// Stage of the doubly blocked switch.
+        stage: usize,
+        /// Label of the doubly blocked switch.
+        switch: usize,
+    },
+}
+
+impl fmt::Display for SsdtBlocked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdtBlocked::Straight { link } => {
+                write!(f, "straight link {link} blocked; SSDT cannot reroute")
+            }
+            SsdtBlocked::DoubleNonstraight { stage, switch } => write!(
+                f,
+                "both nonstraight links of switch {switch} at stage {stage} blocked"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SsdtBlocked {}
+
+/// Routes a message from `source` to `dest` under the SSDT scheme,
+/// mutating `state` in place as switches self-repair.
+///
+/// At each stage the current switch computes its output link from its
+/// parity, its state and the tag bit `d_i`. If that link is blocked and
+/// nonstraight, the switch flips its state and retries with the spare
+/// nonstraight link; if the spare is also blocked, or a straight link is
+/// blocked, routing fails.
+///
+/// # Errors
+///
+/// Returns [`SsdtBlocked`] describing the unevadable blockage.
+///
+/// # Panics
+///
+/// Panics if `source` or `dest` is `>= N`.
+///
+/// # Example
+///
+/// ```
+/// use iadm_core::ssdt::route;
+/// use iadm_core::NetworkState;
+/// use iadm_fault::BlockageMap;
+/// use iadm_topology::{Link, Size};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let size = Size::new(8)?;
+/// let mut state = NetworkState::all_c(size);
+/// let mut blockages = BlockageMap::new(size);
+/// blockages.block(Link::minus(0, 1)); // want 1 -> 0 at stage 0: blocked
+/// let routed = route(size, &blockages, &mut state, 1, 0)?;
+/// assert_eq!(routed.path.switches(size), vec![1, 2, 0, 0]);
+/// assert_eq!(routed.repairs.len(), 1); // switch 1 at stage 0 flipped
+/// # Ok(())
+/// # }
+/// ```
+pub fn route(
+    size: Size,
+    blockages: &BlockageMap,
+    state: &mut NetworkState,
+    source: usize,
+    dest: usize,
+) -> Result<SsdtRoute, SsdtBlocked> {
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut repairs = Vec::new();
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        let t = bit(dest, stage);
+        let kind = route_kind(sw, stage, t, state.get(stage, sw));
+        let link = Link::new(stage, sw, kind);
+        let taken = if blockages.is_free(link) {
+            kind
+        } else if kind == LinkKind::Straight {
+            return Err(SsdtBlocked::Straight { link });
+        } else {
+            // Self-repair: flip this switch's state; Theorem 3.2 guarantees
+            // the opposite nonstraight link also leads to `dest`.
+            let spare = link.opposite();
+            if blockages.is_blocked(spare) {
+                return Err(SsdtBlocked::DoubleNonstraight { stage, switch: sw });
+            }
+            let new_state = state.flip(stage, sw);
+            debug_assert_eq!(route_kind(sw, stage, t, new_state), spare.kind);
+            repairs.push(Repair {
+                stage,
+                blocked: link,
+                used: spare,
+            });
+            spare.kind
+        };
+        kinds.push(taken);
+        sw = taken.target(size, stage, sw);
+    }
+    Ok(SsdtRoute {
+        path: Path::new(source, kinds),
+        repairs,
+    })
+}
+
+/// Routes like [`route`], but chooses the nonstraight sign at each stage by
+/// an arbitrary *load-balancing policy* instead of the stored switch state.
+///
+/// This models the paper's packet-switching use of SSDT: "when both
+/// nonstraight links are busy due to message traffic congestion, a switch
+/// can choose which nonstraight buffer to assign a message to … based on
+/// the number of messages present in the buffers". The policy is consulted
+/// whenever a nonstraight link must be taken and both signs are free; it
+/// receives `(stage, switch)` and returns the preferred state.
+///
+/// # Errors
+///
+/// Returns [`SsdtBlocked`] as [`route`] does.
+pub fn route_with_policy<F>(
+    size: Size,
+    blockages: &BlockageMap,
+    source: usize,
+    dest: usize,
+    mut policy: F,
+) -> Result<SsdtRoute, SsdtBlocked>
+where
+    F: FnMut(usize, usize) -> SwitchState,
+{
+    assert!(source < size.n(), "source {source} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let mut kinds = Vec::with_capacity(size.stages());
+    let mut repairs = Vec::new();
+    let mut sw = source;
+    for stage in size.stage_indices() {
+        let t = bit(dest, stage);
+        let straight = route_kind(sw, stage, t, SwitchState::C) == LinkKind::Straight;
+        let taken = if straight {
+            let link = Link::straight(stage, sw);
+            if blockages.is_blocked(link) {
+                return Err(SsdtBlocked::Straight { link });
+            }
+            LinkKind::Straight
+        } else {
+            let preferred = route_kind(sw, stage, t, policy(stage, sw));
+            let link = Link::new(stage, sw, preferred);
+            if blockages.is_free(link) {
+                preferred
+            } else if blockages.is_free(link.opposite()) {
+                repairs.push(Repair {
+                    stage,
+                    blocked: link,
+                    used: link.opposite(),
+                });
+                preferred.opposite()
+            } else {
+                return Err(SsdtBlocked::DoubleNonstraight { stage, switch: sw });
+            }
+        };
+        kinds.push(taken);
+        sw = taken.target(size, stage, sw);
+    }
+    Ok(SsdtRoute {
+        path: Path::new(source, kinds),
+        repairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_fault::scenario;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn unblocked_network_routes_like_icube() {
+        let size = size8();
+        let blockages = BlockageMap::new(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let mut state = NetworkState::all_c(size);
+                let r = route(size, &blockages, &mut state, s, d).unwrap();
+                assert_eq!(r.path.destination(size), d);
+                assert!(r.repairs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn repairs_flip_persist_in_network_state() {
+        let size = size8();
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(Link::minus(0, 1));
+        let mut state = NetworkState::all_c(size);
+        let r = route(size, &blockages, &mut state, 1, 0).unwrap();
+        assert_eq!(r.repairs.len(), 1);
+        assert_eq!(state.get(0, 1), SwitchState::Cbar, "flip persists");
+        // A second message through the same switch uses the flipped state
+        // without needing a new repair.
+        let r2 = route(size, &blockages, &mut state, 1, 0).unwrap();
+        assert!(r2.repairs.is_empty());
+        assert_eq!(r2.path, r.path);
+    }
+
+    #[test]
+    fn straight_blockage_is_fatal() {
+        let size = size8();
+        let mut blockages = BlockageMap::new(size);
+        blockages.block(Link::straight(1, 0));
+        let mut state = NetworkState::all_c(size);
+        // 1 -> 0 goes (1, 0, 0, 0): straight at stage 1 blocked.
+        let err = route(size, &blockages, &mut state, 1, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SsdtBlocked::Straight {
+                link: Link::straight(1, 0)
+            }
+        );
+    }
+
+    #[test]
+    fn double_nonstraight_blockage_is_fatal() {
+        let size = size8();
+        let blockages = scenario::double_nonstraight(size, 0, 1);
+        let mut state = NetworkState::all_c(size);
+        let err = route(size, &blockages, &mut state, 1, 0).unwrap_err();
+        assert_eq!(
+            err,
+            SsdtBlocked::DoubleNonstraight {
+                stage: 0,
+                switch: 1
+            }
+        );
+    }
+
+    #[test]
+    fn any_single_nonstraight_blockage_is_evaded() {
+        // Paper claim: SSDT reroutes around *any* blocked link of
+        // nonstraight type. Exhaustively block each nonstraight link and
+        // check every (s,d) pair still routes.
+        let size = size8();
+        for link in scenario::candidate_links(size, scenario::KindFilter::NonstraightOnly) {
+            let blockages = BlockageMap::from_links(size, [link]);
+            for s in size.switches() {
+                for d in size.switches() {
+                    let mut state = NetworkState::all_c(size);
+                    let r = route(size, &blockages, &mut state, s, d)
+                        .unwrap_or_else(|e| panic!("blocked {link}: s={s} d={d}: {e}"));
+                    assert_eq!(r.path.destination(size), d);
+                    assert!(blockages.path_is_free(&r.path));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn many_random_nonstraight_faults_one_per_switch_still_route() {
+        // Block one random nonstraight link per switch: SSDT must still
+        // route every pair, because every switch keeps a spare.
+        let size = Size::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut blockages = BlockageMap::new(size);
+        for stage in size.stage_indices() {
+            for j in size.switches() {
+                let kind = if rng.gen_bool(0.5) {
+                    LinkKind::Plus
+                } else {
+                    LinkKind::Minus
+                };
+                blockages.block(Link::new(stage, j, kind));
+            }
+        }
+        for s in size.switches() {
+            for d in size.switches() {
+                let mut state = NetworkState::all_c(size);
+                let r = route(size, &blockages, &mut state, s, d).unwrap();
+                assert!(blockages.path_is_free(&r.path));
+                assert_eq!(r.path.destination(size), d);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_routing_prefers_requested_sign() {
+        let size = size8();
+        let blockages = BlockageMap::new(size);
+        // Always prefer C̄ (the non-ICube sign).
+        let r = route_with_policy(size, &blockages, 1, 0, |_, _| SwitchState::Cbar).unwrap();
+        assert_eq!(r.path.switches(size), vec![1, 2, 4, 0]);
+        assert!(r.repairs.is_empty());
+        // Straight hops are not affected by the policy.
+        let r = route_with_policy(size, &blockages, 3, 3, |_, _| SwitchState::Cbar).unwrap();
+        assert_eq!(r.path.switches(size), vec![3, 3, 3, 3]);
+    }
+}

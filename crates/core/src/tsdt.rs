@@ -1,0 +1,418 @@
+//! The Two-Bit State-Based Destination Tag (TSDT) scheme (paper, Section 4).
+//!
+//! A TSDT routing tag has `2n` bits `b_0 … b_{2n-1}`: for each stage `i`,
+//! `b_i` is the *destination bit* (always `d_i`, the `i`-th bit of the
+//! destination address) and `b_{n+i}` is the *state bit* (0 puts the stage-
+//! `i` switch in state `C`, 1 in state `C̄`). Because state information is
+//! carried in the tag, switches need not implement logic states at all.
+//!
+//! Rerouting tags result from simple bit complementing:
+//!
+//! * [`TsdtTag::corollary_4_1`] — a nonstraight blockage at stage `i` is
+//!   bypassed by complementing state bit `b_{n+i}` alone (O(1));
+//! * [`TsdtTag::corollary_4_2`] — a straight or double-nonstraight blockage
+//!   at stage `i` is bypassed by backtracking to the last preceding
+//!   nonstraight link (stage `i-k`) and rewriting state bits
+//!   `b_{n+(i-k)} … b_{n+i-1}` (O(k)).
+
+use crate::state::SwitchState;
+use core::fmt;
+use iadm_topology::{bit, bit_range, replace_bit, replace_bit_range, LinkKind, Path, Size};
+
+/// A 2n-bit TSDT routing tag: destination bits `b_{0/n-1}` plus state bits
+/// `b_{n/2n-1}`.
+///
+/// # Example
+///
+/// The paper's Figure 7 walkthrough (N=8, source 1, destination 0):
+///
+/// ```
+/// use iadm_core::TsdtTag;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let tag = TsdtTag::new(size, 0); // b = 000000, all switches in state C
+/// assert_eq!(tag.to_string(), "000000");
+/// // Nonstraight blockage at stage 0 -> complement b_3.
+/// let tag1 = tag.corollary_4_1(0);
+/// assert_eq!(tag1.to_string(), "000100");
+/// // Another nonstraight blockage at stage 1 -> complement b_4.
+/// let tag2 = tag1.corollary_4_1(1);
+/// assert_eq!(tag2.to_string(), "000110");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TsdtTag {
+    size: Size,
+    dest: usize,
+    state: usize,
+}
+
+impl TsdtTag {
+    /// Creates the initial routing tag for `dest`: destination bits set to
+    /// the destination address, all state bits 0 (state `C`), under which
+    /// the IADM network functions like the embedded ICube network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest >= N`.
+    pub fn new(size: Size, dest: usize) -> Self {
+        assert!(
+            dest < size.n(),
+            "destination {dest} out of range for {size}"
+        );
+        TsdtTag {
+            size,
+            dest,
+            state: 0,
+        }
+    }
+
+    /// Creates a tag with explicit state bits (low `n` bits of `state`;
+    /// bit `i` of `state` is the paper's `b_{n+i}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest >= N` or `state >= N`.
+    pub fn with_state(size: Size, dest: usize, state: usize) -> Self {
+        assert!(
+            dest < size.n(),
+            "destination {dest} out of range for {size}"
+        );
+        assert!(
+            state < size.n(),
+            "state bits {state:#b} out of range for {size}"
+        );
+        TsdtTag { size, dest, state }
+    }
+
+    /// The network size this tag addresses.
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// The destination address `d` (destination bits `b_{0/n-1}`).
+    pub fn dest(&self) -> usize {
+        self.dest
+    }
+
+    /// The state bits `b_{n/2n-1}` packed into the low `n` bits.
+    pub fn state_bits(&self) -> usize {
+        self.state
+    }
+
+    /// Destination bit `b_i = d_i`.
+    #[inline]
+    pub fn dest_bit(&self, stage: usize) -> usize {
+        bit(self.dest, stage)
+    }
+
+    /// State bit `b_{n+i}`.
+    #[inline]
+    pub fn state_bit(&self, stage: usize) -> usize {
+        bit(self.state, stage)
+    }
+
+    /// The [`SwitchState`] this tag imposes on stage `stage`.
+    #[inline]
+    pub fn switch_state(&self, stage: usize) -> SwitchState {
+        SwitchState::from_bit(self.state_bit(stage))
+    }
+
+    /// Returns the tag with state bit `b_{n+stage}` replaced.
+    pub fn with_state_bit(&self, stage: usize, b: usize) -> TsdtTag {
+        TsdtTag {
+            state: replace_bit(self.state, stage, b) & self.size.mask(),
+            ..*self
+        }
+    }
+
+    /// Returns the tag with state bits for stages `p..=q` replaced by the
+    /// low bits of `field`.
+    pub fn with_state_bits(&self, p: usize, q: usize, field: usize) -> TsdtTag {
+        TsdtTag {
+            state: replace_bit_range(self.state, p, q, field) & self.size.mask(),
+            ..*self
+        }
+    }
+
+    /// **Corollary 4.1**: bypass a nonstraight link blockage at `stage` by
+    /// complementing state bit `b_{n+stage}`; destination bits are
+    /// unchanged. This swaps the `±2^stage` link for its opposite
+    /// (Theorem 3.2) in O(1) time and space.
+    pub fn corollary_4_1(&self, stage: usize) -> TsdtTag {
+        self.with_state_bit(stage, 1 - self.state_bit(stage))
+    }
+
+    /// **Corollary 4.2**: bypass a straight or double-nonstraight link
+    /// blockage at `blocked_stage` on `path` (which must be a full routing
+    /// path realizing this tag) by backtracking to the largest stage
+    /// `r < blocked_stage` carrying a nonstraight link and rewriting state
+    /// bits `b_{n+r} … b_{n+blocked_stage-1}`:
+    ///
+    /// * original nonstraight at `r` is `-2^r` → new state bits are
+    ///   `d̄_{r/blocked_stage-1}` (the rerouting path climbs `+2^l` links);
+    /// * original nonstraight at `r` is `+2^r` → new state bits are
+    ///   `d_{r/blocked_stage-1}` (the rerouting path descends `-2^l` links).
+    ///
+    /// State bits at stages `>= blocked_stage` are left unchanged (the
+    /// corollary allows them to be arbitrary). Returns `None` when stages
+    /// `0..blocked_stage` of the path are all straight, in which case
+    /// Theorem 3.3/3.4 prove no alternate path exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocked_stage >= n` or if `path` is not a full path.
+    pub fn corollary_4_2(&self, path: &Path, blocked_stage: usize) -> Option<TsdtTag> {
+        assert!(
+            blocked_stage < self.size.stages(),
+            "stage {blocked_stage} out of range"
+        );
+        assert!(
+            path.is_full(self.size),
+            "corollary 4.2 requires a full path"
+        );
+        let r = path.last_nonstraight_before(blocked_stage)?;
+        let field = bit_range(self.dest, r, blocked_stage - 1);
+        let width_mask = (1usize << (blocked_stage - r)) - 1;
+        let new_bits = match path.kind_at(r) {
+            LinkKind::Minus => !field & width_mask, // d̄ bits: climb +2^l
+            LinkKind::Plus => field,                // d bits: descend -2^l
+            LinkKind::Straight => unreachable!("last_nonstraight_before returned straight"),
+        };
+        Some(self.with_state_bits(r, blocked_stage - 1, new_bits))
+    }
+
+    /// The raw 2n-bit tag value `b_{2n-1} … b_0` as an integer (destination
+    /// bits in the low half, state bits in the high half).
+    pub fn raw(&self) -> usize {
+        self.dest | (self.state << self.size.stages())
+    }
+}
+
+impl fmt::Display for TsdtTag {
+    /// Formats as the paper writes tags: `b_0 b_1 … b_{2n-1}` left to right
+    /// (destination bits first, then state bits).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.size.stages();
+        for i in 0..n {
+            write!(f, "{}", self.dest_bit(i))?;
+        }
+        for i in 0..n {
+            write!(f, "{}", self.state_bit(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::trace_tsdt;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn display_matches_paper_bit_order() {
+        let size = size8();
+        // d = 6 = 110 in b_0 b_1 b_2 order is "011".
+        let tag = TsdtTag::with_state(size, 6, 0b001);
+        assert_eq!(tag.to_string(), "011100");
+    }
+
+    #[test]
+    fn figure7_nonstraight_rerouting_tags() {
+        // Paper: tag 000000 routes (1,0,0,0); blocking (1∈S0,0∈S1) gives
+        // 000100 routing (1,2,0,0); blocking (2∈S1,0∈S2) gives 000110
+        // routing (1,2,4,0).
+        let size = size8();
+        let t0 = TsdtTag::new(size, 0);
+        assert_eq!(trace_tsdt(size, 1, &t0).switches(size), vec![1, 0, 0, 0]);
+        let t1 = t0.corollary_4_1(0);
+        assert_eq!(t1.to_string(), "000100");
+        assert_eq!(trace_tsdt(size, 1, &t1).switches(size), vec![1, 2, 0, 0]);
+        let t2 = t1.corollary_4_1(1);
+        assert_eq!(t2.to_string(), "000110");
+        assert_eq!(trace_tsdt(size, 1, &t2).switches(size), vec![1, 2, 4, 0]);
+    }
+
+    #[test]
+    fn corollary_4_1_is_involutive() {
+        let tag = TsdtTag::with_state(size8(), 5, 0b010);
+        for stage in 0..3 {
+            assert_eq!(tag.corollary_4_1(stage).corollary_4_1(stage), tag);
+        }
+    }
+
+    #[test]
+    fn corollary_4_2_paper_straight_example() {
+        // Paper Section 4 example (a): tag 000000, path (1,0,0,0); straight
+        // link (0∈S1, 0∈S2) blocked. Backtrack finds nonstraight -2^0 at
+        // stage 0, so state bits b_{3+0}, b_{3+1} become d̄_0 d̄_1 = 11:
+        // tag 000110, path (1,2,4,0).
+        let size = size8();
+        let tag = TsdtTag::new(size, 0);
+        let path = trace_tsdt(size, 1, &tag);
+        let rerouted = tag.corollary_4_2(&path, 2).expect("alternate path exists");
+        assert_eq!(rerouted.to_string(), "000110");
+        assert_eq!(
+            trace_tsdt(size, 1, &rerouted).switches(size),
+            vec![1, 2, 4, 0]
+        );
+    }
+
+    #[test]
+    fn corollary_4_2_paper_double_nonstraight_example() {
+        // Paper Section 4 example (b): tag 000110 routes (1,2,4,0); both
+        // nonstraight outputs of 4 ∈ S2 blocked. Backtracking finds +2^1 at
+        // stage 1; state bit b_{3+1} becomes d_1 = 0: tag 000100 routing
+        // (1,2,0,0).
+        let size = size8();
+        let tag = TsdtTag::with_state(size, 0, 0b011);
+        let path = trace_tsdt(size, 1, &tag);
+        assert_eq!(path.switches(size), vec![1, 2, 4, 0]);
+        let rerouted = tag.corollary_4_2(&path, 2).expect("alternate path exists");
+        // b_{3+1} = d_1 = 0; b_{3+0} unchanged (=1); b_{3+2} unchanged (=0
+        // after the rewrite leaves it alone: it was 0b011 -> bit2 stays 0).
+        assert_eq!(
+            trace_tsdt(size, 1, &rerouted).switches(size),
+            vec![1, 2, 0, 0]
+        );
+    }
+
+    #[test]
+    fn corollary_4_2_returns_none_for_all_straight_prefix() {
+        // Source == destination: the unique path is all straight; a straight
+        // blockage at any stage is fatal (Theorem 3.3 "only if" direction).
+        let size = size8();
+        let tag = TsdtTag::new(size, 5);
+        let path = trace_tsdt(size, 5, &tag);
+        for stage in 0..3 {
+            assert_eq!(tag.corollary_4_2(&path, stage), None);
+        }
+    }
+
+    #[test]
+    fn raw_packs_dest_low_state_high() {
+        let tag = TsdtTag::with_state(size8(), 0b101, 0b011);
+        assert_eq!(tag.raw(), 0b011_101);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_out_of_range_destination() {
+        let _ = TsdtTag::new(size8(), 8);
+    }
+}
+
+impl core::str::FromStr for TsdtTag {
+    type Err = ParseTsdtTagError;
+
+    /// Parses the paper's bit-string form `b_0 b_1 … b_{2n-1}` (destination
+    /// bits then state bits), e.g. `"000110"` for N = 8.
+    ///
+    /// # Errors
+    ///
+    /// Rejects strings whose length is not twice a valid stage count or
+    /// that contain characters other than `0`/`1`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let len = s.len();
+        if len == 0 || !len.is_multiple_of(2) {
+            return Err(ParseTsdtTagError::BadLength { len });
+        }
+        let n = len / 2;
+        if n >= usize::BITS as usize {
+            return Err(ParseTsdtTagError::BadLength { len });
+        }
+        let size = Size::from_stages(n as u32);
+        let mut dest = 0usize;
+        let mut state = 0usize;
+        for (i, ch) in s.chars().enumerate() {
+            let b = match ch {
+                '0' => 0usize,
+                '1' => 1,
+                other => return Err(ParseTsdtTagError::BadChar { ch: other }),
+            };
+            if i < n {
+                dest |= b << i;
+            } else {
+                state |= b << (i - n);
+            }
+        }
+        Ok(TsdtTag::with_state(size, dest, state))
+    }
+}
+
+/// Error from parsing a [`TsdtTag`] bit string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseTsdtTagError {
+    /// The string length is not `2n` for a supported `n >= 1`.
+    BadLength {
+        /// Offending length.
+        len: usize,
+    },
+    /// A character other than `0` or `1` appeared.
+    BadChar {
+        /// Offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for ParseTsdtTagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTsdtTagError::BadLength { len } => {
+                write!(f, "tag must have 2n bits for some n >= 1, got {len} chars")
+            }
+            ParseTsdtTagError::BadChar { ch } => write!(f, "tag may contain only 0/1, got {ch:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTsdtTagError {}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let size = Size::new(8).unwrap();
+        for dest in size.switches() {
+            for state in 0..size.n() {
+                let tag = TsdtTag::with_state(size, dest, state);
+                let parsed: TsdtTag = tag.to_string().parse().unwrap();
+                assert_eq!(parsed, tag);
+            }
+        }
+    }
+
+    #[test]
+    fn parses_the_paper_tags() {
+        let size = Size::new(8).unwrap();
+        let tag: TsdtTag = "000110".parse().unwrap();
+        assert_eq!(tag, TsdtTag::with_state(size, 0, 0b011));
+        let tag: TsdtTag = "000100".parse().unwrap();
+        assert_eq!(tag, TsdtTag::with_state(size, 0, 0b001));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            "00011".parse::<TsdtTag>(),
+            Err(ParseTsdtTagError::BadLength { len: 5 })
+        ));
+        assert!(matches!(
+            "".parse::<TsdtTag>(),
+            Err(ParseTsdtTagError::BadLength { len: 0 })
+        ));
+        assert!(matches!(
+            "0002".parse::<TsdtTag>(),
+            Err(ParseTsdtTagError::BadChar { ch: '2' })
+        ));
+    }
+}

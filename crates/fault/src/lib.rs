@@ -1,0 +1,41 @@
+//! Blockage (fault/busy-link) modeling for the IADM network.
+//!
+//! The paper distinguishes four kinds of blockage (Section 3):
+//!
+//! * a **nonstraight link blockage** — a `±2^i` link on the routing path is
+//!   faulty or busy;
+//! * a **straight link blockage** — a straight link on the path is faulty or
+//!   busy;
+//! * a **double nonstraight link blockage** — both nonstraight output links
+//!   of a switch on the path are faulty or busy;
+//! * a **switch blockage** — the switch itself is faulty or busy, which "has
+//!   the same effect as blocking all of the switch's input links and can be
+//!   transformed into a link blockage problem accordingly".
+//!
+//! The central type is [`BlockageMap`], the paper's "global map of
+//! blockages" maintained by the network controller and consulted by message
+//! senders when computing rerouting tags. Scenario generators for
+//! experiments live in [`scenario`].
+//!
+//! # Example
+//!
+//! ```
+//! use iadm_fault::BlockageMap;
+//! use iadm_topology::{Link, Size};
+//!
+//! # fn main() -> Result<(), iadm_topology::SizeError> {
+//! let mut map = BlockageMap::new(Size::new(8)?);
+//! map.block(Link::minus(0, 1)); // Figure 7: link (1 ∈ S0, 0 ∈ S1) blocked
+//! assert!(map.is_blocked(Link::minus(0, 1)));
+//! assert!(!map.is_blocked(Link::plus(0, 1)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod map;
+pub mod scenario;
+
+pub use map::{BlockageMap, OutputBlockage};

@@ -1,0 +1,233 @@
+//! Blockage scenario generators for experiments.
+//!
+//! These produce [`BlockageMap`]s for the fault-tolerance and universal-
+//! rerouting experiments (DESIGN.md experiments E3 and E6): uniformly random
+//! link faults, per-link failure probabilities, and kind-restricted faults
+//! (the paper's SSDT scheme only evades nonstraight blockages, so comparing
+//! schemes requires controlling which kinds fail).
+
+use crate::BlockageMap;
+use iadm_topology::{Link, LinkKind, Size};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which link kinds a scenario is allowed to block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KindFilter {
+    /// Any link may be blocked.
+    Any,
+    /// Only nonstraight (`±2^i`) links may be blocked.
+    NonstraightOnly,
+    /// Only straight links may be blocked.
+    StraightOnly,
+}
+
+impl KindFilter {
+    /// Does this filter admit `kind`?
+    pub fn admits(self, kind: LinkKind) -> bool {
+        match self {
+            KindFilter::Any => true,
+            KindFilter::NonstraightOnly => kind.is_nonstraight(),
+            KindFilter::StraightOnly => kind == LinkKind::Straight,
+        }
+    }
+}
+
+/// All links of an IADM network of `size` admitted by `filter`.
+pub fn candidate_links(size: Size, filter: KindFilter) -> Vec<Link> {
+    let mut links = Vec::new();
+    for stage in size.stage_indices() {
+        for from in size.switches() {
+            for kind in LinkKind::ALL {
+                if filter.admits(kind) {
+                    links.push(Link::new(stage, from, kind));
+                }
+            }
+        }
+    }
+    links
+}
+
+/// Blocks exactly `count` distinct links chosen uniformly at random among
+/// those admitted by `filter`.
+///
+/// # Panics
+///
+/// Panics if `count` exceeds the number of admissible links.
+pub fn random_faults<R: Rng>(
+    rng: &mut R,
+    size: Size,
+    count: usize,
+    filter: KindFilter,
+) -> BlockageMap {
+    let mut links = candidate_links(size, filter);
+    assert!(
+        count <= links.len(),
+        "requested {count} faults but only {} candidate links",
+        links.len()
+    );
+    links.shuffle(rng);
+    BlockageMap::from_links(size, links.into_iter().take(count))
+}
+
+/// Blocks each admissible link independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0`.
+pub fn bernoulli_faults<R: Rng>(
+    rng: &mut R,
+    size: Size,
+    p: f64,
+    filter: KindFilter,
+) -> BlockageMap {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    let links = candidate_links(size, filter)
+        .into_iter()
+        .filter(|_| rng.gen_bool(p));
+    BlockageMap::from_links(size, links)
+}
+
+/// Blocks both nonstraight output links of switch `switch` at `stage` —
+/// the paper's *double nonstraight link blockage* (Theorem 3.4 scenario).
+pub fn double_nonstraight(size: Size, stage: usize, switch: usize) -> BlockageMap {
+    BlockageMap::from_links(
+        size,
+        [Link::minus(stage, switch), Link::plus(stage, switch)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn candidate_counts_match_topology() {
+        let s = size8();
+        assert_eq!(candidate_links(s, KindFilter::Any).len(), 3 * 8 * 3);
+        assert_eq!(
+            candidate_links(s, KindFilter::NonstraightOnly).len(),
+            2 * 8 * 3
+        );
+        assert_eq!(candidate_links(s, KindFilter::StraightOnly).len(), 8 * 3);
+    }
+
+    #[test]
+    fn random_faults_blocks_exact_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for count in [0usize, 1, 5, 24] {
+            let m = random_faults(&mut rng, size8(), count, KindFilter::Any);
+            assert_eq!(m.blocked_count(), count);
+        }
+    }
+
+    #[test]
+    fn nonstraight_filter_never_blocks_straight() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = random_faults(&mut rng, size8(), 20, KindFilter::NonstraightOnly);
+        assert!(m.blocked_links().iter().all(|l| l.kind.is_nonstraight()));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let none = bernoulli_faults(&mut rng, size8(), 0.0, KindFilter::Any);
+        assert!(none.is_empty());
+        let all = bernoulli_faults(&mut rng, size8(), 1.0, KindFilter::Any);
+        assert_eq!(all.blocked_count(), 3 * 8 * 3);
+    }
+
+    #[test]
+    fn double_nonstraight_blocks_exactly_two() {
+        let m = double_nonstraight(size8(), 2, 4);
+        assert_eq!(m.blocked_count(), 2);
+        assert!(m.is_blocked(Link::plus(2, 4)));
+        assert!(m.is_blocked(Link::minus(2, 4)));
+        assert!(m.is_free(Link::straight(2, 4)));
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = random_faults(&mut StdRng::seed_from_u64(42), size8(), 10, KindFilter::Any);
+        let b = random_faults(&mut StdRng::seed_from_u64(42), size8(), 10, KindFilter::Any);
+        assert_eq!(a, b);
+    }
+}
+
+/// Blocks every nonstraight link of the given `stage` — a stage-wide burst
+/// (e.g. a shared driver failure), the worst case for SSDT since every
+/// switch of the stage loses both spares at once.
+pub fn stage_nonstraight_burst(size: Size, stage: usize) -> BlockageMap {
+    assert!(stage < size.stages(), "stage {stage} out of range");
+    BlockageMap::from_links(
+        size,
+        size.switches()
+            .flat_map(|j| [Link::minus(stage, j), Link::plus(stage, j)]),
+    )
+}
+
+/// Blocks all three output links of a contiguous band of switches at one
+/// stage — a localized burst (e.g. a failed board holding several
+/// switches).
+pub fn switch_band_burst(size: Size, stage: usize, first: usize, count: usize) -> BlockageMap {
+    assert!(stage < size.stages(), "stage {stage} out of range");
+    BlockageMap::from_links(
+        size,
+        (0..count).flat_map(move |off| {
+            let j = size.add(first, off);
+            LinkKind::ALL.map(move |kind| Link::new(stage, j, kind))
+        }),
+    )
+}
+
+#[cfg(test)]
+mod burst_tests {
+    use super::*;
+
+    #[test]
+    fn stage_burst_blocks_exactly_the_nonstraight_links() {
+        let size = Size::new(8).unwrap();
+        let m = stage_nonstraight_burst(size, 1);
+        assert_eq!(m.blocked_count(), 2 * 8);
+        for j in size.switches() {
+            assert!(m.is_blocked(Link::plus(1, j)));
+            assert!(m.is_blocked(Link::minus(1, j)));
+            assert!(m.is_free(Link::straight(1, j)));
+        }
+    }
+
+    #[test]
+    fn stage_burst_reduces_iadm_to_a_straight_stage() {
+        // With a full nonstraight burst at stage i, only pairs whose
+        // distance has bit i compatible with straight-only crossing remain
+        // routable; in particular every (s, s) pair still works.
+        let size = Size::new(8).unwrap();
+        let m = stage_nonstraight_burst(size, 0);
+        // Distance with odd parity requires a nonstraight at stage 0:
+        // all such pairs are cut.
+        use iadm_topology::Path;
+        for s in size.switches() {
+            let p = Path::all_straight(size, s);
+            assert!(m.path_is_free(&p));
+        }
+    }
+
+    #[test]
+    fn band_burst_wraps_and_counts() {
+        let size = Size::new(8).unwrap();
+        let m = switch_band_burst(size, 2, 6, 3); // switches 6, 7, 0
+        assert_eq!(m.blocked_count(), 9);
+        for j in [6usize, 7, 0] {
+            for kind in LinkKind::ALL {
+                assert!(m.is_blocked(Link::new(2, j, kind)));
+            }
+        }
+        assert!(m.is_free(Link::straight(2, 1)));
+    }
+}

@@ -1,0 +1,56 @@
+//! # iadm — state-model destination-tag routing for the IADM network
+//!
+//! A complete implementation of Rau, Fortes and Siegel, *"Destination Tag
+//! Routing Techniques Based on a State Model for the IADM Network"*
+//! (ISCA 1988), together with the substrates the paper assumes and the
+//! prior-work baselines it compares against.
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`topology`] | network sizes, links, paths; ICube/IADM/ADM/Gamma topologies |
+//! | [`core`] | the paper: state model, SSDT, TSDT, BACKTRACK, REROUTE, pivots |
+//! | [`fault`] | blockage maps and fault-injection scenarios |
+//! | [`baselines`] | McMillen–Siegel, look-ahead, Parker–Raghavendra, Lee–Lee |
+//! | [`analysis`] | all-paths enumeration, exhaustive oracle, reachability, rendering |
+//! | [`sim`] | synchronous packet-switching simulator |
+//! | [`permute`] | cube subgraphs, Theorem 6.1, permutation reconfiguration |
+//!
+//! # Quick start
+//!
+//! ```
+//! use iadm::core::reroute::reroute;
+//! use iadm::core::route::trace_tsdt;
+//! use iadm::fault::BlockageMap;
+//! use iadm::topology::{Link, Size};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let size = Size::new(8)?;
+//!
+//! // Block two links on the default path from 1 to 0 (paper, Figure 7).
+//! let mut blockages = BlockageMap::new(size);
+//! blockages.block(Link::minus(0, 1));
+//! blockages.block(Link::minus(1, 2));
+//!
+//! // The universal rerouting algorithm finds a blockage-free tag…
+//! let tag = reroute(size, &blockages, 1, 0)?;
+//! // …whose 2n-bit form matches the paper's walkthrough:
+//! assert_eq!(tag.to_string(), "000110");
+//! // …and whose path is the paper's reroute (1, 2, 4, 0).
+//! let path = trace_tsdt(size, 1, &tag);
+//! assert_eq!(path.switches(size), vec![1, 2, 4, 0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use iadm_analysis as analysis;
+pub use iadm_baselines as baselines;
+pub use iadm_core as core;
+pub use iadm_fault as fault;
+pub use iadm_permute as permute;
+pub use iadm_sim as sim;
+pub use iadm_topology as topology;

@@ -1,0 +1,28 @@
+//! Permutation routing and cube subgraphs of the IADM network
+//! (paper, Section 6).
+//!
+//! Each network state activates, per switch, the straight link and one of
+//! the two nonstraight links; the active links form a subgraph of the IADM
+//! network. Some of these subgraphs are isomorphic to the ICube network —
+//! *cube subgraphs* — and the paper constructively derives a lower bound of
+//! `(N/2) · 2^N` distinct cube subgraphs via logical relabeling `j → j + x`
+//! (Theorem 6.1). This crate implements:
+//!
+//! * [`Permutation`] and the cube-admissibility test ([`admissible`]);
+//! * relabel-generated cube subgraphs, distinctness and isomorphism checks,
+//!   and the Theorem 6.1 bound ([`cube_subgraph`]);
+//! * reconfiguration of the IADM network around nonstraight link faults so
+//!   that cube-admissible permutations still pass ([`reconfigure`]);
+//! * an exact one-pass permutation-passability solver for the IADM and
+//!   Gamma switch disciplines ([`solver`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admissible;
+pub mod cube_subgraph;
+pub mod permutation;
+pub mod reconfigure;
+pub mod solver;
+
+pub use permutation::Permutation;

@@ -1,0 +1,264 @@
+//! Permutations of network ports.
+
+use core::fmt;
+use iadm_topology::Size;
+
+/// A permutation of the `N` network ports: source `s` sends to
+/// `perm.image(s)`.
+///
+/// # Example
+///
+/// ```
+/// use iadm_permute::Permutation;
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let size = Size::new(8)?;
+/// let shift = Permutation::shift(size, 1);
+/// assert_eq!(shift.image(7), 0);
+/// assert_eq!(shift.inverse().image(0), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+/// Error returned by [`Permutation::new`] for a non-bijective map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAPermutation;
+
+impl fmt::Display for NotAPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "map is not a bijection on 0..N")
+    }
+}
+
+impl std::error::Error for NotAPermutation {}
+
+impl Permutation {
+    /// Validates that `map` is a bijection on `0..map.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotAPermutation`] if any image repeats or is out of range.
+    pub fn new(map: Vec<usize>) -> Result<Self, NotAPermutation> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &d in &map {
+            if d >= n || seen[d] {
+                return Err(NotAPermutation);
+            }
+            seen[d] = true;
+        }
+        Ok(Permutation { map })
+    }
+
+    /// The identity permutation.
+    pub fn identity(size: Size) -> Self {
+        Permutation {
+            map: (0..size.n()).collect(),
+        }
+    }
+
+    /// The cyclic shift `s → (s + x) mod N` — the permutation family behind
+    /// the paper's relabeling construction.
+    pub fn shift(size: Size, x: usize) -> Self {
+        Permutation {
+            map: (0..size.n()).map(|s| size.add(s, x)).collect(),
+        }
+    }
+
+    /// The bit-reversal permutation.
+    pub fn bit_reversal(size: Size) -> Self {
+        let n = size.stages();
+        Permutation {
+            map: (0..size.n())
+                .map(|s| {
+                    let mut out = 0usize;
+                    for i in 0..n {
+                        out |= ((s >> i) & 1) << (n - 1 - i);
+                    }
+                    out
+                })
+                .collect(),
+        }
+    }
+
+    /// The exchange permutation `s → s XOR mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask >= N`.
+    pub fn xor(size: Size, mask: usize) -> Self {
+        assert!(mask < size.n(), "mask {mask} out of range");
+        Permutation {
+            map: (0..size.n()).map(|s| s ^ mask).collect(),
+        }
+    }
+
+    /// The perfect shuffle `s → rotate-left(s)` on `n` bits.
+    pub fn perfect_shuffle(size: Size) -> Self {
+        let n = size.stages();
+        Permutation {
+            map: (0..size.n())
+                .map(|s| ((s << 1) | (s >> (n - 1))) & size.mask())
+                .collect(),
+        }
+    }
+
+    /// A uniformly random permutation.
+    pub fn random<R: rand::Rng>(size: Size, rng: &mut R) -> Self {
+        use rand::seq::SliceRandom;
+        let mut map: Vec<usize> = (0..size.n()).collect();
+        map.shuffle(rng);
+        Permutation { map }
+    }
+
+    /// Number of ports.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is this the zero-port permutation? (Never true for valid sizes.)
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The destination of source `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= len()`.
+    #[inline]
+    pub fn image(&self, s: usize) -> usize {
+        self.map[s]
+    }
+
+    /// The underlying map.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.map.len()];
+        for (s, &d) in self.map.iter().enumerate() {
+            inv[d] = s;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Composition `self ∘ other`: first apply `other`, then `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        Permutation {
+            map: (0..self.len())
+                .map(|s| self.image(other.image(s)))
+                .collect(),
+        }
+    }
+
+    /// The permutation conjugated by the shift `x`: source `s` maps to
+    /// `π(s - x) + x`. This is the "same set of permutations with a given
+    /// `x` added to both the source and destination labels" of Section 6.
+    pub fn conjugate_by_shift(&self, size: Size, x: usize) -> Permutation {
+        Permutation {
+            map: (0..size.n())
+                .map(|s| size.add(self.image(size.sub(s, x)), x))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_non_bijections() {
+        assert!(Permutation::new(vec![0, 0, 1, 2]).is_err());
+        assert!(Permutation::new(vec![0, 1, 2, 4]).is_err());
+        assert!(Permutation::new(vec![3, 1, 0, 2]).is_ok());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = Permutation::random(size8(), &mut rng);
+            assert_eq!(p.compose(&p.inverse()), Permutation::identity(size8()));
+            assert_eq!(p.inverse().compose(&p), Permutation::identity(size8()));
+        }
+    }
+
+    #[test]
+    fn shift_wraps() {
+        let p = Permutation::shift(size8(), 3);
+        assert_eq!(p.image(6), 1);
+        assert_eq!(p.image(0), 3);
+    }
+
+    #[test]
+    fn conjugate_by_shift_of_identity_is_identity() {
+        let id = Permutation::identity(size8());
+        for x in 0..8 {
+            assert_eq!(id.conjugate_by_shift(size8(), x), id);
+        }
+    }
+
+    #[test]
+    fn conjugate_round_trips() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = Permutation::random(size8(), &mut rng);
+        for x in 0..8 {
+            let back = p
+                .conjugate_by_shift(size8(), x)
+                .conjugate_by_shift(size8(), 8 - x);
+            assert_eq!(back, p, "x={x}");
+        }
+    }
+
+    #[test]
+    fn classic_families_are_permutations() {
+        let size = Size::new(16).unwrap();
+        for p in [
+            Permutation::bit_reversal(size),
+            Permutation::perfect_shuffle(size),
+            Permutation::xor(size, 0b1010),
+        ] {
+            assert!(Permutation::new(p.as_slice().to_vec()).is_ok());
+        }
+    }
+
+    #[test]
+    fn perfect_shuffle_rotates_bits() {
+        let p = Permutation::perfect_shuffle(size8());
+        assert_eq!(p.image(0b001), 0b010);
+        assert_eq!(p.image(0b100), 0b001);
+    }
+}

@@ -1,0 +1,227 @@
+//! Reconfiguring the IADM network around nonstraight link faults so it
+//! still passes cube-admissible permutations (paper, Section 6).
+//!
+//! "Another use of the results of this section is that the IADM network can
+//! pass the permutations performable by the ICube network when the ICube
+//! network embedded in the IADM network experiences nonstraight link
+//! failures. This is done by incorporating a reconfiguration function in
+//! the system that reassigns each switch `j` to `(j+x)` and reconfiguring
+//! the IADM network to a corresponding cube subgraph which does not include
+//! the faulty nonstraight links."
+
+use crate::admissible::is_cube_admissible;
+use crate::cube_subgraph::relabeled_subgraph;
+use crate::Permutation;
+use iadm_core::connect::delta_c_kind;
+use iadm_fault::BlockageMap;
+use iadm_topology::{bit, LayeredGraph, Link, LinkKind, Path, Size};
+
+/// A reconfiguration of the IADM network onto a fault-free cube subgraph:
+/// the logical relabel amount `x` plus a per-switch choice of `±2^{n-1}`
+/// link at the degenerate last stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reconfiguration {
+    /// Logical relabel amount: switch `j` acts as logical `j + x`.
+    pub x: usize,
+    /// For each last-stage switch, which nonstraight sign its cube
+    /// subgraph uses (both reach the same switch; fault-freedom decides).
+    pub last_stage_signs: Vec<LinkKind>,
+}
+
+impl Reconfiguration {
+    /// The cube subgraph this reconfiguration activates.
+    pub fn subgraph(&self, size: Size) -> LayeredGraph {
+        let mut g = crate::cube_subgraph::prefix(size, &relabeled_subgraph(size, self.x));
+        let last = size.stages() - 1;
+        for (j, &kind) in self.last_stage_signs.iter().enumerate() {
+            g.insert(Link::straight(last, j));
+            g.insert(Link::new(last, j, kind));
+        }
+        g
+    }
+
+    /// The physical routing path from `s` to `d` through the reconfigured
+    /// subgraph: the logical ICube path from `s + x` to `d + x`, mapped
+    /// back to physical labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `d` is `>= N`.
+    pub fn route(&self, size: Size, s: usize, d: usize) -> Path {
+        assert!(s < size.n() && d < size.n(), "address out of range");
+        let d_logical = size.add(d, self.x);
+        let mut logical = size.add(s, self.x);
+        let mut physical = s;
+        let last = size.stages() - 1;
+        let mut kinds = Vec::with_capacity(size.stages());
+        for stage in size.stage_indices() {
+            let mut kind = delta_c_kind(logical, stage, bit(d_logical, stage));
+            if stage == last && kind.is_nonstraight() {
+                // Both signs reach the same switch; use the fault-free one.
+                kind = self.last_stage_signs[physical];
+            }
+            kinds.push(kind);
+            logical = kind.target(size, stage, logical);
+            physical = kind.target(size, stage, physical);
+        }
+        debug_assert_eq!(physical, d);
+        Path::new(s, kinds)
+    }
+
+    /// Does the reconfigured network pass the *physical* permutation
+    /// `perm` in one conflict-free pass? Physical `π` corresponds to the
+    /// logical permutation `u → π(u - x) + x`, which must be
+    /// cube-admissible.
+    pub fn passes(&self, size: Size, perm: &Permutation) -> bool {
+        is_cube_admissible(size, &perm.conjugate_by_shift(size, self.x))
+    }
+}
+
+/// Searches for a reconfiguration whose cube subgraph avoids every blocked
+/// link. Only nonstraight faults are reconfigurable — every cube subgraph
+/// uses all straight links, so a straight fault returns `None`.
+pub fn find_reconfiguration(size: Size, blockages: &BlockageMap) -> Option<Reconfiguration> {
+    // Straight faults defeat every cube subgraph.
+    for stage in size.stage_indices() {
+        for j in size.switches() {
+            if blockages.is_blocked(Link::straight(stage, j)) {
+                return None;
+            }
+        }
+    }
+    let last = size.stages() - 1;
+    'relabel: for x in 0..size.n() {
+        // Stages 0..n-2: the nonstraight sign is forced by the relabel.
+        for stage in 0..last {
+            for j in size.switches() {
+                let kind = if bit(size.add(j, x), stage) == 0 {
+                    LinkKind::Plus
+                } else {
+                    LinkKind::Minus
+                };
+                if blockages.is_blocked(Link::new(stage, j, kind)) {
+                    continue 'relabel;
+                }
+            }
+        }
+        // Last stage: pick any fault-free sign per switch.
+        let mut signs = Vec::with_capacity(size.n());
+        for j in size.switches() {
+            let free = LinkKind::NONSTRAIGHT
+                .into_iter()
+                .find(|&k| blockages.is_free(Link::new(last, j, k)));
+            match free {
+                Some(kind) => signs.push(kind),
+                None => continue 'relabel,
+            }
+        }
+        return Some(Reconfiguration {
+            x,
+            last_stage_signs: signs,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn fault_free_network_reconfigures_to_identity() {
+        let size = size8();
+        let recon = find_reconfiguration(size, &BlockageMap::new(size)).unwrap();
+        assert_eq!(recon.x, 0);
+        for s in size.switches() {
+            for d in size.switches() {
+                let path = recon.route(size, s, d);
+                assert_eq!(path.destination(size), d);
+            }
+        }
+    }
+
+    #[test]
+    fn straight_fault_is_not_reconfigurable() {
+        let size = size8();
+        let blockages = BlockageMap::from_links(size, [Link::straight(1, 3)]);
+        assert_eq!(find_reconfiguration(size, &blockages), None);
+    }
+
+    #[test]
+    fn single_nonstraight_fault_always_reconfigurable() {
+        // Any single nonstraight fault leaves some cube subgraph intact;
+        // the found reconfiguration's subgraph must avoid the fault and
+        // still route every pair.
+        let size = size8();
+        for link in iadm_fault::scenario::candidate_links(
+            size,
+            iadm_fault::scenario::KindFilter::NonstraightOnly,
+        ) {
+            let blockages = BlockageMap::from_links(size, [link]);
+            let recon = find_reconfiguration(size, &blockages)
+                .unwrap_or_else(|| panic!("{link} must be reconfigurable"));
+            assert!(!recon.subgraph(size).contains(link));
+            for s in size.switches() {
+                for d in size.switches() {
+                    let path = recon.route(size, s, d);
+                    assert_eq!(path.destination(size), d, "{link} s={s} d={d}");
+                    assert!(blockages.path_is_free(&path), "{link} s={s} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_stay_inside_the_subgraph() {
+        let size = size8();
+        let mut rng = StdRng::seed_from_u64(4);
+        let blockages = iadm_fault::scenario::random_faults(
+            &mut rng,
+            size,
+            3,
+            iadm_fault::scenario::KindFilter::NonstraightOnly,
+        );
+        if let Some(recon) = find_reconfiguration(size, &blockages) {
+            let sub = recon.subgraph(size);
+            for s in size.switches() {
+                for d in size.switches() {
+                    for link in recon.route(size, s, d).links(size) {
+                        assert!(sub.contains(link), "{link} outside subgraph");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn passes_conjugated_cube_permutations() {
+        // XOR permutations are cube-admissible; after reconfiguration with
+        // relabel x, their shift-conjugates pass on the physical network.
+        let size = size8();
+        // Force a nonzero x by blocking an x=0 prefix link: switch 0 at
+        // stage 0 is even_0 under x=0, so blocking plus(0,0) rules x=0 out.
+        let blockages = BlockageMap::from_links(size, [Link::plus(0, 0)]);
+        let recon = find_reconfiguration(size, &blockages).unwrap();
+        assert_ne!(recon.x, 0);
+        for mask in 0..8 {
+            let logical = Permutation::xor(size, mask);
+            // The physical permutation whose logical view is `logical`:
+            // π_P = conjugate of logical by -x.
+            let physical = logical.conjugate_by_shift(size, size.sub(0, recon.x));
+            assert!(recon.passes(size, &physical), "mask={mask}");
+        }
+    }
+
+    #[test]
+    fn detects_unpassable_permutations() {
+        let size = size8();
+        let recon = find_reconfiguration(size, &BlockageMap::new(size)).unwrap();
+        assert!(!recon.passes(size, &Permutation::bit_reversal(size)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Circuit switching: blocking probability under busy-link contention.
+//!
+//! The paper's blockage notion covers links that are "faulty **or busy**",
+//! and its rerouting schemes are motivated for both. This module models
+//! the busy case directly: circuit-switched connections hold every link of
+//! their path exclusively for their duration, and a new request must find
+//! a path through the links that remain free — exactly a [`BlockageMap`]
+//! query, so Algorithm REROUTE doubles as the circuit path-finder. The
+//! classic metric is the *blocking probability*: the fraction of requests
+//! that find no free path.
+//!
+//! Two establishment policies mirror the networks' capabilities:
+//!
+//! * [`CircuitPolicy::ICubeOnly`] — only the unique embedded-ICube path
+//!   may be used (the zero-redundancy baseline);
+//! * [`CircuitPolicy::IadmReroute`] — any IADM path, found by the paper's
+//!   universal REROUTE over the busy map.
+
+use iadm_core::icube_routing;
+use iadm_core::reroute::reroute_from;
+use iadm_core::TsdtTag;
+use iadm_fault::BlockageMap;
+use iadm_topology::{Link, Path, Size};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a circuit-switching run.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitConfig {
+    /// Network size.
+    pub size: Size,
+    /// Probability an idle source requests a circuit each slot.
+    pub arrival_prob: f64,
+    /// Mean circuit holding time in slots (geometric, minimum 1).
+    pub mean_hold: f64,
+    /// Slots to simulate.
+    pub slots: usize,
+    /// Slots excluded from statistics while occupancy ramps up.
+    pub warmup: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// How a new circuit's path is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CircuitPolicy {
+    /// Only the unique ICube path; blocked if any of its links is busy.
+    ICubeOnly,
+    /// Any IADM path via Algorithm REROUTE over the busy-link map.
+    IadmReroute,
+}
+
+/// Results of a circuit-switching run.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct CircuitStats {
+    /// Connection requests made after warm-up.
+    pub requests: u64,
+    /// Requests that established a circuit.
+    pub established: u64,
+    /// Requests blocked (no free path under the policy).
+    pub blocked: u64,
+    /// Slot-summed count of links held by active circuits (for mean
+    /// utilization).
+    pub busy_link_slots: u64,
+    /// Slots measured (after warm-up).
+    pub measured_slots: u64,
+}
+
+impl CircuitStats {
+    /// The blocking probability `blocked / requests` (0.0 when idle).
+    pub fn blocking_probability(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean fraction of the network's `3·N·n` links held busy.
+    pub fn mean_link_utilization(&self, size: Size) -> f64 {
+        if self.measured_slots == 0 {
+            0.0
+        } else {
+            self.busy_link_slots as f64
+                / (self.measured_slots as f64 * Link::slot_count(size) as f64)
+        }
+    }
+}
+
+/// One active circuit.
+struct Circuit {
+    source: usize,
+    links: Vec<Link>,
+    remaining: u64,
+}
+
+/// Runs a circuit-switching simulation: Bernoulli arrivals per idle source
+/// (one circuit per source at a time), geometric holding times, exclusive
+/// link occupancy, and the chosen path policy over the union of `faults`
+/// and the currently busy links.
+///
+/// # Panics
+///
+/// Panics if `arrival_prob` is outside `[0, 1]`, `mean_hold < 1`, or the
+/// fault map size mismatches.
+pub fn run_circuit(
+    config: CircuitConfig,
+    policy: CircuitPolicy,
+    faults: &BlockageMap,
+) -> CircuitStats {
+    assert!(
+        (0.0..=1.0).contains(&config.arrival_prob),
+        "arrival probability out of range"
+    );
+    assert!(config.mean_hold >= 1.0, "mean hold must be at least 1 slot");
+    assert_eq!(faults.size(), config.size, "fault map size mismatch");
+    let size = config.size;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut busy = faults.clone();
+    let mut circuits: Vec<Circuit> = Vec::new();
+    let mut source_active = vec![false; size.n()];
+    let mut stats = CircuitStats::default();
+    let release_prob = 1.0 / config.mean_hold;
+
+    for slot in 0..config.slots {
+        let measuring = slot >= config.warmup;
+        // Tear down expiring circuits.
+        circuits.retain_mut(|c| {
+            if c.remaining <= 1 {
+                for &link in &c.links {
+                    busy.unblock(link);
+                }
+                source_active[c.source] = false;
+                false
+            } else {
+                c.remaining -= 1;
+                true
+            }
+        });
+        // New requests from idle sources.
+        for s in size.switches() {
+            if source_active[s] || !rng.gen_bool(config.arrival_prob) {
+                continue;
+            }
+            let d = rng.gen_range(0..size.n());
+            if measuring {
+                stats.requests += 1;
+            }
+            let path: Option<Path> = match policy {
+                CircuitPolicy::ICubeOnly => {
+                    let p = icube_routing::route(size, s, d);
+                    busy.path_is_free(&p).then_some(p)
+                }
+                CircuitPolicy::IadmReroute => reroute_from(&busy, s, TsdtTag::new(size, d))
+                    .ok()
+                    .map(|tag| iadm_core::route::trace_tsdt(size, s, &tag)),
+            };
+            match path {
+                Some(p) => {
+                    let links = p.links(size);
+                    for &link in &links {
+                        busy.block(link);
+                    }
+                    // Geometric holding time with mean `mean_hold`.
+                    let mut hold = 1u64;
+                    while !rng.gen_bool(release_prob) && hold < 10_000 {
+                        hold += 1;
+                    }
+                    circuits.push(Circuit {
+                        source: s,
+                        links,
+                        remaining: hold,
+                    });
+                    source_active[s] = true;
+                    if measuring {
+                        stats.established += 1;
+                    }
+                }
+                None => {
+                    if measuring {
+                        stats.blocked += 1;
+                    }
+                }
+            }
+        }
+        if measuring {
+            stats.measured_slots += 1;
+            stats.busy_link_slots += circuits.iter().map(|c| c.links.len() as u64).sum::<u64>();
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(load: f64, slots: usize) -> CircuitConfig {
+        CircuitConfig {
+            size: Size::new(16).unwrap(),
+            arrival_prob: load,
+            mean_hold: 6.0,
+            slots,
+            warmup: slots / 5,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn zero_load_makes_no_requests() {
+        let faults = BlockageMap::new(Size::new(16).unwrap());
+        let stats = run_circuit(config(0.0, 500), CircuitPolicy::IadmReroute, &faults);
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.blocking_probability(), 0.0);
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let faults = BlockageMap::new(Size::new(16).unwrap());
+        for policy in [CircuitPolicy::ICubeOnly, CircuitPolicy::IadmReroute] {
+            let stats = run_circuit(config(0.3, 2000), policy, &faults);
+            assert_eq!(stats.requests, stats.established + stats.blocked);
+            assert!(stats.blocking_probability() <= 1.0);
+            assert!(stats.mean_link_utilization(Size::new(16).unwrap()) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn rerouting_reduces_blocking() {
+        // The paper's point, in circuit form: with alternate paths, busy
+        // links block far fewer connections.
+        let faults = BlockageMap::new(Size::new(16).unwrap());
+        let icube = run_circuit(config(0.4, 4000), CircuitPolicy::ICubeOnly, &faults);
+        let iadm = run_circuit(config(0.4, 4000), CircuitPolicy::IadmReroute, &faults);
+        assert!(icube.requests > 500, "enough samples: {}", icube.requests);
+        assert!(
+            iadm.blocking_probability() < icube.blocking_probability(),
+            "IADM {} vs ICube {}",
+            iadm.blocking_probability(),
+            icube.blocking_probability()
+        );
+    }
+
+    #[test]
+    fn blocking_grows_with_load() {
+        let faults = BlockageMap::new(Size::new(16).unwrap());
+        let low = run_circuit(config(0.1, 3000), CircuitPolicy::IadmReroute, &faults);
+        let high = run_circuit(config(0.8, 3000), CircuitPolicy::IadmReroute, &faults);
+        assert!(high.blocking_probability() >= low.blocking_probability());
+    }
+
+    #[test]
+    fn faults_add_to_busy_links() {
+        // Permanently fault one stage's nonstraight links: blocking rises
+        // versus the fault-free network under the same seed/load.
+        let size = Size::new(16).unwrap();
+        let clean = BlockageMap::new(size);
+        let burst = iadm_fault::scenario::stage_nonstraight_burst(size, 1);
+        let a = run_circuit(config(0.4, 3000), CircuitPolicy::IadmReroute, &clean);
+        let b = run_circuit(config(0.4, 3000), CircuitPolicy::IadmReroute, &burst);
+        assert!(b.blocking_probability() > a.blocking_probability());
+    }
+
+    #[test]
+    fn circuits_release_their_links() {
+        // After the run, re-running at zero arrivals from the same state is
+        // impossible to observe directly (internal); instead check that a
+        // short low-load run ends with low utilization — circuits are
+        // being torn down, not leaking.
+        let faults = BlockageMap::new(Size::new(16).unwrap());
+        let stats = run_circuit(config(0.05, 4000), CircuitPolicy::IadmReroute, &faults);
+        assert!(
+            stats.mean_link_utilization(Size::new(16).unwrap()) < 0.2,
+            "{}",
+            stats.mean_link_utilization(Size::new(16).unwrap())
+        );
+    }
+}

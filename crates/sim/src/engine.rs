@@ -1,0 +1,949 @@
+//! The synchronous simulation engine.
+
+use crate::packet::Packet;
+use crate::queue::LinkQueue;
+use crate::stats::SimStats;
+use crate::traffic::TrafficPattern;
+use iadm_core::{delta_c_kind, route_kind, NetworkState, SwitchState};
+use iadm_fault::BlockageMap;
+use iadm_topology::{bit, Link, LinkKind, Size};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Static configuration of a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Network size.
+    pub size: Size,
+    /// Capacity of each output-link buffer, in packets.
+    pub queue_capacity: usize,
+    /// Number of cycles to simulate.
+    pub cycles: usize,
+    /// Cycles to exclude from latency statistics (queue warm-up).
+    pub warmup: usize,
+    /// Probability that each input injects a new packet each cycle.
+    pub offered_load: f64,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+/// How a switch assigns a nonstraight-bound packet to one of its two
+/// nonstraight output buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingPolicy {
+    /// Always the state-`C` link (the embedded-ICube behavior): no spare
+    /// links are ever used. The paper's implicit baseline.
+    FixedC,
+    /// The paper's SSDT load balancing: choose the nonstraight buffer with
+    /// fewer queued messages (ties go to the state-`C` link).
+    SsdtBalance,
+    /// Choose the sign uniformly at random (a policy-free control).
+    RandomSign,
+    /// Sender-computed TSDT tags: at injection the sender consults the
+    /// global blockage map and attaches a REROUTE-derived 2n-bit tag;
+    /// switches follow the tag's state bits verbatim (paper, Section 4:
+    /// "the tag can be computed by the message sender which is assumed to
+    /// know the location of faulty links and switches"). Unroutable pairs
+    /// are dropped at the source.
+    TsdtSender,
+}
+
+/// What the switching decision did with a packet this cycle.
+enum Decision {
+    /// Enqueue on this output link.
+    Enqueue(LinkKind),
+    /// All usable buffers are full; retry next cycle.
+    Stall,
+    /// Every link that could carry this packet is fault-blocked; the packet
+    /// is undeliverable under this policy.
+    Drop,
+}
+
+/// The simulator: a store-and-forward IADM network with one bounded FIFO
+/// per output link and one packet transfer per link per cycle. Each switch
+/// honors the IADM's `SingleInput` capability: it accepts at most one
+/// incoming packet per cycle (rotating priority among its input links).
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    policy: RoutingPolicy,
+    pattern: TrafficPattern,
+    blockages: BlockageMap,
+    /// queues[stage][switch][kind-index]
+    queues: Vec<Vec<[LinkQueue; 3]>>,
+    source_queues: Vec<VecDeque<Packet>>,
+    rng: StdRng,
+    stats: SimStats,
+    next_id: u64,
+    cycle: u64,
+    /// Packets a switch may accept per cycle: 1 for IADM-style
+    /// single-input switches, 3 for Gamma-style crossbars.
+    accept_limit: u8,
+    /// Packets carried per link (indexed by `Link::flat_index`).
+    link_use: Vec<u64>,
+    /// Per-switch SSDT states used by the balancing policy to alternate
+    /// the nonstraight sign on queue-length ties — the paper's state
+    /// concept applied to load balancing.
+    states: NetworkState,
+}
+
+fn kind_index(kind: LinkKind) -> usize {
+    match kind {
+        LinkKind::Minus => 0,
+        LinkKind::Straight => 1,
+        LinkKind::Plus => 2,
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with no link faults.
+    pub fn new(config: SimConfig, policy: RoutingPolicy, pattern: TrafficPattern) -> Self {
+        Self::with_blockages(config, policy, pattern, BlockageMap::new(config.size))
+    }
+
+    /// Creates a simulator whose links in `blockages` are permanently
+    /// faulty (packets never enter them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offered_load` is outside `[0, 1]` or the blockage map is
+    /// for a different size.
+    pub fn with_blockages(
+        config: SimConfig,
+        policy: RoutingPolicy,
+        pattern: TrafficPattern,
+        blockages: BlockageMap,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.offered_load),
+            "offered load {} out of range",
+            config.offered_load
+        );
+        assert_eq!(blockages.size(), config.size, "blockage map size mismatch");
+        let size = config.size;
+        let queues = (0..size.stages())
+            .map(|_| {
+                (0..size.n())
+                    .map(|_| {
+                        [
+                            LinkQueue::new(config.queue_capacity),
+                            LinkQueue::new(config.queue_capacity),
+                            LinkQueue::new(config.queue_capacity),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        Simulator {
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: SimStats {
+                ports: size.n(),
+                ..SimStats::default()
+            },
+            queues,
+            source_queues: vec![VecDeque::new(); size.n()],
+            config,
+            policy,
+            pattern,
+            blockages,
+            next_id: 0,
+            cycle: 0,
+            accept_limit: 1,
+            link_use: vec![0; Link::slot_count(size)],
+            states: NetworkState::all_c(size),
+        }
+    }
+
+    /// Switches become `3x3` crossbars (the Gamma network's switch
+    /// capability): each switch accepts up to three packets per cycle, one
+    /// per input link. Topology and routing are unchanged — exactly the
+    /// IADM/Gamma relationship of the paper's introduction.
+    #[must_use]
+    pub fn with_crossbar_switches(mut self) -> Self {
+        self.accept_limit = 3;
+        self
+    }
+
+    /// Decides which output buffer of switch `sw` at `stage` the packet
+    /// enters.
+    fn decide(&mut self, stage: usize, sw: usize, packet: &Packet) -> Decision {
+        let size = self.config.size;
+        let dest = packet.dest;
+        if let Some(tag) = &packet.tag {
+            // TSDT: the tag dictates the link; the sender already avoided
+            // every fault, so only queue pressure can delay the packet.
+            let kind = route_kind(sw, stage, tag.dest_bit(stage), tag.switch_state(stage));
+            debug_assert!(
+                self.blockages.is_free(Link::new(stage, sw, kind)),
+                "sender-computed tag steered into a blocked link"
+            );
+            return if self.queues[stage][sw][kind_index(kind)].is_full() {
+                Decision::Stall
+            } else {
+                Decision::Enqueue(kind)
+            };
+        }
+        let t = bit(dest, stage);
+        let c_kind = delta_c_kind(sw, stage, t);
+        if c_kind == LinkKind::Straight {
+            // Straight-bound: no alternative exists (Theorem 3.2).
+            if self.blockages.is_blocked(Link::straight(stage, sw)) {
+                return Decision::Drop;
+            }
+            return if self.queues[stage][sw][kind_index(LinkKind::Straight)].is_full() {
+                Decision::Stall
+            } else {
+                Decision::Enqueue(LinkKind::Straight)
+            };
+        }
+        // Nonstraight-bound: the two signed links both reach the
+        // destination (Theorem 3.2); the policy picks.
+        let cbar_kind = c_kind.opposite();
+        let usable =
+            |kind: LinkKind, this: &Self| this.blockages.is_free(Link::new(stage, sw, kind));
+        let candidates: Vec<LinkKind> = match self.policy {
+            RoutingPolicy::FixedC => {
+                if !usable(c_kind, self) {
+                    return Decision::Drop;
+                }
+                vec![c_kind]
+            }
+            RoutingPolicy::SsdtBalance => {
+                let mut cands: Vec<LinkKind> = [c_kind, cbar_kind]
+                    .into_iter()
+                    .filter(|&k| usable(k, self))
+                    .collect();
+                if cands.is_empty() {
+                    return Decision::Drop;
+                }
+                if cands.len() == 2 {
+                    let len0 = self.queues[stage][sw][kind_index(cands[0])].len();
+                    let len1 = self.queues[stage][sw][kind_index(cands[1])].len();
+                    // Shorter buffer wins; on ties the switch state decides
+                    // and then flips, alternating the sign (the SSDT state
+                    // flip reused as a balancing device).
+                    let prefer_second = match len0.cmp(&len1) {
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => {
+                            let state = self.states.get(stage, sw);
+                            self.states.flip(stage, sw);
+                            // State C keeps the ΔC (first) candidate.
+                            state == SwitchState::Cbar
+                        }
+                    };
+                    if prefer_second {
+                        cands.swap(0, 1);
+                    }
+                }
+                cands
+            }
+            RoutingPolicy::RandomSign => {
+                let mut cands: Vec<LinkKind> = [c_kind, cbar_kind]
+                    .into_iter()
+                    .filter(|&k| usable(k, self))
+                    .collect();
+                if cands.is_empty() {
+                    return Decision::Drop;
+                }
+                if cands.len() == 2 && self.rng.gen_bool(0.5) {
+                    cands.swap(0, 1);
+                }
+                cands
+            }
+            RoutingPolicy::TsdtSender => {
+                // Unreachable: TsdtSender packets always carry a tag and
+                // are handled above; a tagless packet under this policy is
+                // a bug.
+                unreachable!("TsdtSender packets must carry a tag")
+            }
+        };
+        let _ = size;
+        for kind in candidates {
+            if !self.queues[stage][sw][kind_index(kind)].is_full() {
+                return Decision::Enqueue(kind);
+            }
+        }
+        Decision::Stall
+    }
+
+    /// Runs one cycle: deliver/advance from the last stage backward, then
+    /// inject, then sample occupancies.
+    pub fn step(&mut self) {
+        let size = self.config.size;
+        let stages = size.stages();
+        // Advance queue heads, last stage first so a packet moves at most
+        // one hop per cycle.
+        for stage in (0..stages).rev() {
+            // Rotating input priority per receiving switch.
+            let mut accepted = vec![0u8; size.n()];
+            let order_offset = (self.cycle % 3) as usize;
+            for sw_raw in 0..size.n() {
+                let sw = (sw_raw + self.cycle as usize) % size.n();
+                for k_raw in 0..3 {
+                    let kind = LinkKind::ALL[(k_raw + order_offset) % 3];
+                    let Some(&head) = self.queues[stage][sw][kind_index(kind)].head() else {
+                        continue;
+                    };
+                    let to = kind.target(size, stage, sw);
+                    if stage + 1 == stages {
+                        // Exit at the output column. Output switches are
+                        // switches too (the paper's "extra column appended
+                        // at the end"): they accept `accept_limit` packets
+                        // per cycle.
+                        if accepted[to] >= self.accept_limit {
+                            continue;
+                        }
+                        accepted[to] += 1;
+                        let packet = self.queues[stage][sw][kind_index(kind)].pop().unwrap();
+                        self.link_use[Link::new(stage, sw, kind).flat_index(size)] += 1;
+                        if to == packet.dest {
+                            self.stats.delivered += 1;
+                            if packet.injected_at >= self.config.warmup as u64 {
+                                let lat = self.cycle + 1 - packet.injected_at;
+                                self.stats.latency_sum += lat;
+                                self.stats.latency_count += 1;
+                                self.stats.latency_max = self.stats.latency_max.max(lat);
+                            }
+                        } else {
+                            self.stats.misrouted += 1;
+                        }
+                        continue;
+                    }
+                    // Switches accept `accept_limit` packets per cycle
+                    // (1 = IADM single-input, 3 = Gamma crossbar).
+                    if accepted[to] >= self.accept_limit {
+                        continue;
+                    }
+                    match self.decide(stage + 1, to, &head) {
+                        Decision::Enqueue(next_kind) => {
+                            let packet = self.queues[stage][sw][kind_index(kind)].pop().unwrap();
+                            self.link_use[Link::new(stage, sw, kind).flat_index(size)] += 1;
+                            let ok = self.queues[stage + 1][to][kind_index(next_kind)].push(packet);
+                            debug_assert!(ok, "decide() guaranteed space");
+                            accepted[to] += 1;
+                        }
+                        Decision::Stall => {}
+                        Decision::Drop => {
+                            let _ = self.queues[stage][sw][kind_index(kind)].pop();
+                            self.stats.dropped += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Source admission: each stage-0 switch takes at most the head of
+        // its source queue.
+        for s in 0..size.n() {
+            let Some(&head) = self.source_queues[s].front() else {
+                continue;
+            };
+            match self.decide(0, s, &head) {
+                Decision::Enqueue(kind) => {
+                    let packet = self.source_queues[s].pop_front().unwrap();
+                    let ok = self.queues[0][s][kind_index(kind)].push(packet);
+                    debug_assert!(ok, "decide() guaranteed space");
+                }
+                Decision::Stall => {}
+                Decision::Drop => {
+                    self.source_queues[s].pop_front();
+                    self.stats.dropped += 1;
+                }
+            }
+        }
+        // New arrivals.
+        for s in 0..size.n() {
+            if self.rng.gen_bool(self.config.offered_load) {
+                let dest = self.pattern.destination(size, s, &mut self.rng);
+                let id = self.next_id;
+                self.next_id += 1;
+                self.stats.injected += 1;
+                if self.policy == RoutingPolicy::TsdtSender {
+                    // The sender consults the controller's blockage map.
+                    match iadm_core::reroute::reroute(size, &self.blockages, s, dest) {
+                        Ok(tag) => self.source_queues[s]
+                            .push_back(Packet::with_tag(id, s, dest, self.cycle, tag)),
+                        Err(_) => {
+                            // No blockage-free path exists: refused at the
+                            // source.
+                            self.stats.refused += 1;
+                        }
+                    }
+                } else {
+                    self.source_queues[s].push_back(Packet::new(id, s, dest, self.cycle));
+                }
+            }
+        }
+        // Occupancy sampling.
+        for stage_queues in &mut self.queues {
+            for sw_queues in stage_queues {
+                for q in sw_queues.iter_mut() {
+                    q.sample();
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs the configured number of cycles and returns the statistics.
+    pub fn run(mut self) -> SimStats {
+        for _ in 0..self.config.cycles {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Finalizes statistics without running further cycles.
+    pub fn finish(mut self) -> SimStats {
+        let mut in_flight: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
+        let mut high_water = 0usize;
+        let mut occupancy_sum = 0.0f64;
+        let mut queue_count = 0usize;
+        for stage_queues in &self.queues {
+            for sw_queues in stage_queues {
+                for q in sw_queues.iter() {
+                    in_flight += q.len() as u64;
+                    high_water = high_water.max(q.high_water());
+                    occupancy_sum += q.mean_occupancy();
+                    queue_count += 1;
+                }
+            }
+        }
+        // Nonstraight balance per the paper's load-balancing argument.
+        let size = self.config.size;
+        let mut imbalance_sum = 0.0f64;
+        let mut switches_with_traffic = 0usize;
+        let mut max_link_load = 0u64;
+        for stage in size.stage_indices() {
+            for sw in size.switches() {
+                let plus = self.link_use[Link::plus(stage, sw).flat_index(size)];
+                let minus = self.link_use[Link::minus(stage, sw).flat_index(size)];
+                let straight = self.link_use[Link::straight(stage, sw).flat_index(size)];
+                max_link_load = max_link_load.max(plus).max(minus).max(straight);
+                if plus + minus > 0 {
+                    imbalance_sum += (plus.abs_diff(minus)) as f64 / (plus + minus) as f64;
+                    switches_with_traffic += 1;
+                }
+            }
+        }
+        self.stats.nonstraight_imbalance = if switches_with_traffic == 0 {
+            0.0
+        } else {
+            imbalance_sum / switches_with_traffic as f64
+        };
+        self.stats.max_link_load = max_link_load;
+        self.stats.in_flight = in_flight;
+        self.stats.queue_high_water = high_water;
+        self.stats.queue_mean_occupancy = if queue_count == 0 {
+            0.0
+        } else {
+            occupancy_sum / queue_count as f64
+        };
+        self.stats.cycles = self.cycle;
+        self.stats
+    }
+
+    /// The cycle counter (number of completed steps).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Immutable view of the accumulated statistics (finalized fields such
+    /// as `in_flight` are only filled in by [`Simulator::finish`]).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+}
+
+/// Convenience: run one configuration under a policy and pattern with no
+/// faults.
+pub fn run_once(config: SimConfig, policy: RoutingPolicy, pattern: TrafficPattern) -> SimStats {
+    Simulator::new(config, policy, pattern).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iadm_fault::scenario::{self, KindFilter};
+
+    fn config(n: usize, load: f64, cycles: usize) -> SimConfig {
+        SimConfig {
+            size: Size::new(n).unwrap(),
+            queue_capacity: 4,
+            cycles,
+            warmup: cycles / 4,
+            offered_load: load,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn packets_are_conserved_and_never_misrouted() {
+        for policy in [
+            RoutingPolicy::FixedC,
+            RoutingPolicy::SsdtBalance,
+            RoutingPolicy::RandomSign,
+        ] {
+            let stats = run_once(config(8, 0.4, 400), policy, TrafficPattern::Uniform);
+            assert!(stats.is_conserved(), "{policy:?}: {stats:?}");
+            assert_eq!(stats.misrouted, 0, "{policy:?}");
+            assert_eq!(stats.dropped, 0, "no faults => no drops ({policy:?})");
+            assert!(stats.delivered > 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn zero_load_injects_nothing() {
+        let stats = run_once(
+            config(8, 0.0, 100),
+            RoutingPolicy::FixedC,
+            TrafficPattern::Uniform,
+        );
+        assert_eq!(stats.injected, 0);
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_once(
+            config(16, 0.3, 200),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        );
+        let b = run_once(
+            config(16, 0.3, 200),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        );
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.latency_sum, b.latency_sum);
+    }
+
+    #[test]
+    fn permutation_traffic_delivers_everything_eventually() {
+        let perm: Vec<usize> = (0..8).rev().collect();
+        let mut config = config(8, 0.2, 2000);
+        config.warmup = 0;
+        let stats = run_once(
+            config,
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Permutation(perm),
+        );
+        assert_eq!(stats.misrouted, 0);
+        assert!(stats.is_conserved());
+        // Low load must drain almost fully.
+        assert!(
+            stats.delivered as f64 >= 0.9 * stats.injected as f64,
+            "delivered {} of {}",
+            stats.delivered,
+            stats.injected
+        );
+    }
+
+    #[test]
+    fn latency_at_low_load_is_near_pipeline_depth() {
+        // At very low load a packet should cross the n-stage pipeline plus
+        // the injection hop with little queueing: mean latency < 2 * (n+1).
+        let stats = run_once(
+            config(16, 0.02, 2000),
+            RoutingPolicy::FixedC,
+            TrafficPattern::Uniform,
+        );
+        let n = 4.0;
+        assert!(stats.mean_latency() >= n, "cannot beat the pipeline depth");
+        assert!(
+            stats.mean_latency() < 2.0 * (n + 1.0),
+            "mean latency {} too high for load 0.02",
+            stats.mean_latency()
+        );
+    }
+
+    #[test]
+    fn ssdt_balance_survives_nonstraight_faults_fixedc_drops() {
+        // Fault one nonstraight ICube link: FixedC drops packets that need
+        // it; SsdtBalance uses the spare and drops nothing.
+        let size = Size::new(8).unwrap();
+        let blockages =
+            iadm_fault::BlockageMap::from_links(size, [iadm_topology::Link::plus(1, 1)]);
+        let mk = |policy| {
+            Simulator::with_blockages(
+                config(8, 0.3, 600),
+                policy,
+                TrafficPattern::Uniform,
+                blockages.clone(),
+            )
+            .run()
+        };
+        let fixed = mk(RoutingPolicy::FixedC);
+        let ssdt = mk(RoutingPolicy::SsdtBalance);
+        assert!(fixed.dropped > 0, "FixedC must lose packets: {fixed:?}");
+        assert_eq!(ssdt.dropped, 0, "SSDT must evade the fault: {ssdt:?}");
+        assert_eq!(ssdt.misrouted, 0);
+    }
+
+    #[test]
+    fn hotspot_saturates_but_conserves() {
+        let stats = run_once(
+            config(8, 0.8, 300),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::HotSpot(0),
+        );
+        assert!(stats.is_conserved());
+        assert_eq!(stats.misrouted, 0);
+        // The hot output can sink at most 1 packet/cycle.
+        assert!(stats.delivered <= stats.cycles + 1);
+    }
+
+    #[test]
+    fn all_links_faulty_drops_everything_it_admits() {
+        let size = Size::new(8).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let blockages = scenario::bernoulli_faults(&mut rng, size, 1.0, KindFilter::Any);
+        let stats = Simulator::with_blockages(
+            config(8, 0.5, 100),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+            blockages,
+        )
+        .run();
+        assert_eq!(stats.delivered, 0);
+        assert!(stats.is_conserved());
+    }
+}
+
+#[cfg(test)]
+mod tsdt_sender_tests {
+    use super::*;
+
+    fn config(n: usize, load: f64, cycles: usize) -> SimConfig {
+        SimConfig {
+            size: Size::new(n).unwrap(),
+            queue_capacity: 4,
+            cycles,
+            warmup: cycles / 4,
+            offered_load: load,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn tsdt_sender_survives_mixed_faults() {
+        // Faults of every kind, placed so that the network stays fully
+        // connected; SSDT drops (straight faults defeat it) while the
+        // TSDT sender policy delivers everything.
+        let size = Size::new(8).unwrap();
+        let blockages = iadm_fault::BlockageMap::from_links(
+            size,
+            [
+                iadm_topology::Link::straight(1, 1),
+                iadm_topology::Link::plus(0, 2),
+                iadm_topology::Link::minus(2, 6),
+            ],
+        );
+        let mk = |policy| {
+            Simulator::with_blockages(
+                config(8, 0.3, 1200),
+                policy,
+                TrafficPattern::Uniform,
+                blockages.clone(),
+            )
+            .run()
+        };
+        let ssdt = mk(RoutingPolicy::SsdtBalance);
+        let tsdt = mk(RoutingPolicy::TsdtSender);
+        assert!(ssdt.dropped > 0, "SSDT must lose straight-fault traffic");
+        // The TSDT sender never drops in-network; its only losses are
+        // source refusals of provably disconnected pairs (here: traffic
+        // from source 1 to destinations 1 and 5, severed by the straight
+        // fault on its forced prefix).
+        assert_eq!(
+            tsdt.dropped, 0,
+            "TSDT sender never drops in-network: {tsdt:?}"
+        );
+        assert!(
+            tsdt.refused > 0,
+            "disconnected pairs are refused at the source"
+        );
+        assert_eq!(tsdt.misrouted, 0);
+        assert!(tsdt.is_conserved());
+        let served = |s: &SimStats| s.delivered + s.in_flight;
+        assert!(served(&tsdt) + tsdt.refused >= served(&ssdt) + ssdt.dropped);
+    }
+
+    #[test]
+    fn tsdt_sender_refuses_unroutable_pairs_at_source() {
+        // Disconnect destination 3 completely (block all its input links
+        // at the last stage); TSDT-sender traffic to 3 is refused at the
+        // source, everything else still flows.
+        let size = Size::new(8).unwrap();
+        let mut blockages = iadm_fault::BlockageMap::new(size);
+        blockages.block_switch(size.stages(), 3);
+        let stats = Simulator::with_blockages(
+            config(8, 0.4, 1500),
+            RoutingPolicy::TsdtSender,
+            TrafficPattern::Uniform,
+            blockages,
+        )
+        .run();
+        assert!(stats.refused > 0, "traffic to 3 must be refused");
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.misrouted, 0);
+        assert!(stats.is_conserved());
+        // Roughly 1/8 of uniform traffic targets the dead output.
+        let ratio = stats.refused as f64 / stats.injected as f64;
+        assert!(ratio > 0.05 && ratio < 0.25, "refusal ratio {ratio}");
+    }
+
+    #[test]
+    fn tsdt_sender_without_faults_behaves_like_fixed_c() {
+        // No faults: REROUTE returns the all-C tag, so TsdtSender and
+        // FixedC deliver identical flows.
+        let a = Simulator::new(
+            config(16, 0.3, 800),
+            RoutingPolicy::TsdtSender,
+            TrafficPattern::Uniform,
+        )
+        .run();
+        let b = Simulator::new(
+            config(16, 0.3, 800),
+            RoutingPolicy::FixedC,
+            TrafficPattern::Uniform,
+        )
+        .run();
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.latency_sum, b.latency_sum);
+        assert_eq!(a.dropped, 0);
+    }
+}
+
+#[cfg(test)]
+mod crossbar_tests {
+    use super::*;
+
+    fn config(load: f64) -> SimConfig {
+        SimConfig {
+            size: Size::new(16).unwrap(),
+            queue_capacity: 4,
+            cycles: 2000,
+            warmup: 300,
+            offered_load: load,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn crossbar_switches_conserve_and_deliver() {
+        let stats = Simulator::new(
+            config(0.6),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        )
+        .with_crossbar_switches()
+        .run();
+        assert!(stats.is_conserved());
+        assert_eq!(stats.misrouted, 0);
+        assert!(stats.delivered > 0);
+    }
+
+    #[test]
+    fn gamma_crossbars_outperform_iadm_switches_under_contention() {
+        // Under heavy hot-ish traffic the 3x3 crossbars resolve switch
+        // contention that single-input switches cannot: lower latency.
+        let mk = |crossbar: bool| {
+            let sim = Simulator::new(
+                config(0.85),
+                RoutingPolicy::SsdtBalance,
+                TrafficPattern::BitReversal,
+            );
+            let sim = if crossbar {
+                sim.with_crossbar_switches()
+            } else {
+                sim
+            };
+            sim.run()
+        };
+        let iadm = mk(false);
+        let gamma = mk(true);
+        assert!(iadm.is_conserved() && gamma.is_conserved());
+        assert!(
+            gamma.mean_latency() < iadm.mean_latency(),
+            "crossbars must cut latency: {} vs {}",
+            gamma.mean_latency(),
+            iadm.mean_latency()
+        );
+        assert!(gamma.delivered >= iadm.delivered);
+    }
+}
+
+#[cfg(test)]
+mod balance_tests {
+    use super::*;
+
+    fn config(load: f64) -> SimConfig {
+        SimConfig {
+            size: Size::new(16).unwrap(),
+            queue_capacity: 4,
+            cycles: 2000,
+            warmup: 200,
+            offered_load: load,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn fixed_c_is_maximally_imbalanced() {
+        // FixedC routes every nonstraight-bound message of a switch down
+        // the same sign: imbalance exactly 1.
+        let stats = run_once(config(0.5), RoutingPolicy::FixedC, TrafficPattern::Uniform);
+        assert!(
+            (stats.nonstraight_imbalance - 1.0).abs() < 1e-12,
+            "imbalance {}",
+            stats.nonstraight_imbalance
+        );
+    }
+
+    #[test]
+    fn ssdt_balance_spreads_the_load() {
+        // The paper's claim, measured: shorter-queue assignment evens the
+        // nonstraight load out.
+        let fixed = run_once(config(0.5), RoutingPolicy::FixedC, TrafficPattern::Uniform);
+        let ssdt = run_once(
+            config(0.5),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        );
+        assert!(
+            ssdt.nonstraight_imbalance < 0.5 * fixed.nonstraight_imbalance,
+            "SSDT imbalance {} vs FixedC {}",
+            ssdt.nonstraight_imbalance,
+            fixed.nonstraight_imbalance
+        );
+    }
+
+    #[test]
+    fn max_link_load_drops_under_balancing() {
+        let fixed = run_once(config(0.7), RoutingPolicy::FixedC, TrafficPattern::Uniform);
+        let ssdt = run_once(
+            config(0.7),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        );
+        assert!(
+            ssdt.max_link_load <= fixed.max_link_load,
+            "balancing must not increase the hottest link: {} vs {}",
+            ssdt.max_link_load,
+            fixed.max_link_load
+        );
+    }
+
+    #[test]
+    fn zero_traffic_reports_zero_imbalance() {
+        let stats = run_once(
+            config(0.0),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        );
+        assert_eq!(stats.nonstraight_imbalance, 0.0);
+        assert_eq!(stats.max_link_load, 0);
+    }
+}
+
+#[cfg(test)]
+mod permutation_throughput_tests {
+    use super::*;
+
+    fn run_perm(perm: Vec<usize>, policy: RoutingPolicy) -> SimStats {
+        let size = Size::new(8).unwrap();
+        let config = SimConfig {
+            size,
+            queue_capacity: 4,
+            cycles: 2000,
+            warmup: 200,
+            offered_load: 1.0,
+            seed: 13,
+        };
+        run_once(config, policy, TrafficPattern::Permutation(perm))
+    }
+
+    #[test]
+    fn admissible_permutation_streams_at_full_rate() {
+        // XOR permutations route over switch-disjoint paths (cube
+        // admissible), so at offered load 1.0 the pipeline sustains ~1
+        // packet/port/cycle with no queueing growth.
+        let perm: Vec<usize> = (0..8).map(|s| s ^ 0b101).collect();
+        let stats = run_perm(perm, RoutingPolicy::FixedC);
+        assert_eq!(stats.misrouted, 0);
+        assert!(stats.is_conserved());
+        assert!(
+            stats.throughput() > 0.95,
+            "admissible permutation must stream: {}",
+            stats.throughput()
+        );
+        // Latency stays at the pipeline depth (n + injection hop).
+        assert!(stats.mean_latency() < 8.0, "{}", stats.mean_latency());
+    }
+
+    #[test]
+    fn conflicting_permutation_throttles() {
+        // Bit reversal at N=8 is not one-pass admissible: switch conflicts
+        // serialize some flows and the sustained rate drops below 1.
+        let perm: Vec<usize> = (0..8usize)
+            .map(|s| ((s & 1) << 2) | (s & 2) | ((s >> 2) & 1))
+            .collect();
+        let stats = run_perm(perm, RoutingPolicy::FixedC);
+        assert_eq!(stats.misrouted, 0);
+        assert!(stats.is_conserved());
+        assert!(
+            stats.throughput() < 0.95,
+            "conflicting permutation cannot stream at full rate: {}",
+            stats.throughput()
+        );
+        // The SSDT balancing policy exploits the spare links to do better.
+        let perm: Vec<usize> = (0..8usize)
+            .map(|s| ((s & 1) << 2) | (s & 2) | ((s >> 2) & 1))
+            .collect();
+        let balanced = run_perm(perm, RoutingPolicy::SsdtBalance);
+        assert!(
+            balanced.throughput() >= stats.throughput() - 1e-9,
+            "balancing must not hurt: {} vs {}",
+            balanced.throughput(),
+            stats.throughput()
+        );
+    }
+
+    #[test]
+    fn crossbars_lift_conflicting_permutation_throughput() {
+        let perm: Vec<usize> = (0..8usize)
+            .map(|s| ((s & 1) << 2) | (s & 2) | ((s >> 2) & 1))
+            .collect();
+        let size = Size::new(8).unwrap();
+        let config = SimConfig {
+            size,
+            queue_capacity: 4,
+            cycles: 2000,
+            warmup: 200,
+            offered_load: 1.0,
+            seed: 13,
+        };
+        let single = Simulator::new(
+            config,
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Permutation(perm.clone()),
+        )
+        .run();
+        let crossbar = Simulator::new(
+            config,
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Permutation(perm),
+        )
+        .with_crossbar_switches()
+        .run();
+        assert!(
+            crossbar.throughput() >= single.throughput(),
+            "gamma crossbars must not reduce throughput: {} vs {}",
+            crossbar.throughput(),
+            single.throughput()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Packets: the simulated messages.
+
+use iadm_core::TsdtTag;
+
+/// A message in flight: carries only its destination tag (the paper's
+/// point — no distance computation anywhere) plus bookkeeping for
+/// statistics. Under the TSDT sender-computed policy it additionally
+/// carries the 2n-bit TSDT tag the sender derived from the global
+/// blockage map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique id, assigned at injection in injection order.
+    pub id: u64,
+    /// Source port.
+    pub source: usize,
+    /// Destination port — also the routing tag (Theorem 3.1).
+    pub dest: usize,
+    /// Cycle at which the packet entered its source queue.
+    pub injected_at: u64,
+    /// Sender-computed TSDT tag, when the TSDT policy is in force.
+    pub tag: Option<TsdtTag>,
+}
+
+impl Packet {
+    /// Creates an untagged packet (destination-address routing only).
+    pub fn new(id: u64, source: usize, dest: usize, injected_at: u64) -> Self {
+        Packet {
+            id,
+            source,
+            dest,
+            injected_at,
+            tag: None,
+        }
+    }
+
+    /// Creates a packet carrying a sender-computed TSDT tag.
+    pub fn with_tag(id: u64, source: usize, dest: usize, injected_at: u64, tag: TsdtTag) -> Self {
+        Packet {
+            id,
+            source,
+            dest,
+            injected_at,
+            tag: Some(tag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_stores_fields() {
+        let p = Packet::new(7, 1, 6, 100);
+        assert_eq!(p.id, 7);
+        assert_eq!(p.source, 1);
+        assert_eq!(p.dest, 6);
+        assert_eq!(p.injected_at, 100);
+    }
+}

@@ -1,0 +1,145 @@
+//! Bounded FIFO link buffers with occupancy tracking.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// The buffer associated with one output link of a switch: a bounded FIFO
+/// that records its high-water mark and cumulative occupancy so the load-
+/// balancing experiment can compare buffer pressure across policies.
+#[derive(Debug, Clone)]
+pub struct LinkQueue {
+    items: VecDeque<Packet>,
+    capacity: usize,
+    high_water: usize,
+    occupancy_sum: u64,
+    samples: u64,
+}
+
+impl LinkQueue {
+    /// Creates an empty queue holding at most `capacity` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        LinkQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            occupancy_sum: 0,
+            samples: 0,
+        }
+    }
+
+    /// Current number of queued packets.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Is the queue at capacity?
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Enqueues `packet`; returns `false` (leaving the queue unchanged)
+    /// when full.
+    pub fn push(&mut self, packet: Packet) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.items.push_back(packet);
+        self.high_water = self.high_water.max(self.items.len());
+        true
+    }
+
+    /// Dequeues the head packet, if any.
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the head packet.
+    pub fn head(&self) -> Option<&Packet> {
+        self.items.front()
+    }
+
+    /// Records one occupancy sample (call once per cycle).
+    pub fn sample(&mut self) {
+        self.occupancy_sum += self.items.len() as u64;
+        self.samples += 1;
+    }
+
+    /// Largest occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Mean occupancy over all samples (0.0 when never sampled).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64) -> Packet {
+        Packet::new(id, 0, 0, 0)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = LinkQueue::new(3);
+        assert!(q.push(pkt(1)));
+        assert!(q.push(pkt(2)));
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut q = LinkQueue::new(2);
+        assert!(q.push(pkt(1)));
+        assert!(q.push(pkt(2)));
+        assert!(q.is_full());
+        assert!(!q.push(pkt(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = LinkQueue::new(4);
+        q.push(pkt(1));
+        q.push(pkt(2));
+        q.pop();
+        q.push(pkt(3));
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn mean_occupancy_averages_samples() {
+        let mut q = LinkQueue::new(4);
+        q.sample(); // 0
+        q.push(pkt(1));
+        q.push(pkt(2));
+        q.sample(); // 2
+        assert!((q.mean_occupancy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = LinkQueue::new(0);
+    }
+}

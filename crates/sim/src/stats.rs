@@ -1,0 +1,112 @@
+//! Simulation statistics.
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimStats {
+    /// Packets injected into source queues.
+    pub injected: u64,
+    /// Packets delivered to their destination output.
+    pub delivered: u64,
+    /// Packets delivered to the *wrong* output (must stay 0; a nonzero
+    /// value indicates a routing bug).
+    pub misrouted: u64,
+    /// Packets dropped because every usable output link was blocked by
+    /// faults (only possible in fault scenarios).
+    pub dropped: u64,
+    /// Packets refused at the source because the sender's REROUTE found no
+    /// blockage-free path (TSDT sender policy only; these pairs are
+    /// provably disconnected).
+    pub refused: u64,
+    /// Packets still inside the network or source queues when the run
+    /// ended.
+    pub in_flight: u64,
+    /// Sum of delivery latencies (cycles from injection to delivery) over
+    /// delivered packets injected after warm-up.
+    pub latency_sum: u64,
+    /// Number of delivered packets counted in `latency_sum`.
+    pub latency_count: u64,
+    /// Maximum delivery latency observed after warm-up.
+    pub latency_max: u64,
+    /// Largest link-queue occupancy observed anywhere in the network.
+    pub queue_high_water: usize,
+    /// Mean link-queue occupancy, averaged over all queues and cycles.
+    pub queue_mean_occupancy: f64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Network ports.
+    pub ports: usize,
+    /// Nonstraight-link load imbalance in `[0, 1]`: per switch,
+    /// `|plus_traffic - minus_traffic| / (plus_traffic + minus_traffic)`,
+    /// averaged over switches that carried any nonstraight traffic.
+    /// `0.0` = the paper's "evenly distributed" ideal; `1.0` = every
+    /// switch sent all its nonstraight traffic down one sign (what the
+    /// fixed state-C policy does by construction).
+    pub nonstraight_imbalance: f64,
+    /// The largest number of packets any single link carried.
+    pub max_link_load: u64,
+}
+
+impl SimStats {
+    /// Mean delivery latency in cycles (0.0 when nothing was delivered).
+    pub fn mean_latency(&self) -> f64 {
+        if self.latency_count == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.latency_count as f64
+        }
+    }
+
+    /// Delivered throughput in packets per port per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 || self.ports == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / (self.cycles as f64 * self.ports as f64)
+        }
+    }
+
+    /// Conservation check: every injected packet is delivered, dropped,
+    /// refused at the source, or still in flight.
+    pub fn is_conserved(&self) -> bool {
+        self.injected == self.delivered + self.dropped + self.refused + self.in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_handles_empty() {
+        assert_eq!(SimStats::default().mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let stats = SimStats {
+            injected: 10,
+            delivered: 8,
+            dropped: 1,
+            in_flight: 1,
+            latency_sum: 40,
+            latency_count: 8,
+            latency_max: 9,
+            cycles: 100,
+            ports: 8,
+            ..Default::default()
+        };
+        assert!((stats.mean_latency() - 5.0).abs() < 1e-9);
+        assert!((stats.throughput() - 0.01).abs() < 1e-9);
+        assert!(stats.is_conserved());
+    }
+
+    #[test]
+    fn conservation_detects_loss() {
+        let stats = SimStats {
+            injected: 10,
+            delivered: 8,
+            ..Default::default()
+        };
+        assert!(!stats.is_conserved());
+    }
+}

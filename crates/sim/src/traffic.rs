@@ -1,0 +1,116 @@
+//! Traffic patterns for the packet simulator.
+
+use iadm_topology::Size;
+use rand::Rng;
+
+/// How injected packets choose their destinations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Destination drawn uniformly at random per packet.
+    Uniform,
+    /// Every source `s` always sends to `perm[s]` (permutation traffic).
+    Permutation(Vec<usize>),
+    /// All sources send to a single hot-spot destination.
+    HotSpot(usize),
+    /// Bit-reversal: source `s` sends to the bit-reversed address of `s`
+    /// (a classic adversarial pattern for multistage networks).
+    BitReversal,
+}
+
+impl TrafficPattern {
+    /// The destination for a packet injected at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a permutation entry or hot-spot destination is out of
+    /// range, or a permutation is the wrong length.
+    pub fn destination<R: Rng>(&self, size: Size, source: usize, rng: &mut R) -> usize {
+        match self {
+            TrafficPattern::Uniform => rng.gen_range(0..size.n()),
+            TrafficPattern::Permutation(perm) => {
+                assert_eq!(perm.len(), size.n(), "permutation length mismatch");
+                let d = perm[source];
+                assert!(d < size.n(), "permutation entry {d} out of range");
+                d
+            }
+            TrafficPattern::HotSpot(d) => {
+                assert!(*d < size.n(), "hot spot {d} out of range");
+                *d
+            }
+            TrafficPattern::BitReversal => {
+                let n = size.stages();
+                let mut out = 0usize;
+                for i in 0..n {
+                    out |= ((source >> i) & 1) << (n - 1 - i);
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = TrafficPattern::Uniform.destination(size8(), 0, &mut rng);
+            assert!(d < 8);
+        }
+    }
+
+    #[test]
+    fn permutation_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let perm = vec![7, 6, 5, 4, 3, 2, 1, 0];
+        let pattern = TrafficPattern::Permutation(perm);
+        for s in 0..8 {
+            assert_eq!(pattern.destination(size8(), s, &mut rng), 7 - s);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_involutive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let size = Size::new(16).unwrap();
+        for s in size.switches() {
+            let d = TrafficPattern::BitReversal.destination(size, s, &mut rng);
+            let back = TrafficPattern::BitReversal.destination(size, d, &mut rng);
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // N=8: 001 -> 100, 011 -> 110.
+        assert_eq!(
+            TrafficPattern::BitReversal.destination(size8(), 0b001, &mut rng),
+            0b100
+        );
+        assert_eq!(
+            TrafficPattern::BitReversal.destination(size8(), 0b011, &mut rng),
+            0b110
+        );
+    }
+
+    #[test]
+    fn hotspot_always_hits_target() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in 0..8 {
+            assert_eq!(
+                TrafficPattern::HotSpot(3).destination(size8(), s, &mut rng),
+                3
+            );
+        }
+    }
+}

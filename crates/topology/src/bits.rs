@@ -1,0 +1,212 @@
+//! Bit-level address manipulation following the paper's notation.
+//!
+//! The paper writes an address as `j = j_0 j_1 … j_{n-1}` where bit `j_i` has
+//! weight `2^i` (`j_{n-1}` is the most significant bit), and uses `j_{p/q}`
+//! for the bit field from bit `p` through bit `q` inclusive (`p <= q`).
+//! These helpers implement that notation for `usize` addresses.
+
+/// Returns bit `i` of `v` (0 or 1).
+///
+/// ```
+/// assert_eq!(iadm_topology::bit(0b0110, 1), 1);
+/// assert_eq!(iadm_topology::bit(0b0110, 0), 0);
+/// ```
+#[inline]
+pub fn bit(v: usize, i: usize) -> usize {
+    (v >> i) & 1
+}
+
+/// Returns the paper's `v_{p/q}`: bits `p..=q` of `v`, right-aligned so the
+/// result's bit 0 is `v_p`.
+///
+/// # Panics
+///
+/// Panics if `p > q` or `q >= usize::BITS`.
+///
+/// ```
+/// // 0b1101 = d_0..d_3 = 1,0,1,1 ; bits 1..=2 are (0,1) -> 0b10
+/// assert_eq!(iadm_topology::bit_range(0b1101, 1, 2), 0b10);
+/// ```
+#[inline]
+pub fn bit_range(v: usize, p: usize, q: usize) -> usize {
+    assert!(p <= q, "bit_range requires p <= q (got p={p}, q={q})");
+    assert!((q as u32) < usize::BITS, "bit index {q} out of range");
+    let width = q - p + 1;
+    let mask = if width as u32 == usize::BITS {
+        usize::MAX
+    } else {
+        (1usize << width) - 1
+    };
+    (v >> p) & mask
+}
+
+/// Returns `v` with bit `i` replaced by `b` (which must be 0 or 1).
+///
+/// # Panics
+///
+/// Panics if `b > 1`.
+///
+/// ```
+/// assert_eq!(iadm_topology::replace_bit(0b1000, 0, 1), 0b1001);
+/// assert_eq!(iadm_topology::replace_bit(0b1001, 3, 0), 0b0001);
+/// ```
+#[inline]
+pub fn replace_bit(v: usize, i: usize, b: usize) -> usize {
+    assert!(b <= 1, "bit value must be 0 or 1, got {b}");
+    (v & !(1usize << i)) | (b << i)
+}
+
+/// Returns `v` with bits `p..=q` replaced by the low bits of `field`
+/// (the paper's substitution `v_{0/p-1} field v_{q+1/n-1}`).
+///
+/// # Panics
+///
+/// Panics if `p > q`, if `q >= usize::BITS`, or if `field` does not fit in
+/// `q - p + 1` bits.
+///
+/// ```
+/// assert_eq!(iadm_topology::replace_bit_range(0b0000, 1, 2, 0b11), 0b0110);
+/// ```
+#[inline]
+pub fn replace_bit_range(v: usize, p: usize, q: usize, field: usize) -> usize {
+    assert!(
+        p <= q,
+        "replace_bit_range requires p <= q (got p={p}, q={q})"
+    );
+    assert!((q as u32) < usize::BITS, "bit index {q} out of range");
+    let width = q - p + 1;
+    let mask = if width as u32 == usize::BITS {
+        usize::MAX
+    } else {
+        (1usize << width) - 1
+    };
+    assert!(field <= mask, "field {field:#b} wider than {width} bits");
+    (v & !(mask << p)) | (field << p)
+}
+
+/// Extension trait providing the paper's bit notation as methods on `usize`.
+///
+/// ```
+/// use iadm_topology::BitsExt;
+///
+/// let j = 0b0101usize;
+/// assert_eq!(j.bit(2), 1);
+/// assert_eq!(j.bit_range(0, 1), 0b01);
+/// assert_eq!(j.with_bit(1, 1), 0b0111);
+/// ```
+pub trait BitsExt: Sized {
+    /// Bit `i` (0 or 1). See [`bit`](fn@bit).
+    fn bit(self, i: usize) -> usize;
+    /// Bits `p..=q` right-aligned. See [`bit_range`](fn@bit_range).
+    fn bit_range(self, p: usize, q: usize) -> usize;
+    /// Self with bit `i` replaced. See [`replace_bit`](fn@replace_bit).
+    fn with_bit(self, i: usize, b: usize) -> Self;
+    /// Self with bits `p..=q` replaced. See
+    /// [`replace_bit_range`](fn@replace_bit_range).
+    fn with_bit_range(self, p: usize, q: usize, field: usize) -> Self;
+}
+
+impl BitsExt for usize {
+    #[inline]
+    fn bit(self, i: usize) -> usize {
+        bit(self, i)
+    }
+    #[inline]
+    fn bit_range(self, p: usize, q: usize) -> usize {
+        bit_range(self, p, q)
+    }
+    #[inline]
+    fn with_bit(self, i: usize, b: usize) -> Self {
+        replace_bit(self, i, b)
+    }
+    #[inline]
+    fn with_bit_range(self, p: usize, q: usize, field: usize) -> Self {
+        replace_bit_range(self, p, q, field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bit_extracts_each_position() {
+        let v = 0b1010_0110usize;
+        let expect = [0, 1, 1, 0, 0, 1, 0, 1];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(bit(v, i), e, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn bit_range_single_bit_matches_bit() {
+        let v = 0b1011usize;
+        for i in 0..4 {
+            assert_eq!(bit_range(v, i, i), bit(v, i));
+        }
+    }
+
+    #[test]
+    fn bit_range_full_width() {
+        assert_eq!(
+            bit_range(usize::MAX, 0, usize::BITS as usize - 1),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bit_range_rejects_inverted() {
+        let _ = bit_range(0, 2, 1);
+    }
+
+    #[test]
+    fn replace_bit_is_involutive_on_flip() {
+        let v = 0b0110usize;
+        for i in 0..4 {
+            let flipped = replace_bit(v, i, 1 - bit(v, i));
+            assert_ne!(flipped, v);
+            assert_eq!(replace_bit(flipped, i, bit(v, i)), v);
+        }
+    }
+
+    #[test]
+    fn replace_bit_range_identity_when_same_field() {
+        let v = 0b1100_1010usize;
+        assert_eq!(replace_bit_range(v, 2, 5, bit_range(v, 2, 5)), v);
+    }
+
+    #[test]
+    #[should_panic]
+    fn replace_bit_range_rejects_wide_field() {
+        let _ = replace_bit_range(0, 0, 1, 0b100);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bit_range_then_replace_round_trips(v in any::<usize>(), p in 0usize..60, w in 0usize..4) {
+            let q = p + w;
+            let field = bit_range(v, p, q);
+            prop_assert_eq!(replace_bit_range(v, p, q, field), v);
+        }
+
+        #[test]
+        fn prop_replace_then_extract(v in any::<usize>(), p in 0usize..60, w in 0usize..4, f in any::<usize>()) {
+            let q = p + w;
+            let field = f & ((1usize << (w + 1)) - 1);
+            let replaced = replace_bit_range(v, p, q, field);
+            prop_assert_eq!(bit_range(replaced, p, q), field);
+            // Bits outside p..=q are untouched.
+            if p > 0 {
+                prop_assert_eq!(bit_range(replaced, 0, p - 1), bit_range(v, 0, p - 1));
+            }
+            if q + 1 < usize::BITS as usize {
+                prop_assert_eq!(
+                    bit_range(replaced, q + 1, usize::BITS as usize - 1),
+                    bit_range(v, q + 1, usize::BITS as usize - 1)
+                );
+            }
+        }
+    }
+}

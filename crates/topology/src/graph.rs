@@ -1,0 +1,255 @@
+//! Explicit layered-graph representation of (sub)networks.
+//!
+//! Section 6 of the paper reasons about *subgraphs* of the IADM network:
+//! each network state activates one nonstraight link per switch, and the
+//! set of active links forms a layered graph that may or may not be
+//! isomorphic to the ICube network. [`LayeredGraph`] materializes such
+//! graphs so they can be compared for distinctness and isomorphism.
+
+use crate::{Link, LinkKind, Multistage, Size};
+use std::collections::BTreeSet;
+
+/// A directed edge of a layered graph: a link plus its resolved target.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct StageEdge {
+    /// The physical link (stage, source switch, kind).
+    pub link: Link,
+    /// The stage `link.stage + 1` switch the link reaches.
+    pub to: usize,
+}
+
+/// A layered graph over the switch columns of a multistage network:
+/// a set of links, each joining a stage-`i` switch to a stage-`i+1` switch.
+///
+/// Two subgraphs are *distinct* (paper, Section 6) if they differ in at
+/// least one link; [`LayeredGraph`] implements `Eq` with exactly that
+/// meaning, because its edge set is kept sorted and deduplicated.
+///
+/// # Example
+///
+/// ```
+/// use iadm_topology::{ICube, Iadm, LayeredGraph, Multistage, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let cube = LayeredGraph::from_network(&ICube::new(size));
+/// let iadm = LayeredGraph::from_network(&Iadm::new(size));
+/// assert!(cube.is_subgraph_of(&iadm));
+/// assert_eq!(cube.edge_count(), 2 * 8 * 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayeredGraph {
+    size: Size,
+    edges: BTreeSet<StageEdge>,
+}
+
+impl LayeredGraph {
+    /// Creates an empty layered graph for a network of `size`.
+    pub fn new(size: Size) -> Self {
+        LayeredGraph {
+            size,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Materializes every link of `net` as a graph.
+    pub fn from_network<M: Multistage + ?Sized>(net: &M) -> Self {
+        let mut g = LayeredGraph::new(net.size());
+        for link in net.all_links() {
+            g.insert_with_target(link, net.link_target(link.stage, link.from, link.kind));
+        }
+        g
+    }
+
+    /// Materializes the links of `net` for which `keep` returns true.
+    pub fn from_network_filtered<M, F>(net: &M, mut keep: F) -> Self
+    where
+        M: Multistage + ?Sized,
+        F: FnMut(Link) -> bool,
+    {
+        let mut g = LayeredGraph::new(net.size());
+        for link in net.all_links() {
+            if keep(link) {
+                g.insert_with_target(link, net.link_target(link.stage, link.from, link.kind));
+            }
+        }
+        g
+    }
+
+    /// The network size this graph is laid over.
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// Adds a link, resolving its target with IADM displacement (`±2^stage`).
+    pub fn insert(&mut self, link: Link) {
+        self.insert_with_target(link, link.target(self.size));
+    }
+
+    fn insert_with_target(&mut self, link: Link, to: usize) {
+        self.edges.insert(StageEdge { link, to });
+    }
+
+    /// Removes a link; returns whether it was present.
+    pub fn remove(&mut self, link: Link) -> bool {
+        let to = link.target(self.size);
+        self.edges.remove(&StageEdge { link, to })
+    }
+
+    /// Does the graph contain `link`?
+    pub fn contains(&self, link: Link) -> bool {
+        let to = link.target(self.size);
+        self.edges.contains(&StageEdge { link, to })
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all edges in (stage, switch, kind) order.
+    pub fn edges(&self) -> impl Iterator<Item = &StageEdge> {
+        self.edges.iter()
+    }
+
+    /// The edges leaving switch `from` at `stage`.
+    pub fn outputs_of(&self, stage: usize, from: usize) -> Vec<StageEdge> {
+        LinkKind::ALL
+            .into_iter()
+            .map(|kind| Link::new(stage, from, kind))
+            .filter(|l| self.contains(*l))
+            .map(|link| StageEdge {
+                link,
+                to: link.target(self.size),
+            })
+            .collect()
+    }
+
+    /// Is every edge of `self` also an edge of `other`?
+    pub fn is_subgraph_of(&self, other: &LayeredGraph) -> bool {
+        self.size == other.size && self.edges.is_subset(&other.edges)
+    }
+
+    /// Restricts the graph to stages `0..stage_limit`.
+    pub fn truncate_stages(&self, stage_limit: usize) -> LayeredGraph {
+        LayeredGraph {
+            size: self.size,
+            edges: self
+                .edges
+                .iter()
+                .filter(|e| e.link.stage < stage_limit)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Checks whether this graph is *structurally cube-shaped*: every switch
+    /// of stage `i` has out-degree 2, reaching exactly the two switches that
+    /// agree with some label in all bits except possibly bit `i`, with every
+    /// pair of "interchange partners" sharing the same two targets.
+    ///
+    /// This is the paper's notion of a subgraph isomorphic to the ICube
+    /// network via a per-stage *identity on stages* mapping; full
+    /// isomorphism search lives in `iadm-permute`.
+    pub fn is_cube_shaped(&self) -> bool {
+        let size = self.size;
+        for stage in size.stage_indices() {
+            for j in size.switches() {
+                let outs = self.outputs_of(stage, j);
+                if outs.len() != 2 {
+                    return false;
+                }
+                let targets: BTreeSet<usize> = outs.iter().map(|e| e.to).collect();
+                // The two targets must differ exactly in bit `stage`
+                // (as a set {x, x ^ 2^stage}).
+                let mut it = targets.iter();
+                let (&a, b) = (it.next().unwrap(), it.next());
+                let Some(&b) = b else { return false };
+                if a ^ b != (1 << stage) {
+                    return false;
+                }
+                // One target must be the switch itself (straight link
+                // present), which pins the subgraph onto the IADM embedding.
+                if !targets.contains(&j) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adm, Gamma, ICube, Iadm};
+
+    #[test]
+    fn icube_graph_is_cube_shaped() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let size = Size::new(n).unwrap();
+            let g = LayeredGraph::from_network(&ICube::new(size));
+            assert!(g.is_cube_shaped(), "N={n}");
+        }
+    }
+
+    #[test]
+    fn full_iadm_graph_is_not_cube_shaped() {
+        let g = LayeredGraph::from_network(&Iadm::new(Size::new(8).unwrap()));
+        assert!(!g.is_cube_shaped());
+    }
+
+    #[test]
+    fn gamma_and_iadm_graphs_equal() {
+        let size = Size::new(16).unwrap();
+        assert_eq!(
+            LayeredGraph::from_network(&Gamma::new(size)),
+            LayeredGraph::from_network(&Iadm::new(size))
+        );
+    }
+
+    #[test]
+    fn adm_and_iadm_graphs_differ() {
+        let size = Size::new(8).unwrap();
+        assert_ne!(
+            LayeredGraph::from_network(&Adm::new(size)),
+            LayeredGraph::from_network(&Iadm::new(size))
+        );
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let size = Size::new(8).unwrap();
+        let mut g = LayeredGraph::new(size);
+        let link = Link::plus(1, 3);
+        assert!(!g.contains(link));
+        g.insert(link);
+        assert!(g.contains(link));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove(link));
+        assert!(!g.remove(link));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn truncate_drops_later_stages() {
+        let size = Size::new(8).unwrap();
+        let g = LayeredGraph::from_network(&Iadm::new(size));
+        let t = g.truncate_stages(2);
+        assert_eq!(t.edge_count(), 2 * 3 * 8);
+        assert!(t.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn filtered_construction_respects_predicate() {
+        let size = Size::new(8).unwrap();
+        let net = Iadm::new(size);
+        let g = LayeredGraph::from_network_filtered(&net, |l| l.kind == LinkKind::Straight);
+        assert_eq!(g.edge_count(), 8 * 3);
+        assert!(g.edges().all(|e| e.link.kind == LinkKind::Straight));
+    }
+}

@@ -1,0 +1,71 @@
+//! Topology models for the multistage interconnection networks studied in
+//! Rau, Fortes and Siegel, *"Destination Tag Routing Techniques Based on a
+//! State Model for the IADM Network"* (ISCA 1988).
+//!
+//! This crate is the structural substrate of the reproduction: it defines
+//! network sizes, switch addressing, link and path types, and the concrete
+//! topologies of the four networks the paper discusses:
+//!
+//! * [`ICube`] — the Indirect Binary n-Cube network (second graph model of
+//!   the paper's Section 2: one column of `N` switches per stage plus an
+//!   output column, two output links per switch),
+//! * [`Iadm`] — the Inverse Augmented Data Manipulator network (three output
+//!   links per switch: `-2^i`, straight, `+2^i`, all mod `N`),
+//! * [`Adm`] — the Augmented Data Manipulator network, which is the IADM with
+//!   input and output sides interchanged,
+//! * [`GeneralizedCube`] — the Generalized Cube network, which relates to the
+//!   ICube exactly as the ADM relates to the IADM and embeds in the ADM,
+//! * [`Gamma`] — the Gamma network, topologically identical to the IADM but
+//!   built from `3x3` crossbar switches (a switch capability, not a topology
+//!   difference; see [`SwitchCapability`]).
+//!
+//! Conventions (following the paper):
+//!
+//! * Addresses are `n = log2 N` bits; **bit `i` has weight `2^i`** (the paper
+//!   writes `j = j_0 j_1 … j_{n-1}` with `j_0` least significant... note the
+//!   paper calls `j_{n-1}` the most significant bit).
+//! * All switch arithmetic is mod `N`.
+//! * A link is identified by `(stage, from-switch, kind)` with kind one of
+//!   `Minus`, `Straight`, `Plus`. At stage `n-1` the `Plus` and `Minus` links
+//!   are **distinct links joining the same pair of switches**, because
+//!   `+2^{n-1} ≡ -2^{n-1} (mod N)`; the paper exploits exactly this in its
+//!   Section 6 counting argument.
+//!
+//! # Example
+//!
+//! ```
+//! use iadm_topology::{Size, Iadm, LinkKind, Multistage};
+//!
+//! # fn main() -> Result<(), iadm_topology::SizeError> {
+//! let size = Size::new(8)?;
+//! let net = Iadm::new(size);
+//! // Switch 1 at stage 0 connects to switches 0, 1 and 2 of stage 1.
+//! let outs: Vec<usize> = net.outputs(0, 1).map(|(_, to)| to).collect();
+//! assert_eq!(outs, vec![0, 1, 2]);
+//! assert_eq!(net.link_target(0, 1, LinkKind::Minus), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod graph;
+mod link;
+mod network;
+mod networks;
+mod path;
+mod size;
+
+pub use bits::{bit, bit_range, replace_bit, replace_bit_range, BitsExt};
+pub use graph::{LayeredGraph, StageEdge};
+pub use link::{Link, LinkKind};
+pub use network::{Multistage, Outputs, SwitchCapability};
+pub use networks::adm::Adm;
+pub use networks::gamma::Gamma;
+pub use networks::gcube::GeneralizedCube;
+pub use networks::iadm::Iadm;
+pub use networks::icube::ICube;
+pub use path::{Path, PathError};
+pub use size::{Size, SizeError};

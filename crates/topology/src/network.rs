@@ -1,0 +1,188 @@
+//! The common interface of the multistage networks.
+
+use crate::{Link, LinkKind, Size};
+
+/// How much simultaneous connectivity a single switch can provide.
+///
+/// Topologically the Gamma network and the IADM network are identical; the
+/// difference the paper notes in its introduction is the switch: the Gamma
+/// network's `3x3` crossbars connect all three inputs to all three outputs
+/// at once, while an IADM switch selects **one** input and connects it to
+/// one or more outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SwitchCapability {
+    /// One selected input may drive one or more outputs (IADM, ADM, ICube).
+    SingleInput,
+    /// Full crossbar: all inputs may be connected simultaneously (Gamma).
+    Crossbar,
+}
+
+/// A multistage interconnection network of `n = log2 N` switch stages plus
+/// an output column.
+///
+/// Implementations describe pure topology: which output links each switch
+/// has. Switch *behavior* (states, tags) lives in `iadm-core`.
+pub trait Multistage {
+    /// Network size.
+    fn size(&self) -> Size;
+
+    /// Human-readable network family name (e.g. `"IADM"`).
+    fn name(&self) -> &'static str;
+
+    /// What a single switch is capable of connecting.
+    fn switch_capability(&self) -> SwitchCapability;
+
+    /// Does switch `from` at `stage` have a `kind` output link?
+    ///
+    /// All networks here have the straight link; they differ in which
+    /// nonstraight links exist.
+    fn has_link(&self, stage: usize, from: usize, kind: LinkKind) -> bool;
+
+    /// The exponent `e` such that nonstraight links of `stage` displace by
+    /// `±2^e`.
+    ///
+    /// `stage` for the IADM, ICube and Gamma networks; `n - 1 - stage` for
+    /// the ADM network, whose input side corresponds to the IADM's output
+    /// side.
+    fn delta_exponent(&self, stage: usize) -> usize {
+        stage
+    }
+
+    /// Target switch of the `kind` output link of `from` at `stage`.
+    fn link_target(&self, stage: usize, from: usize, kind: LinkKind) -> usize {
+        kind.target(self.size(), self.delta_exponent(stage), from)
+    }
+
+    /// Iterator over the output links of switch `from` at `stage`, as
+    /// `(kind, target-switch)` pairs in drawing order (`Minus`, `Straight`,
+    /// `Plus` as present).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `stage >= size().stages()` or
+    /// `from >= size().n()`.
+    fn outputs(&self, stage: usize, from: usize) -> Outputs {
+        let mut items = [None; 3];
+        for (slot, kind) in LinkKind::ALL.into_iter().enumerate() {
+            if self.has_link(stage, from, kind) {
+                items[slot] = Some((kind, self.link_target(stage, from, kind)));
+            }
+        }
+        Outputs { items, next: 0 }
+    }
+
+    /// Iterator over the input links of switch `to` at stage `stage + 1`
+    /// (i.e. links of stage `stage` that reach `to`), as [`Link`]s.
+    fn inputs(&self, stage: usize, to: usize) -> Vec<Link> {
+        let size = self.size();
+        let mut result = Vec::with_capacity(3);
+        for kind in LinkKind::ALL {
+            // The link of kind `kind` reaching `to` originates at
+            // `to - delta(kind)`.
+            let from = size.sub(to, kind.delta(size, self.delta_exponent(stage)));
+            if self.has_link(stage, from, kind) {
+                result.push(Link::new(stage, from, kind));
+            }
+        }
+        result
+    }
+
+    /// Total number of links at one stage.
+    fn links_per_stage(&self) -> usize {
+        let size = self.size();
+        size.switches()
+            .map(|j| self.outputs(0, j).count())
+            .sum::<usize>()
+    }
+
+    /// Every link of the network, in (stage, switch, kind) order.
+    fn all_links(&self) -> Vec<Link> {
+        let size = self.size();
+        let mut links = Vec::new();
+        for stage in size.stage_indices() {
+            for from in size.switches() {
+                for (kind, _) in self.outputs(stage, from) {
+                    links.push(Link::new(stage, from, kind));
+                }
+            }
+        }
+        links
+    }
+}
+
+/// Iterator over a switch's output links; returned by
+/// [`Multistage::outputs`].
+#[derive(Debug, Clone)]
+pub struct Outputs {
+    items: [Option<(LinkKind, usize)>; 3],
+    next: usize,
+}
+
+impl Iterator for Outputs {
+    type Item = (LinkKind, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.next < 3 {
+            let item = self.items[self.next];
+            self.next += 1;
+            if item.is_some() {
+                return item;
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.items[self.next..]
+            .iter()
+            .filter(|i| i.is_some())
+            .count();
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Outputs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ICube, Iadm};
+
+    #[test]
+    fn outputs_iterator_len_matches() {
+        let net = Iadm::new(Size::new(8).unwrap());
+        let outs = net.outputs(0, 3);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs.count(), 3);
+
+        let cube = ICube::new(Size::new(8).unwrap());
+        for j in cube.size().switches() {
+            assert_eq!(cube.outputs(0, j).count(), 2);
+        }
+    }
+
+    #[test]
+    fn inputs_are_inverse_of_outputs() {
+        let net = Iadm::new(Size::new(16).unwrap());
+        let size = net.size();
+        for stage in size.stage_indices() {
+            for from in size.switches() {
+                for (kind, to) in net.outputs(stage, from) {
+                    let ins = net.inputs(stage, to);
+                    assert!(
+                        ins.contains(&Link::new(stage, from, kind)),
+                        "link ({stage},{from},{kind:?}) missing from inputs of {to}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_links_counts_3n_per_stage_for_iadm() {
+        let size = Size::new(8).unwrap();
+        let net = Iadm::new(size);
+        assert_eq!(net.all_links().len(), 3 * size.n() * size.stages());
+        assert_eq!(net.links_per_stage(), 3 * size.n());
+    }
+}

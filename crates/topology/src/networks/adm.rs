@@ -1,0 +1,102 @@
+//! The Augmented Data Manipulator (ADM) network.
+
+use crate::{LinkKind, Multistage, Size, SwitchCapability};
+
+/// The ADM network. Per the paper's introduction, "the IADM network and the
+/// ADM network differ only in that the input side of one of them corresponds
+/// to the output side of the other and vice versa": stage `i` of the ADM
+/// displaces by `±2^{n-1-i}` instead of `±2^i`.
+///
+/// # Example
+///
+/// ```
+/// use iadm_topology::{Adm, Multistage, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let net = Adm::new(Size::new(8)?);
+/// // Stage 0 of the ADM displaces by ±4 (the IADM's last stage).
+/// assert_eq!(net.delta_exponent(0), 2);
+/// let outs: Vec<usize> = net.outputs(0, 0).map(|(_, t)| t).collect();
+/// assert_eq!(outs, vec![4, 0, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adm {
+    size: Size,
+}
+
+impl Adm {
+    /// Creates an ADM network of the given size.
+    pub fn new(size: Size) -> Self {
+        Adm { size }
+    }
+}
+
+impl Multistage for Adm {
+    fn size(&self) -> Size {
+        self.size
+    }
+
+    fn name(&self) -> &'static str {
+        "ADM"
+    }
+
+    fn switch_capability(&self) -> SwitchCapability {
+        SwitchCapability::SingleInput
+    }
+
+    fn delta_exponent(&self, stage: usize) -> usize {
+        assert!(stage < self.size.stages(), "stage {stage} out of range");
+        self.size.stages() - 1 - stage
+    }
+
+    fn has_link(&self, stage: usize, from: usize, _kind: LinkKind) -> bool {
+        assert!(stage < self.size.stages(), "stage {stage} out of range");
+        assert!(from < self.size.n(), "switch {from} out of range");
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Iadm;
+
+    #[test]
+    fn adm_is_stage_reversed_iadm() {
+        let size = Size::new(16).unwrap();
+        let adm = Adm::new(size);
+        let iadm = Iadm::new(size);
+        for stage in size.stage_indices() {
+            let mirror = size.stages() - 1 - stage;
+            for j in size.switches() {
+                let a: Vec<usize> = adm.outputs(stage, j).map(|(_, t)| t).collect();
+                let b: Vec<usize> = iadm.outputs(mirror, j).map(|(_, t)| t).collect();
+                assert_eq!(a, b, "ADM stage {stage} must mirror IADM stage {mirror}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_outputs_per_switch() {
+        let net = Adm::new(Size::new(8).unwrap());
+        for stage in net.size().stage_indices() {
+            for j in net.size().switches() {
+                assert_eq!(net.outputs(stage, j).count(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn first_stage_plus_minus_share_target() {
+        // For the ADM the degenerate ±2^{n-1} stage is stage 0.
+        let net = Adm::new(Size::new(8).unwrap());
+        for j in net.size().switches() {
+            assert_eq!(
+                net.link_target(0, j, LinkKind::Plus),
+                net.link_target(0, j, LinkKind::Minus)
+            );
+        }
+    }
+}

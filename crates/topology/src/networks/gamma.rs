@@ -1,0 +1,91 @@
+//! The Gamma network.
+
+use crate::{LinkKind, Multistage, Size, SwitchCapability};
+
+/// The Gamma network of Parker and Raghavendra. Topologically identical to
+/// the [`Iadm`](crate::Iadm) network — same stages, same `-2^i`/straight/
+/// `+2^i` links — but built from `3x3` crossbar switches that can connect
+/// all three inputs to all three outputs simultaneously
+/// ([`SwitchCapability::Crossbar`]).
+///
+/// The paper notes that all its routing and rerouting schemes for the IADM
+/// apply unchanged to the Gamma network; the crossbar capability only
+/// matters for permutation traffic, where a Gamma switch never blocks two
+/// messages wanting different outputs.
+///
+/// # Example
+///
+/// ```
+/// use iadm_topology::{Gamma, Iadm, Multistage, Size, SwitchCapability};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(8)?;
+/// let gamma = Gamma::new(size);
+/// let iadm = Iadm::new(size);
+/// assert_eq!(gamma.switch_capability(), SwitchCapability::Crossbar);
+/// // Same links as the IADM everywhere.
+/// assert_eq!(gamma.all_links(), iadm.all_links());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gamma {
+    size: Size,
+}
+
+impl Gamma {
+    /// Creates a Gamma network of the given size.
+    pub fn new(size: Size) -> Self {
+        Gamma { size }
+    }
+}
+
+impl Multistage for Gamma {
+    fn size(&self) -> Size {
+        self.size
+    }
+
+    fn name(&self) -> &'static str {
+        "Gamma"
+    }
+
+    fn switch_capability(&self) -> SwitchCapability {
+        SwitchCapability::Crossbar
+    }
+
+    fn has_link(&self, stage: usize, from: usize, _kind: LinkKind) -> bool {
+        assert!(stage < self.size.stages(), "stage {stage} out of range");
+        assert!(from < self.size.n(), "switch {from} out of range");
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Iadm;
+
+    #[test]
+    fn gamma_topology_equals_iadm() {
+        let size = Size::new(32).unwrap();
+        let gamma = Gamma::new(size);
+        let iadm = Iadm::new(size);
+        for stage in size.stage_indices() {
+            for j in size.switches() {
+                assert_eq!(
+                    gamma.outputs(stage, j).collect::<Vec<_>>(),
+                    iadm.outputs(stage, j).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capability_differs_from_iadm() {
+        let size = Size::new(8).unwrap();
+        assert_ne!(
+            Gamma::new(size).switch_capability(),
+            Iadm::new(size).switch_capability()
+        );
+    }
+}

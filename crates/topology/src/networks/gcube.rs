@@ -1,0 +1,142 @@
+//! The Generalized Cube network.
+
+use crate::{bit, LinkKind, Multistage, Size, SwitchCapability};
+
+/// The Generalized Cube network of Siegel and McMillen: topologically
+/// equivalent to the [`ICube`](crate::ICube) network but with its input
+/// and output sides interchanged — its stage `i` works on bit `n-1-i`,
+/// mirroring exactly how the [`Adm`](crate::Adm) relates to the
+/// [`Iadm`](crate::Iadm) (the paper's footnote 2).
+///
+/// The paper's introduction recalls that the Generalized Cube embeds in
+/// the ADM network, making the ADM "a fault-tolerant Generalized Cube
+/// network"; analogously the ICube embeds in the IADM. Both embeddings
+/// are verified by this crate's tests.
+///
+/// # Example
+///
+/// ```
+/// use iadm_topology::{GeneralizedCube, Multistage, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let net = GeneralizedCube::new(Size::new(8)?);
+/// // Stage 0 works on the most significant bit: displacement ±4.
+/// assert_eq!(net.delta_exponent(0), 2);
+/// assert_eq!(net.outputs(0, 0).count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneralizedCube {
+    size: Size,
+}
+
+impl GeneralizedCube {
+    /// Creates a Generalized Cube network of the given size.
+    pub fn new(size: Size) -> Self {
+        GeneralizedCube { size }
+    }
+}
+
+impl Multistage for GeneralizedCube {
+    fn size(&self) -> Size {
+        self.size
+    }
+
+    fn name(&self) -> &'static str {
+        "GeneralizedCube"
+    }
+
+    fn switch_capability(&self) -> SwitchCapability {
+        SwitchCapability::SingleInput
+    }
+
+    fn delta_exponent(&self, stage: usize) -> usize {
+        assert!(stage < self.size.stages(), "stage {stage} out of range");
+        self.size.stages() - 1 - stage
+    }
+
+    fn has_link(&self, stage: usize, from: usize, kind: LinkKind) -> bool {
+        assert!(stage < self.size.stages(), "stage {stage} out of range");
+        assert!(from < self.size.n(), "switch {from} out of range");
+        let controlled_bit = self.delta_exponent(stage);
+        match kind {
+            LinkKind::Straight => true,
+            LinkKind::Plus => bit(from, controlled_bit) == 0,
+            LinkKind::Minus => bit(from, controlled_bit) == 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adm, ICube};
+
+    #[test]
+    fn gcube_is_stage_reversed_icube() {
+        let size = Size::new(16).unwrap();
+        let gc = GeneralizedCube::new(size);
+        let ic = ICube::new(size);
+        for stage in size.stage_indices() {
+            let mirror = size.stages() - 1 - stage;
+            for j in size.switches() {
+                let a: Vec<usize> = gc.outputs(stage, j).map(|(_, t)| t).collect();
+                let b: Vec<usize> = ic.outputs(mirror, j).map(|(_, t)| t).collect();
+                assert_eq!(a, b, "GC stage {stage} must mirror ICube stage {mirror}");
+            }
+        }
+    }
+
+    #[test]
+    fn gcube_embeds_in_adm() {
+        // The embedding the paper's introduction cites ([1],[17]): every
+        // Generalized Cube link is an ADM link.
+        let size = Size::new(16).unwrap();
+        let gc = GeneralizedCube::new(size);
+        let adm = Adm::new(size);
+        for link in gc.all_links() {
+            assert!(adm.has_link(link.stage, link.from, link.kind));
+            assert_eq!(
+                gc.link_target(link.stage, link.from, link.kind),
+                adm.link_target(link.stage, link.from, link.kind)
+            );
+        }
+    }
+
+    #[test]
+    fn two_outputs_per_switch() {
+        let net = GeneralizedCube::new(Size::new(8).unwrap());
+        for stage in net.size().stage_indices() {
+            for j in net.size().switches() {
+                assert_eq!(net.outputs(stage, j).count(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn destination_tag_routing_msb_first() {
+        // Classic GC routing fixes the most significant bit first.
+        let size = Size::new(8).unwrap();
+        let net = GeneralizedCube::new(size);
+        for s in size.switches() {
+            for d in size.switches() {
+                let mut sw = s;
+                for stage in size.stage_indices() {
+                    let b = size.stages() - 1 - stage;
+                    let want = crate::bit(d, b);
+                    let kind = if crate::bit(sw, b) == want {
+                        LinkKind::Straight
+                    } else if want == 1 {
+                        LinkKind::Plus
+                    } else {
+                        LinkKind::Minus
+                    };
+                    assert!(net.has_link(stage, sw, kind), "s={s} d={d} stage={stage}");
+                    sw = net.link_target(stage, sw, kind);
+                }
+                assert_eq!(sw, d, "s={s} must reach d={d}");
+            }
+        }
+    }
+}

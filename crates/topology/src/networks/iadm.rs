@@ -1,0 +1,111 @@
+//! The Inverse Augmented Data Manipulator (IADM) network.
+
+use crate::{LinkKind, Multistage, Size, SwitchCapability};
+
+/// The IADM network: `n = log2 N` stages of `N` switches, each switch `j` at
+/// stage `i` having three output links to switches `(j - 2^i) mod N`, `j`
+/// and `(j + 2^i) mod N` of stage `i + 1`, plus an output column at "stage
+/// `n`".
+///
+/// Each switch selects one of its three input links and connects it to one
+/// or more of its output links ([`SwitchCapability::SingleInput`]).
+///
+/// # Example
+///
+/// ```
+/// use iadm_topology::{Iadm, Multistage, Size};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let net = Iadm::new(Size::new(8)?);
+/// assert_eq!(net.links_per_stage(), 24); // 3N
+/// // Stage 2 displaces by ±4; switch 1's minus link wraps to 5.
+/// let outs: Vec<usize> = net.outputs(2, 1).map(|(_, t)| t).collect();
+/// assert_eq!(outs, vec![5, 1, 5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Iadm {
+    size: Size,
+}
+
+impl Iadm {
+    /// Creates an IADM network of the given size.
+    pub fn new(size: Size) -> Self {
+        Iadm { size }
+    }
+}
+
+impl Multistage for Iadm {
+    fn size(&self) -> Size {
+        self.size
+    }
+
+    fn name(&self) -> &'static str {
+        "IADM"
+    }
+
+    fn switch_capability(&self) -> SwitchCapability {
+        SwitchCapability::SingleInput
+    }
+
+    fn has_link(&self, stage: usize, from: usize, _kind: LinkKind) -> bool {
+        assert!(stage < self.size.stages(), "stage {stage} out of range");
+        assert!(from < self.size.n(), "switch {from} out of range");
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Link;
+
+    #[test]
+    fn every_switch_has_three_outputs() {
+        let net = Iadm::new(Size::new(16).unwrap());
+        for stage in net.size().stage_indices() {
+            for j in net.size().switches() {
+                assert_eq!(net.outputs(stage, j).count(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_stage0_connections() {
+        // Figure 2 of the paper, N=8: at stage 0 switch j connects to
+        // j-1, j, j+1 (mod 8).
+        let net = Iadm::new(Size::new(8).unwrap());
+        for j in 0..8usize {
+            let outs: Vec<(LinkKind, usize)> = net.outputs(0, j).collect();
+            assert_eq!(
+                outs,
+                vec![
+                    (LinkKind::Minus, (j + 7) % 8),
+                    (LinkKind::Straight, j),
+                    (LinkKind::Plus, (j + 1) % 8),
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn every_switch_has_three_inputs() {
+        let net = Iadm::new(Size::new(8).unwrap());
+        for stage in net.size().stage_indices() {
+            for to in net.size().switches() {
+                let ins = net.inputs(stage, to);
+                assert_eq!(ins.len(), 3, "stage {stage} switch {to}");
+                // The straight input comes from the same label.
+                assert!(ins.contains(&Link::straight(stage, to)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_stage() {
+        let net = Iadm::new(Size::new(8).unwrap());
+        let _ = net.has_link(3, 0, LinkKind::Straight);
+    }
+}

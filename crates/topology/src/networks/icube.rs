@@ -1,0 +1,157 @@
+//! The Indirect Binary n-Cube (ICube) network.
+
+use crate::{bit, LinkKind, Multistage, Size, SwitchCapability};
+
+/// The ICube network in the paper's *second graph model* (its Figure 3):
+/// `n` stages of `N` switches plus an output column, where switch `j` at
+/// stage `i` is connected to switches `C_i(j, 0)` and `C_i(j, 1)` of stage
+/// `i + 1` — that is, to the two switches whose labels agree with `j`
+/// except possibly in bit `i`.
+///
+/// Concretely, an `even_i` switch (bit `i` of `j` is 0) has a straight link
+/// and a `+2^i` link; an `odd_i` switch (bit `i` is 1) has a straight link
+/// and a `-2^i` link. Drawn this way the ICube network is literally a
+/// subgraph of the IADM network, which is the embedding at the heart of the
+/// paper.
+///
+/// # Example
+///
+/// ```
+/// use iadm_topology::{ICube, Multistage, Size, LinkKind};
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let net = ICube::new(Size::new(8)?);
+/// // Switch 2 at stage 0 has bit 0 = 0: links straight and +1.
+/// assert!(net.has_link(0, 2, LinkKind::Plus));
+/// assert!(!net.has_link(0, 2, LinkKind::Minus));
+/// // Switch 3 at stage 0 has bit 0 = 1: links straight and -1.
+/// assert!(net.has_link(0, 3, LinkKind::Minus));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ICube {
+    size: Size,
+}
+
+impl ICube {
+    /// Creates an ICube network of the given size.
+    pub fn new(size: Size) -> Self {
+        ICube { size }
+    }
+
+    /// The classic cube routing function `C_i(j, t)`: the stage-`i+1` switch
+    /// whose label is `j` with bit `i` replaced by `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > 1`.
+    #[inline]
+    pub fn route(self, stage: usize, switch: usize, t: usize) -> usize {
+        crate::replace_bit(switch, stage, t) & self.size.mask()
+    }
+}
+
+impl Multistage for ICube {
+    fn size(&self) -> Size {
+        self.size
+    }
+
+    fn name(&self) -> &'static str {
+        "ICube"
+    }
+
+    fn switch_capability(&self) -> SwitchCapability {
+        SwitchCapability::SingleInput
+    }
+
+    fn has_link(&self, stage: usize, from: usize, kind: LinkKind) -> bool {
+        assert!(stage < self.size.stages(), "stage {stage} out of range");
+        assert!(from < self.size.n(), "switch {from} out of range");
+        match kind {
+            LinkKind::Straight => true,
+            LinkKind::Plus => bit(from, stage) == 0,
+            LinkKind::Minus => bit(from, stage) == 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Iadm;
+
+    #[test]
+    fn two_outputs_per_switch() {
+        let net = ICube::new(Size::new(16).unwrap());
+        for stage in net.size().stage_indices() {
+            for j in net.size().switches() {
+                assert_eq!(net.outputs(stage, j).count(), 2);
+            }
+        }
+        assert_eq!(net.links_per_stage(), 2 * 16);
+    }
+
+    #[test]
+    fn route_function_matches_links() {
+        let net = ICube::new(Size::new(8).unwrap());
+        for stage in net.size().stage_indices() {
+            for j in net.size().switches() {
+                let targets: Vec<usize> = net.outputs(stage, j).map(|(_, t)| t).collect();
+                for t in 0..2 {
+                    assert!(
+                        targets.contains(&net.route(stage, j, t)),
+                        "C_{stage}({j},{t}) must be a link target"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_replaces_exactly_bit_i() {
+        let net = ICube::new(Size::new(32).unwrap());
+        for stage in net.size().stage_indices() {
+            for j in net.size().switches() {
+                for t in 0..2 {
+                    let to = net.route(stage, j, t);
+                    assert_eq!(bit(to, stage), t);
+                    assert_eq!(to & !(1 << stage), j & !(1 << stage));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn icube_is_subgraph_of_iadm() {
+        // The paper's central structural observation: every ICube link is an
+        // IADM link (same stage, same endpoints, same kind).
+        let size = Size::new(16).unwrap();
+        let cube = ICube::new(size);
+        let iadm = Iadm::new(size);
+        for link in cube.all_links() {
+            assert!(iadm.has_link(link.stage, link.from, link.kind));
+            assert_eq!(
+                cube.link_target(link.stage, link.from, link.kind),
+                iadm.link_target(link.stage, link.from, link.kind)
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_pairs_share_targets() {
+        // Two switches differing only in bit i form an interchange pair:
+        // they reach exactly the same two switches of stage i+1.
+        let net = ICube::new(Size::new(8).unwrap());
+        for stage in net.size().stage_indices() {
+            for j in net.size().switches() {
+                let partner = j ^ (1 << stage);
+                let mut a: Vec<usize> = net.outputs(stage, j).map(|(_, t)| t).collect();
+                let mut b: Vec<usize> = net.outputs(stage, partner).map(|(_, t)| t).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Concrete network topologies.
+
+pub mod adm;
+pub mod gamma;
+pub mod gcube;
+pub mod iadm;
+pub mod icube;

@@ -1,0 +1,336 @@
+//! Paths: stage-by-stage routes through a multistage network.
+
+use crate::{Link, LinkKind, Multistage, Size};
+use core::fmt;
+
+/// A path through a multistage network, starting at a source switch of
+/// stage 0 and taking one link per stage.
+///
+/// A *full* path has `n = log2 N` links and ends at a switch of the output
+/// column (stage `n`); the paper writes such a path as a sequence
+/// `(j' ∈ S_0, j'' ∈ S_1, …, j''' ∈ S_n)`. Partial paths (fewer links) are
+/// allowed and end at an intermediate stage.
+///
+/// # Example
+///
+/// ```
+/// use iadm_topology::{Iadm, LinkKind, Multistage, Path, Size};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = Iadm::new(Size::new(8)?);
+/// // Figure 7 of the paper: source 1, destination 0 via 1 -> 2 -> 4 -> 0.
+/// let path = Path::new(1, vec![LinkKind::Plus, LinkKind::Plus, LinkKind::Plus]);
+/// assert_eq!(path.switches(net.size()), vec![1, 2, 4, 0]);
+/// assert_eq!(path.destination(net.size()), 0);
+/// path.validate(&net)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Path {
+    source: usize,
+    kinds: Vec<LinkKind>,
+}
+
+/// Error returned by [`Path::validate`] when a path is not realizable in a
+/// network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The source switch label exceeds `N - 1`.
+    SourceOutOfRange {
+        /// Offending source label.
+        source: usize,
+        /// Network size.
+        n: usize,
+    },
+    /// The path has more links than the network has stages.
+    TooLong {
+        /// Number of links in the path.
+        len: usize,
+        /// Number of stages in the network.
+        stages: usize,
+    },
+    /// The network has no link of this kind at this position.
+    MissingLink(Link),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::SourceOutOfRange { source, n } => {
+                write!(f, "source switch {source} out of range for N={n}")
+            }
+            PathError::TooLong { len, stages } => {
+                write!(f, "path of {len} links exceeds {stages} stages")
+            }
+            PathError::MissingLink(link) => {
+                write!(f, "network has no link {link}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl Path {
+    /// Creates a path from a source switch and per-stage link kinds.
+    pub fn new(source: usize, kinds: Vec<LinkKind>) -> Self {
+        Path { source, kinds }
+    }
+
+    /// The all-straight path from `source` spanning all `n` stages.
+    pub fn all_straight(size: Size, source: usize) -> Self {
+        Path {
+            source,
+            kinds: vec![LinkKind::Straight; size.stages()],
+        }
+    }
+
+    /// The source switch (stage 0).
+    #[inline]
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Number of links in the path.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Is the path empty (no links)?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Is this a full path spanning all stages of a network of `size`?
+    #[inline]
+    pub fn is_full(&self, size: Size) -> bool {
+        self.len() == size.stages()
+    }
+
+    /// The link kind taken at `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= len()`.
+    #[inline]
+    pub fn kind_at(&self, stage: usize) -> LinkKind {
+        self.kinds[stage]
+    }
+
+    /// The per-stage link kinds.
+    #[inline]
+    pub fn kinds(&self) -> &[LinkKind] {
+        &self.kinds
+    }
+
+    /// The switch this path occupies at `stage` (`0 ..= len()`), assuming
+    /// IADM/ICube displacement (`±2^stage`).
+    pub fn switch_at(&self, size: Size, stage: usize) -> usize {
+        assert!(stage <= self.len(), "stage {stage} beyond path end");
+        let mut sw = size.wrap(self.source);
+        for (i, kind) in self.kinds[..stage].iter().enumerate() {
+            sw = kind.target(size, i, sw);
+        }
+        sw
+    }
+
+    /// All switches visited, from stage 0 through stage `len()`.
+    pub fn switches(&self, size: Size) -> Vec<usize> {
+        let mut result = Vec::with_capacity(self.len() + 1);
+        let mut sw = size.wrap(self.source);
+        result.push(sw);
+        for (i, kind) in self.kinds.iter().enumerate() {
+            sw = kind.target(size, i, sw);
+            result.push(sw);
+        }
+        result
+    }
+
+    /// The final switch reached.
+    pub fn destination(&self, size: Size) -> usize {
+        self.switch_at(size, self.len())
+    }
+
+    /// The [`Link`]s this path uses, one per stage.
+    pub fn links(&self, size: Size) -> Vec<Link> {
+        let mut result = Vec::with_capacity(self.len());
+        let mut sw = size.wrap(self.source);
+        for (i, &kind) in self.kinds.iter().enumerate() {
+            result.push(Link::new(i, sw, kind));
+            sw = kind.target(size, i, sw);
+        }
+        result
+    }
+
+    /// The link used at `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= len()`.
+    pub fn link_at(&self, size: Size, stage: usize) -> Link {
+        Link::new(stage, self.switch_at(size, stage), self.kind_at(stage))
+    }
+
+    /// Returns the largest stage `< before` whose link is nonstraight, or
+    /// `None` if stages `0..before` are all straight.
+    ///
+    /// This is the backtracking search of the paper's Theorem 3.3 /
+    /// Algorithm BACKTRACK step 1.
+    pub fn last_nonstraight_before(&self, before: usize) -> Option<usize> {
+        let before = before.min(self.len());
+        (0..before).rev().find(|&i| self.kinds[i].is_nonstraight())
+    }
+
+    /// Returns a copy of the path with the link kind at `stage` replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= len()`.
+    pub fn with_kind_at(&self, stage: usize, kind: LinkKind) -> Path {
+        let mut kinds = self.kinds.clone();
+        kinds[stage] = kind;
+        Path {
+            source: self.source,
+            kinds,
+        }
+    }
+
+    /// Checks that every link of the path exists in `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PathError`] naming the first violation.
+    pub fn validate<M: Multistage + ?Sized>(&self, net: &M) -> Result<(), PathError> {
+        let size = net.size();
+        if self.source >= size.n() {
+            return Err(PathError::SourceOutOfRange {
+                source: self.source,
+                n: size.n(),
+            });
+        }
+        if self.len() > size.stages() {
+            return Err(PathError::TooLong {
+                len: self.len(),
+                stages: size.stages(),
+            });
+        }
+        let mut sw = self.source;
+        for (i, &kind) in self.kinds.iter().enumerate() {
+            if !net.has_link(i, sw, kind) {
+                return Err(PathError::MissingLink(Link::new(i, sw, kind)));
+            }
+            sw = net.link_target(i, sw, kind);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)?;
+        for kind in &self.kinds {
+            write!(f, " {kind}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ICube, Iadm};
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn figure7_original_path() {
+        // Paper Figure 7: tag 000000 routes 1 ∈ S0 -> 0 ∈ S1 -> 0 ∈ S2 -> 0 ∈ S3.
+        let p = Path::new(
+            1,
+            vec![LinkKind::Minus, LinkKind::Straight, LinkKind::Straight],
+        );
+        assert_eq!(p.switches(size8()), vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn figure7_rerouted_path() {
+        // Paper Figure 7: tag 000110 routes 1 -> 2 -> 4 -> 0.
+        let p = Path::new(1, vec![LinkKind::Plus, LinkKind::Plus, LinkKind::Plus]);
+        assert_eq!(p.switches(size8()), vec![1, 2, 4, 0]);
+    }
+
+    #[test]
+    fn links_report_correct_sources() {
+        let p = Path::new(1, vec![LinkKind::Plus, LinkKind::Plus, LinkKind::Plus]);
+        let links = p.links(size8());
+        assert_eq!(links[0], Link::plus(0, 1));
+        assert_eq!(links[1], Link::plus(1, 2));
+        assert_eq!(links[2], Link::plus(2, 4));
+    }
+
+    #[test]
+    fn last_nonstraight_before_finds_latest() {
+        let p = Path::new(
+            0,
+            vec![
+                LinkKind::Plus,
+                LinkKind::Straight,
+                LinkKind::Minus,
+                LinkKind::Straight,
+            ],
+        );
+        assert_eq!(p.last_nonstraight_before(4), Some(2));
+        assert_eq!(p.last_nonstraight_before(2), Some(0));
+        assert_eq!(p.last_nonstraight_before(0), None);
+        let all_straight = Path::all_straight(Size::new(16).unwrap(), 5);
+        assert_eq!(all_straight.last_nonstraight_before(4), None);
+    }
+
+    #[test]
+    fn validate_accepts_iadm_rejects_icube_mismatch() {
+        let size = size8();
+        let iadm = Iadm::new(size);
+        let cube = ICube::new(size);
+        // Switch 2 (even_0) has no Minus link at stage 0 in the ICube.
+        let p = Path::new(2, vec![LinkKind::Minus]);
+        assert!(p.validate(&iadm).is_ok());
+        assert_eq!(
+            p.validate(&cube),
+            Err(PathError::MissingLink(Link::minus(0, 2)))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let iadm = Iadm::new(size8());
+        assert!(matches!(
+            Path::new(8, vec![]).validate(&iadm),
+            Err(PathError::SourceOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Path::new(0, vec![LinkKind::Straight; 4]).validate(&iadm),
+            Err(PathError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn with_kind_at_changes_only_one_stage() {
+        let p = Path::all_straight(size8(), 3);
+        let q = p.with_kind_at(1, LinkKind::Plus);
+        assert_eq!(q.kind_at(0), LinkKind::Straight);
+        assert_eq!(q.kind_at(1), LinkKind::Plus);
+        assert_eq!(q.kind_at(2), LinkKind::Straight);
+        assert_eq!(q.switches(size8()), vec![3, 3, 5, 5]);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let p = Path::new(1, vec![LinkKind::Plus, LinkKind::Straight, LinkKind::Minus]);
+        assert_eq!(p.to_string(), "1 + = -");
+    }
+}

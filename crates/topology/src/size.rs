@@ -1,0 +1,221 @@
+//! Network size: the number of ports `N` and stage count `n = log2 N`.
+
+use core::fmt;
+
+/// The size of a multistage network: `N` input/output ports arranged in
+/// `n = log2 N` stages of `N` switches each.
+///
+/// `Size` guarantees that `N` is a power of two and at least 2, so `n >= 1`
+/// and every bit-indexing operation in the crate is well defined.
+///
+/// # Example
+///
+/// ```
+/// use iadm_topology::Size;
+///
+/// # fn main() -> Result<(), iadm_topology::SizeError> {
+/// let size = Size::new(16)?;
+/// assert_eq!(size.n(), 16);
+/// assert_eq!(size.stages(), 4);
+/// assert_eq!(size.mask(), 0b1111);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Size {
+    log2: u32,
+}
+
+/// Error returned by [`Size::new`] when the requested port count is not a
+/// power of two greater than one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeError {
+    requested: usize,
+}
+
+impl fmt::Display for SizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "network size must be a power of two >= 2, got {}",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for SizeError {}
+
+impl Size {
+    /// Creates a size for a network with `n` ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SizeError`] unless `n` is a power of two and `n >= 2`.
+    pub fn new(n: usize) -> Result<Self, SizeError> {
+        if n >= 2 && n.is_power_of_two() {
+            Ok(Size {
+                log2: n.trailing_zeros(),
+            })
+        } else {
+            Err(SizeError { requested: n })
+        }
+    }
+
+    /// Creates a size from the stage count `n = log2 N` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0` or `stages >= usize::BITS`.
+    pub fn from_stages(stages: u32) -> Self {
+        assert!(
+            (1..usize::BITS).contains(&stages),
+            "stage count must be in 1..{}, got {stages}",
+            usize::BITS
+        );
+        Size { log2: stages }
+    }
+
+    /// The number of network ports `N` (also switches per stage).
+    #[inline]
+    pub fn n(self) -> usize {
+        1usize << self.log2
+    }
+
+    /// The number of stages `n = log2 N`. Stages are labeled `0..stages()`;
+    /// the appended output column is "stage `stages()`".
+    #[inline]
+    pub fn stages(self) -> usize {
+        self.log2 as usize
+    }
+
+    /// Bit mask selecting the `n` address bits: `N - 1`.
+    #[inline]
+    pub fn mask(self) -> usize {
+        self.n() - 1
+    }
+
+    /// Reduces `v` mod `N`.
+    #[inline]
+    pub fn wrap(self, v: usize) -> usize {
+        v & self.mask()
+    }
+
+    /// `(a + b) mod N`.
+    #[inline]
+    pub fn add(self, a: usize, b: usize) -> usize {
+        (a.wrapping_add(b)) & self.mask()
+    }
+
+    /// `(a - b) mod N`.
+    #[inline]
+    pub fn sub(self, a: usize, b: usize) -> usize {
+        (a.wrapping_sub(b)) & self.mask()
+    }
+
+    /// Iterator over all switch labels `0..N`.
+    pub fn switches(self) -> impl Iterator<Item = usize> + Clone {
+        0..self.n()
+    }
+
+    /// Iterator over all stage labels `0..n` (excluding the output column).
+    pub fn stage_indices(self) -> impl Iterator<Item = usize> + Clone {
+        0..self.stages()
+    }
+
+    /// Total number of switch positions `N * n` (excluding the output column).
+    #[inline]
+    pub fn switch_count(self) -> usize {
+        self.n() * self.stages()
+    }
+
+    /// Flat index of switch `switch` at stage `stage` into a `switch_count()`
+    /// sized array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= stages()` or `switch >= n()`.
+    #[inline]
+    pub fn flat_index(self, stage: usize, switch: usize) -> usize {
+        assert!(stage < self.stages(), "stage {stage} out of range");
+        assert!(switch < self.n(), "switch {switch} out of range");
+        stage * self.n() + switch
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N={}", self.n())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_powers_of_two() {
+        for k in 1..20 {
+            let n = 1usize << k;
+            let s = Size::new(n).unwrap();
+            assert_eq!(s.n(), n);
+            assert_eq!(s.stages(), k);
+        }
+    }
+
+    #[test]
+    fn rejects_non_powers() {
+        for n in [0usize, 1, 3, 5, 6, 7, 9, 100] {
+            assert!(Size::new(n).is_err(), "{n} should be rejected");
+        }
+    }
+
+    #[test]
+    fn error_message_names_value() {
+        let err = Size::new(12).unwrap_err();
+        assert!(err.to_string().contains("12"));
+    }
+
+    #[test]
+    fn modular_arithmetic_wraps() {
+        let s = Size::new(8).unwrap();
+        assert_eq!(s.add(7, 1), 0);
+        assert_eq!(s.sub(0, 1), 7);
+        assert_eq!(s.add(5, 4), 1);
+        assert_eq!(s.wrap(8), 0);
+        assert_eq!(s.wrap(17), 1);
+    }
+
+    #[test]
+    fn from_stages_round_trips() {
+        let s = Size::from_stages(5);
+        assert_eq!(s.n(), 32);
+        assert_eq!(Size::new(32).unwrap(), s);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_stages_rejects_zero() {
+        let _ = Size::from_stages(0);
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_unique() {
+        let s = Size::new(8).unwrap();
+        let mut seen = vec![false; s.switch_count()];
+        for stage in s.stage_indices() {
+            for sw in s.switches() {
+                let i = s.flat_index(stage, sw);
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Size::new(8).unwrap().to_string(), "N=8");
+    }
+}

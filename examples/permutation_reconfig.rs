@@ -1,0 +1,88 @@
+//! Section 6 in action: cube subgraphs by relabeling (Figure 8), the
+//! Theorem 6.1 lower bound, and reconfiguration around nonstraight faults
+//! so cube-admissible permutations still pass.
+//!
+//! Run with: `cargo run -p iadm --example permutation_reconfig`
+
+use iadm::fault::BlockageMap;
+use iadm::permute::cube_subgraph::{
+    distinct_prefix_count, is_cube_via_shift, relabeled_subgraph, theorem_6_1_lower_bound,
+};
+use iadm::permute::reconfigure::find_reconfiguration;
+use iadm::permute::{admissible, Permutation};
+use iadm::topology::{Link, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = Size::new(8)?;
+
+    // --- Figure 8: the x = 1 cube subgraph ------------------------------
+    println!("== Figure 8: cube subgraph from relabeling j -> j+1 (N=8) ==");
+    let g = relabeled_subgraph(size, 1);
+    for stage in size.stage_indices() {
+        print!("  stage {stage}:");
+        for j in size.switches() {
+            for edge in g.outputs_of(stage, j) {
+                if edge.link.kind.is_nonstraight() {
+                    print!(
+                        " {}{}",
+                        j,
+                        if edge.link.kind == iadm::topology::LinkKind::Plus {
+                            "+"
+                        } else {
+                            "-"
+                        }
+                    );
+                }
+            }
+        }
+        println!();
+    }
+    println!(
+        "  isomorphic to the ICube network via j -> j+1: {}",
+        is_cube_via_shift(size, &g, 1)
+    );
+
+    // --- Theorem 6.1 ----------------------------------------------------
+    println!("\n== Theorem 6.1: distinct cube subgraphs ==");
+    for n in [4usize, 8, 16, 32] {
+        let s = Size::new(n)?;
+        println!(
+            "  N={n:>3}: distinct relabel prefixes = {} (= N/2), lower bound (N/2)*2^N = {}",
+            distinct_prefix_count(s),
+            theorem_6_1_lower_bound(s)
+        );
+    }
+
+    // --- Reconfiguration around nonstraight faults ----------------------
+    println!("\n== reconfiguration under nonstraight faults ==");
+    let faults = [Link::plus(0, 0), Link::minus(1, 5), Link::plus(2, 3)];
+    let blockages = BlockageMap::from_links(size, faults);
+    for f in &faults {
+        println!("  faulty: {f}");
+    }
+    let recon = find_reconfiguration(size, &blockages).expect("a fault-free cube subgraph exists");
+    println!("  reconfigured with relabel x = {}", recon.x);
+    let sub = recon.subgraph(size);
+    assert!(faults.iter().all(|f| !sub.contains(*f)));
+    println!("  the reconfigured subgraph avoids every fault");
+
+    // Cube-admissible logical permutations still pass.
+    let mut passed = 0;
+    for mask in 0..size.n() {
+        let logical = Permutation::xor(size, mask);
+        let physical = logical.conjugate_by_shift(size, size.n() - recon.x);
+        assert!(recon.passes(size, &physical));
+        passed += 1;
+    }
+    println!(
+        "  {passed}/{} XOR permutations pass after reconfiguration",
+        size.n()
+    );
+
+    println!(
+        "\n  cube-admissible cyclic shifts on the fault-free network: {}/{}",
+        admissible::admissible_shift_count(size),
+        size.n()
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build the networks, route with destination tags, and watch
+//! SSDT self-repair a blocked link.
+//!
+//! Run with: `cargo run -p iadm --example quickstart`
+
+use iadm::analysis::render;
+use iadm::core::{reroute::reroute, route, ssdt, NetworkState};
+use iadm::fault::BlockageMap;
+use iadm::topology::{ICube, Iadm, Link, Multistage, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = Size::new(8)?;
+
+    // --- The two networks of the paper (Figures 2 and 3) ---------------
+    let iadm = Iadm::new(size);
+    let icube = ICube::new(size);
+    println!("== topologies (paper Figures 2 and 3) ==");
+    println!("{}", render::connection_table(&icube));
+    println!("{}", render::connection_table(&iadm));
+    println!(
+        "every ICube link is an IADM link: {}",
+        icube
+            .all_links()
+            .iter()
+            .all(|l| iadm.has_link(l.stage, l.from, l.kind))
+    );
+
+    // --- Theorem 3.1: destination tags work in ANY network state -------
+    println!("\n== Theorem 3.1: destination-tag routing under three states ==");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    for (name, state) in [
+        ("all C (embedded ICube)", NetworkState::all_c(size)),
+        ("all C-bar", NetworkState::all_cbar(size)),
+        ("random", NetworkState::random(size, &mut rng)),
+    ] {
+        let path = route::trace(size, 5, 2, &state);
+        println!(
+            "  5 -> 2 under {name:<24}: {}",
+            render::path_inline(size, &path)
+        );
+        assert_eq!(path.destination(size), 2);
+    }
+
+    // --- SSDT: self-repairing routing (one state flip, O(1)) -----------
+    println!("\n== SSDT self-repair ==");
+    let mut blockages = BlockageMap::new(size);
+    blockages.block(Link::minus(0, 1));
+    let mut state = NetworkState::all_c(size);
+    let routed = ssdt::route(size, &blockages, &mut state, 1, 0)?;
+    println!(
+        "  blocked {}; SSDT delivered via {}",
+        Link::minus(0, 1),
+        render::path_inline(size, &routed.path)
+    );
+    for repair in &routed.repairs {
+        println!(
+            "  stage {} flipped state: avoided {}, used {}",
+            repair.stage, repair.blocked, repair.used
+        );
+    }
+
+    // --- TSDT + REROUTE: universal rerouting --------------------------
+    println!("\n== TSDT universal rerouting (paper Figure 7 walkthrough) ==");
+    blockages.block(Link::minus(1, 2));
+    let tag = reroute(size, &blockages, 1, 0)?;
+    let path = route::trace_tsdt(size, 1, &tag);
+    println!(
+        "  two blockages -> tag {} -> {}",
+        tag,
+        render::path_inline(size, &path)
+    );
+    assert_eq!(path.switches(size), vec![1, 2, 4, 0]);
+
+    println!("\nok");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Writes Graphviz DOT renderings of the paper's figures to
+//! `target/figures/` — run `dot -Tsvg <file>` to view.
+//!
+//! Run with: `cargo run -p iadm --example render_figures`
+
+use iadm::analysis::dot;
+use iadm::core::broadcast::broadcast_tree;
+use iadm::core::{reroute::reroute, route::trace_tsdt, NetworkState};
+use iadm::fault::BlockageMap;
+use iadm::permute::cube_subgraph::relabeled_subgraph;
+use iadm::topology::{ICube, Iadm, Link, Size};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = Size::new(8)?;
+    let out_dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&out_dir)?;
+
+    let mut written = Vec::new();
+    let mut write = |name: &str, text: String| -> std::io::Result<()> {
+        let path = out_dir.join(name);
+        fs::write(&path, text)?;
+        written.push(path);
+        Ok(())
+    };
+
+    // Figures 1/3: the ICube network.
+    write("figure1_icube.dot", dot::network(&ICube::new(size)))?;
+
+    // Figure 2: the IADM network.
+    write("figure2_iadm.dot", dot::network(&Iadm::new(size)))?;
+
+    // Figure 7: the rerouted path 1 -> 0 with both example blockages.
+    let mut blockages = BlockageMap::new(size);
+    blockages.block(Link::minus(0, 1));
+    blockages.block(Link::minus(1, 2));
+    let tag = reroute(size, &blockages, 1, 0)?;
+    let path = trace_tsdt(size, 1, &tag);
+    write(
+        "figure7_reroute.dot",
+        dot::network_with_path(&Iadm::new(size), &path),
+    )?;
+
+    // Figure 8: the x = 1 cube subgraph.
+    write(
+        "figure8_cube_subgraph.dot",
+        dot::layered_graph(&relabeled_subgraph(size, 1), "figure8"),
+    )?;
+
+    // Bonus: a broadcast tree (the capability the paper sets aside).
+    let tree = broadcast_tree(size, 0, &NetworkState::all_c(size));
+    write(
+        "broadcast_tree.dot",
+        dot::multicast(&Iadm::new(size), &tree),
+    )?;
+
+    println!("wrote {} DOT files:", written.len());
+    for p in &written {
+        println!("  {}", p.display());
+    }
+    println!("render with: dot -Tsvg -O target/figures/*.dot");
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! Degenerate-size edge cases: N = 2 (a single stage whose `+2^0` and
+//! `-2^0` links are parallel links joining the same switch pair) must be
+//! handled correctly by every component — the last-stage degeneracy of
+//! larger networks concentrated into the whole network.
+
+use iadm::analysis::{enumerate, oracle};
+use iadm::core::route::{trace, trace_tsdt};
+use iadm::core::{reroute::reroute, NetworkState, TsdtTag};
+use iadm::fault::scenario::{self, KindFilter};
+use iadm::fault::BlockageMap;
+use iadm::topology::{Iadm, Link, LinkKind, Multistage, Size};
+
+fn size2() -> Size {
+    Size::new(2).unwrap()
+}
+
+#[test]
+fn n2_topology_shape() {
+    let size = size2();
+    let net = Iadm::new(size);
+    assert_eq!(size.stages(), 1);
+    // Each switch's plus and minus links reach the *other* switch.
+    for j in 0..2usize {
+        let outs: Vec<(LinkKind, usize)> = net.outputs(0, j).collect();
+        assert_eq!(
+            outs,
+            vec![
+                (LinkKind::Minus, 1 - j),
+                (LinkKind::Straight, j),
+                (LinkKind::Plus, 1 - j),
+            ]
+        );
+    }
+}
+
+#[test]
+fn n2_routing_all_pairs_all_states() {
+    let size = size2();
+    for s in 0..2usize {
+        for d in 0..2usize {
+            for state in [NetworkState::all_c(size), NetworkState::all_cbar(size)] {
+                assert_eq!(trace(size, s, d, &state).destination(size), d);
+            }
+        }
+    }
+}
+
+#[test]
+fn n2_exhaustive_blockage_subsets_reroute_vs_oracle() {
+    // 6 links total -> 64 blockage subsets; REROUTE must agree with the
+    // oracle on every (subset, pair).
+    let size = size2();
+    let links = scenario::candidate_links(size, KindFilter::Any);
+    assert_eq!(links.len(), 6);
+    for mask in 0..(1usize << links.len()) {
+        let blockages = BlockageMap::from_links(
+            size,
+            links
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &l)| l),
+        );
+        for s in 0..2usize {
+            for d in 0..2usize {
+                let rr = reroute(size, &blockages, s, d);
+                let or = oracle::free_path_exists(size, &blockages, s, d);
+                assert_eq!(rr.is_ok(), or, "mask={mask:#08b} s={s} d={d}");
+                if let Ok(tag) = rr {
+                    assert!(blockages.path_is_free(&trace_tsdt(size, s, &tag)));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn n2_cross_pair_has_two_paths() {
+    // 0 -> 1: via +2^0 or -2^0 (parallel links).
+    let size = size2();
+    let paths = enumerate::all_paths(size, 0, 1);
+    assert_eq!(paths.len(), 2);
+    assert_eq!(enumerate::count_paths(size, 0, 0), 1);
+}
+
+#[test]
+fn n2_corollary_4_1_switches_parallel_links() {
+    let size = size2();
+    let tag = TsdtTag::new(size, 1);
+    let p0 = trace_tsdt(size, 0, &tag);
+    let p1 = trace_tsdt(size, 0, &tag.corollary_4_1(0));
+    // Same switches, different physical links.
+    assert_eq!(p0.switches(size), p1.switches(size));
+    assert_ne!(p0.kind_at(0), p1.kind_at(0));
+}
+
+#[test]
+fn n2_ssdt_evades_one_parallel_link_fault() {
+    let size = size2();
+    let blockages = BlockageMap::from_links(size, [Link::plus(0, 0)]);
+    let mut state = NetworkState::all_c(size);
+    let routed = iadm::core::ssdt::route(size, &blockages, &mut state, 0, 1).unwrap();
+    assert_eq!(routed.path.kind_at(0), LinkKind::Minus);
+    assert_eq!(routed.path.destination(size), 1);
+}
+
+#[test]
+fn n2_cube_subgraphs() {
+    use iadm::permute::cube_subgraph::{distinct_prefix_count, theorem_6_1_lower_bound};
+    let size = size2();
+    // Stages 0..n-2 is empty, so all relabels share the (empty) prefix:
+    // N/2 = 1 distinct prefix; bound (N/2)*2^N = 4.
+    assert_eq!(distinct_prefix_count(size), 1);
+    assert_eq!(theorem_6_1_lower_bound(size), 4);
+}
+
+#[test]
+fn n2_simulator_runs_clean() {
+    use iadm::sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
+    let stats = run_once(
+        SimConfig {
+            size: size2(),
+            queue_capacity: 2,
+            cycles: 500,
+            warmup: 50,
+            offered_load: 0.5,
+            seed: 2,
+        },
+        RoutingPolicy::SsdtBalance,
+        TrafficPattern::Uniform,
+    );
+    assert!(stats.is_conserved());
+    assert_eq!(stats.misrouted, 0);
+    assert!(stats.delivered > 0);
+}
+
+#[test]
+fn n2_pivots() {
+    let size = size2();
+    // s=0, d=1: k̂ = 0, so stage 0 has one pivot (the source) and the
+    // output column has one pivot (the destination).
+    let p0 = iadm::core::pivot::pivots(size, 0, 1, 0);
+    assert_eq!(p0.to_vec(), vec![0]);
+    let p1 = iadm::core::pivot::pivots(size, 0, 1, 1);
+    assert_eq!(p1.to_vec(), vec![1]);
+}
+
+#[test]
+fn n2_baselines_route() {
+    use iadm::baselines::mcmillen_siegel::{route_dynamic, Scheme};
+    let size = size2();
+    let blockages = BlockageMap::new(size);
+    for scheme in Scheme::ALL {
+        for s in 0..2usize {
+            for d in 0..2usize {
+                let (path, _) = route_dynamic(size, &blockages, s, d, scheme);
+                assert_eq!(path.unwrap().destination(size), d, "{scheme:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn n4_two_stage_sanity() {
+    // N=4 exercises exactly one non-degenerate stage before the
+    // degenerate one.
+    let size = Size::new(4).unwrap();
+    let mut blockages = BlockageMap::new(size);
+    blockages.block(Link::plus(0, 1));
+    blockages.block(Link::minus(0, 1));
+    // Switch 1 at stage 0 lost both nonstraight links: pairs needing a
+    // nonstraight first hop from source 1 are cut unless rerouting via...
+    // nothing (stage 0 has no earlier stage) => oracle and REROUTE agree.
+    for d in 0..4usize {
+        let rr = reroute(size, &blockages, 1, d);
+        let or = oracle::free_path_exists(size, &blockages, 1, d);
+        assert_eq!(rr.is_ok(), or, "d={d}");
+    }
+}

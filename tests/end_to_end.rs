@@ -1,0 +1,167 @@
+//! End-to-end scenarios spanning the whole stack: fault injection,
+//! sender-side rerouting, packet simulation and reachability analysis all
+//! telling one consistent story.
+
+use iadm::analysis::reach::{routable_fraction, Scheme};
+use iadm::analysis::{oracle, render};
+use iadm::core::route::trace_tsdt;
+use iadm::core::{reroute::reroute, NetworkState};
+use iadm::fault::scenario::{self, KindFilter};
+use iadm::fault::BlockageMap;
+use iadm::sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm::topology::{Link, Size};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A degraded network: the packet simulator's delivery outcomes must be
+/// consistent with the static reachability analysis — packets between
+/// oracle-connected pairs are never dropped by the SSDT policy when the
+/// faults are nonstraight-only (SSDT evades all of those).
+#[test]
+fn simulation_consistent_with_reachability_under_nonstraight_faults() {
+    let size = Size::new(16).unwrap();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let blockages = scenario::random_faults(&mut rng, size, 12, KindFilter::NonstraightOnly);
+    // Verify statically first: SSDT keeps full reachability unless some
+    // switch lost both nonstraight links.
+    let ssdt_fraction = routable_fraction(size, &blockages, Scheme::Ssdt);
+    let stats = Simulator::with_blockages(
+        SimConfig {
+            size,
+            queue_capacity: 4,
+            cycles: 1500,
+            warmup: 200,
+            offered_load: 0.3,
+            seed: 99,
+        },
+        RoutingPolicy::SsdtBalance,
+        TrafficPattern::Uniform,
+        blockages.clone(),
+    )
+    .run();
+    assert_eq!(stats.misrouted, 0);
+    assert!(stats.is_conserved());
+    if (ssdt_fraction - 1.0).abs() < 1e-12 {
+        assert_eq!(stats.dropped, 0, "static analysis says all pairs routable");
+    }
+    assert!(stats.delivered > 0);
+}
+
+/// Full-stack walkthrough of the paper's motivating scenario: a sender
+/// consults the controller's blockage map, computes a TSDT tag with
+/// REROUTE, and the traced path is exactly what the oracle would pick as
+/// feasible.
+#[test]
+fn sender_side_rerouting_pipeline() {
+    let size = Size::new(32).unwrap();
+    let mut rng = StdRng::seed_from_u64(5150);
+    for trial in 0..30 {
+        let blockages = scenario::random_faults(&mut rng, size, 5 * (trial % 8), KindFilter::Any);
+        let mut agree = 0;
+        for s in size.switches() {
+            for d in size.switches() {
+                match (
+                    reroute(size, &blockages, s, d),
+                    oracle::find_free_path(size, &blockages, s, d),
+                ) {
+                    (Ok(tag), Some(_)) => {
+                        let path = trace_tsdt(size, s, &tag);
+                        assert!(blockages.path_is_free(&path));
+                        agree += 1;
+                    }
+                    (Err(_), None) => {
+                        agree += 1;
+                    }
+                    (a, b) => panic!(
+                        "disagreement trial {trial} s={s} d={d}: reroute={:?} oracle={:?}",
+                        a.is_ok(),
+                        b.is_some()
+                    ),
+                }
+            }
+        }
+        assert_eq!(agree, size.n() * size.n());
+    }
+}
+
+/// The render pipeline produces consistent textual artifacts for the
+/// documentation (sanity of the figure-reproduction tooling).
+#[test]
+fn render_pipeline_consistency() {
+    let size = Size::new(8).unwrap();
+    let listing = render::all_paths_listing(size, 1, 0);
+    assert!(listing.contains("all 4 routing paths"));
+    let state = NetworkState::all_c(size);
+    let grid = render::state_grid(&state);
+    assert_eq!(grid.matches('C').count(), 24);
+    let path = iadm::core::icube_routing::route(size, 1, 0);
+    let inline = render::path_inline(size, &path);
+    assert!(inline.starts_with("(1 in S0"));
+    assert!(inline.ends_with("0 in S3)"));
+}
+
+/// Degradation story across fault counts: reachability is monotone
+/// nonincreasing in added faults for every scheme.
+#[test]
+fn reachability_monotone_in_faults() {
+    let size = Size::new(8).unwrap();
+    let mut rng = StdRng::seed_from_u64(987);
+    let all_links = scenario::candidate_links(size, KindFilter::Any);
+    for _ in 0..5 {
+        use rand::seq::SliceRandom;
+        let mut order = all_links.clone();
+        order.shuffle(&mut rng);
+        let mut blockages = BlockageMap::new(size);
+        let mut prev = [1.0f64; 4];
+        for chunk in order.chunks(8).take(5) {
+            for &link in chunk {
+                blockages.block(link);
+            }
+            for (i, scheme) in Scheme::ALL.into_iter().enumerate() {
+                let f = routable_fraction(size, &blockages, scheme);
+                assert!(
+                    f <= prev[i] + 1e-12,
+                    "{}: fraction rose from {} to {f}",
+                    scheme.label(),
+                    prev[i]
+                );
+                prev[i] = f;
+            }
+        }
+    }
+}
+
+/// A classic fault-tolerance showcase: with one faulty nonstraight link,
+/// the IADM (SSDT) still routes everything, a reconfigured cube subgraph
+/// still passes cube permutations, and the packet simulator drops nothing.
+#[test]
+fn single_fault_full_service() {
+    let size = Size::new(8).unwrap();
+    let fault = Link::plus(1, 1);
+    let blockages = BlockageMap::from_links(size, [fault]);
+
+    // 1. One-to-one routing: SSDT flips one state.
+    assert_eq!(routable_fraction(size, &blockages, Scheme::Ssdt), 1.0);
+
+    // 2. Permutation routing: reconfigure to a cube subgraph avoiding it.
+    let recon = iadm::permute::reconfigure::find_reconfiguration(size, &blockages).unwrap();
+    assert!(!recon.subgraph(size).contains(fault));
+
+    // 3. Packet simulation: no drops.
+    let stats = Simulator::with_blockages(
+        SimConfig {
+            size,
+            queue_capacity: 4,
+            cycles: 1000,
+            warmup: 100,
+            offered_load: 0.4,
+            seed: 3,
+        },
+        RoutingPolicy::SsdtBalance,
+        TrafficPattern::Uniform,
+        blockages,
+    )
+    .run();
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(stats.misrouted, 0);
+}

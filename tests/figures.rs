@@ -1,0 +1,231 @@
+//! Literal reconstructions of the paper's figures as executable tests.
+
+use iadm::analysis::enumerate;
+use iadm::core::backtrack::{backtrack, FailReason};
+use iadm::core::route::trace_tsdt;
+use iadm::core::{reroute::reroute, TsdtTag};
+use iadm::fault::{scenario, BlockageMap};
+use iadm::topology::{ICube, Iadm, Link, LinkKind, Multistage, Path, Size};
+
+fn size8() -> Size {
+    Size::new(8).unwrap()
+}
+
+/// Figure 1/3: the ICube network for N=8 — stage-i boxes pair switches
+/// differing in bit i, each switch has straight plus one nonstraight link.
+#[test]
+fn figure_1_and_3_icube_structure() {
+    let size = size8();
+    let net = ICube::new(size);
+    for stage in size.stage_indices() {
+        for j in size.switches() {
+            let outs: Vec<usize> = net.outputs(stage, j).map(|(_, t)| t).collect();
+            assert_eq!(outs.len(), 2);
+            assert!(outs.contains(&j), "straight link always present");
+            let other = *outs.iter().find(|&&t| t != j).unwrap_or(&j);
+            if other != j {
+                assert_eq!(other ^ j, 1 << stage, "partner differs in bit {stage}");
+            }
+        }
+    }
+}
+
+/// Figure 2: the IADM network for N=8 — switch j at stage i connects to
+/// j-2^i, j, j+2^i, and the solid (ICube) edges are among them.
+#[test]
+fn figure_2_iadm_structure_and_embedded_icube() {
+    let size = size8();
+    let iadm = Iadm::new(size);
+    let icube = ICube::new(size);
+    assert_eq!(iadm.all_links().len(), 3 * 8 * 3);
+    for link in icube.all_links() {
+        assert!(iadm.has_link(link.stage, link.from, link.kind));
+    }
+}
+
+/// Figure 4: the connection tables of an even_i/odd_i switch pair under
+/// states C and C-bar.
+#[test]
+fn figure_4_even_odd_switch_tables() {
+    use iadm::core::{route_kind, SwitchState};
+    let stage = 1;
+    let even = 0b000;
+    let odd = 0b010;
+    let table = [
+        // (switch, t, state, expected kind)
+        (even, 0, SwitchState::C, LinkKind::Straight),
+        (even, 0, SwitchState::Cbar, LinkKind::Straight),
+        (even, 1, SwitchState::C, LinkKind::Plus),
+        (even, 1, SwitchState::Cbar, LinkKind::Minus),
+        (odd, 0, SwitchState::C, LinkKind::Minus),
+        (odd, 0, SwitchState::Cbar, LinkKind::Plus),
+        (odd, 1, SwitchState::C, LinkKind::Straight),
+        (odd, 1, SwitchState::Cbar, LinkKind::Straight),
+    ];
+    for (sw, t, state, expected) in table {
+        assert_eq!(
+            route_kind(sw, stage, t, state),
+            expected,
+            "sw={sw} t={t} {state:?}"
+        );
+    }
+}
+
+/// Figure 5: rerouting for a straight link blockage in (j∈S_i, j∈S_{i+1}).
+/// With j = 0, i = 2, k = 2 (nonstraight at stage 0): the original segment
+/// ((j+2^0)∈S_0, j∈S_1, j∈S_2, j∈S_3) becomes
+/// ((j+1)∈S_0, (j+2)∈S_1, (j+4)∈S_2, j∈S_3).
+#[test]
+fn figure_5_straight_blockage_reroute_shape() {
+    let size = size8();
+    let tag = TsdtTag::new(size, 0);
+    // Original path from s = 1: (1, 0, 0, 0) — nonstraight -2^0 then straight.
+    let path = trace_tsdt(size, 1, &tag);
+    assert_eq!(path.switches(size), vec![1, 0, 0, 0]);
+    let mut blockages = BlockageMap::new(size);
+    blockages.block(Link::straight(2, 0));
+    let new_tag = backtrack(&blockages, &path, 2, tag).unwrap();
+    let new_path = trace_tsdt(size, 1, &new_tag);
+    // The figure's climb: j+2^{i-k} -> j+2^{i-k+1} -> ... -> j+2^i -> j.
+    assert_eq!(new_path.switches(size), vec![1, 2, 4, 0]);
+    assert!(blockages.path_is_free(&new_path));
+}
+
+/// Figure 6: rerouting for a double nonstraight link blockage: the
+/// rerouting path ends with a *straight* link at stage i.
+#[test]
+fn figure_6_double_nonstraight_reroute_shape() {
+    let size = size8();
+    // Original: tag 000110 -> path (1, 2, 4, 0) with nonstraight at stage 2.
+    let tag = TsdtTag::with_state(size, 0, 0b011);
+    let path = trace_tsdt(size, 1, &tag);
+    assert_eq!(path.switches(size), vec![1, 2, 4, 0]);
+    let blockages = scenario::double_nonstraight(size, 2, 4);
+    let new_tag = backtrack(&blockages, &path, 2, tag).unwrap();
+    let new_path = trace_tsdt(size, 1, &new_tag);
+    // Figure 6's reroute for k=1: back off the climb one stage and go
+    // straight at stage i: (1, 2, 0, 0) with straight from 0∈S2.
+    assert_eq!(new_path.switches(size), vec![1, 2, 0, 0]);
+    assert_eq!(new_path.kind_at(2), LinkKind::Straight);
+    assert!(blockages.path_is_free(&new_path));
+}
+
+/// Figure 7: all four routing paths from 1∈S0 to 0∈S3, and the worked tag
+/// sequence 000000 -> 000100 -> 000110 of Section 4.
+#[test]
+fn figure_7_all_paths_and_tag_walkthrough() {
+    let size = size8();
+    let paths = enumerate::all_paths(size, 1, 0);
+    let switch_seqs: Vec<Vec<usize>> = paths.iter().map(|p| p.switches(size)).collect();
+    assert_eq!(
+        switch_seqs,
+        vec![
+            vec![1, 0, 0, 0],
+            vec![1, 2, 0, 0],
+            vec![1, 2, 4, 0],
+            vec![1, 2, 4, 0],
+        ]
+    );
+    // The two (1,2,4,0) paths differ in the last-stage link sign.
+    assert_ne!(paths[2], paths[3]);
+    assert_eq!(paths[2].kind_at(2), LinkKind::Minus);
+    assert_eq!(paths[3].kind_at(2), LinkKind::Plus);
+
+    // Worked rerouting tags.
+    let mut blockages = BlockageMap::new(size);
+    blockages.block(Link::minus(0, 1));
+    assert_eq!(
+        reroute(size, &blockages, 1, 0).unwrap().to_string(),
+        "000100"
+    );
+    blockages.block(Link::minus(1, 2));
+    assert_eq!(
+        reroute(size, &blockages, 1, 0).unwrap().to_string(),
+        "000110"
+    );
+}
+
+/// Figure 8: the cube subgraph generated by relabeling j -> (j+1) mod 8.
+#[test]
+fn figure_8_relabeled_cube_subgraph() {
+    use iadm::permute::cube_subgraph::{is_cube_via_shift, relabeled_subgraph};
+    let size = size8();
+    let g = relabeled_subgraph(size, 1);
+    assert!(is_cube_via_shift(size, &g, 1));
+    // Spot-check the figure: physical switch 0 (logical 1) is odd_0 and
+    // uses -2^0; physical switch 7 (logical 0) uses +2^i everywhere.
+    assert!(g.contains(Link::minus(0, 0)));
+    assert!(g.contains(Link::plus(0, 7)));
+    assert!(g.contains(Link::plus(1, 7)));
+    assert!(g.contains(Link::plus(2, 7)));
+    // "Setting some switch to state C according to its logical label may be
+    // equivalent to setting the switch to state C-bar according to its
+    // original label": switch 0∈S0 under physical labels is even_0, and its
+    // active nonstraight link -2^0 is exactly its C-bar choice.
+    use iadm::core::{route_kind, SwitchState};
+    assert_eq!(route_kind(0, 0, 1, SwitchState::Cbar), LinkKind::Minus);
+}
+
+/// Figure 9: the step-9 FAIL situation — after deeper backtracking finds an
+/// oppositely signed nonstraight link, no path through the surviving pivot
+/// exists.
+#[test]
+fn figure_9_sign_mismatch_fail() {
+    let size = size8();
+    // Construct a path with a -2^r link *below* a +2^{r'} link, then block
+    // so that backtracking walks past the minus link onto the plus link.
+    // Source 7 to destination 0: use tag with states so the path takes
+    // +2^0 at stage 0 (7 -> 0), -2^1 at stage 1 (0 -> 6)? Instead, build
+    // the scenario directly: s = 5, d = 0. All-C path: 5 ->(-1) 4 ->(=)
+    // 4 ->(-4) 0.
+    let tag = TsdtTag::new(size, 0);
+    let path = trace_tsdt(size, 5, &tag);
+    assert_eq!(path.switches(size), vec![5, 4, 4, 0]);
+    assert_eq!(path.kind_at(0), LinkKind::Minus);
+    assert_eq!(path.kind_at(2), LinkKind::Minus);
+    // Double-block the nonstraight outputs of 4∈S2 (the Figure 6/9 switch
+    // j∈S_q with q=2), and also block the climb escape at stage 1 so
+    // BACKTRACK iterates deeper; the next nonstraight found (stage 0) is
+    // -2^0 — same sign, so it keeps going; block its escape too and the
+    // pivots close.
+    let mut blockages = BlockageMap::new(size);
+    blockages.block(Link::minus(2, 4));
+    blockages.block(Link::plus(2, 4));
+    let result = backtrack(&blockages, &path, 2, tag);
+    // With just the double blockage, rerouting succeeds via stage-0 climb.
+    assert!(result.is_ok());
+    let good = trace_tsdt(size, 5, &result.unwrap());
+    assert!(blockages.path_is_free(&good));
+
+    // Now force the sign-mismatch shape: a path that takes +2^0 then -2^1.
+    // s = 7, d = 1: 7 ->(+1) 0? bit0(7)=1, d0=1 -> straight. Use s=6,d=1:
+    // 6 is even_0, d0=1 -> +2^0: 6->7; stage1: bit1(7)=1, d1=0 -> -2^1:
+    // 7->5; stage2: bit2(5)=1, d2=0 -> -2^2: 5->1.
+    let tag = TsdtTag::new(size, 1);
+    let path = trace_tsdt(size, 6, &tag);
+    assert_eq!(path.switches(size), vec![6, 7, 5, 1]);
+    assert_eq!(path.kind_at(0), LinkKind::Plus);
+    assert_eq!(path.kind_at(1), LinkKind::Minus);
+    // Double-block nonstraight outputs of 5∈S2; first backtrack finds
+    // -2^1 at stage 1 (Minus => climb on the +side switches 7+2=... j=5:
+    // w = 5+4=... climb switch at stage 2 is j+2^2 where j=5 -> 1∈S2?
+    // Wait: r=1, q=2, j=5: reroute switch at stage 2 = 5+4=1, straight
+    // link (2,1,=). Block it to force deeper backtracking; then the
+    // stage-0 nonstraight is +2^0 — opposite sign => step 9 FAIL.
+    let mut blockages = BlockageMap::new(size);
+    blockages.block(Link::minus(2, 5));
+    blockages.block(Link::plus(2, 5));
+    blockages.block(Link::plus(1, 7)); // the step-6 escape at stage r=1
+    let result = backtrack(&blockages, &path, 2, tag);
+    assert_eq!(result, Err(FailReason::SignMismatch { stage: 0 }));
+    // And the FAIL verdict is genuine: the oracle agrees no path exists...
+    // for THIS tag's original path constraints the pivots at stage 2 are
+    // closed/unreachable; verify with exhaustive search over all paths.
+    let free = enumerate::all_free_paths(size, &blockages, 6, 1);
+    assert!(
+        free.is_empty(),
+        "paper's step 9 said no path, but {} exist: {:?}",
+        free.len(),
+        free.iter().map(Path::to_string).collect::<Vec<_>>()
+    );
+}

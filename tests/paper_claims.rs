@@ -1,0 +1,354 @@
+//! Cross-crate checks of the paper's headline claims, beyond the figures:
+//! complexity separations, scheme power ordering, and the agreement of
+//! independent implementations.
+
+use iadm::analysis::{enumerate, oracle};
+use iadm::baselines::mcmillen_siegel::{self, Scheme as MsScheme};
+use iadm::baselines::{lookahead, parker_raghavendra, OpCount};
+use iadm::core::route::{trace, trace_tsdt};
+use iadm::core::{reroute::reroute, NetworkState, TsdtTag};
+use iadm::fault::scenario::{self, KindFilter};
+use iadm::fault::BlockageMap;
+use iadm::topology::{Link, LinkKind, Multistage, Size};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Section 1/7 claim: path enumeration by graph search (analysis crate) and
+/// by signed-digit representations (Parker–Raghavendra baseline) agree on
+/// every pair — paths ARE redundant number representations.
+#[test]
+fn path_enumeration_equals_redundant_representations() {
+    for n in [4usize, 8, 16] {
+        let size = Size::new(n).unwrap();
+        for s in size.switches() {
+            for d in size.switches() {
+                let by_graph = enumerate::all_paths(size, s, d).len();
+                let by_digits = parker_raghavendra::all_representations(size, s, d).len();
+                assert_eq!(by_graph, by_digits, "N={n} s={s} d={d}");
+            }
+        }
+    }
+}
+
+/// Section 4/7 claim: the TSDT rerouting tag for a nonstraight blockage is
+/// O(1) — literally one bit complement — while every \[9\] scheme performs
+/// Ω(log N) work, growing with the network.
+#[test]
+fn complexity_separation_o1_vs_olog_n() {
+    let mut previous_ms_cost = 0u64;
+    for log2 in [3u32, 5, 7, 9, 11] {
+        let size = Size::from_stages(log2);
+        // The paper's scheme: Corollary 4.1 = one bit flip, size-independent.
+        let tag = TsdtTag::new(size, 0);
+        let rerouted = tag.corollary_4_1(0);
+        assert_eq!(
+            rerouted.state_bits() ^ tag.state_bits(),
+            1,
+            "exactly one state bit changes"
+        );
+        // The [9] baseline: measured op count grows with log N.
+        let mut ops = OpCount::default();
+        let dist_tag = iadm::baselines::DistanceTag::natural(size, 1, 0);
+        mcmillen_siegel::reroute_twos_complement(size, &dist_tag, 0, &mut ops).unwrap();
+        assert!(
+            ops.0 > previous_ms_cost,
+            "[9] cost must increase with N: {} !> {previous_ms_cost}",
+            ops.0
+        );
+        previous_ms_cost = ops.0;
+    }
+}
+
+/// Section 4 claim: Corollary 4.2 changes exactly the k state bits between
+/// the backtrack stage and the blockage (O(k)), never more.
+#[test]
+fn corollary_4_2_changes_exactly_k_bits() {
+    let size = Size::new(32).unwrap();
+    for s in size.switches() {
+        for d in size.switches() {
+            let tag = TsdtTag::new(size, d);
+            let path = trace_tsdt(size, s, &tag);
+            for stage in 0..size.stages() {
+                if path.kind_at(stage) != LinkKind::Straight {
+                    continue;
+                }
+                if let Some(r) = path.last_nonstraight_before(stage) {
+                    let new_tag = tag.corollary_4_2(&path, stage).unwrap();
+                    let changed = new_tag.state_bits() ^ tag.state_bits();
+                    // Changed bits all lie in r..stage.
+                    let window = ((1usize << stage) - 1) & !((1usize << r) - 1);
+                    assert_eq!(changed & !window, 0, "bits outside window changed");
+                }
+            }
+        }
+    }
+}
+
+/// The hierarchy of rerouting power the paper establishes:
+/// Lee–Lee (no rerouting) < [9] (nonstraight only) <= [10] (+ some straight)
+/// < TSDT+REROUTE (universal = oracle).
+#[test]
+fn scheme_power_hierarchy() {
+    let size = Size::new(8).unwrap();
+    let mut rng = StdRng::seed_from_u64(515);
+    let mut counts = [0usize; 5]; // leelee, ms, lookahead, reroute, oracle
+    for trial in 0..150 {
+        let blockages = scenario::random_faults(&mut rng, size, 1 + trial % 8, KindFilter::Any);
+        for s in size.switches() {
+            for d in size.switches() {
+                let leelee = iadm::baselines::lee_lee::route_local(size, &blockages, s, d)
+                    .map(|p| blockages.path_is_free(&p))
+                    .unwrap_or(false);
+                let ms = mcmillen_siegel::route_dynamic(size, &blockages, s, d, MsScheme::Add)
+                    .0
+                    .is_some();
+                let la = lookahead::route_with_lookahead(size, &blockages, s, d)
+                    .0
+                    .is_some();
+                let rr = reroute(size, &blockages, s, d).is_ok();
+                let or = oracle::free_path_exists(size, &blockages, s, d);
+                counts[0] += leelee as usize;
+                counts[1] += ms as usize;
+                counts[2] += la as usize;
+                counts[3] += rr as usize;
+                counts[4] += or as usize;
+                // Universality: REROUTE == oracle, and it dominates all.
+                assert_eq!(rr, or, "s={s} d={d}");
+                assert!(!leelee || rr);
+                assert!(!ms || rr, "s={s} d={d}");
+                assert!(!la || rr, "s={s} d={d}");
+            }
+        }
+    }
+    assert!(counts[0] < counts[1], "[9] must beat Lee-Lee: {counts:?}");
+    assert!(counts[1] < counts[3], "REROUTE must beat [9]: {counts:?}");
+    assert!(
+        counts[2] < counts[3],
+        "REROUTE must beat look-ahead: {counts:?}"
+    );
+    assert!(
+        counts[2] > counts[1],
+        "look-ahead should add power over [9] alone: {counts:?}"
+    );
+}
+
+/// Theorem 3.1's transparency claim, at scale: the same destination tag
+/// delivers regardless of network state, for N up to 1024.
+#[test]
+fn destination_tags_state_transparent_large() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for log2 in [6u32, 8, 10] {
+        let size = Size::from_stages(log2);
+        for _ in 0..3 {
+            let state = NetworkState::random(size, &mut rng);
+            for _ in 0..50 {
+                let s = rand::Rng::gen_range(&mut rng, 0..size.n());
+                let d = rand::Rng::gen_range(&mut rng, 0..size.n());
+                assert_eq!(trace(size, s, d, &state).destination(size), d);
+            }
+        }
+    }
+}
+
+/// SSDT transparency: rerouting changes the path but never the
+/// destination, and the sender's tag never changes.
+#[test]
+fn ssdt_rerouting_is_transparent_to_sender() {
+    let size = Size::new(16).unwrap();
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..50 {
+        let blockages = scenario::random_faults(&mut rng, size, 10, KindFilter::NonstraightOnly);
+        for s in [0usize, 3, 9] {
+            for d in [1usize, 8, 15] {
+                let mut state = NetworkState::all_c(size);
+                // The "tag" is only the destination address; SSDT uses
+                // nothing else.
+                if let Ok(routed) = iadm::core::ssdt::route(size, &blockages, &mut state, s, d) {
+                    assert_eq!(routed.path.destination(size), d);
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 3.2 both directions, by exhaustion: flipping one switch state
+/// changes the path iff the original path uses a nonstraight link of that
+/// switch, and then only the sign changes.
+#[test]
+fn theorem_3_2_exhaustive() {
+    let size = Size::new(8).unwrap();
+    for s in size.switches() {
+        for d in size.switches() {
+            let base_state = NetworkState::all_c(size);
+            let base = trace(size, s, d, &base_state);
+            for stage in size.stage_indices() {
+                for j in size.switches() {
+                    let mut flipped = base_state.clone();
+                    flipped.flip(stage, j);
+                    let new = trace(size, s, d, &flipped);
+                    let on_path_nonstraight =
+                        base.switch_at(size, stage) == j && base.kind_at(stage).is_nonstraight();
+                    if on_path_nonstraight {
+                        assert_ne!(new, base, "s={s} d={d} stage={stage} j={j}");
+                        assert_eq!(new.kind_at(stage), base.kind_at(stage).opposite());
+                    } else {
+                        assert_eq!(new, base, "s={s} d={d} stage={stage} j={j}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Theorems 3.3/3.4 both directions, by exhaustion over single blockages:
+/// an alternate path exists iff a nonstraight link precedes the blocked
+/// stage on the original path.
+#[test]
+fn theorems_3_3_and_3_4_exhaustive() {
+    let size = Size::new(8).unwrap();
+    for s in size.switches() {
+        for d in size.switches() {
+            let tag = TsdtTag::new(size, d);
+            let path = trace_tsdt(size, s, &tag);
+            for stage in 0..size.stages() {
+                let precedes = path.last_nonstraight_before(stage).is_some();
+                // Theorem 3.3: straight link blockage.
+                if path.kind_at(stage) == LinkKind::Straight {
+                    let blockages = BlockageMap::from_links(size, [path.link_at(size, stage)]);
+                    let exists = oracle::free_path_exists(size, &blockages, s, d);
+                    assert_eq!(exists, precedes, "3.3: s={s} d={d} stage={stage}");
+                } else {
+                    // Theorem 3.4: double nonstraight blockage at the
+                    // switch whose nonstraight output is on the path.
+                    let sw = path.switch_at(size, stage);
+                    let blockages = scenario::double_nonstraight(size, stage, sw);
+                    let exists = oracle::free_path_exists(size, &blockages, s, d);
+                    assert_eq!(exists, precedes, "3.4: s={s} d={d} stage={stage}");
+                }
+            }
+        }
+    }
+}
+
+/// Lemma A2.1 / pivot theory validated against brute force: the switches on
+/// *some* routing path at each stage are exactly the computed pivots.
+#[test]
+fn pivots_match_enumerated_paths() {
+    let size = Size::new(8).unwrap();
+    for s in size.switches() {
+        for d in size.switches() {
+            let paths = enumerate::all_paths(size, s, d);
+            for stage in 0..=size.stages() {
+                let mut actual: Vec<usize> =
+                    paths.iter().map(|p| p.switch_at(size, stage)).collect();
+                actual.sort_unstable();
+                actual.dedup();
+                let mut expected = iadm::core::pivot::pivots(size, s, d, stage).to_vec();
+                expected.sort_unstable();
+                assert_eq!(actual, expected, "s={s} d={d} stage={stage}");
+            }
+        }
+    }
+}
+
+/// The 2n-bit TSDT tag drives the exact link table of Section 4: for even
+/// switches 00/01 -> straight, 10 -> +2^i, 11 -> -2^i; mirrored for odd.
+#[test]
+fn tsdt_bit_table_matches_section_4() {
+    let size = Size::new(8).unwrap();
+    for j in size.switches() {
+        for stage in size.stage_indices() {
+            for dest_bit in 0..2usize {
+                for state_bit in 0..2usize {
+                    let kind = iadm::core::route_kind(
+                        j,
+                        stage,
+                        dest_bit,
+                        iadm::core::SwitchState::from_bit(state_bit),
+                    );
+                    let even = iadm::core::is_even(j, stage);
+                    let expected = match (even, dest_bit, state_bit) {
+                        (true, 0, _) => LinkKind::Straight,
+                        (true, 1, 0) => LinkKind::Plus,
+                        (true, 1, 1) => LinkKind::Minus,
+                        (false, 1, _) => LinkKind::Straight,
+                        (false, 0, 1) => LinkKind::Plus,
+                        (false, 0, 0) => LinkKind::Minus,
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(
+                        kind, expected,
+                        "j={j} stage={stage} b={dest_bit}{state_bit}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every REROUTE success traces to a valid IADM path; exercised at N=64
+/// to confirm nothing in the pipeline is N=8-specific.
+#[test]
+fn reroute_scales_to_n64() {
+    let size = Size::new(64).unwrap();
+    let net = iadm::topology::Iadm::new(size);
+    let mut rng = StdRng::seed_from_u64(64);
+    for _ in 0..20 {
+        let blockages = scenario::random_faults(&mut rng, size, 100, KindFilter::Any);
+        for _ in 0..30 {
+            let s = rand::Rng::gen_range(&mut rng, 0..size.n());
+            let d = rand::Rng::gen_range(&mut rng, 0..size.n());
+            let rr = reroute(size, &blockages, s, d);
+            let or = oracle::free_path_exists(size, &blockages, s, d);
+            assert_eq!(rr.is_ok(), or, "s={s} d={d}");
+            if let Ok(tag) = rr {
+                let path = trace_tsdt(size, s, &tag);
+                assert!(blockages.path_is_free(&path));
+                assert_eq!(path.destination(size), d);
+                path.validate(&net).unwrap();
+            }
+        }
+    }
+}
+
+/// Switch blockages transform into link blockages exactly as Section 3
+/// prescribes: blocking a switch equals blocking its three input links.
+#[test]
+fn switch_blockage_equivalence() {
+    let size = Size::new(8).unwrap();
+    for stage in 1..=size.stages() {
+        for sw in size.switches() {
+            let mut via_switch = BlockageMap::new(size);
+            via_switch.block_switch(stage, sw);
+            let mut via_links = BlockageMap::new(size);
+            for link in iadm::topology::Iadm::new(size).inputs(stage - 1, sw) {
+                via_links.block(link);
+            }
+            assert_eq!(via_switch, via_links, "stage={stage} sw={sw}");
+            // No path may pass through the blocked switch anymore.
+            for s in size.switches() {
+                for d in size.switches() {
+                    for p in enumerate::all_free_paths(size, &via_switch, s, d) {
+                        assert_ne!(
+                            p.switch_at(size, stage),
+                            sw,
+                            "path {p} passes the blocked switch"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Gamma network footnote: the same schemes apply verbatim because the
+/// topology is identical — REROUTE tags trace to valid Gamma paths too.
+#[test]
+fn schemes_apply_to_gamma() {
+    let size = Size::new(8).unwrap();
+    let gamma = iadm::topology::Gamma::new(size);
+    let mut blockages = BlockageMap::new(size);
+    blockages.block(Link::minus(0, 1));
+    let tag = reroute(size, &blockages, 1, 0).unwrap();
+    trace_tsdt(size, 1, &tag).validate(&gamma).unwrap();
+}
