@@ -10,8 +10,7 @@
 use crate::reach::Scheme;
 use iadm_fault::scenario::{self, KindFilter};
 use iadm_topology::Size;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iadm_rng::{Rng, StdRng};
 
 /// The closed-form ICube pair availability: a single path of `n` links,
 /// each up with probability `1 - p`.
@@ -45,7 +44,7 @@ pub fn pair_availability<R: Rng>(
 
 /// One row of an availability sweep: the mean pair availability of each
 /// scheme at failure probability `p`.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct AvailabilityRow {
     /// Per-link failure probability.
     pub p: f64,

@@ -123,8 +123,7 @@ pub fn reachable_destinations(size: Size, blockages: &BlockageMap, source: usize
 mod tests {
     use super::*;
     use iadm_fault::scenario::{self, KindFilter};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

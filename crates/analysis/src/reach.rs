@@ -10,7 +10,7 @@ use iadm_fault::BlockageMap;
 use iadm_topology::Size;
 
 /// Which routing scheme a reachability measurement exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Plain ICube-emulation (all state `C`, no rerouting): the zero-
     /// redundancy baseline.
@@ -97,8 +97,7 @@ mod tests {
     use super::*;
     use iadm_fault::scenario::{self, KindFilter};
     use iadm_topology::Link;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

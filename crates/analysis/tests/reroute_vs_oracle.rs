@@ -8,8 +8,7 @@ use iadm_core::route::trace_tsdt;
 use iadm_fault::scenario::{self, KindFilter};
 use iadm_fault::BlockageMap;
 use iadm_topology::{Link, LinkKind, Size};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iadm_rng::StdRng;
 
 /// Checks agreement for every (s, d) pair under the given blockages.
 fn assert_agreement(size: Size, blockages: &BlockageMap, context: &str) {

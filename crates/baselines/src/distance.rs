@@ -16,7 +16,7 @@ use iadm_topology::{LinkKind, Path, Size};
 /// by their O(log N) time×space hardware), and 1 per digit/bit
 /// inspection or write. The paper's own schemes cost O(1) bit flips
 /// (Corollary 4.1) or O(k) bit writes (Corollary 4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCount(pub u64);
 
 impl OpCount {
@@ -58,7 +58,7 @@ impl fmt::Display for OpCount {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DistanceTag {
     digits: Vec<i8>,
 }

@@ -3,44 +3,32 @@
 
 use iadm_baselines::mcmillen_siegel::{reroute_add, reroute_twos_complement};
 use iadm_baselines::{lee_lee, parker_raghavendra, DistanceTag, OpCount};
+use iadm_check::{check, check_assert, check_assert_eq};
 use iadm_topology::Size;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn twos_complement_reroute_preserves_delivery(
-        log2 in 1u32..=8,
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-        stage_seed in any::<usize>(),
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
-        let stage = stage_seed % size.stages();
+check! {
+    fn twos_complement_reroute_preserves_delivery(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=8));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
+        let stage = g.usize_any() % size.stages();
         let tag = DistanceTag::natural(size, s, d);
         let mut ops = OpCount::default();
         if let Some(new) = reroute_twos_complement(size, &tag, stage, &mut ops) {
-            prop_assert_eq!(new.value(size), tag.value(size));
-            prop_assert_eq!(new.trace(size, s).destination(size), d);
-            prop_assert_eq!(new.digit(stage), -tag.digit(stage));
-            prop_assert!(ops.0 > 0);
+            check_assert_eq!(new.value(size), tag.value(size));
+            check_assert_eq!(new.trace(size, s).destination(size), d);
+            check_assert_eq!(new.digit(stage), -tag.digit(stage));
+            check_assert!(ops.0 > 0);
         } else {
-            prop_assert_eq!(tag.digit(stage), 0, "only straight digits are unreroutable");
+            check_assert_eq!(tag.digit(stage), 0, "only straight digits are unreroutable");
         }
     }
 
-    #[test]
-    fn add_reroute_preserves_delivery(
-        log2 in 1u32..=8,
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-        stage_seed in any::<usize>(),
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
-        let stage = stage_seed % size.stages();
+    fn add_reroute_preserves_delivery(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=8));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
+        let stage = g.usize_any() % size.stages();
         // Exercise the negative-digit branch too via the negative-dominant
         // representation.
         for tag in [
@@ -49,40 +37,30 @@ proptest! {
         ] {
             let mut ops = OpCount::default();
             if let Some(new) = reroute_add(size, &tag, stage, &mut ops) {
-                prop_assert_eq!(new.value(size), tag.value(size));
-                prop_assert_eq!(new.trace(size, s).destination(size), d);
+                check_assert_eq!(new.value(size), tag.value(size));
+                check_assert_eq!(new.trace(size, s).destination(size), d);
             }
         }
     }
 
-    #[test]
-    fn signed_bit_difference_always_delivers(
-        log2 in 1u32..=9,
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
+    fn signed_bit_difference_always_delivers(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=9));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
         let tag = lee_lee::signed_bit_difference(size, s, d);
-        prop_assert_eq!(tag.trace(size, s).destination(size), d);
+        check_assert_eq!(tag.trace(size, s).destination(size), d);
     }
 
-    #[test]
-    fn representations_all_deliver_and_are_distinct(
-        log2 in 1u32..=5,
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
+    fn representations_all_deliver_and_are_distinct(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=5));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
         let reps = parker_raghavendra::all_representations(size, s, d);
-        prop_assert!(!reps.is_empty());
+        check_assert!(!reps.is_empty());
         let mut seen = std::collections::BTreeSet::new();
         for rep in &reps {
-            prop_assert_eq!(rep.trace(size, s).destination(size), d);
-            prop_assert!(seen.insert(rep.digits().to_vec()));
+            check_assert_eq!(rep.trace(size, s).destination(size), d);
+            check_assert!(seen.insert(rep.digits().to_vec()));
         }
     }
 }

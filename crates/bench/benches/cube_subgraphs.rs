@@ -1,34 +1,37 @@
 //! E4 — Theorem 6.1 machinery: generating relabeled cube subgraphs,
 //! verifying the isomorphism witness, and counting distinct prefixes.
+//!
+//! Self-timed; build with `--features bench-inline` to enable the bodies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iadm_permute::cube_subgraph::{distinct_prefix_count, is_cube_via_shift, relabeled_subgraph};
-use iadm_topology::Size;
-use std::hint::black_box;
+#[cfg(feature = "bench-inline")]
+fn main() {
+    use iadm_bench::harness::{opaque, Group};
+    use iadm_permute::cube_subgraph::{
+        distinct_prefix_count, is_cube_via_shift, relabeled_subgraph,
+    };
+    use iadm_topology::Size;
 
-fn bench_cube_subgraphs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cube_subgraphs");
+    let group = Group::new("cube_subgraphs");
     for n in [8usize, 32, 128, 512] {
         let size = Size::new(n).unwrap();
-        group.bench_with_input(BenchmarkId::new("relabeled_subgraph", n), &n, |b, _| {
-            b.iter(|| black_box(relabeled_subgraph(size, black_box(1))))
+        group.bench(&format!("relabeled_subgraph/{n}"), || {
+            opaque(relabeled_subgraph(size, opaque(1)));
         });
         let g = relabeled_subgraph(size, 1);
-        group.bench_with_input(BenchmarkId::new("isomorphism_witness", n), &n, |b, _| {
-            b.iter(|| black_box(is_cube_via_shift(size, &g, 1)))
+        group.bench(&format!("isomorphism_witness/{n}"), || {
+            opaque(is_cube_via_shift(size, &g, 1));
         });
         if n <= 128 {
-            group.bench_with_input(BenchmarkId::new("distinct_prefix_count", n), &n, |b, _| {
-                b.iter(|| {
-                    let count = distinct_prefix_count(size);
-                    assert_eq!(count, n / 2);
-                    black_box(count)
-                })
+            group.bench(&format!("distinct_prefix_count/{n}"), || {
+                let count = distinct_prefix_count(size);
+                assert_eq!(count, n / 2);
+                opaque(count);
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_cube_subgraphs);
-criterion_main!(benches);
+#[cfg(not(feature = "bench-inline"))]
+fn main() {
+    eprintln!("self-timed benches are stubbed out; rebuild with `--features bench-inline`");
+}

@@ -1,26 +1,26 @@
 //! E6 — fault-tolerance evaluation cost: computing the routable fraction
 //! of all pairs under each routing scheme (the measurement kernel behind
 //! the fault-tolerance curves).
+//!
+//! Self-timed; build with `--features bench-inline` to enable the bodies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iadm_analysis::reach::{routable_fraction, Scheme};
-use iadm_topology::Size;
-use std::hint::black_box;
+#[cfg(feature = "bench-inline")]
+fn main() {
+    use iadm_analysis::reach::{routable_fraction, Scheme};
+    use iadm_bench::harness::{opaque, Group};
+    use iadm_topology::Size;
 
-fn bench_fault_tolerance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_tolerance");
-    group.sample_size(20);
+    let group = Group::new("fault_tolerance");
     let size = Size::new(16).unwrap();
     let blockages = iadm_bench::bench_blockages(size, 12, 5);
     for scheme in Scheme::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("routable_fraction_n16", scheme.label()),
-            &scheme,
-            |b, &scheme| b.iter(|| black_box(routable_fraction(size, &blockages, scheme))),
-        );
+        group.bench(&format!("routable_fraction_n16/{}", scheme.label()), || {
+            opaque(routable_fraction(size, &blockages, scheme));
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_fault_tolerance);
-criterion_main!(benches);
+#[cfg(not(feature = "bench-inline"))]
+fn main() {
+    eprintln!("self-timed benches are stubbed out; rebuild with `--features bench-inline`");
+}

@@ -1,16 +1,16 @@
 //! E7 — packet-simulator throughput per routing policy: cycles of the
 //! synchronous IADM simulator under uniform traffic.
+//!
+//! Self-timed; build with `--features bench-inline` to enable the bodies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
-use iadm_topology::Size;
-use std::hint::black_box;
+#[cfg(feature = "bench-inline")]
+fn main() {
+    use iadm_bench::harness::{opaque, Group};
+    use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+    use iadm_topology::Size;
 
-fn bench_load_balance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(20);
+    let group = Group::new("simulator");
     let cycles = 500usize;
-    group.throughput(Throughput::Elements(cycles as u64));
     for policy in [
         RoutingPolicy::FixedC,
         RoutingPolicy::SsdtBalance,
@@ -25,16 +25,15 @@ fn bench_load_balance(c: &mut Criterion) {
                 offered_load: 0.5,
                 seed: 1,
             };
-            group.bench_with_input(BenchmarkId::new(format!("{policy:?}"), n), &n, |b, _| {
-                b.iter(|| {
-                    let sim = Simulator::new(config, policy, TrafficPattern::Uniform);
-                    black_box(sim.run())
-                })
+            group.bench(&format!("{policy:?}/{n}"), || {
+                let sim = Simulator::new(config, policy, TrafficPattern::Uniform);
+                opaque(sim.run());
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_load_balance);
-criterion_main!(benches);
+#[cfg(not(feature = "bench-inline"))]
+fn main() {
+    eprintln!("self-timed benches are stubbed out; rebuild with `--features bench-inline`");
+}

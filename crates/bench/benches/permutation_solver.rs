@@ -1,49 +1,44 @@
 //! E9 — permutation-passability solver cost: deciding one-pass
 //! passability for the IADM (switch-disjoint) and Gamma (link-disjoint)
 //! disciplines, versus the O(N log N) cube-admissibility test.
+//!
+//! Self-timed; build with `--features bench-inline` to enable the bodies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iadm_permute::admissible::is_cube_admissible;
-use iadm_permute::solver::{is_passable, Discipline};
-use iadm_permute::Permutation;
-use iadm_topology::Size;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+#[cfg(feature = "bench-inline")]
+fn main() {
+    use iadm_bench::harness::{opaque, Group};
+    use iadm_permute::admissible::is_cube_admissible;
+    use iadm_permute::solver::{is_passable, Discipline};
+    use iadm_permute::Permutation;
+    use iadm_rng::StdRng;
+    use iadm_topology::Size;
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("permutation_solver");
-    group.sample_size(30);
+    let group = Group::new("permutation_solver");
     for n in [8usize, 16, 32] {
         let size = Size::new(n).unwrap();
         let mut rng = StdRng::seed_from_u64(n as u64);
         let perms: Vec<Permutation> = (0..8)
             .map(|_| Permutation::random(size, &mut rng))
             .collect();
-        group.bench_with_input(BenchmarkId::new("cube_admissible", n), &n, |b, _| {
-            b.iter(|| {
-                for p in &perms {
-                    black_box(is_cube_admissible(size, p));
-                }
-            })
+        group.bench(&format!("cube_admissible/{n}"), || {
+            for p in &perms {
+                opaque(is_cube_admissible(size, p));
+            }
         });
-        group.bench_with_input(BenchmarkId::new("iadm_solver", n), &n, |b, _| {
-            b.iter(|| {
-                for p in &perms {
-                    black_box(is_passable(size, p, Discipline::SwitchDisjoint));
-                }
-            })
+        group.bench(&format!("iadm_solver/{n}"), || {
+            for p in &perms {
+                opaque(is_passable(size, p, Discipline::SwitchDisjoint));
+            }
         });
-        group.bench_with_input(BenchmarkId::new("gamma_solver", n), &n, |b, _| {
-            b.iter(|| {
-                for p in &perms {
-                    black_box(is_passable(size, p, Discipline::LinkDisjoint));
-                }
-            })
+        group.bench(&format!("gamma_solver/{n}"), || {
+            for p in &perms {
+                opaque(is_passable(size, p, Discipline::LinkDisjoint));
+            }
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);
+#[cfg(not(feature = "bench-inline"))]
+fn main() {
+    eprintln!("self-timed benches are stubbed out; rebuild with `--features bench-inline`");
+}

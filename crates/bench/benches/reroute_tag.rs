@@ -5,40 +5,40 @@
 //!
 //! The shape to observe: the Corollary 4.1 series is flat in N, the \[9\]
 //! and \[10\] series grow with log N, and the \[13\] series explodes.
+//!
+//! Self-timed; build with `--features bench-inline` to enable the bodies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iadm_baselines::mcmillen_siegel::reroute_twos_complement;
-use iadm_baselines::parker_raghavendra::all_representations_counted;
-use iadm_baselines::{DistanceTag, OpCount};
-use iadm_core::route::trace_tsdt;
-use iadm_core::TsdtTag;
-use iadm_topology::Size;
-use std::hint::black_box;
+#[cfg(feature = "bench-inline")]
+fn main() {
+    use iadm_baselines::mcmillen_siegel::reroute_twos_complement;
+    use iadm_baselines::parker_raghavendra::all_representations_counted;
+    use iadm_baselines::{DistanceTag, OpCount};
+    use iadm_bench::harness::{opaque, Group};
+    use iadm_core::route::trace_tsdt;
+    use iadm_core::TsdtTag;
+    use iadm_topology::Size;
 
-fn bench_reroute_tag(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reroute_tag");
+    let group = Group::new("reroute_tag");
     for n in iadm_bench::SWEEP_SIZES {
         let size = Size::new(n).unwrap();
 
         // The paper's Corollary 4.1: one state-bit complement.
         let tag = TsdtTag::new(size, 0);
-        group.bench_with_input(BenchmarkId::new("tsdt_corollary_4_1", n), &n, |b, _| {
-            b.iter(|| black_box(tag.corollary_4_1(black_box(0))))
+        group.bench(&format!("tsdt_corollary_4_1/{n}"), || {
+            opaque(tag.corollary_4_1(opaque(0)));
         });
 
         // The paper's Corollary 4.2: k-stage backtrack (worst case k = n-1).
         let path = trace_tsdt(size, 1, &tag);
-        group.bench_with_input(BenchmarkId::new("tsdt_corollary_4_2", n), &n, |b, _| {
-            b.iter(|| black_box(tag.corollary_4_2(&path, black_box(size.stages() - 1))))
+        group.bench(&format!("tsdt_corollary_4_2/{n}"), || {
+            opaque(tag.corollary_4_2(&path, opaque(size.stages() - 1)));
         });
 
         // [9]: two's-complement representation switch, O(log N).
         let dist_tag = DistanceTag::natural(size, 1, 0);
-        group.bench_with_input(BenchmarkId::new("ms_twos_complement", n), &n, |b, _| {
-            b.iter(|| {
-                let mut ops = OpCount::default();
-                black_box(reroute_twos_complement(size, &dist_tag, 0, &mut ops))
-            })
+        group.bench(&format!("ms_twos_complement/{n}"), || {
+            let mut ops = OpCount::default();
+            opaque(reroute_twos_complement(size, &dist_tag, 0, &mut ops));
         });
 
         // [13]: full enumeration of redundant representations (only up to
@@ -54,16 +54,15 @@ fn bench_reroute_tag(c: &mut Criterion) {
                 }
                 d
             };
-            group.bench_with_input(BenchmarkId::new("pr_enumeration", n), &n, |b, _| {
-                b.iter(|| {
-                    let mut ops = OpCount::default();
-                    black_box(all_representations_counted(size, 0, dest, &mut ops))
-                })
+            group.bench(&format!("pr_enumeration/{n}"), || {
+                let mut ops = OpCount::default();
+                opaque(all_representations_counted(size, 0, dest, &mut ops));
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_reroute_tag);
-criterion_main!(benches);
+#[cfg(not(feature = "bench-inline"))]
+fn main() {
+    eprintln!("self-timed benches are stubbed out; rebuild with `--features bench-inline`");
+}

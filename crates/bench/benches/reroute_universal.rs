@@ -2,15 +2,17 @@
 //! versus the exhaustive BFS oracle, across network sizes and fault
 //! densities. REROUTE matches the oracle's verdicts (tested elsewhere);
 //! here we measure that it is also cheaper.
+//!
+//! Self-timed; build with `--features bench-inline` to enable the bodies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iadm_analysis::oracle;
-use iadm_core::reroute::reroute;
-use iadm_topology::Size;
-use std::hint::black_box;
+#[cfg(feature = "bench-inline")]
+fn main() {
+    use iadm_analysis::oracle;
+    use iadm_bench::harness::{opaque, Group};
+    use iadm_core::reroute::reroute;
+    use iadm_topology::Size;
 
-fn bench_reroute_universal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reroute_universal");
+    let group = Group::new("reroute_universal");
     for n in [16usize, 64, 256, 1024] {
         let size = Size::new(n).unwrap();
         // Fault 10% of the links.
@@ -18,30 +20,25 @@ fn bench_reroute_universal(c: &mut Criterion) {
         let blockages = iadm_bench::bench_blockages(size, faults, 42);
         let pairs = iadm_bench::bench_pairs(size, 32, 7);
 
-        group.bench_with_input(BenchmarkId::new("reroute", n), &n, |b, _| {
-            b.iter(|| {
-                for &(s, d) in &pairs {
-                    black_box(reroute(size, &blockages, s, d).ok());
-                }
-            })
+        group.bench(&format!("reroute/{n}"), || {
+            for &(s, d) in &pairs {
+                opaque(reroute(size, &blockages, s, d).ok());
+            }
         });
-        group.bench_with_input(BenchmarkId::new("oracle_bfs", n), &n, |b, _| {
-            b.iter(|| {
-                for &(s, d) in &pairs {
-                    black_box(oracle::find_free_path(size, &blockages, s, d));
-                }
-            })
+        group.bench(&format!("oracle_bfs/{n}"), || {
+            for &(s, d) in &pairs {
+                opaque(oracle::find_free_path(size, &blockages, s, d));
+            }
         });
-        group.bench_with_input(BenchmarkId::new("pivot_oracle", n), &n, |b, _| {
-            b.iter(|| {
-                for &(s, d) in &pairs {
-                    black_box(iadm_core::pivot::pivot_oracle(size, &blockages, s, d));
-                }
-            })
+        group.bench(&format!("pivot_oracle/{n}"), || {
+            for &(s, d) in &pairs {
+                opaque(iadm_core::pivot::pivot_oracle(size, &blockages, s, d));
+            }
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_reroute_universal);
-criterion_main!(benches);
+#[cfg(not(feature = "bench-inline"))]
+fn main() {
+    eprintln!("self-timed benches are stubbed out; rebuild with `--features bench-inline`");
+}

@@ -1,47 +1,43 @@
 //! E1 — destination-tag routing cost (Theorem 3.1): tracing a message
 //! through the IADM network under arbitrary states, versus classic ICube
 //! routing and the distance-tag baseline, across network sizes.
+//!
+//! Self-timed; build with `--features bench-inline` to enable the bodies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iadm_baselines::DistanceTag;
-use iadm_core::{icube_routing, route, NetworkState};
-use iadm_topology::Size;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+#[cfg(feature = "bench-inline")]
+fn main() {
+    use iadm_baselines::DistanceTag;
+    use iadm_bench::harness::{opaque, Group};
+    use iadm_core::{icube_routing, route, NetworkState};
+    use iadm_rng::StdRng;
+    use iadm_topology::Size;
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing_trace");
+    let group = Group::new("routing_trace");
     for n in [8usize, 64, 512, 4096] {
         let size = Size::new(n).unwrap();
         let state = NetworkState::random(size, &mut StdRng::seed_from_u64(1));
         let pairs = iadm_bench::bench_pairs(size, 64, 2);
 
-        group.bench_with_input(BenchmarkId::new("iadm_state_model", n), &n, |b, _| {
-            b.iter(|| {
-                for &(s, d) in &pairs {
-                    black_box(route::trace(size, s, d, &state));
-                }
-            })
+        group.bench(&format!("iadm_state_model/{n}"), || {
+            for &(s, d) in &pairs {
+                opaque(route::trace(size, s, d, &state));
+            }
         });
-        group.bench_with_input(BenchmarkId::new("icube_destination_tag", n), &n, |b, _| {
-            b.iter(|| {
-                for &(s, d) in &pairs {
-                    black_box(icube_routing::route(size, s, d));
-                }
-            })
+        group.bench(&format!("icube_destination_tag/{n}"), || {
+            for &(s, d) in &pairs {
+                opaque(icube_routing::route(size, s, d));
+            }
         });
-        group.bench_with_input(BenchmarkId::new("distance_tag_natural", n), &n, |b, _| {
-            b.iter(|| {
-                for &(s, d) in &pairs {
-                    let tag = DistanceTag::natural(size, s, d);
-                    black_box(tag.trace(size, s));
-                }
-            })
+        group.bench(&format!("distance_tag_natural/{n}"), || {
+            for &(s, d) in &pairs {
+                let tag = DistanceTag::natural(size, s, d);
+                opaque(tag.trace(size, s));
+            }
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_routing);
-criterion_main!(benches);
+#[cfg(not(feature = "bench-inline"))]
+fn main() {
+    eprintln!("self-timed benches are stubbed out; rebuild with `--features bench-inline`");
+}

@@ -16,10 +16,10 @@ use iadm_fault::scenario::{self, KindFilter};
 use iadm_permute::cube_subgraph::{distinct_prefix_count, theorem_6_1_lower_bound};
 use iadm_permute::reconfigure::find_reconfiguration;
 use iadm_permute::Permutation;
+use iadm_bench::json::{sim_stats_json, Json};
 use iadm_sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
 use iadm_topology::Size;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iadm_rng::StdRng;
 use std::time::Instant;
 
 fn main() {
@@ -173,8 +173,8 @@ fn e3_universality() {
         let pairs: Vec<(usize, usize)> = (0..200)
             .map(|_| {
                 (
-                    rand::Rng::gen_range(&mut rng, 0..n),
-                    rand::Rng::gen_range(&mut rng, 0..n),
+                    iadm_rng::Rng::gen_range(&mut rng, 0..n),
+                    iadm_rng::Rng::gen_range(&mut rng, 0..n),
                 )
             })
             .collect();
@@ -327,6 +327,7 @@ fn e7_load_balancing() {
         "imbal C",
         "imbal S"
     );
+    let mut json_rows: Vec<Json> = Vec::new();
     for load in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
         let config = SimConfig {
             size,
@@ -349,7 +350,15 @@ fn e7_load_balancing() {
             fixed.nonstraight_imbalance,
             ssdt.nonstraight_imbalance,
         );
+        json_rows.push(Json::obj([
+            ("load", Json::from(load)),
+            ("fixed_c", sim_stats_json(&fixed)),
+            ("ssdt_balance", sim_stats_json(&ssdt)),
+        ]));
     }
+    // Machine-readable twin of the table above; byte-stable across runs
+    // (fixed seed), so downstream plots can diff regenerated artifacts.
+    println!("\nE7-json: {}", Json::arr(json_rows).encode());
     println!("\npaper: choosing the shorter nonstraight buffer 'evenly distribute[s]");
     println!("the message load'. measured: lower latency/queue pressure at load, and");
     println!("the nonstraight imbalance index drops from 1.0 (fixed C sends all of a");

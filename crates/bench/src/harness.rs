@@ -1,0 +1,87 @@
+//! A self-timed micro-benchmark harness replacing `criterion`.
+//!
+//! Each benchmark runs a closure in adaptively sized batches: a probe run
+//! picks a batch size targeting ~20 ms, then a fixed number of batches is
+//! timed and the per-iteration median/min/mean are printed. No statistics
+//! machinery, no registry dependency — enough to observe the paper's
+//! complexity shapes (flat vs `log N` vs exponential).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed batches per benchmark.
+const BATCHES: usize = 15;
+
+/// Target wall time per batch, in nanoseconds (~20 ms).
+const TARGET_BATCH_NS: u128 = 20_000_000;
+
+/// A named group of benchmarks, mirroring criterion's `benchmark_group`
+/// output shape (`group/name` per line).
+pub struct Group {
+    name: &'static str,
+}
+
+impl Group {
+    /// Starts a group: prints a header, returns the handle.
+    pub fn new(name: &'static str) -> Self {
+        println!("\n## {name}");
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>8}",
+            "benchmark", "median ns", "min ns", "mean ns", "iters"
+        );
+        Group { name }
+    }
+
+    /// Times `f`, printing one row. Returns the median ns/iteration.
+    pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) -> f64 {
+        // Probe: how many iterations fit the target batch time?
+        let probe_start = Instant::now();
+        f();
+        let one = probe_start.elapsed().as_nanos().max(1);
+        let per_batch = (TARGET_BATCH_NS / one).clamp(1, 10_000_000) as usize;
+
+        let mut samples: Vec<f64> = (0..BATCHES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..per_batch {
+                    f();
+                }
+                start.elapsed().as_nanos() as f64 / per_batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{:<44} {:>12.1} {:>12.1} {:>12.1} {:>8}",
+            format!("{}/{label}", self.name),
+            median,
+            min,
+            mean,
+            per_batch * BATCHES,
+        );
+        median
+    }
+}
+
+/// Re-export so bench bodies can keep `black_box` without `use std::hint`.
+pub fn opaque<T>(value: T) -> T {
+    black_box(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_times_and_reports() {
+        let group = Group::new("harness_selftest");
+        let mut counter = 0u64;
+        let median = group.bench("count", || {
+            counter = opaque(counter + 1);
+        });
+        assert!(median > 0.0);
+        assert!(counter > 0);
+    }
+}

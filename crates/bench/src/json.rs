@@ -1,0 +1,239 @@
+//! A small JSON writer replacing `serde_json` for experiment artifacts.
+//!
+//! The workspace only ever *emits* JSON (machine-readable tables and
+//! simulator statistics); it never parses untrusted input. A value tree
+//! plus an escaping writer covers that completely and keeps the build
+//! hermetic. Object keys keep their insertion order so emitted documents
+//! are byte-stable — which the deterministic-replay regression test
+//! relies on.
+
+use iadm_sim::SimStats;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (kept exact; not routed through `f64`).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float (non-finite values serialize as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Compact single-line encoding.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Rust's f64 Display is the shortest round-tripping
+                    // decimal form, so equal stats encode equally.
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+/// The canonical JSON encoding of a simulation's statistics — every
+/// field, in declaration order, so two identical runs encode to
+/// identical bytes.
+pub fn sim_stats_json(stats: &SimStats) -> Json {
+    Json::obj([
+        ("injected", Json::from(stats.injected)),
+        ("delivered", Json::from(stats.delivered)),
+        ("misrouted", Json::from(stats.misrouted)),
+        ("dropped", Json::from(stats.dropped)),
+        ("refused", Json::from(stats.refused)),
+        ("in_flight", Json::from(stats.in_flight)),
+        ("latency_sum", Json::from(stats.latency_sum)),
+        ("latency_count", Json::from(stats.latency_count)),
+        ("latency_max", Json::from(stats.latency_max)),
+        ("queue_high_water", Json::from(stats.queue_high_water)),
+        ("queue_mean_occupancy", Json::from(stats.queue_mean_occupancy)),
+        ("cycles", Json::from(stats.cycles)),
+        ("ports", Json::from(stats.ports)),
+        (
+            "nonstraight_imbalance",
+            Json::from(stats.nonstraight_imbalance),
+        ),
+        ("max_link_load", Json::from(stats.max_link_load)),
+        ("mean_latency", Json::from(stats.mean_latency())),
+        ("throughput", Json::from(stats.throughput())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_encode_as_json() {
+        assert_eq!(Json::Null.encode(), "null");
+        assert_eq!(Json::Bool(true).encode(), "true");
+        assert_eq!(Json::UInt(u64::MAX).encode(), "18446744073709551615");
+        assert_eq!(Json::Int(-5).encode(), "-5");
+        assert_eq!(Json::Float(0.5).encode(), "0.5");
+        assert_eq!(Json::Float(f64::NAN).encode(), "null");
+        assert_eq!(Json::from("hi").encode(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\te\u{01}").encode(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nesting_and_key_order_are_preserved(){
+        let doc = Json::obj([
+            ("z", Json::arr([Json::from(1u64), Json::Null])),
+            ("a", Json::obj([("k", Json::from(true))])),
+        ]);
+        assert_eq!(doc.encode(), "{\"z\":[1,null],\"a\":{\"k\":true}}");
+    }
+
+    #[test]
+    fn equal_stats_encode_identically() {
+        let stats = SimStats {
+            injected: 100,
+            delivered: 97,
+            in_flight: 3,
+            latency_sum: 485,
+            latency_count: 97,
+            cycles: 200,
+            ports: 8,
+            queue_mean_occupancy: 0.125,
+            ..Default::default()
+        };
+        assert_eq!(
+            sim_stats_json(&stats).encode(),
+            sim_stats_json(&stats.clone()).encode()
+        );
+        assert!(sim_stats_json(&stats).encode().contains("\"delivered\":97"));
+    }
+}

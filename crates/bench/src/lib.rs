@@ -4,11 +4,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod json;
+
 use iadm_fault::scenario::{self, KindFilter};
 use iadm_fault::BlockageMap;
+use iadm_rng::StdRng;
 use iadm_topology::Size;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The network sizes the complexity sweeps use.
 pub const SWEEP_SIZES: [usize; 6] = [8, 32, 128, 512, 2048, 4096];
@@ -29,8 +31,8 @@ pub fn bench_pairs(size: Size, count: usize, seed: u64) -> Vec<(usize, usize)> {
     (0..count)
         .map(|_| {
             (
-                rand::Rng::gen_range(&mut rng, 0..size.n()),
-                rand::Rng::gen_range(&mut rng, 0..size.n()),
+                iadm_rng::Rng::gen_range(&mut rng, 0..size.n()),
+                iadm_rng::Rng::gen_range(&mut rng, 0..size.n()),
             )
         })
         .collect()

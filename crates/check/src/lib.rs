@@ -1,0 +1,463 @@
+//! A minimal property-testing harness replacing the registry `proptest`
+//! dependency for this workspace's needs: run a property over many
+//! seeded random inputs, shrink a failing input, and print everything
+//! needed to reproduce the failure byte-for-byte.
+//!
+//! # Model
+//!
+//! A property is a closure `FnMut(&mut Gen) -> Result<(), String>`. It
+//! draws its inputs from the [`Gen`] (`u32_in`, `usize_any`, `f64_in`, …)
+//! and fails by returning `Err` — usually via [`check_assert!`] /
+//! [`check_assert_eq!`] — or by panicking (panics are caught and treated
+//! as failures, so library `assert!`s still work).
+//!
+//! Every draw consumes one raw `u64` from a per-case seeded stream, and
+//! the mapping raw → value is deterministic. That makes two things cheap:
+//!
+//! * **reproduction** — re-running with the printed master seed replays
+//!   the exact failing case;
+//! * **shrinking** — the harness replays the failing raw-stream with
+//!   individual raws reduced toward zero (Hypothesis-style internal
+//!   shrinking), which maps every drawn value toward the bottom of its
+//!   range, and reports the smallest stream that still fails.
+//!
+//! # Example
+//!
+//! Tests normally use the [`check!`] macro; the underlying [`Runner`]
+//! can also be driven directly:
+//!
+//! ```
+//! iadm_check::Runner::new("addition_commutes", 64).run(|g| {
+//!     let a = g.usize_in(0..=1000);
+//!     let b = g.usize_in(0..=1000);
+//!     iadm_check::check_assert_eq!(a + b, b + a);
+//!     Ok(())
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iadm_rng::{mix, RngCore, StdRng};
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default cases per property — matches proptest's default so ported
+/// suites keep (at least) their original coverage.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// The master-seed environment variable honored by every [`Runner`].
+pub const SEED_ENV: &str = "IADM_CHECK_SEED";
+
+/// Fixed default master seed: runs are deterministic even without the
+/// environment override.
+pub const DEFAULT_SEED: u64 = 0x1AD3_5EED_0001;
+
+enum Source {
+    /// Fresh draws from a seeded generator.
+    Record(StdRng),
+    /// Replay of a recorded raw stream (missing entries read as 0).
+    Replay(Vec<u64>, usize),
+}
+
+/// The input source handed to a property: draws values, records the raw
+/// stream for shrinking, and (optionally) a human-readable trace.
+pub struct Gen {
+    source: Source,
+    raws: Vec<u64>,
+    trace: Option<Vec<String>>,
+}
+
+impl Gen {
+    fn record(seed: u64) -> Self {
+        Gen {
+            source: Source::Record(StdRng::seed_from_u64(seed)),
+            raws: Vec::new(),
+            trace: None,
+        }
+    }
+
+    fn replay(raws: Vec<u64>, traced: bool) -> Self {
+        Gen {
+            source: Source::Replay(raws, 0),
+            raws: Vec::new(),
+            trace: traced.then(Vec::new),
+        }
+    }
+
+    fn raw(&mut self) -> u64 {
+        let raw = match &mut self.source {
+            Source::Record(rng) => rng.next_u64(),
+            Source::Replay(raws, idx) => {
+                let v = raws.get(*idx).copied().unwrap_or(0);
+                *idx += 1;
+                v
+            }
+        };
+        self.raws.push(raw);
+        raw
+    }
+
+    fn note<T: std::fmt::Debug>(&mut self, value: T) -> T {
+        if let Some(trace) = &mut self.trace {
+            trace.push(format!("{value:?}"));
+        }
+        value
+    }
+
+    /// Any `u64` (shrinks toward 0).
+    pub fn u64_any(&mut self) -> u64 {
+        let v = self.raw();
+        self.note(v)
+    }
+
+    /// Any `usize` (shrinks toward 0).
+    pub fn usize_any(&mut self) -> usize {
+        let v = self.raw() as usize;
+        self.note(v)
+    }
+
+    /// A `u32` in the inclusive range (shrinks toward `start`).
+    pub fn u32_in(&mut self, range: RangeInclusive<u32>) -> u32 {
+        assert!(range.start() <= range.end(), "empty range");
+        let span = u64::from(range.end() - range.start()) + 1;
+        let v = range.start() + (self.raw() % span) as u32;
+        self.note(v)
+    }
+
+    /// A `usize` in the inclusive range (shrinks toward `start`).
+    pub fn usize_in(&mut self, range: RangeInclusive<usize>) -> usize {
+        assert!(range.start() <= range.end(), "empty range");
+        let span = (range.end() - range.start()) as u64 + 1;
+        let v = range.start() + (self.raw() % span) as usize;
+        self.note(v)
+    }
+
+    /// An `f64` in the half-open range (shrinks toward `start`).
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        let unit = (self.raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + unit * (range.end - range.start);
+        self.note(v)
+    }
+
+    /// `true` with probability `p` (shrinks toward `false`).
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        let unit = (self.raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // raw = 0 maps to unit 0.0, which is `false` for every p < 1 —
+        // the shrinking direction.
+        let v = unit >= 1.0 - p;
+        self.note(v)
+    }
+
+    /// A fresh, independently seeded [`StdRng`] for APIs that consume a
+    /// whole generator (state/fault/permutation sampling). One raw draw;
+    /// shrinks toward the all-zero seed.
+    pub fn rng(&mut self) -> StdRng {
+        let seed = self.raw();
+        self.note(format!("StdRng#{seed:#x}"));
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Outcome of one property execution.
+fn run_property<F>(f: &mut F, gen: &mut Gen) -> Result<(), String>
+where
+    F: FnMut(&mut Gen) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(gen))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs one property over many seeded cases, shrinking failures.
+pub struct Runner {
+    name: &'static str,
+    cases: u32,
+}
+
+impl Runner {
+    /// A runner for property `name` with `cases` random cases.
+    pub fn new(name: &'static str, cases: u32) -> Self {
+        assert!(cases > 0, "a property needs at least one case");
+        Runner { name, cases }
+    }
+
+    /// The master seed: `IADM_CHECK_SEED` if set, else [`DEFAULT_SEED`].
+    pub fn master_seed() -> u64 {
+        std::env::var(SEED_ENV)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED)
+    }
+
+    /// Executes the property; panics with a reproduction report on the
+    /// first (shrunk) failure.
+    pub fn run<F>(self, mut f: F)
+    where
+        F: FnMut(&mut Gen) -> Result<(), String>,
+    {
+        let master = Self::master_seed();
+        for case in 0..self.cases {
+            let case_seed = mix(master, u64::from(case));
+            let mut gen = Gen::record(case_seed);
+            if run_property(&mut f, &mut gen).is_ok() {
+                continue;
+            }
+            let raws = shrink(&mut f, gen.raws);
+            // Final traced replay for the report.
+            let mut traced = Gen::replay(raws.clone(), true);
+            let message = run_property(&mut f, &mut traced)
+                .err()
+                .unwrap_or_else(|| "shrunk input no longer fails (flaky property?)".into());
+            let values = traced.trace.unwrap_or_default().join(", ");
+            panic!(
+                "property '{name}' failed (case {case} of {cases})\n  \
+                 failure: {message}\n  \
+                 shrunk inputs: [{values}]\n  \
+                 reproduce: {env}={master} (case seed {case_seed:#x})",
+                name = self.name,
+                cases = self.cases,
+                env = SEED_ENV,
+            );
+        }
+    }
+}
+
+/// Internal shrinking: repeatedly try to reduce individual raws (to 0,
+/// half, and predecessor), keeping any reduction that still fails. The
+/// derived values shrink with their raws because every mapping is
+/// monotone in `raw % span`.
+fn shrink<F>(f: &mut F, mut best: Vec<u64>) -> Vec<u64>
+where
+    F: FnMut(&mut Gen) -> Result<(), String>,
+{
+    let still_fails = |f: &mut F, raws: &[u64]| {
+        let mut gen = Gen::replay(raws.to_vec(), false);
+        run_property(f, &mut gen).is_err()
+    };
+    // Generous enough for a worst-case decrement walk across a
+    // 1000-value range (~3 executions per accepted step); shrinking only
+    // runs on failures, so the cost never touches passing suites.
+    let mut budget = 4096usize;
+    let mut improved = true;
+    while improved && budget > 0 {
+        improved = false;
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            for candidate in [0, best[i] / 2, best[i] - 1] {
+                if candidate == best[i] || budget == 0 {
+                    continue;
+                }
+                budget -= 1;
+                let saved = best[i];
+                best[i] = candidate;
+                if still_fails(f, &best) {
+                    improved = true;
+                    break;
+                }
+                best[i] = saved;
+            }
+        }
+    }
+    best
+}
+
+/// Declares property tests. Each entry becomes a `#[test]` running
+/// [`Runner`] over the body, which draws inputs from the named [`Gen`]
+/// binding and fails via [`check_assert!`]-style macros (or panics).
+///
+/// ```ignore
+/// iadm_check::check! {
+///     /// Doubling halves back.
+///     fn doubling_round_trips(g; cases = 256) {
+///         let x = g.usize_in(0..=1_000_000);
+///         iadm_check::check_assert_eq!((x * 2) / 2, x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! check {
+    ($($(#[$meta:meta])* fn $name:ident($g:ident; cases = $cases:expr) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::Runner::new(stringify!($name), $cases).run(|$g| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Fails the enclosing property unless the condition holds.
+#[macro_export]
+macro_rules! check_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property unless both sides are equal.
+#[macro_export]
+macro_rules! check_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n   left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "{}\n   left: {:?}\n  right: {:?}",
+                ::std::format!($($fmt)+),
+                l,
+                r,
+            ));
+        }
+    }};
+}
+
+/// Skips the rest of the case when the precondition fails (the case
+/// counts as passed, like `prop_assume!`).
+#[macro_export]
+macro_rules! check_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        Runner::new("counts", 100).run(|g| {
+            let _ = g.usize_any();
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn failing_property_panics_with_report() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("always_fails", 16).run(|g| {
+                let x = g.usize_in(0..=100);
+                let _ = x;
+                Err("boom".into())
+            });
+        }));
+        let msg = format!("{:?}", result.unwrap_err().downcast_ref::<String>());
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains(SEED_ENV), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_threshold_failures() {
+        // Property fails for x >= 50: the shrunk witness must be exactly
+        // the boundary 50 (raw shrinking maps to value shrinking here).
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("threshold", 200).run(|g| {
+                let x = g.usize_in(0..=1000);
+                if x >= 50 {
+                    return Err(format!("x = {x}"));
+                }
+                Ok(())
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("shrunk inputs: [50]"), "{msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_as_failures() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("panicky", 8).run(|g| {
+                let v = g.u32_in(0..=10);
+                assert!(v > 100, "library assert fired");
+                Ok(())
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("panic"), "{msg}");
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_master_seed() {
+        // Two identical runners observe identical draw sequences.
+        let mut first: Vec<usize> = Vec::new();
+        Runner::new("record_a", 20).run(|g| {
+            first.push(g.usize_in(0..=999));
+            Ok(())
+        });
+        let mut second: Vec<usize> = Vec::new();
+        Runner::new("record_b", 20).run(|g| {
+            second.push(g.usize_in(0..=999));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        Runner::new("ranges", 300).run(|g| {
+            let a = g.u32_in(3..=9);
+            check_assert!((3..=9).contains(&a), "a = {a}");
+            let b = g.f64_in(0.25..0.75);
+            check_assert!((0.25..0.75).contains(&b), "b = {b}");
+            let c = g.usize_in(7..=7);
+            check_assert_eq!(c, 7);
+            Ok(())
+        });
+    }
+
+    check! {
+        /// The macro wires doc comments, Gen binding and case count.
+        fn macro_declared_property(g; cases = 64) {
+            let x = g.usize_in(0..=50);
+            let y = g.usize_in(0..=50);
+            check_assert_eq!(x + y, y + x);
+            check_assume!(x > 0);
+            check_assert!(x - 1 < 50);
+        }
+    }
+}

@@ -116,8 +116,7 @@ pub fn reverse_to_iadm(size: Size, path: &Path) -> Path {
 mod tests {
     use super::*;
     use iadm_topology::{Adm, Multistage};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     #[test]
     fn all_c_destination_tags_deliver_on_the_adm() {

@@ -165,8 +165,7 @@ pub fn broadcast_tree(size: Size, source: usize, state: &NetworkState) -> Multic
 mod tests {
     use super::*;
     use crate::route::trace;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

@@ -108,8 +108,8 @@ pub fn route_kind(j: usize, stage: usize, t: usize, state: SwitchState) -> LinkK
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iadm_check::{check, check_assert, check_assert_eq};
     use iadm_topology::BitsExt;
-    use proptest::prelude::*;
 
     fn size8() -> Size {
         Size::new(8).unwrap()
@@ -216,24 +216,19 @@ mod tests {
         assert_eq!(route_kind(odd, stage, 0, SwitchState::Cbar), LinkKind::Plus);
     }
 
-    proptest! {
-        #[test]
-        fn prop_theorem_3_2_state_change_swaps_nonstraight_only(
-            log2 in 1u32..8,
-            j in any::<usize>(),
-            stage_seed in any::<usize>(),
-            t in 0usize..2,
-        ) {
-            let size = Size::from_stages(log2);
-            let j = j & size.mask();
-            let stage = stage_seed % size.stages();
+    check! {
+        fn prop_theorem_3_2_state_change_swaps_nonstraight_only(g; cases = 256) {
+            let size = Size::from_stages(g.u32_in(1..=7));
+            let j = g.usize_any() & size.mask();
+            let stage = g.usize_any() % size.stages();
+            let t = g.usize_in(0..=1);
             let kc = route_kind(j, stage, t, SwitchState::C);
             let kcbar = route_kind(j, stage, t, SwitchState::Cbar);
             if kc == LinkKind::Straight {
-                prop_assert_eq!(kcbar, LinkKind::Straight);
+                check_assert_eq!(kcbar, LinkKind::Straight);
             } else {
-                prop_assert_eq!(kcbar, kc.opposite());
-                prop_assert!(kcbar.is_nonstraight());
+                check_assert_eq!(kcbar, kc.opposite());
+                check_assert!(kcbar.is_nonstraight());
             }
         }
     }

@@ -270,8 +270,7 @@ mod pivot_oracle_tests {
     use super::*;
     use iadm_fault::scenario::{self, KindFilter};
     use iadm_fault::BlockageMap;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     #[test]
     fn agrees_with_reroute_on_random_blockages() {

@@ -229,8 +229,7 @@ mod tests {
     use super::*;
     use iadm_fault::scenario::{self, KindFilter};
     use iadm_topology::{Link, LinkKind};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()
@@ -354,8 +353,7 @@ mod bounded_tests {
     use crate::NetworkState;
     use iadm_fault::scenario::{self, KindFilter};
     use iadm_topology::Link;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

@@ -88,9 +88,8 @@ pub fn step(
 mod tests {
     use super::*;
     use crate::state::SwitchState;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_check::{check, check_assert_eq};
+    use iadm_rng::StdRng;
 
     #[test]
     fn theorem_3_1_exhaustive_small() {
@@ -184,25 +183,20 @@ mod tests {
         assert_eq!(to, 2);
     }
 
-    proptest! {
-        #[test]
-        fn prop_theorem_3_1_random_states(
-            log2 in 1u32..9,
-            s_seed in any::<usize>(),
-            d_seed in any::<usize>(),
-            seed in any::<u64>(),
-        ) {
-            let size = Size::from_stages(log2);
-            let s = s_seed & size.mask();
-            let d = d_seed & size.mask();
+    check! {
+        fn prop_theorem_3_1_random_states(g; cases = 256) {
+            let size = Size::from_stages(g.u32_in(1..=8));
+            let s = g.usize_any() & size.mask();
+            let d = g.usize_any() & size.mask();
+            let seed = g.u64_any();
             let state = NetworkState::random(size, &mut StdRng::seed_from_u64(seed));
             let path = trace(size, s, d, &state);
-            prop_assert_eq!(path.destination(size), d);
+            check_assert_eq!(path.destination(size), d);
             // Lemma 2.1 induction: after stage i the low i+1 bits match d.
             let switches = path.switches(size);
             for (i, &sw) in switches.iter().enumerate().skip(1) {
                 let mask = (1usize << i) - 1;
-                prop_assert_eq!(sw & mask, d & mask);
+                check_assert_eq!(sw & mask, d & mask);
             }
         }
     }

@@ -229,8 +229,7 @@ where
 mod tests {
     use super::*;
     use iadm_fault::scenario;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use iadm_rng::{Rng, StdRng};
 
     fn size8() -> Size {
         Size::new(8).unwrap()

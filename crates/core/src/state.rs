@@ -9,7 +9,7 @@ use iadm_topology::Size;
 /// [`connect`](crate::connect). When every switch is in state `C` the IADM
 /// network behaves exactly like the embedded ICube network.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
 pub enum SwitchState {
     /// State `C`: route by `C_i(j, t_i)` (the ICube-emulating state).
@@ -72,7 +72,7 @@ impl SwitchState {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NetworkState {
     size: Size,
     words: Vec<u64>,
@@ -99,10 +99,10 @@ impl NetworkState {
     }
 
     /// A network state drawn uniformly at random.
-    pub fn random<R: rand::Rng>(size: Size, rng: &mut R) -> Self {
+    pub fn random<R: iadm_rng::Rng>(size: Size, rng: &mut R) -> Self {
         let mut st = NetworkState::all_c(size);
         for word in &mut st.words {
-            *word = rng.gen();
+            *word = rng.next_u64();
         }
         st
     }
@@ -167,8 +167,7 @@ impl NetworkState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

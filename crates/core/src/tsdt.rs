@@ -43,7 +43,7 @@ use iadm_topology::{bit, bit_range, replace_bit, replace_bit_range, LinkKind, Pa
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TsdtTag {
     size: Size,
     dest: usize,

@@ -32,7 +32,7 @@ pub enum OutputBlockage {
 ///
 /// A *switch blockage* is modeled per the paper by blocking all of the
 /// switch's input links; see [`BlockageMap::block_switch`].
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockageMap {
     size: Size,
     blocked: Vec<bool>,
@@ -284,11 +284,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn link_list_round_trip() {
+        // A map is fully described by its size and blocked-link list, so
+        // any serializer that records those round-trips exactly.
         let mut m = BlockageMap::new(size8());
         m.block(Link::plus(0, 3));
-        let json = serde_json::to_string(&m).unwrap();
-        let back: BlockageMap = serde_json::from_str(&json).unwrap();
+        m.block(Link::straight(2, 7));
+        let back = BlockageMap::from_links(m.size(), m.blocked_links());
         assert_eq!(m, back);
     }
 }

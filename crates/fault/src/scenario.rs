@@ -8,8 +8,7 @@
 
 use crate::BlockageMap;
 use iadm_topology::{Link, LinkKind, Size};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use iadm_rng::{Rng, SliceRandom};
 
 /// Which link kinds a scenario is allowed to block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,8 +99,7 @@ pub fn double_nonstraight(size: Size, stage: usize, switch: usize) -> BlockageMa
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

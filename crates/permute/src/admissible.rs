@@ -69,8 +69,7 @@ pub fn admissible_shift_count(size: Size) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

@@ -20,7 +20,7 @@ use iadm_topology::Size;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Permutation {
     map: Vec<usize>,
 }
@@ -109,8 +109,8 @@ impl Permutation {
     }
 
     /// A uniformly random permutation.
-    pub fn random<R: rand::Rng>(size: Size, rng: &mut R) -> Self {
-        use rand::seq::SliceRandom;
+    pub fn random<R: iadm_rng::Rng>(size: Size, rng: &mut R) -> Self {
+        use iadm_rng::SliceRandom;
         let mut map: Vec<usize> = (0..size.n()).collect();
         map.shuffle(rng);
         Permutation { map }
@@ -192,8 +192,7 @@ impl fmt::Display for Permutation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

@@ -126,8 +126,7 @@ pub fn find_reconfiguration(size: Size, blockages: &BlockageMap) -> Option<Recon
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

@@ -277,8 +277,7 @@ fn link_capacity(size: Size, discipline: Discipline, stage: usize) -> u8 {
 mod tests {
     use super::*;
     use crate::admissible::is_cube_admissible;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()
@@ -450,8 +449,7 @@ mod tests {
 #[cfg(test)]
 mod multipass_tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

@@ -21,8 +21,7 @@ use iadm_core::reroute::reroute_from;
 use iadm_core::TsdtTag;
 use iadm_fault::BlockageMap;
 use iadm_topology::{Link, Path, Size};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iadm_rng::{Rng, StdRng};
 
 /// Configuration of a circuit-switching run.
 #[derive(Debug, Clone, Copy)]
@@ -51,7 +50,7 @@ pub enum CircuitPolicy {
 }
 
 /// Results of a circuit-switching run.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CircuitStats {
     /// Connection requests made after warm-up.
     pub requests: u64,

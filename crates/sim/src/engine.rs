@@ -7,8 +7,7 @@ use crate::traffic::TrafficPattern;
 use iadm_core::{delta_c_kind, route_kind, NetworkState, SwitchState};
 use iadm_fault::BlockageMap;
 use iadm_topology::{bit, Link, LinkKind, Size};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iadm_rng::{Rng, StdRng};
 use std::collections::VecDeque;
 
 /// Static configuration of a simulation run.
@@ -598,7 +597,7 @@ mod tests {
     #[test]
     fn all_links_faulty_drops_everything_it_admits() {
         let size = Size::new(8).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = iadm_rng::StdRng::seed_from_u64(3);
         let blockages = scenario::bernoulli_faults(&mut rng, size, 1.0, KindFilter::Any);
         let stats = Simulator::with_blockages(
             config(8, 0.5, 100),

@@ -1,7 +1,7 @@
 //! Simulation statistics.
 
 /// Aggregate results of one simulation run.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Packets injected into source queues.
     pub injected: u64,

@@ -1,7 +1,7 @@
 //! Traffic patterns for the packet simulator.
 
 use iadm_topology::Size;
-use rand::Rng;
+use iadm_rng::Rng;
 
 /// How injected packets choose their destinations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,8 +52,7 @@ impl TrafficPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iadm_rng::StdRng;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

@@ -128,7 +128,7 @@ impl BitsExt for usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use iadm_check::{check, check_assert_eq};
 
     #[test]
     fn bit_extracts_each_position() {
@@ -183,26 +183,31 @@ mod tests {
         let _ = replace_bit_range(0, 0, 1, 0b100);
     }
 
-    proptest! {
-        #[test]
-        fn prop_bit_range_then_replace_round_trips(v in any::<usize>(), p in 0usize..60, w in 0usize..4) {
+    check! {
+        fn prop_bit_range_then_replace_round_trips(g; cases = 256) {
+            let v = g.usize_any();
+            let p = g.usize_in(0..=59);
+            let w = g.usize_in(0..=3);
             let q = p + w;
             let field = bit_range(v, p, q);
-            prop_assert_eq!(replace_bit_range(v, p, q, field), v);
+            check_assert_eq!(replace_bit_range(v, p, q, field), v);
         }
 
-        #[test]
-        fn prop_replace_then_extract(v in any::<usize>(), p in 0usize..60, w in 0usize..4, f in any::<usize>()) {
+        fn prop_replace_then_extract(g; cases = 256) {
+            let v = g.usize_any();
+            let p = g.usize_in(0..=59);
+            let w = g.usize_in(0..=3);
+            let f = g.usize_any();
             let q = p + w;
             let field = f & ((1usize << (w + 1)) - 1);
             let replaced = replace_bit_range(v, p, q, field);
-            prop_assert_eq!(bit_range(replaced, p, q), field);
+            check_assert_eq!(bit_range(replaced, p, q), field);
             // Bits outside p..=q are untouched.
             if p > 0 {
-                prop_assert_eq!(bit_range(replaced, 0, p - 1), bit_range(v, 0, p - 1));
+                check_assert_eq!(bit_range(replaced, 0, p - 1), bit_range(v, 0, p - 1));
             }
             if q + 1 < usize::BITS as usize {
-                prop_assert_eq!(
+                check_assert_eq!(
                     bit_range(replaced, q + 1, usize::BITS as usize - 1),
                     bit_range(v, q + 1, usize::BITS as usize - 1)
                 );

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 /// A directed edge of a layered graph: a link plus its resolved target.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct StageEdge {
     /// The physical link (stage, source switch, kind).

@@ -9,7 +9,7 @@ use crate::{Link, LinkKind, Size};
 /// network's `3x3` crossbars connect all three inputs to all three outputs
 /// at once, while an IADM switch selects **one** input and connects it to
 /// one or more outputs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SwitchCapability {
     /// One selected input may drive one or more outputs (IADM, ADM, ICube).
     SingleInput,

@@ -7,8 +7,7 @@
 use iadm::analysis::reach::{routable_fraction, Scheme};
 use iadm::fault::scenario::{random_faults, KindFilter};
 use iadm::topology::Size;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iadm_rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let size = Size::new(16)?;

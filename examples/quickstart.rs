@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Theorem 3.1: destination tags work in ANY network state -------
     println!("\n== Theorem 3.1: destination-tag routing under three states ==");
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let mut rng = iadm_rng::StdRng::seed_from_u64(7);
     for (name, state) in [
         ("all C (embedded ICube)", NetworkState::all_c(size)),
         ("all C-bar", NetworkState::all_cbar(size)),

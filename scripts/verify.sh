@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 verification: hermetic (offline) release build + full test suite.
+# No network, no registry — every dependency is an in-tree path crate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

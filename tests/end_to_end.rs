@@ -10,8 +10,7 @@ use iadm::fault::scenario::{self, KindFilter};
 use iadm::fault::BlockageMap;
 use iadm::sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
 use iadm::topology::{Link, Size};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iadm_rng::StdRng;
 
 /// A degraded network: the packet simulator's delivery outcomes must be
 /// consistent with the static reachability analysis — packets between
@@ -108,7 +107,7 @@ fn reachability_monotone_in_faults() {
     let mut rng = StdRng::seed_from_u64(987);
     let all_links = scenario::candidate_links(size, KindFilter::Any);
     for _ in 0..5 {
-        use rand::seq::SliceRandom;
+        use iadm_rng::SliceRandom;
         let mut order = all_links.clone();
         order.shuffle(&mut rng);
         let mut blockages = BlockageMap::new(size);

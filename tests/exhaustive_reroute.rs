@@ -1,0 +1,235 @@
+//! Exhaustive verification of the rerouting-tag theorems at N ∈ {4, 8}:
+//! every `(source, destination, state, stage)` combination is swept, so
+//! these are proofs-by-enumeration of Theorems 3.2–3.4 and Corollaries
+//! 4.1/4.2 at small sizes, cross-checked against the BFS oracle in
+//! `analysis` — the E1 all-states sweep of EXPERIMENTS.md in test form.
+
+use iadm::analysis::oracle;
+use iadm::core::route::{trace, trace_tsdt};
+use iadm::core::{reroute::reroute, route_kind, NetworkState, SwitchState, TsdtTag};
+use iadm::fault::BlockageMap;
+use iadm::topology::{Link, LinkKind, Size};
+
+const SMALL_N: [usize; 2] = [4, 8];
+
+/// Theorem 3.2, exhaustively: complementing a switch's state swaps its
+/// nonstraight output for the opposite sign and never touches straight
+/// routing — for every switch, stage and tag bit at N ∈ {4, 8}.
+#[test]
+fn theorem_3_2_state_change_swaps_nonstraight_only_exhaustive() {
+    for n in SMALL_N {
+        let size = Size::new(n).unwrap();
+        for stage in size.stage_indices() {
+            for j in size.switches() {
+                for t in 0..2 {
+                    let kc = route_kind(j, stage, t, SwitchState::C);
+                    let kcbar = route_kind(j, stage, t, SwitchState::Cbar);
+                    if kc == LinkKind::Straight {
+                        assert_eq!(kcbar, LinkKind::Straight, "n={n} j={j} stage={stage} t={t}");
+                    } else {
+                        assert!(kc.is_nonstraight() && kcbar.is_nonstraight());
+                        assert_eq!(kcbar, kc.opposite(), "n={n} j={j} stage={stage} t={t}");
+                        // Theorem 3.2's point: both nonstraight links reach
+                        // the same next-stage destinations mod 2^(stage+1),
+                        // so the swap preserves deliverability.
+                        let a = kc.target(size, stage, j);
+                        let b = kcbar.target(size, stage, j);
+                        let mask = (1usize << (stage + 1)) - 1;
+                        assert_eq!(a & mask, b & mask, "n={n} j={j} stage={stage}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 3.1 / E1 at N = 4, truly all states: every one of the
+/// `2^(N·n)` = 256 network states routes every pair correctly, and the
+/// TSDT trace agrees with the full network-state trace.
+#[test]
+fn e1_all_network_states_sweep_n4() {
+    let size = Size::new(4).unwrap();
+    let switch_slots: Vec<(usize, usize)> = size
+        .stage_indices()
+        .flat_map(|stage| size.switches().map(move |j| (stage, j)))
+        .collect();
+    assert_eq!(switch_slots.len(), 8);
+    for bits in 0usize..(1 << switch_slots.len()) {
+        let mut state = NetworkState::all_c(size);
+        for (slot, &(stage, j)) in switch_slots.iter().enumerate() {
+            if bits & (1 << slot) != 0 {
+                state.set(stage, j, SwitchState::Cbar);
+            }
+        }
+        for s in size.switches() {
+            for d in size.switches() {
+                let path = trace(size, s, d, &state);
+                assert_eq!(path.destination(size), d, "bits={bits:#x} s={s} d={d}");
+                assert!(path.is_full(size));
+            }
+        }
+    }
+}
+
+/// Theorem 3.1 / E1 at N = 8 over all per-stage-uniform states (every
+/// TSDT tag value): each of the `N` state fields delivers every pair.
+#[test]
+fn e1_all_tsdt_states_sweep_n8() {
+    let size = Size::new(8).unwrap();
+    for state_bits in 0..size.n() {
+        for d in size.switches() {
+            let tag = TsdtTag::with_state(size, d, state_bits);
+            for s in size.switches() {
+                let path = trace_tsdt(size, s, &tag);
+                assert_eq!(path.destination(size), d, "state={state_bits:#x} s={s} d={d}");
+            }
+        }
+    }
+}
+
+/// Corollary 4.1 (from Theorem 3.2), exhaustively: a nonstraight blockage
+/// on the traced path is always evaded by flipping that one state bit,
+/// and the oracle confirms a free path indeed exists.
+#[test]
+fn corollary_4_1_evades_every_nonstraight_blockage() {
+    for n in SMALL_N {
+        let size = Size::new(n).unwrap();
+        for state_bits in 0..size.n() {
+            for d in size.switches() {
+                let tag = TsdtTag::with_state(size, d, state_bits);
+                for s in size.switches() {
+                    let path = trace_tsdt(size, s, &tag);
+                    for stage in size.stage_indices() {
+                        if !path.kind_at(stage).is_nonstraight() {
+                            continue;
+                        }
+                        let blockages =
+                            BlockageMap::from_links(size, [path.link_at(size, stage)]);
+                        let flipped = tag.corollary_4_1(stage);
+                        let alt = trace_tsdt(size, s, &flipped);
+                        assert!(
+                            blockages.path_is_free(&alt),
+                            "n={n} s={s} d={d} state={state_bits:#x} stage={stage}"
+                        );
+                        assert_eq!(alt.destination(size), d);
+                        assert!(oracle::free_path_exists(size, &blockages, s, d));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Corollaries 4.2 + Theorems 3.3/3.4, exhaustively: for a straight
+/// blockage on the traced path, Corollary 4.2 produces a valid detour
+/// exactly when one exists — `None` coincides with the oracle declaring
+/// the pair disconnected.
+#[test]
+fn corollary_4_2_matches_oracle_for_every_straight_blockage() {
+    for n in SMALL_N {
+        let size = Size::new(n).unwrap();
+        for state_bits in 0..size.n() {
+            for d in size.switches() {
+                let tag = TsdtTag::with_state(size, d, state_bits);
+                for s in size.switches() {
+                    let path = trace_tsdt(size, s, &tag);
+                    for stage in size.stage_indices() {
+                        if path.kind_at(stage) != LinkKind::Straight {
+                            continue;
+                        }
+                        let blocked = path.link_at(size, stage);
+                        let blockages = BlockageMap::from_links(size, [blocked]);
+                        let exists = oracle::free_path_exists(size, &blockages, s, d);
+                        match tag.corollary_4_2(&path, stage) {
+                            Some(new) => {
+                                let alt = trace_tsdt(size, s, &new);
+                                assert!(
+                                    blockages.path_is_free(&alt),
+                                    "n={n} s={s} d={d} state={state_bits:#x} stage={stage}"
+                                );
+                                assert_eq!(alt.destination(size), d);
+                                assert!(exists);
+                            }
+                            // Theorem 3.3/3.4: an all-straight prefix means
+                            // the straight link is on *every* path.
+                            None => assert!(
+                                !exists,
+                                "n={n} s={s} d={d} state={state_bits:#x} stage={stage}: \
+                                 oracle found a path Corollary 4.2 missed"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Algorithm REROUTE ≡ BFS oracle over *every* single-link fault and
+/// every pair, at N ∈ {4, 8}; returned tags route around the fault.
+#[test]
+fn reroute_matches_oracle_for_every_single_fault() {
+    for n in SMALL_N {
+        let size = Size::new(n).unwrap();
+        for stage in size.stage_indices() {
+            for j in size.switches() {
+                for kind in [LinkKind::Straight, LinkKind::Plus, LinkKind::Minus] {
+                    let blockages =
+                        BlockageMap::from_links(size, [Link::new(stage, j, kind)]);
+                    for s in size.switches() {
+                        for d in size.switches() {
+                            let exists = oracle::free_path_exists(size, &blockages, s, d);
+                            match reroute(size, &blockages, s, d) {
+                                Ok(tag) => {
+                                    assert!(exists, "n={n} stage={stage} j={j} s={s} d={d}");
+                                    let path = trace_tsdt(size, s, &tag);
+                                    assert!(blockages.path_is_free(&path));
+                                    assert_eq!(path.destination(size), d);
+                                }
+                                Err(_) => {
+                                    assert!(!exists, "n={n} stage={stage} j={j} s={s} d={d}")
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// REROUTE ≡ oracle over every *pair* of blocked links at N = 4 — the
+/// multi-blockage regime where universal rerouting earns its name.
+#[test]
+fn reroute_matches_oracle_for_every_double_fault_n4() {
+    let size = Size::new(4).unwrap();
+    let links: Vec<Link> = size
+        .stage_indices()
+        .flat_map(|stage| {
+            size.switches().flat_map(move |j| {
+                [LinkKind::Straight, LinkKind::Plus, LinkKind::Minus]
+                    .map(|kind| Link::new(stage, j, kind))
+            })
+        })
+        .collect();
+    assert_eq!(links.len(), 24);
+    for (i, &a) in links.iter().enumerate() {
+        for &b in &links[i + 1..] {
+            let blockages = BlockageMap::from_links(size, [a, b]);
+            for s in size.switches() {
+                for d in size.switches() {
+                    let exists = oracle::free_path_exists(size, &blockages, s, d);
+                    match reroute(size, &blockages, s, d) {
+                        Ok(tag) => {
+                            assert!(exists, "{a:?}+{b:?} s={s} d={d}");
+                            let path = trace_tsdt(size, s, &tag);
+                            assert!(blockages.path_is_free(&path));
+                            assert_eq!(path.destination(size), d);
+                        }
+                        Err(_) => assert!(!exists, "{a:?}+{b:?} s={s} d={d}"),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Hermeticity guard: the workspace must build from path dependencies
+//! alone — no registry, no git, no vendored crates. A regression here
+//! means tier-1 (`scripts/verify.sh`, fully offline) would start failing
+//! on machines without a crates.io mirror.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    // tests/ is wired into the facade crate at crates/iadm, so the
+    // manifest dir is two levels below the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Every dependency edge `cargo metadata` reports must resolve to a
+/// local path (`"source": null`); `registry+` / `git+` sources mean a
+/// network dependency crept in.
+#[test]
+fn cargo_metadata_reports_only_path_dependencies() {
+    let output = Command::new(env!("CARGO"))
+        .args(["metadata", "--format-version", "1", "--offline"])
+        .current_dir(workspace_root())
+        .output()
+        .expect("cargo metadata should run");
+    assert!(
+        output.status.success(),
+        "cargo metadata failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let metadata = String::from_utf8(output.stdout).expect("utf-8 metadata");
+    // Package sources: a path dependency serializes as `"source":null`;
+    // anything fetched has a `registry+…` / `git+…` URL.
+    for marker in ["\"source\":\"registry+", "\"source\":\"git+"] {
+        assert!(
+            !metadata.contains(marker),
+            "non-path dependency in cargo metadata (marker {marker:?})"
+        );
+    }
+    // And the resolved graph must contain our own crates.
+    assert!(metadata.contains("iadm-topology"));
+    assert!(metadata.contains("iadm-rng"));
+    assert!(metadata.contains("iadm-check"));
+}
+
+/// Belt and suspenders: no manifest in the workspace names a versioned
+/// (registry) dependency. Path and workspace dependencies carry no bare
+/// `version = "…"` requirement in this repo.
+#[test]
+fn manifests_declare_no_registry_dependencies() {
+    let root = workspace_root();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        let path = entry.expect("dir entry").path().join("Cargo.toml");
+        if path.is_file() {
+            manifests.push(path);
+        }
+    }
+    assert!(manifests.len() > 10, "expected all crate manifests");
+    for manifest in manifests {
+        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
+        let mut in_deps = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_deps = line.contains("dependencies");
+                continue;
+            }
+            if !in_deps || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            assert!(
+                line.contains("path =") || line.contains("workspace = true"),
+                "{}: dependency line is not path/workspace: {line}",
+                manifest.display()
+            );
+        }
+    }
+}

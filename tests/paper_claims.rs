@@ -10,8 +10,7 @@ use iadm::core::{reroute::reroute, NetworkState, TsdtTag};
 use iadm::fault::scenario::{self, KindFilter};
 use iadm::fault::BlockageMap;
 use iadm::topology::{Link, LinkKind, Multistage, Size};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iadm_rng::StdRng;
 
 /// Section 1/7 claim: path enumeration by graph search (analysis crate) and
 /// by signed-digit representations (Parker–Raghavendra baseline) agree on
@@ -142,8 +141,8 @@ fn destination_tags_state_transparent_large() {
         for _ in 0..3 {
             let state = NetworkState::random(size, &mut rng);
             for _ in 0..50 {
-                let s = rand::Rng::gen_range(&mut rng, 0..size.n());
-                let d = rand::Rng::gen_range(&mut rng, 0..size.n());
+                let s = iadm_rng::Rng::gen_range(&mut rng, 0..size.n());
+                let d = iadm_rng::Rng::gen_range(&mut rng, 0..size.n());
                 assert_eq!(trace(size, s, d, &state).destination(size), d);
             }
         }
@@ -296,8 +295,8 @@ fn reroute_scales_to_n64() {
     for _ in 0..20 {
         let blockages = scenario::random_faults(&mut rng, size, 100, KindFilter::Any);
         for _ in 0..30 {
-            let s = rand::Rng::gen_range(&mut rng, 0..size.n());
-            let d = rand::Rng::gen_range(&mut rng, 0..size.n());
+            let s = iadm_rng::Rng::gen_range(&mut rng, 0..size.n());
+            let d = iadm_rng::Rng::gen_range(&mut rng, 0..size.n());
             let rr = reroute(size, &blockages, s, d);
             let or = oracle::free_path_exists(size, &blockages, s, d);
             assert_eq!(rr.is_ok(), or, "s={s} d={d}");

@@ -1,5 +1,9 @@
-//! Property-based tests (proptest) over randomized sizes, pairs, states
-//! and blockage sets — the invariants behind the paper's theorems.
+//! Property-based tests (iadm-check) over randomized sizes, pairs,
+//! states and blockage sets — the invariants behind the paper's theorems.
+//!
+//! Every property runs 256 seeded cases (the proptest default this suite
+//! was originally written against); failures print the shrunk inputs and
+//! the `IADM_CHECK_SEED` value that reproduces them.
 
 use iadm::analysis::{enumerate, oracle};
 use iadm::baselines::parker_raghavendra;
@@ -8,105 +12,81 @@ use iadm::core::{reroute::reroute, NetworkState, TsdtTag};
 use iadm::fault::scenario::{self, KindFilter};
 use iadm::fault::BlockageMap;
 use iadm::topology::{LinkKind, Size};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iadm_check::{check, check_assert, check_assert_eq, check_assume};
+use iadm_rng::StdRng;
 
-/// Strategy: a network size with 1..=8 stages (N up to 256).
-fn sizes() -> impl Strategy<Value = Size> {
-    (1u32..=8).prop_map(Size::from_stages)
-}
-
-proptest! {
+check! {
     /// Theorem 3.1: any tag reaches its own address under any state.
-    #[test]
-    fn destination_tag_valid_in_any_state(
-        log2 in 1u32..=8,
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-        state_seed in any::<u64>(),
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
-        let state = NetworkState::random(size, &mut StdRng::seed_from_u64(state_seed));
-        prop_assert_eq!(trace(size, s, d, &state).destination(size), d);
+    fn destination_tag_valid_in_any_state(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=8));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
+        let state = NetworkState::random(size, &mut g.rng());
+        check_assert_eq!(trace(size, s, d, &state).destination(size), d);
     }
 
     /// REROUTE ≡ oracle under random blockage sets of random density.
-    #[test]
-    fn reroute_agrees_with_oracle(
-        log2 in 2u32..=6,
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-        fault_seed in any::<u64>(),
-        density in 0.0f64..0.6,
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
+    fn reroute_agrees_with_oracle(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(2..=6));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
+        let density = g.f64_in(0.0..0.6);
         let blockages = scenario::bernoulli_faults(
-            &mut StdRng::seed_from_u64(fault_seed),
+            &mut g.rng(),
             size,
             density,
             KindFilter::Any,
         );
         let rr = reroute(size, &blockages, s, d);
         let or = oracle::free_path_exists(size, &blockages, s, d);
-        prop_assert_eq!(rr.is_ok(), or);
+        check_assert_eq!(rr.is_ok(), or);
         if let Ok(tag) = rr {
             let path = trace_tsdt(size, s, &tag);
-            prop_assert!(blockages.path_is_free(&path));
-            prop_assert_eq!(path.destination(size), d);
+            check_assert!(blockages.path_is_free(&path));
+            check_assert_eq!(path.destination(size), d);
         }
     }
 
     /// Corollary 4.1 is an involution that flips exactly the path's link
     /// sign at the flipped stage.
-    #[test]
-    fn corollary_4_1_flips_exactly_one_stage(
-        log2 in 1u32..=8,
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-        state in any::<usize>(),
-        stage_seed in any::<usize>(),
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
-        let tag = TsdtTag::with_state(size, d, state & size.mask());
-        let stage = stage_seed % size.stages();
+    fn corollary_4_1_flips_exactly_one_stage(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=8));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
+        let tag = TsdtTag::with_state(size, d, g.usize_any() & size.mask());
+        let stage = g.usize_any() % size.stages();
         let flipped = tag.corollary_4_1(stage);
-        prop_assert_eq!(flipped.corollary_4_1(stage), tag);
+        check_assert_eq!(flipped.corollary_4_1(stage), tag);
         let before = trace_tsdt(size, s, &tag);
         let after = trace_tsdt(size, s, &flipped);
-        prop_assert_eq!(after.destination(size), d);
+        check_assert_eq!(after.destination(size), d);
         // Prefix below the stage unchanged.
         for l in 0..stage {
-            prop_assert_eq!(before.kind_at(l), after.kind_at(l));
+            check_assert_eq!(before.kind_at(l), after.kind_at(l));
         }
         // At the stage: nonstraight swaps sign, straight is unaffected.
         if before.kind_at(stage) == LinkKind::Straight {
-            prop_assert_eq!(after.kind_at(stage), LinkKind::Straight);
+            check_assert_eq!(after.kind_at(stage), LinkKind::Straight);
         } else {
-            prop_assert_eq!(after.kind_at(stage), before.kind_at(stage).opposite());
+            check_assert_eq!(after.kind_at(stage), before.kind_at(stage).opposite());
         }
     }
 
     /// Path counts match between graph enumeration and signed-digit
     /// enumeration, and depend only on the distance.
-    #[test]
-    fn path_count_invariants(size in sizes(), s_seed in any::<usize>(), d_seed in any::<usize>()) {
+    fn path_count_invariants(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=8));
+        let s_seed = g.usize_any();
         let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
+        let d = g.usize_any() & size.mask();
         let count = enumerate::count_paths(size, s, d);
-        prop_assert_eq!(
+        check_assert_eq!(
             count,
             parker_raghavendra::all_representations(size, s, d).len() as u64
         );
         // Shift both endpoints: same count.
         let shift = (s_seed >> 7) & size.mask();
-        prop_assert_eq!(
+        check_assert_eq!(
             count,
             enumerate::count_paths(size, size.add(s, shift), size.add(d, shift))
         );
@@ -114,22 +94,16 @@ proptest! {
 
     /// SSDT delivers under arbitrary nonstraight-only fault sets in which
     /// no switch loses both nonstraight links.
-    #[test]
-    fn ssdt_survives_one_nonstraight_fault_per_switch(
-        log2 in 1u32..=6,
-        seed in any::<u64>(),
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
-        let mut rng = StdRng::seed_from_u64(seed);
+    fn ssdt_survives_one_nonstraight_fault_per_switch(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=6));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
+        let mut rng = g.rng();
         let mut blockages = BlockageMap::new(size);
         for stage in size.stage_indices() {
             for j in size.switches() {
-                if rand::Rng::gen_bool(&mut rng, 0.5) {
-                    let kind = if rand::Rng::gen_bool(&mut rng, 0.5) {
+                if iadm_rng::Rng::gen_bool(&mut rng, 0.5) {
+                    let kind = if iadm_rng::Rng::gen_bool(&mut rng, 0.5) {
                         LinkKind::Plus
                     } else {
                         LinkKind::Minus
@@ -140,23 +114,22 @@ proptest! {
         }
         let mut state = NetworkState::all_c(size);
         let routed = iadm::core::ssdt::route(size, &blockages, &mut state, s, d);
-        prop_assert!(routed.is_ok());
+        check_assert!(routed.is_ok());
         let routed = routed.unwrap();
-        prop_assert!(blockages.path_is_free(&routed.path));
-        prop_assert_eq!(routed.path.destination(size), d);
+        check_assert!(blockages.path_is_free(&routed.path));
+        check_assert_eq!(routed.path.destination(size), d);
     }
 
     /// The pivots of every stage contain the switch of every enumerated
     /// path (Lemma A2.1 soundness at random sizes).
-    #[test]
-    fn pivots_cover_all_paths(log2 in 1u32..=5, s_seed in any::<usize>(), d_seed in any::<usize>()) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
+    fn pivots_cover_all_paths(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=5));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
         for path in enumerate::all_paths(size, s, d) {
             for stage in 0..=size.stages() {
                 let pivots = iadm::core::pivot::pivots(size, s, d, stage);
-                prop_assert!(
+                check_assert!(
                     pivots.contains(path.switch_at(size, stage)),
                     "stage {} switch {} not a pivot",
                     stage,
@@ -168,27 +141,23 @@ proptest! {
 
     /// Cube subgraph prefix equality is exactly congruence mod N/2
     /// (Theorem 6.1's distinctness condition), at random sizes.
-    #[test]
-    fn cube_prefix_distinctness(log2 in 2u32..=7, x_seed in any::<usize>(), y_seed in any::<usize>()) {
+    fn cube_prefix_distinctness(g; cases = 256) {
         use iadm::permute::cube_subgraph::{prefix, relabeled_subgraph};
-        let size = Size::from_stages(log2);
-        let x = x_seed & size.mask();
-        let y = y_seed & size.mask();
+        let size = Size::from_stages(g.u32_in(2..=7));
+        let x = g.usize_any() & size.mask();
+        let y = g.usize_any() & size.mask();
         let same = prefix(size, &relabeled_subgraph(size, x))
             == prefix(size, &relabeled_subgraph(size, y));
-        prop_assert_eq!(same, x % (size.n() / 2) == y % (size.n() / 2));
+        check_assert_eq!(same, x % (size.n() / 2) == y % (size.n() / 2));
     }
 
     /// Simulator conservation at random loads and seeds: no packet is lost
     /// or misrouted in a fault-free network.
-    #[test]
-    fn simulator_conserves_packets(
-        load in 0.0f64..0.9,
-        seed in any::<u64>(),
-        log2 in 2u32..=4,
-    ) {
+    fn simulator_conserves_packets(g; cases = 256) {
         use iadm::sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
-        let size = Size::from_stages(log2);
+        let load = g.f64_in(0.0..0.9);
+        let seed = g.u64_any();
+        let size = Size::from_stages(g.u32_in(2..=4));
         let stats = run_once(
             SimConfig {
                 size,
@@ -201,28 +170,22 @@ proptest! {
             RoutingPolicy::SsdtBalance,
             TrafficPattern::Uniform,
         );
-        prop_assert!(stats.is_conserved());
-        prop_assert_eq!(stats.misrouted, 0);
-        prop_assert_eq!(stats.dropped, 0);
+        check_assert!(stats.is_conserved());
+        check_assert_eq!(stats.misrouted, 0);
+        check_assert_eq!(stats.dropped, 0);
     }
-}
 
-proptest! {
     /// The multicast tree equals the union of the unicast paths of its
     /// destinations, under arbitrary states and destination sets.
-    #[test]
-    fn multicast_tree_is_union_of_unicasts(
-        log2 in 1u32..=6,
-        s_seed in any::<usize>(),
-        dest_mask in 1usize..=u16::MAX as usize,
-        state_seed in any::<u64>(),
-    ) {
+    fn multicast_tree_is_union_of_unicasts(g; cases = 256) {
         use iadm::core::broadcast::multicast_tree;
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let dests: Vec<usize> = (0..size.n()).filter(|&d| dest_mask & (1 << (d % 16)) != 0).collect();
-        prop_assume!(!dests.is_empty());
-        let state = NetworkState::random(size, &mut StdRng::seed_from_u64(state_seed));
+        let size = Size::from_stages(g.u32_in(1..=6));
+        let s = g.usize_any() & size.mask();
+        let dest_mask = g.usize_in(1..=u16::MAX as usize);
+        let dests: Vec<usize> =
+            (0..size.n()).filter(|&d| dest_mask & (1 << (d % 16)) != 0).collect();
+        check_assume!(!dests.is_empty());
+        let state = NetworkState::random(size, &mut g.rng());
         let tree = multicast_tree(size, s, &dests, &state);
         let mut union = iadm::topology::LayeredGraph::new(size);
         for &d in &dests {
@@ -230,47 +193,40 @@ proptest! {
                 union.insert(link);
             }
         }
-        prop_assert_eq!(tree.to_graph(), union);
+        check_assert_eq!(tree.to_graph(), union);
         // Cost bounds: at least a single path, at most one per destination.
-        prop_assert!(tree.link_count() >= size.stages());
-        prop_assert!(tree.link_count() <= dests.len() * size.stages());
+        check_assert!(tree.link_count() >= size.stages());
+        check_assert!(tree.link_count() <= dests.len() * size.stages());
     }
 
     /// Multi-pass decomposition covers every pair exactly once with
     /// simultaneously routable passes, at random sizes.
-    #[test]
-    fn multipass_decomposition_is_sound(log2 in 1u32..=4, seed in any::<u64>()) {
+    fn multipass_decomposition_is_sound(g; cases = 256) {
         use iadm::permute::solver::{route_in_passes, route_pairs, Discipline};
         use iadm::permute::Permutation;
-        let size = Size::from_stages(log2);
-        let perm = Permutation::random(size, &mut StdRng::seed_from_u64(seed));
+        let size = Size::from_stages(g.u32_in(1..=4));
+        let perm = Permutation::random(size, &mut g.rng());
         let passes = route_in_passes(size, &perm, Discipline::SwitchDisjoint);
         let mut all: Vec<(usize, usize)> = passes.iter().flatten().copied().collect();
         all.sort_unstable();
         let mut expect: Vec<(usize, usize)> =
             (0..size.n()).map(|s| (s, perm.image(s))).collect();
         expect.sort_unstable();
-        prop_assert_eq!(all, expect);
+        check_assert_eq!(all, expect);
         for pass in &passes {
-            prop_assert!(route_pairs(size, pass, Discipline::SwitchDisjoint).is_some());
+            check_assert!(route_pairs(size, pass, Discipline::SwitchDisjoint).is_some());
         }
     }
 
     /// The three exact feasibility procedures agree: pivot oracle (Lemma
     /// A2.1), BFS oracle, and Algorithm REROUTE.
-    #[test]
-    fn three_feasibility_procedures_agree(
-        log2 in 1u32..=6,
-        s_seed in any::<usize>(),
-        d_seed in any::<usize>(),
-        fault_seed in any::<u64>(),
-        density in 0.0f64..0.7,
-    ) {
-        let size = Size::from_stages(log2);
-        let s = s_seed & size.mask();
-        let d = d_seed & size.mask();
+    fn three_feasibility_procedures_agree(g; cases = 256) {
+        let size = Size::from_stages(g.u32_in(1..=6));
+        let s = g.usize_any() & size.mask();
+        let d = g.usize_any() & size.mask();
+        let density = g.f64_in(0.0..0.7);
         let blockages = scenario::bernoulli_faults(
-            &mut StdRng::seed_from_u64(fault_seed),
+            &mut g.rng(),
             size,
             density,
             KindFilter::Any,
@@ -278,8 +234,8 @@ proptest! {
         let by_pivot = iadm::core::pivot::pivot_oracle(size, &blockages, s, d);
         let by_bfs = oracle::free_path_exists(size, &blockages, s, d);
         let by_reroute = reroute(size, &blockages, s, d).is_ok();
-        prop_assert_eq!(by_pivot, by_bfs);
-        prop_assert_eq!(by_reroute, by_bfs);
+        check_assert_eq!(by_pivot, by_bfs);
+        check_assert_eq!(by_reroute, by_bfs);
     }
 }
 
@@ -295,8 +251,8 @@ fn stress_equivalences_large_n() {
             let faults = (trial + 1) * size.n() / 4;
             let blockages = scenario::random_faults(&mut rng, size, faults, KindFilter::Any);
             for _ in 0..100 {
-                let s = rand::Rng::gen_range(&mut rng, 0..size.n());
-                let d = rand::Rng::gen_range(&mut rng, 0..size.n());
+                let s = iadm_rng::Rng::gen_range(&mut rng, 0..size.n());
+                let d = iadm_rng::Rng::gen_range(&mut rng, 0..size.n());
                 let by_bfs = oracle::free_path_exists(size, &blockages, s, d);
                 assert_eq!(
                     iadm::core::pivot::pivot_oracle(size, &blockages, s, d),
