@@ -182,7 +182,232 @@ pub fn sim_stats_json(stats: &SimStats) -> Json {
         ("max_link_load", Json::from(stats.max_link_load)),
         ("mean_latency", Json::from(stats.mean_latency())),
         ("throughput", Json::from(stats.throughput())),
+        ("latency_p50", Json::from(stats.percentile(0.50))),
+        ("latency_p95", Json::from(stats.percentile(0.95))),
+        ("latency_p99", Json::from(stats.percentile(0.99))),
+        (
+            "latency_buckets",
+            Json::arr(
+                stats
+                    .latency_histogram
+                    .trimmed_counts()
+                    .iter()
+                    .map(|&c| Json::from(c)),
+            ),
+        ),
+        (
+            "stage_link_use",
+            Json::arr(stats.stage_link_use.iter().map(|&c| Json::from(c))),
+        ),
     ])
+}
+
+/// A minimal JSON parser for *our own* artifacts: validation (does the
+/// file parse?) and the round-trip regression (`parse` then [`Json::encode`]
+/// reproduces the input bytes for anything this writer emitted). It is not
+/// a general-purpose parser — numbers outside `u64`/`i64`/finite-`f64` and
+/// exotic escapes are rejected rather than approximated.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+/// Asserts that `text` is valid JSON whose canonical re-encoding is
+/// byte-identical to the input — the round-trip helper the smoke scripts
+/// and campaign writer use to validate artifacts before shipping them.
+pub fn assert_round_trip(text: &str) -> Result<Json, String> {
+    let value = parse(text)?;
+    let rewritten = value.encode();
+    if rewritten != text {
+        return Err(format!(
+            "round-trip mismatch: {} bytes in, {} bytes out",
+            text.len(),
+            rewritten.len()
+        ));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at offset {pos}",
+            char::from(byte),
+            pos = *pos
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    // Collect raw bytes of each unescaped run, then validate as UTF-8.
+    let mut run_start = *pos;
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                out.push_str(str_slice(bytes, run_start, *pos)?);
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                out.push_str(str_slice(bytes, run_start, *pos)?);
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex}"))?;
+                        *pos += 4;
+                        // Our writer only emits \u for C0 controls; reject
+                        // surrogates instead of decoding pairs.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("escape \\u{hex} is not a scalar value"))?;
+                        out.push(c);
+                    }
+                    other => return Err(format!("unknown escape \\{}", char::from(*other))),
+                }
+                run_start = *pos;
+            }
+            Some(_) => *pos += 1,
+        }
+    }
+}
+
+fn str_slice(bytes: &[u8], start: usize, end: usize) -> Result<&str, String> {
+    std::str::from_utf8(&bytes[start..end]).map_err(|e| e.to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = str_slice(bytes, start, *pos)?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Json::Int(v));
+        }
+    }
+    let v: f64 = text
+        .parse()
+        .map_err(|_| format!("bad number {text:?} at offset {start}"))?;
+    if !v.is_finite() {
+        return Err(format!("non-finite number {text:?}"));
+    }
+    Ok(Json::Float(v))
 }
 
 #[cfg(test)]
@@ -215,6 +440,63 @@ mod tests {
             ("a", Json::obj([("k", Json::from(true))])),
         ]);
         assert_eq!(doc.encode(), "{\"z\":[1,null],\"a\":{\"k\":true}}");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::obj([
+            ("name", Json::from("e13 \"sweep\"\n")),
+            ("seed", Json::UInt(u64::MAX)),
+            ("delta", Json::Int(-3)),
+            ("load", Json::Float(0.30000000000000004)),
+            ("missing", Json::Null),
+            ("ok", Json::Bool(true)),
+            (
+                "runs",
+                Json::arr([Json::arr([]), Json::obj::<&str>([]), Json::from(0.125)]),
+            ),
+        ]);
+        let text = doc.encode();
+        let back = assert_round_trip(&text).expect("writer output must round-trip");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_rejects_garbage() {
+        assert_eq!(
+            parse(" { \"a\" : [ 1 , 2 ] } ").unwrap(),
+            Json::obj([("a", Json::arr([Json::UInt(1), Json::UInt(2)]))])
+        );
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("12 34").is_err(), "trailing bytes must be rejected");
+        assert!(parse("1e9999").is_err(), "non-finite numbers rejected");
+    }
+
+    #[test]
+    fn sim_stats_json_round_trips_through_the_parser() {
+        let mut stats = SimStats {
+            injected: 50,
+            delivered: 50,
+            latency_sum: 300,
+            latency_count: 50,
+            latency_max: 6,
+            cycles: 100,
+            ports: 8,
+            stage_link_use: vec![50, 50, 50],
+            ..Default::default()
+        };
+        for _ in 0..50 {
+            stats.latency_histogram.record(6);
+        }
+        let text = sim_stats_json(&stats).encode();
+        assert_round_trip(&text).expect("stats JSON must round-trip");
+        assert!(text.contains("\"latency_p50\":6"));
+        assert!(text.contains("\"latency_p99\":6"));
+        assert!(text.contains("\"latency_buckets\":[0,0,50]"));
+        assert!(text.contains("\"stage_link_use\":[50,50,50]"));
     }
 
     #[test]

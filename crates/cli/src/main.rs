@@ -42,7 +42,12 @@ const USAGE: &str = "usage:
   iadm simulate -n <N> [--load <f>] [--cycles <c>] [--policy fixed|ssdt|random|tsdt] [--block ...]...
   iadm subgraphs -n <N>
   iadm dot      -n <N> [--net ...] [-s <src> -d <dst>] [--block ...]...   (Graphviz output)
-  iadm broadcast -n <N> -s <src> [--dests 1,2,5]";
+  iadm broadcast -n <N> -s <src> [--dests 1,2,5]
+  iadm sweep    [--spec smoke|e13] [--threads <t>] [--out results/….json]
+                [--n 8,64] [--loads 0.1,0.5] [--policies fixed,ssdt,tsdt]
+                [--patterns uniform,bitrev,hotspot:<d>] [--queues 4]
+                [--cycles <c>] [--warmup <w>] [--seed <s>]
+                [--faults none,rand:<k>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]";
 
 /// A tiny flag parser: collects `--key value`, `-k value` pairs and
 /// repeated `--block` occurrences.
@@ -71,6 +76,24 @@ impl Args {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Rejects any flag outside `allowed` — a typo'd or misplaced flag is
+    /// an error, never silently dropped.
+    fn reject_unknown(&self, command: &str, allowed: &[&str]) -> Result<(), String> {
+        for (key, _) in &self.flags {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown flag --{key} for `{command}` (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn require_usize(&self, key: &str) -> Result<usize, String> {
@@ -109,8 +132,18 @@ impl Args {
     }
 }
 
-/// Parses `S<stage>:<switch><-|=|+>`.
+/// Parses `S<stage>:<switch><-|=|+>` and range-checks against `size`.
 fn parse_link(size: Size, text: &str) -> Result<Link, String> {
+    let link = parse_link_unchecked(text)?;
+    if link.stage >= size.stages() || link.from >= size.n() {
+        return Err(format!("link {text} out of range for N={}", size.n()));
+    }
+    Ok(link)
+}
+
+/// Parses `S<stage>:<switch><-|=|+>` without a size bound (sweep specs
+/// range-check per network size at expansion time).
+fn parse_link_unchecked(text: &str) -> Result<Link, String> {
     let body = text
         .strip_prefix('S')
         .or_else(|| text.strip_prefix('s'))
@@ -130,9 +163,6 @@ fn parse_link(size: Size, text: &str) -> Result<Link, String> {
     let switch: usize = rest[..rest.len() - 1]
         .parse()
         .map_err(|_| format!("bad switch in {text}"))?;
-    if stage >= size.stages() || switch >= size.n() {
-        return Err(format!("link {text} out of range for N={}", size.n()));
-    }
     Ok(Link::new(stage, switch, kind))
 }
 
@@ -141,6 +171,23 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("no command given".into());
     };
     let parsed = Args::parse(rest)?;
+    let allowed: &[&str] = match command.as_str() {
+        "route" | "reroute" | "paths" => &["n", "s", "d", "block"],
+        "render" => &["n", "net"],
+        "simulate" => &["n", "load", "cycles", "policy", "queue", "seed", "block"],
+        "subgraphs" => &["n"],
+        "dot" => &["n", "net", "s", "d", "block"],
+        "broadcast" => &["n", "s", "dests"],
+        "sweep" => &[
+            "spec", "threads", "out", "n", "loads", "policies", "patterns", "queues", "cycles",
+            "warmup", "seed", "faults",
+        ],
+        other => return Err(format!("unknown command {other}")),
+    };
+    parsed.reject_unknown(command, allowed)?;
+    if command == "sweep" {
+        return cmd_sweep(&parsed);
+    }
     let size = Size::new(parsed.usize_or("n", 8)?).map_err(|e| e.to_string())?;
     match command.as_str() {
         "route" => cmd_route(size, &parsed),
@@ -151,7 +198,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "subgraphs" => cmd_subgraphs(size),
         "dot" => cmd_dot(size, &parsed),
         "broadcast" => cmd_broadcast(size, &parsed),
-        other => Err(format!("unknown command {other}")),
+        _ => unreachable!("command validated against the flag table"),
     }
 }
 
@@ -336,6 +383,125 @@ fn cmd_broadcast(size: Size, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    use iadm_sweep::{campaign_json, pivot_table, run_campaign, summary_table, SweepSpec};
+
+    let mut spec = match args.get("spec") {
+        Some(name) => SweepSpec::builtin(name)?,
+        None => SweepSpec {
+            name: "custom".into(),
+            sizes: vec![8],
+            loads: vec![0.5],
+            queue_capacities: vec![4],
+            policies: vec![iadm_sim::RoutingPolicy::SsdtBalance],
+            patterns: vec![TrafficPattern::Uniform],
+            scenarios: vec![iadm_fault::scenario::ScenarioSpec::None],
+            cycles: 2000,
+            warmup: 400,
+            campaign_seed: 1,
+        },
+    };
+    // Axis flags override the base spec (built-in or default).
+    if let Some(list) = args.get("n") {
+        spec.sizes = parse_usize_list(list, "n")?;
+    }
+    if let Some(list) = args.get("loads") {
+        spec.loads = iadm_sweep::parse_loads(list)?;
+    }
+    if let Some(list) = args.get("policies") {
+        spec.policies = list
+            .split(',')
+            .map(|p| iadm_sweep::parse_policy(p.trim()))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("patterns") {
+        spec.patterns = list
+            .split(',')
+            .map(|p| iadm_sweep::parse_pattern(p.trim()))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("queues") {
+        spec.queue_capacities = parse_usize_list(list, "queues")?;
+    }
+    if let Some(list) = args.get("faults") {
+        spec.scenarios = list
+            .split(',')
+            .map(|s| parse_scenario_flag(s.trim()))
+            .collect::<Result<_, _>>()?;
+    }
+    if args.get("cycles").is_some() {
+        spec.cycles = args.usize_or("cycles", 0)?;
+        spec.warmup = spec.cycles / 5;
+    }
+    if args.get("warmup").is_some() {
+        spec.warmup = args.usize_or("warmup", 0)?;
+    }
+    if args.get("seed").is_some() {
+        spec.campaign_seed = args.usize_or("seed", 0)? as u64;
+    }
+
+    let threads = args.usize_or("threads", 1)?;
+    let started = std::time::Instant::now();
+    let result = run_campaign(&spec, threads)?;
+    let elapsed = started.elapsed();
+    let text = campaign_json(&result).encode();
+    // Artifact validation: the document must parse and re-encode to the
+    // same bytes before anything is written or printed.
+    iadm_bench::json::assert_round_trip(&text)
+        .map_err(|e| format!("campaign JSON failed validation: {e}"))?;
+
+    println!(
+        "campaign {} · {} runs · {} thread(s) · {:.2} s wall",
+        result.name,
+        result.runs.len(),
+        threads,
+        elapsed.as_secs_f64()
+    );
+    println!();
+    print!("{}", summary_table(&result));
+    println!();
+    println!("p99 latency (cycles) by load × policy/scenario:");
+    print!(
+        "{}",
+        pivot_table(&result, &|r| r.stats.percentile(0.99).to_string())
+    );
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, text + "\n")
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!();
+            println!("wrote {path}");
+        }
+        None => {
+            println!();
+            println!("{text}");
+        }
+    }
+    Ok(())
+}
+
+/// Parses a comma-separated `usize` list for sweep axis flags.
+fn parse_usize_list(text: &str, flag: &str) -> Result<Vec<usize>, String> {
+    text.split(',')
+        .map(|x| {
+            x.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("flag --{flag}: bad entry {x}"))
+        })
+        .collect()
+}
+
+/// Sweep fault-scenario syntax: everything `iadm_sweep::parse_scenario`
+/// accepts, plus `link:S<stage>:<switch><-|=|+>` for one specific link.
+fn parse_scenario_flag(text: &str) -> Result<iadm_fault::scenario::ScenarioSpec, String> {
+    if let Some(link) = text.strip_prefix("link:") {
+        return Ok(iadm_fault::scenario::ScenarioSpec::SingleLink(
+            parse_link_unchecked(link)?,
+        ));
+    }
+    iadm_sweep::parse_scenario(text)
+}
+
 fn cmd_subgraphs(size: Size) -> Result<(), String> {
     use iadm_permute::cube_subgraph::{distinct_prefix_count, theorem_6_1_lower_bound};
     println!("N = {}", size.n());
@@ -408,6 +574,20 @@ mod tests {
             vec!["dot", "-n", "8", "-s", "1", "-d", "0", "--block", "S0:1-"],
             vec!["broadcast", "-n", "8", "-s", "1", "--dests", "0,5,7"],
             vec!["broadcast", "-n", "8", "-s", "0"],
+            vec!["sweep", "--spec", "smoke", "--threads", "2"],
+            vec![
+                "sweep",
+                "--n",
+                "8",
+                "--loads",
+                "0.3",
+                "--policies",
+                "fixed,ssdt",
+                "--cycles",
+                "100",
+                "--faults",
+                "none,link:S0:1-",
+            ],
         ];
         for case in cases {
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
@@ -421,5 +601,39 @@ mod tests {
         assert!(run(&bad).is_err());
         let bad: Vec<String> = vec!["route".into(), "-n".into(), "8".into()];
         assert!(run(&bad).is_err(), "missing -s/-d must fail");
+    }
+
+    #[test]
+    fn unknown_flags_error_instead_of_being_dropped() {
+        let cases: Vec<Vec<&str>> = vec![
+            // Typo'd flag name.
+            vec!["route", "-n", "8", "-s", "1", "-d", "0", "--bloc", "S0:1-"],
+            // Valid flag for another command.
+            vec!["render", "-n", "8", "--load", "0.5"],
+            vec!["simulate", "-n", "8", "--net", "gamma"],
+            vec!["subgraphs", "-n", "8", "--verbose", "1"],
+            vec!["sweep", "--spec", "smoke", "--thread", "2"],
+        ];
+        for case in cases {
+            let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            let err = run(&args).expect_err(&format!("{case:?} must be rejected"));
+            assert!(err.contains("unknown flag"), "{case:?}: {err}");
+            assert!(err.contains("expected one of"), "{case:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_axis_values() {
+        for case in [
+            vec!["sweep", "--spec", "nonsense"],
+            vec!["sweep", "--loads", "1.5"],
+            vec!["sweep", "--policies", "adaptive"],
+            vec!["sweep", "--faults", "meteor"],
+            vec!["sweep", "--threads", "0"],
+            vec!["sweep", "--n", "7"],
+        ] {
+            let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            assert!(run(&args).is_err(), "{case:?} must fail");
+        }
     }
 }

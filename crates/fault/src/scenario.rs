@@ -184,6 +184,206 @@ pub fn switch_band_burst(size: Size, stage: usize, first: usize, count: usize) -
     )
 }
 
+/// A declarative fault scenario: a *recipe* for a [`BlockageMap`] that can
+/// be named in a sweep spec, expanded per campaign run, and labeled in
+/// result tables. Deterministic scenarios ignore the seed; randomized ones
+/// (`RandomLinks`, `Bernoulli`) realize from the seed the campaign engine
+/// derives for the run, so the same spec + campaign seed always yields the
+/// same faults regardless of worker scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSpec {
+    /// No faults — the healthy-network baseline.
+    None,
+    /// One specific faulty link.
+    SingleLink(Link),
+    /// `count` distinct uniformly random links admitted by `filter`.
+    RandomLinks {
+        /// Number of faulty links.
+        count: usize,
+        /// Which link kinds may fail.
+        filter: KindFilter,
+    },
+    /// Each admissible link fails independently with probability `p`.
+    Bernoulli {
+        /// Per-link failure probability.
+        p: f64,
+        /// Which link kinds may fail.
+        filter: KindFilter,
+    },
+    /// Both nonstraight output links of one switch (Theorem 3.4 scenario).
+    DoubleNonstraight {
+        /// Stage of the affected switch.
+        stage: usize,
+        /// Affected switch.
+        switch: usize,
+    },
+    /// Every nonstraight link of one stage (shared-driver burst).
+    StageNonstraightBurst {
+        /// Affected stage.
+        stage: usize,
+    },
+    /// All outputs of a contiguous switch band at one stage (board burst).
+    SwitchBandBurst {
+        /// Affected stage.
+        stage: usize,
+        /// First switch of the band.
+        first: usize,
+        /// Band width in switches (wraps modulo N).
+        count: usize,
+    },
+}
+
+impl ScenarioSpec {
+    /// A short stable label for tables and JSON artifacts.
+    pub fn label(&self) -> String {
+        fn filter_tag(f: KindFilter) -> &'static str {
+            match f {
+                KindFilter::Any => "any",
+                KindFilter::NonstraightOnly => "nonstraight",
+                KindFilter::StraightOnly => "straight",
+            }
+        }
+        match self {
+            ScenarioSpec::None => "none".into(),
+            ScenarioSpec::SingleLink(link) => format!("link:{link}"),
+            ScenarioSpec::RandomLinks { count, filter } => {
+                format!("rand:{count}:{}", filter_tag(*filter))
+            }
+            ScenarioSpec::Bernoulli { p, filter } => {
+                format!("bernoulli:{p}:{}", filter_tag(*filter))
+            }
+            ScenarioSpec::DoubleNonstraight { stage, switch } => {
+                format!("double:S{stage}:{switch}")
+            }
+            ScenarioSpec::StageNonstraightBurst { stage } => format!("stageburst:S{stage}"),
+            ScenarioSpec::SwitchBandBurst {
+                stage,
+                first,
+                count,
+            } => format!("band:S{stage}:{first}x{count}"),
+        }
+    }
+
+    /// Expands the recipe into a concrete [`BlockageMap`] for `size`.
+    /// `seed` feeds only the randomized variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recipe is out of range for `size` (same contract as
+    /// the underlying generators).
+    pub fn realize(&self, size: Size, seed: u64) -> BlockageMap {
+        use iadm_rng::StdRng;
+        match self {
+            ScenarioSpec::None => BlockageMap::new(size),
+            ScenarioSpec::SingleLink(link) => BlockageMap::from_links(size, [*link]),
+            ScenarioSpec::RandomLinks { count, filter } => {
+                random_faults(&mut StdRng::seed_from_u64(seed), size, *count, *filter)
+            }
+            ScenarioSpec::Bernoulli { p, filter } => {
+                bernoulli_faults(&mut StdRng::seed_from_u64(seed), size, *p, *filter)
+            }
+            ScenarioSpec::DoubleNonstraight { stage, switch } => {
+                double_nonstraight(size, *stage, *switch)
+            }
+            ScenarioSpec::StageNonstraightBurst { stage } => {
+                stage_nonstraight_burst(size, *stage)
+            }
+            ScenarioSpec::SwitchBandBurst {
+                stage,
+                first,
+                count,
+            } => switch_band_burst(size, *stage, *first, *count),
+        }
+    }
+}
+
+/// Every single-link fault scenario admitted by `filter` — the exhaustive
+/// axis campaigns sweep to locate the worst-case link (one
+/// [`ScenarioSpec::SingleLink`] per candidate link, in stage/switch/kind
+/// order).
+pub fn single_link_scenarios(size: Size, filter: KindFilter) -> Vec<ScenarioSpec> {
+    candidate_links(size, filter)
+        .into_iter()
+        .map(ScenarioSpec::SingleLink)
+        .collect()
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+    use iadm_rng::StdRng;
+
+    fn size8() -> Size {
+        Size::new(8).unwrap()
+    }
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        let specs = [
+            ScenarioSpec::None,
+            ScenarioSpec::SingleLink(Link::plus(1, 2)),
+            ScenarioSpec::RandomLinks {
+                count: 3,
+                filter: KindFilter::Any,
+            },
+            ScenarioSpec::Bernoulli {
+                p: 0.1,
+                filter: KindFilter::NonstraightOnly,
+            },
+            ScenarioSpec::DoubleNonstraight { stage: 1, switch: 4 },
+            ScenarioSpec::StageNonstraightBurst { stage: 2 },
+            ScenarioSpec::SwitchBandBurst {
+                stage: 0,
+                first: 6,
+                count: 3,
+            },
+        ];
+        let labels: Vec<String> = specs.iter().map(ScenarioSpec::label).collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len(), "labels collide: {labels:?}");
+        assert_eq!(labels[0], "none");
+    }
+
+    #[test]
+    fn realize_matches_the_underlying_generators() {
+        let size = size8();
+        assert!(ScenarioSpec::None.realize(size, 1).is_empty());
+        assert_eq!(
+            ScenarioSpec::DoubleNonstraight { stage: 2, switch: 4 }.realize(size, 1),
+            double_nonstraight(size, 2, 4)
+        );
+        assert_eq!(
+            ScenarioSpec::RandomLinks {
+                count: 5,
+                filter: KindFilter::Any
+            }
+            .realize(size, 99),
+            random_faults(&mut StdRng::seed_from_u64(99), size, 5, KindFilter::Any)
+        );
+        // Deterministic per seed, different across seeds.
+        let spec = ScenarioSpec::RandomLinks {
+            count: 5,
+            filter: KindFilter::Any,
+        };
+        assert_eq!(spec.realize(size, 7), spec.realize(size, 7));
+        assert_ne!(spec.realize(size, 7), spec.realize(size, 8));
+    }
+
+    #[test]
+    fn single_link_census_is_exhaustive() {
+        let all = single_link_scenarios(size8(), KindFilter::Any);
+        assert_eq!(all.len(), 3 * 8 * 3);
+        let straight = single_link_scenarios(size8(), KindFilter::StraightOnly);
+        assert_eq!(straight.len(), 8 * 3);
+        for spec in &straight {
+            let map = spec.realize(size8(), 0);
+            assert_eq!(map.blocked_count(), 1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod burst_tests {
     use super::*;

@@ -304,6 +304,7 @@ impl Simulator {
                                 self.stats.latency_sum += lat;
                                 self.stats.latency_count += 1;
                                 self.stats.latency_max = self.stats.latency_max.max(lat);
+                                self.stats.latency_histogram.record(lat);
                             }
                         } else {
                             self.stats.misrouted += 1;
@@ -414,18 +415,21 @@ impl Simulator {
         let mut imbalance_sum = 0.0f64;
         let mut switches_with_traffic = 0usize;
         let mut max_link_load = 0u64;
+        let mut stage_link_use = vec![0u64; size.stages()];
         for stage in size.stage_indices() {
             for sw in size.switches() {
                 let plus = self.link_use[Link::plus(stage, sw).flat_index(size)];
                 let minus = self.link_use[Link::minus(stage, sw).flat_index(size)];
                 let straight = self.link_use[Link::straight(stage, sw).flat_index(size)];
                 max_link_load = max_link_load.max(plus).max(minus).max(straight);
+                stage_link_use[stage] += plus + minus + straight;
                 if plus + minus > 0 {
                     imbalance_sum += (plus.abs_diff(minus)) as f64 / (plus + minus) as f64;
                     switches_with_traffic += 1;
                 }
             }
         }
+        self.stats.stage_link_use = stage_link_use;
         self.stats.nonstraight_imbalance = if switches_with_traffic == 0 {
             0.0
         } else {
@@ -490,6 +494,28 @@ mod tests {
             assert_eq!(stats.dropped, 0, "no faults => no drops ({policy:?})");
             assert!(stats.delivered > 0, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn histogram_and_stage_counters_are_consistent() {
+        let stats = run_once(
+            config(8, 0.4, 400),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        );
+        assert_eq!(stats.latency_histogram.count(), stats.latency_count);
+        assert!(stats.percentile(0.5) <= stats.percentile(0.95));
+        assert!(stats.percentile(0.95) <= stats.percentile(0.99));
+        assert!(stats.percentile(0.99) <= stats.latency_max);
+        assert!(stats.percentile(1.0) == stats.latency_max);
+        assert_eq!(stats.stage_link_use.len(), 3);
+        // Every delivered packet crossed a final-stage link.
+        assert!(stats.stage_link_use[2] >= stats.delivered);
+        // A delivered packet crossed all 3 stages; an in-flight one some
+        // prefix of them.
+        let total: u64 = stats.stage_link_use.iter().sum();
+        assert!(total >= stats.delivered * 3, "{stats:?}");
+        assert!(total <= (stats.delivered + stats.in_flight) * 3, "{stats:?}");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Power-of-two-bucketed latency histogram.
+//!
+//! Mean and maximum latency cannot distinguish a policy that helps the
+//! *tail* (the SSDT balancing claim) from one that only moves the bulk;
+//! campaign sweeps need percentiles. A histogram with power-of-two bucket
+//! edges records every delivery in O(1) with a fixed 64-word footprint,
+//! and its percentile bounds are exact enough to rank policies: the p-th
+//! percentile is reported as the upper edge of the bucket holding the
+//! p-th ranked sample (tightened to the observed maximum by
+//! [`crate::SimStats::percentile`]).
+
+/// Number of buckets: one per possible bit-length of a `u64` latency.
+pub const BUCKETS: usize = 64;
+
+/// A histogram over `u64` values with power-of-two bucket boundaries.
+///
+/// Bucket `0` holds values `0` and `1`; bucket `k >= 1` holds values in
+/// `[2^k, 2^(k+1) - 1]`. Every `u64` value lands in exactly one bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+/// The bucket index holding `value`.
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `index` can hold (saturating at `u64::MAX`).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    if index >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << index) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// All 64 bucket counts (index `k` = values in `[2^k, 2^(k+1) - 1]`,
+    /// except bucket 0 which also holds `0`).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Bucket counts with trailing empty buckets trimmed — the canonical
+    /// compact form used in JSON artifacts (deterministic: trimming
+    /// depends only on the counts themselves).
+    pub fn trimmed_counts(&self) -> &[u64] {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .map_or(0, |i| i + 1);
+        &self.buckets[..last]
+    }
+
+    /// Upper bound on the `p`-th percentile (`p` in `[0, 1]`): the upper
+    /// edge of the bucket containing the sample of rank `ceil(p * count)`
+    /// (at least rank 1). Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn percentile_bound(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(k);
+            }
+        }
+        unreachable!("rank {rank} <= count {} must fall in a bucket", self.count)
+    }
+
+    /// Merges another histogram into this one (used when aggregating
+    /// shards of a campaign).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for k in 0..BUCKETS {
+            let hi = bucket_upper_bound(k);
+            assert_eq!(bucket_index(hi), k);
+            if hi != u64::MAX {
+                assert_eq!(bucket_index(hi + 1), k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_bound(0.5), 0);
+        assert_eq!(h.percentile_bound(1.0), 0);
+        assert!(h.trimmed_counts().is_empty());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile_bound(p), 7, "p={p}: bucket [4,7]");
+        }
+        assert_eq!(h.trimmed_counts(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets_in_order() {
+        let mut h = LatencyHistogram::new();
+        // 90 samples in [2,3], 9 in [8,15], 1 in [64,127].
+        for _ in 0..90 {
+            h.record(2);
+        }
+        for _ in 0..9 {
+            h.record(10);
+        }
+        h.record(100);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_bound(0.50), 3);
+        assert_eq!(h.percentile_bound(0.90), 3);
+        assert_eq!(h.percentile_bound(0.95), 15);
+        assert_eq!(h.percentile_bound(0.99), 15);
+        assert_eq!(h.percentile_bound(1.0), 127);
+    }
+
+    #[test]
+    fn percentile_bounds_are_monotone_in_p() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 2, 5, 9, 17, 900, 901, 4000, 1 << 40] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let b = h.percentile_bound(i as f64 / 100.0);
+            assert!(b >= last, "p={i}%: {b} < {last}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts()[bucket_index(3)], 2);
+        assert_eq!(a.bucket_counts()[bucket_index(1000)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_out_of_range_p() {
+        LatencyHistogram::new().percentile_bound(1.5);
+    }
+}

@@ -44,12 +44,14 @@
 
 pub mod circuit;
 mod engine;
+pub mod histogram;
 mod packet;
 mod queue;
 mod stats;
 mod traffic;
 
 pub use engine::{run_once, RoutingPolicy, SimConfig, Simulator};
+pub use histogram::LatencyHistogram;
 pub use packet::Packet;
 pub use queue::LinkQueue;
 pub use stats::SimStats;

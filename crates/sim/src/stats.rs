@@ -1,5 +1,7 @@
 //! Simulation statistics.
 
+use crate::histogram::LatencyHistogram;
+
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
@@ -44,6 +46,13 @@ pub struct SimStats {
     pub nonstraight_imbalance: f64,
     /// The largest number of packets any single link carried.
     pub max_link_load: u64,
+    /// Power-of-two-bucketed histogram of delivery latencies (same
+    /// population as `latency_sum` / `latency_count`: post-warm-up
+    /// deliveries only).
+    pub latency_histogram: LatencyHistogram,
+    /// Packets carried per stage, summed over the stage's links
+    /// (`stage_link_use[i]` = total transfers leaving stage `i`).
+    pub stage_link_use: Vec<u64>,
 }
 
 impl SimStats {
@@ -69,6 +78,23 @@ impl SimStats {
     /// refused at the source, or still in flight.
     pub fn is_conserved(&self) -> bool {
         self.injected == self.delivered + self.dropped + self.refused + self.in_flight
+    }
+
+    /// The `p`-th latency percentile (`p` in `[0, 1]`) as an upper bound:
+    /// the power-of-two bucket edge holding the sample of rank
+    /// `ceil(p * count)`, tightened to the observed maximum. 0 when no
+    /// latency samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.latency_histogram.count() == 0 {
+            return 0;
+        }
+        self.latency_histogram
+            .percentile_bound(p)
+            .min(self.latency_max)
     }
 }
 
@@ -108,5 +134,46 @@ mod tests {
             ..Default::default()
         };
         assert!(!stats.is_conserved());
+    }
+
+    #[test]
+    fn percentile_of_empty_stats_is_zero() {
+        let stats = SimStats::default();
+        assert_eq!(stats.percentile(0.5), 0);
+        assert_eq!(stats.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_exact() {
+        // One recorded latency: every percentile is that sample, because
+        // the bucket upper bound (7 for the [4,7] bucket) is tightened to
+        // the observed maximum.
+        let mut stats = SimStats::default();
+        stats.latency_histogram.record(5);
+        stats.latency_max = 5;
+        stats.latency_sum = 5;
+        stats.latency_count = 1;
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(stats.percentile(p), 5, "p={p}");
+        }
+        // The bucketed bound alone would have said 7.
+        assert_eq!(stats.latency_histogram.percentile_bound(0.5), 7);
+    }
+
+    #[test]
+    fn percentile_with_saturated_bucket_collapses_to_max() {
+        // All samples in one bucket: p50 == p99 == observed max.
+        let mut stats = SimStats::default();
+        for v in [8u64, 9, 10, 12, 15] {
+            stats.latency_histogram.record(v);
+            stats.latency_max = stats.latency_max.max(v);
+            stats.latency_sum += v;
+            stats.latency_count += 1;
+        }
+        assert_eq!(stats.percentile(0.50), 15);
+        assert_eq!(stats.percentile(0.99), 15);
+        // Mean/throughput behavior is unchanged by the histogram.
+        assert!((stats.mean_latency() - 54.0 / 5.0).abs() < 1e-12);
+        assert_eq!(stats.throughput(), 0.0);
     }
 }

@@ -1,0 +1,150 @@
+//! Campaign artifacts: the byte-stable JSON document and human tables.
+
+use crate::engine::{CampaignResult, RunRecord};
+use crate::spec::{pattern_label, policy_label};
+use iadm_bench::json::{sim_stats_json, Json};
+
+/// The canonical JSON encoding of a campaign. Every run appears in run-
+/// index order with its resolved parameters and full statistics (including
+/// the latency histogram), so the document is byte-identical for any
+/// worker-thread count — the determinism contract `tests/determinism.rs`
+/// enforces.
+pub fn campaign_json(result: &CampaignResult) -> Json {
+    Json::obj([
+        ("campaign", Json::from(result.name.as_str())),
+        ("campaign_seed", Json::from(result.campaign_seed)),
+        ("run_count", Json::from(result.runs.len())),
+        (
+            "runs",
+            Json::arr(result.runs.iter().map(run_json)),
+        ),
+    ])
+}
+
+fn run_json(record: &RunRecord) -> Json {
+    let spec = &record.spec;
+    Json::obj([
+        ("index", Json::from(spec.index)),
+        ("n", Json::from(spec.size.n())),
+        ("load", Json::from(spec.offered_load)),
+        ("queue", Json::from(spec.queue_capacity)),
+        ("policy", Json::from(policy_label(spec.policy))),
+        ("pattern", Json::from(pattern_label(&spec.pattern))),
+        ("scenario", Json::from(spec.scenario.label())),
+        ("cycles", Json::from(spec.cycles)),
+        ("warmup", Json::from(spec.warmup)),
+        ("seed", Json::from(spec.seed)),
+        ("faults", Json::from(record.faults)),
+        ("stats", sim_stats_json(&record.stats)),
+    ])
+}
+
+/// A plain-text table with one row per run — the long form for logs.
+pub fn summary_table(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>5} {:>5} {:>5} {:<6} {:<8} {:<14} {:>7} {:>9} {:>10} {:>6} {:>6} {:>6} {:>7} {:>7}\n",
+        "run", "N", "load", "policy", "pattern", "scenario", "faults", "delivered", "throughput",
+        "mean", "p50", "p95", "p99", "lost"
+    ));
+    for record in &result.runs {
+        let s = &record.stats;
+        let spec = &record.spec;
+        out.push_str(&format!(
+            "{:>5} {:>5} {:>5} {:<6} {:<8} {:<14} {:>7} {:>9} {:>10.4} {:>6.2} {:>6} {:>6} {:>7} {:>7}\n",
+            spec.index,
+            spec.size.n(),
+            spec.offered_load,
+            policy_label(spec.policy),
+            pattern_label(&spec.pattern),
+            spec.scenario.label(),
+            record.faults,
+            s.delivered,
+            s.throughput(),
+            s.mean_latency(),
+            s.percentile(0.50),
+            s.percentile(0.95),
+            s.percentile(0.99),
+            s.dropped + s.refused,
+        ));
+    }
+    out
+}
+
+/// A pivot table: one row per offered load, one column per
+/// (policy, scenario) pair, cells computed by `metric`. This is the
+/// compact form EXPERIMENTS.md embeds (e.g. `metric` = p99 latency).
+pub fn pivot_table(result: &CampaignResult, metric: &dyn Fn(&RunRecord) -> String) -> String {
+    let mut loads: Vec<String> = Vec::new();
+    let mut columns: Vec<String> = Vec::new();
+    for record in &result.runs {
+        let load = format!("{}", record.spec.offered_load);
+        if !loads.contains(&load) {
+            loads.push(load);
+        }
+        let column = format!(
+            "{}/{}",
+            policy_label(record.spec.policy),
+            record.spec.scenario.label()
+        );
+        if !columns.contains(&column) {
+            columns.push(column);
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:>6}", "load"));
+    for column in &columns {
+        out.push_str(&format!(" {column:>18}"));
+    }
+    out.push('\n');
+    for load in &loads {
+        out.push_str(&format!("{load:>6}"));
+        for column in &columns {
+            let cell = result
+                .runs
+                .iter()
+                .find(|r| {
+                    format!("{}", r.spec.offered_load) == *load
+                        && format!(
+                            "{}/{}",
+                            policy_label(r.spec.policy),
+                            r.spec.scenario.label()
+                        ) == *column
+                })
+                .map_or_else(|| "-".into(), metric);
+            out.push_str(&format!(" {cell:>18}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_campaign;
+    use crate::spec::SweepSpec;
+    use iadm_bench::json::assert_round_trip;
+
+    #[test]
+    fn campaign_json_round_trips_and_names_every_run() {
+        let result = run_campaign(&SweepSpec::smoke(), 2).unwrap();
+        let text = campaign_json(&result).encode();
+        assert_round_trip(&text).expect("campaign JSON must round-trip");
+        assert!(text.contains("\"campaign\":\"smoke\""));
+        assert!(text.contains("\"run_count\":8"));
+        assert!(text.contains("\"scenario\":\"double:S1:1\""));
+        assert!(text.contains("\"latency_p99\":"));
+    }
+
+    #[test]
+    fn tables_cover_every_run_and_load() {
+        let result = run_campaign(&SweepSpec::smoke(), 2).unwrap();
+        let long = summary_table(&result);
+        assert_eq!(long.lines().count(), 1 + result.runs.len());
+        let pivot = pivot_table(&result, &|r| r.stats.percentile(0.99).to_string());
+        assert_eq!(pivot.lines().count(), 1 + 2, "two loads in the smoke spec");
+        assert!(pivot.contains("ssdt/none"));
+        assert!(pivot.contains("fixed/double:S1:1"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Declarative sweep specifications and their expansion into run lists.
+
+use iadm_fault::scenario::{KindFilter, ScenarioSpec};
+use iadm_sim::{RoutingPolicy, TrafficPattern};
+use iadm_topology::Size;
+
+/// A declarative campaign: the cartesian grid of every axis, plus the
+/// per-run timing parameters and the campaign master seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Campaign name (labels the JSON artifact).
+    pub name: String,
+    /// Network sizes `N` (each a power of two ≥ 4).
+    pub sizes: Vec<usize>,
+    /// Offered loads in `[0, 1]`.
+    pub loads: Vec<f64>,
+    /// Output-queue capacities.
+    pub queue_capacities: Vec<usize>,
+    /// Routing policies.
+    pub policies: Vec<RoutingPolicy>,
+    /// Traffic patterns.
+    pub patterns: Vec<TrafficPattern>,
+    /// Fault scenarios.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Cycles per run.
+    pub cycles: usize,
+    /// Warm-up cycles excluded from latency statistics.
+    pub warmup: usize,
+    /// Master seed; every run seed is derived from it by index.
+    pub campaign_seed: u64,
+}
+
+/// One fully-resolved point of the grid. `seed` is already derived from
+/// the campaign seed and `index`, so a `RunSpec` is self-contained: the
+/// same `RunSpec` always simulates the same trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Position in the campaign's expansion order (the aggregation key).
+    pub index: usize,
+    /// Network size.
+    pub size: Size,
+    /// Offered load.
+    pub offered_load: f64,
+    /// Output-queue capacity.
+    pub queue_capacity: usize,
+    /// Routing policy.
+    pub policy: RoutingPolicy,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Fault scenario recipe.
+    pub scenario: ScenarioSpec,
+    /// Cycles to simulate.
+    pub cycles: usize,
+    /// Warm-up cycles.
+    pub warmup: usize,
+    /// Derived simulation seed: `mix(campaign_seed, index)`.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// Number of grid points (runs) this spec expands to.
+    pub fn grid_len(&self) -> usize {
+        self.sizes.len()
+            * self.loads.len()
+            * self.queue_capacities.len()
+            * self.policies.len()
+            * self.patterns.len()
+            * self.scenarios.len()
+    }
+
+    /// Expands the grid into the campaign's run list, in the canonical
+    /// axis order (size, load, queue, policy, pattern, scenario — the
+    /// innermost axis varies fastest) with derived per-run seeds.
+    ///
+    /// Validates every axis value; an empty axis or an out-of-range
+    /// entry is an error, not a silent no-op.
+    pub fn expand(&self) -> Result<Vec<RunSpec>, String> {
+        if self.grid_len() == 0 {
+            return Err("sweep spec has an empty axis (zero runs)".into());
+        }
+        if self.cycles == 0 {
+            return Err("cycles must be positive".into());
+        }
+        if self.warmup >= self.cycles {
+            return Err(format!(
+                "warmup {} must be below cycles {}",
+                self.warmup, self.cycles
+            ));
+        }
+        for &load in &self.loads {
+            if !(0.0..=1.0).contains(&load) {
+                return Err(format!("offered load {load} out of [0, 1]"));
+            }
+        }
+        if self.queue_capacities.contains(&0) {
+            return Err("queue capacity must be positive".into());
+        }
+        let mut runs = Vec::with_capacity(self.grid_len());
+        for &n in &self.sizes {
+            let size = Size::new(n).map_err(|e| e.to_string())?;
+            for scenario in &self.scenarios {
+                validate_scenario(scenario, size)?;
+            }
+            for pattern in &self.patterns {
+                validate_pattern(pattern, size)?;
+            }
+            for &offered_load in &self.loads {
+                for &queue_capacity in &self.queue_capacities {
+                    for &policy in &self.policies {
+                        for pattern in &self.patterns {
+                            for scenario in &self.scenarios {
+                                let index = runs.len();
+                                runs.push(RunSpec {
+                                    index,
+                                    size,
+                                    offered_load,
+                                    queue_capacity,
+                                    policy,
+                                    pattern: pattern.clone(),
+                                    scenario: scenario.clone(),
+                                    cycles: self.cycles,
+                                    warmup: self.warmup,
+                                    seed: iadm_rng::mix(self.campaign_seed, index as u64),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(runs)
+    }
+
+    /// The tiny built-in campaign the smoke script and tests run: 8 runs
+    /// at N=8, ≤ 200 cycles each, exercising both a healthy network and a
+    /// double-nonstraight fault.
+    pub fn smoke() -> SweepSpec {
+        SweepSpec {
+            name: "smoke".into(),
+            sizes: vec![8],
+            loads: vec![0.2, 0.6],
+            queue_capacities: vec![4],
+            policies: vec![RoutingPolicy::FixedC, RoutingPolicy::SsdtBalance],
+            patterns: vec![TrafficPattern::Uniform],
+            scenarios: vec![
+                ScenarioSpec::None,
+                ScenarioSpec::DoubleNonstraight { stage: 1, switch: 1 },
+            ],
+            cycles: 200,
+            warmup: 40,
+            campaign_seed: 7,
+        }
+    }
+
+    /// Experiment E13: SSDT-balance vs fixed-C vs TSDT-sender across
+    /// offered loads 0.1–0.9 at N=64, with and without a single random
+    /// link fault (54 runs).
+    pub fn e13() -> SweepSpec {
+        SweepSpec {
+            name: "e13".into(),
+            sizes: vec![64],
+            loads: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            queue_capacities: vec![4],
+            policies: vec![
+                RoutingPolicy::FixedC,
+                RoutingPolicy::SsdtBalance,
+                RoutingPolicy::TsdtSender,
+            ],
+            patterns: vec![TrafficPattern::Uniform],
+            scenarios: vec![
+                ScenarioSpec::None,
+                ScenarioSpec::RandomLinks {
+                    count: 1,
+                    filter: KindFilter::Any,
+                },
+            ],
+            cycles: 1200,
+            warmup: 240,
+            campaign_seed: 0xE13,
+        }
+    }
+
+    /// Looks a built-in campaign up by name.
+    pub fn builtin(name: &str) -> Result<SweepSpec, String> {
+        match name {
+            "smoke" => Ok(SweepSpec::smoke()),
+            "e13" => Ok(SweepSpec::e13()),
+            other => Err(format!("unknown built-in sweep spec {other} (smoke, e13)")),
+        }
+    }
+}
+
+fn validate_scenario(spec: &ScenarioSpec, size: Size) -> Result<(), String> {
+    let stage_ok = |stage: usize| {
+        if stage < size.stages() {
+            Ok(())
+        } else {
+            Err(format!(
+                "scenario {}: stage {stage} out of range for N={}",
+                spec.label(),
+                size.n()
+            ))
+        }
+    };
+    let switch_ok = |sw: usize| {
+        if sw < size.n() {
+            Ok(())
+        } else {
+            Err(format!(
+                "scenario {}: switch {sw} out of range for N={}",
+                spec.label(),
+                size.n()
+            ))
+        }
+    };
+    match spec {
+        ScenarioSpec::None => Ok(()),
+        ScenarioSpec::SingleLink(link) => {
+            stage_ok(link.stage)?;
+            switch_ok(link.from)
+        }
+        ScenarioSpec::RandomLinks { count, filter } => {
+            let candidates = iadm_fault::scenario::candidate_links(size, *filter).len();
+            if *count > candidates {
+                Err(format!(
+                    "scenario {}: {count} faults but only {candidates} candidate links",
+                    spec.label()
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        ScenarioSpec::Bernoulli { p, .. } => {
+            if (0.0..=1.0).contains(p) {
+                Ok(())
+            } else {
+                Err(format!("scenario {}: probability out of range", spec.label()))
+            }
+        }
+        ScenarioSpec::DoubleNonstraight { stage, switch } => {
+            stage_ok(*stage)?;
+            switch_ok(*switch)
+        }
+        ScenarioSpec::StageNonstraightBurst { stage } => stage_ok(*stage),
+        ScenarioSpec::SwitchBandBurst { stage, first, count } => {
+            stage_ok(*stage)?;
+            switch_ok(*first)?;
+            if *count > size.n() {
+                Err(format!(
+                    "scenario {}: band of {count} switches exceeds N={}",
+                    spec.label(),
+                    size.n()
+                ))
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+fn validate_pattern(pattern: &TrafficPattern, size: Size) -> Result<(), String> {
+    match pattern {
+        TrafficPattern::Uniform | TrafficPattern::BitReversal => Ok(()),
+        TrafficPattern::HotSpot(d) => {
+            if *d < size.n() {
+                Ok(())
+            } else {
+                Err(format!("hot spot {d} out of range for N={}", size.n()))
+            }
+        }
+        TrafficPattern::Permutation(perm) => {
+            if perm.len() == size.n() && perm.iter().all(|&d| d < size.n()) {
+                Ok(())
+            } else {
+                Err(format!("permutation invalid for N={}", size.n()))
+            }
+        }
+    }
+}
+
+/// The stable label of a policy (also the spelling `parse_policy` accepts).
+pub fn policy_label(policy: RoutingPolicy) -> &'static str {
+    match policy {
+        RoutingPolicy::FixedC => "fixed",
+        RoutingPolicy::SsdtBalance => "ssdt",
+        RoutingPolicy::RandomSign => "random",
+        RoutingPolicy::TsdtSender => "tsdt",
+    }
+}
+
+/// Parses a policy name (`fixed | ssdt | random | tsdt`).
+pub fn parse_policy(text: &str) -> Result<RoutingPolicy, String> {
+    match text {
+        "fixed" => Ok(RoutingPolicy::FixedC),
+        "ssdt" => Ok(RoutingPolicy::SsdtBalance),
+        "random" => Ok(RoutingPolicy::RandomSign),
+        "tsdt" => Ok(RoutingPolicy::TsdtSender),
+        other => Err(format!("unknown policy {other} (fixed, ssdt, random, tsdt)")),
+    }
+}
+
+/// The stable label of a traffic pattern.
+pub fn pattern_label(pattern: &TrafficPattern) -> String {
+    match pattern {
+        TrafficPattern::Uniform => "uniform".into(),
+        TrafficPattern::BitReversal => "bitrev".into(),
+        TrafficPattern::HotSpot(d) => format!("hotspot:{d}"),
+        TrafficPattern::Permutation(perm) => {
+            let entries: Vec<String> = perm.iter().map(usize::to_string).collect();
+            format!("perm:{}", entries.join("."))
+        }
+    }
+}
+
+/// Parses a pattern label (`uniform | bitrev | hotspot:<d> | perm:<d.d...>`).
+pub fn parse_pattern(text: &str) -> Result<TrafficPattern, String> {
+    if text == "uniform" {
+        return Ok(TrafficPattern::Uniform);
+    }
+    if text == "bitrev" {
+        return Ok(TrafficPattern::BitReversal);
+    }
+    if let Some(d) = text.strip_prefix("hotspot:") {
+        let d = d
+            .parse()
+            .map_err(|_| format!("bad hotspot destination in {text}"))?;
+        return Ok(TrafficPattern::HotSpot(d));
+    }
+    if let Some(list) = text.strip_prefix("perm:") {
+        let perm = list
+            .split('.')
+            .map(|x| x.parse::<usize>().map_err(|_| format!("bad entry in {text}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(TrafficPattern::Permutation(perm));
+    }
+    Err(format!(
+        "unknown pattern {text} (uniform, bitrev, hotspot:<d>, perm:<d.d...>)"
+    ))
+}
+
+/// Parses a comma-separated load list (`0.1,0.5,0.9`).
+pub fn parse_loads(text: &str) -> Result<Vec<f64>, String> {
+    text.split(',')
+        .map(|x| {
+            x.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad load {x}"))
+        })
+        .collect()
+}
+
+/// Parses a fault-scenario label — the same spelling [`ScenarioSpec::label`]
+/// emits, minus the `link:` form (which needs a network size to validate
+/// and is assembled by the CLI from its `--block` syntax):
+/// `none | rand:<count> | bernoulli:<p> | double:S<stage>:<switch> |
+/// stageburst:S<stage> | band:S<stage>:<first>x<count>`.
+pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
+    if text == "none" {
+        return Ok(ScenarioSpec::None);
+    }
+    if let Some(count) = text.strip_prefix("rand:") {
+        let count = count
+            .parse()
+            .map_err(|_| format!("bad fault count in {text}"))?;
+        return Ok(ScenarioSpec::RandomLinks {
+            count,
+            filter: KindFilter::Any,
+        });
+    }
+    if let Some(p) = text.strip_prefix("bernoulli:") {
+        let p = p
+            .parse()
+            .map_err(|_| format!("bad probability in {text}"))?;
+        return Ok(ScenarioSpec::Bernoulli {
+            p,
+            filter: KindFilter::Any,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("double:S") {
+        let (stage, switch) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("{text} must look like double:S<stage>:<switch>"))?;
+        return Ok(ScenarioSpec::DoubleNonstraight {
+            stage: stage.parse().map_err(|_| format!("bad stage in {text}"))?,
+            switch: switch.parse().map_err(|_| format!("bad switch in {text}"))?,
+        });
+    }
+    if let Some(stage) = text.strip_prefix("stageburst:S") {
+        return Ok(ScenarioSpec::StageNonstraightBurst {
+            stage: stage.parse().map_err(|_| format!("bad stage in {text}"))?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("band:S") {
+        let (stage, band) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("{text} must look like band:S<stage>:<first>x<count>"))?;
+        let (first, count) = band
+            .split_once('x')
+            .ok_or_else(|| format!("{text} must look like band:S<stage>:<first>x<count>"))?;
+        return Ok(ScenarioSpec::SwitchBandBurst {
+            stage: stage.parse().map_err(|_| format!("bad stage in {text}"))?,
+            first: first.parse().map_err(|_| format!("bad switch in {text}"))?,
+            count: count.parse().map_err(|_| format!("bad count in {text}"))?,
+        });
+    }
+    Err(format!("unknown fault scenario {text}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_covers_the_grid_in_canonical_order() {
+        let spec = SweepSpec::smoke();
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), spec.grid_len());
+        assert_eq!(runs.len(), 8);
+        // Indexes are dense and ordered.
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.index, i);
+            assert_eq!(run.seed, iadm_rng::mix(spec.campaign_seed, i as u64));
+        }
+        // Innermost axis (scenario) varies fastest.
+        assert_eq!(runs[0].scenario, ScenarioSpec::None);
+        assert_ne!(runs[1].scenario, ScenarioSpec::None);
+        assert_eq!(runs[0].policy, runs[1].policy);
+        // Distinct runs get distinct seeds.
+        let mut seeds: Vec<u64> = runs.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), runs.len());
+    }
+
+    #[test]
+    fn expansion_rejects_bad_axes() {
+        let mut spec = SweepSpec::smoke();
+        spec.loads = vec![1.5];
+        assert!(spec.expand().is_err());
+
+        let mut spec = SweepSpec::smoke();
+        spec.loads.clear();
+        assert!(spec.expand().is_err(), "empty axis");
+
+        let mut spec = SweepSpec::smoke();
+        spec.scenarios = vec![ScenarioSpec::DoubleNonstraight { stage: 99, switch: 0 }];
+        assert!(spec.expand().is_err(), "out-of-range scenario");
+
+        let mut spec = SweepSpec::smoke();
+        spec.warmup = spec.cycles;
+        assert!(spec.expand().is_err(), "warmup >= cycles");
+
+        let mut spec = SweepSpec::smoke();
+        spec.sizes = vec![7];
+        assert!(spec.expand().is_err(), "non-power-of-two size");
+    }
+
+    #[test]
+    fn e13_matches_its_advertised_shape() {
+        let spec = SweepSpec::e13();
+        assert_eq!(spec.grid_len(), 9 * 3 * 2);
+        let runs = spec.expand().unwrap();
+        assert!(runs.iter().all(|r| r.size.n() == 64));
+    }
+
+    #[test]
+    fn policy_and_pattern_labels_round_trip() {
+        for policy in [
+            RoutingPolicy::FixedC,
+            RoutingPolicy::SsdtBalance,
+            RoutingPolicy::RandomSign,
+            RoutingPolicy::TsdtSender,
+        ] {
+            assert_eq!(parse_policy(policy_label(policy)).unwrap(), policy);
+        }
+        for pattern in [
+            TrafficPattern::Uniform,
+            TrafficPattern::BitReversal,
+            TrafficPattern::HotSpot(3),
+            TrafficPattern::Permutation(vec![1, 0, 3, 2]),
+        ] {
+            assert_eq!(parse_pattern(&pattern_label(&pattern)).unwrap(), pattern);
+        }
+        assert!(parse_policy("adaptive").is_err());
+        assert!(parse_pattern("zipf").is_err());
+    }
+
+    #[test]
+    fn scenario_parsing_round_trips_labels() {
+        for text in [
+            "none",
+            "rand:3:any",
+            "double:S1:4",
+            "stageburst:S2",
+            "band:S0:6x3",
+        ] {
+            // parse_scenario accepts the label spelling without the
+            // filter suffix; normalize before comparing.
+            let parsed = parse_scenario(text.trim_end_matches(":any")).unwrap();
+            assert_eq!(
+                parsed.label().trim_end_matches(":any"),
+                text.trim_end_matches(":any")
+            );
+        }
+        assert!(parse_scenario("meteor").is_err());
+        assert!(parse_scenario("double:S1").is_err());
+    }
+
+    #[test]
+    fn loads_parse_or_fail_loudly() {
+        assert_eq!(parse_loads("0.1, 0.5,0.9").unwrap(), vec![0.1, 0.5, 0.9]);
+        assert!(parse_loads("0.1,heavy").is_err());
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Sweep-engine smoke test: run the tiny built-in `smoke` campaign (8 runs
+# at N=8, ≤ 2 s end to end) on two worker threads and validate the JSON
+# artifact. The CLI itself round-trips the document through the bench
+# JSON parser (`iadm_bench::json::assert_round_trip`) before writing, so
+# a successful exit certifies the artifact parses and re-encodes
+# byte-identically; this script additionally checks the file landed and
+# is non-trivial.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="$(mktemp /tmp/iadm_sweep_smoke.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+
+cargo build --release --offline -p iadm-cli
+./target/release/iadm-cli sweep --spec smoke --threads 2 --out "$out"
+
+# The artifact must exist, be non-empty, and name the campaign.
+[ -s "$out" ] || { echo "sweep_smoke: empty artifact $out" >&2; exit 1; }
+grep -q '"campaign":"smoke"' "$out" || {
+    echo "sweep_smoke: artifact missing campaign header" >&2
+    exit 1
+}
+grep -q '"run_count":8' "$out" || {
+    echo "sweep_smoke: expected 8 runs in the smoke campaign" >&2
+    exit 1
+}
+
+echo "sweep_smoke: OK ($(wc -c < "$out") bytes)"
