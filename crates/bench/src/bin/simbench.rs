@@ -1,0 +1,239 @@
+//! Simulator throughput benchmark and perf-trajectory gate.
+//!
+//! Measures the packet-switching engine's hot path — simulated cycles per
+//! second and delivered packets per second — at N ∈ {64, 256, 1024} under
+//! every routing policy, fault-free, fixed seed. Each configuration is
+//! timed three times and the best run is reported (the engine is
+//! deterministic per seed, so `delivered` is identical across repeats and
+//! only wall time varies).
+//!
+//! Usage:
+//!   simbench                      print the report JSON to stdout
+//!   simbench --out PATH           also write it to PATH
+//!   simbench --check BASELINE     compare against a previous report and
+//!                                 fail when any configuration regressed
+//!                                 by more than the tolerance
+//!   simbench --tolerance 0.25     regression tolerance (default 0.20)
+//!
+//! The checked-in `BENCH_sim.json` at the repo root is the recorded perf
+//! trajectory; `scripts/bench_gate.sh` wires the check into the smoke
+//! pipeline.
+
+use iadm_bench::json::{assert_round_trip, parse, Json};
+use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm_topology::Size;
+use std::time::Instant;
+
+/// `(N, simulated cycles)`: cycle counts scaled down with N so every
+/// configuration runs in comparable wall time on a small machine.
+const SIZES: [(usize, usize); 3] = [(64, 3000), (256, 1500), (1024, 400)];
+
+const POLICIES: [(RoutingPolicy, &str); 4] = [
+    (RoutingPolicy::FixedC, "FixedC"),
+    (RoutingPolicy::SsdtBalance, "SsdtBalance"),
+    (RoutingPolicy::RandomSign, "RandomSign"),
+    (RoutingPolicy::TsdtSender, "TsdtSender"),
+];
+
+const OFFERED_LOAD: f64 = 0.3;
+const SEED: u64 = 42;
+const REPS: usize = 3;
+
+struct Case {
+    n: usize,
+    policy: &'static str,
+    cycles: usize,
+    delivered: u64,
+    cycles_per_sec: f64,
+    packets_per_sec: f64,
+}
+
+fn bench_case(n: usize, cycles: usize, policy: RoutingPolicy, name: &'static str) -> Case {
+    let config = SimConfig {
+        size: Size::new(n).expect("benchmark sizes are powers of two"),
+        queue_capacity: 4,
+        cycles,
+        warmup: cycles / 5,
+        offered_load: OFFERED_LOAD,
+        seed: SEED,
+    };
+    let mut delivered = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let sim = Simulator::new(config, policy, TrafficPattern::Uniform);
+        let start = Instant::now();
+        let stats = sim.run();
+        let dt = start.elapsed().as_secs_f64();
+        delivered = stats.delivered;
+        best = best.min(dt);
+    }
+    Case {
+        n,
+        policy: name,
+        cycles,
+        delivered,
+        cycles_per_sec: cycles as f64 / best,
+        packets_per_sec: delivered as f64 / best,
+    }
+}
+
+fn report(cases: &[Case]) -> Json {
+    Json::obj([
+        ("benchmark", Json::from("simbench")),
+        ("offered_load", Json::from(OFFERED_LOAD)),
+        ("seed", Json::from(SEED)),
+        ("reps", Json::from(REPS)),
+        (
+            "cases",
+            Json::arr(cases.iter().map(|c| {
+                Json::obj([
+                    ("n", Json::from(c.n)),
+                    ("policy", Json::from(c.policy)),
+                    ("cycles", Json::from(c.cycles)),
+                    ("delivered", Json::from(c.delivered)),
+                    ("cycles_per_sec", Json::from(c.cycles_per_sec)),
+                    ("packets_per_sec", Json::from(c.packets_per_sec)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Pulls `(n, policy) -> packets_per_sec` pairs out of a report tree.
+fn extract_rates(doc: &Json) -> Vec<(u64, String, f64)> {
+    let Json::Obj(pairs) = doc else {
+        panic!("baseline root must be an object");
+    };
+    let cases = pairs
+        .iter()
+        .find(|(k, _)| k == "cases")
+        .map(|(_, v)| v)
+        .expect("baseline must have a `cases` array");
+    let Json::Arr(items) = cases else {
+        panic!("`cases` must be an array");
+    };
+    items
+        .iter()
+        .map(|case| {
+            let Json::Obj(fields) = case else {
+                panic!("each case must be an object");
+            };
+            let field = |name: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v)
+                    .unwrap_or_else(|| panic!("case is missing `{name}`"))
+            };
+            let n = match field("n") {
+                Json::UInt(v) => *v,
+                other => panic!("`n` must be an unsigned integer, got {other:?}"),
+            };
+            let policy = match field("policy") {
+                Json::Str(s) => s.clone(),
+                other => panic!("`policy` must be a string, got {other:?}"),
+            };
+            let rate = match field("packets_per_sec") {
+                Json::Float(v) => *v,
+                Json::UInt(v) => *v as f64,
+                other => panic!("`packets_per_sec` must be a number, got {other:?}"),
+            };
+            (n, policy, rate)
+        })
+        .collect()
+}
+
+/// Compares current rates against a baseline report; returns the failure
+/// messages (empty = gate passes).
+fn check_against(baseline: &Json, current: &[Case], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (n, policy, base_rate) in extract_rates(baseline) {
+        let Some(case) = current
+            .iter()
+            .find(|c| c.n as u64 == n && c.policy == policy)
+        else {
+            failures.push(format!(
+                "baseline case N={n} {policy} is no longer measured"
+            ));
+            continue;
+        };
+        let floor = base_rate * (1.0 - tolerance);
+        if case.packets_per_sec < floor {
+            failures.push(format!(
+                "N={n} {policy}: {:.0} packets/s < {:.0} (baseline {:.0} - {:.0}%)",
+                case.packets_per_sec,
+                floor,
+                base_rate,
+                tolerance * 100.0
+            ));
+        } else if case.packets_per_sec > base_rate * (1.0 + tolerance) {
+            eprintln!(
+                "note: N={n} {policy} improved to {:.0} packets/s (baseline {:.0}); \
+                 consider refreshing BENCH_sim.json",
+                case.packets_per_sec, base_rate
+            );
+        }
+    }
+    failures
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 0.20f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--check" => baseline_path = Some(args.next().expect("--check needs a path")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("--tolerance must be a number");
+                assert!(
+                    tolerance.is_finite() && (0.0..1.0).contains(&tolerance),
+                    "tolerance must be in [0, 1)"
+                );
+            }
+            other => panic!("unknown argument `{other}` (see simbench --help comments)"),
+        }
+    }
+
+    let mut cases = Vec::new();
+    for (n, cycles) in SIZES {
+        for (policy, name) in POLICIES {
+            let case = bench_case(n, cycles, policy, name);
+            eprintln!(
+                "N={:<5} {:<12} {:>12.1} cycles/s {:>14.1} packets/s (delivered {})",
+                case.n, case.policy, case.cycles_per_sec, case.packets_per_sec, case.delivered
+            );
+            cases.push(case);
+        }
+    }
+
+    let doc = report(&cases);
+    let encoded = doc.encode();
+    assert_round_trip(&encoded).expect("report must round-trip through the JSON writer");
+    println!("{encoded}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{encoded}\n")).expect("writing the report must succeed");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).expect("baseline must be readable");
+        let baseline = parse(text.trim()).expect("baseline must be valid JSON");
+        let failures = check_against(&baseline, &cases, tolerance);
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("FAIL: {failure}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench gate passed: every configuration within {:.0}% of {path}",
+            tolerance * 100.0
+        );
+    }
+}

@@ -39,7 +39,7 @@ const USAGE: &str = "usage:
   iadm reroute  -n <N> -s <src> -d <dst> [--block ...]...
   iadm paths    -n <N> -s <src> -d <dst> [--block ...]...
   iadm render   -n <N> [--net iadm|icube|adm|gamma|gcube]
-  iadm simulate -n <N> [--load <f>] [--cycles <c>] [--policy fixed|ssdt|random|tsdt] [--block ...]...
+  iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>] [--policy fixed|ssdt|random|tsdt] [--block ...]...
   iadm subgraphs -n <N>
   iadm dot      -n <N> [--net ...] [-s <src> -d <dst>] [--block ...]...   (Graphviz output)
   iadm broadcast -n <N> -s <src> [--dests 1,2,5]
@@ -174,7 +174,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let allowed: &[&str] = match command.as_str() {
         "route" | "reroute" | "paths" => &["n", "s", "d", "block"],
         "render" => &["n", "net"],
-        "simulate" => &["n", "load", "cycles", "policy", "queue", "seed", "block"],
+        "simulate" => &["n", "load", "cycles", "warmup", "policy", "queue", "seed", "block"],
         "subgraphs" => &["n"],
         "dot" => &["n", "net", "s", "d", "block"],
         "broadcast" => &["n", "s", "dests"],
@@ -294,11 +294,15 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown policy {other}")),
     };
     let cycles = args.usize_or("cycles", 2000)?;
+    let warmup = args.usize_or("warmup", cycles / 5)?;
+    if warmup > cycles {
+        return Err(format!("warmup {warmup} exceeds cycles {cycles}"));
+    }
     let config = SimConfig {
         size,
         queue_capacity: args.usize_or("queue", 4)?,
         cycles,
-        warmup: cycles / 5,
+        warmup,
         offered_load: args.f64_or("load", 0.5)?,
         seed: args.usize_or("seed", 1)? as u64,
     };
@@ -569,6 +573,9 @@ mod tests {
             vec!["render", "-n", "8", "--net", "gcube"],
             vec!["simulate", "-n", "8", "--cycles", "50", "--load", "0.2"],
             vec!["simulate", "-n", "8", "--cycles", "50", "--policy", "tsdt"],
+            vec![
+                "simulate", "-n", "8", "--cycles", "50", "--warmup", "10",
+            ],
             vec!["subgraphs", "-n", "16"],
             vec!["dot", "-n", "4"],
             vec!["dot", "-n", "8", "-s", "1", "-d", "0", "--block", "S0:1-"],
@@ -601,6 +608,13 @@ mod tests {
         assert!(run(&bad).is_err());
         let bad: Vec<String> = vec!["route".into(), "-n".into(), "8".into()];
         assert!(run(&bad).is_err(), "missing -s/-d must fail");
+        let bad: Vec<String> = [
+            "simulate", "-n", "8", "--cycles", "50", "--warmup", "60",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&bad).is_err(), "warmup beyond cycles must fail");
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!   algorithms' correctness proofs ([`pivot`]);
 //! * classic destination-tag routing on the embedded ICube network
 //!   ([`icube_routing`]), and the state model transferred to the ADM
-//!   network ([`adm_routing`]) per the paper's concluding remark.
+//!   network ([`adm_routing`]) per the paper's concluding remark;
+//! * **precomputed decision tables** ([`lut`]) — the Figure 4 switching
+//!   table as a constant and a per-network routing LUT exploiting the
+//!   state-invariance of destination tags (Theorem 3.1), used by the
+//!   simulator's allocation-free hot path.
 //!
 //! # Quick start
 //!
@@ -56,6 +60,7 @@ pub mod backtrack;
 pub mod broadcast;
 pub mod connect;
 pub mod icube_routing;
+pub mod lut;
 pub mod pivot;
 pub mod reroute;
 pub mod route;
@@ -64,6 +69,7 @@ pub mod state;
 pub mod tsdt;
 
 pub use connect::{c, cbar, delta_c_kind, delta_cbar_kind, is_even, route_kind};
+pub use lut::{LutEntry, RouteLut};
 pub use reroute::{reroute, RerouteError};
 pub use state::{NetworkState, SwitchState};
 pub use tsdt::TsdtTag;

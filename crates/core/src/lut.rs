@@ -1,0 +1,255 @@
+//! Precomputed routing decision tables for simulator hot paths.
+//!
+//! Theorem 3.1 makes the destination tag *state-invariant*: the tag that
+//! routes a message to `d` is the binary representation of `d` no matter
+//! which states the switches are in. Consequently the full switching
+//! decision at a switch factors into a static part and a dynamic part:
+//!
+//! * **static** — given the switch parity (`even_i`/`odd_i`, i.e. bit `i`
+//!   of the switch label) and the tag bit `t_i`, the message is either
+//!   straight-bound (both states use the straight link, Theorem 3.2) or
+//!   nonstraight-bound with the candidate pair `{ΔC_i, ΔC̄_i}` fixed;
+//! * **dynamic** — for nonstraight-bound messages only, the sign choice
+//!   (switch state, queue occupancy, fault evasion).
+//!
+//! The static part never changes during a simulation, and neither does
+//! the blockage map, so both are precomputable. [`kind_for`] is the
+//! paper's Figure 4 switching table as a constant array, and [`RouteLut`]
+//! bakes the per-`(stage, switch, tag bit)` decision *and* the static
+//! link-fault availability into one byte per entry, built once per
+//! simulation instead of re-derived per packet per hop.
+
+use crate::connect::delta_c_kind;
+use crate::state::SwitchState;
+use iadm_fault::BlockageMap;
+use iadm_topology::{Link, LinkKind, Size};
+
+/// The paper's Figure 4 switching table as a constant: the output link of
+/// a switch as a function of its parity bit (`bit(j, i)`), the tag bit
+/// `t_i`, and the state bit (0 = `C`, 1 = `C̄`). Equal to
+/// [`route_kind`]`(j, i, t, state)` for every switch — verified
+/// exhaustively in the tests.
+pub const KIND_BY_PARITY_TAG_STATE: [[[LinkKind; 2]; 2]; 2] = [
+    // even_i switches (parity bit 0)
+    [
+        [LinkKind::Straight, LinkKind::Straight], // t = 0: straight in C and C̄
+        [LinkKind::Plus, LinkKind::Minus],        // t = 1: +2^i in C, -2^i in C̄
+    ],
+    // odd_i switches (parity bit 1)
+    [
+        [LinkKind::Minus, LinkKind::Plus],        // t = 0: -2^i in C, +2^i in C̄
+        [LinkKind::Straight, LinkKind::Straight], // t = 1: straight in C and C̄
+    ],
+];
+
+/// Constant-time [`route_kind`] via [`KIND_BY_PARITY_TAG_STATE`]:
+/// `parity` is bit `stage` of the switch label, `t` the tag bit.
+///
+/// # Panics
+///
+/// Panics if `parity > 1` or `t > 1`.
+#[inline]
+pub fn kind_for(parity: usize, t: usize, state: SwitchState) -> LinkKind {
+    KIND_BY_PARITY_TAG_STATE[parity][t][state.to_bit()]
+}
+
+/// One precomputed switching decision: the `ΔC` candidate kind, whether
+/// the message is straight-bound, and whether the (static) blockage map
+/// leaves each candidate link usable. Packed into one byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutEntry(u8);
+
+impl LutEntry {
+    const STRAIGHT: u8 = 1 << 2;
+    const C_FREE: u8 = 1 << 3;
+    const CBAR_FREE: u8 = 1 << 4;
+
+    /// The state-`C` candidate: `ΔC_i(j, t)`.
+    #[inline]
+    pub fn c_kind(self) -> LinkKind {
+        LinkKind::from_index((self.0 & 0b11) as usize)
+    }
+
+    /// The state-`C̄` candidate: `ΔC̄_i(j, t) = -ΔC_i(j, t)`.
+    #[inline]
+    pub fn cbar_kind(self) -> LinkKind {
+        LinkKind::from_index(2 - (self.0 & 0b11) as usize)
+    }
+
+    /// Straight-bound (no nonstraight alternative exists, Theorem 3.2)?
+    #[inline]
+    pub fn is_straight(self) -> bool {
+        self.0 & Self::STRAIGHT != 0
+    }
+
+    /// Is the `ΔC` candidate link fault-free?
+    #[inline]
+    pub fn c_free(self) -> bool {
+        self.0 & Self::C_FREE != 0
+    }
+
+    /// Is the `ΔC̄` candidate link fault-free? (For straight-bound
+    /// entries both candidates are the same straight link, so this
+    /// equals [`LutEntry::c_free`].)
+    #[inline]
+    pub fn cbar_free(self) -> bool {
+        self.0 & Self::CBAR_FREE != 0
+    }
+}
+
+/// The precomputed routing table of a whole network under a fixed
+/// blockage map: one [`LutEntry`] per `(stage, switch, tag bit)`,
+/// indexed arithmetically. `2 N n` bytes — e.g. 20 KiB at `N = 1024`.
+#[derive(Debug, Clone)]
+pub struct RouteLut {
+    size: Size,
+    entries: Vec<LutEntry>,
+}
+
+impl RouteLut {
+    /// Builds the table for `size` under `blockages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blockages` is for a different size.
+    pub fn new(size: Size, blockages: &BlockageMap) -> Self {
+        assert_eq!(blockages.size(), size, "blockage map size mismatch");
+        let mut entries = Vec::with_capacity(2 * size.n() * size.stages());
+        for stage in size.stage_indices() {
+            for sw in size.switches() {
+                for t in 0..2 {
+                    let c = delta_c_kind(sw, stage, t);
+                    let mut packed = c.index() as u8;
+                    if c == LinkKind::Straight {
+                        packed |= LutEntry::STRAIGHT;
+                    }
+                    if blockages.is_free(Link::new(stage, sw, c)) {
+                        packed |= LutEntry::C_FREE;
+                    }
+                    if blockages.is_free(Link::new(stage, sw, c.opposite())) {
+                        packed |= LutEntry::CBAR_FREE;
+                    }
+                    entries.push(LutEntry(packed));
+                }
+            }
+        }
+        RouteLut { size, entries }
+    }
+
+    /// The network size this table covers.
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// The entry for switch `sw` of `stage` under tag bit `t`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (index out of bounds) if `stage`, `sw` or `t` is out of
+    /// range.
+    #[inline]
+    pub fn entry(&self, stage: usize, sw: usize, t: usize) -> LutEntry {
+        self.entries[(stage * self.size.n() + sw) * 2 + t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connect::{delta_cbar_kind, route_kind};
+    use iadm_fault::scenario::{self, KindFilter};
+    use iadm_rng::StdRng;
+    use iadm_topology::bit;
+
+    #[test]
+    fn figure4_table_matches_route_kind_exhaustively() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let size = Size::new(n).unwrap();
+            for stage in size.stage_indices() {
+                for j in size.switches() {
+                    for t in 0..2 {
+                        for state in [SwitchState::C, SwitchState::Cbar] {
+                            assert_eq!(
+                                kind_for(bit(j, stage), t, state),
+                                route_kind(j, stage, t, state),
+                                "n={n} stage={stage} j={j} t={t} {state:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entries_match_connection_functions() {
+        let size = Size::new(16).unwrap();
+        let lut = RouteLut::new(size, &BlockageMap::new(size));
+        for stage in size.stage_indices() {
+            for sw in size.switches() {
+                for t in 0..2 {
+                    let e = lut.entry(stage, sw, t);
+                    assert_eq!(e.c_kind(), delta_c_kind(sw, stage, t));
+                    assert_eq!(e.cbar_kind(), delta_cbar_kind(sw, stage, t));
+                    assert_eq!(e.is_straight(), e.c_kind() == LinkKind::Straight);
+                    assert!(e.c_free() && e.cbar_free(), "fault-free map");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blockage_flags_mirror_the_map() {
+        let size = Size::new(32).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let blockages = scenario::random_faults(&mut rng, size, 40, KindFilter::Any);
+        let lut = RouteLut::new(size, &blockages);
+        for stage in size.stage_indices() {
+            for sw in size.switches() {
+                for t in 0..2 {
+                    let e = lut.entry(stage, sw, t);
+                    assert_eq!(
+                        e.c_free(),
+                        blockages.is_free(Link::new(stage, sw, e.c_kind()))
+                    );
+                    assert_eq!(
+                        e.cbar_free(),
+                        blockages.is_free(Link::new(stage, sw, e.cbar_kind()))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straight_entries_tie_both_freedom_flags_together() {
+        // A straight-bound entry's two "candidates" are the same physical
+        // straight link, so the flags must always agree.
+        let size = Size::new(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for faults in [0usize, 5, 20, 72] {
+            let blockages = scenario::random_faults(&mut rng, size, faults, KindFilter::Any);
+            let lut = RouteLut::new(size, &blockages);
+            for stage in size.stage_indices() {
+                for sw in size.switches() {
+                    for t in 0..2 {
+                        let e = lut.entry(stage, sw, t);
+                        if e.is_straight() {
+                            assert_eq!(e.c_free(), e.cbar_free());
+                            assert_eq!(e.cbar_kind(), LinkKind::Straight);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_is_rejected() {
+        let _ = RouteLut::new(
+            Size::new(8).unwrap(),
+            &BlockageMap::new(Size::new(16).unwrap()),
+        );
+    }
+}

@@ -1,14 +1,28 @@
 //! The synchronous simulation engine.
+//!
+//! The per-cycle hot path is allocation-free in steady state: switching
+//! decisions come from a precomputed [`RouteLut`] (one byte per
+//! `(stage, switch, tag bit)`, blockage flags baked in), link buffers
+//! live in a flat [`QueueArena`] of fixed-capacity ring buffers indexed
+//! arithmetically by `(stage, switch, kind)` — the same layout as
+//! [`Link::flat_index`] — and candidate links are fixed-size inline
+//! arrays instead of heap-allocated lists. Per-switch occupancy counters
+//! let the advance loop skip empty switches (and whole empty stages)
+//! without changing the sequence of routing decisions or RNG draws, so
+//! statistics are bit-identical to the original nested-`Vec` engine
+//! (enforced by `tests/parity.rs`).
 
 use crate::packet::Packet;
-use crate::queue::LinkQueue;
+use crate::queue::QueueArena;
 use crate::stats::SimStats;
 use crate::traffic::TrafficPattern;
-use iadm_core::{delta_c_kind, route_kind, NetworkState, SwitchState};
+use iadm_core::lut::{kind_for, RouteLut};
+use iadm_core::{NetworkState, SwitchState, TsdtTag};
 use iadm_fault::BlockageMap;
-use iadm_topology::{bit, Link, LinkKind, Size};
 use iadm_rng::{Rng, StdRng};
+use iadm_topology::{bit, Link, LinkKind, Size};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Static configuration of a simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +73,60 @@ enum Decision {
     Drop,
 }
 
+/// A direct-mapped cache of sender-computed TSDT tags, one way per
+/// `(source, dest mod SLOTS)` line. REROUTE is a pure function of the
+/// (static) blockage map and the `(source, dest)` pair, so a hit replays
+/// the stored outcome — including the "provably disconnected, refuse at
+/// the source" case — without rerunning the algorithm.
+#[derive(Debug)]
+struct TagCache {
+    /// Cache lines per source (a power of two; 0 when the cache is off).
+    slots: usize,
+    /// `sources * slots` lines of `(dest, outcome)`; `None` = cold line.
+    lines: Vec<Option<(u32, Option<TsdtTag>)>>,
+}
+
+impl TagCache {
+    /// Lines per source: the whole destination space for small networks,
+    /// capped so large networks stay at a few MiB.
+    const MAX_SLOTS: usize = 256;
+
+    fn new(size: Size) -> Self {
+        let slots = size.n().min(Self::MAX_SLOTS);
+        TagCache {
+            slots,
+            lines: vec![None; size.n() * slots],
+        }
+    }
+
+    /// The empty cache for policies that never consult it.
+    fn off() -> Self {
+        TagCache {
+            slots: 0,
+            lines: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn line(&self, source: usize, dest: usize) -> usize {
+        source * self.slots + (dest & (self.slots - 1))
+    }
+
+    #[inline]
+    fn get(&self, source: usize, dest: usize) -> Option<Option<TsdtTag>> {
+        match self.lines[self.line(source, dest)] {
+            Some((d, outcome)) if d as usize == dest => Some(outcome),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, source: usize, dest: usize, outcome: Option<TsdtTag>) {
+        let line = self.line(source, dest);
+        self.lines[line] = Some((dest as u32, outcome));
+    }
+}
+
 /// The simulator: a store-and-forward IADM network with one bounded FIFO
 /// per output link and one packet transfer per link per cycle. Each switch
 /// honors the IADM's `SingleInput` capability: it accepts at most one
@@ -68,31 +136,44 @@ pub struct Simulator {
     config: SimConfig,
     policy: RoutingPolicy,
     pattern: TrafficPattern,
-    blockages: BlockageMap,
-    /// queues[stage][switch][kind-index]
-    queues: Vec<Vec<[LinkQueue; 3]>>,
+    blockages: Arc<BlockageMap>,
+    /// Precomputed `(stage, switch, tag bit)` decision table with the
+    /// blockage map baked in.
+    lut: RouteLut,
+    /// All link buffers; queue index = `Link::flat_index`.
+    queues: QueueArena,
+    /// Queued packets per `(stage, switch)` (all three kinds), letting the
+    /// advance loop skip empty switches.
+    switch_load: Vec<u32>,
+    /// One bit per `(stage, switch)`: set iff `switch_load > 0`. The
+    /// advance loop walks set bits with `trailing_zeros` instead of
+    /// testing all `N` switches per stage — the per-switch branch on a
+    /// ~70%-idle load pattern mispredicts constantly and dominated the
+    /// cycle cost at N = 1024.
+    switch_bits: Vec<u64>,
+    /// Reused scratch for the rotated live-switch order (no per-cycle
+    /// allocation).
+    live_scratch: Vec<u32>,
+    /// Queued packets per stage, letting the advance loop skip stages.
+    stage_load: Vec<u64>,
+    /// Per-cycle accept counters, reused across cycles (no allocation).
+    accepted: Vec<u8>,
     source_queues: Vec<VecDeque<Packet>>,
+    /// One bit per source: set iff its source queue is non-empty, so the
+    /// admission loop only visits waiting sources.
+    source_bits: Vec<u64>,
+    /// Sender-side TSDT tag cache (populated only under `TsdtSender`).
+    tag_cache: TagCache,
     rng: StdRng,
     stats: SimStats,
-    next_id: u64,
     cycle: u64,
     /// Packets a switch may accept per cycle: 1 for IADM-style
     /// single-input switches, 3 for Gamma-style crossbars.
     accept_limit: u8,
-    /// Packets carried per link (indexed by `Link::flat_index`).
-    link_use: Vec<u64>,
     /// Per-switch SSDT states used by the balancing policy to alternate
     /// the nonstraight sign on queue-length ties — the paper's state
     /// concept applied to load balancing.
     states: NetworkState,
-}
-
-fn kind_index(kind: LinkKind) -> usize {
-    match kind {
-        LinkKind::Minus => 0,
-        LinkKind::Straight => 1,
-        LinkKind::Plus => 2,
-    }
 }
 
 impl Simulator {
@@ -104,52 +185,66 @@ impl Simulator {
     /// Creates a simulator whose links in `blockages` are permanently
     /// faulty (packets never enter them).
     ///
+    /// Accepts either an owned [`BlockageMap`] or an
+    /// `Arc<BlockageMap>`, so campaigns running many simulations over the
+    /// same fault scenario can share one map instead of cloning it per
+    /// run.
+    ///
     /// # Panics
     ///
-    /// Panics if `offered_load` is outside `[0, 1]` or the blockage map is
-    /// for a different size.
+    /// Panics if `offered_load` is non-finite or outside `[0, 1]`, if
+    /// `warmup > cycles`, or if the blockage map is for a different size.
     pub fn with_blockages(
         config: SimConfig,
         policy: RoutingPolicy,
         pattern: TrafficPattern,
-        blockages: BlockageMap,
+        blockages: impl Into<Arc<BlockageMap>>,
     ) -> Self {
+        assert!(
+            config.offered_load.is_finite(),
+            "offered load must be finite, got {}",
+            config.offered_load
+        );
         assert!(
             (0.0..=1.0).contains(&config.offered_load),
             "offered load {} out of range",
             config.offered_load
         );
+        assert!(
+            config.warmup <= config.cycles,
+            "warmup ({}) exceeds the simulated cycles ({})",
+            config.warmup,
+            config.cycles
+        );
+        let blockages: Arc<BlockageMap> = blockages.into();
         assert_eq!(blockages.size(), config.size, "blockage map size mismatch");
         let size = config.size;
-        let queues = (0..size.stages())
-            .map(|_| {
-                (0..size.n())
-                    .map(|_| {
-                        [
-                            LinkQueue::new(config.queue_capacity),
-                            LinkQueue::new(config.queue_capacity),
-                            LinkQueue::new(config.queue_capacity),
-                        ]
-                    })
-                    .collect()
-            })
-            .collect();
         Simulator {
             rng: StdRng::seed_from_u64(config.seed),
             stats: SimStats {
                 ports: size.n(),
                 ..SimStats::default()
             },
-            queues,
+            lut: RouteLut::new(size, &blockages),
+            queues: QueueArena::new(Link::slot_count(size), config.queue_capacity),
+            switch_load: vec![0; size.stages() * size.n()],
+            switch_bits: vec![0; size.stages() * size.n().div_ceil(64)],
+            live_scratch: Vec::with_capacity(size.n()),
+            stage_load: vec![0; size.stages()],
+            accepted: vec![0; size.n()],
             source_queues: vec![VecDeque::new(); size.n()],
+            source_bits: vec![0; size.n().div_ceil(64)],
+            tag_cache: if policy == RoutingPolicy::TsdtSender {
+                TagCache::new(size)
+            } else {
+                TagCache::off()
+            },
             config,
             policy,
             pattern,
             blockages,
-            next_id: 0,
             cycle: 0,
             accept_limit: 1,
-            link_use: vec![0; Link::slot_count(size)],
             states: NetworkState::all_c(size),
         }
     }
@@ -164,61 +259,73 @@ impl Simulator {
         self
     }
 
-    /// Decides which output buffer of switch `sw` at `stage` the packet
-    /// enters.
-    fn decide(&mut self, stage: usize, sw: usize, packet: &Packet) -> Decision {
-        let size = self.config.size;
-        let dest = packet.dest;
-        if let Some(tag) = &packet.tag {
-            // TSDT: the tag dictates the link; the sender already avoided
-            // every fault, so only queue pressure can delay the packet.
-            let kind = route_kind(sw, stage, tag.dest_bit(stage), tag.switch_state(stage));
+    /// Queue-arena index of the `kind` output link of switch `sw` at
+    /// `stage` (= `Link::flat_index`, computed without building a `Link`).
+    #[inline]
+    fn queue_index(&self, stage: usize, sw: usize, kind: LinkKind) -> usize {
+        (stage * self.config.size.n() + sw) * 3 + kind.index()
+    }
+
+    /// Decides which output buffer of switch `sw` at `stage` a packet
+    /// bound for `dest` (carrying TSDT state word `tag_state`, if any)
+    /// enters. Takes the two routing-relevant fields instead of the whole
+    /// packet so callers can peek them through a borrow without copying
+    /// the queued packet.
+    fn decide(&mut self, stage: usize, sw: usize, dest: u32, tag_state: Option<u32>) -> Decision {
+        let qbase = (stage * self.config.size.n() + sw) * 3;
+        if let Some(tag_state) = tag_state {
+            // TSDT: the tag dictates the link (destination bit from the
+            // address, state bit from the sender-computed state word); the
+            // sender already avoided every fault, so only queue pressure
+            // can delay the packet.
+            let state = SwitchState::from_bit(bit(tag_state as usize, stage));
+            let kind = kind_for(bit(sw, stage), bit(dest as usize, stage), state);
             debug_assert!(
                 self.blockages.is_free(Link::new(stage, sw, kind)),
                 "sender-computed tag steered into a blocked link"
             );
-            return if self.queues[stage][sw][kind_index(kind)].is_full() {
+            return if self.queues.is_full(qbase + kind.index()) {
                 Decision::Stall
             } else {
                 Decision::Enqueue(kind)
             };
         }
-        let t = bit(dest, stage);
-        let c_kind = delta_c_kind(sw, stage, t);
-        if c_kind == LinkKind::Straight {
+        let t = bit(dest as usize, stage);
+        let entry = self.lut.entry(stage, sw, t);
+        if entry.is_straight() {
             // Straight-bound: no alternative exists (Theorem 3.2).
-            if self.blockages.is_blocked(Link::straight(stage, sw)) {
+            if !entry.c_free() {
                 return Decision::Drop;
             }
-            return if self.queues[stage][sw][kind_index(LinkKind::Straight)].is_full() {
+            return if self.queues.is_full(qbase + LinkKind::Straight.index()) {
                 Decision::Stall
             } else {
                 Decision::Enqueue(LinkKind::Straight)
             };
         }
         // Nonstraight-bound: the two signed links both reach the
-        // destination (Theorem 3.2); the policy picks.
-        let cbar_kind = c_kind.opposite();
-        let usable =
-            |kind: LinkKind, this: &Self| this.blockages.is_free(Link::new(stage, sw, kind));
-        let candidates: Vec<LinkKind> = match self.policy {
+        // destination (Theorem 3.2); the policy picks. Candidates are a
+        // fixed-size inline array in preference order.
+        let c_kind = entry.c_kind();
+        let cbar_kind = entry.cbar_kind();
+        let mut candidates = [c_kind, cbar_kind];
+        let count = match self.policy {
             RoutingPolicy::FixedC => {
-                if !usable(c_kind, self) {
+                if !entry.c_free() {
                     return Decision::Drop;
                 }
-                vec![c_kind]
+                1
             }
-            RoutingPolicy::SsdtBalance => {
-                let mut cands: Vec<LinkKind> = [c_kind, cbar_kind]
-                    .into_iter()
-                    .filter(|&k| usable(k, self))
-                    .collect();
-                if cands.is_empty() {
-                    return Decision::Drop;
+            RoutingPolicy::SsdtBalance => match (entry.c_free(), entry.cbar_free()) {
+                (false, false) => return Decision::Drop,
+                (true, false) => 1,
+                (false, true) => {
+                    candidates[0] = cbar_kind;
+                    1
                 }
-                if cands.len() == 2 {
-                    let len0 = self.queues[stage][sw][kind_index(cands[0])].len();
-                    let len1 = self.queues[stage][sw][kind_index(cands[1])].len();
+                (true, true) => {
+                    let len0 = self.queues.len(qbase + c_kind.index());
+                    let len1 = self.queues.len(qbase + cbar_kind.index());
                     // Shorter buffer wins; on ties the switch state decides
                     // and then flips, alternating the sign (the SSDT state
                     // flip reused as a balancing device).
@@ -233,24 +340,25 @@ impl Simulator {
                         }
                     };
                     if prefer_second {
-                        cands.swap(0, 1);
+                        candidates.swap(0, 1);
                     }
+                    2
                 }
-                cands
-            }
-            RoutingPolicy::RandomSign => {
-                let mut cands: Vec<LinkKind> = [c_kind, cbar_kind]
-                    .into_iter()
-                    .filter(|&k| usable(k, self))
-                    .collect();
-                if cands.is_empty() {
-                    return Decision::Drop;
+            },
+            RoutingPolicy::RandomSign => match (entry.c_free(), entry.cbar_free()) {
+                (false, false) => return Decision::Drop,
+                (true, false) => 1,
+                (false, true) => {
+                    candidates[0] = cbar_kind;
+                    1
                 }
-                if cands.len() == 2 && self.rng.gen_bool(0.5) {
-                    cands.swap(0, 1);
+                (true, true) => {
+                    if self.rng.gen_bool(0.5) {
+                        candidates.swap(0, 1);
+                    }
+                    2
                 }
-                cands
-            }
+            },
             RoutingPolicy::TsdtSender => {
                 // Unreachable: TsdtSender packets always carry a tag and
                 // are handled above; a tagless packet under this policy is
@@ -258,49 +366,151 @@ impl Simulator {
                 unreachable!("TsdtSender packets must carry a tag")
             }
         };
-        let _ = size;
-        for kind in candidates {
-            if !self.queues[stage][sw][kind_index(kind)].is_full() {
+        for &kind in &candidates[..count] {
+            if !self.queues.is_full(qbase + kind.index()) {
                 return Decision::Enqueue(kind);
             }
         }
         Decision::Stall
     }
 
+    /// The sender-side TSDT tag for `(source, dest)`: the cached REROUTE
+    /// outcome when the direct-mapped line holds it, otherwise a fresh
+    /// REROUTE whose outcome (tag, or "provably disconnected") fills the
+    /// line.
+    fn sender_tag(&mut self, source: usize, dest: usize) -> Option<TsdtTag> {
+        if let Some(outcome) = self.tag_cache.get(source, dest) {
+            return outcome;
+        }
+        let outcome =
+            iadm_core::reroute::reroute(self.config.size, &self.blockages, source, dest).ok();
+        self.tag_cache.put(source, dest, outcome);
+        outcome
+    }
+
+    /// Notes one more queued packet at `(stage, sw)` (both the counter
+    /// and the occupancy bit).
+    #[inline]
+    fn load_inc(&mut self, stage: usize, sw: usize) {
+        let n = self.config.size.n();
+        let slot = &mut self.switch_load[stage * n + sw];
+        if *slot == 0 {
+            self.switch_bits[stage * n.div_ceil(64) + (sw >> 6)] |= 1u64 << (sw & 63);
+        }
+        *slot += 1;
+    }
+
+    /// Notes one less queued packet at `(stage, sw)`, clearing the
+    /// occupancy bit when the switch drains.
+    #[inline]
+    fn load_dec(&mut self, stage: usize, sw: usize) {
+        let n = self.config.size.n();
+        let slot = &mut self.switch_load[stage * n + sw];
+        *slot -= 1;
+        if *slot == 0 {
+            self.switch_bits[stage * n.div_ceil(64) + (sw >> 6)] &= !(1u64 << (sw & 63));
+        }
+    }
+
     /// Runs one cycle: deliver/advance from the last stage backward, then
     /// inject, then sample occupancies.
     pub fn step(&mut self) {
         let size = self.config.size;
+        let n = size.n();
         let stages = size.stages();
+        // N is a power of two, so the rotating switch scan wraps with a
+        // mask instead of a hardware divide (this runs N * n times per
+        // cycle whether or not any packet moves). The kind rotation is
+        // likewise hoisted out of the scan.
+        let mask = n - 1;
+        let sw_offset = self.cycle as usize & mask;
+        let order_offset = (self.cycle % 3) as usize;
+        let kind_order = [
+            LinkKind::ALL[order_offset],
+            LinkKind::ALL[(order_offset + 1) % 3],
+            LinkKind::ALL[(order_offset + 2) % 3],
+        ];
         // Advance queue heads, last stage first so a packet moves at most
         // one hop per cycle.
         for stage in (0..stages).rev() {
+            if self.stage_load[stage] == 0 {
+                // Nothing queued anywhere in this stage: no head could
+                // exist, so the original scan would have decided nothing.
+                continue;
+            }
             // Rotating input priority per receiving switch.
-            let mut accepted = vec![0u8; size.n()];
-            let order_offset = (self.cycle % 3) as usize;
-            for sw_raw in 0..size.n() {
-                let sw = (sw_raw + self.cycle as usize) % size.n();
-                for k_raw in 0..3 {
-                    let kind = LinkKind::ALL[(k_raw + order_offset) % 3];
-                    let Some(&head) = self.queues[stage][sw][kind_index(kind)].head() else {
-                        continue;
-                    };
+            self.accepted[..n].fill(0);
+            let row = stage * n;
+            let exit = stage + 1 == stages;
+            // Gather the busy switches in the same rotated order the
+            // all-switch scan visited them: `sw_offset, .., n-1, 0, ..,
+            // sw_offset-1`, skipping idle ones. Walking set bits with
+            // `trailing_zeros` replaces `N` badly-predicted per-switch
+            // branches with one iteration per busy switch. The set is
+            // fixed for the whole stage scan — only the *current*
+            // switch's load changes while it is being processed.
+            let words = n.div_ceil(64);
+            let wrow = stage * words;
+            let mut live = std::mem::take(&mut self.live_scratch);
+            live.clear();
+            let start_word = sw_offset >> 6;
+            let start_bit = sw_offset & 63;
+            let mut wi = start_word;
+            let mut w = self.switch_bits[wrow + wi] & (!0u64 << start_bit);
+            loop {
+                while w != 0 {
+                    live.push(((wi << 6) + w.trailing_zeros() as usize) as u32);
+                    w &= w - 1;
+                }
+                wi += 1;
+                if wi == words {
+                    break;
+                }
+                w = self.switch_bits[wrow + wi];
+            }
+            for wi in 0..=start_word {
+                let mut w = self.switch_bits[wrow + wi];
+                if wi == start_word {
+                    w &= !(!0u64 << start_bit);
+                }
+                while w != 0 {
+                    live.push(((wi << 6) + w.trailing_zeros() as usize) as u32);
+                    w &= w - 1;
+                }
+            }
+            for &sw_live in &live {
+                let sw = sw_live as usize;
+                let qbase = (row + sw) * 3;
+                // Occupied-kind mask in this cycle's rotated kind order;
+                // iterating its set bits visits exactly the queues the
+                // rotated kind loop would have, without three
+                // data-dependent empty-check branches per switch.
+                let mut kmask = 0u32;
+                for (i, kind) in kind_order.iter().enumerate() {
+                    kmask |= u32::from(!self.queues.is_empty(qbase + kind.index())) << i;
+                }
+                while kmask != 0 {
+                    let kind = kind_order[kmask.trailing_zeros() as usize];
+                    kmask &= kmask - 1;
+                    let q = qbase + kind.index();
                     let to = kind.target(size, stage, sw);
-                    if stage + 1 == stages {
-                        // Exit at the output column. Output switches are
-                        // switches too (the paper's "extra column appended
-                        // at the end"): they accept `accept_limit` packets
-                        // per cycle.
-                        if accepted[to] >= self.accept_limit {
-                            continue;
-                        }
-                        accepted[to] += 1;
-                        let packet = self.queues[stage][sw][kind_index(kind)].pop().unwrap();
-                        self.link_use[Link::new(stage, sw, kind).flat_index(size)] += 1;
-                        if to == packet.dest {
+                    // Switches accept `accept_limit` packets per cycle
+                    // (1 = IADM single-input, 3 = Gamma crossbar); output
+                    // switches are switches too (the paper's "extra column
+                    // appended at the end").
+                    if self.accepted[to] >= self.accept_limit {
+                        continue;
+                    }
+                    if exit {
+                        // Exit at the output column.
+                        self.accepted[to] += 1;
+                        let packet = self.queues.pop_carried(q);
+                        self.load_dec(stage, sw);
+                        self.stage_load[stage] -= 1;
+                        if to == packet.dest as usize {
                             self.stats.delivered += 1;
-                            if packet.injected_at >= self.config.warmup as u64 {
-                                let lat = self.cycle + 1 - packet.injected_at;
+                            if packet.injected_at as u64 >= self.config.warmup as u64 {
+                                let lat = self.cycle + 1 - packet.injected_at as u64;
                                 self.stats.latency_sum += lat;
                                 self.stats.latency_count += 1;
                                 self.stats.latency_max = self.stats.latency_max.max(lat);
@@ -311,78 +521,98 @@ impl Simulator {
                         }
                         continue;
                     }
-                    // Switches accept `accept_limit` packets per cycle
-                    // (1 = IADM single-input, 3 = Gamma crossbar).
-                    if accepted[to] >= self.accept_limit {
-                        continue;
-                    }
-                    match self.decide(stage + 1, to, &head) {
+                    // Peek only the routing fields through the borrow; the
+                    // 32-byte packet is copied once, inside pop -> push.
+                    let head = self.queues.head(q).expect("non-empty queue has a head");
+                    let (dest, tag_state) = (head.dest, head.tag_state);
+                    match self.decide(stage + 1, to, dest, tag_state) {
                         Decision::Enqueue(next_kind) => {
-                            let packet = self.queues[stage][sw][kind_index(kind)].pop().unwrap();
-                            self.link_use[Link::new(stage, sw, kind).flat_index(size)] += 1;
-                            let ok = self.queues[stage + 1][to][kind_index(next_kind)].push(packet);
+                            let packet = self.queues.pop_carried(q);
+                            self.load_dec(stage, sw);
+                            self.stage_load[stage] -= 1;
+                            let next_q = (row + n + to) * 3 + next_kind.index();
+                            let ok = self.queues.push(next_q, packet);
                             debug_assert!(ok, "decide() guaranteed space");
-                            accepted[to] += 1;
+                            self.load_inc(stage + 1, to);
+                            self.stage_load[stage + 1] += 1;
+                            self.accepted[to] += 1;
                         }
                         Decision::Stall => {}
                         Decision::Drop => {
-                            let _ = self.queues[stage][sw][kind_index(kind)].pop();
+                            let _ = self.queues.pop(q);
+                            self.load_dec(stage, sw);
+                            self.stage_load[stage] -= 1;
                             self.stats.dropped += 1;
                         }
                     }
                 }
             }
+            self.live_scratch = live;
         }
         // Source admission: each stage-0 switch takes at most the head of
-        // its source queue.
-        for s in 0..size.n() {
-            let Some(&head) = self.source_queues[s].front() else {
-                continue;
-            };
-            match self.decide(0, s, &head) {
-                Decision::Enqueue(kind) => {
-                    let packet = self.source_queues[s].pop_front().unwrap();
-                    let ok = self.queues[0][s][kind_index(kind)].push(packet);
-                    debug_assert!(ok, "decide() guaranteed space");
-                }
-                Decision::Stall => {}
-                Decision::Drop => {
-                    self.source_queues[s].pop_front();
-                    self.stats.dropped += 1;
+        // its source queue. Waiting sources are walked via the occupancy
+        // bitset (ascending order, same as the old 0..n scan).
+        for wi in 0..n.div_ceil(64) {
+            let mut w = self.source_bits[wi];
+            while w != 0 {
+                let s = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let head = self.source_queues[s]
+                    .front()
+                    .expect("source bit set for an empty queue");
+                let (dest, tag_state) = (head.dest, head.tag_state);
+                match self.decide(0, s, dest, tag_state) {
+                    Decision::Enqueue(kind) => {
+                        let packet = self.source_queues[s].pop_front().unwrap();
+                        if self.source_queues[s].is_empty() {
+                            self.source_bits[wi] &= !(1u64 << (s & 63));
+                        }
+                        let q = self.queue_index(0, s, kind);
+                        let ok = self.queues.push(q, packet);
+                        debug_assert!(ok, "decide() guaranteed space");
+                        self.load_inc(0, s);
+                        self.stage_load[0] += 1;
+                    }
+                    Decision::Stall => {}
+                    Decision::Drop => {
+                        self.source_queues[s].pop_front();
+                        if self.source_queues[s].is_empty() {
+                            self.source_bits[wi] &= !(1u64 << (s & 63));
+                        }
+                        self.stats.dropped += 1;
+                    }
                 }
             }
         }
         // New arrivals.
-        for s in 0..size.n() {
+        for s in 0..n {
             if self.rng.gen_bool(self.config.offered_load) {
                 let dest = self.pattern.destination(size, s, &mut self.rng);
-                let id = self.next_id;
-                self.next_id += 1;
                 self.stats.injected += 1;
                 if self.policy == RoutingPolicy::TsdtSender {
-                    // The sender consults the controller's blockage map.
-                    match iadm_core::reroute::reroute(size, &self.blockages, s, dest) {
-                        Ok(tag) => self.source_queues[s]
-                            .push_back(Packet::with_tag(id, s, dest, self.cycle, tag)),
-                        Err(_) => {
+                    // The sender consults the controller's blockage map
+                    // (through the per-source tag cache).
+                    match self.sender_tag(s, dest) {
+                        Some(tag) => {
+                            self.source_queues[s]
+                                .push_back(Packet::with_tag(dest, self.cycle, tag));
+                            self.source_bits[s >> 6] |= 1u64 << (s & 63);
+                        }
+                        None => {
                             // No blockage-free path exists: refused at the
                             // source.
                             self.stats.refused += 1;
                         }
                     }
                 } else {
-                    self.source_queues[s].push_back(Packet::new(id, s, dest, self.cycle));
+                    self.source_queues[s].push_back(Packet::new(dest, self.cycle));
+                    self.source_bits[s >> 6] |= 1u64 << (s & 63);
                 }
             }
         }
-        // Occupancy sampling.
-        for stage_queues in &mut self.queues {
-            for sw_queues in stage_queues {
-                for q in sw_queues.iter_mut() {
-                    q.sample();
-                }
-            }
-        }
+        // Occupancy sampling: one shared tick; per-queue sums catch up
+        // lazily inside the arena.
+        self.queues.tick();
         self.cycle += 1;
     }
 
@@ -399,16 +629,13 @@ impl Simulator {
         let mut in_flight: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
         let mut high_water = 0usize;
         let mut occupancy_sum = 0.0f64;
-        let mut queue_count = 0usize;
-        for stage_queues in &self.queues {
-            for sw_queues in stage_queues {
-                for q in sw_queues.iter() {
-                    in_flight += q.len() as u64;
-                    high_water = high_water.max(q.high_water());
-                    occupancy_sum += q.mean_occupancy();
-                    queue_count += 1;
-                }
-            }
+        let queue_count = self.queues.queue_count();
+        // Queue order = flat link order = the old (stage, switch, kind)
+        // nesting, so the floating-point fold below matches it exactly.
+        for q in 0..queue_count {
+            in_flight += self.queues.len(q) as u64;
+            high_water = high_water.max(self.queues.high_water(q));
+            occupancy_sum += self.queues.mean_occupancy(q);
         }
         // Nonstraight balance per the paper's load-balancing argument.
         let size = self.config.size;
@@ -418,9 +645,11 @@ impl Simulator {
         let mut stage_link_use = vec![0u64; size.stages()];
         for stage in size.stage_indices() {
             for sw in size.switches() {
-                let plus = self.link_use[Link::plus(stage, sw).flat_index(size)];
-                let minus = self.link_use[Link::minus(stage, sw).flat_index(size)];
-                let straight = self.link_use[Link::straight(stage, sw).flat_index(size)];
+                let plus = self.queues.carried(Link::plus(stage, sw).flat_index(size));
+                let minus = self.queues.carried(Link::minus(stage, sw).flat_index(size));
+                let straight = self
+                    .queues
+                    .carried(Link::straight(stage, sw).flat_index(size));
                 max_link_load = max_link_load.max(plus).max(minus).max(straight);
                 stage_link_use[stage] += plus + minus + straight;
                 if plus + minus > 0 {
@@ -546,6 +775,48 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_beyond_cycles_is_rejected() {
+        let mut cfg = config(8, 0.4, 100);
+        cfg.warmup = 101;
+        let _ = Simulator::new(cfg, RoutingPolicy::FixedC, TrafficPattern::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_offered_load_is_rejected() {
+        let mut cfg = config(8, 0.4, 100);
+        cfg.offered_load = f64::NAN;
+        let _ = Simulator::new(cfg, RoutingPolicy::FixedC, TrafficPattern::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_offered_load_is_rejected() {
+        let mut cfg = config(8, 0.4, 100);
+        cfg.offered_load = f64::INFINITY;
+        let _ = Simulator::new(cfg, RoutingPolicy::FixedC, TrafficPattern::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_offered_load_is_rejected() {
+        let mut cfg = config(8, 0.4, 100);
+        cfg.offered_load = 1.5;
+        let _ = Simulator::new(cfg, RoutingPolicy::FixedC, TrafficPattern::Uniform);
+    }
+
+    #[test]
+    fn warmup_equal_to_cycles_is_allowed() {
+        let mut cfg = config(8, 0.3, 100);
+        cfg.warmup = 100;
+        let stats = run_once(cfg, RoutingPolicy::FixedC, TrafficPattern::Uniform);
+        // Everything delivered was injected pre-warm-up: no latency samples.
+        assert_eq!(stats.latency_count, 0);
+        assert!(stats.is_conserved());
+    }
+
+    #[test]
     fn permutation_traffic_delivers_everything_eventually() {
         let perm: Vec<usize> = (0..8).rev().collect();
         let mut config = config(8, 0.2, 2000);
@@ -587,16 +858,19 @@ mod tests {
     #[test]
     fn ssdt_balance_survives_nonstraight_faults_fixedc_drops() {
         // Fault one nonstraight ICube link: FixedC drops packets that need
-        // it; SsdtBalance uses the spare and drops nothing.
+        // it; SsdtBalance uses the spare and drops nothing. One shared map
+        // serves both runs (no per-run clone).
         let size = Size::new(8).unwrap();
-        let blockages =
-            iadm_fault::BlockageMap::from_links(size, [iadm_topology::Link::plus(1, 1)]);
+        let blockages = Arc::new(iadm_fault::BlockageMap::from_links(
+            size,
+            [iadm_topology::Link::plus(1, 1)],
+        ));
         let mk = |policy| {
             Simulator::with_blockages(
                 config(8, 0.3, 600),
                 policy,
                 TrafficPattern::Uniform,
-                blockages.clone(),
+                Arc::clone(&blockages),
             )
             .run()
         };
@@ -656,22 +930,23 @@ mod tsdt_sender_tests {
     fn tsdt_sender_survives_mixed_faults() {
         // Faults of every kind, placed so that the network stays fully
         // connected; SSDT drops (straight faults defeat it) while the
-        // TSDT sender policy delivers everything.
+        // TSDT sender policy delivers everything. One shared map serves
+        // both runs.
         let size = Size::new(8).unwrap();
-        let blockages = iadm_fault::BlockageMap::from_links(
+        let blockages = Arc::new(iadm_fault::BlockageMap::from_links(
             size,
             [
                 iadm_topology::Link::straight(1, 1),
                 iadm_topology::Link::plus(0, 2),
                 iadm_topology::Link::minus(2, 6),
             ],
-        );
+        ));
         let mk = |policy| {
             Simulator::with_blockages(
                 config(8, 0.3, 1200),
                 policy,
                 TrafficPattern::Uniform,
-                blockages.clone(),
+                Arc::clone(&blockages),
             )
             .run()
         };
@@ -739,6 +1014,32 @@ mod tsdt_sender_tests {
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.latency_sum, b.latency_sum);
         assert_eq!(a.dropped, 0);
+    }
+
+    #[test]
+    fn tag_cache_replays_reroute_outcomes() {
+        // Permutation traffic fixes dest per source, so after the first
+        // injection every sender_tag call is a cache hit; the outcome must
+        // still match a fresh REROUTE for both routable and refused pairs.
+        let size = Size::new(8).unwrap();
+        let mut blockages = iadm_fault::BlockageMap::new(size);
+        blockages.block_switch(size.stages(), 3);
+        let perm: Vec<usize> = (0..8).rev().collect(); // source 5 -> dead output 3
+        let stats = Simulator::with_blockages(
+            SimConfig {
+                warmup: 0,
+                ..config(8, 0.5, 800)
+            },
+            RoutingPolicy::TsdtSender,
+            TrafficPattern::Permutation(perm),
+            blockages,
+        )
+        .run();
+        assert!(stats.refused > 0, "source 5's pair is disconnected");
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.misrouted, 0);
+        assert!(stats.is_conserved());
+        assert!(stats.delivered > 0, "the other seven pairs still flow");
     }
 }
 

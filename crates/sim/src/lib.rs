@@ -53,6 +53,6 @@ mod traffic;
 pub use engine::{run_once, RoutingPolicy, SimConfig, Simulator};
 pub use histogram::LatencyHistogram;
 pub use packet::Packet;
-pub use queue::LinkQueue;
+pub use queue::QueueArena;
 pub use stats::SimStats;
 pub use traffic::TrafficPattern;

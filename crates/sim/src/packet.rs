@@ -3,44 +3,45 @@
 use iadm_core::TsdtTag;
 
 /// A message in flight: carries only its destination tag (the paper's
-/// point — no distance computation anywhere) plus bookkeeping for
-/// statistics. Under the TSDT sender-computed policy it additionally
-/// carries the 2n-bit TSDT tag the sender derived from the global
-/// blockage map.
+/// point — no distance computation anywhere) plus the injection cycle for
+/// latency statistics. Under the TSDT sender-computed policy it
+/// additionally carries the state half of the 2n-bit TSDT tag the sender
+/// derived from the global blockage map (the destination half *is*
+/// [`Packet::dest`], and the network size is the simulator's — so the
+/// full [`TsdtTag`] can be reconstructed). Nothing else travels: no id,
+/// no source — no statistic reads them in flight, and at 16 bytes four
+/// packets share a cache line in the queue arena, which the N = 1024 hot
+/// path depends on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
-    /// Unique id, assigned at injection in injection order.
-    pub id: u64,
-    /// Source port.
-    pub source: usize,
     /// Destination port — also the routing tag (Theorem 3.1).
-    pub dest: usize,
+    pub dest: u32,
     /// Cycle at which the packet entered its source queue.
-    pub injected_at: u64,
-    /// Sender-computed TSDT tag, when the TSDT policy is in force.
-    pub tag: Option<TsdtTag>,
+    pub injected_at: u32,
+    /// State bits of the sender-computed TSDT tag (the paper's
+    /// `b_{n} … b_{2n-1}`, bit `i` = stage-`i` state), when the TSDT
+    /// policy is in force.
+    pub tag_state: Option<u32>,
 }
 
 impl Packet {
     /// Creates an untagged packet (destination-address routing only).
-    pub fn new(id: u64, source: usize, dest: usize, injected_at: u64) -> Self {
+    pub fn new(dest: usize, injected_at: u64) -> Self {
         Packet {
-            id,
-            source,
-            dest,
-            injected_at,
-            tag: None,
+            dest: dest as u32,
+            injected_at: injected_at as u32,
+            tag_state: None,
         }
     }
 
-    /// Creates a packet carrying a sender-computed TSDT tag.
-    pub fn with_tag(id: u64, source: usize, dest: usize, injected_at: u64, tag: TsdtTag) -> Self {
+    /// Creates a packet carrying a sender-computed TSDT tag. The tag's
+    /// destination bits must agree with `dest` (they are stored once).
+    pub fn with_tag(dest: usize, injected_at: u64, tag: TsdtTag) -> Self {
+        debug_assert_eq!(tag.dest(), dest, "tag must route to the packet's dest");
         Packet {
-            id,
-            source,
-            dest,
-            injected_at,
-            tag: Some(tag),
+            dest: dest as u32,
+            injected_at: injected_at as u32,
+            tag_state: Some(tag.state_bits() as u32),
         }
     }
 }
@@ -48,13 +49,29 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iadm_topology::Size;
 
     #[test]
     fn constructor_stores_fields() {
-        let p = Packet::new(7, 1, 6, 100);
-        assert_eq!(p.id, 7);
-        assert_eq!(p.source, 1);
+        let p = Packet::new(6, 100);
         assert_eq!(p.dest, 6);
         assert_eq!(p.injected_at, 100);
+        assert_eq!(p.tag_state, None);
+    }
+
+    #[test]
+    fn tagged_constructor_keeps_state_bits_only() {
+        let size = Size::new(8).unwrap();
+        let tag = TsdtTag::with_state(size, 6, 0b011);
+        let p = Packet::with_tag(6, 100, tag);
+        assert_eq!(p.dest, 6, "destination half lives in dest");
+        assert_eq!(p.tag_state, Some(0b011));
+    }
+
+    #[test]
+    fn packet_fits_in_a_quarter_cache_line() {
+        // The queue arena's memory footprint (and thus the simulator's
+        // cache behavior at N = 1024) depends on this staying small.
+        assert!(std::mem::size_of::<Packet>() <= 16);
     }
 }

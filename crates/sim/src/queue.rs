@@ -1,91 +1,225 @@
-//! Bounded FIFO link buffers with occupancy tracking.
+//! The link-buffer arena: every bounded FIFO of the network in one flat
+//! allocation of fixed-capacity ring buffers.
+//!
+//! The simulator owns `3 N n` output-link buffers (one per link slot,
+//! indexed exactly like [`iadm_topology::Link::flat_index`]). Keeping
+//! them as one arena instead of nested `Vec`s of `VecDeque`s makes the
+//! steady-state hot path allocation-free: pushes and pops move packets
+//! inside a preallocated slab, and occupancy statistics are maintained
+//! lazily in O(1) per operation instead of O(queues) per cycle. Each
+//! queue's bookkeeping ([`QueueMeta`]) is one 32-byte record, so a
+//! push/pop touches a single metadata cache line instead of five
+//! parallel arrays. Slot validity is tracked by the ring `len`, not an
+//! `Option` per slot, so packets stay at their bare 32 bytes and a pop
+//! never writes a tombstone back to the slab.
+//!
+//! Occupancy accounting: the old per-cycle `sample()` walk added every
+//! queue's length to its running sum once per cycle. The arena records
+//! the same sums without the walk — a queue's length only changes on
+//! push/pop, so each mutation first credits the *old* length for all
+//! sample points since the queue last changed ([`QueueArena::tick`]
+//! advances the shared sample counter once per cycle). The resulting
+//! per-queue sums are identical u64s, so downstream floating-point
+//! statistics are bit-identical to the eager walk.
 
 use crate::packet::Packet;
-use std::collections::VecDeque;
 
-/// The buffer associated with one output link of a switch: a bounded FIFO
-/// that records its high-water mark and cumulative occupancy so the load-
-/// balancing experiment can compare buffer pressure across policies.
-#[derive(Debug, Clone)]
-pub struct LinkQueue {
-    items: VecDeque<Packet>,
-    capacity: usize,
-    high_water: usize,
+/// Per-queue bookkeeping, packed into half a cache line.
+#[derive(Debug, Clone, Copy, Default)]
+struct QueueMeta {
+    /// Ring-buffer head offset.
+    head: u16,
+    /// Current length.
+    len: u16,
+    /// Largest occupancy ever observed.
+    high_water: u16,
+    /// Cumulative occupancy over flushed sample points.
     occupancy_sum: u64,
+    /// Shared-sample-counter value at the last flush.
+    flushed_at: u64,
+    /// Packets this queue's link has carried (the simulator's per-link
+    /// utilization counter, folded into the metadata record the hot path
+    /// already touches on every pop).
+    carried: u64,
+}
+
+/// A flat arena of bounded FIFO ring buffers with per-queue occupancy
+/// tracking (high-water mark and cumulative occupancy), replacing the
+/// former `VecDeque`-backed per-link `LinkQueue`s.
+#[derive(Debug, Clone)]
+pub struct QueueArena {
+    capacity: usize,
+    /// `queues * capacity` packet slots; only the `len` slots starting at
+    /// each queue's `head` (mod capacity) are live.
+    slots: Vec<Packet>,
+    /// One bookkeeping record per queue.
+    meta: Vec<QueueMeta>,
+    /// Shared sample counter (one tick per simulated cycle).
     samples: u64,
 }
 
-impl LinkQueue {
-    /// Creates an empty queue holding at most `capacity` packets.
+impl QueueArena {
+    /// Creates `queues` empty ring buffers of `capacity` packets each.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`.
-    pub fn new(capacity: usize) -> Self {
+    /// Panics if `capacity == 0` or `capacity > u16::MAX` (the ring
+    /// offsets are stored as `u16`).
+    pub fn new(queues: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        LinkQueue {
-            items: VecDeque::with_capacity(capacity),
+        assert!(
+            capacity <= u16::MAX as usize,
+            "queue capacity {capacity} exceeds the arena's u16 ring offsets"
+        );
+        QueueArena {
             capacity,
-            high_water: 0,
-            occupancy_sum: 0,
+            slots: vec![Packet::new(0, 0); queues * capacity],
+            meta: vec![QueueMeta::default(); queues],
             samples: 0,
         }
     }
 
-    /// Current number of queued packets.
-    pub fn len(&self) -> usize {
-        self.items.len()
+    /// Number of queues in the arena.
+    pub fn queue_count(&self) -> usize {
+        self.meta.len()
     }
 
-    /// Is the queue empty?
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+    /// Capacity of each queue, in packets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
-    /// Is the queue at capacity?
-    pub fn is_full(&self) -> bool {
-        self.items.len() >= self.capacity
+    /// Current number of packets queued in queue `q`.
+    #[inline]
+    pub fn len(&self, q: usize) -> usize {
+        self.meta[q].len as usize
     }
 
-    /// Enqueues `packet`; returns `false` (leaving the queue unchanged)
-    /// when full.
-    pub fn push(&mut self, packet: Packet) -> bool {
-        if self.is_full() {
+    /// Is queue `q` empty?
+    #[inline]
+    pub fn is_empty(&self, q: usize) -> bool {
+        self.meta[q].len == 0
+    }
+
+    /// Is queue `q` at capacity?
+    #[inline]
+    pub fn is_full(&self, q: usize) -> bool {
+        self.meta[q].len as usize >= self.capacity
+    }
+
+    /// Credits the queue's current length for all sample points since its
+    /// last mutation, so the length change about to happen is not
+    /// retroactively applied to past cycles.
+    #[inline]
+    fn flush_occupancy(meta: &mut QueueMeta, samples: u64) {
+        let pending = samples - meta.flushed_at;
+        if pending > 0 {
+            meta.occupancy_sum += meta.len as u64 * pending;
+            meta.flushed_at = samples;
+        }
+    }
+
+    /// Enqueues `packet` on queue `q`; returns `false` (leaving the queue
+    /// unchanged) when full.
+    #[inline]
+    pub fn push(&mut self, q: usize, packet: Packet) -> bool {
+        let samples = self.samples;
+        let meta = &mut self.meta[q];
+        if meta.len as usize >= self.capacity {
             return false;
         }
-        self.items.push_back(packet);
-        self.high_water = self.high_water.max(self.items.len());
+        Self::flush_occupancy(meta, samples);
+        // head + len < 2 * capacity, so one compare-subtract wraps the
+        // ring without a hardware divide.
+        let mut pos = meta.head as usize + meta.len as usize;
+        if pos >= self.capacity {
+            pos -= self.capacity;
+        }
+        meta.len += 1;
+        meta.high_water = meta.high_water.max(meta.len);
+        self.slots[q * self.capacity + pos] = packet;
         true
     }
 
-    /// Dequeues the head packet, if any.
-    pub fn pop(&mut self) -> Option<Packet> {
-        self.items.pop_front()
+    /// Dequeues the head packet of queue `q`, if any.
+    #[inline]
+    pub fn pop(&mut self, q: usize) -> Option<Packet> {
+        let samples = self.samples;
+        let meta = &mut self.meta[q];
+        if meta.len == 0 {
+            return None;
+        }
+        Self::flush_occupancy(meta, samples);
+        let pos = meta.head as usize;
+        let next = pos + 1;
+        meta.head = if next == self.capacity { 0 } else { next } as u16;
+        meta.len -= 1;
+        Some(self.slots[q * self.capacity + pos])
     }
 
-    /// Peeks at the head packet.
-    pub fn head(&self) -> Option<&Packet> {
-        self.items.front()
+    /// Dequeues the head packet of queue `q` and counts it as carried
+    /// over the queue's link, in one touch of the metadata record. The
+    /// queue must be non-empty.
+    #[inline]
+    pub fn pop_carried(&mut self, q: usize) -> Packet {
+        let samples = self.samples;
+        let meta = &mut self.meta[q];
+        debug_assert!(meta.len > 0, "pop_carried on an empty queue");
+        Self::flush_occupancy(meta, samples);
+        let pos = meta.head as usize;
+        let next = pos + 1;
+        meta.head = if next == self.capacity { 0 } else { next } as u16;
+        meta.len -= 1;
+        meta.carried += 1;
+        self.slots[q * self.capacity + pos]
     }
 
-    /// Records one occupancy sample (call once per cycle).
-    pub fn sample(&mut self) {
-        self.occupancy_sum += self.items.len() as u64;
+    /// Peeks at the head packet of queue `q`.
+    #[inline]
+    pub fn head(&self, q: usize) -> Option<&Packet> {
+        let meta = &self.meta[q];
+        if meta.len == 0 {
+            return None;
+        }
+        Some(&self.slots[q * self.capacity + meta.head as usize])
+    }
+
+    /// Records one occupancy sample point for *every* queue (call once
+    /// per cycle). O(1): the per-queue sums catch up lazily on the next
+    /// mutation or statistics read.
+    #[inline]
+    pub fn tick(&mut self) {
         self.samples += 1;
     }
 
-    /// Largest occupancy ever observed.
-    pub fn high_water(&self) -> usize {
-        self.high_water
+    /// Counts one packet carried over queue `q`'s link (call when a pop
+    /// transfers the packet onward).
+    #[inline]
+    pub fn record_carry(&mut self, q: usize) {
+        self.meta[q].carried += 1;
     }
 
-    /// Mean occupancy over all samples (0.0 when never sampled).
-    pub fn mean_occupancy(&self) -> f64 {
+    /// Packets carried over queue `q`'s link so far.
+    pub fn carried(&self, q: usize) -> u64 {
+        self.meta[q].carried
+    }
+
+    /// Largest occupancy ever observed on queue `q`.
+    pub fn high_water(&self, q: usize) -> usize {
+        self.meta[q].high_water as usize
+    }
+
+    /// Mean occupancy of queue `q` over all sample points (0.0 when never
+    /// sampled) — same value the eager per-cycle walk would have
+    /// computed, including the pending unflushed span.
+    pub fn mean_occupancy(&self, q: usize) -> f64 {
         if self.samples == 0 {
-            0.0
-        } else {
-            self.occupancy_sum as f64 / self.samples as f64
+            return 0.0;
         }
+        let meta = &self.meta[q];
+        let pending = self.samples - meta.flushed_at;
+        let total = meta.occupancy_sum + meta.len as u64 * pending;
+        total as f64 / self.samples as f64
     }
 }
 
@@ -93,53 +227,111 @@ impl LinkQueue {
 mod tests {
     use super::*;
 
+    /// Test packets distinguished by destination.
     fn pkt(id: u64) -> Packet {
-        Packet::new(id, 0, 0, 0)
+        Packet::new(id as usize, 0)
     }
 
     #[test]
-    fn fifo_order() {
-        let mut q = LinkQueue::new(3);
-        assert!(q.push(pkt(1)));
-        assert!(q.push(pkt(2)));
-        assert_eq!(q.pop().unwrap().id, 1);
-        assert_eq!(q.pop().unwrap().id, 2);
-        assert_eq!(q.pop(), None);
+    fn fifo_order_per_queue() {
+        let mut a = QueueArena::new(2, 3);
+        assert!(a.push(0, pkt(1)));
+        assert!(a.push(0, pkt(2)));
+        assert!(a.push(1, pkt(9)));
+        assert_eq!(a.pop(0).unwrap().dest, 1);
+        assert_eq!(a.pop(0).unwrap().dest, 2);
+        assert_eq!(a.pop(0), None);
+        assert_eq!(a.pop(1).unwrap().dest, 9, "queues are independent");
     }
 
     #[test]
     fn rejects_when_full() {
-        let mut q = LinkQueue::new(2);
-        assert!(q.push(pkt(1)));
-        assert!(q.push(pkt(2)));
-        assert!(q.is_full());
-        assert!(!q.push(pkt(3)));
-        assert_eq!(q.len(), 2);
+        let mut a = QueueArena::new(1, 2);
+        assert!(a.push(0, pkt(1)));
+        assert!(a.push(0, pkt(2)));
+        assert!(a.is_full(0));
+        assert!(!a.push(0, pkt(3)));
+        assert_eq!(a.len(0), 2);
+    }
+
+    #[test]
+    fn ring_wraps_across_capacity() {
+        let mut a = QueueArena::new(1, 2);
+        for round in 0..5u32 {
+            assert!(a.push(0, pkt(round as u64)));
+            assert_eq!(a.pop(0).unwrap().dest, round);
+        }
+        assert!(a.is_empty(0));
     }
 
     #[test]
     fn high_water_tracks_peak() {
-        let mut q = LinkQueue::new(4);
-        q.push(pkt(1));
-        q.push(pkt(2));
-        q.pop();
-        q.push(pkt(3));
-        assert_eq!(q.high_water(), 2);
+        let mut a = QueueArena::new(1, 4);
+        a.push(0, pkt(1));
+        a.push(0, pkt(2));
+        a.pop(0);
+        a.push(0, pkt(3));
+        assert_eq!(a.high_water(0), 2);
     }
 
     #[test]
-    fn mean_occupancy_averages_samples() {
-        let mut q = LinkQueue::new(4);
-        q.sample(); // 0
-        q.push(pkt(1));
-        q.push(pkt(2));
-        q.sample(); // 2
-        assert!((q.mean_occupancy() - 1.0).abs() < 1e-9);
+    fn mean_occupancy_matches_eager_sampling() {
+        let mut a = QueueArena::new(1, 4);
+        a.tick(); // sample at length 0
+        a.push(0, pkt(1));
+        a.push(0, pkt(2));
+        a.tick(); // sample at length 2
+        assert!((a.mean_occupancy(0) - 1.0).abs() < 1e-9);
+        // Idle cycles accumulate at the standing length.
+        a.tick();
+        a.tick(); // two more samples at length 2
+        assert!((a.mean_occupancy(0) - 6.0 / 4.0).abs() < 1e-9);
+        // A pop after idle samples must not rewrite their history.
+        a.pop(0);
+        a.tick(); // sample at length 1
+        assert!((a.mean_occupancy(0) - 7.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_peeks_without_removing() {
+        let mut a = QueueArena::new(1, 2);
+        assert_eq!(a.head(0), None);
+        a.push(0, pkt(5));
+        assert_eq!(a.head(0).unwrap().dest, 5);
+        assert_eq!(a.len(0), 1);
+    }
+
+    #[test]
+    fn metadata_record_stays_compact() {
+        // One queue's whole bookkeeping must fit in half a cache line,
+        // which the arena's memory behavior depends on.
+        assert!(std::mem::size_of::<QueueMeta>() <= 32);
+    }
+
+    #[test]
+    fn carried_counts_accumulate_per_queue() {
+        let mut a = QueueArena::new(2, 2);
+        a.record_carry(0);
+        a.record_carry(0);
+        a.record_carry(1);
+        assert_eq!(a.carried(0), 2);
+        assert_eq!(a.carried(1), 1);
+    }
+
+    #[test]
+    fn pop_carried_moves_and_counts_in_one_step() {
+        let mut a = QueueArena::new(1, 2);
+        a.push(0, pkt(3));
+        a.push(0, pkt(4));
+        assert_eq!(a.pop_carried(0).dest, 3);
+        assert_eq!(a.pop_carried(0).dest, 4);
+        assert_eq!(a.carried(0), 2);
+        assert!(a.is_empty(0));
     }
 
     #[test]
     #[should_panic]
     fn zero_capacity_rejected() {
-        let _ = LinkQueue::new(0);
+        let _ = QueueArena::new(1, 0);
     }
 }

@@ -37,6 +37,29 @@ impl LinkKind {
         !matches!(self, LinkKind::Straight)
     }
 
+    /// Dense 0/1/2 index in drawing order (`Minus`, `Straight`, `Plus`) —
+    /// the canonical kind axis of every flat per-link array in the
+    /// workspace ([`Link::flat_index`], the simulator's queue arena, the
+    /// routing LUT).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            LinkKind::Minus => 0,
+            LinkKind::Straight => 1,
+            LinkKind::Plus => 2,
+        }
+    }
+
+    /// Inverse of [`LinkKind::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    #[inline]
+    pub fn from_index(index: usize) -> LinkKind {
+        LinkKind::ALL[index]
+    }
+
     /// The oppositely signed nonstraight kind; `Straight` maps to itself.
     ///
     /// Theorem 3.2 of the paper: changing the state of a switch swaps a
@@ -138,12 +161,7 @@ impl Link {
     /// Dense index of this link into an array of `3 * N * n` link slots.
     #[inline]
     pub fn flat_index(self, size: Size) -> usize {
-        let kind_idx = match self.kind {
-            LinkKind::Minus => 0,
-            LinkKind::Straight => 1,
-            LinkKind::Plus => 2,
-        };
-        (self.stage * size.n() + self.from) * 3 + kind_idx
+        (self.stage * size.n() + self.from) * 3 + self.kind.index()
     }
 
     /// Total number of link slots for `size`: `3 * N * n`.
@@ -197,6 +215,14 @@ mod tests {
                 LinkKind::Minus.target(s, last, j),
                 "+2^(n-1) ≡ -2^(n-1) mod N must hold at switch {j}"
             );
+        }
+    }
+
+    #[test]
+    fn index_round_trips_in_drawing_order() {
+        for (i, kind) in LinkKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert_eq!(LinkKind::from_index(i), kind);
         }
     }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Benchmark gate: re-run the simulator benchmark and compare packet
+# throughput against the checked-in perf trajectory (BENCH_sim.json at
+# the repo root). Fails when any configuration regresses by more than
+# the tolerance; improvements only print a refresh hint.
+#
+# Wall-clock benchmarks are noisy on shared machines, so the gate lives
+# in the smoke script, not in tier-1 verify.sh. Override the tolerance
+# with BENCH_TOLERANCE (fraction, default 0.20) when the host is known
+# to be noisy.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tolerance="${BENCH_TOLERANCE:-0.20}"
+baseline="BENCH_sim.json"
+
+[ -f "$baseline" ] || {
+    echo "bench_gate: missing $baseline (run: simbench --out $baseline)" >&2
+    exit 1
+}
+
+cargo build --release --offline -p iadm-bench
+./target/release/simbench --check "$baseline" --tolerance "$tolerance"

@@ -28,3 +28,7 @@ grep -q '"run_count":8' "$out" || {
 }
 
 echo "sweep_smoke: OK ($(wc -c < "$out") bytes)"
+
+# Perf trajectory: the simulator benchmark must stay within tolerance of
+# the checked-in BENCH_sim.json (see scripts/bench_gate.sh).
+sh scripts/bench_gate.sh

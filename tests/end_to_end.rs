@@ -35,7 +35,7 @@ fn simulation_consistent_with_reachability_under_nonstraight_faults() {
         },
         RoutingPolicy::SsdtBalance,
         TrafficPattern::Uniform,
-        blockages.clone(),
+        blockages,
     )
     .run();
     assert_eq!(stats.misrouted, 0);
