@@ -9,8 +9,8 @@
 
 use crate::reach::Scheme;
 use iadm_fault::scenario::{self, KindFilter};
-use iadm_topology::Size;
 use iadm_rng::{Rng, StdRng};
+use iadm_topology::Size;
 
 /// The closed-form ICube pair availability: a single path of `n` links,
 /// each up with probability `1 - p`.

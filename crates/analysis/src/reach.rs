@@ -96,8 +96,8 @@ pub fn routable_fraction(size: Size, blockages: &BlockageMap, scheme: Scheme) ->
 mod tests {
     use super::*;
     use iadm_fault::scenario::{self, KindFilter};
-    use iadm_topology::Link;
     use iadm_rng::StdRng;
+    use iadm_topology::Link;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

@@ -7,8 +7,8 @@ use iadm_core::reroute::reroute;
 use iadm_core::route::trace_tsdt;
 use iadm_fault::scenario::{self, KindFilter};
 use iadm_fault::BlockageMap;
-use iadm_topology::{Link, LinkKind, Size};
 use iadm_rng::StdRng;
+use iadm_topology::{Link, LinkKind, Size};
 
 /// Checks agreement for every (s, d) pair under the given blockages.
 fn assert_agreement(size: Size, blockages: &BlockageMap, context: &str) {

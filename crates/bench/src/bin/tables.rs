@@ -10,16 +10,16 @@ use iadm_baselines::lookahead::route_with_lookahead;
 use iadm_baselines::mcmillen_siegel::{self, Scheme as MsScheme};
 use iadm_baselines::parker_raghavendra::all_representations_counted;
 use iadm_baselines::{DistanceTag, OpCount};
+use iadm_bench::json::{sim_stats_json, Json};
 use iadm_core::route::{trace, trace_tsdt};
 use iadm_core::{reroute::reroute, NetworkState, TsdtTag};
 use iadm_fault::scenario::{self, KindFilter};
 use iadm_permute::cube_subgraph::{distinct_prefix_count, theorem_6_1_lower_bound};
 use iadm_permute::reconfigure::find_reconfiguration;
 use iadm_permute::Permutation;
-use iadm_bench::json::{sim_stats_json, Json};
+use iadm_rng::StdRng;
 use iadm_sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
 use iadm_topology::Size;
-use iadm_rng::StdRng;
 use std::time::Instant;
 
 fn main() {

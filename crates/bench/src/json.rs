@@ -160,8 +160,12 @@ impl From<String> for Json {
 /// The canonical JSON encoding of a simulation's statistics — every
 /// field, in declaration order, so two identical runs encode to
 /// identical bytes.
+///
+/// Transient-fault degradation fields are emitted only when the run
+/// processed at least one fault event: static runs (including the
+/// pre-PR-4 parity goldens) keep their exact historical byte encoding.
 pub fn sim_stats_json(stats: &SimStats) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("injected", Json::from(stats.injected)),
         ("delivered", Json::from(stats.delivered)),
         ("misrouted", Json::from(stats.misrouted)),
@@ -172,7 +176,10 @@ pub fn sim_stats_json(stats: &SimStats) -> Json {
         ("latency_count", Json::from(stats.latency_count)),
         ("latency_max", Json::from(stats.latency_max)),
         ("queue_high_water", Json::from(stats.queue_high_water)),
-        ("queue_mean_occupancy", Json::from(stats.queue_mean_occupancy)),
+        (
+            "queue_mean_occupancy",
+            Json::from(stats.queue_mean_occupancy),
+        ),
         ("cycles", Json::from(stats.cycles)),
         ("ports", Json::from(stats.ports)),
         (
@@ -199,7 +206,29 @@ pub fn sim_stats_json(stats: &SimStats) -> Json {
             "stage_link_use",
             Json::arr(stats.stage_link_use.iter().map(|&c| Json::from(c))),
         ),
-    ])
+    ];
+    if stats.fault_events > 0 {
+        fields.extend([
+            ("fault_events", Json::from(stats.fault_events)),
+            ("reroutes", Json::from(stats.reroutes)),
+            (
+                "dropped_during_outage",
+                Json::from(stats.dropped_during_outage),
+            ),
+            (
+                "dropped_steady",
+                Json::from(stats.dropped - stats.dropped_during_outage),
+            ),
+            ("links_failed", Json::from(stats.links_failed)),
+            (
+                "link_downtime_cycles",
+                Json::from(stats.link_downtime_cycles),
+            ),
+            ("availability_min", Json::from(stats.availability_min)),
+            ("availability_mean", Json::from(stats.availability_mean)),
+        ]);
+    }
+    Json::obj(fields)
 }
 
 /// A minimal JSON parser for *our own* artifacts: validation (does the
@@ -347,9 +376,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'r' => out.push('\r'),
                     b't' => out.push('\t'),
                     b'u' => {
-                        let hex = bytes
-                            .get(*pos..*pos + 4)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = bytes.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
                         let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
                         let code = u32::from_str_radix(hex, 16)
                             .map_err(|_| format!("bad \\u escape {hex}"))?;
@@ -434,7 +461,7 @@ mod tests {
     }
 
     #[test]
-    fn nesting_and_key_order_are_preserved(){
+    fn nesting_and_key_order_are_preserved() {
         let doc = Json::obj([
             ("z", Json::arr([Json::from(1u64), Json::Null])),
             ("a", Json::obj([("k", Json::from(true))])),
@@ -494,6 +521,27 @@ mod tests {
         let text = sim_stats_json(&stats).encode();
         assert_round_trip(&text).expect("stats JSON must round-trip");
         assert!(text.contains("\"latency_p50\":6"));
+        assert!(
+            !text.contains("fault_events"),
+            "static runs keep the historical encoding: {text}"
+        );
+        // A run that processed fault events grows the degradation block,
+        // still in fixed order and still round-trippable.
+        stats.fault_events = 4;
+        stats.reroutes = 9;
+        stats.dropped = 3;
+        stats.dropped_during_outage = 2;
+        stats.in_flight = 3; // keep the example conserved
+        stats.links_failed = 1;
+        stats.link_downtime_cycles = 20;
+        stats.availability_min = 0.8;
+        stats.availability_mean = 0.99;
+        let text = sim_stats_json(&stats).encode();
+        assert_round_trip(&text).expect("faulted stats JSON must round-trip");
+        assert!(text.contains("\"fault_events\":4"));
+        assert!(text.contains("\"dropped_during_outage\":2"));
+        assert!(text.contains("\"dropped_steady\":1"));
+        assert!(text.contains("\"availability_min\":0.8"));
         assert!(text.contains("\"latency_p99\":6"));
         assert!(text.contains("\"latency_buckets\":[0,0,50]"));
         assert!(text.contains("\"stage_link_use\":[50,50,50]"));

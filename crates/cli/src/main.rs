@@ -16,7 +16,7 @@
 use iadm_analysis::{dot, enumerate, oracle, render};
 use iadm_core::route::{trace, trace_tsdt};
 use iadm_core::{reroute::reroute, NetworkState};
-use iadm_fault::BlockageMap;
+use iadm_fault::{BlockageMap, FaultTimeline};
 use iadm_sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
 use iadm_topology::{Adm, Gamma, GeneralizedCube, ICube, Iadm, Link, LinkKind, Size};
 use std::process::ExitCode;
@@ -39,15 +39,20 @@ const USAGE: &str = "usage:
   iadm reroute  -n <N> -s <src> -d <dst> [--block ...]...
   iadm paths    -n <N> -s <src> -d <dst> [--block ...]...
   iadm render   -n <N> [--net iadm|icube|adm|gamma|gcube]
-  iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>] [--policy fixed|ssdt|random|tsdt] [--block ...]...
+  iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>] [--policy fixed|ssdt|random|tsdt]
+                [--faults <scenario>] [--block ...]...
   iadm subgraphs -n <N>
   iadm dot      -n <N> [--net ...] [-s <src> -d <dst>] [--block ...]...   (Graphviz output)
   iadm broadcast -n <N> -s <src> [--dests 1,2,5]
-  iadm sweep    [--spec smoke|e13] [--threads <t>] [--out results/….json]
+  iadm sweep    [--spec smoke|e13|e15] [--threads <t>] [--out results/….json]
                 [--n 8,64] [--loads 0.1,0.5] [--policies fixed,ssdt,tsdt]
                 [--patterns uniform,bitrev,hotspot:<d>] [--queues 4]
                 [--cycles <c>] [--warmup <w>] [--seed <s>]
-                [--faults none,rand:<k>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]";
+                [--faults none,rand:<k>,mtbf:<m>:<r>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]
+
+fault scenarios: `mtbf:<mtbf>:<mttr>` schedules transient link failures
+(exponential fail/repair holding times, repaired online mid-run); the
+other forms block links for the whole run.";
 
 /// A tiny flag parser: collects `--key value`, `-k value` pairs and
 /// repeated `--block` occurrences.
@@ -122,7 +127,12 @@ impl Args {
     }
 
     fn blocks(&self, size: Size) -> Result<BlockageMap, String> {
-        let mut map = BlockageMap::new(size);
+        self.blocks_onto(size, BlockageMap::new(size))
+    }
+
+    /// Applies every `--block` flag on top of an existing map (so manual
+    /// blockages compose with a realized `--faults` scenario).
+    fn blocks_onto(&self, size: Size, mut map: BlockageMap) -> Result<BlockageMap, String> {
         for (k, v) in &self.flags {
             if k == "block" {
                 map.block(parse_link(size, v)?);
@@ -174,7 +184,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let allowed: &[&str] = match command.as_str() {
         "route" | "reroute" | "paths" => &["n", "s", "d", "block"],
         "render" => &["n", "net"],
-        "simulate" => &["n", "load", "cycles", "warmup", "policy", "queue", "seed", "block"],
+        "simulate" => &[
+            "n", "load", "cycles", "warmup", "policy", "queue", "seed", "faults", "block",
+        ],
         "subgraphs" => &["n"],
         "dot" => &["n", "net", "s", "d", "block"],
         "broadcast" => &["n", "s", "dests"],
@@ -306,12 +318,40 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         offered_load: args.f64_or("load", 0.5)?,
         seed: args.usize_or("seed", 1)? as u64,
     };
-    let blockages = args.blocks(size)?;
-    let stats = if blockages.is_empty() {
+    config.validate()?;
+    // A --faults scenario realizes (initial map + transient timeline) from
+    // the same seed streams a sweep run uses, so `simulate --seed S` and a
+    // one-point campaign seeded to derive S agree exactly.
+    let scenario = args.get("faults").map(parse_scenario_flag).transpose()?;
+    let (initial, timeline) = match &scenario {
+        Some(s) => {
+            iadm_sweep::validate_scenario(s, size)?;
+            (
+                s.realize(
+                    size,
+                    iadm_rng::mix(config.seed, iadm_sweep::FAULT_SEED_STREAM),
+                ),
+                s.timeline(
+                    size,
+                    iadm_rng::mix(config.seed, iadm_sweep::TIMELINE_SEED_STREAM),
+                    config.cycles as u64,
+                ),
+            )
+        }
+        None => (BlockageMap::new(size), FaultTimeline::empty(size)),
+    };
+    let blockages = args.blocks_onto(size, initial)?;
+    let stats = if blockages.is_empty() && timeline.is_empty() {
         run_once(config, policy, TrafficPattern::Uniform)
     } else {
-        iadm_sim::Simulator::with_blockages(config, policy, TrafficPattern::Uniform, blockages)
-            .run()
+        iadm_sim::Simulator::with_fault_timeline(
+            config,
+            policy,
+            TrafficPattern::Uniform,
+            blockages,
+            timeline,
+        )
+        .run()
     };
     println!("cycles          {}", stats.cycles);
     println!("injected        {}", stats.injected);
@@ -324,6 +364,20 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
     println!("max latency     {} cycles", stats.latency_max);
     println!("throughput      {:.4} pkts/port/cycle", stats.throughput());
     println!("peak queue      {}", stats.queue_high_water);
+    if stats.fault_events > 0 {
+        println!("fault events    {}", stats.fault_events);
+        println!("reroutes        {}", stats.reroutes);
+        println!(
+            "outage drops    {} of {} total drops",
+            stats.dropped_during_outage, stats.dropped
+        );
+        println!("links failed    {}", stats.links_failed);
+        println!("link downtime   {} link-cycles", stats.link_downtime_cycles);
+        println!(
+            "availability    min {:.4} / mean {:.4}",
+            stats.availability_min, stats.availability_mean
+        );
+    }
     Ok(())
 }
 
@@ -471,8 +525,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     );
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, text + "\n")
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
             println!();
             println!("wrote {path}");
         }
@@ -573,8 +626,18 @@ mod tests {
             vec!["render", "-n", "8", "--net", "gcube"],
             vec!["simulate", "-n", "8", "--cycles", "50", "--load", "0.2"],
             vec!["simulate", "-n", "8", "--cycles", "50", "--policy", "tsdt"],
+            vec!["simulate", "-n", "8", "--cycles", "50", "--warmup", "10"],
             vec![
-                "simulate", "-n", "8", "--cycles", "50", "--warmup", "10",
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "200",
+                "--faults",
+                "mtbf:50:20",
+            ],
+            vec![
+                "simulate", "-n", "8", "--cycles", "100", "--faults", "rand:2", "--block", "S0:1-",
             ],
             vec!["subgraphs", "-n", "16"],
             vec!["dot", "-n", "4"],
@@ -595,6 +658,19 @@ mod tests {
                 "--faults",
                 "none,link:S0:1-",
             ],
+            vec![
+                "sweep",
+                "--n",
+                "8",
+                "--loads",
+                "0.4",
+                "--policies",
+                "ssdt,tsdt",
+                "--cycles",
+                "100",
+                "--faults",
+                "none,mtbf:40:15",
+            ],
         ];
         for case in cases {
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
@@ -608,12 +684,10 @@ mod tests {
         assert!(run(&bad).is_err());
         let bad: Vec<String> = vec!["route".into(), "-n".into(), "8".into()];
         assert!(run(&bad).is_err(), "missing -s/-d must fail");
-        let bad: Vec<String> = [
-            "simulate", "-n", "8", "--cycles", "50", "--warmup", "60",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        let bad: Vec<String> = ["simulate", "-n", "8", "--cycles", "50", "--warmup", "60"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(run(&bad).is_err(), "warmup beyond cycles must fail");
     }
 
@@ -645,6 +719,9 @@ mod tests {
             vec!["sweep", "--faults", "meteor"],
             vec!["sweep", "--threads", "0"],
             vec!["sweep", "--n", "7"],
+            vec!["sweep", "--faults", "mtbf:0:5"],
+            vec!["simulate", "-n", "8", "--faults", "mtbf:nope"],
+            vec!["simulate", "-n", "8", "--faults", "double:S9:0"],
         ] {
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
             assert!(run(&args).is_err(), "{case:?} must fail");

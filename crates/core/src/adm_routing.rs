@@ -115,8 +115,8 @@ pub fn reverse_to_iadm(size: Size, path: &Path) -> Path {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iadm_topology::{Adm, Multistage};
     use iadm_rng::StdRng;
+    use iadm_topology::{Adm, Multistage};
 
     #[test]
     fn all_c_destination_tags_deliver_on_the_adm() {

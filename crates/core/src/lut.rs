@@ -37,7 +37,7 @@ pub const KIND_BY_PARITY_TAG_STATE: [[[LinkKind; 2]; 2]; 2] = [
     ],
     // odd_i switches (parity bit 1)
     [
-        [LinkKind::Minus, LinkKind::Plus],        // t = 0: -2^i in C, +2^i in C̄
+        [LinkKind::Minus, LinkKind::Plus], // t = 0: -2^i in C, +2^i in C̄
         [LinkKind::Straight, LinkKind::Straight], // t = 1: straight in C and C̄
     ],
 ];
@@ -118,22 +118,30 @@ impl RouteLut {
         for stage in size.stage_indices() {
             for sw in size.switches() {
                 for t in 0..2 {
-                    let c = delta_c_kind(sw, stage, t);
-                    let mut packed = c.index() as u8;
-                    if c == LinkKind::Straight {
-                        packed |= LutEntry::STRAIGHT;
-                    }
-                    if blockages.is_free(Link::new(stage, sw, c)) {
-                        packed |= LutEntry::C_FREE;
-                    }
-                    if blockages.is_free(Link::new(stage, sw, c.opposite())) {
-                        packed |= LutEntry::CBAR_FREE;
-                    }
-                    entries.push(LutEntry(packed));
+                    entries.push(entry_for(stage, sw, t, blockages));
                 }
             }
         }
         RouteLut { size, entries }
+    }
+
+    /// Recomputes the two entries of switch `sw` at `stage` against the
+    /// current `blockages` — the incremental repair used when a transient
+    /// fault event flips one of the switch's output links mid-run. After
+    /// calling this for every affected switch, the table is
+    /// indistinguishable from a fresh [`RouteLut::new`] (pinned by a
+    /// test below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blockages` is for a different size; may panic (index
+    /// out of bounds) if `stage` or `sw` is out of range.
+    pub fn refresh_switch(&mut self, stage: usize, sw: usize, blockages: &BlockageMap) {
+        assert_eq!(blockages.size(), self.size, "blockage map size mismatch");
+        let base = (stage * self.size.n() + sw) * 2;
+        for t in 0..2 {
+            self.entries[base + t] = entry_for(stage, sw, t, blockages);
+        }
     }
 
     /// The network size this table covers.
@@ -153,12 +161,29 @@ impl RouteLut {
     }
 }
 
+/// The packed entry for `(stage, sw, t)` under `blockages` — shared by
+/// the full build and the per-switch refresh so the two can never drift.
+fn entry_for(stage: usize, sw: usize, t: usize, blockages: &BlockageMap) -> LutEntry {
+    let c = delta_c_kind(sw, stage, t);
+    let mut packed = c.index() as u8;
+    if c == LinkKind::Straight {
+        packed |= LutEntry::STRAIGHT;
+    }
+    if blockages.is_free(Link::new(stage, sw, c)) {
+        packed |= LutEntry::C_FREE;
+    }
+    if blockages.is_free(Link::new(stage, sw, c.opposite())) {
+        packed |= LutEntry::CBAR_FREE;
+    }
+    LutEntry(packed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::connect::{delta_cbar_kind, route_kind};
     use iadm_fault::scenario::{self, KindFilter};
-    use iadm_rng::StdRng;
+    use iadm_rng::{Rng, StdRng};
     use iadm_topology::bit;
 
     #[test]
@@ -242,6 +267,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn refresh_switch_matches_a_fresh_build() {
+        // Walk a random block/unblock sequence, refreshing only the
+        // touched switch each step; the incrementally-patched table must
+        // stay identical to a from-scratch rebuild at every step.
+        let size = Size::new(16).unwrap();
+        let mut map = BlockageMap::new(size);
+        let mut lut = RouteLut::new(size, &map);
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        for step in 0..200 {
+            let stage = rng.gen_range(0..size.stages());
+            let sw = rng.gen_range(0..size.n());
+            let kind = LinkKind::from_index(rng.gen_range(0..3));
+            let link = Link::new(stage, sw, kind);
+            if rng.gen_bool(0.5) {
+                map.block(link);
+            } else {
+                map.unblock(link);
+            }
+            lut.refresh_switch(stage, sw, &map);
+            let fresh = RouteLut::new(size, &map);
+            for s in size.stage_indices() {
+                for j in size.switches() {
+                    for t in 0..2 {
+                        assert_eq!(
+                            lut.entry(s, j, t),
+                            fresh.entry(s, j, t),
+                            "step {step}: stale entry at stage {s} switch {j} t {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn refresh_rejects_size_mismatch() {
+        let size = Size::new(8).unwrap();
+        let mut lut = RouteLut::new(size, &BlockageMap::new(size));
+        lut.refresh_switch(0, 0, &BlockageMap::new(Size::new(16).unwrap()));
     }
 
     #[test]

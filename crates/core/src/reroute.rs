@@ -228,8 +228,8 @@ pub fn reroute_from(
 mod tests {
     use super::*;
     use iadm_fault::scenario::{self, KindFilter};
-    use iadm_topology::{Link, LinkKind};
     use iadm_rng::StdRng;
+    use iadm_topology::{Link, LinkKind};
 
     fn size8() -> Size {
         Size::new(8).unwrap()
@@ -352,8 +352,8 @@ mod bounded_tests {
     use crate::ssdt;
     use crate::NetworkState;
     use iadm_fault::scenario::{self, KindFilter};
-    use iadm_topology::Link;
     use iadm_rng::StdRng;
+    use iadm_topology::Link;
 
     fn size8() -> Size {
         Size::new(8).unwrap()

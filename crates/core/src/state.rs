@@ -8,9 +8,7 @@ use iadm_topology::Size;
 /// a switch in state `C̄` according to `C̄_i(j, t_i)`; see
 /// [`connect`](crate::connect). When every switch is in state `C` the IADM
 /// network behaves exactly like the embedded ICube network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SwitchState {
     /// State `C`: route by `C_i(j, t_i)` (the ICube-emulating state).
     #[default]

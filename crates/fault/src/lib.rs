@@ -37,5 +37,7 @@
 
 mod map;
 pub mod scenario;
+pub mod timeline;
 
 pub use map::{BlockageMap, OutputBlockage};
+pub use timeline::{FaultEvent, FaultTimeline};

@@ -6,9 +6,10 @@
 //! (the paper's SSDT scheme only evades nonstraight blockages, so comparing
 //! schemes requires controlling which kinds fail).
 
+use crate::timeline::FaultTimeline;
 use crate::BlockageMap;
-use iadm_topology::{Link, LinkKind, Size};
 use iadm_rng::{Rng, SliceRandom};
+use iadm_topology::{Link, LinkKind, Size};
 
 /// Which link kinds a scenario is allowed to block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -231,6 +232,16 @@ pub enum ScenarioSpec {
         /// Band width in switches (wraps modulo N).
         count: usize,
     },
+    /// Transient churn: every link alternates exponential up/down holding
+    /// times with the given means (see [`FaultTimeline::mtbf`]). The
+    /// *static* realization is the fault-free map — all failures arrive
+    /// mid-run via [`ScenarioSpec::timeline`].
+    Mtbf {
+        /// Mean cycles between failures (per link, while up).
+        mtbf: u64,
+        /// Mean cycles to repair (per link, while down).
+        mttr: u64,
+    },
 }
 
 impl ScenarioSpec {
@@ -261,6 +272,7 @@ impl ScenarioSpec {
                 first,
                 count,
             } => format!("band:S{stage}:{first}x{count}"),
+            ScenarioSpec::Mtbf { mtbf, mttr } => format!("mtbf:{mtbf}:{mttr}"),
         }
     }
 
@@ -285,14 +297,27 @@ impl ScenarioSpec {
             ScenarioSpec::DoubleNonstraight { stage, switch } => {
                 double_nonstraight(size, *stage, *switch)
             }
-            ScenarioSpec::StageNonstraightBurst { stage } => {
-                stage_nonstraight_burst(size, *stage)
-            }
+            ScenarioSpec::StageNonstraightBurst { stage } => stage_nonstraight_burst(size, *stage),
             ScenarioSpec::SwitchBandBurst {
                 stage,
                 first,
                 count,
             } => switch_band_burst(size, *stage, *first, *count),
+            // Transient scenarios start from the healthy network; their
+            // faults arrive via [`ScenarioSpec::timeline`].
+            ScenarioSpec::Mtbf { .. } => BlockageMap::new(size),
+        }
+    }
+
+    /// Expands the recipe's *dynamic* part: the mid-run fail/repair
+    /// schedule over `horizon` cycles. Static scenarios return the empty
+    /// timeline, so simulators can unconditionally consume it.
+    pub fn timeline(&self, size: Size, seed: u64, horizon: u64) -> FaultTimeline {
+        match self {
+            ScenarioSpec::Mtbf { mtbf, mttr } => {
+                FaultTimeline::mtbf(size, seed, *mtbf, *mttr, horizon)
+            }
+            _ => FaultTimeline::empty(size),
         }
     }
 }
@@ -330,12 +355,19 @@ mod spec_tests {
                 p: 0.1,
                 filter: KindFilter::NonstraightOnly,
             },
-            ScenarioSpec::DoubleNonstraight { stage: 1, switch: 4 },
+            ScenarioSpec::DoubleNonstraight {
+                stage: 1,
+                switch: 4,
+            },
             ScenarioSpec::StageNonstraightBurst { stage: 2 },
             ScenarioSpec::SwitchBandBurst {
                 stage: 0,
                 first: 6,
                 count: 3,
+            },
+            ScenarioSpec::Mtbf {
+                mtbf: 1000,
+                mttr: 200,
             },
         ];
         let labels: Vec<String> = specs.iter().map(ScenarioSpec::label).collect();
@@ -351,7 +383,11 @@ mod spec_tests {
         let size = size8();
         assert!(ScenarioSpec::None.realize(size, 1).is_empty());
         assert_eq!(
-            ScenarioSpec::DoubleNonstraight { stage: 2, switch: 4 }.realize(size, 1),
+            ScenarioSpec::DoubleNonstraight {
+                stage: 2,
+                switch: 4
+            }
+            .realize(size, 1),
             double_nonstraight(size, 2, 4)
         );
         assert_eq!(
@@ -369,6 +405,25 @@ mod spec_tests {
         };
         assert_eq!(spec.realize(size, 7), spec.realize(size, 7));
         assert_ne!(spec.realize(size, 7), spec.realize(size, 8));
+    }
+
+    #[test]
+    fn mtbf_realizes_healthy_but_times_out_links() {
+        let size = size8();
+        let spec = ScenarioSpec::Mtbf {
+            mtbf: 1000,
+            mttr: 200,
+        };
+        assert_eq!(spec.label(), "mtbf:1000:200");
+        assert!(spec.realize(size, 5).is_empty(), "static part is healthy");
+        let tl = spec.timeline(size, 5, 4000);
+        assert!(!tl.is_empty(), "4000 cycles at MTBF 1000 must churn");
+        assert_eq!(tl, spec.timeline(size, 5, 4000), "deterministic");
+        // Static scenarios have no dynamic part.
+        assert!(ScenarioSpec::None.timeline(size, 5, 4000).is_empty());
+        assert!(ScenarioSpec::StageNonstraightBurst { stage: 1 }
+            .timeline(size, 5, 4000)
+            .is_empty());
     }
 
     #[test]

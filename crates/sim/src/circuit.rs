@@ -20,8 +20,8 @@ use iadm_core::icube_routing;
 use iadm_core::reroute::reroute_from;
 use iadm_core::TsdtTag;
 use iadm_fault::BlockageMap;
-use iadm_topology::{Link, Path, Size};
 use iadm_rng::{Rng, StdRng};
+use iadm_topology::{Link, Path, Size};
 
 /// Configuration of a circuit-switching run.
 #[derive(Debug, Clone, Copy)]

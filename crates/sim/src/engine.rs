@@ -18,7 +18,7 @@ use crate::stats::SimStats;
 use crate::traffic::TrafficPattern;
 use iadm_core::lut::{kind_for, RouteLut};
 use iadm_core::{NetworkState, SwitchState, TsdtTag};
-use iadm_fault::BlockageMap;
+use iadm_fault::{BlockageMap, FaultTimeline};
 use iadm_rng::{Rng, StdRng};
 use iadm_topology::{bit, Link, LinkKind, Size};
 use std::collections::VecDeque;
@@ -33,12 +33,49 @@ pub struct SimConfig {
     pub queue_capacity: usize,
     /// Number of cycles to simulate.
     pub cycles: usize,
-    /// Cycles to exclude from latency statistics (queue warm-up).
+    /// First cycle whose injections count toward latency statistics:
+    /// packets injected at cycles `< warmup` are excluded, a packet
+    /// injected exactly at cycle `warmup` is counted (boundary pinned by
+    /// a test).
     pub warmup: usize,
     /// Probability that each input injects a new packet each cycle.
     pub offered_load: f64,
     /// RNG seed (runs are deterministic per seed).
     pub seed: u64,
+}
+
+impl SimConfig {
+    /// Checks every invariant the simulator relies on, returning a
+    /// human-readable message for the first violation: `offered_load`
+    /// finite and in `[0, 1]`, `warmup <= cycles`, and `cycles`
+    /// representable in the 32 bits [`Packet`] stores `injected_at` in
+    /// (a longer run would silently truncate injection timestamps and
+    /// underflow the latency subtraction).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.offered_load.is_finite() {
+            return Err(format!(
+                "offered load must be finite, got {}",
+                self.offered_load
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.offered_load) {
+            return Err(format!("offered load {} out of range", self.offered_load));
+        }
+        if self.warmup > self.cycles {
+            return Err(format!(
+                "warmup ({}) exceeds the simulated cycles ({})",
+                self.warmup, self.cycles
+            ));
+        }
+        if self.cycles as u64 > u64::from(u32::MAX) {
+            return Err(format!(
+                "cycles ({}) exceeds {} — Packet stores injection timestamps in 32 bits",
+                self.cycles,
+                u32::MAX
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// How a switch assigns a nonstraight-bound packet to one of its two
@@ -75,15 +112,23 @@ enum Decision {
 
 /// A direct-mapped cache of sender-computed TSDT tags, one way per
 /// `(source, dest mod SLOTS)` line. REROUTE is a pure function of the
-/// (static) blockage map and the `(source, dest)` pair, so a hit replays
-/// the stored outcome — including the "provably disconnected, refuse at
-/// the source" case — without rerunning the algorithm.
+/// blockage map and the `(source, dest)` pair, so a hit replays the
+/// stored outcome — including the "provably disconnected, refuse at the
+/// source" case — without rerunning the algorithm. Every line is stamped
+/// with the *map epoch* it was computed under; a transient fault event
+/// bumps the epoch ([`TagCache::invalidate_all`], O(1)), so tags derived
+/// from a superseded map can never be replayed (a stale tag could steer
+/// straight into the new fault, which would be a misroute or a bogus
+/// drop).
 #[derive(Debug)]
 struct TagCache {
     /// Cache lines per source (a power of two; 0 when the cache is off).
     slots: usize,
-    /// `sources * slots` lines of `(dest, outcome)`; `None` = cold line.
-    lines: Vec<Option<(u32, Option<TsdtTag>)>>,
+    /// The current blockage-map version; lines from older epochs miss.
+    epoch: u64,
+    /// `sources * slots` lines of `(dest, epoch, outcome)`;
+    /// `None` = cold line.
+    lines: Vec<Option<(u32, u64, Option<TsdtTag>)>>,
 }
 
 impl TagCache {
@@ -95,6 +140,7 @@ impl TagCache {
         let slots = size.n().min(Self::MAX_SLOTS);
         TagCache {
             slots,
+            epoch: 0,
             lines: vec![None; size.n() * slots],
         }
     }
@@ -103,6 +149,7 @@ impl TagCache {
     fn off() -> Self {
         TagCache {
             slots: 0,
+            epoch: 0,
             lines: Vec::new(),
         }
     }
@@ -115,7 +162,7 @@ impl TagCache {
     #[inline]
     fn get(&self, source: usize, dest: usize) -> Option<Option<TsdtTag>> {
         match self.lines[self.line(source, dest)] {
-            Some((d, outcome)) if d as usize == dest => Some(outcome),
+            Some((d, epoch, outcome)) if d as usize == dest && epoch == self.epoch => Some(outcome),
             _ => None,
         }
     }
@@ -123,7 +170,14 @@ impl TagCache {
     #[inline]
     fn put(&mut self, source: usize, dest: usize, outcome: Option<TsdtTag>) {
         let line = self.line(source, dest);
-        self.lines[line] = Some((dest as u32, outcome));
+        self.lines[line] = Some((dest as u32, self.epoch, outcome));
+    }
+
+    /// Invalidates every line by advancing the epoch — called whenever
+    /// the blockage map changes mid-run.
+    #[inline]
+    fn invalidate_all(&mut self) {
+        self.epoch += 1;
     }
 }
 
@@ -164,6 +218,27 @@ pub struct Simulator {
     source_bits: Vec<u64>,
     /// Sender-side TSDT tag cache (populated only under `TsdtSender`).
     tag_cache: TagCache,
+    /// Scheduled mid-run link fail/repair events (sorted by cycle).
+    timeline: FaultTimeline,
+    /// Next unapplied event in `timeline`.
+    timeline_cursor: usize,
+    /// `true` iff the timeline is non-empty. Every transient-fault code
+    /// path in the hot loop is gated on this (or on `links_down_now`), so
+    /// a static run executes the exact pre-timeline instruction sequence
+    /// (byte-identical statistics, enforced by `tests/parity.rs`).
+    dynamic: bool,
+    /// Links currently down *due to timeline events* (static blockages
+    /// never count: no packet is ever queued behind one).
+    links_down_now: usize,
+    /// Per-link cycle the current outage began (`u64::MAX` = link up).
+    /// Empty unless `dynamic`.
+    down_since: Vec<u64>,
+    /// Per-link total cycles spent down (closed outages; open ones are
+    /// folded in by `finish`). Empty unless `dynamic`.
+    down_cycles: Vec<u64>,
+    /// Per-link flag: did this link fail at least once? Empty unless
+    /// `dynamic`.
+    ever_down: Vec<bool>,
     rng: StdRng,
     stats: SimStats,
     cycle: u64,
@@ -192,33 +267,52 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if `offered_load` is non-finite or outside `[0, 1]`, if
-    /// `warmup > cycles`, or if the blockage map is for a different size.
+    /// Panics if [`SimConfig::validate`] fails or if the blockage map is
+    /// for a different size.
     pub fn with_blockages(
         config: SimConfig,
         policy: RoutingPolicy,
         pattern: TrafficPattern,
         blockages: impl Into<Arc<BlockageMap>>,
     ) -> Self {
-        assert!(
-            config.offered_load.is_finite(),
-            "offered load must be finite, got {}",
-            config.offered_load
-        );
-        assert!(
-            (0.0..=1.0).contains(&config.offered_load),
-            "offered load {} out of range",
-            config.offered_load
-        );
-        assert!(
-            config.warmup <= config.cycles,
-            "warmup ({}) exceeds the simulated cycles ({})",
-            config.warmup,
-            config.cycles
-        );
+        Self::with_fault_timeline(
+            config,
+            policy,
+            pattern,
+            blockages,
+            FaultTimeline::empty(config.size),
+        )
+    }
+
+    /// Creates a simulator that additionally applies `timeline`'s link
+    /// fail/repair events between cycles: before each cycle's routing
+    /// decisions, every event scheduled at or before the current cycle is
+    /// folded into the blockage map, the affected switch's [`RouteLut`]
+    /// entries are re-derived in place, and the sender-side TSDT tag
+    /// cache is invalidated (tags computed against the superseded map
+    /// must not be replayed). An empty timeline reproduces
+    /// [`Simulator::with_blockages`] byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SimConfig::validate`] fails, or if the blockage map or
+    /// timeline is for a different size.
+    pub fn with_fault_timeline(
+        config: SimConfig,
+        policy: RoutingPolicy,
+        pattern: TrafficPattern,
+        blockages: impl Into<Arc<BlockageMap>>,
+        timeline: FaultTimeline,
+    ) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("{msg}");
+        }
         let blockages: Arc<BlockageMap> = blockages.into();
         assert_eq!(blockages.size(), config.size, "blockage map size mismatch");
+        assert_eq!(timeline.size(), config.size, "fault timeline size mismatch");
         let size = config.size;
+        let dynamic = !timeline.is_empty();
+        let outage_slots = if dynamic { Link::slot_count(size) } else { 0 };
         Simulator {
             rng: StdRng::seed_from_u64(config.seed),
             stats: SimStats {
@@ -239,6 +333,13 @@ impl Simulator {
             } else {
                 TagCache::off()
             },
+            timeline,
+            timeline_cursor: 0,
+            dynamic,
+            links_down_now: 0,
+            down_since: vec![u64::MAX; outage_slots],
+            down_cycles: vec![0; outage_slots],
+            ever_down: vec![false; outage_slots],
             config,
             policy,
             pattern,
@@ -266,6 +367,57 @@ impl Simulator {
         (stage * self.config.size.n() + sw) * 3 + kind.index()
     }
 
+    /// Applies every timeline event scheduled at or before the current
+    /// cycle: folds the transition into the blockage map, re-derives the
+    /// affected switch's two [`RouteLut`] entries, invalidates the TSDT
+    /// tag cache, and keeps the per-link outage clocks. Packets already
+    /// buffered on a failed link stay put until the repair (the advance
+    /// loop skips downed queues); only packets whose *every* usable
+    /// candidate is down get dropped, by the ordinary `decide` path.
+    fn apply_due_events(&mut self) {
+        while let Some(&event) = self.timeline.events().get(self.timeline_cursor) {
+            if event.cycle > self.cycle {
+                break;
+            }
+            self.timeline_cursor += 1;
+            self.stats.fault_events += 1;
+            let map = Arc::make_mut(&mut self.blockages);
+            let changed = if event.up {
+                map.unblock(event.link)
+            } else {
+                map.block(event.link)
+            };
+            if !changed {
+                // Already in the target state (e.g. a scheduled failure
+                // of a link the static map had blocked): nothing to do.
+                continue;
+            }
+            self.lut
+                .refresh_switch(event.link.stage, event.link.from, &self.blockages);
+            self.tag_cache.invalidate_all();
+            let idx = event.link.flat_index(self.config.size);
+            if event.up {
+                self.links_down_now -= 1;
+                self.down_cycles[idx] += self.cycle - self.down_since[idx];
+                self.down_since[idx] = u64::MAX;
+            } else {
+                self.links_down_now += 1;
+                self.down_since[idx] = self.cycle;
+                self.ever_down[idx] = true;
+            }
+        }
+    }
+
+    /// Counts a packet drop, attributing it to the current outage when
+    /// any timeline-failed link is still down.
+    #[inline]
+    fn note_drop(&mut self) {
+        self.stats.dropped += 1;
+        if self.links_down_now > 0 {
+            self.stats.dropped_during_outage += 1;
+        }
+    }
+
     /// Decides which output buffer of switch `sw` at `stage` a packet
     /// bound for `dest` (carrying TSDT state word `tag_state`, if any)
     /// enters. Takes the two routing-relevant fields instead of the whole
@@ -276,14 +428,21 @@ impl Simulator {
         if let Some(tag_state) = tag_state {
             // TSDT: the tag dictates the link (destination bit from the
             // address, state bit from the sender-computed state word); the
-            // sender already avoided every fault, so only queue pressure
-            // can delay the packet.
+            // sender avoided every fault *it knew about*, so only queue
+            // pressure can delay the packet — unless a transient fault
+            // arrived after the tag was computed, in which case the link
+            // the tag insists on may now be down and the packet is
+            // undeliverable under this policy (TSDT switches have no
+            // rerouting discretion).
             let state = SwitchState::from_bit(bit(tag_state as usize, stage));
             let kind = kind_for(bit(sw, stage), bit(dest as usize, stage), state);
-            debug_assert!(
-                self.blockages.is_free(Link::new(stage, sw, kind)),
-                "sender-computed tag steered into a blocked link"
-            );
+            if self.blockages.is_blocked(Link::new(stage, sw, kind)) {
+                debug_assert!(
+                    self.dynamic,
+                    "sender-computed tag steered into a blocked link in a static run"
+                );
+                return Decision::Drop;
+            }
             return if self.queues.is_full(qbase + kind.index()) {
                 Decision::Stall
             } else {
@@ -320,6 +479,9 @@ impl Simulator {
                 (false, false) => return Decision::Drop,
                 (true, false) => 1,
                 (false, true) => {
+                    // Forced off the preferred ΔC sign onto the spare —
+                    // the paper's single-nonstraight-blockage reroute.
+                    self.stats.reroutes += 1;
                     candidates[0] = cbar_kind;
                     1
                 }
@@ -349,6 +511,9 @@ impl Simulator {
                 (false, false) => return Decision::Drop,
                 (true, false) => 1,
                 (false, true) => {
+                    // Forced off the preferred ΔC sign onto the spare —
+                    // the paper's single-nonstraight-blockage reroute.
+                    self.stats.reroutes += 1;
                     candidates[0] = cbar_kind;
                     1
                 }
@@ -415,6 +580,11 @@ impl Simulator {
     /// Runs one cycle: deliver/advance from the last stage backward, then
     /// inject, then sample occupancies.
     pub fn step(&mut self) {
+        // Fault dynamics apply between cycles: every routing decision of
+        // this cycle sees the post-event map.
+        if self.dynamic {
+            self.apply_due_events();
+        }
         let size = self.config.size;
         let n = size.n();
         let stages = size.stages();
@@ -493,6 +663,18 @@ impl Simulator {
                     let kind = kind_order[kmask.trailing_zeros() as usize];
                     kmask &= kmask - 1;
                     let q = qbase + kind.index();
+                    // A transient failure can strand already-buffered
+                    // packets behind a downed link; they wait out the
+                    // outage (store-and-forward keeps them, it does not
+                    // re-queue them). Static blockages never reach here:
+                    // `decide` refuses to enqueue behind them, so
+                    // `links_down_now` gates the check to zero cost on
+                    // the static path.
+                    if self.links_down_now > 0
+                        && self.blockages.is_blocked(Link::new(stage, sw, kind))
+                    {
+                        continue;
+                    }
                     let to = kind.target(size, stage, sw);
                     // Switches accept `accept_limit` packets per cycle
                     // (1 = IADM single-input, 3 = Gamma crossbar); output
@@ -542,7 +724,7 @@ impl Simulator {
                             let _ = self.queues.pop(q);
                             self.load_dec(stage, sw);
                             self.stage_load[stage] -= 1;
-                            self.stats.dropped += 1;
+                            self.note_drop();
                         }
                     }
                 }
@@ -579,7 +761,7 @@ impl Simulator {
                         if self.source_queues[s].is_empty() {
                             self.source_bits[wi] &= !(1u64 << (s & 63));
                         }
-                        self.stats.dropped += 1;
+                        self.note_drop();
                     }
                 }
             }
@@ -594,6 +776,11 @@ impl Simulator {
                     // (through the per-source tag cache).
                     match self.sender_tag(s, dest) {
                         Some(tag) => {
+                            // A nonzero state word means REROUTE steered
+                            // around at least one blockage.
+                            if tag.state_bits() != 0 {
+                                self.stats.reroutes += 1;
+                            }
                             self.source_queues[s]
                                 .push_back(Packet::with_tag(dest, self.cycle, tag));
                             self.source_bits[s >> 6] |= 1u64 << (s & 63);
@@ -665,6 +852,29 @@ impl Simulator {
             imbalance_sum / switches_with_traffic as f64
         };
         self.stats.max_link_load = max_link_load;
+        if self.dynamic {
+            // Close outages still open at the end of the run, then fold
+            // the per-link outage clocks into availability figures.
+            for idx in 0..self.down_since.len() {
+                if self.down_since[idx] != u64::MAX {
+                    self.down_cycles[idx] += self.cycle - self.down_since[idx];
+                    self.down_since[idx] = u64::MAX;
+                }
+            }
+            self.stats.links_failed = self.ever_down.iter().filter(|&&b| b).count() as u64;
+            self.stats.link_downtime_cycles = self.down_cycles.iter().sum();
+            if self.cycle > 0 {
+                let mut min_avail = 1.0f64;
+                let mut sum_avail = 0.0f64;
+                for &down in &self.down_cycles {
+                    let avail = 1.0 - down as f64 / self.cycle as f64;
+                    min_avail = min_avail.min(avail);
+                    sum_avail += avail;
+                }
+                self.stats.availability_min = min_avail;
+                self.stats.availability_mean = sum_avail / self.down_cycles.len() as f64;
+            }
+        }
         self.stats.in_flight = in_flight;
         self.stats.queue_high_water = high_water;
         self.stats.queue_mean_occupancy = if queue_count == 0 {
@@ -744,7 +954,10 @@ mod tests {
         // prefix of them.
         let total: u64 = stats.stage_link_use.iter().sum();
         assert!(total >= stats.delivered * 3, "{stats:?}");
-        assert!(total <= (stats.delivered + stats.in_flight) * 3, "{stats:?}");
+        assert!(
+            total <= (stats.delivered + stats.in_flight) * 3,
+            "{stats:?}"
+        );
     }
 
     #[test]
@@ -804,6 +1017,67 @@ mod tests {
         let mut cfg = config(8, 0.4, 100);
         cfg.offered_load = 1.5;
         let _ = Simulator::new(cfg, RoutingPolicy::FixedC, TrafficPattern::Uniform);
+    }
+
+    #[test]
+    fn cycles_beyond_u32_are_rejected_with_a_clear_message() {
+        let mut cfg = config(8, 0.4, 100);
+        cfg.cycles = u32::MAX as usize + 1;
+        cfg.warmup = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            err.contains("32 bits") && err.contains("4294967296"),
+            "unhelpful message: {err}"
+        );
+        // The largest representable run is still accepted.
+        cfg.cycles = u32::MAX as usize;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_agrees_with_the_constructor_panics() {
+        assert!(config(8, 0.4, 100).validate().is_ok());
+        let mut bad = config(8, 0.4, 100);
+        bad.offered_load = f64::NAN;
+        assert!(bad.validate().unwrap_err().contains("finite"));
+        bad.offered_load = 1.5;
+        assert!(bad.validate().unwrap_err().contains("out of range"));
+        bad = config(8, 0.4, 100);
+        bad.warmup = 101;
+        assert!(bad.validate().unwrap_err().contains("warmup"));
+    }
+
+    #[test]
+    fn warmup_boundary_counts_packets_injected_exactly_at_warmup() {
+        // Identity permutation at load 1.0: every cycle each source
+        // injects one packet that rides straight links only, so each
+        // injection cohort of n packets is delivered together and in
+        // order. The latency population therefore shrinks by exactly one
+        // cohort per unit of warmup — until the warmup passes the last
+        // cohort that was still delivered by the end of the run.
+        let perm: Vec<usize> = (0..8).collect();
+        let mk = |warmup: usize| {
+            let cfg = SimConfig {
+                warmup,
+                offered_load: 1.0,
+                ..config(8, 1.0, 100)
+            };
+            run_once(
+                cfg,
+                RoutingPolicy::FixedC,
+                TrafficPattern::Permutation(perm.clone()),
+            )
+            .latency_count
+        };
+        let all = mk(0);
+        assert!(all > 0 && all % 8 == 0, "whole cohorts only, got {all}");
+        let last = (all / 8 - 1) as usize; // last fully-delivered cohort
+        assert_eq!(
+            mk(last),
+            8,
+            "a packet injected exactly at the warm-up cycle is counted"
+        );
+        assert_eq!(mk(last + 1), 0, "later cohorts never finish by the end");
     }
 
     #[test]

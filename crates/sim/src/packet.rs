@@ -26,7 +26,13 @@ pub struct Packet {
 
 impl Packet {
     /// Creates an untagged packet (destination-address routing only).
+    /// `injected_at` must fit the packet's 32-bit timestamp field —
+    /// `SimConfig::validate` rejects longer runs up front.
     pub fn new(dest: usize, injected_at: u64) -> Self {
+        debug_assert!(
+            injected_at <= u64::from(u32::MAX),
+            "injection cycle {injected_at} overflows the 32-bit timestamp"
+        );
         Packet {
             dest: dest as u32,
             injected_at: injected_at as u32,
@@ -35,9 +41,14 @@ impl Packet {
     }
 
     /// Creates a packet carrying a sender-computed TSDT tag. The tag's
-    /// destination bits must agree with `dest` (they are stored once).
+    /// destination bits must agree with `dest` (they are stored once);
+    /// `injected_at` must fit the 32-bit timestamp field.
     pub fn with_tag(dest: usize, injected_at: u64, tag: TsdtTag) -> Self {
         debug_assert_eq!(tag.dest(), dest, "tag must route to the packet's dest");
+        debug_assert!(
+            injected_at <= u64::from(u32::MAX),
+            "injection cycle {injected_at} overflows the 32-bit timestamp"
+        );
         Packet {
             dest: dest as u32,
             injected_at: injected_at as u32,

@@ -192,13 +192,6 @@ impl QueueArena {
         self.samples += 1;
     }
 
-    /// Counts one packet carried over queue `q`'s link (call when a pop
-    /// transfers the packet onward).
-    #[inline]
-    pub fn record_carry(&mut self, q: usize) {
-        self.meta[q].carried += 1;
-    }
-
     /// Packets carried over queue `q`'s link so far.
     pub fn carried(&self, q: usize) -> u64 {
         self.meta[q].carried
@@ -310,11 +303,21 @@ mod tests {
 
     #[test]
     fn carried_counts_accumulate_per_queue() {
+        // `pop_carried` is the only carry path (the separate
+        // `record_carry` was removed as dead); counts must stay
+        // per-queue and survive interleaving.
         let mut a = QueueArena::new(2, 2);
-        a.record_carry(0);
-        a.record_carry(0);
-        a.record_carry(1);
+        a.push(0, pkt(1));
+        a.push(1, pkt(9));
+        a.push(0, pkt(2));
+        assert_eq!(a.pop_carried(0).dest, 1);
+        assert_eq!(a.pop_carried(1).dest, 9);
+        assert_eq!(a.pop_carried(0).dest, 2);
         assert_eq!(a.carried(0), 2);
+        assert_eq!(a.carried(1), 1);
+        // A plain pop does not count as carried.
+        a.push(1, pkt(8));
+        assert_eq!(a.pop(1).unwrap().dest, 8);
         assert_eq!(a.carried(1), 1);
     }
 
@@ -327,6 +330,25 @@ mod tests {
         assert_eq!(a.pop_carried(0).dest, 4);
         assert_eq!(a.carried(0), 2);
         assert!(a.is_empty(0));
+    }
+
+    #[test]
+    fn occupancy_survives_a_long_idle_span_then_a_mutation() {
+        // The fault-epoch scenario: a queue sits untouched behind a downed
+        // link for many cycles (only `tick` advances), then the repair
+        // lets it drain. The lazy flush must credit the standing length
+        // for every idle sample before applying the mutation.
+        let mut a = QueueArena::new(1, 4);
+        a.push(0, pkt(1));
+        a.push(0, pkt(2));
+        for _ in 0..100 {
+            a.tick(); // outage: 100 samples at length 2
+        }
+        assert!((a.mean_occupancy(0) - 2.0).abs() < 1e-9);
+        assert_eq!(a.pop_carried(0).dest, 1); // repair: queue drains
+        a.tick(); // one sample at length 1
+        assert!((a.mean_occupancy(0) - 201.0 / 101.0).abs() < 1e-9);
+        assert_eq!(a.high_water(0), 2, "the peak predates the outage");
     }
 
     #[test]

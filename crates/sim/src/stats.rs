@@ -23,7 +23,8 @@ pub struct SimStats {
     /// ended.
     pub in_flight: u64,
     /// Sum of delivery latencies (cycles from injection to delivery) over
-    /// delivered packets injected after warm-up.
+    /// delivered packets injected at or after the warm-up cycle (a packet
+    /// injected exactly at cycle `warmup` is counted).
     pub latency_sum: u64,
     /// Number of delivered packets counted in `latency_sum`.
     pub latency_count: u64,
@@ -53,6 +54,30 @@ pub struct SimStats {
     /// Packets carried per stage, summed over the stage's links
     /// (`stage_link_use[i]` = total transfers leaving stage `i`).
     pub stage_link_use: Vec<u64>,
+    /// Transient-fault timeline events processed (0 for static runs; the
+    /// degradation fields below are only meaningful when this is
+    /// nonzero).
+    pub fault_events: u64,
+    /// Packets steered off their preferred route by fault evasion: SSDT
+    /// packets forced onto the spare nonstraight sign because the `ΔC`
+    /// candidate was blocked, and TSDT injections whose sender-computed
+    /// state word is nonzero (REROUTE bent the path around a blockage).
+    pub reroutes: u64,
+    /// The subset of `dropped` that occurred while at least one
+    /// timeline-failed link was still down — loss attributable to
+    /// outages rather than to the steady-state fault pattern.
+    pub dropped_during_outage: u64,
+    /// Distinct links that failed at least once during the run.
+    pub links_failed: u64,
+    /// Total link-down cycles summed over all links (one link down for
+    /// 200 cycles and two links down for 50 each = 300).
+    pub link_downtime_cycles: u64,
+    /// The worst per-link availability: `1 - downtime / cycles` of the
+    /// most-degraded link (1.0 when nothing failed; 0.0 default for
+    /// static runs, where it is meaningless).
+    pub availability_min: f64,
+    /// Mean per-link availability over all links of the network.
+    pub availability_mean: f64,
 }
 
 impl SimStats {

@@ -1,7 +1,7 @@
 //! Traffic patterns for the packet simulator.
 
-use iadm_topology::Size;
 use iadm_rng::Rng;
+use iadm_topology::Size;
 
 /// How injected packets choose their destinations.
 #[derive(Debug, Clone, PartialEq, Eq)]

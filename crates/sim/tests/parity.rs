@@ -10,13 +10,43 @@
 //! as a diff. If a future change *intends* to alter simulation results,
 //! these constants must be regenerated deliberately — never adjusted to
 //! make a refactor pass.
+//!
+//! The transient-fault subsystem (PR 4) is additionally pinned here: a
+//! run constructed with an *empty* `FaultTimeline` must reproduce the
+//! same goldens byte for byte — the dynamic machinery has to be
+//! invisible when no event is scheduled.
 
 use iadm_bench::json::sim_stats_json;
 use iadm_fault::scenario::{self, KindFilter};
-use iadm_fault::BlockageMap;
+use iadm_fault::{BlockageMap, FaultTimeline};
 use iadm_rng::StdRng;
 use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
 use iadm_topology::Size;
+
+const GOLDEN_FIXED_C_FAULT_FREE: &str = r#"{"injected":4298,"delivered":4248,"misrouted":0,"dropped":0,"refused":0,"in_flight":50,"latency_sum":21795,"latency_count":3166,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.1814496527777778,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":163,"mean_latency":6.884080859128238,"throughput":0.4425,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2461,704,1],"stage_link_use":[4280,4268,4258,4248]}"#;
+const GOLDEN_FIXED_C_FAULTED: &str = r#"{"injected":4298,"delivered":3717,"misrouted":0,"dropped":538,"refused":0,"in_flight":43,"latency_sum":18442,"latency_count":2758,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.15703993055555557,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":154,"mean_latency":6.686729514140682,"throughput":0.3871875,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2297,460,1],"stage_link_use":[3743,3735,3725,3717]}"#;
+const GOLDEN_SSDT_FAULT_FREE: &str = r#"{"injected":4298,"delivered":4249,"misrouted":0,"dropped":0,"refused":0,"in_flight":49,"latency_sum":21927,"latency_count":3167,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.18243055555555562,"cycles":600,"ports":16,"nonstraight_imbalance":0.03357188766400752,"max_link_load":155,"mean_latency":6.923586990843069,"throughput":0.4426041666666667,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2465,701,1],"stage_link_use":[4282,4271,4258,4249]}"#;
+const GOLDEN_SSDT_FAULTED: &str = r#"{"injected":4298,"delivered":4012,"misrouted":0,"dropped":239,"refused":0,"in_flight":47,"latency_sum":20546,"latency_count":2986,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.17156249999999995,"cycles":600,"ports":16,"nonstraight_imbalance":0.09525174189998568,"max_link_load":176,"mean_latency":6.880776959142666,"throughput":0.41791666666666666,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2342,643,1],"stage_link_use":[4041,4032,4021,4012]}"#;
+const GOLDEN_RANDOM_SIGN_FAULT_FREE: &str = r#"{"injected":4304,"delivered":4260,"misrouted":0,"dropped":0,"refused":0,"in_flight":44,"latency_sum":22379,"latency_count":3193,"latency_max":14,"queue_high_water":4,"queue_mean_occupancy":0.18641493055555558,"cycles":600,"ports":16,"nonstraight_imbalance":0.07149405694595017,"max_link_load":157,"mean_latency":7.008769182586909,"throughput":0.44375,"latency_p50":7,"latency_p95":14,"latency_p99":14,"latency_buckets":[0,0,2390,803],"stage_link_use":[4291,4279,4270,4260]}"#;
+const GOLDEN_RANDOM_SIGN_FAULTED: &str = r#"{"injected":4355,"delivered":4058,"misrouted":0,"dropped":259,"refused":0,"in_flight":38,"latency_sum":20946,"latency_count":3031,"latency_max":14,"queue_high_water":4,"queue_mean_occupancy":0.1744618055555556,"cycles":600,"ports":16,"nonstraight_imbalance":0.129550717300536,"max_link_load":185,"mean_latency":6.910590564170241,"throughput":0.42270833333333335,"latency_p50":7,"latency_p95":14,"latency_p99":14,"latency_buckets":[0,0,2347,684],"stage_link_use":[4083,4074,4066,4058]}"#;
+const GOLDEN_TSDT_FAULT_FREE: &str = r#"{"injected":4298,"delivered":4248,"misrouted":0,"dropped":0,"refused":0,"in_flight":50,"latency_sum":21795,"latency_count":3166,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.1814496527777778,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":163,"mean_latency":6.884080859128238,"throughput":0.4425,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2461,704,1],"stage_link_use":[4280,4268,4258,4248]}"#;
+const GOLDEN_TSDT_FAULTED: &str = r#"{"injected":4298,"delivered":4040,"misrouted":0,"dropped":0,"refused":210,"in_flight":48,"latency_sum":20577,"latency_count":3007,"latency_max":17,"queue_high_water":4,"queue_mean_occupancy":0.17188368055555556,"cycles":600,"ports":16,"nonstraight_imbalance":0.985010162601626,"max_link_load":213,"mean_latency":6.843032923179249,"throughput":0.42083333333333334,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2363,641,3],"stage_link_use":[4070,4059,4050,4040]}"#;
+
+/// All eight golden combinations: `(policy, faulted, expected JSON)`.
+const GOLDENS: [(RoutingPolicy, bool, &str); 8] = [
+    (RoutingPolicy::FixedC, false, GOLDEN_FIXED_C_FAULT_FREE),
+    (RoutingPolicy::FixedC, true, GOLDEN_FIXED_C_FAULTED),
+    (RoutingPolicy::SsdtBalance, false, GOLDEN_SSDT_FAULT_FREE),
+    (RoutingPolicy::SsdtBalance, true, GOLDEN_SSDT_FAULTED),
+    (
+        RoutingPolicy::RandomSign,
+        false,
+        GOLDEN_RANDOM_SIGN_FAULT_FREE,
+    ),
+    (RoutingPolicy::RandomSign, true, GOLDEN_RANDOM_SIGN_FAULTED),
+    (RoutingPolicy::TsdtSender, false, GOLDEN_TSDT_FAULT_FREE),
+    (RoutingPolicy::TsdtSender, true, GOLDEN_TSDT_FAULTED),
+];
 
 fn config() -> SimConfig {
     SimConfig {
@@ -35,6 +65,14 @@ fn faulted_map() -> BlockageMap {
     scenario::random_faults(&mut rng, config().size, 6, KindFilter::Any)
 }
 
+fn blockages(faulted: bool) -> BlockageMap {
+    if faulted {
+        faulted_map()
+    } else {
+        BlockageMap::new(config().size)
+    }
+}
+
 fn run(policy: RoutingPolicy, blockages: BlockageMap) -> String {
     let stats =
         Simulator::with_blockages(config(), policy, TrafficPattern::Uniform, blockages).run();
@@ -42,12 +80,7 @@ fn run(policy: RoutingPolicy, blockages: BlockageMap) -> String {
 }
 
 fn assert_parity(policy: RoutingPolicy, faulted: bool, golden: &str) {
-    let blockages = if faulted {
-        faulted_map()
-    } else {
-        BlockageMap::new(config().size)
-    };
-    let got = run(policy, blockages);
+    let got = run(policy, blockages(faulted));
     assert_eq!(
         got, golden,
         "{policy:?} (faulted: {faulted}) diverged from the pre-rewrite engine"
@@ -56,40 +89,66 @@ fn assert_parity(policy: RoutingPolicy, faulted: bool, golden: &str) {
 
 #[test]
 fn fixed_c_fault_free_matches_golden() {
-    assert_parity(RoutingPolicy::FixedC, false, r#"{"injected":4298,"delivered":4248,"misrouted":0,"dropped":0,"refused":0,"in_flight":50,"latency_sum":21795,"latency_count":3166,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.1814496527777778,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":163,"mean_latency":6.884080859128238,"throughput":0.4425,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2461,704,1],"stage_link_use":[4280,4268,4258,4248]}"#);
+    assert_parity(RoutingPolicy::FixedC, false, GOLDEN_FIXED_C_FAULT_FREE);
 }
 
 #[test]
 fn fixed_c_faulted_matches_golden() {
-    assert_parity(RoutingPolicy::FixedC, true, r#"{"injected":4298,"delivered":3717,"misrouted":0,"dropped":538,"refused":0,"in_flight":43,"latency_sum":18442,"latency_count":2758,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.15703993055555557,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":154,"mean_latency":6.686729514140682,"throughput":0.3871875,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2297,460,1],"stage_link_use":[3743,3735,3725,3717]}"#);
+    assert_parity(RoutingPolicy::FixedC, true, GOLDEN_FIXED_C_FAULTED);
 }
 
 #[test]
 fn ssdt_balance_fault_free_matches_golden() {
-    assert_parity(RoutingPolicy::SsdtBalance, false, r#"{"injected":4298,"delivered":4249,"misrouted":0,"dropped":0,"refused":0,"in_flight":49,"latency_sum":21927,"latency_count":3167,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.18243055555555562,"cycles":600,"ports":16,"nonstraight_imbalance":0.03357188766400752,"max_link_load":155,"mean_latency":6.923586990843069,"throughput":0.4426041666666667,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2465,701,1],"stage_link_use":[4282,4271,4258,4249]}"#);
+    assert_parity(RoutingPolicy::SsdtBalance, false, GOLDEN_SSDT_FAULT_FREE);
 }
 
 #[test]
 fn ssdt_balance_faulted_matches_golden() {
-    assert_parity(RoutingPolicy::SsdtBalance, true, r#"{"injected":4298,"delivered":4012,"misrouted":0,"dropped":239,"refused":0,"in_flight":47,"latency_sum":20546,"latency_count":2986,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.17156249999999995,"cycles":600,"ports":16,"nonstraight_imbalance":0.09525174189998568,"max_link_load":176,"mean_latency":6.880776959142666,"throughput":0.41791666666666666,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2342,643,1],"stage_link_use":[4041,4032,4021,4012]}"#);
+    assert_parity(RoutingPolicy::SsdtBalance, true, GOLDEN_SSDT_FAULTED);
 }
 
 #[test]
 fn random_sign_fault_free_matches_golden() {
-    assert_parity(RoutingPolicy::RandomSign, false, r#"{"injected":4304,"delivered":4260,"misrouted":0,"dropped":0,"refused":0,"in_flight":44,"latency_sum":22379,"latency_count":3193,"latency_max":14,"queue_high_water":4,"queue_mean_occupancy":0.18641493055555558,"cycles":600,"ports":16,"nonstraight_imbalance":0.07149405694595017,"max_link_load":157,"mean_latency":7.008769182586909,"throughput":0.44375,"latency_p50":7,"latency_p95":14,"latency_p99":14,"latency_buckets":[0,0,2390,803],"stage_link_use":[4291,4279,4270,4260]}"#);
+    assert_parity(
+        RoutingPolicy::RandomSign,
+        false,
+        GOLDEN_RANDOM_SIGN_FAULT_FREE,
+    );
 }
 
 #[test]
 fn random_sign_faulted_matches_golden() {
-    assert_parity(RoutingPolicy::RandomSign, true, r#"{"injected":4355,"delivered":4058,"misrouted":0,"dropped":259,"refused":0,"in_flight":38,"latency_sum":20946,"latency_count":3031,"latency_max":14,"queue_high_water":4,"queue_mean_occupancy":0.1744618055555556,"cycles":600,"ports":16,"nonstraight_imbalance":0.129550717300536,"max_link_load":185,"mean_latency":6.910590564170241,"throughput":0.42270833333333335,"latency_p50":7,"latency_p95":14,"latency_p99":14,"latency_buckets":[0,0,2347,684],"stage_link_use":[4083,4074,4066,4058]}"#);
+    assert_parity(RoutingPolicy::RandomSign, true, GOLDEN_RANDOM_SIGN_FAULTED);
 }
 
 #[test]
 fn tsdt_sender_fault_free_matches_golden() {
-    assert_parity(RoutingPolicy::TsdtSender, false, r#"{"injected":4298,"delivered":4248,"misrouted":0,"dropped":0,"refused":0,"in_flight":50,"latency_sum":21795,"latency_count":3166,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.1814496527777778,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":163,"mean_latency":6.884080859128238,"throughput":0.4425,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2461,704,1],"stage_link_use":[4280,4268,4258,4248]}"#);
+    assert_parity(RoutingPolicy::TsdtSender, false, GOLDEN_TSDT_FAULT_FREE);
 }
 
 #[test]
 fn tsdt_sender_faulted_matches_golden() {
-    assert_parity(RoutingPolicy::TsdtSender, true, r#"{"injected":4298,"delivered":4040,"misrouted":0,"dropped":0,"refused":210,"in_flight":48,"latency_sum":20577,"latency_count":3007,"latency_max":17,"queue_high_water":4,"queue_mean_occupancy":0.17188368055555556,"cycles":600,"ports":16,"nonstraight_imbalance":0.985010162601626,"max_link_load":213,"mean_latency":6.843032923179249,"throughput":0.42083333333333334,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2363,641,3],"stage_link_use":[4070,4059,4050,4040]}"#);
+    assert_parity(RoutingPolicy::TsdtSender, true, GOLDEN_TSDT_FAULTED);
+}
+
+#[test]
+fn empty_timeline_reproduces_every_golden_byte_for_byte() {
+    // The PR-4 contract: constructing through the transient-fault entry
+    // point with a no-event timeline must leave no trace — not one RNG
+    // draw, not one counter, not one emitted JSON byte.
+    for (policy, faulted, golden) in GOLDENS {
+        let stats = Simulator::with_fault_timeline(
+            config(),
+            policy,
+            TrafficPattern::Uniform,
+            blockages(faulted),
+            FaultTimeline::empty(config().size),
+        )
+        .run();
+        assert_eq!(
+            sim_stats_json(&stats).encode(),
+            golden,
+            "{policy:?} (faulted: {faulted}) diverged under an empty timeline"
+        );
+    }
 }

@@ -7,8 +7,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 /// Stream constant separating a run's *fault* seed from its *traffic*
-/// seed (both derive from the run seed; they must not collide).
-const FAULT_SEED_STREAM: u64 = 0xFA17;
+/// seed (both derive from the run seed; they must not collide). Public so
+/// the CLI's single-run `simulate --faults` path realizes scenarios
+/// exactly the way a sweep run with the same seed would.
+pub const FAULT_SEED_STREAM: u64 = 0xFA17;
+
+/// Stream constant for the *transient* fault timeline — a third seed
+/// stream, distinct from both the traffic seed and the static-fault
+/// stream, so a scenario's initial map and its fail/repair schedule
+/// never draw correlated randomness.
+pub const TIMELINE_SEED_STREAM: u64 = 0x71ED;
 
 /// One completed run: the resolved spec, the number of faulty links its
 /// scenario realized, and the simulator's statistics.
@@ -35,13 +43,19 @@ pub struct CampaignResult {
 }
 
 /// Executes one grid point. Fully deterministic in the `RunSpec` alone:
-/// the fault scenario realizes from `mix(seed, FAULT_SEED_STREAM)` and
-/// the simulator from `seed`, so no state outside the spec is consulted.
+/// the fault scenario realizes from `mix(seed, FAULT_SEED_STREAM)`, its
+/// transient timeline from `mix(seed, TIMELINE_SEED_STREAM)`, and the
+/// simulator from `seed`, so no state outside the spec is consulted.
 pub fn execute_run(run: &RunSpec) -> RunRecord {
     let blockages = run
         .scenario
         .realize(run.size, iadm_rng::mix(run.seed, FAULT_SEED_STREAM));
     let faults = blockages.blocked_count();
+    let timeline = run.scenario.timeline(
+        run.size,
+        iadm_rng::mix(run.seed, TIMELINE_SEED_STREAM),
+        run.cycles as u64,
+    );
     let config = SimConfig {
         size: run.size,
         queue_capacity: run.queue_capacity,
@@ -50,8 +64,14 @@ pub fn execute_run(run: &RunSpec) -> RunRecord {
         offered_load: run.offered_load,
         seed: run.seed,
     };
-    let stats =
-        Simulator::with_blockages(config, run.policy, run.pattern.clone(), blockages).run();
+    let stats = Simulator::with_fault_timeline(
+        config,
+        run.policy,
+        run.pattern.clone(),
+        blockages,
+        timeline,
+    )
+    .run();
     RunRecord {
         spec: run.clone(),
         faults,
@@ -141,6 +161,26 @@ mod tests {
         assert_eq!(a.stats.delivered, b.stats.delivered);
         assert_eq!(a.stats.latency_sum, b.stats.latency_sum);
         assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn mtbf_runs_churn_deterministically_at_any_thread_count() {
+        let mut spec = SweepSpec::smoke();
+        spec.scenarios = vec![iadm_fault::scenario::ScenarioSpec::Mtbf { mtbf: 60, mttr: 20 }];
+        let a = run_campaign(&spec, 1).unwrap();
+        let b = run_campaign(&spec, 3).unwrap();
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert!(
+                ra.stats.fault_events > 0,
+                "run {} never churned",
+                ra.spec.index
+            );
+            assert!(ra.stats.is_conserved());
+            assert_eq!(ra.stats.misrouted, 0);
+            assert_eq!(ra.stats.delivered, rb.stats.delivered);
+            assert_eq!(ra.stats.fault_events, rb.stats.fault_events);
+            assert_eq!(ra.stats.link_downtime_cycles, rb.stats.link_downtime_cycles);
+        }
     }
 
     #[test]

@@ -45,9 +45,11 @@ mod engine;
 mod report;
 mod spec;
 
-pub use engine::{execute_run, run_campaign, CampaignResult, RunRecord};
+pub use engine::{
+    execute_run, run_campaign, CampaignResult, RunRecord, FAULT_SEED_STREAM, TIMELINE_SEED_STREAM,
+};
 pub use report::{campaign_json, pivot_table, summary_table};
 pub use spec::{
     parse_loads, parse_pattern, parse_policy, parse_scenario, pattern_label, policy_label,
-    RunSpec, SweepSpec,
+    validate_scenario, RunSpec, SweepSpec,
 };

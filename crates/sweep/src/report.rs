@@ -3,6 +3,7 @@
 use crate::engine::{CampaignResult, RunRecord};
 use crate::spec::{pattern_label, policy_label};
 use iadm_bench::json::{sim_stats_json, Json};
+use std::collections::HashMap;
 
 /// The canonical JSON encoding of a campaign. Every run appears in run-
 /// index order with its resolved parameters and full statistics (including
@@ -14,10 +15,7 @@ pub fn campaign_json(result: &CampaignResult) -> Json {
         ("campaign", Json::from(result.name.as_str())),
         ("campaign_seed", Json::from(result.campaign_seed)),
         ("run_count", Json::from(result.runs.len())),
-        (
-            "runs",
-            Json::arr(result.runs.iter().map(run_json)),
-        ),
+        ("runs", Json::arr(result.runs.iter().map(run_json))),
     ])
 }
 
@@ -44,8 +42,20 @@ pub fn summary_table(result: &CampaignResult) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:>5} {:>5} {:>5} {:<6} {:<8} {:<14} {:>7} {:>9} {:>10} {:>6} {:>6} {:>6} {:>7} {:>7}\n",
-        "run", "N", "load", "policy", "pattern", "scenario", "faults", "delivered", "throughput",
-        "mean", "p50", "p95", "p99", "lost"
+        "run",
+        "N",
+        "load",
+        "policy",
+        "pattern",
+        "scenario",
+        "faults",
+        "delivered",
+        "throughput",
+        "mean",
+        "p50",
+        "p95",
+        "p99",
+        "lost"
     ));
     for record in &result.runs {
         let s = &record.stats;
@@ -74,22 +84,39 @@ pub fn summary_table(result: &CampaignResult) -> String {
 /// A pivot table: one row per offered load, one column per
 /// (policy, scenario) pair, cells computed by `metric`. This is the
 /// compact form EXPERIMENTS.md embeds (e.g. `metric` = p99 latency).
+///
+/// One pass over the runs: rows key on the load's exact bit pattern
+/// (never a lossy `format!` round-trip of an `f64`) and columns on the
+/// (policy, scenario) label, both in first-appearance order; when the
+/// grid maps several runs to one cell the first wins, matching the
+/// run-index order the engine guarantees.
 pub fn pivot_table(result: &CampaignResult, metric: &dyn Fn(&RunRecord) -> String) -> String {
-    let mut loads: Vec<String> = Vec::new();
+    let mut loads: Vec<f64> = Vec::new();
+    let mut row_of: HashMap<u64, usize> = HashMap::new();
     let mut columns: Vec<String> = Vec::new();
+    let mut col_of: HashMap<String, usize> = HashMap::new();
+    let mut cells: HashMap<(usize, usize), String> = HashMap::new();
     for record in &result.runs {
-        let load = format!("{}", record.spec.offered_load);
-        if !loads.contains(&load) {
-            loads.push(load);
-        }
-        let column = format!(
+        let row = *row_of
+            .entry(record.spec.offered_load.to_bits())
+            .or_insert_with(|| {
+                loads.push(record.spec.offered_load);
+                loads.len() - 1
+            });
+        let label = format!(
             "{}/{}",
             policy_label(record.spec.policy),
             record.spec.scenario.label()
         );
-        if !columns.contains(&column) {
-            columns.push(column);
-        }
+        let col = match col_of.get(&label) {
+            Some(&col) => col,
+            None => {
+                columns.push(label.clone());
+                col_of.insert(label, columns.len() - 1);
+                columns.len() - 1
+            }
+        };
+        cells.entry((row, col)).or_insert_with(|| metric(record));
     }
     let mut out = String::new();
     out.push_str(&format!("{:>6}", "load"));
@@ -97,21 +124,10 @@ pub fn pivot_table(result: &CampaignResult, metric: &dyn Fn(&RunRecord) -> Strin
         out.push_str(&format!(" {column:>18}"));
     }
     out.push('\n');
-    for load in &loads {
+    for (row, load) in loads.iter().enumerate() {
         out.push_str(&format!("{load:>6}"));
-        for column in &columns {
-            let cell = result
-                .runs
-                .iter()
-                .find(|r| {
-                    format!("{}", r.spec.offered_load) == *load
-                        && format!(
-                            "{}/{}",
-                            policy_label(r.spec.policy),
-                            r.spec.scenario.label()
-                        ) == *column
-                })
-                .map_or_else(|| "-".into(), metric);
+        for col in 0..columns.len() {
+            let cell = cells.get(&(row, col)).map_or("-", String::as_str);
             out.push_str(&format!(" {cell:>18}"));
         }
         out.push('\n');
@@ -146,5 +162,18 @@ mod tests {
         assert_eq!(pivot.lines().count(), 1 + 2, "two loads in the smoke spec");
         assert!(pivot.contains("ssdt/none"));
         assert!(pivot.contains("fixed/double:S1:1"));
+    }
+
+    #[test]
+    fn pivot_takes_the_first_record_when_cells_collide() {
+        // Duplicating the run list must not change a single cell: the
+        // single-pass rewrite keeps the old `find()` first-match rule.
+        let result = run_campaign(&SweepSpec::smoke(), 1).unwrap();
+        let mut doubled = result.clone();
+        doubled.runs.extend(result.runs.iter().cloned());
+        assert_eq!(
+            pivot_table(&doubled, &|r| r.spec.index.to_string()),
+            pivot_table(&result, &|r| r.spec.index.to_string())
+        );
     }
 }

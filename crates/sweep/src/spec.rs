@@ -144,7 +144,10 @@ impl SweepSpec {
             patterns: vec![TrafficPattern::Uniform],
             scenarios: vec![
                 ScenarioSpec::None,
-                ScenarioSpec::DoubleNonstraight { stage: 1, switch: 1 },
+                ScenarioSpec::DoubleNonstraight {
+                    stage: 1,
+                    switch: 1,
+                },
             ],
             cycles: 200,
             warmup: 40,
@@ -180,17 +183,57 @@ impl SweepSpec {
         }
     }
 
+    /// Experiment E15: transient-fault degradation. Three fault climates —
+    /// a static healthy network, gentle churn (MTBF 1000 / MTTR 200) and
+    /// harsh churn (MTBF 250 / MTTR 100) — crossed with three policies and
+    /// three loads at N=64 (27 runs). The timelines realize per run from
+    /// the run seed, so the campaign is as deterministic as E13.
+    pub fn e15() -> SweepSpec {
+        SweepSpec {
+            name: "e15".into(),
+            sizes: vec![64],
+            loads: vec![0.2, 0.5, 0.8],
+            queue_capacities: vec![4],
+            policies: vec![
+                RoutingPolicy::FixedC,
+                RoutingPolicy::SsdtBalance,
+                RoutingPolicy::TsdtSender,
+            ],
+            patterns: vec![TrafficPattern::Uniform],
+            scenarios: vec![
+                ScenarioSpec::None,
+                ScenarioSpec::Mtbf {
+                    mtbf: 1000,
+                    mttr: 200,
+                },
+                ScenarioSpec::Mtbf {
+                    mtbf: 250,
+                    mttr: 100,
+                },
+            ],
+            cycles: 2000,
+            warmup: 400,
+            campaign_seed: 0xE15,
+        }
+    }
+
     /// Looks a built-in campaign up by name.
     pub fn builtin(name: &str) -> Result<SweepSpec, String> {
         match name {
             "smoke" => Ok(SweepSpec::smoke()),
             "e13" => Ok(SweepSpec::e13()),
-            other => Err(format!("unknown built-in sweep spec {other} (smoke, e13)")),
+            "e15" => Ok(SweepSpec::e15()),
+            other => Err(format!(
+                "unknown built-in sweep spec {other} (smoke, e13, e15)"
+            )),
         }
     }
 }
 
-fn validate_scenario(spec: &ScenarioSpec, size: Size) -> Result<(), String> {
+/// Range-checks a fault scenario against a network size (the same check
+/// `SweepSpec::expand` applies per size axis — public so the CLI can
+/// validate a `simulate --faults` scenario before realizing it).
+pub fn validate_scenario(spec: &ScenarioSpec, size: Size) -> Result<(), String> {
     let stage_ok = |stage: usize| {
         if stage < size.stages() {
             Ok(())
@@ -234,7 +277,10 @@ fn validate_scenario(spec: &ScenarioSpec, size: Size) -> Result<(), String> {
             if (0.0..=1.0).contains(p) {
                 Ok(())
             } else {
-                Err(format!("scenario {}: probability out of range", spec.label()))
+                Err(format!(
+                    "scenario {}: probability out of range",
+                    spec.label()
+                ))
             }
         }
         ScenarioSpec::DoubleNonstraight { stage, switch } => {
@@ -242,7 +288,21 @@ fn validate_scenario(spec: &ScenarioSpec, size: Size) -> Result<(), String> {
             switch_ok(*switch)
         }
         ScenarioSpec::StageNonstraightBurst { stage } => stage_ok(*stage),
-        ScenarioSpec::SwitchBandBurst { stage, first, count } => {
+        ScenarioSpec::Mtbf { mtbf, mttr } => {
+            if *mtbf == 0 || *mttr == 0 {
+                Err(format!(
+                    "scenario {}: mtbf and mttr must both be at least 1 cycle",
+                    spec.label()
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        ScenarioSpec::SwitchBandBurst {
+            stage,
+            first,
+            count,
+        } => {
             stage_ok(*stage)?;
             switch_ok(*first)?;
             if *count > size.n() {
@@ -295,7 +355,9 @@ pub fn parse_policy(text: &str) -> Result<RoutingPolicy, String> {
         "ssdt" => Ok(RoutingPolicy::SsdtBalance),
         "random" => Ok(RoutingPolicy::RandomSign),
         "tsdt" => Ok(RoutingPolicy::TsdtSender),
-        other => Err(format!("unknown policy {other} (fixed, ssdt, random, tsdt)")),
+        other => Err(format!(
+            "unknown policy {other} (fixed, ssdt, random, tsdt)"
+        )),
     }
 }
 
@@ -329,7 +391,10 @@ pub fn parse_pattern(text: &str) -> Result<TrafficPattern, String> {
     if let Some(list) = text.strip_prefix("perm:") {
         let perm = list
             .split('.')
-            .map(|x| x.parse::<usize>().map_err(|_| format!("bad entry in {text}")))
+            .map(|x| {
+                x.parse::<usize>()
+                    .map_err(|_| format!("bad entry in {text}"))
+            })
             .collect::<Result<Vec<_>, _>>()?;
         return Ok(TrafficPattern::Permutation(perm));
     }
@@ -341,11 +406,7 @@ pub fn parse_pattern(text: &str) -> Result<TrafficPattern, String> {
 /// Parses a comma-separated load list (`0.1,0.5,0.9`).
 pub fn parse_loads(text: &str) -> Result<Vec<f64>, String> {
     text.split(',')
-        .map(|x| {
-            x.trim()
-                .parse::<f64>()
-                .map_err(|_| format!("bad load {x}"))
-        })
+        .map(|x| x.trim().parse::<f64>().map_err(|_| format!("bad load {x}")))
         .collect()
 }
 
@@ -353,10 +414,20 @@ pub fn parse_loads(text: &str) -> Result<Vec<f64>, String> {
 /// emits, minus the `link:` form (which needs a network size to validate
 /// and is assembled by the CLI from its `--block` syntax):
 /// `none | rand:<count> | bernoulli:<p> | double:S<stage>:<switch> |
-/// stageburst:S<stage> | band:S<stage>:<first>x<count>`.
+/// stageburst:S<stage> | band:S<stage>:<first>x<count> |
+/// mtbf:<mtbf>:<mttr>`.
 pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
     if text == "none" {
         return Ok(ScenarioSpec::None);
+    }
+    if let Some(rest) = text.strip_prefix("mtbf:") {
+        let (mtbf, mttr) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("{text} must look like mtbf:<mtbf>:<mttr>"))?;
+        return Ok(ScenarioSpec::Mtbf {
+            mtbf: mtbf.parse().map_err(|_| format!("bad mtbf in {text}"))?,
+            mttr: mttr.parse().map_err(|_| format!("bad mttr in {text}"))?,
+        });
     }
     if let Some(count) = text.strip_prefix("rand:") {
         let count = count
@@ -382,7 +453,9 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
             .ok_or_else(|| format!("{text} must look like double:S<stage>:<switch>"))?;
         return Ok(ScenarioSpec::DoubleNonstraight {
             stage: stage.parse().map_err(|_| format!("bad stage in {text}"))?,
-            switch: switch.parse().map_err(|_| format!("bad switch in {text}"))?,
+            switch: switch
+                .parse()
+                .map_err(|_| format!("bad switch in {text}"))?,
         });
     }
     if let Some(stage) = text.strip_prefix("stageburst:S") {
@@ -443,7 +516,10 @@ mod tests {
         assert!(spec.expand().is_err(), "empty axis");
 
         let mut spec = SweepSpec::smoke();
-        spec.scenarios = vec![ScenarioSpec::DoubleNonstraight { stage: 99, switch: 0 }];
+        spec.scenarios = vec![ScenarioSpec::DoubleNonstraight {
+            stage: 99,
+            switch: 0,
+        }];
         assert!(spec.expand().is_err(), "out-of-range scenario");
 
         let mut spec = SweepSpec::smoke();
@@ -493,6 +569,7 @@ mod tests {
             "double:S1:4",
             "stageburst:S2",
             "band:S0:6x3",
+            "mtbf:1000:200",
         ] {
             // parse_scenario accepts the label spelling without the
             // filter suffix; normalize before comparing.
@@ -504,6 +581,22 @@ mod tests {
         }
         assert!(parse_scenario("meteor").is_err());
         assert!(parse_scenario("double:S1").is_err());
+        assert!(parse_scenario("mtbf:1000").is_err());
+        assert!(parse_scenario("mtbf:fast:slow").is_err());
+    }
+
+    #[test]
+    fn e15_matches_its_advertised_shape_and_rejects_zero_rates() {
+        let spec = SweepSpec::e15();
+        assert_eq!(spec.grid_len(), 3 * 3 * 3);
+        let runs = spec.expand().unwrap();
+        assert!(runs.iter().all(|r| r.size.n() == 64));
+
+        let mut broken = SweepSpec::e15();
+        broken.scenarios = vec![ScenarioSpec::Mtbf { mtbf: 0, mttr: 5 }];
+        assert!(broken.expand().is_err(), "zero mtbf must be rejected");
+        broken.scenarios = vec![ScenarioSpec::Mtbf { mtbf: 5, mttr: 0 }];
+        assert!(broken.expand().is_err(), "zero mttr must be rejected");
     }
 
     #[test]

@@ -9,7 +9,10 @@ use iadm_sweep::{campaign_json, run_campaign, SweepSpec};
 
 /// A campaign just big and heterogeneous enough that worker scheduling
 /// *would* scramble results if aggregation were unordered: three policies,
-/// randomized and deterministic fault scenarios, two loads, two sizes.
+/// static *and* transient fault scenarios, two loads, two sizes. The mtbf
+/// axis makes this the contract for the whole timeline pipeline: per-run
+/// schedule realization, online LUT repair, and the degradation counters
+/// all have to land byte-identically at any thread count.
 fn contract_spec() -> SweepSpec {
     SweepSpec {
         name: "determinism-contract".into(),
@@ -28,6 +31,7 @@ fn contract_spec() -> SweepSpec {
                 count: 2,
                 filter: KindFilter::Any,
             },
+            ScenarioSpec::Mtbf { mtbf: 50, mttr: 15 },
         ],
         cycles: 150,
         warmup: 30,
@@ -46,14 +50,17 @@ fn campaign_json_is_byte_identical_across_1_2_and_8_threads() {
     // The artifact is substantive, valid JSON — not an empty accident.
     let value = assert_round_trip(&one).expect("artifact must round-trip");
     let encoded = value.encode();
-    assert!(encoded.contains("\"run_count\":24"));
+    assert!(encoded.contains("\"run_count\":36"));
     assert!(encoded.contains("\"latency_buckets\":["));
+    // The transient-fault runs are present and report degradation.
+    assert!(encoded.contains("\"scenario\":\"mtbf:50:15\""));
+    assert!(encoded.contains("\"fault_events\":"));
 }
 
 #[test]
 fn every_run_of_a_campaign_conserves_packets() {
     let result = run_campaign(&contract_spec(), 4).unwrap();
-    assert_eq!(result.runs.len(), 24);
+    assert_eq!(result.runs.len(), 36);
     for record in &result.runs {
         assert!(
             record.stats.is_conserved(),

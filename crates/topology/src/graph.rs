@@ -10,9 +10,7 @@ use crate::{Link, LinkKind, Multistage, Size};
 use std::collections::BTreeSet;
 
 /// A directed edge of a layered graph: a link plus its resolved target.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StageEdge {
     /// The physical link (stage, source switch, kind).
     pub link: Link,

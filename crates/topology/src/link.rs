@@ -12,9 +12,7 @@ use core::fmt;
 ///
 /// `Ord` sorts `Minus < Straight < Plus`, which matches the paper's
 /// top-to-bottom drawing order for a switch's output links.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LinkKind {
     /// The `-2^i` link to switch `(j - 2^i) mod N`.
     Minus,
@@ -109,9 +107,7 @@ impl fmt::Display for LinkKind {
 /// join the same pair of switches (`+2^{n-1} ≡ -2^{n-1} mod N`) but are
 /// distinct physical links, and the paper's Section 6 counting depends on
 /// that distinction.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Link {
     /// Stage of the source switch.
     pub stage: usize,

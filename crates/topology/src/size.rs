@@ -21,9 +21,7 @@ use core::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Size {
     log2: u32,
 }

@@ -29,6 +29,26 @@ grep -q '"run_count":8' "$out" || {
 
 echo "sweep_smoke: OK ($(wc -c < "$out") bytes)"
 
+# Transient-fault smoke: a tiny mtbf campaign must run, label its
+# scenario, and report degradation counters in the artifact.
+mtbf_out="$(mktemp /tmp/iadm_sweep_mtbf.XXXXXX.json)"
+trap 'rm -f "$out" "$mtbf_out"' EXIT
+
+./target/release/iadm-cli sweep --n 8 --loads 0.4 --policies ssdt,tsdt \
+    --cycles 300 --faults none,mtbf:80:30 --threads 2 --out "$mtbf_out"
+
+[ -s "$mtbf_out" ] || { echo "sweep_smoke: empty mtbf artifact" >&2; exit 1; }
+grep -q '"scenario":"mtbf:80:30"' "$mtbf_out" || {
+    echo "sweep_smoke: mtbf artifact missing the transient scenario label" >&2
+    exit 1
+}
+grep -q '"fault_events":' "$mtbf_out" || {
+    echo "sweep_smoke: mtbf runs reported no degradation stats" >&2
+    exit 1
+}
+
+echo "sweep_smoke: mtbf OK ($(wc -c < "$mtbf_out") bytes)"
+
 # Perf trajectory: the simulator benchmark must stay within tolerance of
 # the checked-in BENCH_sim.json (see scripts/bench_gate.sh).
 sh scripts/bench_gate.sh

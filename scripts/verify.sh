@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
-# Tier-1 verification: hermetic (offline) release build, lint wall, and
-# full test suite. No network, no registry — every dependency is an
-# in-tree path crate.
+# Tier-1 verification: hermetic (offline) release build, format gate,
+# lint wall, and full test suite. No network, no registry — every
+# dependency is an in-tree path crate.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+cargo fmt --all --check
 cargo clippy -q --offline --all-targets -- -D warnings
 cargo test -q --offline

@@ -81,7 +81,11 @@ fn e1_all_tsdt_states_sweep_n8() {
             let tag = TsdtTag::with_state(size, d, state_bits);
             for s in size.switches() {
                 let path = trace_tsdt(size, s, &tag);
-                assert_eq!(path.destination(size), d, "state={state_bits:#x} s={s} d={d}");
+                assert_eq!(
+                    path.destination(size),
+                    d,
+                    "state={state_bits:#x} s={s} d={d}"
+                );
             }
         }
     }
@@ -103,8 +107,7 @@ fn corollary_4_1_evades_every_nonstraight_blockage() {
                         if !path.kind_at(stage).is_nonstraight() {
                             continue;
                         }
-                        let blockages =
-                            BlockageMap::from_links(size, [path.link_at(size, stage)]);
+                        let blockages = BlockageMap::from_links(size, [path.link_at(size, stage)]);
                         let flipped = tag.corollary_4_1(stage);
                         let alt = trace_tsdt(size, s, &flipped);
                         assert!(
@@ -174,8 +177,7 @@ fn reroute_matches_oracle_for_every_single_fault() {
         for stage in size.stage_indices() {
             for j in size.switches() {
                 for kind in [LinkKind::Straight, LinkKind::Plus, LinkKind::Minus] {
-                    let blockages =
-                        BlockageMap::from_links(size, [Link::new(stage, j, kind)]);
+                    let blockages = BlockageMap::from_links(size, [Link::new(stage, j, kind)]);
                     for s in size.switches() {
                         for d in size.switches() {
                             let exists = oracle::free_path_exists(size, &blockages, s, d);
