@@ -207,6 +207,18 @@ pub fn sim_stats_json(stats: &SimStats) -> Json {
             Json::arr(stats.stage_link_use.iter().map(|&c| Json::from(c))),
         ),
     ];
+    // Wormhole runs additionally report the flit ledger; store-and-forward
+    // runs (flits_per_packet == 0) keep their exact historical encoding.
+    if stats.flits_per_packet > 0 {
+        fields.extend([
+            ("flits_per_packet", Json::from(stats.flits_per_packet)),
+            ("flits_injected", Json::from(stats.flits_injected)),
+            ("flits_delivered", Json::from(stats.flits_delivered)),
+            ("flits_dropped", Json::from(stats.flits_dropped)),
+            ("flits_refused", Json::from(stats.flits_refused)),
+            ("flits_in_flight", Json::from(stats.flits_in_flight)),
+        ]);
+    }
     if stats.fault_events > 0 {
         fields.extend([
             ("fault_events", Json::from(stats.fault_events)),
@@ -545,6 +557,24 @@ mod tests {
         assert!(text.contains("\"latency_p99\":6"));
         assert!(text.contains("\"latency_buckets\":[0,0,50]"));
         assert!(text.contains("\"stage_link_use\":[50,50,50]"));
+        assert!(
+            !text.contains("flits_"),
+            "SF runs must not grow flit fields: {text}"
+        );
+        // A wormhole run grows the flit ledger between the link-use and
+        // fault blocks, still round-trippable.
+        stats.flits_per_packet = 4;
+        stats.flits_injected = 200;
+        stats.flits_delivered = 188;
+        stats.flits_dropped = 12;
+        let text = sim_stats_json(&stats).encode();
+        assert_round_trip(&text).expect("wormhole stats JSON must round-trip");
+        assert!(text.contains("\"flits_per_packet\":4"));
+        assert!(text.contains("\"flits_injected\":200"));
+        assert!(text.contains("\"flits_in_flight\":0"));
+        let flit_at = text.find("\"flits_per_packet\"").unwrap();
+        assert!(text.find("\"stage_link_use\"").unwrap() < flit_at);
+        assert!(flit_at < text.find("\"fault_events\"").unwrap());
     }
 
     #[test]

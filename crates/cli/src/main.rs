@@ -17,7 +17,7 @@ use iadm_analysis::{dot, enumerate, oracle, render};
 use iadm_core::route::{trace, trace_tsdt};
 use iadm_core::{reroute::reroute, NetworkState};
 use iadm_fault::{BlockageMap, FaultTimeline};
-use iadm_sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
+use iadm_sim::{run_once, RoutingPolicy, SimConfig, SwitchingMode, TrafficPattern};
 use iadm_topology::{Adm, Gamma, GeneralizedCube, ICube, Iadm, Link, LinkKind, Size};
 use std::process::ExitCode;
 
@@ -40,19 +40,24 @@ const USAGE: &str = "usage:
   iadm paths    -n <N> -s <src> -d <dst> [--block ...]...
   iadm render   -n <N> [--net iadm|icube|adm|gamma|gcube]
   iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>] [--policy fixed|ssdt|random|tsdt]
-                [--faults <scenario>] [--block ...]...
+                [--mode sf|wormhole:<flits>[:<lanes>]] [--faults <scenario>] [--block ...]...
   iadm subgraphs -n <N>
   iadm dot      -n <N> [--net ...] [-s <src> -d <dst>] [--block ...]...   (Graphviz output)
   iadm broadcast -n <N> -s <src> [--dests 1,2,5]
-  iadm sweep    [--spec smoke|e13|e15] [--threads <t>] [--out results/….json]
+  iadm sweep    [--spec smoke|e13|e15|e16] [--threads <t>] [--out results/….json]
                 [--n 8,64] [--loads 0.1,0.5] [--policies fixed,ssdt,tsdt]
                 [--patterns uniform,bitrev,hotspot:<d>] [--queues 4]
+                [--modes sf,wormhole:<flits>[:<lanes>]]
                 [--cycles <c>] [--warmup <w>] [--seed <s>]
                 [--faults none,rand:<k>,mtbf:<m>:<r>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]
 
 fault scenarios: `mtbf:<mtbf>:<mttr>` schedules transient link failures
 (exponential fail/repair holding times, repaired online mid-run); the
-other forms block links for the whole run.";
+other forms block links for the whole run.
+
+switching modes: `sf` is store-and-forward (default); `wormhole:<flits>`
+pipelines each packet as a worm of that many flits over reserved link
+lanes (one lane per link unless `:<lanes>` is given).";
 
 /// A tiny flag parser: collects `--key value`, `-k value` pairs and
 /// repeated `--block` occurrences.
@@ -185,14 +190,14 @@ fn run(args: &[String]) -> Result<(), String> {
         "route" | "reroute" | "paths" => &["n", "s", "d", "block"],
         "render" => &["n", "net"],
         "simulate" => &[
-            "n", "load", "cycles", "warmup", "policy", "queue", "seed", "faults", "block",
+            "n", "load", "cycles", "warmup", "policy", "mode", "queue", "seed", "faults", "block",
         ],
         "subgraphs" => &["n"],
         "dot" => &["n", "net", "s", "d", "block"],
         "broadcast" => &["n", "s", "dests"],
         "sweep" => &[
-            "spec", "threads", "out", "n", "loads", "policies", "patterns", "queues", "cycles",
-            "warmup", "seed", "faults",
+            "spec", "threads", "out", "n", "loads", "policies", "patterns", "modes", "queues",
+            "cycles", "warmup", "seed", "faults",
         ],
         other => return Err(format!("unknown command {other}")),
     };
@@ -319,6 +324,10 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         seed: args.usize_or("seed", 1)? as u64,
     };
     config.validate()?;
+    let mode = match args.get("mode") {
+        Some(text) => iadm_sweep::parse_mode(text)?,
+        None => SwitchingMode::StoreForward,
+    };
     // A --faults scenario realizes (initial map + transient timeline) from
     // the same seed streams a sweep run uses, so `simulate --seed S` and a
     // one-point campaign seeded to derive S agree exactly.
@@ -341,18 +350,20 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         None => (BlockageMap::new(size), FaultTimeline::empty(size)),
     };
     let blockages = args.blocks_onto(size, initial)?;
-    let stats = if blockages.is_empty() && timeline.is_empty() {
-        run_once(config, policy, TrafficPattern::Uniform)
-    } else {
-        iadm_sim::Simulator::with_fault_timeline(
-            config,
-            policy,
-            TrafficPattern::Uniform,
-            blockages,
-            timeline,
-        )
-        .run()
-    };
+    let stats =
+        if blockages.is_empty() && timeline.is_empty() && mode == SwitchingMode::StoreForward {
+            run_once(config, policy, TrafficPattern::Uniform)
+        } else {
+            iadm_sim::Simulator::with_fault_timeline(
+                config,
+                policy,
+                TrafficPattern::Uniform,
+                blockages,
+                timeline,
+            )
+            .with_switching_mode(mode)
+            .run()
+        };
     println!("cycles          {}", stats.cycles);
     println!("injected        {}", stats.injected);
     println!("delivered       {}", stats.delivered);
@@ -364,6 +375,15 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
     println!("max latency     {} cycles", stats.latency_max);
     println!("throughput      {:.4} pkts/port/cycle", stats.throughput());
     println!("peak queue      {}", stats.queue_high_water);
+    if stats.flits_per_packet > 0 {
+        println!("flits/packet    {}", stats.flits_per_packet);
+        println!("flits injected  {}", stats.flits_injected);
+        println!("flits delivered {}", stats.flits_delivered);
+        println!(
+            "flits lost      {} dropped + {} refused + {} in flight",
+            stats.flits_dropped, stats.flits_refused, stats.flits_in_flight
+        );
+    }
     if stats.fault_events > 0 {
         println!("fault events    {}", stats.fault_events);
         println!("reroutes        {}", stats.reroutes);
@@ -453,6 +473,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             queue_capacities: vec![4],
             policies: vec![iadm_sim::RoutingPolicy::SsdtBalance],
             patterns: vec![TrafficPattern::Uniform],
+            modes: vec![SwitchingMode::StoreForward],
             scenarios: vec![iadm_fault::scenario::ScenarioSpec::None],
             cycles: 2000,
             warmup: 400,
@@ -476,6 +497,12 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         spec.patterns = list
             .split(',')
             .map(|p| iadm_sweep::parse_pattern(p.trim()))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("modes") {
+        spec.modes = list
+            .split(',')
+            .map(|m| iadm_sweep::parse_mode(m.trim()))
             .collect::<Result<_, _>>()?;
     }
     if let Some(list) = args.get("queues") {
@@ -632,6 +659,26 @@ mod tests {
                 "-n",
                 "8",
                 "--cycles",
+                "80",
+                "--mode",
+                "wormhole:4",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "120",
+                "--mode",
+                "wormhole:2:2",
+                "--faults",
+                "mtbf:40:15",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
                 "200",
                 "--faults",
                 "mtbf:50:20",
@@ -666,6 +713,21 @@ mod tests {
                 "0.4",
                 "--policies",
                 "ssdt,tsdt",
+                "--cycles",
+                "100",
+                "--faults",
+                "none,mtbf:40:15",
+            ],
+            vec![
+                "sweep",
+                "--n",
+                "8",
+                "--loads",
+                "0.3",
+                "--policies",
+                "ssdt",
+                "--modes",
+                "sf,wormhole:4",
                 "--cycles",
                 "100",
                 "--faults",
@@ -720,8 +782,12 @@ mod tests {
             vec!["sweep", "--threads", "0"],
             vec!["sweep", "--n", "7"],
             vec!["sweep", "--faults", "mtbf:0:5"],
+            vec!["sweep", "--modes", "cut-through"],
+            vec!["sweep", "--modes", "wormhole:0"],
             vec!["simulate", "-n", "8", "--faults", "mtbf:nope"],
             vec!["simulate", "-n", "8", "--faults", "double:S9:0"],
+            vec!["simulate", "-n", "8", "--mode", "wormhole:4:0"],
+            vec!["simulate", "-n", "8", "--mode", "virtual-cut"],
         ] {
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
             assert!(run(&args).is_err(), "{case:?} must fail");

@@ -34,6 +34,20 @@ pub struct FaultEvent {
     pub up: bool,
 }
 
+impl FaultEvent {
+    /// Is this a failure (the link goes down)? In wormhole mode a failure
+    /// of a reserved link additionally tears down every worm holding one
+    /// of its lanes.
+    pub fn is_failure(&self) -> bool {
+        !self.up
+    }
+
+    /// Is this a repair (the link comes back up)?
+    pub fn is_repair(&self) -> bool {
+        self.up
+    }
+}
+
 /// A deterministic schedule of link fail/repair events, sorted by
 /// `(cycle, link, repair-after-fail)` so application order never depends
 /// on construction order. The canonical sort also makes two timelines

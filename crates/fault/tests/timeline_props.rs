@@ -1,0 +1,130 @@
+//! `FaultTimeline` properties: for ANY (seed, MTBF, MTTR, horizon) the
+//! generated schedule must be canonically sorted, strictly alternating
+//! per link starting with a failure, and a pure function of its inputs.
+//! The simulator's incremental application (and the wormhole teardown
+//! path layered on it in PR 5) silently depends on every one of these —
+//! e.g. a repair sorting before a same-cycle failure would resurrect a
+//! link the teardown pass just killed worms on.
+
+use iadm_check::{check, check_assert, check_assert_eq};
+use iadm_fault::{FaultEvent, FaultTimeline};
+use iadm_rng::Rng;
+use iadm_topology::{Link, LinkKind, Size};
+use std::collections::HashMap;
+
+/// Asserts every structural invariant of a canonical timeline.
+fn assert_canonical(tl: &FaultTimeline, horizon: u64) -> Result<(), String> {
+    let size = tl.size();
+    // Sorted by (cycle, link, fail-before-repair), with no event at or
+    // past the horizon.
+    for pair in tl.events().windows(2) {
+        let key = |e: &FaultEvent| (e.cycle, e.link.flat_index(size), e.up);
+        check_assert!(
+            key(&pair[0]) <= key(&pair[1]),
+            "events out of canonical order: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    check_assert!(tl.events().iter().all(|e| e.cycle < horizon));
+    // Per link: first event is a failure, states strictly alternate, and
+    // cycles strictly increase (a link cannot transition twice at once).
+    let mut last: HashMap<usize, (u64, bool)> = HashMap::new();
+    for e in tl.events() {
+        let q = e.link.flat_index(size);
+        match last.get(&q) {
+            None => check_assert!(
+                e.is_failure(),
+                "link {} must fail before it can be repaired",
+                e.link
+            ),
+            Some(&(cycle, up)) => {
+                check_assert!(
+                    e.cycle > cycle,
+                    "link {} transitions twice at cycle {}",
+                    e.link,
+                    e.cycle
+                );
+                check_assert_eq!(e.up, !up, "link {} out of phase", e.link);
+            }
+        }
+        check_assert_eq!(e.is_repair(), !e.is_failure());
+        last.insert(q, (e.cycle, e.up));
+    }
+    Ok(())
+}
+
+check! {
+    fn prop_mtbf_schedules_are_canonical_and_deterministic(g; cases = 96) {
+        let size = Size::new([4, 8, 16][g.usize_in(0..=2)]).unwrap();
+        let seed = g.u64_any();
+        let mtbf = u64::from(g.u32_in(1..=300));
+        let mttr = u64::from(g.u32_in(1..=120));
+        let horizon = u64::from(g.u32_in(1..=1500));
+        let tl = FaultTimeline::mtbf(size, seed, mtbf, mttr, horizon);
+        assert_canonical(&tl, horizon)?;
+        // A pure function of its inputs.
+        check_assert_eq!(tl, FaultTimeline::mtbf(size, seed, mtbf, mttr, horizon));
+    }
+
+    fn prop_from_events_canonicalizes_any_event_soup(g; cases = 96) {
+        // Throw an arbitrary unsorted pile of events (duplicates and
+        // same-cycle fail/repair pairs included) at the constructor; the
+        // result must sort canonically with fail-before-repair on ties.
+        let size = Size::new(8).unwrap();
+        let mut rng = g.rng();
+        let count = g.usize_in(0..=40);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            events.push(FaultEvent {
+                cycle: rng.gen_range(0..50) as u64,
+                link: Link::new(
+                    rng.gen_range(0..size.stages()),
+                    rng.gen_range(0..size.n()),
+                    LinkKind::ALL[rng.gen_range(0..3)],
+                ),
+                up: rng.gen_bool(0.5),
+            });
+        }
+        let tl = FaultTimeline::from_events(size, events.clone());
+        check_assert_eq!(tl.len(), events.len(), "canonicalization never drops events");
+        let key = |e: &FaultEvent| (e.cycle, e.link.flat_index(size), e.up);
+        for pair in tl.events().windows(2) {
+            check_assert!(key(&pair[0]) <= key(&pair[1]));
+        }
+        // Same-key (cycle, link) collisions: every failure precedes every
+        // repair, so a same-cycle (fail, repair) pair nets to "up".
+        for pair in tl.events().windows(2) {
+            if pair[0].cycle == pair[1].cycle && pair[0].link == pair[1].link {
+                check_assert!(
+                    !pair[0].up || pair[1].up,
+                    "repair sorted before a same-cycle failure"
+                );
+            }
+        }
+        // Construction order is irrelevant.
+        let mut reversed = events;
+        reversed.reverse();
+        check_assert_eq!(tl, FaultTimeline::from_events(size, reversed));
+    }
+}
+
+#[test]
+fn mtbf_seeds_decorrelate_links() {
+    // Two links with identical parameters draw from per-link streams:
+    // their schedules must not be copies of each other (a shared stream
+    // would fail every availability statistic downstream).
+    let size = Size::new(8).unwrap();
+    let tl = FaultTimeline::mtbf(size, 9, 80, 30, 4000);
+    let schedule = |link: Link| -> Vec<u64> {
+        tl.events()
+            .iter()
+            .filter(|e| e.link == link)
+            .map(|e| e.cycle)
+            .collect()
+    };
+    let a = schedule(Link::plus(0, 0));
+    let b = schedule(Link::plus(0, 1));
+    assert!(!a.is_empty() && !b.is_empty(), "4000 cycles must churn");
+    assert_ne!(a, b, "per-link streams must differ");
+}

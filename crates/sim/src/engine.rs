@@ -13,7 +13,7 @@
 //! (enforced by `tests/parity.rs`).
 
 use crate::packet::Packet;
-use crate::queue::QueueArena;
+use crate::queue::{QueueArena, ReservationTable};
 use crate::stats::SimStats;
 use crate::traffic::TrafficPattern;
 use iadm_core::lut::{kind_for, RouteLut};
@@ -97,6 +97,88 @@ pub enum RoutingPolicy {
     /// know the location of faulty links and switches"). Unroutable pairs
     /// are dropped at the source.
     TsdtSender,
+}
+
+/// How packets move through the network.
+///
+/// The engine defaults to store-and-forward (whole packets hop between
+/// link buffers); [`Simulator::with_wormhole_switching`] turns a run into
+/// wormhole mode, where this enum is the sweep/CLI-facing description of
+/// the choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SwitchingMode {
+    /// Whole packets buffered per link (the default; byte-identical to
+    /// the engine before wormhole mode existed).
+    #[default]
+    StoreForward,
+    /// Packets split into `flits` flits that pipeline over a chain of
+    /// reserved link lanes (`lanes` lanes per link).
+    Wormhole {
+        /// Flits per packet (>= 1).
+        flits: u32,
+        /// Lanes per link (>= 1).
+        lanes: u32,
+    },
+}
+
+/// One wormhole-mode packet in flight: `flits` flits pipelined over the
+/// chain of reserved link lanes in `held` (front = tail-most lane, back =
+/// the head's lane). The routing-relevant fields mirror [`Packet`]'s
+/// exactly — a worm *is* a packet whose body occupies links instead of a
+/// buffer slot. Invariant while live: `flits == ejected + held.len() +
+/// pending`.
+#[derive(Debug)]
+struct Worm {
+    /// Destination output port.
+    dest: u32,
+    /// Cycle the packet was injected (head-injection end of the latency
+    /// measurement; the other end is tail ejection).
+    injected_at: u32,
+    /// Sender-computed TSDT state word, if any (same semantics as
+    /// [`Packet::tag_state`]).
+    tag_state: Option<u32>,
+    /// Flits still waiting at the source (not yet on any link).
+    pending: u32,
+    /// Flits already ejected at the output port.
+    ejected: u32,
+    /// Stage of the link the head flit currently occupies.
+    head_stage: u32,
+    /// Switch (or output port, at the last stage) the head's link leads
+    /// to.
+    head_to: u32,
+    /// Head has claimed its output port and is draining one flit/cycle.
+    ejecting: bool,
+    /// Retired (delivered or killed); awaiting free-list recycling.
+    dead: bool,
+    /// Global reservation-table lane slots held, rear first.
+    held: VecDeque<u32>,
+}
+
+/// All wormhole-mode state, boxed into an `Option` on the [`Simulator`]:
+/// `None` means store-and-forward and costs the hot path exactly one
+/// branch at the top of [`Simulator::step`], so the store-and-forward
+/// instruction sequence — and therefore its statistics — stays
+/// byte-identical to the pre-wormhole engine (enforced by
+/// `tests/parity.rs`).
+#[derive(Debug)]
+struct WormState {
+    /// Flits per packet.
+    flits: u32,
+    /// Lane reservations, indexed like the queue arena (`Link::flat_index
+    /// * lanes + lane`).
+    reservations: ReservationTable,
+    /// Worm storage; indices are worm ids, recycled through `free`.
+    worms: Vec<Worm>,
+    /// Retired worm ids available for reuse.
+    free: Vec<u32>,
+    /// Live worm ids in admission order (the advance loop rotates its
+    /// starting point over this list for fairness, like the switch scan).
+    order: Vec<u32>,
+    /// Per output port: the worm currently ejecting there
+    /// ([`ReservationTable::FREE`] when the port is idle). One flit
+    /// drains per port per cycle — the wormhole analogue of the exit
+    /// column's single-packet acceptance.
+    eject_hold: Vec<u32>,
 }
 
 /// What the switching decision did with a packet this cycle.
@@ -242,6 +324,14 @@ pub struct Simulator {
     rng: StdRng,
     stats: SimStats,
     cycle: u64,
+    /// Wormhole-mode state; `None` = store-and-forward (the default).
+    wormhole: Option<WormState>,
+    /// Links that transitioned *down* during this cycle's
+    /// [`Simulator::apply_due_events`] (flat indices) — the wormhole
+    /// teardown pass kills every worm holding a lane of one. Only
+    /// populated in wormhole mode; always empty on the store-and-forward
+    /// path.
+    downed_scratch: Vec<usize>,
     /// Packets a switch may accept per cycle: 1 for IADM-style
     /// single-input switches, 3 for Gamma-style crossbars.
     accept_limit: u8,
@@ -345,6 +435,8 @@ impl Simulator {
             pattern,
             blockages,
             cycle: 0,
+            wormhole: None,
+            downed_scratch: Vec::new(),
             accept_limit: 1,
             states: NetworkState::all_c(size),
         }
@@ -358,6 +450,49 @@ impl Simulator {
     pub fn with_crossbar_switches(mut self) -> Self {
         self.accept_limit = 3;
         self
+    }
+
+    /// Switches the run to wormhole mode: every packet becomes a worm of
+    /// `flits` flits whose head reserves one lane per traversed link
+    /// (`lanes` lanes per link), body flits pipeline behind it, and the
+    /// tail releases lanes as it passes. A blocked head stalls *in place*
+    /// holding its reservations — the paper's busy-link blockage — and
+    /// SSDT/TSDT rerouting applies at head-advance time. A timeline
+    /// failure of a reserved link kills the whole worm (counted as an
+    /// outage drop); flit conservation still balances, enforced by
+    /// `tests/wormhole.rs`. Latency is head-injection to tail-ejection.
+    ///
+    /// `queue_capacity` is ignored in this mode (links hold lanes, not
+    /// packet buffers), as is [`Simulator::with_crossbar_switches`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits == 0` or `lanes == 0`.
+    #[must_use]
+    pub fn with_wormhole_switching(mut self, flits: u32, lanes: u32) -> Self {
+        assert!(flits > 0, "a worm needs at least one flit");
+        assert!(lanes > 0, "a link needs at least one lane");
+        let size = self.config.size;
+        self.stats.flits_per_packet = u64::from(flits);
+        self.wormhole = Some(WormState {
+            flits,
+            reservations: ReservationTable::new(Link::slot_count(size), lanes as usize),
+            worms: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            eject_hold: vec![ReservationTable::FREE; size.n()],
+        });
+        self
+    }
+
+    /// Applies a [`SwitchingMode`] value (the sweep/CLI plumbing form of
+    /// [`Simulator::with_wormhole_switching`]).
+    #[must_use]
+    pub fn with_switching_mode(self, mode: SwitchingMode) -> Self {
+        match mode {
+            SwitchingMode::StoreForward => self,
+            SwitchingMode::Wormhole { flits, lanes } => self.with_wormhole_switching(flits, lanes),
+        }
     }
 
     /// Queue-arena index of the `kind` output link of switch `sw` at
@@ -404,6 +539,12 @@ impl Simulator {
                 self.links_down_now += 1;
                 self.down_since[idx] = self.cycle;
                 self.ever_down[idx] = true;
+                if self.wormhole.is_some() {
+                    // Wormhole teardown pass input: only links that
+                    // actually transitioned down (re-failing an already-
+                    // blocked link kills nothing).
+                    self.downed_scratch.push(idx);
+                }
             }
         }
     }
@@ -580,6 +721,13 @@ impl Simulator {
     /// Runs one cycle: deliver/advance from the last stage backward, then
     /// inject, then sample occupancies.
     pub fn step(&mut self) {
+        // The single wormhole branch on the store-and-forward path: the
+        // entire instruction sequence below is untouched when `wormhole`
+        // is `None`.
+        if self.wormhole.is_some() {
+            self.step_wormhole();
+            return;
+        }
         // Fault dynamics apply between cycles: every routing decision of
         // this cycle sees the post-event map.
         if self.dynamic {
@@ -803,6 +951,360 @@ impl Simulator {
         self.cycle += 1;
     }
 
+    /// One wormhole-mode cycle: teardown (kill worms on freshly-downed
+    /// reserved links), advance every live worm at most one hop (eject a
+    /// flit, advance the head one link, or stall in place holding
+    /// reservations), retire the dead, admit new worms from the source
+    /// queues, then inject arrivals. The arrival phase draws the RNG in
+    /// exactly the store-and-forward order, so a wormhole run's traffic
+    /// trace is the same trace the store-and-forward run would have seen.
+    fn step_wormhole(&mut self) {
+        self.downed_scratch.clear();
+        if self.dynamic {
+            self.apply_due_events();
+        }
+        let mut ws = self
+            .wormhole
+            .take()
+            .expect("step_wormhole without wormhole state");
+        let size = self.config.size;
+        let n = size.n();
+        let stages = size.stages();
+        // Teardown: a downed reserved link kills every worm holding one
+        // of its lanes — the worm's flits can no longer pipeline across
+        // the failure, so the whole packet is an outage drop.
+        let downed = std::mem::take(&mut self.downed_scratch);
+        for &q in &downed {
+            let lanes = ws.reservations.lanes();
+            for slot in q * lanes..(q + 1) * lanes {
+                if let Some(id) = ws.reservations.holder(slot) {
+                    self.kill_worm(&mut ws, id);
+                }
+            }
+        }
+        self.downed_scratch = downed;
+        // Advance, rotating the starting worm like the switch scan
+        // rotates its starting switch, so no worm is permanently favored
+        // in lane contention. The per-cycle accept scratch guards each
+        // output port's one-flit-per-cycle drain rate: a port freed by a
+        // finishing worm mid-loop cannot eject a second flit this cycle.
+        self.accepted[..n].fill(0);
+        let live = ws.order.len();
+        if live > 0 {
+            let start = self.cycle as usize % live;
+            for i in 0..live {
+                let id = ws.order[(start + i) % live];
+                let w = &ws.worms[id as usize];
+                if w.dead {
+                    continue;
+                }
+                if w.ejecting {
+                    self.eject_worm_flit(&mut ws, id);
+                    continue;
+                }
+                let (head_stage, head_to) = (w.head_stage as usize, w.head_to as usize);
+                let (dest, tag_state) = (w.dest, w.tag_state);
+                if head_stage + 1 == stages {
+                    // Head on a final-stage link: claim the output port
+                    // and start draining, or stall until it frees up (a
+                    // port that already drained a flit this cycle is
+                    // claimable only next cycle).
+                    if ws.eject_hold[head_to] == ReservationTable::FREE
+                        && self.accepted[head_to] == 0
+                    {
+                        ws.eject_hold[head_to] = id;
+                        ws.worms[id as usize].ejecting = true;
+                        self.eject_worm_flit(&mut ws, id);
+                    }
+                    continue;
+                }
+                match self.decide_worm(&ws.reservations, head_stage + 1, head_to, dest, tag_state) {
+                    Decision::Enqueue(kind) => {
+                        let q = self.queue_index(head_stage + 1, head_to, kind);
+                        let slot = ws
+                            .reservations
+                            .reserve(q, id)
+                            .expect("decide_worm guaranteed a free lane");
+                        let w = &mut ws.worms[id as usize];
+                        w.held.push_back(slot as u32);
+                        w.head_stage = (head_stage + 1) as u32;
+                        w.head_to = kind.target(size, head_stage + 1, head_to) as u32;
+                        shift_rear(&mut ws, id);
+                    }
+                    Decision::Stall => {
+                        // Blocked heads hold their reservations in place —
+                        // the busy-link blockage the paper's REROUTE
+                        // motivates.
+                    }
+                    Decision::Drop => self.kill_worm(&mut ws, id),
+                }
+            }
+        }
+        // Retire dead worms into the free list (ids recycle; `held`
+        // capacity is retained across reuse).
+        ws.order.retain(|&id| {
+            if ws.worms[id as usize].dead {
+                ws.free.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        // Source admission: each waiting source tries to launch its head
+        // packet's head flit onto a stage-0 lane.
+        for wi in 0..n.div_ceil(64) {
+            let mut w = self.source_bits[wi];
+            while w != 0 {
+                let s = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let head = self.source_queues[s]
+                    .front()
+                    .expect("source bit set for an empty queue");
+                let (dest, tag_state) = (head.dest, head.tag_state);
+                match self.decide_worm(&ws.reservations, 0, s, dest, tag_state) {
+                    Decision::Enqueue(kind) => {
+                        let packet = self.source_queues[s].pop_front().unwrap();
+                        if self.source_queues[s].is_empty() {
+                            self.source_bits[wi] &= !(1u64 << (s & 63));
+                        }
+                        let id = alloc_worm(&mut ws, &packet);
+                        let q = self.queue_index(0, s, kind);
+                        let slot = ws
+                            .reservations
+                            .reserve(q, id)
+                            .expect("decide_worm guaranteed a free lane");
+                        let worm = &mut ws.worms[id as usize];
+                        worm.held.push_back(slot as u32);
+                        worm.head_stage = 0;
+                        worm.head_to = kind.target(size, 0, s) as u32;
+                        shift_rear(&mut ws, id);
+                        ws.order.push(id);
+                    }
+                    Decision::Stall => {}
+                    Decision::Drop => {
+                        self.source_queues[s].pop_front();
+                        if self.source_queues[s].is_empty() {
+                            self.source_bits[wi] &= !(1u64 << (s & 63));
+                        }
+                        self.note_drop();
+                        self.stats.flits_dropped += u64::from(ws.flits);
+                    }
+                }
+            }
+        }
+        // New arrivals: identical RNG draw sequence to store-and-forward.
+        for s in 0..n {
+            if self.rng.gen_bool(self.config.offered_load) {
+                let dest = self.pattern.destination(size, s, &mut self.rng);
+                self.stats.injected += 1;
+                self.stats.flits_injected += u64::from(ws.flits);
+                if self.policy == RoutingPolicy::TsdtSender {
+                    match self.sender_tag(s, dest) {
+                        Some(tag) => {
+                            if tag.state_bits() != 0 {
+                                self.stats.reroutes += 1;
+                            }
+                            self.source_queues[s]
+                                .push_back(Packet::with_tag(dest, self.cycle, tag));
+                            self.source_bits[s >> 6] |= 1u64 << (s & 63);
+                        }
+                        None => {
+                            self.stats.refused += 1;
+                            self.stats.flits_refused += u64::from(ws.flits);
+                        }
+                    }
+                } else {
+                    self.source_queues[s].push_back(Packet::new(dest, self.cycle));
+                    self.source_bits[s >> 6] |= 1u64 << (s & 63);
+                }
+            }
+        }
+        // Lane-occupancy sampling, mirroring the arena's shared tick.
+        ws.reservations.tick();
+        self.wormhole = Some(ws);
+        self.cycle += 1;
+    }
+
+    /// [`Simulator::decide`]'s wormhole twin: the same policy logic with
+    /// lane availability (`ReservationTable`) in place of buffer space,
+    /// so SSDT balances *held-lane* counts and TSDT tags steer worms the
+    /// way they steer packets. Kept separate from `decide` so the
+    /// store-and-forward hot path stays untouched.
+    fn decide_worm(
+        &mut self,
+        res: &ReservationTable,
+        stage: usize,
+        sw: usize,
+        dest: u32,
+        tag_state: Option<u32>,
+    ) -> Decision {
+        let qbase = (stage * self.config.size.n() + sw) * 3;
+        if let Some(tag_state) = tag_state {
+            let state = SwitchState::from_bit(bit(tag_state as usize, stage));
+            let kind = kind_for(bit(sw, stage), bit(dest as usize, stage), state);
+            if self.blockages.is_blocked(Link::new(stage, sw, kind)) {
+                debug_assert!(
+                    self.dynamic,
+                    "sender-computed tag steered into a blocked link in a static run"
+                );
+                return Decision::Drop;
+            }
+            return if res.is_full(qbase + kind.index()) {
+                Decision::Stall
+            } else {
+                Decision::Enqueue(kind)
+            };
+        }
+        let t = bit(dest as usize, stage);
+        let entry = self.lut.entry(stage, sw, t);
+        if entry.is_straight() {
+            if !entry.c_free() {
+                return Decision::Drop;
+            }
+            return if res.is_full(qbase + LinkKind::Straight.index()) {
+                Decision::Stall
+            } else {
+                Decision::Enqueue(LinkKind::Straight)
+            };
+        }
+        let c_kind = entry.c_kind();
+        let cbar_kind = entry.cbar_kind();
+        let mut candidates = [c_kind, cbar_kind];
+        let count = match self.policy {
+            RoutingPolicy::FixedC => {
+                if !entry.c_free() {
+                    return Decision::Drop;
+                }
+                1
+            }
+            RoutingPolicy::SsdtBalance => match (entry.c_free(), entry.cbar_free()) {
+                (false, false) => return Decision::Drop,
+                (true, false) => 1,
+                (false, true) => {
+                    self.stats.reroutes += 1;
+                    candidates[0] = cbar_kind;
+                    1
+                }
+                (true, true) => {
+                    let held0 = res.held(qbase + c_kind.index());
+                    let held1 = res.held(qbase + cbar_kind.index());
+                    let prefer_second = match held0.cmp(&held1) {
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => {
+                            let state = self.states.get(stage, sw);
+                            self.states.flip(stage, sw);
+                            state == SwitchState::Cbar
+                        }
+                    };
+                    if prefer_second {
+                        candidates.swap(0, 1);
+                    }
+                    2
+                }
+            },
+            RoutingPolicy::RandomSign => match (entry.c_free(), entry.cbar_free()) {
+                (false, false) => return Decision::Drop,
+                (true, false) => 1,
+                (false, true) => {
+                    self.stats.reroutes += 1;
+                    candidates[0] = cbar_kind;
+                    1
+                }
+                (true, true) => {
+                    if self.rng.gen_bool(0.5) {
+                        candidates.swap(0, 1);
+                    }
+                    2
+                }
+            },
+            RoutingPolicy::TsdtSender => {
+                unreachable!("TsdtSender packets must carry a tag")
+            }
+        };
+        for &kind in &candidates[..count] {
+            if !res.is_full(qbase + kind.index()) {
+                return Decision::Enqueue(kind);
+            }
+        }
+        Decision::Stall
+    }
+
+    /// Drains one flit of worm `id` into its output port, releasing the
+    /// tail lane as the body shifts forward; on the last flit the worm
+    /// retires and the delivery (and head-injection-to-tail-ejection
+    /// latency) is recorded.
+    fn eject_worm_flit(&mut self, ws: &mut WormState, id: u32) {
+        let flits = ws.flits;
+        ws.worms[id as usize].ejected += 1;
+        self.accepted[ws.worms[id as usize].head_to as usize] += 1;
+        self.stats.flits_delivered += 1;
+        shift_rear(ws, id);
+        let w = &mut ws.worms[id as usize];
+        if w.ejected != flits {
+            return;
+        }
+        debug_assert!(
+            w.held.is_empty() && w.pending == 0,
+            "fully-ejected worm still holds lanes"
+        );
+        w.dead = true;
+        let (head_to, dest, injected_at) = (w.head_to as usize, w.dest as usize, w.injected_at);
+        ws.eject_hold[head_to] = ReservationTable::FREE;
+        if head_to == dest {
+            self.stats.delivered += 1;
+            if u64::from(injected_at) >= self.config.warmup as u64 {
+                let lat = self.cycle + 1 - u64::from(injected_at);
+                self.stats.latency_sum += lat;
+                self.stats.latency_count += 1;
+                self.stats.latency_max = self.stats.latency_max.max(lat);
+                self.stats.latency_histogram.record(lat);
+            }
+        } else {
+            self.stats.misrouted += 1;
+        }
+    }
+
+    /// Kills worm `id`: releases every held lane, loses its remaining
+    /// flits, and counts the packet as dropped (attributed to the outage
+    /// when one is in progress, like any other drop).
+    fn kill_worm(&mut self, ws: &mut WormState, id: u32) {
+        if ws.worms[id as usize].dead {
+            return;
+        }
+        let lost =
+            u64::from(ws.worms[id as usize].pending) + ws.worms[id as usize].held.len() as u64;
+        while let Some(slot) = ws.worms[id as usize].held.pop_front() {
+            ws.reservations.release(slot as usize);
+        }
+        ws.worms[id as usize].pending = 0;
+        ws.worms[id as usize].dead = true;
+        if ws.worms[id as usize].ejecting {
+            let head_to = ws.worms[id as usize].head_to as usize;
+            ws.eject_hold[head_to] = ReservationTable::FREE;
+        }
+        self.stats.flits_dropped += lost;
+        self.note_drop();
+    }
+
+    /// Flits currently inside the network or waiting in source queues
+    /// (0 in store-and-forward mode). Live counterpart of the finalized
+    /// `flits_in_flight` statistic, for per-cycle conservation checks.
+    pub fn flits_in_flight(&self) -> u64 {
+        let Some(ws) = &self.wormhole else {
+            return 0;
+        };
+        let queued: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
+        let mut flits = queued * u64::from(ws.flits);
+        for &id in &ws.order {
+            let w = &ws.worms[id as usize];
+            if !w.dead {
+                flits += u64::from(w.pending) + w.held.len() as u64;
+            }
+        }
+        flits
+    }
+
     /// Runs the configured number of cycles and returns the statistics.
     pub fn run(mut self) -> SimStats {
         for _ in 0..self.config.cycles {
@@ -811,8 +1313,40 @@ impl Simulator {
         self.finish()
     }
 
+    /// Closes outages still open at the end of the run and folds the
+    /// per-link outage clocks into the availability statistics (no-op for
+    /// static runs). Shared verbatim by both switching modes' finishers,
+    /// so the floating-point fold order is identical.
+    fn fold_availability(&mut self) {
+        if !self.dynamic {
+            return;
+        }
+        for idx in 0..self.down_since.len() {
+            if self.down_since[idx] != u64::MAX {
+                self.down_cycles[idx] += self.cycle - self.down_since[idx];
+                self.down_since[idx] = u64::MAX;
+            }
+        }
+        self.stats.links_failed = self.ever_down.iter().filter(|&&b| b).count() as u64;
+        self.stats.link_downtime_cycles = self.down_cycles.iter().sum();
+        if self.cycle > 0 {
+            let mut min_avail = 1.0f64;
+            let mut sum_avail = 0.0f64;
+            for &down in &self.down_cycles {
+                let avail = 1.0 - down as f64 / self.cycle as f64;
+                min_avail = min_avail.min(avail);
+                sum_avail += avail;
+            }
+            self.stats.availability_min = min_avail;
+            self.stats.availability_mean = sum_avail / self.down_cycles.len() as f64;
+        }
+    }
+
     /// Finalizes statistics without running further cycles.
     pub fn finish(mut self) -> SimStats {
+        if self.wormhole.is_some() {
+            return self.finish_wormhole();
+        }
         let mut in_flight: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
         let mut high_water = 0usize;
         let mut occupancy_sum = 0.0f64;
@@ -852,35 +1386,81 @@ impl Simulator {
             imbalance_sum / switches_with_traffic as f64
         };
         self.stats.max_link_load = max_link_load;
-        if self.dynamic {
-            // Close outages still open at the end of the run, then fold
-            // the per-link outage clocks into availability figures.
-            for idx in 0..self.down_since.len() {
-                if self.down_since[idx] != u64::MAX {
-                    self.down_cycles[idx] += self.cycle - self.down_since[idx];
-                    self.down_since[idx] = u64::MAX;
-                }
-            }
-            self.stats.links_failed = self.ever_down.iter().filter(|&&b| b).count() as u64;
-            self.stats.link_downtime_cycles = self.down_cycles.iter().sum();
-            if self.cycle > 0 {
-                let mut min_avail = 1.0f64;
-                let mut sum_avail = 0.0f64;
-                for &down in &self.down_cycles {
-                    let avail = 1.0 - down as f64 / self.cycle as f64;
-                    min_avail = min_avail.min(avail);
-                    sum_avail += avail;
-                }
-                self.stats.availability_min = min_avail;
-                self.stats.availability_mean = sum_avail / self.down_cycles.len() as f64;
-            }
-        }
+        self.fold_availability();
         self.stats.in_flight = in_flight;
         self.stats.queue_high_water = high_water;
         self.stats.queue_mean_occupancy = if queue_count == 0 {
             0.0
         } else {
             occupancy_sum / queue_count as f64
+        };
+        self.stats.cycles = self.cycle;
+        self.stats
+    }
+
+    /// Wormhole-mode finisher: the queue-occupancy, link-use, and
+    /// imbalance statistics come from the reservation table (held lanes
+    /// and flits carried) in the same shapes and units the
+    /// store-and-forward path reports for buffers and packets, plus the
+    /// flit-level ledger.
+    fn finish_wormhole(mut self) -> SimStats {
+        let ws = self
+            .wormhole
+            .take()
+            .expect("finish_wormhole without wormhole state");
+        let queued: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
+        let mut in_flight = queued;
+        let mut flits_in_flight = queued * u64::from(ws.flits);
+        for &id in &ws.order {
+            let w = &ws.worms[id as usize];
+            debug_assert!(!w.dead, "dead worms are retired every cycle");
+            in_flight += 1;
+            flits_in_flight += u64::from(w.pending) + w.held.len() as u64;
+        }
+        let res = &ws.reservations;
+        let mut high_water = 0usize;
+        let mut occupancy_sum = 0.0f64;
+        let link_count = res.link_count();
+        for q in 0..link_count {
+            high_water = high_water.max(res.high_water(q));
+            occupancy_sum += res.mean_occupancy(q);
+        }
+        // Link-use counters in flits (a worm crossing a link carries
+        // `flits` flits over it), folded in the same order as the
+        // store-and-forward path.
+        let size = self.config.size;
+        let mut imbalance_sum = 0.0f64;
+        let mut switches_with_traffic = 0usize;
+        let mut max_link_load = 0u64;
+        let mut stage_link_use = vec![0u64; size.stages()];
+        for stage in size.stage_indices() {
+            for sw in size.switches() {
+                let plus = res.carried(Link::plus(stage, sw).flat_index(size));
+                let minus = res.carried(Link::minus(stage, sw).flat_index(size));
+                let straight = res.carried(Link::straight(stage, sw).flat_index(size));
+                max_link_load = max_link_load.max(plus).max(minus).max(straight);
+                stage_link_use[stage] += plus + minus + straight;
+                if plus + minus > 0 {
+                    imbalance_sum += (plus.abs_diff(minus)) as f64 / (plus + minus) as f64;
+                    switches_with_traffic += 1;
+                }
+            }
+        }
+        self.stats.stage_link_use = stage_link_use;
+        self.stats.nonstraight_imbalance = if switches_with_traffic == 0 {
+            0.0
+        } else {
+            imbalance_sum / switches_with_traffic as f64
+        };
+        self.stats.max_link_load = max_link_load;
+        self.fold_availability();
+        self.stats.in_flight = in_flight;
+        self.stats.flits_in_flight = flits_in_flight;
+        self.stats.queue_high_water = high_water;
+        self.stats.queue_mean_occupancy = if link_count == 0 {
+            0.0
+        } else {
+            occupancy_sum / link_count as f64
         };
         self.stats.cycles = self.cycle;
         self.stats
@@ -896,6 +1476,68 @@ impl Simulator {
     pub fn stats(&self) -> &SimStats {
         &self.stats
     }
+}
+
+/// Slides worm `id` one link forward after its head moved (advance or
+/// eject): a pending flit enters the rear lane if any remain at the
+/// source, otherwise the tail releases the rear lane; every still-held
+/// lane then carried exactly one flit this cycle. Free function (not a
+/// `Simulator` method) because the worm state is detached from the
+/// simulator for the duration of a wormhole step.
+fn shift_rear(ws: &mut WormState, id: u32) {
+    if ws.worms[id as usize].pending > 0 {
+        ws.worms[id as usize].pending -= 1;
+    } else {
+        let slot = ws.worms[id as usize]
+            .held
+            .pop_front()
+            .expect("a live worm holds at least one lane");
+        ws.reservations.release(slot as usize);
+    }
+    let lanes = ws.reservations.lanes();
+    for i in 0..ws.worms[id as usize].held.len() {
+        let slot = ws.worms[id as usize].held[i];
+        ws.reservations.carried_inc(slot as usize / lanes);
+    }
+}
+
+/// Allocates a worm for `packet` (recycling a retired id when one is
+/// free), with all `flits` flits pending; the caller reserves the first
+/// lane and calls [`shift_rear`] to launch the head flit.
+fn alloc_worm(ws: &mut WormState, packet: &Packet) -> u32 {
+    let flits = ws.flits;
+    if let Some(id) = ws.free.pop() {
+        let w = &mut ws.worms[id as usize];
+        w.dest = packet.dest;
+        w.injected_at = packet.injected_at;
+        w.tag_state = packet.tag_state;
+        w.pending = flits;
+        w.ejected = 0;
+        w.head_stage = 0;
+        w.head_to = 0;
+        w.ejecting = false;
+        w.dead = false;
+        w.held.clear();
+        return id;
+    }
+    let id = ws.worms.len();
+    assert!(
+        id < ReservationTable::FREE as usize,
+        "worm id space exhausted"
+    );
+    ws.worms.push(Worm {
+        dest: packet.dest,
+        injected_at: packet.injected_at,
+        tag_state: packet.tag_state,
+        pending: flits,
+        ejected: 0,
+        head_stage: 0,
+        head_to: 0,
+        ejecting: false,
+        dead: false,
+        held: VecDeque::new(),
+    });
+    id as u32
 }
 
 /// Convenience: run one configuration under a policy and pattern with no
@@ -1446,6 +2088,168 @@ mod balance_tests {
         );
         assert_eq!(stats.nonstraight_imbalance, 0.0);
         assert_eq!(stats.max_link_load, 0);
+    }
+}
+
+#[cfg(test)]
+mod wormhole_tests {
+    use super::*;
+
+    fn config(n: usize, load: f64, cycles: usize) -> SimConfig {
+        SimConfig {
+            size: Size::new(n).unwrap(),
+            queue_capacity: 4,
+            cycles,
+            warmup: cycles / 4,
+            offered_load: load,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn low_load_latency_is_stages_plus_flits_plus_one() {
+        // An unobstructed worm: admission cycle puts the head on a
+        // stage-0 lane, `stages - 1` advances reach the last stage, the
+        // output is claimed the next cycle, and F flits drain at one per
+        // cycle — tail ejection at injection + stages + F, latency
+        // stages + F + 1. At near-zero load the minimum is realized.
+        for flits in [1u32, 4] {
+            let stats = Simulator::new(
+                config(16, 0.01, 4000),
+                RoutingPolicy::FixedC,
+                TrafficPattern::Uniform,
+            )
+            .with_wormhole_switching(flits, 1)
+            .run();
+            let floor = 4 + u64::from(flits) + 1; // stages(16) = 4
+            assert!(stats.latency_count > 0);
+            assert!(
+                stats.latency_sum >= floor * stats.latency_count,
+                "latency cannot beat the pipeline floor {floor}: {stats:?}"
+            );
+            assert!(
+                stats.mean_latency() < 2.0 * floor as f64,
+                "near-idle worms should move almost freely: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_flit_wormhole_matches_packet_accounting() {
+        // F = 1: every worm is one flit, so the flit ledger must equal
+        // the packet ledger column for column.
+        let stats = Simulator::new(
+            config(8, 0.4, 600),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        )
+        .with_wormhole_switching(1, 1)
+        .run();
+        assert!(stats.is_conserved() && stats.flits_conserved(), "{stats:?}");
+        assert_eq!(stats.flits_injected, stats.injected);
+        assert_eq!(stats.flits_delivered, stats.delivered);
+        assert_eq!(stats.flits_dropped, stats.dropped);
+        assert_eq!(stats.flits_in_flight, stats.in_flight);
+        assert_eq!(stats.misrouted, 0);
+        assert!(stats.delivered > 0);
+    }
+
+    #[test]
+    fn wormhole_uses_the_same_traffic_trace_as_store_and_forward() {
+        // Arrivals draw the RNG in store-and-forward order, so the
+        // injected count (and refusal-free totals) match exactly.
+        let cfg = config(16, 0.5, 400);
+        let sf = run_once(cfg, RoutingPolicy::FixedC, TrafficPattern::Uniform);
+        let wh = Simulator::new(cfg, RoutingPolicy::FixedC, TrafficPattern::Uniform)
+            .with_wormhole_switching(4, 1)
+            .run();
+        assert_eq!(sf.injected, wh.injected);
+        assert_eq!(wh.flits_injected, wh.injected * 4);
+        assert!(wh.flits_conserved(), "{wh:?}");
+    }
+
+    #[test]
+    fn hotspot_output_drains_one_flit_per_cycle() {
+        // All traffic to one output: the port ejects at most one flit
+        // per cycle, so delivered packets are bounded by cycles / F.
+        let stats = Simulator::new(
+            config(8, 0.8, 400),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::HotSpot(0),
+        )
+        .with_wormhole_switching(4, 1)
+        .run();
+        assert!(stats.is_conserved() && stats.flits_conserved(), "{stats:?}");
+        assert_eq!(stats.misrouted, 0);
+        assert!(stats.delivered <= stats.cycles / 4 + 1, "{stats:?}");
+    }
+
+    #[test]
+    fn multi_lane_links_admit_more_worms_than_single_lane() {
+        // Two lanes per link at high load: strictly more capacity in the
+        // network, so delivery cannot get worse and congestion (stalled
+        // admissions leaving packets at sources) relaxes.
+        let mk = |lanes| {
+            Simulator::new(
+                config(16, 0.9, 600),
+                RoutingPolicy::SsdtBalance,
+                TrafficPattern::Uniform,
+            )
+            .with_wormhole_switching(4, lanes)
+            .run()
+        };
+        let one = mk(1);
+        let two = mk(2);
+        assert!(one.flits_conserved() && two.flits_conserved());
+        assert!(
+            two.delivered >= one.delivered,
+            "extra lanes must not hurt: {} vs {}",
+            two.delivered,
+            one.delivered
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flits_is_rejected() {
+        let _ = Simulator::new(
+            config(8, 0.4, 100),
+            RoutingPolicy::FixedC,
+            TrafficPattern::Uniform,
+        )
+        .with_wormhole_switching(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_is_rejected() {
+        let _ = Simulator::new(
+            config(8, 0.4, 100),
+            RoutingPolicy::FixedC,
+            TrafficPattern::Uniform,
+        )
+        .with_wormhole_switching(4, 0);
+    }
+
+    #[test]
+    fn switching_mode_plumbing_is_equivalent_to_the_builder() {
+        let cfg = config(8, 0.4, 300);
+        let a = Simulator::new(cfg, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
+            .with_switching_mode(SwitchingMode::Wormhole { flits: 2, lanes: 1 })
+            .run();
+        let b = Simulator::new(cfg, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
+            .with_wormhole_switching(2, 1)
+            .run();
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.latency_sum, b.latency_sum);
+        assert_eq!(a.flits_delivered, b.flits_delivered);
+        // StoreForward is the identity.
+        let c = Simulator::new(cfg, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
+            .with_switching_mode(SwitchingMode::StoreForward)
+            .run();
+        let d = run_once(cfg, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform);
+        assert_eq!(c.delivered, d.delivered);
+        assert_eq!(c.flits_per_packet, 0);
     }
 }
 

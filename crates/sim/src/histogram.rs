@@ -87,22 +87,25 @@ impl LatencyHistogram {
 
     /// Upper bound on the `p`-th percentile (`p` in `[0, 1]`): the upper
     /// edge of the bucket containing the sample of rank `ceil(p * count)`
-    /// (at least rank 1). Returns 0 for an empty histogram.
+    /// (at least rank 1). An empty histogram has no percentiles — the
+    /// sentinel is `None` at the type level, so callers cannot mistake
+    /// "no samples" for a bucket edge (the old `0` return collided with
+    /// bucket 0's genuine upper region).
     ///
     /// # Panics
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
-    pub fn percentile_bound(&self, p: f64) -> u64 {
+    pub fn percentile_bound(&self, p: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&p), "percentile {p} out of range");
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper_bound(k);
+                return Some(bucket_upper_bound(k));
             }
         }
         unreachable!("rank {rank} <= count {} must fall in a bucket", self.count)
@@ -142,11 +145,14 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_reports_zero() {
+    fn empty_histogram_has_no_percentiles() {
+        // The sentinel for "no samples" is None, not a value that could
+        // be confused with bucket 0's edge.
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.percentile_bound(0.5), 0);
-        assert_eq!(h.percentile_bound(1.0), 0);
+        assert_eq!(h.percentile_bound(0.0), None);
+        assert_eq!(h.percentile_bound(0.5), None);
+        assert_eq!(h.percentile_bound(1.0), None);
         assert!(h.trimmed_counts().is_empty());
     }
 
@@ -155,7 +161,7 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(5);
         for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
-            assert_eq!(h.percentile_bound(p), 7, "p={p}: bucket [4,7]");
+            assert_eq!(h.percentile_bound(p), Some(7), "p={p}: bucket [4,7]");
         }
         assert_eq!(h.trimmed_counts(), &[0, 0, 1]);
     }
@@ -172,11 +178,11 @@ mod tests {
         }
         h.record(100);
         assert_eq!(h.count(), 100);
-        assert_eq!(h.percentile_bound(0.50), 3);
-        assert_eq!(h.percentile_bound(0.90), 3);
-        assert_eq!(h.percentile_bound(0.95), 15);
-        assert_eq!(h.percentile_bound(0.99), 15);
-        assert_eq!(h.percentile_bound(1.0), 127);
+        assert_eq!(h.percentile_bound(0.50), Some(3));
+        assert_eq!(h.percentile_bound(0.90), Some(3));
+        assert_eq!(h.percentile_bound(0.95), Some(15));
+        assert_eq!(h.percentile_bound(0.99), Some(15));
+        assert_eq!(h.percentile_bound(1.0), Some(127));
     }
 
     #[test]
@@ -187,10 +193,23 @@ mod tests {
         }
         let mut last = 0;
         for i in 0..=100 {
-            let b = h.percentile_bound(i as f64 / 100.0);
+            let b = h.percentile_bound(i as f64 / 100.0).expect("non-empty");
             assert!(b >= last, "p={i}%: {b} < {last}");
             last = b;
         }
+    }
+
+    #[test]
+    fn zero_valued_samples_are_distinguishable_from_emptiness() {
+        // A histogram whose only samples are 0 reports Some(1) (bucket
+        // 0's edge) — provably different from the empty histogram's None.
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.percentile_bound(0.5), Some(1));
+        assert_ne!(
+            h.percentile_bound(0.5),
+            LatencyHistogram::new().percentile_bound(0.5)
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! single-input (IADM) by default or `3x3` crossbars (Gamma) via
 //! [`Simulator::with_crossbar_switches`]; a circuit-switched mode with
 //! exclusive link occupancy and blocking-probability statistics lives in
-//! [`circuit`] (experiment E12).
+//! [`circuit`] (experiment E12); a wormhole mode where packets pipeline
+//! as flits over chains of reserved link lanes is enabled by
+//! [`Simulator::with_wormhole_switching`] (experiment E16, pinned by the
+//! flit-conservation suite in `tests/wormhole.rs`).
 //!
 //! # Example
 //!
@@ -50,9 +53,9 @@ mod queue;
 mod stats;
 mod traffic;
 
-pub use engine::{run_once, RoutingPolicy, SimConfig, Simulator};
+pub use engine::{run_once, RoutingPolicy, SimConfig, Simulator, SwitchingMode};
 pub use histogram::LatencyHistogram;
 pub use packet::Packet;
-pub use queue::QueueArena;
+pub use queue::{QueueArena, ReservationTable};
 pub use stats::SimStats;
 pub use traffic::TrafficPattern;

@@ -12,6 +12,11 @@ use iadm_core::TsdtTag;
 /// no source — no statistic reads them in flight, and at 16 bytes four
 /// packets share a cache line in the queue arena, which the N = 1024 hot
 /// path depends on.
+///
+/// In wormhole mode these same three fields seed a worm verbatim (the
+/// worm's head flit carries them; body flits carry nothing), so the
+/// source queues hold ordinary `Packet`s in both switching modes and the
+/// arrival path is mode-independent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Destination port — also the routing tag (Theorem 3.1).

@@ -78,6 +78,21 @@ pub struct SimStats {
     pub availability_min: f64,
     /// Mean per-link availability over all links of the network.
     pub availability_mean: f64,
+    /// Flits per packet (0 for store-and-forward runs; the flit counters
+    /// below are only meaningful when this is nonzero).
+    pub flits_per_packet: u64,
+    /// Flits injected (wormhole mode: `injected * flits_per_packet`).
+    pub flits_injected: u64,
+    /// Flits whose worm's tail ejected at an output port.
+    pub flits_delivered: u64,
+    /// Flits lost when their worm was killed (blocked with no usable
+    /// output, or a reserved link went down mid-worm).
+    pub flits_dropped: u64,
+    /// Flits of packets refused at the source (TSDT sender policy).
+    pub flits_refused: u64,
+    /// Flits still pipelined through the network or waiting in source
+    /// queues when the run ended.
+    pub flits_in_flight: u64,
 }
 
 impl SimStats {
@@ -105,21 +120,40 @@ impl SimStats {
         self.injected == self.delivered + self.dropped + self.refused + self.in_flight
     }
 
+    /// Flit-level conservation check, the wormhole analogue of
+    /// [`is_conserved`]: every injected flit is delivered, dropped with
+    /// its killed worm, refused at the source, or still pipelined.
+    /// Vacuously true for store-and-forward runs (`flits_per_packet == 0`).
+    ///
+    /// [`is_conserved`]: SimStats::is_conserved
+    pub fn flits_conserved(&self) -> bool {
+        self.flits_per_packet == 0
+            || self.flits_injected
+                == self.flits_delivered
+                    + self.flits_dropped
+                    + self.flits_refused
+                    + self.flits_in_flight
+    }
+
     /// The `p`-th latency percentile (`p` in `[0, 1]`) as an upper bound:
     /// the power-of-two bucket edge holding the sample of rank
-    /// `ceil(p * count)`, tightened to the observed maximum. 0 when no
-    /// latency samples were recorded.
+    /// `ceil(p * count)`, tightened to the observed maximum.
+    ///
+    /// Edge cases are exact, not bucket artifacts: with **no** recorded
+    /// samples every percentile is the documented sentinel `0`
+    /// (unambiguous — a real delivery latency is always at least 1
+    /// cycle), and with a **single** sample every percentile is that
+    /// sample itself (the `latency_max` tightening collapses the bucket's
+    /// upper edge onto the one observation).
     ///
     /// # Panics
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.latency_histogram.count() == 0 {
-            return 0;
+        match self.latency_histogram.percentile_bound(p) {
+            None => 0,
+            Some(bound) => bound.min(self.latency_max),
         }
-        self.latency_histogram
-            .percentile_bound(p)
-            .min(self.latency_max)
     }
 }
 
@@ -162,17 +196,22 @@ mod tests {
     }
 
     #[test]
-    fn percentile_of_empty_stats_is_zero() {
+    fn percentile_of_empty_stats_is_the_zero_sentinel() {
+        // No samples: the histogram reports None and every percentile is
+        // the documented sentinel 0 — impossible as a real latency, which
+        // is always >= 1 cycle.
         let stats = SimStats::default();
-        assert_eq!(stats.percentile(0.5), 0);
-        assert_eq!(stats.percentile(0.99), 0);
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(stats.percentile(p), 0, "p={p}");
+        }
+        assert_eq!(stats.latency_histogram.percentile_bound(0.5), None);
     }
 
     #[test]
     fn percentile_of_single_sample_is_exact() {
         // One recorded latency: every percentile is that sample, because
         // the bucket upper bound (7 for the [4,7] bucket) is tightened to
-        // the observed maximum.
+        // the observed maximum — never the bucket-boundary artifact.
         let mut stats = SimStats::default();
         stats.latency_histogram.record(5);
         stats.latency_max = 5;
@@ -182,7 +221,20 @@ mod tests {
             assert_eq!(stats.percentile(p), 5, "p={p}");
         }
         // The bucketed bound alone would have said 7.
-        assert_eq!(stats.latency_histogram.percentile_bound(0.5), 7);
+        assert_eq!(stats.latency_histogram.percentile_bound(0.5), Some(7));
+    }
+
+    #[test]
+    fn percentile_single_sample_on_a_bucket_boundary_is_exact() {
+        // A sample sitting exactly on a bucket's lower edge (8 opens the
+        // [8,15] bucket) must still come back as itself, not 15.
+        let mut stats = SimStats::default();
+        stats.latency_histogram.record(8);
+        stats.latency_max = 8;
+        stats.latency_count = 1;
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(stats.percentile(p), 8, "p={p}");
+        }
     }
 
     #[test]
@@ -200,5 +252,29 @@ mod tests {
         // Mean/throughput behavior is unchanged by the histogram.
         assert!((stats.mean_latency() - 54.0 / 5.0).abs() < 1e-12);
         assert_eq!(stats.throughput(), 0.0);
+    }
+
+    #[test]
+    fn flit_conservation_is_vacuous_for_store_and_forward() {
+        // flits_per_packet == 0 marks a store-and-forward run: the flit
+        // ledger is all zeros and the check must not fire.
+        let stats = SimStats::default();
+        assert!(stats.flits_conserved());
+    }
+
+    #[test]
+    fn flit_conservation_detects_loss() {
+        let mut stats = SimStats {
+            flits_per_packet: 4,
+            flits_injected: 16,
+            flits_delivered: 8,
+            flits_dropped: 4,
+            flits_refused: 0,
+            flits_in_flight: 4,
+            ..Default::default()
+        };
+        assert!(stats.flits_conserved());
+        stats.flits_in_flight = 3;
+        assert!(!stats.flits_conserved());
     }
 }

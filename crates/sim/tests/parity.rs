@@ -32,6 +32,21 @@ const GOLDEN_RANDOM_SIGN_FAULTED: &str = r#"{"injected":4355,"delivered":4058,"m
 const GOLDEN_TSDT_FAULT_FREE: &str = r#"{"injected":4298,"delivered":4248,"misrouted":0,"dropped":0,"refused":0,"in_flight":50,"latency_sum":21795,"latency_count":3166,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.1814496527777778,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":163,"mean_latency":6.884080859128238,"throughput":0.4425,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2461,704,1],"stage_link_use":[4280,4268,4258,4248]}"#;
 const GOLDEN_TSDT_FAULTED: &str = r#"{"injected":4298,"delivered":4040,"misrouted":0,"dropped":0,"refused":210,"in_flight":48,"latency_sum":20577,"latency_count":3007,"latency_max":17,"queue_high_water":4,"queue_mean_occupancy":0.17188368055555556,"cycles":600,"ports":16,"nonstraight_imbalance":0.985010162601626,"max_link_load":213,"mean_latency":6.843032923179249,"throughput":0.42083333333333334,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2363,641,3],"stage_link_use":[4070,4059,4050,4040]}"#;
 
+// Wormhole goldens (PR 5): the same config run under
+// `with_wormhole_switching(4, 1)`. A 4-flit worm at offered load 0.45
+// presents 1.8 flits/cycle/port against a 1-flit/cycle/port fabric, so
+// these runs are deliberately saturated — backlogs and reservation
+// stalls are exactly the regime where a switching-layer regression
+// would hide in aggregate statistics.
+const GOLDEN_WORMHOLE_FIXED_C_FAULT_FREE: &str = r#"{"injected":4298,"delivered":1386,"misrouted":0,"dropped":0,"refused":0,"in_flight":2912,"latency_sum":106086,"latency_count":309,"latency_max":434,"queue_high_water":1,"queue_mean_occupancy":0.3288107638888891,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":261,"mean_latency":343.3203883495146,"throughput":0.144375,"latency_p50":434,"latency_p95":434,"latency_p99":434,"latency_buckets":[0,0,0,0,0,0,0,23,286],"stage_link_use":[5604,5583,5568,5559],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":5553,"flits_dropped":0,"flits_refused":0,"flits_in_flight":11639}"#;
+const GOLDEN_WORMHOLE_FIXED_C_FAULTED: &str = r#"{"injected":4298,"delivered":1237,"misrouted":0,"dropped":198,"refused":0,"in_flight":2863,"latency_sum":90786,"latency_count":284,"latency_max":433,"queue_high_water":1,"queue_mean_occupancy":0.2922222222222222,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":248,"mean_latency":319.66901408450707,"throughput":0.12885416666666666,"latency_p50":433,"latency_p95":433,"latency_p99":433,"latency_buckets":[0,0,0,0,0,0,0,63,221],"stage_link_use":[5147,5002,4985,4973],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":4963,"flits_dropped":792,"flits_refused":0,"flits_in_flight":11437}"#;
+const GOLDEN_WORMHOLE_SSDT_FAULT_FREE: &str = r#"{"injected":4298,"delivered":1607,"misrouted":0,"dropped":0,"refused":0,"in_flight":2691,"latency_sum":156582,"latency_count":525,"latency_max":417,"queue_high_water":1,"queue_mean_occupancy":0.4494965277777778,"cycles":600,"ports":16,"nonstraight_imbalance":0.051792414567695906,"max_link_load":256,"mean_latency":298.25142857142856,"throughput":0.16739583333333333,"latency_p50":417,"latency_p95":417,"latency_p99":417,"latency_buckets":[0,0,0,0,0,0,5,90,430],"stage_link_use":[6527,6503,6485,6468],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":6451,"flits_dropped":0,"flits_refused":0,"flits_in_flight":10741}"#;
+const GOLDEN_WORMHOLE_SSDT_FAULTED: &str = r#"{"injected":4298,"delivered":1504,"misrouted":0,"dropped":121,"refused":0,"in_flight":2673,"latency_sum":135878,"latency_count":485,"latency_max":441,"queue_high_water":1,"queue_mean_occupancy":0.42048611111111117,"cycles":600,"ports":16,"nonstraight_imbalance":0.11498759027393272,"max_link_load":272,"mean_latency":280.16082474226806,"throughput":0.15666666666666668,"latency_p50":441,"latency_p95":441,"latency_p99":441,"latency_buckets":[0,0,0,0,0,0,11,159,315],"stage_link_use":[6153,6079,6057,6041],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":6030,"flits_dropped":484,"flits_refused":0,"flits_in_flight":10678}"#;
+const GOLDEN_WORMHOLE_RANDOM_SIGN_FAULT_FREE: &str = r#"{"injected":4343,"delivered":1600,"misrouted":0,"dropped":0,"refused":0,"in_flight":2743,"latency_sum":156065,"latency_count":529,"latency_max":448,"queue_high_water":1,"queue_mean_occupancy":0.45424479166666676,"cycles":600,"ports":16,"nonstraight_imbalance":0.08579976630841049,"max_link_load":256,"mean_latency":295.01890359168243,"throughput":0.16666666666666666,"latency_p50":448,"latency_p95":448,"latency_p99":448,"latency_buckets":[0,0,0,0,0,0,0,126,403],"stage_link_use":[6504,6473,6449,6428],"flits_per_packet":4,"flits_injected":17372,"flits_delivered":6411,"flits_dropped":0,"flits_refused":0,"flits_in_flight":10961}"#;
+const GOLDEN_WORMHOLE_RANDOM_SIGN_FAULTED: &str = r#"{"injected":4287,"delivered":1476,"misrouted":0,"dropped":154,"refused":0,"in_flight":2657,"latency_sum":124385,"latency_count":491,"latency_max":436,"queue_high_water":1,"queue_mean_occupancy":0.42077256944444413,"cycles":600,"ports":16,"nonstraight_imbalance":0.1399300415730312,"max_link_load":279,"mean_latency":253.32993890020367,"throughput":0.15375,"latency_p50":436,"latency_p95":436,"latency_p99":436,"latency_buckets":[0,0,0,0,0,0,50,167,274],"stage_link_use":[6074,5979,5960,5943],"flits_per_packet":4,"flits_injected":17148,"flits_delivered":5928,"flits_dropped":616,"flits_refused":0,"flits_in_flight":10604}"#;
+const GOLDEN_WORMHOLE_TSDT_FAULT_FREE: &str = r#"{"injected":4298,"delivered":1386,"misrouted":0,"dropped":0,"refused":0,"in_flight":2912,"latency_sum":106086,"latency_count":309,"latency_max":434,"queue_high_water":1,"queue_mean_occupancy":0.3288107638888891,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":261,"mean_latency":343.3203883495146,"throughput":0.144375,"latency_p50":434,"latency_p95":434,"latency_p99":434,"latency_buckets":[0,0,0,0,0,0,0,23,286],"stage_link_use":[5604,5583,5568,5559],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":5553,"flits_dropped":0,"flits_refused":0,"flits_in_flight":11639}"#;
+const GOLDEN_WORMHOLE_TSDT_FAULTED: &str = r#"{"injected":4298,"delivered":1318,"misrouted":0,"dropped":0,"refused":210,"in_flight":2770,"latency_sum":98864,"latency_count":293,"latency_max":448,"queue_high_water":1,"queue_mean_occupancy":0.30949652777777775,"cycles":600,"ports":16,"nonstraight_imbalance":0.9886006289308176,"max_link_load":273,"mean_latency":337.419795221843,"throughput":0.13729166666666667,"latency_p50":448,"latency_p95":448,"latency_p99":448,"latency_buckets":[0,0,0,0,0,0,0,15,278],"stage_link_use":[5359,5335,5315,5301],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":5290,"flits_dropped":0,"flits_refused":840,"flits_in_flight":11062}"#;
+
 /// All eight golden combinations: `(policy, faulted, expected JSON)`.
 const GOLDENS: [(RoutingPolicy, bool, &str); 8] = [
     (RoutingPolicy::FixedC, false, GOLDEN_FIXED_C_FAULT_FREE),
@@ -46,6 +61,46 @@ const GOLDENS: [(RoutingPolicy, bool, &str); 8] = [
     (RoutingPolicy::RandomSign, true, GOLDEN_RANDOM_SIGN_FAULTED),
     (RoutingPolicy::TsdtSender, false, GOLDEN_TSDT_FAULT_FREE),
     (RoutingPolicy::TsdtSender, true, GOLDEN_TSDT_FAULTED),
+];
+
+/// The wormhole combinations, same axes, captured at 4 flits / 1 lane.
+const WORMHOLE_GOLDENS: [(RoutingPolicy, bool, &str); 8] = [
+    (
+        RoutingPolicy::FixedC,
+        false,
+        GOLDEN_WORMHOLE_FIXED_C_FAULT_FREE,
+    ),
+    (RoutingPolicy::FixedC, true, GOLDEN_WORMHOLE_FIXED_C_FAULTED),
+    (
+        RoutingPolicy::SsdtBalance,
+        false,
+        GOLDEN_WORMHOLE_SSDT_FAULT_FREE,
+    ),
+    (
+        RoutingPolicy::SsdtBalance,
+        true,
+        GOLDEN_WORMHOLE_SSDT_FAULTED,
+    ),
+    (
+        RoutingPolicy::RandomSign,
+        false,
+        GOLDEN_WORMHOLE_RANDOM_SIGN_FAULT_FREE,
+    ),
+    (
+        RoutingPolicy::RandomSign,
+        true,
+        GOLDEN_WORMHOLE_RANDOM_SIGN_FAULTED,
+    ),
+    (
+        RoutingPolicy::TsdtSender,
+        false,
+        GOLDEN_WORMHOLE_TSDT_FAULT_FREE,
+    ),
+    (
+        RoutingPolicy::TsdtSender,
+        true,
+        GOLDEN_WORMHOLE_TSDT_FAULTED,
+    ),
 ];
 
 fn config() -> SimConfig {
@@ -150,5 +205,37 @@ fn empty_timeline_reproduces_every_golden_byte_for_byte() {
             golden,
             "{policy:?} (faulted: {faulted}) diverged under an empty timeline"
         );
+    }
+}
+
+#[test]
+fn wormhole_mode_matches_every_golden_byte_for_byte() {
+    // The PR-5 contract, forward direction: wormhole results are pinned
+    // so reservation-table or teardown changes cannot drift silently.
+    for (policy, faulted, golden) in WORMHOLE_GOLDENS {
+        let stats = Simulator::with_blockages(
+            config(),
+            policy,
+            TrafficPattern::Uniform,
+            blockages(faulted),
+        )
+        .with_wormhole_switching(4, 1)
+        .run();
+        assert_eq!(
+            sim_stats_json(&stats).encode(),
+            golden,
+            "wormhole {policy:?} (faulted: {faulted}) diverged"
+        );
+    }
+}
+
+#[test]
+fn wormhole_goldens_differ_from_store_forward_goldens() {
+    // Guards the pins against a degenerate wormhole mode that silently
+    // falls through to the store-and-forward path.
+    for ((_, _, sf), (_, _, wh)) in GOLDENS.iter().zip(WORMHOLE_GOLDENS.iter()) {
+        assert_ne!(sf, wh);
+        assert!(wh.contains("\"flits_per_packet\":4"));
+        assert!(!sf.contains("flits_"));
     }
 }

@@ -1,0 +1,213 @@
+//! Wormhole-switching correctness, pinned the only way that matters for a
+//! reservation pipeline: **flit conservation at every cycle**. A worm's
+//! flits are spread over a chain of reserved lanes, so any bookkeeping bug
+//! — a lane released twice, a tail flit forgotten in a teardown, an
+//! ejection past the worm's length — shows up as a ledger imbalance the
+//! moment it happens, not as a fuzzy end-of-run statistic. The suite
+//! mirrors `tests/transient.rs`: every policy, with and without MTBF
+//! churn, plus exact-arithmetic checks on hand-built fault timelines.
+
+use iadm_fault::{BlockageMap, FaultEvent, FaultTimeline};
+use iadm_sim::{RoutingPolicy, SimConfig, Simulator, SwitchingMode, TrafficPattern};
+use iadm_topology::{Link, Size};
+
+const ALL_POLICIES: [RoutingPolicy; 4] = [
+    RoutingPolicy::FixedC,
+    RoutingPolicy::SsdtBalance,
+    RoutingPolicy::RandomSign,
+    RoutingPolicy::TsdtSender,
+];
+
+const FLITS: u32 = 4;
+
+fn config(n: usize, load: f64, cycles: usize) -> SimConfig {
+    SimConfig {
+        size: Size::new(n).unwrap(),
+        queue_capacity: 4,
+        cycles,
+        warmup: cycles / 4,
+        offered_load: load,
+        seed: 0xBEEF,
+    }
+}
+
+fn wormhole_sim(cfg: SimConfig, policy: RoutingPolicy, timeline: FaultTimeline) -> Simulator {
+    Simulator::with_fault_timeline(
+        cfg,
+        policy,
+        TrafficPattern::Uniform,
+        BlockageMap::new(cfg.size),
+        timeline,
+    )
+    .with_wormhole_switching(FLITS, 1)
+}
+
+/// Steps the simulator to the end by hand, asserting the flit ledger
+/// balances after **every** cycle, then returns the final stats.
+fn run_checking_every_cycle(mut sim: Simulator, cycles: usize, label: &str) -> iadm_sim::SimStats {
+    for cycle in 0..cycles {
+        sim.step();
+        let s = sim.stats();
+        let in_flight = sim.flits_in_flight();
+        assert_eq!(
+            s.flits_injected,
+            s.flits_delivered + s.flits_dropped + s.flits_refused + in_flight,
+            "{label}: ledger broke at cycle {cycle}: injected {} != \
+             delivered {} + dropped {} + refused {} + in-flight {in_flight}",
+            s.flits_injected,
+            s.flits_delivered,
+            s.flits_dropped,
+            s.flits_refused,
+        );
+        assert_eq!(s.misrouted, 0, "{label}: misroute at cycle {cycle}");
+    }
+    sim.finish()
+}
+
+#[test]
+fn fault_free_runs_conserve_flits_at_every_cycle_for_every_policy() {
+    let cfg = config(8, 0.5, 400);
+    for policy in ALL_POLICIES {
+        let sim = wormhole_sim(cfg, policy, FaultTimeline::empty(cfg.size));
+        let stats = run_checking_every_cycle(sim, cfg.cycles, &format!("{policy:?}"));
+        assert!(stats.flits_conserved(), "{policy:?}: {stats:?}");
+        assert!(stats.is_conserved(), "{policy:?}: {stats:?}");
+        assert!(stats.delivered > 0, "{policy:?} delivered nothing");
+        assert_eq!(stats.flits_per_packet, u64::from(FLITS));
+        // Every delivered packet is exactly FLITS ejected flits; worms
+        // caught mid-ejection at the horizon may have ejected a partial
+        // head run on top of that.
+        assert!(
+            stats.flits_delivered >= stats.delivered * u64::from(FLITS),
+            "{policy:?}: {stats:?}"
+        );
+        assert!(
+            stats.flits_delivered
+                < (stats.delivered + stats.in_flight) * u64::from(FLITS) + u64::from(FLITS),
+            "{policy:?}: {stats:?}"
+        );
+        assert_eq!(
+            stats.flits_dropped, 0,
+            "{policy:?}: a fault-free run never tears a worm down"
+        );
+    }
+}
+
+#[test]
+fn churn_conserves_flits_at_every_cycle_for_every_policy() {
+    // The tentpole acceptance check. MTBF churn tears down worms holding
+    // a downed lane mid-body: the kill path must return every pending and
+    // in-network flit to the ledger on the cycle it runs.
+    let cfg = config(8, 0.5, 800);
+    let timeline = FaultTimeline::mtbf(cfg.size, 0xFA17, 120, 40, 800);
+    assert!(!timeline.is_empty(), "the schedule must actually churn");
+    let mut total_killed = 0;
+    for policy in ALL_POLICIES {
+        let sim = wormhole_sim(cfg, policy, timeline.clone());
+        let stats = run_checking_every_cycle(sim, cfg.cycles, &format!("{policy:?}"));
+        assert!(stats.flits_conserved(), "{policy:?}: {stats:?}");
+        assert!(stats.is_conserved(), "{policy:?}: {stats:?}");
+        assert!(stats.fault_events > 0, "{policy:?} saw no events");
+        assert!(stats.delivered > 0, "{policy:?} delivered nothing");
+        total_killed += stats.flits_dropped;
+    }
+    assert!(
+        total_killed > 0,
+        "a dense fail/repair schedule must kill at least one worm somewhere"
+    );
+}
+
+#[test]
+fn downing_a_reserved_link_kills_the_worm_and_balances_the_ledger() {
+    // A single handcrafted failure in the middle of a saturated run: the
+    // stage-1 straight link is on many worms' paths, so killing it at
+    // cycle 30 catches worms mid-body. The teardown must surface as
+    // outage drops and lost flits — never as a silent leak.
+    let size = Size::new(8).unwrap();
+    let link = Link::straight(1, 4);
+    let cfg = SimConfig {
+        size,
+        queue_capacity: 4,
+        cycles: 300,
+        warmup: 0,
+        offered_load: 0.8,
+        seed: 11,
+    };
+    let timeline = FaultTimeline::from_events(
+        size,
+        [
+            FaultEvent {
+                cycle: 30,
+                link,
+                up: false,
+            },
+            FaultEvent {
+                cycle: 250,
+                link,
+                up: true,
+            },
+        ],
+    );
+    let sim = wormhole_sim(cfg, RoutingPolicy::FixedC, timeline);
+    let stats = run_checking_every_cycle(sim, cfg.cycles, "FixedC/one-outage");
+    assert!(stats.flits_conserved(), "{stats:?}");
+    assert!(stats.is_conserved(), "{stats:?}");
+    assert!(stats.dropped > 0, "the outage must cost worms: {stats:?}");
+    assert!(
+        stats.dropped_during_outage > 0,
+        "teardown drops are outage drops: {stats:?}"
+    );
+    assert!(
+        stats.flits_dropped > 0,
+        "a torn-down worm loses its remaining flits: {stats:?}"
+    );
+    assert_eq!(stats.misrouted, 0);
+}
+
+#[test]
+fn empty_timeline_is_byte_identical_to_the_static_constructor() {
+    // The dynamic subsystem must be invisible to a wormhole run when the
+    // timeline is empty, exactly as it is for store-and-forward.
+    let cfg = config(16, 0.45, 300);
+    for policy in ALL_POLICIES {
+        let via_timeline = wormhole_sim(cfg, policy, FaultTimeline::empty(cfg.size)).run();
+        let via_static = Simulator::with_blockages(
+            cfg,
+            policy,
+            TrafficPattern::Uniform,
+            BlockageMap::new(cfg.size),
+        )
+        .with_switching_mode(SwitchingMode::Wormhole {
+            flits: FLITS,
+            lanes: 1,
+        })
+        .run();
+        assert_eq!(
+            iadm_bench::json::sim_stats_json(&via_timeline).encode(),
+            iadm_bench::json::sim_stats_json(&via_static).encode(),
+            "{policy:?}"
+        );
+        assert_eq!(via_timeline.fault_events, 0);
+    }
+}
+
+#[test]
+fn multi_lane_churn_still_conserves() {
+    // Two lanes per link double the teardown surface (one failure can
+    // kill two worms at once); the ledger must not care.
+    let cfg = config(8, 0.6, 600);
+    let timeline = FaultTimeline::mtbf(cfg.size, 0x1A7E, 150, 50, 600);
+    let sim = Simulator::with_fault_timeline(
+        cfg,
+        RoutingPolicy::SsdtBalance,
+        TrafficPattern::Uniform,
+        BlockageMap::new(cfg.size),
+        timeline,
+    )
+    .with_wormhole_switching(2, 2);
+    let stats = run_checking_every_cycle(sim, cfg.cycles, "SsdtBalance/2-lane");
+    assert!(stats.flits_conserved(), "{stats:?}");
+    assert!(stats.is_conserved(), "{stats:?}");
+    assert!(stats.fault_events > 0);
+    assert!(stats.delivered > 0);
+}

@@ -71,6 +71,7 @@ pub fn execute_run(run: &RunSpec) -> RunRecord {
         blockages,
         timeline,
     )
+    .with_switching_mode(run.mode)
     .run();
     RunRecord {
         spec: run.clone(),
@@ -180,6 +181,21 @@ mod tests {
             assert_eq!(ra.stats.delivered, rb.stats.delivered);
             assert_eq!(ra.stats.fault_events, rb.stats.fault_events);
             assert_eq!(ra.stats.link_downtime_cycles, rb.stats.link_downtime_cycles);
+        }
+    }
+
+    #[test]
+    fn wormhole_runs_conserve_flits_at_any_thread_count() {
+        let mut spec = SweepSpec::smoke();
+        spec.modes = vec![iadm_sim::SwitchingMode::Wormhole { flits: 3, lanes: 1 }];
+        let a = run_campaign(&spec, 1).unwrap();
+        let b = run_campaign(&spec, 3).unwrap();
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert!(ra.stats.flits_conserved(), "run {}", ra.spec.index);
+            assert_eq!(ra.stats.flits_per_packet, 3);
+            assert!(ra.stats.flits_delivered > 0);
+            assert_eq!(ra.stats.flits_delivered, rb.stats.flits_delivered);
+            assert_eq!(ra.stats.latency_sum, rb.stats.latency_sum);
         }
     }
 

@@ -50,6 +50,6 @@ pub use engine::{
 };
 pub use report::{campaign_json, pivot_table, summary_table};
 pub use spec::{
-    parse_loads, parse_pattern, parse_policy, parse_scenario, pattern_label, policy_label,
-    validate_scenario, RunSpec, SweepSpec,
+    mode_label, parse_loads, parse_mode, parse_pattern, parse_policy, parse_scenario,
+    pattern_label, policy_label, validate_scenario, RunSpec, SweepSpec,
 };

@@ -1,8 +1,9 @@
 //! Campaign artifacts: the byte-stable JSON document and human tables.
 
 use crate::engine::{CampaignResult, RunRecord};
-use crate::spec::{pattern_label, policy_label};
+use crate::spec::{mode_label, pattern_label, policy_label};
 use iadm_bench::json::{sim_stats_json, Json};
+use iadm_sim::SwitchingMode;
 use std::collections::HashMap;
 
 /// The canonical JSON encoding of a campaign. Every run appears in run-
@@ -21,20 +22,28 @@ pub fn campaign_json(result: &CampaignResult) -> Json {
 
 fn run_json(record: &RunRecord) -> Json {
     let spec = &record.spec;
-    Json::obj([
+    let mut fields = vec![
         ("index", Json::from(spec.index)),
         ("n", Json::from(spec.size.n())),
         ("load", Json::from(spec.offered_load)),
         ("queue", Json::from(spec.queue_capacity)),
         ("policy", Json::from(policy_label(spec.policy))),
         ("pattern", Json::from(pattern_label(&spec.pattern))),
+    ];
+    // Store-and-forward runs omit the mode field so every pre-wormhole
+    // campaign artifact stays byte-identical.
+    if spec.mode != SwitchingMode::StoreForward {
+        fields.push(("mode", Json::from(mode_label(spec.mode).as_str())));
+    }
+    fields.extend([
         ("scenario", Json::from(spec.scenario.label())),
         ("cycles", Json::from(spec.cycles)),
         ("warmup", Json::from(spec.warmup)),
         ("seed", Json::from(spec.seed)),
         ("faults", Json::from(record.faults)),
         ("stats", sim_stats_json(&record.stats)),
-    ])
+    ]);
+    Json::obj(fields)
 }
 
 /// A plain-text table with one row per run — the long form for logs.
@@ -103,11 +112,20 @@ pub fn pivot_table(result: &CampaignResult, metric: &dyn Fn(&RunRecord) -> Strin
                 loads.push(record.spec.offered_load);
                 loads.len() - 1
             });
-        let label = format!(
-            "{}/{}",
-            policy_label(record.spec.policy),
-            record.spec.scenario.label()
-        );
+        let label = if record.spec.mode == SwitchingMode::StoreForward {
+            format!(
+                "{}/{}",
+                policy_label(record.spec.policy),
+                record.spec.scenario.label()
+            )
+        } else {
+            format!(
+                "{}/{}/{}",
+                policy_label(record.spec.policy),
+                mode_label(record.spec.mode),
+                record.spec.scenario.label()
+            )
+        };
         let col = match col_of.get(&label) {
             Some(&col) => col,
             None => {
@@ -151,6 +169,26 @@ mod tests {
         assert!(text.contains("\"run_count\":8"));
         assert!(text.contains("\"scenario\":\"double:S1:1\""));
         assert!(text.contains("\"latency_p99\":"));
+    }
+
+    #[test]
+    fn wormhole_runs_carry_a_mode_field_and_flit_stats() {
+        let mut spec = SweepSpec::smoke();
+        spec.modes = vec![
+            SwitchingMode::StoreForward,
+            SwitchingMode::Wormhole { flits: 4, lanes: 1 },
+        ];
+        let result = run_campaign(&spec, 2).unwrap();
+        let text = campaign_json(&result).encode();
+        assert_round_trip(&text).expect("campaign JSON must round-trip");
+        assert!(text.contains("\"mode\":\"wormhole:4\""));
+        assert!(text.contains("\"flits_per_packet\":4"));
+        // SF runs stay mode-free: the field count differs, never the
+        // spelling of existing fields.
+        assert!(!text.contains("\"mode\":\"sf\""));
+        let pivot = pivot_table(&result, &|r| r.stats.delivered.to_string());
+        assert!(pivot.contains("ssdt/wormhole:4/none"));
+        assert!(pivot.contains("ssdt/none"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Declarative sweep specifications and their expansion into run lists.
 
 use iadm_fault::scenario::{KindFilter, ScenarioSpec};
-use iadm_sim::{RoutingPolicy, TrafficPattern};
+use iadm_sim::{RoutingPolicy, SwitchingMode, TrafficPattern};
 use iadm_topology::Size;
 
 /// A declarative campaign: the cartesian grid of every axis, plus the
@@ -20,6 +20,8 @@ pub struct SweepSpec {
     pub policies: Vec<RoutingPolicy>,
     /// Traffic patterns.
     pub patterns: Vec<TrafficPattern>,
+    /// Switching modes (store-and-forward and/or wormhole variants).
+    pub modes: Vec<SwitchingMode>,
     /// Fault scenarios.
     pub scenarios: Vec<ScenarioSpec>,
     /// Cycles per run.
@@ -47,6 +49,8 @@ pub struct RunSpec {
     pub policy: RoutingPolicy,
     /// Traffic pattern.
     pub pattern: TrafficPattern,
+    /// Switching mode.
+    pub mode: SwitchingMode,
     /// Fault scenario recipe.
     pub scenario: ScenarioSpec,
     /// Cycles to simulate.
@@ -65,12 +69,13 @@ impl SweepSpec {
             * self.queue_capacities.len()
             * self.policies.len()
             * self.patterns.len()
+            * self.modes.len()
             * self.scenarios.len()
     }
 
     /// Expands the grid into the campaign's run list, in the canonical
-    /// axis order (size, load, queue, policy, pattern, scenario — the
-    /// innermost axis varies fastest) with derived per-run seeds.
+    /// axis order (size, load, queue, policy, pattern, mode, scenario —
+    /// the innermost axis varies fastest) with derived per-run seeds.
     ///
     /// Validates every axis value; an empty axis or an out-of-range
     /// entry is an error, not a silent no-op.
@@ -95,6 +100,16 @@ impl SweepSpec {
         if self.queue_capacities.contains(&0) {
             return Err("queue capacity must be positive".into());
         }
+        for &mode in &self.modes {
+            if let SwitchingMode::Wormhole { flits, lanes } = mode {
+                if flits == 0 {
+                    return Err("wormhole mode needs at least one flit per packet".into());
+                }
+                if lanes == 0 {
+                    return Err("wormhole mode needs at least one lane per link".into());
+                }
+            }
+        }
         let mut runs = Vec::with_capacity(self.grid_len());
         for &n in &self.sizes {
             let size = Size::new(n).map_err(|e| e.to_string())?;
@@ -108,20 +123,23 @@ impl SweepSpec {
                 for &queue_capacity in &self.queue_capacities {
                     for &policy in &self.policies {
                         for pattern in &self.patterns {
-                            for scenario in &self.scenarios {
-                                let index = runs.len();
-                                runs.push(RunSpec {
-                                    index,
-                                    size,
-                                    offered_load,
-                                    queue_capacity,
-                                    policy,
-                                    pattern: pattern.clone(),
-                                    scenario: scenario.clone(),
-                                    cycles: self.cycles,
-                                    warmup: self.warmup,
-                                    seed: iadm_rng::mix(self.campaign_seed, index as u64),
-                                });
+                            for &mode in &self.modes {
+                                for scenario in &self.scenarios {
+                                    let index = runs.len();
+                                    runs.push(RunSpec {
+                                        index,
+                                        size,
+                                        offered_load,
+                                        queue_capacity,
+                                        policy,
+                                        pattern: pattern.clone(),
+                                        mode,
+                                        scenario: scenario.clone(),
+                                        cycles: self.cycles,
+                                        warmup: self.warmup,
+                                        seed: iadm_rng::mix(self.campaign_seed, index as u64),
+                                    });
+                                }
                             }
                         }
                     }
@@ -142,6 +160,7 @@ impl SweepSpec {
             queue_capacities: vec![4],
             policies: vec![RoutingPolicy::FixedC, RoutingPolicy::SsdtBalance],
             patterns: vec![TrafficPattern::Uniform],
+            modes: vec![SwitchingMode::StoreForward],
             scenarios: vec![
                 ScenarioSpec::None,
                 ScenarioSpec::DoubleNonstraight {
@@ -170,6 +189,7 @@ impl SweepSpec {
                 RoutingPolicy::TsdtSender,
             ],
             patterns: vec![TrafficPattern::Uniform],
+            modes: vec![SwitchingMode::StoreForward],
             scenarios: vec![
                 ScenarioSpec::None,
                 ScenarioSpec::RandomLinks {
@@ -200,6 +220,7 @@ impl SweepSpec {
                 RoutingPolicy::TsdtSender,
             ],
             patterns: vec![TrafficPattern::Uniform],
+            modes: vec![SwitchingMode::StoreForward],
             scenarios: vec![
                 ScenarioSpec::None,
                 ScenarioSpec::Mtbf {
@@ -217,14 +238,50 @@ impl SweepSpec {
         }
     }
 
+    /// Experiment E16: store-and-forward vs wormhole switching. Three
+    /// policies × two switching modes (single-packet SF and 4-flit
+    /// single-lane worms) across offered loads 0.1–0.9 at N=64, with and
+    /// without gentle MTBF churn (108 runs). Measures how worm-length
+    /// link holding shifts the latency tail and how reserved-link
+    /// teardown under churn costs delivery.
+    pub fn e16() -> SweepSpec {
+        SweepSpec {
+            name: "e16".into(),
+            sizes: vec![64],
+            loads: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            queue_capacities: vec![4],
+            policies: vec![
+                RoutingPolicy::FixedC,
+                RoutingPolicy::SsdtBalance,
+                RoutingPolicy::TsdtSender,
+            ],
+            patterns: vec![TrafficPattern::Uniform],
+            modes: vec![
+                SwitchingMode::StoreForward,
+                SwitchingMode::Wormhole { flits: 4, lanes: 1 },
+            ],
+            scenarios: vec![
+                ScenarioSpec::None,
+                ScenarioSpec::Mtbf {
+                    mtbf: 1000,
+                    mttr: 200,
+                },
+            ],
+            cycles: 1200,
+            warmup: 240,
+            campaign_seed: 0xE16,
+        }
+    }
+
     /// Looks a built-in campaign up by name.
     pub fn builtin(name: &str) -> Result<SweepSpec, String> {
         match name {
             "smoke" => Ok(SweepSpec::smoke()),
             "e13" => Ok(SweepSpec::e13()),
             "e15" => Ok(SweepSpec::e15()),
+            "e16" => Ok(SweepSpec::e16()),
             other => Err(format!(
-                "unknown built-in sweep spec {other} (smoke, e13, e15)"
+                "unknown built-in sweep spec {other} (smoke, e13, e15, e16)"
             )),
         }
     }
@@ -400,6 +457,48 @@ pub fn parse_pattern(text: &str) -> Result<TrafficPattern, String> {
     }
     Err(format!(
         "unknown pattern {text} (uniform, bitrev, hotspot:<d>, perm:<d.d...>)"
+    ))
+}
+
+/// The stable label of a switching mode (also the spelling `parse_mode`
+/// accepts): `sf`, `wormhole:<flits>`, or `wormhole:<flits>:<lanes>`
+/// (the lane count is elided when it is 1, the common case).
+pub fn mode_label(mode: SwitchingMode) -> String {
+    match mode {
+        SwitchingMode::StoreForward => "sf".into(),
+        SwitchingMode::Wormhole { flits, lanes: 1 } => format!("wormhole:{flits}"),
+        SwitchingMode::Wormhole { flits, lanes } => format!("wormhole:{flits}:{lanes}"),
+    }
+}
+
+/// Parses a switching-mode label (`sf | wormhole:<flits>[:<lanes>]`).
+pub fn parse_mode(text: &str) -> Result<SwitchingMode, String> {
+    if text == "sf" {
+        return Ok(SwitchingMode::StoreForward);
+    }
+    if let Some(rest) = text.strip_prefix("wormhole:") {
+        let (flits, lanes) = match rest.split_once(':') {
+            Some((flits, lanes)) => (
+                flits,
+                lanes
+                    .parse()
+                    .map_err(|_| format!("bad lane count in {text}"))?,
+            ),
+            None => (rest, 1),
+        };
+        let flits = flits
+            .parse()
+            .map_err(|_| format!("bad flit count in {text}"))?;
+        if flits == 0 {
+            return Err(format!("{text}: a worm needs at least one flit"));
+        }
+        if lanes == 0 {
+            return Err(format!("{text}: a link needs at least one lane"));
+        }
+        return Ok(SwitchingMode::Wormhole { flits, lanes });
+    }
+    Err(format!(
+        "unknown switching mode {text} (sf, wormhole:<flits>[:<lanes>])"
     ))
 }
 
@@ -583,6 +682,64 @@ mod tests {
         assert!(parse_scenario("double:S1").is_err());
         assert!(parse_scenario("mtbf:1000").is_err());
         assert!(parse_scenario("mtbf:fast:slow").is_err());
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in [
+            SwitchingMode::StoreForward,
+            SwitchingMode::Wormhole { flits: 4, lanes: 1 },
+            SwitchingMode::Wormhole { flits: 8, lanes: 2 },
+        ] {
+            assert_eq!(parse_mode(&mode_label(mode)).unwrap(), mode);
+        }
+        assert_eq!(
+            mode_label(SwitchingMode::Wormhole { flits: 4, lanes: 1 }),
+            "wormhole:4"
+        );
+        assert!(parse_mode("cut-through").is_err());
+        assert!(parse_mode("wormhole:0").is_err(), "zero flits");
+        assert!(parse_mode("wormhole:4:0").is_err(), "zero lanes");
+        assert!(parse_mode("wormhole:soggy").is_err());
+    }
+
+    #[test]
+    fn mode_axis_multiplies_the_grid_and_varies_before_scenario() {
+        let mut spec = SweepSpec::smoke();
+        spec.modes = vec![
+            SwitchingMode::StoreForward,
+            SwitchingMode::Wormhole { flits: 4, lanes: 1 },
+        ];
+        assert_eq!(spec.grid_len(), 16);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 16);
+        // Scenario is innermost: mode holds constant across the 2-scenario
+        // block, then flips.
+        assert_eq!(runs[0].mode, SwitchingMode::StoreForward);
+        assert_eq!(runs[1].mode, SwitchingMode::StoreForward);
+        assert_eq!(runs[2].mode, SwitchingMode::Wormhole { flits: 4, lanes: 1 });
+        assert_ne!(runs[0].scenario, runs[1].scenario);
+
+        spec.modes = vec![SwitchingMode::Wormhole { flits: 0, lanes: 1 }];
+        assert!(spec.expand().is_err(), "zero flits must be rejected");
+        spec.modes = vec![SwitchingMode::Wormhole { flits: 4, lanes: 0 }];
+        assert!(spec.expand().is_err(), "zero lanes must be rejected");
+    }
+
+    #[test]
+    fn e16_matches_its_advertised_shape() {
+        let spec = SweepSpec::e16();
+        assert_eq!(spec.grid_len(), 9 * 3 * 2 * 2);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 108);
+        assert!(runs.iter().all(|r| r.size.n() == 64));
+        assert_eq!(
+            runs.iter()
+                .filter(|r| r.mode != SwitchingMode::StoreForward)
+                .count(),
+            54,
+            "half the grid runs wormhole"
+        );
     }
 
     #[test]

@@ -4,15 +4,17 @@
 
 use iadm_bench::json::assert_round_trip;
 use iadm_fault::scenario::{KindFilter, ScenarioSpec};
-use iadm_sim::{RoutingPolicy, TrafficPattern};
+use iadm_sim::{RoutingPolicy, SwitchingMode, TrafficPattern};
 use iadm_sweep::{campaign_json, run_campaign, SweepSpec};
 
 /// A campaign just big and heterogeneous enough that worker scheduling
 /// *would* scramble results if aggregation were unordered: three policies,
-/// static *and* transient fault scenarios, two loads, two sizes. The mtbf
-/// axis makes this the contract for the whole timeline pipeline: per-run
-/// schedule realization, online LUT repair, and the degradation counters
-/// all have to land byte-identically at any thread count.
+/// static *and* transient fault scenarios, two switching modes, two loads,
+/// two sizes. The mtbf axis makes this the contract for the whole timeline
+/// pipeline: per-run schedule realization, online LUT repair, and the
+/// degradation counters all have to land byte-identically at any thread
+/// count — and the wormhole mode axis extends the contract to reservation
+/// state and worm teardown under churn.
 fn contract_spec() -> SweepSpec {
     SweepSpec {
         name: "determinism-contract".into(),
@@ -25,6 +27,10 @@ fn contract_spec() -> SweepSpec {
             RoutingPolicy::TsdtSender,
         ],
         patterns: vec![TrafficPattern::Uniform],
+        modes: vec![
+            SwitchingMode::StoreForward,
+            SwitchingMode::Wormhole { flits: 4, lanes: 1 },
+        ],
         scenarios: vec![
             ScenarioSpec::None,
             ScenarioSpec::RandomLinks {
@@ -50,21 +56,31 @@ fn campaign_json_is_byte_identical_across_1_2_and_8_threads() {
     // The artifact is substantive, valid JSON — not an empty accident.
     let value = assert_round_trip(&one).expect("artifact must round-trip");
     let encoded = value.encode();
-    assert!(encoded.contains("\"run_count\":36"));
+    assert!(encoded.contains("\"run_count\":72"));
     assert!(encoded.contains("\"latency_buckets\":["));
     // The transient-fault runs are present and report degradation.
     assert!(encoded.contains("\"scenario\":\"mtbf:50:15\""));
     assert!(encoded.contains("\"fault_events\":"));
+    // The wormhole runs are present and report the flit ledger.
+    assert!(encoded.contains("\"mode\":\"wormhole:4\""));
+    assert!(encoded.contains("\"flits_in_flight\":"));
 }
 
 #[test]
 fn every_run_of_a_campaign_conserves_packets() {
     let result = run_campaign(&contract_spec(), 4).unwrap();
-    assert_eq!(result.runs.len(), 36);
+    assert_eq!(result.runs.len(), 72);
     for record in &result.runs {
         assert!(
             record.stats.is_conserved(),
             "run {} ({:?}) lost packets: {:?}",
+            record.spec.index,
+            record.spec.scenario.label(),
+            record.stats
+        );
+        assert!(
+            record.stats.flits_conserved(),
+            "run {} ({:?}) lost flits: {:?}",
             record.spec.index,
             record.spec.scenario.label(),
             record.stats

@@ -49,6 +49,32 @@ grep -q '"fault_events":' "$mtbf_out" || {
 
 echo "sweep_smoke: mtbf OK ($(wc -c < "$mtbf_out") bytes)"
 
+# Wormhole smoke: a tiny two-mode campaign must label its wormhole runs
+# and report the flit ledger, while store-and-forward records stay free
+# of any mode or flit fields (artifact back-compat).
+wh_out="$(mktemp /tmp/iadm_sweep_wh.XXXXXX.json)"
+trap 'rm -f "$out" "$mtbf_out" "$wh_out"' EXIT
+
+./target/release/iadm-cli sweep --n 8 --loads 0.4 --policies ssdt \
+    --cycles 300 --modes sf,wormhole:4 --faults none,mtbf:80:30 \
+    --threads 2 --out "$wh_out"
+
+[ -s "$wh_out" ] || { echo "sweep_smoke: empty wormhole artifact" >&2; exit 1; }
+grep -q '"mode":"wormhole:4"' "$wh_out" || {
+    echo "sweep_smoke: wormhole artifact missing the mode label" >&2
+    exit 1
+}
+grep -q '"flits_in_flight":' "$wh_out" || {
+    echo "sweep_smoke: wormhole runs reported no flit ledger" >&2
+    exit 1
+}
+if grep -q '"mode":"sf"' "$wh_out"; then
+    echo "sweep_smoke: store-and-forward runs must not carry a mode field" >&2
+    exit 1
+fi
+
+echo "sweep_smoke: wormhole OK ($(wc -c < "$wh_out") bytes)"
+
 # Perf trajectory: the simulator benchmark must stay within tolerance of
 # the checked-in BENCH_sim.json (see scripts/bench_gate.sh).
 sh scripts/bench_gate.sh
