@@ -6,7 +6,7 @@
 #[cfg(feature = "bench-inline")]
 fn main() {
     use iadm_bench::harness::{opaque, Group};
-    use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+    use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
     use iadm_topology::Size;
 
     let group = Group::new("simulator");
@@ -24,6 +24,7 @@ fn main() {
                 warmup: 50,
                 offered_load: 0.5,
                 seed: 1,
+                engine: EngineKind::Synchronous,
             };
             group.bench(&format!("{policy:?}/{n}"), || {
                 let sim = Simulator::new(config, policy, TrafficPattern::Uniform);

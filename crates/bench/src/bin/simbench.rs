@@ -7,6 +7,13 @@
 //! deterministic per seed, so `delivered` is identical across repeats and
 //! only wall time varies).
 //!
+//! A second section benchmarks the event-driven engine against the
+//! synchronous loop in its design regime — low offered load, N up to
+//! 8192 — where skipping idle switches is the whole game. Those cases
+//! carry the engine in their policy label (`FixedC/lowload/sync` vs
+//! `FixedC/lowload/event`) so the (n, policy) gate key keeps both
+//! trajectories separately.
+//!
 //! Usage:
 //!   simbench                      print the report JSON to stdout
 //!   simbench --out PATH           also write it to PATH
@@ -20,7 +27,7 @@
 //! pipeline.
 
 use iadm_bench::json::{assert_round_trip, parse, Json};
-use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
 use iadm_topology::Size;
 use std::time::Instant;
 
@@ -39,6 +46,20 @@ const OFFERED_LOAD: f64 = 0.3;
 const SEED: u64 = 42;
 const REPS: usize = 3;
 
+/// `(N, simulated cycles)` for the low-load engine comparison. The
+/// cycle counts shrink with N like the main section's; the offered load
+/// is chosen per size so every configuration sees the same absolute
+/// injection rate (`LOWLOAD_RATE` packets per cycle across the whole
+/// fabric) — the mostly-idle regime the event engine exists for, held
+/// constant as N grows.
+const LOWLOAD_SIZES: [(usize, usize); 4] = [(64, 20000), (256, 8000), (1024, 2000), (8192, 500)];
+const LOWLOAD_RATE: f64 = 0.8;
+
+const ENGINES: [(EngineKind, &str); 2] = [
+    (EngineKind::Synchronous, "FixedC/lowload/sync"),
+    (EngineKind::EventDriven, "FixedC/lowload/event"),
+];
+
 struct Case {
     n: usize,
     policy: &'static str,
@@ -49,14 +70,23 @@ struct Case {
 }
 
 fn bench_case(n: usize, cycles: usize, policy: RoutingPolicy, name: &'static str) -> Case {
-    let config = SimConfig {
-        size: Size::new(n).expect("benchmark sizes are powers of two"),
-        queue_capacity: 4,
-        cycles,
-        warmup: cycles / 5,
-        offered_load: OFFERED_LOAD,
-        seed: SEED,
-    };
+    bench_config(
+        SimConfig {
+            size: Size::new(n).expect("benchmark sizes are powers of two"),
+            queue_capacity: 4,
+            cycles,
+            warmup: cycles / 5,
+            offered_load: OFFERED_LOAD,
+            seed: SEED,
+            engine: EngineKind::Synchronous,
+        },
+        policy,
+        name,
+    )
+}
+
+fn bench_config(config: SimConfig, policy: RoutingPolicy, name: &'static str) -> Case {
+    let (n, cycles) = (config.size.n(), config.cycles);
     let mut delivered = 0u64;
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
@@ -211,6 +241,37 @@ fn main() {
             );
             cases.push(case);
         }
+    }
+    for (n, cycles) in LOWLOAD_SIZES {
+        for (engine, name) in ENGINES {
+            let case = bench_config(
+                SimConfig {
+                    size: Size::new(n).expect("benchmark sizes are powers of two"),
+                    queue_capacity: 4,
+                    cycles,
+                    warmup: cycles / 5,
+                    offered_load: LOWLOAD_RATE / n as f64,
+                    seed: SEED,
+                    engine,
+                },
+                RoutingPolicy::FixedC,
+                name,
+            );
+            eprintln!(
+                "N={:<5} {:<22} {:>12.1} cycles/s {:>14.1} packets/s (delivered {})",
+                case.n, case.policy, case.cycles_per_sec, case.packets_per_sec, case.delivered
+            );
+            cases.push(case);
+        }
+        // Paired sync/event cases land adjacently; report the win.
+        let [sync, event] = &cases[cases.len() - 2..] else {
+            unreachable!()
+        };
+        assert_eq!(sync.delivered, event.delivered, "engines must agree");
+        eprintln!(
+            "N={n:<5} low-load event speedup: {:.2}x",
+            event.packets_per_sec / sync.packets_per_sec
+        );
     }
 
     let doc = report(&cases);

@@ -18,7 +18,7 @@ use iadm_permute::cube_subgraph::{distinct_prefix_count, theorem_6_1_lower_bound
 use iadm_permute::reconfigure::find_reconfiguration;
 use iadm_permute::Permutation;
 use iadm_rng::StdRng;
-use iadm_sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
+use iadm_sim::{run_once, EngineKind, RoutingPolicy, SimConfig, TrafficPattern};
 use iadm_topology::Size;
 use std::time::Instant;
 
@@ -336,6 +336,7 @@ fn e7_load_balancing() {
             warmup: 500,
             offered_load: load,
             seed: 11,
+            engine: EngineKind::Synchronous,
         };
         let fixed = run_once(config, RoutingPolicy::FixedC, TrafficPattern::Uniform);
         let ssdt = run_once(config, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform);

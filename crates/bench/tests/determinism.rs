@@ -7,7 +7,7 @@
 use iadm_bench::json::sim_stats_json;
 use iadm_fault::scenario::{self, KindFilter};
 use iadm_rng::StdRng;
-use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
 use iadm_topology::Size;
 
 /// One faulted simulation run, fully determined by `seed`.
@@ -28,6 +28,7 @@ fn run(seed: u64) -> String {
         warmup: 50,
         offered_load: 0.4,
         seed,
+        engine: EngineKind::Synchronous,
     };
     let stats = Simulator::with_blockages(
         config,

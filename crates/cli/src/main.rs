@@ -40,14 +40,15 @@ const USAGE: &str = "usage:
   iadm paths    -n <N> -s <src> -d <dst> [--block ...]...
   iadm render   -n <N> [--net iadm|icube|adm|gamma|gcube]
   iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>] [--policy fixed|ssdt|random|tsdt]
-                [--mode sf|wormhole:<flits>[:<lanes>]] [--faults <scenario>] [--block ...]...
+                [--mode sf|wormhole:<flits>[:<lanes>]] [--engine sync|event]
+                [--faults <scenario>] [--block ...]...
   iadm subgraphs -n <N>
   iadm dot      -n <N> [--net ...] [-s <src> -d <dst>] [--block ...]...   (Graphviz output)
   iadm broadcast -n <N> -s <src> [--dests 1,2,5]
-  iadm sweep    [--spec smoke|e13|e15|e16] [--threads <t>] [--out results/….json]
+  iadm sweep    [--spec smoke|e13|e15|e16|e17] [--threads <t>] [--out results/….json]
                 [--n 8,64] [--loads 0.1,0.5] [--policies fixed,ssdt,tsdt]
                 [--patterns uniform,bitrev,hotspot:<d>] [--queues 4]
-                [--modes sf,wormhole:<flits>[:<lanes>]]
+                [--modes sf,wormhole:<flits>[:<lanes>]] [--engines sync,event]
                 [--cycles <c>] [--warmup <w>] [--seed <s>]
                 [--faults none,rand:<k>,mtbf:<m>:<r>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]
 
@@ -57,7 +58,12 @@ other forms block links for the whole run.
 
 switching modes: `sf` is store-and-forward (default); `wormhole:<flits>`
 pipelines each packet as a worm of that many flits over reserved link
-lanes (one lane per link unless `:<lanes>` is given).";
+lanes (one lane per link unless `:<lanes>` is given).
+
+engines: `sync` (default) visits the whole network every cycle; `event`
+wakes only the work that can progress. Statistics are identical either
+way — the event engine is a performance choice for low-load/large-N
+runs.";
 
 /// A tiny flag parser: collects `--key value`, `-k value` pairs and
 /// repeated `--block` occurrences.
@@ -190,14 +196,15 @@ fn run(args: &[String]) -> Result<(), String> {
         "route" | "reroute" | "paths" => &["n", "s", "d", "block"],
         "render" => &["n", "net"],
         "simulate" => &[
-            "n", "load", "cycles", "warmup", "policy", "mode", "queue", "seed", "faults", "block",
+            "n", "load", "cycles", "warmup", "policy", "mode", "engine", "queue", "seed", "faults",
+            "block",
         ],
         "subgraphs" => &["n"],
         "dot" => &["n", "net", "s", "d", "block"],
         "broadcast" => &["n", "s", "dests"],
         "sweep" => &[
-            "spec", "threads", "out", "n", "loads", "policies", "patterns", "modes", "queues",
-            "cycles", "warmup", "seed", "faults",
+            "spec", "threads", "out", "n", "loads", "policies", "patterns", "modes", "engines",
+            "queues", "cycles", "warmup", "seed", "faults",
         ],
         other => return Err(format!("unknown command {other}")),
     };
@@ -315,6 +322,10 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
     if warmup > cycles {
         return Err(format!("warmup {warmup} exceeds cycles {cycles}"));
     }
+    let engine = match args.get("engine") {
+        Some(text) => iadm_sweep::parse_engine(text)?,
+        None => iadm_sim::EngineKind::Synchronous,
+    };
     let config = SimConfig {
         size,
         queue_capacity: args.usize_or("queue", 4)?,
@@ -322,6 +333,7 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         warmup,
         offered_load: args.f64_or("load", 0.5)?,
         seed: args.usize_or("seed", 1)? as u64,
+        engine,
     };
     config.validate()?;
     let mode = match args.get("mode") {
@@ -474,6 +486,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             policies: vec![iadm_sim::RoutingPolicy::SsdtBalance],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            engines: vec![iadm_sim::EngineKind::Synchronous],
             scenarios: vec![iadm_fault::scenario::ScenarioSpec::None],
             cycles: 2000,
             warmup: 400,
@@ -503,6 +516,12 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         spec.modes = list
             .split(',')
             .map(|m| iadm_sweep::parse_mode(m.trim()))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("engines") {
+        spec.engines = list
+            .split(',')
+            .map(|e| iadm_sweep::parse_engine(e.trim()))
             .collect::<Result<_, _>>()?;
     }
     if let Some(list) = args.get("queues") {
@@ -686,6 +705,22 @@ mod tests {
             vec![
                 "simulate", "-n", "8", "--cycles", "100", "--faults", "rand:2", "--block", "S0:1-",
             ],
+            vec![
+                "simulate", "-n", "8", "--cycles", "100", "--engine", "event",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "120",
+                "--engine",
+                "event",
+                "--mode",
+                "wormhole:4",
+                "--faults",
+                "mtbf:40:15",
+            ],
             vec!["subgraphs", "-n", "16"],
             vec!["dot", "-n", "4"],
             vec!["dot", "-n", "8", "-s", "1", "-d", "0", "--block", "S0:1-"],
@@ -728,6 +763,21 @@ mod tests {
                 "ssdt",
                 "--modes",
                 "sf,wormhole:4",
+                "--cycles",
+                "100",
+                "--faults",
+                "none,mtbf:40:15",
+            ],
+            vec![
+                "sweep",
+                "--n",
+                "8",
+                "--loads",
+                "0.3",
+                "--policies",
+                "fixed,ssdt",
+                "--engines",
+                "sync,event",
                 "--cycles",
                 "100",
                 "--faults",
@@ -784,6 +834,8 @@ mod tests {
             vec!["sweep", "--faults", "mtbf:0:5"],
             vec!["sweep", "--modes", "cut-through"],
             vec!["sweep", "--modes", "wormhole:0"],
+            vec!["sweep", "--engines", "warp"],
+            vec!["simulate", "-n", "8", "--engine", "async"],
             vec!["simulate", "-n", "8", "--faults", "mtbf:nope"],
             vec!["simulate", "-n", "8", "--faults", "double:S9:0"],
             vec!["simulate", "-n", "8", "--mode", "wormhole:4:0"],

@@ -12,6 +12,8 @@
 //! statistics are bit-identical to the original nested-`Vec` engine
 //! (enforced by `tests/parity.rs`).
 
+use crate::active::ActiveArena;
+use crate::event::{Event, EventQueue};
 use crate::packet::Packet;
 use crate::queue::{QueueArena, ReservationTable};
 use crate::stats::SimStats;
@@ -19,7 +21,7 @@ use crate::traffic::TrafficPattern;
 use iadm_core::lut::{kind_for, RouteLut};
 use iadm_core::{NetworkState, SwitchState, TsdtTag};
 use iadm_fault::{BlockageMap, FaultTimeline};
-use iadm_rng::{Rng, StdRng};
+use iadm_rng::{Rng, RngCore, StdRng};
 use iadm_topology::{bit, Link, LinkKind, Size};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -42,6 +44,9 @@ pub struct SimConfig {
     pub offered_load: f64,
     /// RNG seed (runs are deterministic per seed).
     pub seed: u64,
+    /// Which scheduling core drives the run (statistics are identical
+    /// either way; see [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl SimConfig {
@@ -76,6 +81,28 @@ impl SimConfig {
         }
         Ok(())
     }
+}
+
+/// Which scheduling core drives a run.
+///
+/// Both engines execute the *same* simulation — identical decision
+/// order, identical RNG draw order, identical floating-point fold order
+/// — so their statistics are byte-identical (the differential contract
+/// of `tests/equivalence.rs`). The synchronous engine pays O(network
+/// size) every cycle; the event-driven engine pays for the work that
+/// actually happens, which is what makes low-load runs on large
+/// networks affordable (the `BENCH_sim.json` headline of this axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Visit every stage, every waiting source, and every switch scan
+    /// position each cycle (the original engine; the statistics oracle
+    /// the event engine is differenced against).
+    #[default]
+    Synchronous,
+    /// Wake exactly the stages, sources, and timelines that can make
+    /// progress, driven by a time-ordered [`EventQueue`] and a dense
+    /// arena of the non-empty link buffers.
+    EventDriven,
 }
 
 /// How a switch assigns a nonstraight-bound packet to one of its two
@@ -263,6 +290,57 @@ impl TagCache {
     }
 }
 
+/// All event-driven-engine state, boxed into an `Option` on the
+/// [`Simulator`]: `None` means synchronous and costs the hot path
+/// exactly one branch at the top of [`Simulator::step`] (the same
+/// pattern `WormState` uses), so the synchronous instruction sequence —
+/// and therefore its statistics — stays byte-identical to the
+/// pre-event-engine code (enforced by `tests/parity.rs`).
+#[derive(Debug)]
+struct EventState {
+    /// Pending work, ordered by `(cycle, within-cycle phase priority)`.
+    queue: EventQueue,
+    /// The link buffers, stored densely by non-empty queue (replaces the
+    /// flat `QueueArena` on this engine; identical accounting).
+    active: ActiveArena,
+    /// Per-output-switch accept counters, epoch-stamped so an `Advance`
+    /// event gets a logically-zeroed array without an O(N) fill:
+    /// `epoch << 8 | count`, read as 0 when the stamp is stale.
+    accepted: Vec<u64>,
+    /// Current accept-counter epoch (bumped once per `Advance` event,
+    /// mirroring the synchronous per-stage `accepted` fill).
+    epoch: u64,
+    /// Per-stage cycle an `Advance(stage)` is already scheduled for
+    /// (`u64::MAX` = none) — pushes are deduplicated against this stamp.
+    advance_sched: Vec<u64>,
+    /// Cycle an `Admission` is already scheduled for.
+    admission_sched: u64,
+    /// Cycle a `Fault` is already scheduled for.
+    fault_sched: u64,
+}
+
+impl EventState {
+    /// Schedules `Advance(stage)` at `cycle` unless one is already
+    /// pending for that cycle.
+    #[inline]
+    fn schedule_advance(&mut self, stage: usize, cycle: u64) {
+        if self.advance_sched[stage] != cycle {
+            self.advance_sched[stage] = cycle;
+            self.queue.push(cycle, Event::Advance(stage as u16));
+        }
+    }
+
+    /// Schedules `Admission` at `cycle` unless one is already pending
+    /// for that cycle.
+    #[inline]
+    fn schedule_admission(&mut self, cycle: u64) {
+        if self.admission_sched != cycle {
+            self.admission_sched = cycle;
+            self.queue.push(cycle, Event::Admission);
+        }
+    }
+}
+
 /// The simulator: a store-and-forward IADM network with one bounded FIFO
 /// per output link and one packet transfer per link per cycle. Each switch
 /// honors the IADM's `SingleInput` capability: it accepts at most one
@@ -326,6 +404,8 @@ pub struct Simulator {
     cycle: u64,
     /// Wormhole-mode state; `None` = store-and-forward (the default).
     wormhole: Option<WormState>,
+    /// Event-driven-engine state; `None` = synchronous (the default).
+    event: Option<Box<EventState>>,
     /// Links that transitioned *down* during this cycle's
     /// [`Simulator::apply_due_events`] (flat indices) — the wormhole
     /// teardown pass kills every worm holding a lane of one. Only
@@ -403,6 +483,32 @@ impl Simulator {
         let size = config.size;
         let dynamic = !timeline.is_empty();
         let outage_slots = if dynamic { Link::slot_count(size) } else { 0 };
+        let event = if config.engine == EngineKind::EventDriven {
+            let mut queue = EventQueue::new(size.stages() as u16);
+            // Seed the schedule: arrivals fire every cycle while load is
+            // offered (each source consumes one RNG draw per cycle either
+            // way), and the first timeline event fires at its exact cycle
+            // so the outage clocks match the synchronous engine's.
+            if config.offered_load > 0.0 && config.cycles > 0 {
+                queue.push(0, Event::Arrivals);
+            }
+            let mut fault_sched = u64::MAX;
+            if let Some(first) = timeline.events().first() {
+                fault_sched = first.cycle;
+                queue.push(first.cycle, Event::Fault);
+            }
+            Some(Box::new(EventState {
+                queue,
+                active: ActiveArena::new(Link::slot_count(size), config.queue_capacity),
+                accepted: vec![0; size.n()],
+                epoch: 0,
+                advance_sched: vec![u64::MAX; size.stages()],
+                admission_sched: u64::MAX,
+                fault_sched,
+            }))
+        } else {
+            None
+        };
         Simulator {
             rng: StdRng::seed_from_u64(config.seed),
             stats: SimStats {
@@ -410,7 +516,17 @@ impl Simulator {
                 ..SimStats::default()
             },
             lut: RouteLut::new(size, &blockages),
-            queues: QueueArena::new(Link::slot_count(size), config.queue_capacity),
+            // The event engine keeps its buffers in the dense
+            // `ActiveArena`; give it a zero-queue flat arena instead of a
+            // dead O(network) allocation.
+            queues: QueueArena::new(
+                if event.is_some() {
+                    0
+                } else {
+                    Link::slot_count(size)
+                },
+                config.queue_capacity,
+            ),
             switch_load: vec![0; size.stages() * size.n()],
             switch_bits: vec![0; size.stages() * size.n().div_ceil(64)],
             live_scratch: Vec::with_capacity(size.n()),
@@ -436,6 +552,7 @@ impl Simulator {
             blockages,
             cycle: 0,
             wormhole: None,
+            event,
             downed_scratch: Vec::new(),
             accept_limit: 1,
             states: NetworkState::all_c(size),
@@ -721,6 +838,13 @@ impl Simulator {
     /// Runs one cycle: deliver/advance from the last stage backward, then
     /// inject, then sample occupancies.
     pub fn step(&mut self) {
+        // The single event-engine branch on the synchronous path,
+        // mirroring the wormhole branch below: the synchronous
+        // instruction sequence is untouched when `event` is `None`.
+        if self.event.is_some() {
+            self.step_event();
+            return;
+        }
         // The single wormhole branch on the store-and-forward path: the
         // entire instruction sequence below is untouched when `wormhole`
         // is `None`.
@@ -1230,6 +1354,466 @@ impl Simulator {
         Decision::Stall
     }
 
+    /// One event-driven cycle. A cycle with no due events is *idle*: by
+    /// the scheduling invariants (every phase that could make progress
+    /// has an event pending), the synchronous engine would have decided
+    /// nothing and drawn no randomness during it, so only the occupancy
+    /// sample counter needs to advance.
+    fn step_event(&mut self) {
+        let mut ev = self.event.take().expect("step_event without event state");
+        if ev.queue.peek_cycle() != Some(self.cycle) {
+            if let Some(ws) = self.wormhole.as_mut() {
+                ws.reservations.tick();
+            } else {
+                ev.active.tick();
+            }
+            self.cycle += 1;
+        } else if self.wormhole.is_some() {
+            self.step_event_wormhole(&mut ev);
+        } else {
+            self.step_event_cycle(&mut ev);
+        }
+        self.event = Some(ev);
+    }
+
+    /// Dispatches every event due this cycle in phase-priority order —
+    /// exactly the synchronous engine's phase order: fault application,
+    /// stage advances from the last stage backward, source admission,
+    /// arrivals. Phases with no due event are phases the synchronous
+    /// engine would have no-opped (nothing queued, nothing waiting, no
+    /// timeline event due), so skipping them changes no decision and no
+    /// RNG draw.
+    fn step_event_cycle(&mut self, ev: &mut EventState) {
+        while ev.queue.peek_cycle() == Some(self.cycle) {
+            let (_, event) = ev.queue.pop().expect("peeked event vanished");
+            match event {
+                Event::Fault => self.event_fault(ev),
+                Event::WormAdvance => unreachable!("WormAdvance on the store-and-forward path"),
+                Event::Advance(stage) => self.event_advance(ev, stage as usize),
+                Event::Admission => self.event_admission(ev),
+                Event::Arrivals => self.event_arrivals(ev),
+            }
+        }
+        ev.active.tick();
+        self.cycle += 1;
+    }
+
+    /// Wormhole mode under the event engine: a due cycle runs the
+    /// synchronous wormhole step verbatim (worms move every cycle by
+    /// construction, so there is nothing to event within the cycle), and
+    /// the heap's only job is to skip fully-idle cycles — no live worms,
+    /// no waiting sources, no arrivals, no due timeline event.
+    fn step_event_wormhole(&mut self, ev: &mut EventState) {
+        while ev.queue.peek_cycle() == Some(self.cycle) {
+            ev.queue.pop();
+        }
+        self.step_wormhole();
+        let next = self.cycle;
+        let ws = self
+            .wormhole
+            .as_ref()
+            .expect("step_wormhole preserved the wormhole state");
+        if !ws.order.is_empty() {
+            ev.queue.push(next, Event::WormAdvance);
+        }
+        if self.source_bits.iter().any(|&w| w != 0) {
+            ev.queue.push(next, Event::Admission);
+        }
+        if self.config.offered_load > 0.0 && next < self.config.cycles as u64 {
+            ev.queue.push(next, Event::Arrivals);
+        }
+        self.schedule_fault(ev);
+    }
+
+    /// Applies the due timeline events (the cycle matches the next
+    /// unapplied event by construction, so the outage clocks record the
+    /// exact cycles the synchronous engine records) and schedules the
+    /// following one.
+    fn event_fault(&mut self, ev: &mut EventState) {
+        self.apply_due_events();
+        self.schedule_fault(ev);
+    }
+
+    /// Schedules a `Fault` at the next unapplied timeline event's cycle,
+    /// deduplicated against the pending one.
+    fn schedule_fault(&mut self, ev: &mut EventState) {
+        if let Some(event) = self.timeline.events().get(self.timeline_cursor) {
+            if ev.fault_sched != event.cycle {
+                ev.fault_sched = event.cycle;
+                ev.queue.push(event.cycle, Event::Fault);
+            }
+        }
+    }
+
+    /// [`Simulator::step`]'s per-stage advance, replayed event-style: the
+    /// identical rotated live-switch scan, kind rotation, accept limits,
+    /// and decision sequence, against the dense arena. Any packet left in
+    /// the stage (stalled or beyond the accept limit) re-arms the stage
+    /// for the next cycle; any packet moved forward arms the next stage —
+    /// which already fired this cycle (stages advance last-first), so the
+    /// hand-off lands exactly one cycle later, as in the synchronous scan.
+    fn event_advance(&mut self, ev: &mut EventState, stage: usize) {
+        if self.stage_load[stage] == 0 {
+            // The stage drained between scheduling and firing (e.g. a
+            // later-stage event of an earlier cycle consumed it): the
+            // synchronous engine's stage skip.
+            return;
+        }
+        let size = self.config.size;
+        let n = size.n();
+        let stages = size.stages();
+        let mask = n - 1;
+        let sw_offset = self.cycle as usize & mask;
+        let order_offset = (self.cycle % 3) as usize;
+        let kind_order = [
+            LinkKind::ALL[order_offset],
+            LinkKind::ALL[(order_offset + 1) % 3],
+            LinkKind::ALL[(order_offset + 2) % 3],
+        ];
+        // One epoch bump = the synchronous `accepted[..n].fill(0)`.
+        ev.epoch += 1;
+        let epoch = ev.epoch;
+        let row = stage * n;
+        let exit = stage + 1 == stages;
+        // Rotated busy-switch gather, identical in output order to the
+        // synchronous scan (see `step`). When the dense arena holds fewer
+        // live queues *network-wide* than this stage's bitmap has words,
+        // walking the arena and sorting by rotated index is cheaper than
+        // scanning the bitmap — that is the event engine's design regime,
+        // a handful of packets on a huge network. Both gathers produce
+        // the busy switches in ascending rotated order, so the decision
+        // sequence (and thus every golden) is unchanged.
+        let words = n.div_ceil(64);
+        let wrow = stage * words;
+        let mut live = std::mem::take(&mut self.live_scratch);
+        live.clear();
+        if ev.active.live_count() <= words {
+            ev.active.for_each_live(|q| {
+                let sw_abs = q as usize / 3;
+                if (row..row + n).contains(&sw_abs) {
+                    live.push((sw_abs - row) as u32);
+                }
+            });
+            // A switch with several live kind-queues appears once per
+            // queue; equal rotated keys sort adjacent, so dedup collapses
+            // them.
+            live.sort_unstable_by_key(|&sw| (sw as usize).wrapping_sub(sw_offset) & mask);
+            live.dedup();
+        } else {
+            let start_word = sw_offset >> 6;
+            let start_bit = sw_offset & 63;
+            let mut wi = start_word;
+            let mut w = self.switch_bits[wrow + wi] & (!0u64 << start_bit);
+            loop {
+                while w != 0 {
+                    live.push(((wi << 6) + w.trailing_zeros() as usize) as u32);
+                    w &= w - 1;
+                }
+                wi += 1;
+                if wi == words {
+                    break;
+                }
+                w = self.switch_bits[wrow + wi];
+            }
+            for wi in 0..=start_word {
+                let mut w = self.switch_bits[wrow + wi];
+                if wi == start_word {
+                    w &= !(!0u64 << start_bit);
+                }
+                while w != 0 {
+                    live.push(((wi << 6) + w.trailing_zeros() as usize) as u32);
+                    w &= w - 1;
+                }
+            }
+        }
+        for &sw_live in &live {
+            let sw = sw_live as usize;
+            let qbase = (row + sw) * 3;
+            let mut kmask = 0u32;
+            for (i, kind) in kind_order.iter().enumerate() {
+                kmask |= u32::from(!ev.active.is_empty(qbase + kind.index())) << i;
+            }
+            while kmask != 0 {
+                let kind = kind_order[kmask.trailing_zeros() as usize];
+                kmask &= kmask - 1;
+                let q = qbase + kind.index();
+                if self.links_down_now > 0 && self.blockages.is_blocked(Link::new(stage, sw, kind))
+                {
+                    continue;
+                }
+                let to = kind.target(size, stage, sw);
+                let acc = ev.accepted[to];
+                let count = if acc >> 8 == epoch {
+                    (acc & 0xFF) as u8
+                } else {
+                    0
+                };
+                if count >= self.accept_limit {
+                    continue;
+                }
+                if exit {
+                    ev.accepted[to] = (epoch << 8) | u64::from(count + 1);
+                    let packet = ev.active.pop_carried(q);
+                    self.load_dec(stage, sw);
+                    self.stage_load[stage] -= 1;
+                    if to == packet.dest as usize {
+                        self.stats.delivered += 1;
+                        if packet.injected_at as u64 >= self.config.warmup as u64 {
+                            let lat = self.cycle + 1 - packet.injected_at as u64;
+                            self.stats.latency_sum += lat;
+                            self.stats.latency_count += 1;
+                            self.stats.latency_max = self.stats.latency_max.max(lat);
+                            self.stats.latency_histogram.record(lat);
+                        }
+                    } else {
+                        self.stats.misrouted += 1;
+                    }
+                    continue;
+                }
+                let head = ev.active.head(q).expect("non-empty queue has a head");
+                let (dest, tag_state) = (head.dest, head.tag_state);
+                match self.decide_active(&ev.active, stage + 1, to, dest, tag_state) {
+                    Decision::Enqueue(next_kind) => {
+                        let packet = ev.active.pop_carried(q);
+                        self.load_dec(stage, sw);
+                        self.stage_load[stage] -= 1;
+                        let next_q = (row + n + to) * 3 + next_kind.index();
+                        let ok = ev.active.push(next_q, packet);
+                        debug_assert!(ok, "decide_active() guaranteed space");
+                        self.load_inc(stage + 1, to);
+                        self.stage_load[stage + 1] += 1;
+                        ev.accepted[to] = (epoch << 8) | u64::from(count + 1);
+                        ev.schedule_advance(stage + 1, self.cycle + 1);
+                    }
+                    Decision::Stall => {}
+                    Decision::Drop => {
+                        let _ = ev.active.pop(q);
+                        self.load_dec(stage, sw);
+                        self.stage_load[stage] -= 1;
+                        self.note_drop();
+                    }
+                }
+            }
+        }
+        self.live_scratch = live;
+        if self.stage_load[stage] > 0 {
+            ev.schedule_advance(stage, self.cycle + 1);
+        }
+    }
+
+    /// [`Simulator::step`]'s source-admission phase, replayed
+    /// event-style: the identical ascending waiting-source walk and
+    /// decision sequence. An admitted packet arms stage 0 for the next
+    /// cycle; a source left waiting re-arms admission.
+    fn event_admission(&mut self, ev: &mut EventState) {
+        let n = self.config.size.n();
+        // Tracks whether any visited source keeps its bit set (stalled,
+        // or drained only one of several queued packets) — the loop
+        // visits every set bit, so this equals a full `source_bits`
+        // re-scan without paying it.
+        let mut left_waiting = false;
+        for wi in 0..n.div_ceil(64) {
+            let mut w = self.source_bits[wi];
+            while w != 0 {
+                let s = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let head = self.source_queues[s]
+                    .front()
+                    .expect("source bit set for an empty queue");
+                let (dest, tag_state) = (head.dest, head.tag_state);
+                match self.decide_active(&ev.active, 0, s, dest, tag_state) {
+                    Decision::Enqueue(kind) => {
+                        let packet = self.source_queues[s].pop_front().unwrap();
+                        if self.source_queues[s].is_empty() {
+                            self.source_bits[wi] &= !(1u64 << (s & 63));
+                        } else {
+                            left_waiting = true;
+                        }
+                        let q = self.queue_index(0, s, kind);
+                        let ok = ev.active.push(q, packet);
+                        debug_assert!(ok, "decide_active() guaranteed space");
+                        self.load_inc(0, s);
+                        self.stage_load[0] += 1;
+                        ev.schedule_advance(0, self.cycle + 1);
+                    }
+                    Decision::Stall => left_waiting = true,
+                    Decision::Drop => {
+                        self.source_queues[s].pop_front();
+                        if self.source_queues[s].is_empty() {
+                            self.source_bits[wi] &= !(1u64 << (s & 63));
+                        } else {
+                            left_waiting = true;
+                        }
+                        self.note_drop();
+                    }
+                }
+            }
+        }
+        if left_waiting {
+            ev.schedule_admission(self.cycle + 1);
+        }
+    }
+
+    /// [`Simulator::step`]'s arrival phase, replayed event-style: the
+    /// identical Bernoulli draw per source (arrivals fire every cycle of
+    /// the horizon while load is offered — each source consumes one draw
+    /// whether or not a packet arrives, so skipping a cycle would shift
+    /// every later draw). A new waiting source arms admission.
+    fn event_arrivals(&mut self, ev: &mut EventState) {
+        let n = self.config.size.n();
+        let mut any = false;
+        // Integer form of `gen_bool(p)`: the library draw compares
+        // `(next_u64() >> 11) as f64 * 2^-53 < p`, and scaling both sides
+        // by 2^53 (an exact power-of-two multiply) gives the equivalent
+        // integer test `(next_u64() >> 11) < ceil(p * 2^53)` — same RNG
+        // consumption, same accept set, no int-to-float conversion in the
+        // engine's hottest per-source loop.
+        let threshold = (self.config.offered_load * (1u64 << 53) as f64).ceil() as u64;
+        // Run the Bernoulli scan on a local copy of the generator so the
+        // 256-bit state lives in registers across the (overwhelmingly
+        // miss-predicted-false) loop instead of round-tripping through
+        // `self` on every draw; the state is written back below.
+        let mut rng = self.rng.clone();
+        for s in 0..n {
+            if (rng.next_u64() >> 11) < threshold {
+                let dest = self.pattern.destination(self.config.size, s, &mut rng);
+                self.stats.injected += 1;
+                if self.policy == RoutingPolicy::TsdtSender {
+                    match self.sender_tag(s, dest) {
+                        Some(tag) => {
+                            if tag.state_bits() != 0 {
+                                self.stats.reroutes += 1;
+                            }
+                            self.source_queues[s]
+                                .push_back(Packet::with_tag(dest, self.cycle, tag));
+                            self.source_bits[s >> 6] |= 1u64 << (s & 63);
+                            any = true;
+                        }
+                        None => {
+                            self.stats.refused += 1;
+                        }
+                    }
+                } else {
+                    self.source_queues[s].push_back(Packet::new(dest, self.cycle));
+                    self.source_bits[s >> 6] |= 1u64 << (s & 63);
+                    any = true;
+                }
+            }
+        }
+        self.rng = rng;
+        if any {
+            ev.schedule_admission(self.cycle + 1);
+        }
+        let next = self.cycle + 1;
+        if next < self.config.cycles as u64 {
+            ev.queue.push(next, Event::Arrivals);
+        }
+    }
+
+    /// [`Simulator::decide`]'s event-engine twin: the same policy logic
+    /// with the dense arena in place of the flat one. Kept separate (the
+    /// `decide_worm` pattern) so the synchronous hot path stays
+    /// untouched.
+    fn decide_active(
+        &mut self,
+        arena: &ActiveArena,
+        stage: usize,
+        sw: usize,
+        dest: u32,
+        tag_state: Option<u32>,
+    ) -> Decision {
+        let qbase = (stage * self.config.size.n() + sw) * 3;
+        if let Some(tag_state) = tag_state {
+            let state = SwitchState::from_bit(bit(tag_state as usize, stage));
+            let kind = kind_for(bit(sw, stage), bit(dest as usize, stage), state);
+            if self.blockages.is_blocked(Link::new(stage, sw, kind)) {
+                debug_assert!(
+                    self.dynamic,
+                    "sender-computed tag steered into a blocked link in a static run"
+                );
+                return Decision::Drop;
+            }
+            return if arena.is_full(qbase + kind.index()) {
+                Decision::Stall
+            } else {
+                Decision::Enqueue(kind)
+            };
+        }
+        let t = bit(dest as usize, stage);
+        let entry = self.lut.entry(stage, sw, t);
+        if entry.is_straight() {
+            if !entry.c_free() {
+                return Decision::Drop;
+            }
+            return if arena.is_full(qbase + LinkKind::Straight.index()) {
+                Decision::Stall
+            } else {
+                Decision::Enqueue(LinkKind::Straight)
+            };
+        }
+        let c_kind = entry.c_kind();
+        let cbar_kind = entry.cbar_kind();
+        let mut candidates = [c_kind, cbar_kind];
+        let count = match self.policy {
+            RoutingPolicy::FixedC => {
+                if !entry.c_free() {
+                    return Decision::Drop;
+                }
+                1
+            }
+            RoutingPolicy::SsdtBalance => match (entry.c_free(), entry.cbar_free()) {
+                (false, false) => return Decision::Drop,
+                (true, false) => 1,
+                (false, true) => {
+                    self.stats.reroutes += 1;
+                    candidates[0] = cbar_kind;
+                    1
+                }
+                (true, true) => {
+                    let len0 = arena.len(qbase + c_kind.index());
+                    let len1 = arena.len(qbase + cbar_kind.index());
+                    let prefer_second = match len0.cmp(&len1) {
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => {
+                            let state = self.states.get(stage, sw);
+                            self.states.flip(stage, sw);
+                            state == SwitchState::Cbar
+                        }
+                    };
+                    if prefer_second {
+                        candidates.swap(0, 1);
+                    }
+                    2
+                }
+            },
+            RoutingPolicy::RandomSign => match (entry.c_free(), entry.cbar_free()) {
+                (false, false) => return Decision::Drop,
+                (true, false) => 1,
+                (false, true) => {
+                    self.stats.reroutes += 1;
+                    candidates[0] = cbar_kind;
+                    1
+                }
+                (true, true) => {
+                    if self.rng.gen_bool(0.5) {
+                        candidates.swap(0, 1);
+                    }
+                    2
+                }
+            },
+            RoutingPolicy::TsdtSender => {
+                unreachable!("TsdtSender packets must carry a tag")
+            }
+        };
+        for &kind in &candidates[..count] {
+            if !arena.is_full(qbase + kind.index()) {
+                return Decision::Enqueue(kind);
+            }
+        }
+        Decision::Stall
+    }
+
     /// Drains one flit of worm `id` into its output port, releasing the
     /// tail lane as the body shifts forward; on the last flit the worm
     /// retires and the delivery (and head-injection-to-tail-ejection
@@ -1307,10 +1891,49 @@ impl Simulator {
 
     /// Runs the configured number of cycles and returns the statistics.
     pub fn run(mut self) -> SimStats {
+        if self.event.is_some() {
+            self.run_event();
+            return self.finish();
+        }
         for _ in 0..self.config.cycles {
             self.step();
         }
         self.finish()
+    }
+
+    /// The event engine's run loop: jump the clock straight to the next
+    /// due event (this is where idle regions cost nothing — one
+    /// `fast_forward` of the sample counter instead of per-cycle ticks,
+    /// with identical occupancy integrals), then process the due cycle.
+    fn run_event(&mut self) {
+        let horizon = self.config.cycles as u64;
+        while self.cycle < horizon {
+            let next = self
+                .event
+                .as_ref()
+                .expect("run_event without event state")
+                .queue
+                .peek_cycle()
+                .unwrap_or(horizon)
+                .min(horizon);
+            if next > self.cycle {
+                let span = next - self.cycle;
+                if let Some(ws) = self.wormhole.as_mut() {
+                    ws.reservations.fast_forward(span);
+                } else {
+                    self.event
+                        .as_mut()
+                        .expect("run_event without event state")
+                        .active
+                        .fast_forward(span);
+                }
+                self.cycle = next;
+                if self.cycle == horizon {
+                    break;
+                }
+            }
+            self.step_event();
+        }
     }
 
     /// Closes outages still open at the end of the run and folds the
@@ -1345,7 +1968,12 @@ impl Simulator {
     /// Finalizes statistics without running further cycles.
     pub fn finish(mut self) -> SimStats {
         if self.wormhole.is_some() {
+            // Wormhole statistics come from the reservation table, which
+            // both engines share — one finisher serves both.
             return self.finish_wormhole();
+        }
+        if self.event.is_some() {
+            return self.finish_event();
         }
         let mut in_flight: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
         let mut high_water = 0usize;
@@ -1377,6 +2005,78 @@ impl Simulator {
                     imbalance_sum += (plus.abs_diff(minus)) as f64 / (plus + minus) as f64;
                     switches_with_traffic += 1;
                 }
+            }
+        }
+        self.stats.stage_link_use = stage_link_use;
+        self.stats.nonstraight_imbalance = if switches_with_traffic == 0 {
+            0.0
+        } else {
+            imbalance_sum / switches_with_traffic as f64
+        };
+        self.stats.max_link_load = max_link_load;
+        self.fold_availability();
+        self.stats.in_flight = in_flight;
+        self.stats.queue_high_water = high_water;
+        self.stats.queue_mean_occupancy = if queue_count == 0 {
+            0.0
+        } else {
+            occupancy_sum / queue_count as f64
+        };
+        self.stats.cycles = self.cycle;
+        self.stats
+    }
+
+    /// Event-engine finisher: [`Simulator::finish`]'s folds verbatim over
+    /// the dense arena. The arena's per-queue integrals are the same
+    /// `u64`s the flat arena accumulates and the fold visits queues in
+    /// the same flat order, so every floating-point result is
+    /// bit-identical.
+    fn finish_event(mut self) -> SimStats {
+        let ev = self.event.take().expect("finish_event without event state");
+        let arena = ev.active;
+        let mut in_flight: u64 = self.source_queues.iter().map(|q| q.len() as u64).sum();
+        let mut high_water = 0usize;
+        let mut occupancy_sum = 0.0f64;
+        let queue_count = arena.queue_count();
+        // Fold over the ever-touched queues only, in ascending queue
+        // order. A never-activated queue contributes `0` to the integer
+        // folds and `+0.0` to the occupancy sum — an exact IEEE identity
+        // on these non-negative partial sums — so the result is
+        // byte-identical to the synchronous finisher's full walk while
+        // the work stays proportional to the traffic (the run-long
+        // analogue of the arena's dense working set).
+        let mut touched = arena.touched_queues().to_vec();
+        touched.sort_unstable();
+        for &q in &touched {
+            let q = q as usize;
+            in_flight += arena.len(q) as u64;
+            high_water = high_water.max(arena.high_water(q));
+            occupancy_sum += arena.mean_occupancy(q);
+        }
+        let size = self.config.size;
+        let n = size.n();
+        let mut imbalance_sum = 0.0f64;
+        let mut switches_with_traffic = 0usize;
+        let mut max_link_load = 0u64;
+        let mut stage_link_use = vec![0u64; size.stages()];
+        // Same sparsity argument per (stage, switch): a switch none of
+        // whose three queues was ever activated carried nothing on any
+        // link. Queue triples share a switch, and `touched` is sorted,
+        // so `q / 3` dedups to ascending switch order — the synchronous
+        // loop's (stage, sw) visit order.
+        let mut sw_ids: Vec<u32> = touched.iter().map(|&q| q / 3).collect();
+        sw_ids.dedup();
+        for &sw_id in &sw_ids {
+            let stage = sw_id as usize / n;
+            let sw = sw_id as usize % n;
+            let plus = arena.carried(Link::plus(stage, sw).flat_index(size));
+            let minus = arena.carried(Link::minus(stage, sw).flat_index(size));
+            let straight = arena.carried(Link::straight(stage, sw).flat_index(size));
+            max_link_load = max_link_load.max(plus).max(minus).max(straight);
+            stage_link_use[stage] += plus + minus + straight;
+            if plus + minus > 0 {
+                imbalance_sum += (plus.abs_diff(minus)) as f64 / (plus + minus) as f64;
+                switches_with_traffic += 1;
             }
         }
         self.stats.stage_link_use = stage_link_use;
@@ -1559,6 +2259,7 @@ mod tests {
             warmup: cycles / 4,
             offered_load: load,
             seed: 7,
+            engine: EngineKind::Synchronous,
         }
     }
 
@@ -1839,6 +2540,7 @@ mod tsdt_sender_tests {
             warmup: cycles / 4,
             offered_load: load,
             seed: 21,
+            engine: EngineKind::Synchronous,
         }
     }
 
@@ -1971,6 +2673,7 @@ mod crossbar_tests {
             warmup: 300,
             offered_load: load,
             seed: 5,
+            engine: EngineKind::Synchronous,
         }
     }
 
@@ -2030,6 +2733,7 @@ mod balance_tests {
             warmup: 200,
             offered_load: load,
             seed: 9,
+            engine: EngineKind::Synchronous,
         }
     }
 
@@ -2103,6 +2807,7 @@ mod wormhole_tests {
             warmup: cycles / 4,
             offered_load: load,
             seed: 7,
+            engine: EngineKind::Synchronous,
         }
     }
 
@@ -2266,6 +2971,7 @@ mod permutation_throughput_tests {
             warmup: 200,
             offered_load: 1.0,
             seed: 13,
+            engine: EngineKind::Synchronous,
         };
         run_once(config, policy, TrafficPattern::Permutation(perm))
     }
@@ -2329,6 +3035,7 @@ mod permutation_throughput_tests {
             warmup: 200,
             offered_load: 1.0,
             seed: 13,
+            engine: EngineKind::Synchronous,
         };
         let single = Simulator::new(
             config,

@@ -1,0 +1,196 @@
+//! The event-driven scheduling core: a time-ordered event queue with a
+//! deterministic tie-break.
+//!
+//! The synchronous engine visits every stage, source, and queue every
+//! cycle; the event-driven engine ([`crate::EngineKind::EventDriven`])
+//! instead wakes exactly the work that can make progress, driven by this
+//! queue. Because the two engines must produce **byte-identical
+//! statistics** (the differential contract of `tests/equivalence.rs`),
+//! the pop order here has to reproduce the synchronous engine's phase
+//! order within a cycle exactly — fault application, then stage advances
+//! from the last stage backward, then source admission, then arrivals.
+//! That order is encoded in [`Event::priority`], and the queue's total
+//! order is `(cycle, priority, event)`: no pop order ever depends on push
+//! order, heap internals, or allocation state (pinned by the property
+//! suite in `tests/event_queue_props.rs`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One schedulable unit of simulator work.
+///
+/// The derived `Ord` is only the *final* tie-break (two distinct events
+/// can never share a [`Event::priority`] value); the scheduling order
+/// that matters is the priority, which mirrors the synchronous engine's
+/// within-cycle phase order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Event {
+    /// Apply the fault timeline's due events (always first: every routing
+    /// decision of a cycle sees the post-event blockage map, exactly as
+    /// the synchronous engine applies events at the top of `step`).
+    Fault,
+    /// Advance every live worm one hop (wormhole mode's whole per-cycle
+    /// pipeline; scheduled while any worm is in flight).
+    WormAdvance,
+    /// Advance the queue heads of one stage (store-and-forward mode;
+    /// scheduled while the stage holds any packet). Stages fire from the
+    /// last stage backward, so a packet moves at most one hop per cycle —
+    /// the same descending scan the synchronous engine runs.
+    Advance(u16),
+    /// Admit waiting source-queue heads into stage 0 (scheduled while any
+    /// source queue is non-empty).
+    Admission,
+    /// Draw this cycle's Bernoulli arrivals (scheduled every cycle while
+    /// `offered_load > 0`, because each source consumes one RNG draw per
+    /// cycle whether or not a packet arrives — skipping an arrival phase
+    /// would shift every later draw).
+    Arrivals,
+}
+
+impl Event {
+    /// The within-cycle scheduling rank of this event for a network with
+    /// `stages` stages — lower fires first. Injective over the events a
+    /// run can schedule (`Advance` stages below `stages`), and exactly
+    /// the synchronous engine's phase order: fault application, worm
+    /// advance, stage advances from stage `stages - 1` down to stage 0,
+    /// source admission, arrivals.
+    pub fn priority(self, stages: u16) -> u16 {
+        match self {
+            Event::Fault => 0,
+            Event::WormAdvance => 1,
+            Event::Advance(stage) => {
+                debug_assert!(stage < stages, "stage {stage} out of range");
+                2 + (stages - 1 - stage)
+            }
+            Event::Admission => 2 + stages,
+            Event::Arrivals => 3 + stages,
+        }
+    }
+}
+
+/// A binary-heap event queue keyed by `(cycle, priority, event)`.
+///
+/// The deterministic tie-break is the whole point: pushing the same
+/// multiset of `(cycle, event)` pairs in *any* order pops in one
+/// canonical order, so the event-driven engine's decision sequence —
+/// and therefore its RNG draw order and statistics — cannot depend on
+/// scheduling history.
+#[derive(Debug, Clone)]
+pub struct EventQueue {
+    stages: u16,
+    heap: BinaryHeap<Reverse<(u64, u16, Event)>>,
+}
+
+impl EventQueue {
+    /// An empty queue for a network with `stages` stages.
+    pub fn new(stages: u16) -> Self {
+        EventQueue {
+            stages,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Schedules `event` to fire at `cycle`.
+    #[inline]
+    pub fn push(&mut self, cycle: u64, event: Event) {
+        self.heap
+            .push(Reverse((cycle, event.priority(self.stages), event)));
+    }
+
+    /// Removes and returns the earliest `(cycle, event)` pair, breaking
+    /// same-cycle ties by [`Event::priority`].
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap
+            .pop()
+            .map(|Reverse((cycle, _, event))| (cycle, event))
+    }
+
+    /// The cycle of the earliest scheduled event, if any.
+    #[inline]
+    pub fn peek_cycle(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((cycle, _, _))| *cycle)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_cycle_events_pop_in_engine_phase_order() {
+        // Pushed deliberately backwards; the pop order must be the
+        // synchronous engine's phase order regardless.
+        let mut q = EventQueue::new(3);
+        q.push(5, Event::Arrivals);
+        q.push(5, Event::Admission);
+        q.push(5, Event::Advance(0));
+        q.push(5, Event::Advance(2));
+        q.push(5, Event::Advance(1));
+        q.push(5, Event::WormAdvance);
+        q.push(5, Event::Fault);
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::Fault,
+                Event::WormAdvance,
+                Event::Advance(2),
+                Event::Advance(1),
+                Event::Advance(0),
+                Event::Admission,
+                Event::Arrivals,
+            ]
+        );
+    }
+
+    #[test]
+    fn earlier_cycles_fire_before_higher_priority_later_ones() {
+        let mut q = EventQueue::new(4);
+        q.push(10, Event::Fault);
+        q.push(3, Event::Arrivals);
+        assert_eq!(q.peek_cycle(), Some(3));
+        assert_eq!(q.pop(), Some((3, Event::Arrivals)));
+        assert_eq!(q.pop(), Some((10, Event::Fault)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_is_injective_over_a_run_schedulable_events() {
+        let stages = 5u16;
+        let mut all = vec![
+            Event::Fault.priority(stages),
+            Event::WormAdvance.priority(stages),
+            Event::Admission.priority(stages),
+            Event::Arrivals.priority(stages),
+        ];
+        for s in 0..stages {
+            all.push(Event::Advance(s).priority(stages));
+        }
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "priorities collide: {all:?}");
+    }
+
+    #[test]
+    fn advance_priorities_descend_with_stage() {
+        // Advance(stages - 1) fires first: the descending-stage scan that
+        // keeps a packet to one hop per cycle.
+        let stages = 4u16;
+        for s in 1..stages {
+            assert!(Event::Advance(s).priority(stages) < Event::Advance(s - 1).priority(stages));
+        }
+    }
+}

@@ -1,5 +1,8 @@
-//! A synchronous (cycle-driven) packet-switching simulator for the IADM
-//! network.
+//! A packet-switching simulator for the IADM network, with two
+//! interchangeable scheduling cores: the synchronous (cycle-driven)
+//! engine and an event-driven engine that skips idle work
+//! ([`EngineKind`]; both produce byte-identical statistics, enforced by
+//! `tests/equivalence.rs`).
 //!
 //! The paper motivates the SSDT scheme's state choice as a *load balancing*
 //! device: "Assume that each nonstraight link has an associated buffer
@@ -22,7 +25,7 @@
 //! # Example
 //!
 //! ```
-//! use iadm_sim::{Simulator, SimConfig, RoutingPolicy, TrafficPattern};
+//! use iadm_sim::{EngineKind, Simulator, SimConfig, RoutingPolicy, TrafficPattern};
 //! use iadm_topology::Size;
 //!
 //! # fn main() -> Result<(), iadm_topology::SizeError> {
@@ -33,6 +36,7 @@
 //!     warmup: 50,
 //!     offered_load: 0.5,
 //!     seed: 42,
+//!     engine: EngineKind::Synchronous,
 //! };
 //! let stats = Simulator::new(config, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
 //!     .run();
@@ -45,15 +49,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod active;
 pub mod circuit;
 mod engine;
+mod event;
 pub mod histogram;
 mod packet;
 mod queue;
 mod stats;
 mod traffic;
 
-pub use engine::{run_once, RoutingPolicy, SimConfig, Simulator, SwitchingMode};
+pub use engine::{run_once, EngineKind, RoutingPolicy, SimConfig, Simulator, SwitchingMode};
+pub use event::{Event, EventQueue};
 pub use histogram::LatencyHistogram;
 pub use packet::Packet;
 pub use queue::{QueueArena, ReservationTable};

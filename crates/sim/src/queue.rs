@@ -366,6 +366,15 @@ impl ReservationTable {
         self.samples += 1;
     }
 
+    /// Advances the sample counter by `span` cycles in one jump — the
+    /// event-driven engine's idle-span skip. Exactly equivalent to `span`
+    /// ticks: the lazy flush credits each lane's standing holder count
+    /// for the whole span on its next mutation.
+    #[inline]
+    pub fn fast_forward(&mut self, span: u64) {
+        self.samples += span;
+    }
+
     /// Flits carried over link `q` so far.
     pub fn carried(&self, q: usize) -> u64 {
         self.meta[q].carried

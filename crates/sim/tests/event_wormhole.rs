@@ -1,0 +1,79 @@
+//! The wormhole ledger contract, re-run against the event-driven engine:
+//! flit conservation must hold after **every** cycle, not just in the
+//! end-of-run statistics the equivalence suite compares. A scheduling
+//! bug that, say, skipped a worm-advance wakeup and later double-moved
+//! the worm could still balance at the horizon — the per-cycle checker
+//! from `tests/util` catches it on the cycle it happens.
+
+use iadm_fault::{BlockageMap, FaultTimeline};
+use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm_topology::Size;
+
+mod util;
+use util::{run_checking_every_cycle, ALL_POLICIES};
+
+const FLITS: u32 = 4;
+
+fn config(n: usize, load: f64, cycles: usize) -> SimConfig {
+    SimConfig {
+        size: Size::new(n).unwrap(),
+        queue_capacity: 4,
+        cycles,
+        warmup: cycles / 4,
+        offered_load: load,
+        seed: 0xBEEF,
+        engine: EngineKind::EventDriven,
+    }
+}
+
+fn wormhole_sim(cfg: SimConfig, policy: RoutingPolicy, timeline: FaultTimeline) -> Simulator {
+    Simulator::with_fault_timeline(
+        cfg,
+        policy,
+        TrafficPattern::Uniform,
+        BlockageMap::new(cfg.size),
+        timeline,
+    )
+    .with_wormhole_switching(FLITS, 1)
+}
+
+#[test]
+fn event_engine_conserves_flits_at_every_cycle_for_every_policy() {
+    let cfg = config(8, 0.5, 400);
+    for policy in ALL_POLICIES {
+        let sim = wormhole_sim(cfg, policy, FaultTimeline::empty(cfg.size));
+        let stats = run_checking_every_cycle(sim, cfg.cycles, &format!("event/{policy:?}"));
+        assert!(stats.flits_conserved(), "{policy:?}: {stats:?}");
+        assert!(stats.is_conserved(), "{policy:?}: {stats:?}");
+        assert!(stats.delivered > 0, "{policy:?} delivered nothing");
+        assert_eq!(stats.flits_per_packet, u64::from(FLITS));
+        assert_eq!(
+            stats.flits_dropped, 0,
+            "{policy:?}: a fault-free run never tears a worm down"
+        );
+    }
+}
+
+#[test]
+fn event_engine_conserves_flits_under_churn_for_every_policy() {
+    // Same schedule as the synchronous suite: teardowns triggered by
+    // fault events must balance on the cycle the event engine applies
+    // them, even when that cycle was reached through the wakeup heap.
+    let cfg = config(8, 0.5, 800);
+    let timeline = FaultTimeline::mtbf(cfg.size, 0xFA17, 120, 40, 800);
+    assert!(!timeline.is_empty(), "the schedule must actually churn");
+    let mut total_killed = 0;
+    for policy in ALL_POLICIES {
+        let sim = wormhole_sim(cfg, policy, timeline.clone());
+        let stats = run_checking_every_cycle(sim, cfg.cycles, &format!("event/{policy:?}"));
+        assert!(stats.flits_conserved(), "{policy:?}: {stats:?}");
+        assert!(stats.is_conserved(), "{policy:?}: {stats:?}");
+        assert!(stats.fault_events > 0, "{policy:?} saw no events");
+        assert!(stats.delivered > 0, "{policy:?} delivered nothing");
+        total_killed += stats.flits_dropped;
+    }
+    assert!(
+        total_killed > 0,
+        "a dense fail/repair schedule must kill at least one worm somewhere"
+    );
+}

@@ -20,7 +20,7 @@ use iadm_bench::json::sim_stats_json;
 use iadm_fault::scenario::{self, KindFilter};
 use iadm_fault::{BlockageMap, FaultTimeline};
 use iadm_rng::StdRng;
-use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
 use iadm_topology::Size;
 
 const GOLDEN_FIXED_C_FAULT_FREE: &str = r#"{"injected":4298,"delivered":4248,"misrouted":0,"dropped":0,"refused":0,"in_flight":50,"latency_sum":21795,"latency_count":3166,"latency_max":16,"queue_high_water":4,"queue_mean_occupancy":0.1814496527777778,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":163,"mean_latency":6.884080859128238,"throughput":0.4425,"latency_p50":7,"latency_p95":15,"latency_p99":15,"latency_buckets":[0,0,2461,704,1],"stage_link_use":[4280,4268,4258,4248]}"#;
@@ -111,6 +111,7 @@ fn config() -> SimConfig {
         warmup: 150,
         offered_load: 0.45,
         seed: 0xC0FFEE,
+        engine: EngineKind::Synchronous,
     }
 }
 

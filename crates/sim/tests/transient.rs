@@ -6,7 +6,7 @@
 //! statistics on hand-built timelines.
 
 use iadm_fault::{BlockageMap, FaultEvent, FaultTimeline};
-use iadm_sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
 use iadm_topology::{Link, Size};
 
 const ALL_POLICIES: [RoutingPolicy; 4] = [
@@ -24,6 +24,7 @@ fn config(n: usize, load: f64, cycles: usize) -> SimConfig {
         warmup: cycles / 4,
         offered_load: load,
         seed: 0xBEEF,
+        engine: EngineKind::Synchronous,
     }
 }
 
@@ -180,6 +181,7 @@ fn packets_stranded_behind_a_downed_link_wait_out_the_outage() {
         warmup: 0,
         offered_load: 0.8,
         seed: 11,
+        engine: EngineKind::Synchronous,
     };
     // Heavy load keeps queues occupied when the failure lands at cycle 5.
     let with_repair = FaultTimeline::from_events(

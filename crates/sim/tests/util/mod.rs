@@ -1,0 +1,37 @@
+//! Helpers shared across the simulator's integration suites (each test
+//! binary compiles this module into itself via `mod util;`).
+
+use iadm_sim::{RoutingPolicy, SimStats, Simulator};
+
+/// Every routing policy, in the order the suites sweep them.
+pub const ALL_POLICIES: [RoutingPolicy; 4] = [
+    RoutingPolicy::FixedC,
+    RoutingPolicy::SsdtBalance,
+    RoutingPolicy::RandomSign,
+    RoutingPolicy::TsdtSender,
+];
+
+/// Steps the simulator to the end by hand, asserting the flit ledger
+/// balances after **every** cycle, then returns the final stats. This is
+/// the strong form of conservation: a lane released twice or a tail flit
+/// forgotten in a teardown fails on the cycle it happens, not as a fuzzy
+/// end-of-run imbalance.
+pub fn run_checking_every_cycle(mut sim: Simulator, cycles: usize, label: &str) -> SimStats {
+    for cycle in 0..cycles {
+        sim.step();
+        let s = sim.stats();
+        let in_flight = sim.flits_in_flight();
+        assert_eq!(
+            s.flits_injected,
+            s.flits_delivered + s.flits_dropped + s.flits_refused + in_flight,
+            "{label}: ledger broke at cycle {cycle}: injected {} != \
+             delivered {} + dropped {} + refused {} + in-flight {in_flight}",
+            s.flits_injected,
+            s.flits_delivered,
+            s.flits_dropped,
+            s.flits_refused,
+        );
+        assert_eq!(s.misrouted, 0, "{label}: misroute at cycle {cycle}");
+    }
+    sim.finish()
+}

@@ -8,15 +8,11 @@
 //! churn, plus exact-arithmetic checks on hand-built fault timelines.
 
 use iadm_fault::{BlockageMap, FaultEvent, FaultTimeline};
-use iadm_sim::{RoutingPolicy, SimConfig, Simulator, SwitchingMode, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, SwitchingMode, TrafficPattern};
 use iadm_topology::{Link, Size};
 
-const ALL_POLICIES: [RoutingPolicy; 4] = [
-    RoutingPolicy::FixedC,
-    RoutingPolicy::SsdtBalance,
-    RoutingPolicy::RandomSign,
-    RoutingPolicy::TsdtSender,
-];
+mod util;
+use util::{run_checking_every_cycle, ALL_POLICIES};
 
 const FLITS: u32 = 4;
 
@@ -28,6 +24,7 @@ fn config(n: usize, load: f64, cycles: usize) -> SimConfig {
         warmup: cycles / 4,
         offered_load: load,
         seed: 0xBEEF,
+        engine: EngineKind::Synchronous,
     }
 }
 
@@ -40,28 +37,6 @@ fn wormhole_sim(cfg: SimConfig, policy: RoutingPolicy, timeline: FaultTimeline) 
         timeline,
     )
     .with_wormhole_switching(FLITS, 1)
-}
-
-/// Steps the simulator to the end by hand, asserting the flit ledger
-/// balances after **every** cycle, then returns the final stats.
-fn run_checking_every_cycle(mut sim: Simulator, cycles: usize, label: &str) -> iadm_sim::SimStats {
-    for cycle in 0..cycles {
-        sim.step();
-        let s = sim.stats();
-        let in_flight = sim.flits_in_flight();
-        assert_eq!(
-            s.flits_injected,
-            s.flits_delivered + s.flits_dropped + s.flits_refused + in_flight,
-            "{label}: ledger broke at cycle {cycle}: injected {} != \
-             delivered {} + dropped {} + refused {} + in-flight {in_flight}",
-            s.flits_injected,
-            s.flits_delivered,
-            s.flits_dropped,
-            s.flits_refused,
-        );
-        assert_eq!(s.misrouted, 0, "{label}: misroute at cycle {cycle}");
-    }
-    sim.finish()
 }
 
 #[test]
@@ -132,6 +107,7 @@ fn downing_a_reserved_link_kills_the_worm_and_balances_the_ledger() {
         warmup: 0,
         offered_load: 0.8,
         seed: 11,
+        engine: EngineKind::Synchronous,
     };
     let timeline = FaultTimeline::from_events(
         size,

@@ -63,6 +63,7 @@ pub fn execute_run(run: &RunSpec) -> RunRecord {
         warmup: run.warmup,
         offered_load: run.offered_load,
         seed: run.seed,
+        engine: run.engine,
     };
     let stats = Simulator::with_fault_timeline(
         config,
@@ -196,6 +197,29 @@ mod tests {
             assert!(ra.stats.flits_delivered > 0);
             assert_eq!(ra.stats.flits_delivered, rb.stats.flits_delivered);
             assert_eq!(ra.stats.latency_sum, rb.stats.latency_sum);
+        }
+    }
+
+    #[test]
+    fn event_engine_runs_match_synchronous_runs_exactly() {
+        // The sweep-level face of the equivalence contract: the same
+        // campaign on the other engine produces identical statistics.
+        let mut spec = SweepSpec::smoke();
+        spec.scenarios
+            .push(iadm_fault::scenario::ScenarioSpec::Mtbf { mtbf: 60, mttr: 20 });
+        let sync = run_campaign(&spec, 2).unwrap();
+        spec.engines = vec![iadm_sim::EngineKind::EventDriven];
+        let event = run_campaign(&spec, 2).unwrap();
+        assert_eq!(sync.runs.len(), event.runs.len());
+        for (rs, re) in sync.runs.iter().zip(&event.runs) {
+            assert_eq!(
+                rs.stats.delivered, re.stats.delivered,
+                "run {}",
+                rs.spec.index
+            );
+            assert_eq!(rs.stats.latency_sum, re.stats.latency_sum);
+            assert_eq!(rs.stats.fault_events, re.stats.fault_events);
+            assert_eq!(rs.faults, re.faults);
         }
     }
 

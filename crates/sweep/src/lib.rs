@@ -18,7 +18,10 @@
 //!    `S` simulates with seed `splitmix64_mix(S, i)` (and realizes its
 //!    randomized fault scenario from a further derivation of that run
 //!    seed), so no run ever observes another run's RNG draws — or the
-//!    scheduling order of the workers.
+//!    scheduling order of the workers. The engine coordinate is factored
+//!    out of `i` before mixing: runs differing only in engine share a
+//!    realization, so the engine axis compares wall clocks, never
+//!    statistics.
 //! 2. *Ordered aggregation.* Workers return `(run_index, record)` pairs;
 //!    the collector re-orders them by run index before any aggregation or
 //!    encoding, so the JSON writer sees the same sequence whether one
@@ -50,6 +53,6 @@ pub use engine::{
 };
 pub use report::{campaign_json, pivot_table, summary_table};
 pub use spec::{
-    mode_label, parse_loads, parse_mode, parse_pattern, parse_policy, parse_scenario,
-    pattern_label, policy_label, validate_scenario, RunSpec, SweepSpec,
+    engine_label, mode_label, parse_engine, parse_loads, parse_mode, parse_pattern, parse_policy,
+    parse_scenario, pattern_label, policy_label, validate_scenario, RunSpec, SweepSpec,
 };

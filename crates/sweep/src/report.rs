@@ -1,9 +1,9 @@
 //! Campaign artifacts: the byte-stable JSON document and human tables.
 
 use crate::engine::{CampaignResult, RunRecord};
-use crate::spec::{mode_label, pattern_label, policy_label};
+use crate::spec::{engine_label, mode_label, pattern_label, policy_label};
 use iadm_bench::json::{sim_stats_json, Json};
-use iadm_sim::SwitchingMode;
+use iadm_sim::{EngineKind, SwitchingMode};
 use std::collections::HashMap;
 
 /// The canonical JSON encoding of a campaign. Every run appears in run-
@@ -34,6 +34,11 @@ fn run_json(record: &RunRecord) -> Json {
     // campaign artifact stays byte-identical.
     if spec.mode != SwitchingMode::StoreForward {
         fields.push(("mode", Json::from(mode_label(spec.mode).as_str())));
+    }
+    // Likewise synchronous runs omit the engine field, keeping every
+    // pre-event-engine artifact byte-identical.
+    if spec.engine != EngineKind::Synchronous {
+        fields.push(("engine", Json::from(engine_label(spec.engine))));
     }
     fields.extend([
         ("scenario", Json::from(spec.scenario.label())),
@@ -112,20 +117,18 @@ pub fn pivot_table(result: &CampaignResult, metric: &dyn Fn(&RunRecord) -> Strin
                 loads.push(record.spec.offered_load);
                 loads.len() - 1
             });
-        let label = if record.spec.mode == SwitchingMode::StoreForward {
-            format!(
-                "{}/{}",
-                policy_label(record.spec.policy),
-                record.spec.scenario.label()
-            )
-        } else {
-            format!(
-                "{}/{}/{}",
-                policy_label(record.spec.policy),
-                mode_label(record.spec.mode),
-                record.spec.scenario.label()
-            )
-        };
+        // Column label: policy, then any non-default mode/engine axis
+        // values, then scenario — default-axis campaigns keep their old
+        // labels.
+        let mut parts = vec![policy_label(record.spec.policy).to_string()];
+        if record.spec.mode != SwitchingMode::StoreForward {
+            parts.push(mode_label(record.spec.mode));
+        }
+        if record.spec.engine != EngineKind::Synchronous {
+            parts.push(engine_label(record.spec.engine).to_string());
+        }
+        parts.push(record.spec.scenario.label());
+        let label = parts.join("/");
         let col = match col_of.get(&label) {
             Some(&col) => col,
             None => {
@@ -188,6 +191,25 @@ mod tests {
         assert!(!text.contains("\"mode\":\"sf\""));
         let pivot = pivot_table(&result, &|r| r.stats.delivered.to_string());
         assert!(pivot.contains("ssdt/wormhole:4/none"));
+        assert!(pivot.contains("ssdt/none"));
+    }
+
+    #[test]
+    fn event_runs_carry_an_engine_field_and_sync_runs_stay_bare() {
+        let mut spec = SweepSpec::smoke();
+        spec.engines = vec![
+            iadm_sim::EngineKind::Synchronous,
+            iadm_sim::EngineKind::EventDriven,
+        ];
+        let result = run_campaign(&spec, 2).unwrap();
+        let text = campaign_json(&result).encode();
+        assert_round_trip(&text).expect("campaign JSON must round-trip");
+        assert!(text.contains("\"engine\":\"event\""));
+        // Synchronous runs stay engine-free: the field count differs,
+        // never the spelling of existing fields.
+        assert!(!text.contains("\"engine\":\"sync\""));
+        let pivot = pivot_table(&result, &|r| r.stats.delivered.to_string());
+        assert!(pivot.contains("ssdt/event/none"));
         assert!(pivot.contains("ssdt/none"));
     }
 

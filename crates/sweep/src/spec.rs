@@ -1,7 +1,7 @@
 //! Declarative sweep specifications and their expansion into run lists.
 
 use iadm_fault::scenario::{KindFilter, ScenarioSpec};
-use iadm_sim::{RoutingPolicy, SwitchingMode, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern};
 use iadm_topology::Size;
 
 /// A declarative campaign: the cartesian grid of every axis, plus the
@@ -22,6 +22,10 @@ pub struct SweepSpec {
     pub patterns: Vec<TrafficPattern>,
     /// Switching modes (store-and-forward and/or wormhole variants).
     pub modes: Vec<SwitchingMode>,
+    /// Scheduling engines (synchronous and/or event-driven; statistics
+    /// are engine-independent, so this axis is for performance
+    /// comparison and differential testing).
+    pub engines: Vec<EngineKind>,
     /// Fault scenarios.
     pub scenarios: Vec<ScenarioSpec>,
     /// Cycles per run.
@@ -51,13 +55,18 @@ pub struct RunSpec {
     pub pattern: TrafficPattern,
     /// Switching mode.
     pub mode: SwitchingMode,
+    /// Scheduling engine.
+    pub engine: EngineKind,
     /// Fault scenario recipe.
     pub scenario: ScenarioSpec,
     /// Cycles to simulate.
     pub cycles: usize,
     /// Warm-up cycles.
     pub warmup: usize,
-    /// Derived simulation seed: `mix(campaign_seed, index)`.
+    /// Derived simulation seed: `mix(campaign_seed, index)` with the
+    /// engine coordinate factored out of the index, so runs that differ
+    /// only in engine share a realization (and must agree byte-for-byte
+    /// on every statistic).
     pub seed: u64,
 }
 
@@ -70,12 +79,14 @@ impl SweepSpec {
             * self.policies.len()
             * self.patterns.len()
             * self.modes.len()
+            * self.engines.len()
             * self.scenarios.len()
     }
 
     /// Expands the grid into the campaign's run list, in the canonical
-    /// axis order (size, load, queue, policy, pattern, mode, scenario —
-    /// the innermost axis varies fastest) with derived per-run seeds.
+    /// axis order (size, load, queue, policy, pattern, mode, engine,
+    /// scenario — the innermost axis varies fastest) with derived
+    /// per-run seeds.
     ///
     /// Validates every axis value; an empty axis or an out-of-range
     /// entry is an error, not a silent no-op.
@@ -124,21 +135,44 @@ impl SweepSpec {
                     for &policy in &self.policies {
                         for pattern in &self.patterns {
                             for &mode in &self.modes {
-                                for scenario in &self.scenarios {
-                                    let index = runs.len();
-                                    runs.push(RunSpec {
-                                        index,
-                                        size,
-                                        offered_load,
-                                        queue_capacity,
-                                        policy,
-                                        pattern: pattern.clone(),
-                                        mode,
-                                        scenario: scenario.clone(),
-                                        cycles: self.cycles,
-                                        warmup: self.warmup,
-                                        seed: iadm_rng::mix(self.campaign_seed, index as u64),
-                                    });
+                                for (engine_idx, &engine) in self.engines.iter().enumerate() {
+                                    for (scenario_idx, scenario) in
+                                        self.scenarios.iter().enumerate()
+                                    {
+                                        let index = runs.len();
+                                        // Seed derivation skips the engine
+                                        // coordinate: the engines must agree
+                                        // byte-for-byte on every statistic
+                                        // (the equivalence contract), so runs
+                                        // that differ only in engine share a
+                                        // seed — the axis compares wall
+                                        // clocks, never realizations. With a
+                                        // single engine this is exactly the
+                                        // run index, so pre-engine campaigns
+                                        // (E13/E15/E16) are unchanged.
+                                        let seed_index = (index
+                                            - engine_idx * self.scenarios.len()
+                                            - scenario_idx)
+                                            / self.engines.len()
+                                            + scenario_idx;
+                                        runs.push(RunSpec {
+                                            index,
+                                            size,
+                                            offered_load,
+                                            queue_capacity,
+                                            policy,
+                                            pattern: pattern.clone(),
+                                            mode,
+                                            engine,
+                                            scenario: scenario.clone(),
+                                            cycles: self.cycles,
+                                            warmup: self.warmup,
+                                            seed: iadm_rng::mix(
+                                                self.campaign_seed,
+                                                seed_index as u64,
+                                            ),
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -161,6 +195,7 @@ impl SweepSpec {
             policies: vec![RoutingPolicy::FixedC, RoutingPolicy::SsdtBalance],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
                 ScenarioSpec::DoubleNonstraight {
@@ -190,6 +225,7 @@ impl SweepSpec {
             ],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
                 ScenarioSpec::RandomLinks {
@@ -221,6 +257,7 @@ impl SweepSpec {
             ],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
                 ScenarioSpec::Mtbf {
@@ -260,6 +297,7 @@ impl SweepSpec {
                 SwitchingMode::StoreForward,
                 SwitchingMode::Wormhole { flits: 4, lanes: 1 },
             ],
+            engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
                 ScenarioSpec::Mtbf {
@@ -273,6 +311,36 @@ impl SweepSpec {
         }
     }
 
+    /// Experiment E17: synchronous vs event-driven engine at low load and
+    /// large N — the regime where the synchronous engine pays O(network)
+    /// per cycle for nearly-idle hardware. Two sizes × two low loads ×
+    /// two policies × both engines, healthy and under gentle churn (32
+    /// runs). The statistics must pair up byte-identically across the
+    /// engine axis (the equivalence contract); the interesting output is
+    /// the wall-clock difference, measured separately by `simbench`.
+    pub fn e17() -> SweepSpec {
+        SweepSpec {
+            name: "e17".into(),
+            sizes: vec![256, 1024],
+            loads: vec![0.05, 0.2],
+            queue_capacities: vec![4],
+            policies: vec![RoutingPolicy::FixedC, RoutingPolicy::SsdtBalance],
+            patterns: vec![TrafficPattern::Uniform],
+            modes: vec![SwitchingMode::StoreForward],
+            engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
+            scenarios: vec![
+                ScenarioSpec::None,
+                ScenarioSpec::Mtbf {
+                    mtbf: 1000,
+                    mttr: 200,
+                },
+            ],
+            cycles: 1200,
+            warmup: 240,
+            campaign_seed: 0xE17,
+        }
+    }
+
     /// Looks a built-in campaign up by name.
     pub fn builtin(name: &str) -> Result<SweepSpec, String> {
         match name {
@@ -280,8 +348,9 @@ impl SweepSpec {
             "e13" => Ok(SweepSpec::e13()),
             "e15" => Ok(SweepSpec::e15()),
             "e16" => Ok(SweepSpec::e16()),
+            "e17" => Ok(SweepSpec::e17()),
             other => Err(format!(
-                "unknown built-in sweep spec {other} (smoke, e13, e15, e16)"
+                "unknown built-in sweep spec {other} (smoke, e13, e15, e16, e17)"
             )),
         }
     }
@@ -500,6 +569,24 @@ pub fn parse_mode(text: &str) -> Result<SwitchingMode, String> {
     Err(format!(
         "unknown switching mode {text} (sf, wormhole:<flits>[:<lanes>])"
     ))
+}
+
+/// The stable label of a scheduling engine (also the spelling
+/// `parse_engine` accepts): `sync` or `event`.
+pub fn engine_label(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Synchronous => "sync",
+        EngineKind::EventDriven => "event",
+    }
+}
+
+/// Parses an engine label (`sync | event`).
+pub fn parse_engine(text: &str) -> Result<EngineKind, String> {
+    match text {
+        "sync" => Ok(EngineKind::Synchronous),
+        "event" => Ok(EngineKind::EventDriven),
+        other => Err(format!("unknown engine {other} (sync, event)")),
+    }
 }
 
 /// Parses a comma-separated load list (`0.1,0.5,0.9`).
@@ -724,6 +811,74 @@ mod tests {
         assert!(spec.expand().is_err(), "zero flits must be rejected");
         spec.modes = vec![SwitchingMode::Wormhole { flits: 4, lanes: 0 }];
         assert!(spec.expand().is_err(), "zero lanes must be rejected");
+    }
+
+    #[test]
+    fn engine_labels_round_trip() {
+        for engine in [EngineKind::Synchronous, EngineKind::EventDriven] {
+            assert_eq!(parse_engine(engine_label(engine)).unwrap(), engine);
+        }
+        assert!(parse_engine("warp").is_err());
+    }
+
+    #[test]
+    fn engine_axis_multiplies_the_grid_and_varies_before_scenario() {
+        let mut spec = SweepSpec::smoke();
+        spec.engines = vec![EngineKind::Synchronous, EngineKind::EventDriven];
+        assert_eq!(spec.grid_len(), 16);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 16);
+        // Scenario is innermost: engine holds constant across the
+        // 2-scenario block, then flips.
+        assert_eq!(runs[0].engine, EngineKind::Synchronous);
+        assert_eq!(runs[1].engine, EngineKind::Synchronous);
+        assert_eq!(runs[2].engine, EngineKind::EventDriven);
+        assert_ne!(runs[0].scenario, runs[1].scenario);
+    }
+
+    #[test]
+    fn engine_axis_pairs_share_seeds_and_single_engine_seeds_are_stable() {
+        // Runs that differ only in engine must share a seed (the engine
+        // axis compares wall clocks over identical realizations), and a
+        // single-engine campaign's seeds must be exactly the historical
+        // mix(campaign_seed, run_index) so pre-engine artifacts (E13/
+        // E15/E16) are reproducible bit-for-bit.
+        let single = SweepSpec::smoke().expand().unwrap();
+        for run in &single {
+            assert_eq!(run.seed, iadm_rng::mix(7, run.index as u64));
+        }
+        let mut spec = SweepSpec::smoke();
+        spec.engines = vec![EngineKind::Synchronous, EngineKind::EventDriven];
+        let runs = spec.expand().unwrap();
+        for pair in runs.chunks(4) {
+            // engine varies before scenario: [sync/s0, sync/s1, event/s0,
+            // event/s1] per outer grid point.
+            assert_eq!(pair[0].seed, pair[2].seed);
+            assert_eq!(pair[1].seed, pair[3].seed);
+            assert_ne!(pair[0].seed, pair[1].seed);
+        }
+        // And the paired seeds are the single-engine seeds for the same
+        // outer grid point: adding an engine axis never re-seeds the
+        // underlying realizations.
+        for (outer, pair) in runs.chunks(4).enumerate() {
+            assert_eq!(pair[0].seed, single[2 * outer].seed);
+            assert_eq!(pair[1].seed, single[2 * outer + 1].seed);
+        }
+    }
+
+    #[test]
+    fn e17_matches_its_advertised_shape() {
+        let spec = SweepSpec::e17();
+        assert_eq!(spec.grid_len(), 2 * 2 * 2 * 2 * 2);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 32);
+        assert_eq!(
+            runs.iter()
+                .filter(|r| r.engine == EngineKind::EventDriven)
+                .count(),
+            16,
+            "half the grid runs the event engine"
+        );
     }
 
     #[test]

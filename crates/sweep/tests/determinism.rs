@@ -4,17 +4,18 @@
 
 use iadm_bench::json::assert_round_trip;
 use iadm_fault::scenario::{KindFilter, ScenarioSpec};
-use iadm_sim::{RoutingPolicy, SwitchingMode, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern};
 use iadm_sweep::{campaign_json, run_campaign, SweepSpec};
 
 /// A campaign just big and heterogeneous enough that worker scheduling
 /// *would* scramble results if aggregation were unordered: three policies,
-/// static *and* transient fault scenarios, two switching modes, two loads,
-/// two sizes. The mtbf axis makes this the contract for the whole timeline
-/// pipeline: per-run schedule realization, online LUT repair, and the
-/// degradation counters all have to land byte-identically at any thread
-/// count — and the wormhole mode axis extends the contract to reservation
-/// state and worm teardown under churn.
+/// static *and* transient fault scenarios, two switching modes, both
+/// scheduling engines, two loads, two sizes. The mtbf axis makes this the
+/// contract for the whole timeline pipeline: per-run schedule realization,
+/// online LUT repair, and the degradation counters all have to land
+/// byte-identically at any thread count — the wormhole mode axis extends
+/// the contract to reservation state and worm teardown under churn, and
+/// the engine axis extends it to the event-driven scheduling core.
 fn contract_spec() -> SweepSpec {
     SweepSpec {
         name: "determinism-contract".into(),
@@ -31,6 +32,7 @@ fn contract_spec() -> SweepSpec {
             SwitchingMode::StoreForward,
             SwitchingMode::Wormhole { flits: 4, lanes: 1 },
         ],
+        engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
         scenarios: vec![
             ScenarioSpec::None,
             ScenarioSpec::RandomLinks {
@@ -56,7 +58,7 @@ fn campaign_json_is_byte_identical_across_1_2_and_8_threads() {
     // The artifact is substantive, valid JSON — not an empty accident.
     let value = assert_round_trip(&one).expect("artifact must round-trip");
     let encoded = value.encode();
-    assert!(encoded.contains("\"run_count\":72"));
+    assert!(encoded.contains("\"run_count\":144"));
     assert!(encoded.contains("\"latency_buckets\":["));
     // The transient-fault runs are present and report degradation.
     assert!(encoded.contains("\"scenario\":\"mtbf:50:15\""));
@@ -64,12 +66,15 @@ fn campaign_json_is_byte_identical_across_1_2_and_8_threads() {
     // The wormhole runs are present and report the flit ledger.
     assert!(encoded.contains("\"mode\":\"wormhole:4\""));
     assert!(encoded.contains("\"flits_in_flight\":"));
+    // The event-engine runs are present; synchronous runs stay bare.
+    assert!(encoded.contains("\"engine\":\"event\""));
+    assert!(!encoded.contains("\"engine\":\"sync\""));
 }
 
 #[test]
 fn every_run_of_a_campaign_conserves_packets() {
     let result = run_campaign(&contract_spec(), 4).unwrap();
-    assert_eq!(result.runs.len(), 72);
+    assert_eq!(result.runs.len(), 144);
     for record in &result.runs {
         assert!(
             record.stats.is_conserved(),
@@ -90,6 +95,35 @@ fn every_run_of_a_campaign_conserves_packets() {
     // The sweep exercised both healthy and faulted networks.
     assert!(result.runs.iter().any(|r| r.faults == 0));
     assert!(result.runs.iter().any(|r| r.faults > 0));
+}
+
+#[test]
+fn engine_pairs_report_byte_identical_statistics() {
+    // Runs that differ only in scheduling engine share a derived seed, so
+    // the equivalence contract (crates/sim/tests/equivalence.rs) must
+    // surface here too: every sync/event pair of records in the artifact
+    // carries byte-identical statistics. Engine varies before scenario,
+    // so the grid lands in blocks of [sync × scenarios, event × scenarios].
+    use iadm_bench::json::sim_stats_json;
+    let spec = contract_spec();
+    let scenarios = spec.scenarios.len();
+    let result = run_campaign(&spec, 4).unwrap();
+    for block in result.runs.chunks(2 * scenarios) {
+        let (sync, event) = block.split_at(scenarios);
+        for (a, b) in sync.iter().zip(event) {
+            assert_eq!(a.spec.engine, EngineKind::Synchronous);
+            assert_eq!(b.spec.engine, EngineKind::EventDriven);
+            assert_eq!(a.spec.scenario, b.spec.scenario);
+            assert_eq!(a.spec.seed, b.spec.seed);
+            assert_eq!(
+                sim_stats_json(&a.stats).encode(),
+                sim_stats_json(&b.stats).encode(),
+                "engine pair diverged at run {} / {}",
+                a.spec.index,
+                b.spec.index
+            );
+        }
+    }
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run -p iadm --example load_balancing --release`
 
-use iadm::sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
+use iadm::sim::{run_once, EngineKind, RoutingPolicy, SimConfig, TrafficPattern};
 use iadm::topology::Size;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             warmup: 500,
             offered_load: load,
             seed: 11,
+            engine: EngineKind::Synchronous,
         };
         let fixed = run_once(config, RoutingPolicy::FixedC, TrafficPattern::Uniform);
         let ssdt = run_once(config, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform);

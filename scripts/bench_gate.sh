@@ -8,12 +8,17 @@
 # in the smoke script, not in tier-1 verify.sh. Override the tolerance
 # with BENCH_TOLERANCE (fraction, default 0.20) when the host is known
 # to be noisy.
+#
+# Every run — pass or fail — also appends its fresh report as one JSON
+# line to results/bench_history.jsonl, so the perf trajectory accumulates
+# PR over PR instead of only ever being "within tolerance of last time".
 set -eu
 
 cd "$(dirname "$0")/.."
 
 tolerance="${BENCH_TOLERANCE:-0.20}"
 baseline="BENCH_sim.json"
+history="results/bench_history.jsonl"
 
 [ -f "$baseline" ] || {
     echo "bench_gate: missing $baseline (run: simbench --out $baseline)" >&2
@@ -21,4 +26,12 @@ baseline="BENCH_sim.json"
 }
 
 cargo build --release --offline -p iadm-bench
-./target/release/simbench --check "$baseline" --tolerance "$tolerance"
+
+status=0
+report="$(./target/release/simbench --check "$baseline" --tolerance "$tolerance")" || status=$?
+if [ -n "$report" ]; then
+    mkdir -p results
+    printf '%s\n' "$report" >> "$history"
+    echo "bench_gate: appended report to $history" >&2
+fi
+exit "$status"

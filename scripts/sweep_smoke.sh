@@ -75,6 +75,29 @@ fi
 
 echo "sweep_smoke: wormhole OK ($(wc -c < "$wh_out") bytes)"
 
+# Engine smoke: a tiny two-engine campaign must label its event-driven
+# runs, while synchronous records stay free of any engine field (the
+# default engine is invisible in the artifact, like mode/pattern).
+eng_out="$(mktemp /tmp/iadm_sweep_eng.XXXXXX.json)"
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out"' EXIT
+
+./target/release/iadm-cli sweep --n 8 --loads 0.4 --policies ssdt \
+    --cycles 300 --engines sync,event --faults none,mtbf:80:30 \
+    --threads 2 --out "$eng_out"
+
+[ -s "$eng_out" ] || { echo "sweep_smoke: empty engine artifact" >&2; exit 1; }
+grep -q '"engine":"event"' "$eng_out" || {
+    echo "sweep_smoke: engine artifact missing the event engine label" >&2
+    exit 1
+}
+if grep -q '"engine":"sync"' "$eng_out"; then
+    echo "sweep_smoke: synchronous runs must not carry an engine field" >&2
+    exit 1
+fi
+
+echo "sweep_smoke: engines OK ($(wc -c < "$eng_out") bytes)"
+
 # Perf trajectory: the simulator benchmark must stay within tolerance of
-# the checked-in BENCH_sim.json (see scripts/bench_gate.sh).
+# the checked-in BENCH_sim.json (see scripts/bench_gate.sh), and each
+# gate run appends its report to results/bench_history.jsonl.
 sh scripts/bench_gate.sh

@@ -116,7 +116,7 @@ fn n2_cube_subgraphs() {
 
 #[test]
 fn n2_simulator_runs_clean() {
-    use iadm::sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
+    use iadm::sim::{run_once, EngineKind, RoutingPolicy, SimConfig, TrafficPattern};
     let stats = run_once(
         SimConfig {
             size: size2(),
@@ -125,6 +125,7 @@ fn n2_simulator_runs_clean() {
             warmup: 50,
             offered_load: 0.5,
             seed: 2,
+            engine: EngineKind::Synchronous,
         },
         RoutingPolicy::SsdtBalance,
         TrafficPattern::Uniform,

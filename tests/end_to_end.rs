@@ -8,7 +8,7 @@ use iadm::core::route::trace_tsdt;
 use iadm::core::{reroute::reroute, NetworkState};
 use iadm::fault::scenario::{self, KindFilter};
 use iadm::fault::BlockageMap;
-use iadm::sim::{RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm::sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
 use iadm::topology::{Link, Size};
 use iadm_rng::StdRng;
 
@@ -32,6 +32,7 @@ fn simulation_consistent_with_reachability_under_nonstraight_faults() {
             warmup: 200,
             offered_load: 0.3,
             seed: 99,
+            engine: EngineKind::Synchronous,
         },
         RoutingPolicy::SsdtBalance,
         TrafficPattern::Uniform,
@@ -155,6 +156,7 @@ fn single_fault_full_service() {
             warmup: 100,
             offered_load: 0.4,
             seed: 3,
+            engine: EngineKind::Synchronous,
         },
         RoutingPolicy::SsdtBalance,
         TrafficPattern::Uniform,

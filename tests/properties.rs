@@ -154,7 +154,7 @@ check! {
     /// Simulator conservation at random loads and seeds: no packet is lost
     /// or misrouted in a fault-free network.
     fn simulator_conserves_packets(g; cases = 256) {
-        use iadm::sim::{run_once, RoutingPolicy, SimConfig, TrafficPattern};
+        use iadm::sim::{run_once, EngineKind, RoutingPolicy, SimConfig, TrafficPattern};
         let load = g.f64_in(0.0..0.9);
         let seed = g.u64_any();
         let size = Size::from_stages(g.u32_in(2..=4));
@@ -166,6 +166,7 @@ check! {
                 warmup: 50,
                 offered_load: load,
                 seed,
+                engine: EngineKind::Synchronous,
             },
             RoutingPolicy::SsdtBalance,
             TrafficPattern::Uniform,
