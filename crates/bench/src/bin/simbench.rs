@@ -20,11 +20,18 @@
 //!   simbench --check BASELINE     compare against a previous report and
 //!                                 fail when any configuration regressed
 //!                                 by more than the tolerance
+//!   simbench --history PATH       compare against the *best* rate each
+//!                                 (n, policy) ever posted to the given
+//!                                 JSONL history (one report per line),
+//!                                 printing a one-line delta per case —
+//!                                 the PR-over-PR trajectory gate
 //!   simbench --tolerance 0.25     regression tolerance (default 0.20)
 //!
 //! The checked-in `BENCH_sim.json` at the repo root is the recorded perf
-//! trajectory; `scripts/bench_gate.sh` wires the check into the smoke
-//! pipeline.
+//! trajectory; `scripts/bench_gate.sh` wires both checks into the smoke
+//! pipeline and appends each fresh report to the history, so the bar
+//! ratchets up as PRs land instead of only ever being "within tolerance
+//! of last time".
 
 use iadm_bench::json::{assert_round_trip, parse, Json};
 use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
@@ -207,15 +214,76 @@ fn check_against(baseline: &Json, current: &[Case], tolerance: f64) -> Vec<Strin
     failures
 }
 
+/// Folds every report in a JSONL history into the best rate each
+/// `(n, policy)` ever posted, in first-appearance order.
+fn best_rates(history: &str) -> Vec<(u64, String, f64)> {
+    let mut best: Vec<(u64, String, f64)> = Vec::new();
+    for line in history.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = parse(line).expect("every history line must be a valid JSON report");
+        for (n, policy, rate) in extract_rates(&doc) {
+            match best
+                .iter_mut()
+                .find(|(bn, bp, _)| *bn == n && *bp == policy)
+            {
+                Some(entry) => entry.2 = entry.2.max(rate),
+                None => best.push((n, policy, rate)),
+            }
+        }
+    }
+    best
+}
+
+/// Gates `current` against the best-ever rate per `(n, policy)`,
+/// printing a one-line delta for every case; returns the failure
+/// messages (empty = gate passes). Cases with no history yet pass —
+/// they become the bar for the next run.
+fn check_history(best: &[(u64, String, f64)], current: &[Case], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for case in current {
+        let Some((_, _, best_rate)) = best
+            .iter()
+            .find(|(n, policy, _)| *n == case.n as u64 && policy == case.policy)
+        else {
+            eprintln!(
+                "history N={:<5} {:<22} {:>14.0} packets/s (first measurement)",
+                case.n, case.policy, case.packets_per_sec
+            );
+            continue;
+        };
+        let delta = (case.packets_per_sec - best_rate) / best_rate * 100.0;
+        eprintln!(
+            "history N={:<5} {:<22} {:>14.0} packets/s vs best {:>14.0} ({delta:+.1}%)",
+            case.n, case.policy, case.packets_per_sec, best_rate
+        );
+        if case.packets_per_sec < best_rate * (1.0 - tolerance) {
+            failures.push(format!(
+                "N={} {}: {:.0} packets/s is more than {:.0}% below the best recorded {:.0}",
+                case.n,
+                case.policy,
+                case.packets_per_sec,
+                tolerance * 100.0,
+                best_rate
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut history_path: Option<String> = None;
     let mut tolerance = 0.20f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = Some(args.next().expect("--out needs a path")),
             "--check" => baseline_path = Some(args.next().expect("--check needs a path")),
+            "--history" => history_path = Some(args.next().expect("--history needs a path")),
             "--tolerance" => {
                 tolerance = args
                     .next()
@@ -282,19 +350,92 @@ fn main() {
         std::fs::write(&path, format!("{encoded}\n")).expect("writing the report must succeed");
         eprintln!("wrote {path}");
     }
-    if let Some(path) = baseline_path {
-        let text = std::fs::read_to_string(&path).expect("baseline must be readable");
+    let mut failures = Vec::new();
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).expect("baseline must be readable");
         let baseline = parse(text.trim()).expect("baseline must be valid JSON");
-        let failures = check_against(&baseline, &cases, tolerance);
-        if !failures.is_empty() {
-            for failure in &failures {
-                eprintln!("FAIL: {failure}");
+        failures.extend(check_against(&baseline, &cases, tolerance));
+    }
+    if let Some(path) = &history_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => failures.extend(check_history(&best_rates(&text), &cases, tolerance)),
+            Err(_) => {
+                eprintln!("note: no benchmark history at {path} yet — trajectory gate skipped")
             }
-            std::process::exit(1);
         }
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    if let Some(path) = baseline_path {
         eprintln!(
             "bench gate passed: every configuration within {:.0}% of {path}",
             tolerance * 100.0
         );
+    }
+    if let Some(path) = history_path {
+        eprintln!(
+            "trajectory gate passed: every configuration within {:.0}% of the best in {path}",
+            tolerance * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(n: usize, policy: &'static str, rate: f64) -> Case {
+        Case {
+            n,
+            policy,
+            cycles: 100,
+            delivered: 1000,
+            cycles_per_sec: 1.0,
+            packets_per_sec: rate,
+        }
+    }
+
+    fn history_line(n: u64, policy: &str, rate: f64) -> String {
+        format!(
+            r#"{{"benchmark":"simbench","cases":[{{"n":{n},"policy":"{policy}","cycles":100,"delivered":1000,"cycles_per_sec":1.0,"packets_per_sec":{rate}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn best_rates_keep_the_maximum_per_key_across_lines() {
+        let history = [
+            history_line(64, "FixedC", 100.0),
+            history_line(64, "FixedC", 300.0),
+            history_line(64, "FixedC", 200.0),
+            history_line(256, "FixedC", 50.0),
+        ]
+        .join("\n");
+        let best = best_rates(&history);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0], (64, "FixedC".to_string(), 300.0));
+        assert_eq!(best[1], (256, "FixedC".to_string(), 50.0));
+    }
+
+    #[test]
+    fn history_gate_fails_only_below_the_best_minus_tolerance() {
+        let best = vec![(64u64, "FixedC".to_string(), 1000.0)];
+        // Within tolerance of the best: pass (even though below it).
+        assert!(check_history(&best, &[case(64, "FixedC", 850.0)], 0.20).is_empty());
+        // More than 20% below the best-ever: fail.
+        let failures = check_history(&best, &[case(64, "FixedC", 700.0)], 0.20);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("best recorded"));
+        // A case with no history yet passes and sets the next bar.
+        assert!(check_history(&best, &[case(1024, "FixedC", 1.0)], 0.20).is_empty());
+    }
+
+    #[test]
+    fn blank_history_lines_are_skipped() {
+        let history = format!("\n{}\n\n", history_line(64, "FixedC", 10.0));
+        assert_eq!(best_rates(&history).len(), 1);
     }
 }

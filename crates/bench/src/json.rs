@@ -240,6 +240,29 @@ pub fn sim_stats_json(stats: &SimStats) -> Json {
             ("availability_mean", Json::from(stats.availability_mean)),
         ]);
     }
+    // Closed-loop runs additionally report the workload request ledger;
+    // open-loop runs (workload.issued == 0) keep their exact historical
+    // encoding.
+    if stats.workload.issued > 0 {
+        let wl = &stats.workload;
+        fields.extend([
+            ("requests_issued", Json::from(wl.issued)),
+            ("requests_completed", Json::from(wl.completed)),
+            ("requests_aborted", Json::from(wl.aborted)),
+            ("requests_live", Json::from(wl.live)),
+            ("request_latency_sum", Json::from(wl.latency_sum)),
+            ("request_latency_count", Json::from(wl.latency_count)),
+            ("request_latency_max", Json::from(wl.latency_max)),
+            ("request_latency_mean", Json::from(wl.mean_latency())),
+            ("request_latency_p50", Json::from(wl.percentile(0.50))),
+            ("request_latency_p95", Json::from(wl.percentile(0.95))),
+            ("request_latency_p99", Json::from(wl.percentile(0.99))),
+            (
+                "request_latency_buckets",
+                Json::arr(wl.histogram.trimmed_counts().iter().map(|&c| Json::from(c))),
+            ),
+        ]);
+    }
     Json::obj(fields)
 }
 
@@ -575,6 +598,27 @@ mod tests {
         let flit_at = text.find("\"flits_per_packet\"").unwrap();
         assert!(text.find("\"stage_link_use\"").unwrap() < flit_at);
         assert!(flit_at < text.find("\"fault_events\"").unwrap());
+        assert!(
+            !text.contains("requests_"),
+            "open-loop runs must not grow workload fields: {text}"
+        );
+        // A closed-loop run grows the workload request ledger after the
+        // fault block, still round-trippable.
+        stats.workload.issued = 40;
+        stats.workload.completed = 38;
+        stats.workload.aborted = 1;
+        stats.workload.live = 1;
+        for lat in [10u64, 12, 14] {
+            stats.workload.record_latency(lat);
+        }
+        let text = sim_stats_json(&stats).encode();
+        assert_round_trip(&text).expect("workload stats JSON must round-trip");
+        assert!(text.contains("\"requests_issued\":40"));
+        assert!(text.contains("\"requests_completed\":38"));
+        assert!(text.contains("\"request_latency_p99\":14"));
+        assert!(text.contains("\"request_latency_mean\":12"));
+        let wl_at = text.find("\"requests_issued\"").unwrap();
+        assert!(text.find("\"availability_mean\"").unwrap() < wl_at);
     }
 
     #[test]

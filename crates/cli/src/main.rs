@@ -41,14 +41,16 @@ const USAGE: &str = "usage:
   iadm render   -n <N> [--net iadm|icube|adm|gamma|gcube]
   iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>] [--policy fixed|ssdt|random|tsdt]
                 [--mode sf|wormhole:<flits>[:<lanes>]] [--engine sync|event]
+                [--workload open|rr:<clients>:<think>[:<req>x<resp>]|flow:<clients>:<think>:<pkts>|allreduce:<p>:<think>|adv:<load>:<burst>]
                 [--faults <scenario>] [--block ...]...
   iadm subgraphs -n <N>
   iadm dot      -n <N> [--net ...] [-s <src> -d <dst>] [--block ...]...   (Graphviz output)
   iadm broadcast -n <N> -s <src> [--dests 1,2,5]
-  iadm sweep    [--spec smoke|e13|e15|e16|e17] [--threads <t>] [--out results/….json]
+  iadm sweep    [--spec smoke|e13|e15|e16|e17|e18] [--threads <t>] [--out results/….json]
                 [--n 8,64] [--loads 0.1,0.5] [--policies fixed,ssdt,tsdt]
                 [--patterns uniform,bitrev,hotspot:<d>] [--queues 4]
                 [--modes sf,wormhole:<flits>[:<lanes>]] [--engines sync,event]
+                [--workloads open,rr:all:32,flow:8:16:4,allreduce:all:64,adv:0.5:32]
                 [--cycles <c>] [--warmup <w>] [--seed <s>]
                 [--faults none,rand:<k>,mtbf:<m>:<r>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]
 
@@ -63,7 +65,15 @@ lanes (one lane per link unless `:<lanes>` is given).
 engines: `sync` (default) visits the whole network every cycle; `event`
 wakes only the work that can progress. Statistics are identical either
 way — the event engine is a performance choice for low-load/large-N
-runs.";
+runs.
+
+workloads: `open` (default) is the Bernoulli open loop driven by
+`--load`; the others own injection (store-and-forward only, `--load`
+must stay 0): `rr:<clients>:<think>` runs a closed request → response →
+think loop (`all` = one client per port) and reports request-latency
+percentiles, `flow:…:<pkts>` sends multi-packet flows, `allreduce`
+runs a barrier-synchronized ring allreduce, and `adv:<load>:<burst>`
+plays an adversarial moving-permutation schedule.";
 
 /// A tiny flag parser: collects `--key value`, `-k value` pairs and
 /// repeated `--block` occurrences.
@@ -196,15 +206,28 @@ fn run(args: &[String]) -> Result<(), String> {
         "route" | "reroute" | "paths" => &["n", "s", "d", "block"],
         "render" => &["n", "net"],
         "simulate" => &[
-            "n", "load", "cycles", "warmup", "policy", "mode", "engine", "queue", "seed", "faults",
-            "block",
+            "n", "load", "cycles", "warmup", "policy", "mode", "engine", "workload", "queue",
+            "seed", "faults", "block",
         ],
         "subgraphs" => &["n"],
         "dot" => &["n", "net", "s", "d", "block"],
         "broadcast" => &["n", "s", "dests"],
         "sweep" => &[
-            "spec", "threads", "out", "n", "loads", "policies", "patterns", "modes", "engines",
-            "queues", "cycles", "warmup", "seed", "faults",
+            "spec",
+            "threads",
+            "out",
+            "n",
+            "loads",
+            "policies",
+            "patterns",
+            "modes",
+            "engines",
+            "workloads",
+            "queues",
+            "cycles",
+            "warmup",
+            "seed",
+            "faults",
         ],
         other => return Err(format!("unknown command {other}")),
     };
@@ -326,12 +349,32 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         Some(text) => iadm_sweep::parse_engine(text)?,
         None => iadm_sim::EngineKind::Synchronous,
     };
+    let workload = match args.get("workload") {
+        Some(text) => iadm_sim::WorkloadSpec::parse(text)?,
+        None => iadm_sim::WorkloadSpec::OpenLoop,
+    };
+    workload.validate(size)?;
+    // A non-open workload owns injection: the open-loop rate defaults to
+    // (and must stay) zero.
+    let offered_load = if workload.is_closed() {
+        match args.f64_or("load", 0.0)? {
+            0.0 => 0.0,
+            _ => {
+                return Err(format!(
+                    "--workload {} owns injection; --load must stay 0",
+                    workload.label()
+                ))
+            }
+        }
+    } else {
+        args.f64_or("load", 0.5)?
+    };
     let config = SimConfig {
         size,
         queue_capacity: args.usize_or("queue", 4)?,
         cycles,
         warmup,
-        offered_load: args.f64_or("load", 0.5)?,
+        offered_load,
         seed: args.usize_or("seed", 1)? as u64,
         engine,
     };
@@ -340,6 +383,9 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         Some(text) => iadm_sweep::parse_mode(text)?,
         None => SwitchingMode::StoreForward,
     };
+    if workload.is_closed() && mode != SwitchingMode::StoreForward {
+        return Err("closed-loop workloads drive store-and-forward runs only".into());
+    }
     // A --faults scenario realizes (initial map + transient timeline) from
     // the same seed streams a sweep run uses, so `simulate --seed S` and a
     // one-point campaign seeded to derive S agree exactly.
@@ -362,20 +408,27 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         None => (BlockageMap::new(size), FaultTimeline::empty(size)),
     };
     let blockages = args.blocks_onto(size, initial)?;
-    let stats =
-        if blockages.is_empty() && timeline.is_empty() && mode == SwitchingMode::StoreForward {
-            run_once(config, policy, TrafficPattern::Uniform)
-        } else {
-            iadm_sim::Simulator::with_fault_timeline(
-                config,
-                policy,
-                TrafficPattern::Uniform,
-                blockages,
-                timeline,
-            )
-            .with_switching_mode(mode)
-            .run()
-        };
+    let stats = if blockages.is_empty()
+        && timeline.is_empty()
+        && mode == SwitchingMode::StoreForward
+        && !workload.is_closed()
+    {
+        run_once(config, policy, TrafficPattern::Uniform)
+    } else {
+        // The workload seeds from the same stream a sweep run uses, so
+        // `simulate --workload … --seed S` reproduces a campaign point.
+        let workload_seed = iadm_rng::mix(config.seed, iadm_sweep::WORKLOAD_SEED_STREAM);
+        iadm_sim::Simulator::with_fault_timeline(
+            config,
+            policy,
+            TrafficPattern::Uniform,
+            blockages,
+            timeline,
+        )
+        .with_switching_mode(mode)
+        .with_workload(&workload, workload_seed)
+        .run()
+    };
     println!("cycles          {}", stats.cycles);
     println!("injected        {}", stats.injected);
     println!("delivered       {}", stats.delivered);
@@ -394,6 +447,21 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         println!(
             "flits lost      {} dropped + {} refused + {} in flight",
             stats.flits_dropped, stats.flits_refused, stats.flits_in_flight
+        );
+    }
+    if stats.workload.issued > 0 {
+        let wl = &stats.workload;
+        println!("requests issued {}", wl.issued);
+        println!(
+            "requests done   {} completed + {} aborted + {} live",
+            wl.completed, wl.aborted, wl.live
+        );
+        println!("request latency {:.2} cycles mean", wl.mean_latency());
+        println!(
+            "request p50/p95/p99  {} / {} / {} cycles",
+            wl.percentile(0.50),
+            wl.percentile(0.95),
+            wl.percentile(0.99)
         );
     }
     if stats.fault_events > 0 {
@@ -486,6 +554,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             policies: vec![iadm_sim::RoutingPolicy::SsdtBalance],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            workloads: vec![iadm_sim::WorkloadSpec::OpenLoop],
             engines: vec![iadm_sim::EngineKind::Synchronous],
             scenarios: vec![iadm_fault::scenario::ScenarioSpec::None],
             cycles: 2000,
@@ -523,6 +592,17 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             .split(',')
             .map(|e| iadm_sweep::parse_engine(e.trim()))
             .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("workloads") {
+        spec.workloads = list
+            .split(',')
+            .map(|w| iadm_sim::WorkloadSpec::parse(w.trim()))
+            .collect::<Result<_, _>>()?;
+        // Non-open workloads own injection; collapse the loads axis to the
+        // only legal value unless the user pinned it explicitly.
+        if spec.workloads.iter().any(|w| w.is_closed()) && args.get("loads").is_none() {
+            spec.loads = vec![0.0];
+        }
     }
     if let Some(list) = args.get("queues") {
         spec.queue_capacities = parse_usize_list(list, "queues")?;
@@ -721,6 +801,48 @@ mod tests {
                 "--faults",
                 "mtbf:40:15",
             ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "120",
+                "--workload",
+                "rr:all:8",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "120",
+                "--workload",
+                "flow:4:8:3",
+                "--engine",
+                "event",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "150",
+                "--workload",
+                "allreduce:all:16",
+                "--faults",
+                "mtbf:60:20",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "120",
+                "--workload",
+                "adv:0.4:16",
+                "--policy",
+                "tsdt",
+            ],
             vec!["subgraphs", "-n", "16"],
             vec!["dot", "-n", "4"],
             vec!["dot", "-n", "8", "-s", "1", "-d", "0", "--block", "S0:1-"],
@@ -783,6 +905,21 @@ mod tests {
                 "--faults",
                 "none,mtbf:40:15",
             ],
+            vec![
+                "sweep",
+                "--n",
+                "8",
+                "--policies",
+                "ssdt,tsdt",
+                "--workloads",
+                "rr:all:8,flow:4:8:2",
+                "--engines",
+                "sync,event",
+                "--cycles",
+                "100",
+                "--faults",
+                "none,mtbf:40:15",
+            ],
         ];
         for case in cases {
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
@@ -835,7 +972,30 @@ mod tests {
             vec!["sweep", "--modes", "cut-through"],
             vec!["sweep", "--modes", "wormhole:0"],
             vec!["sweep", "--engines", "warp"],
+            vec!["sweep", "--workloads", "bogus"],
+            vec!["sweep", "--workloads", "rr:all:8", "--loads", "0.5"],
+            vec!["sweep", "--workloads", "rr:all:8", "--modes", "wormhole:4"],
             vec!["simulate", "-n", "8", "--engine", "async"],
+            vec!["simulate", "-n", "8", "--workload", "bogus"],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--workload",
+                "rr:all:8",
+                "--load",
+                "0.5",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--workload",
+                "rr:all:8",
+                "--mode",
+                "wormhole:4",
+            ],
+            vec!["simulate", "-n", "8", "--workload", "rr:999:8"],
             vec!["simulate", "-n", "8", "--faults", "mtbf:nope"],
             vec!["simulate", "-n", "8", "--faults", "double:S9:0"],
             vec!["simulate", "-n", "8", "--mode", "wormhole:4:0"],

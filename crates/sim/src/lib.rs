@@ -53,16 +53,21 @@ mod active;
 pub mod circuit;
 mod engine;
 mod event;
-pub mod histogram;
 mod packet;
 mod queue;
 mod stats;
-mod traffic;
+
+// The histogram and traffic-pattern types moved to `iadm-workload`
+// together with the rest of the workload subsystem; these re-exports
+// keep every established `iadm_sim::` path working unchanged.
+pub use iadm_workload::histogram;
 
 pub use engine::{run_once, EngineKind, RoutingPolicy, SimConfig, Simulator, SwitchingMode};
 pub use event::{Event, EventQueue};
-pub use histogram::LatencyHistogram;
+pub use iadm_workload::{
+    Adversarial, ClosedLoop, Collective, Injection, LatencyHistogram, OpenLoopSource,
+    TrafficPattern, WorkloadSource, WorkloadSpec, WorkloadStats, NO_OP,
+};
 pub use packet::Packet;
 pub use queue::{QueueArena, ReservationTable};
 pub use stats::SimStats;
-pub use traffic::TrafficPattern;

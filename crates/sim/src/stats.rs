@@ -1,6 +1,7 @@
 //! Simulation statistics.
 
 use crate::histogram::LatencyHistogram;
+use iadm_workload::WorkloadStats;
 
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone, Default)]
@@ -93,6 +94,11 @@ pub struct SimStats {
     /// Flits still pipelined through the network or waiting in source
     /// queues when the run ended.
     pub flits_in_flight: u64,
+    /// Closed-loop workload accounting (request/flow/collective
+    /// completions and end-to-end latency percentiles). All zeros —
+    /// `workload.issued == 0` — for open-loop runs, which is what keeps
+    /// the workload block out of their JSON artifacts.
+    pub workload: WorkloadStats,
 }
 
 impl SimStats {

@@ -1,0 +1,201 @@
+//! Golden-stats parity for the workload subsystem (PR 7).
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Workload goldens** — one byte-exact `sim_stats_json` string per
+//!    workload kind (request/response, multi-packet flows, ring
+//!    allreduce, adversarial schedule), captured from the synchronous
+//!    engine at introduction. Any change to a source's issue order, a
+//!    think-time draw, the delivery-hook sequence, or a latency bucket
+//!    shows up as a diff. If a future change *intends* to alter workload
+//!    behavior these constants must be regenerated deliberately — never
+//!    adjusted to make a refactor pass.
+//!
+//! 2. **Engine-independence** — the event-driven engine, which schedules
+//!    response-triggered injections as discrete events instead of
+//!    polling every cycle, must reproduce each golden byte for byte.
+//!
+//! A differential test additionally pins the *inline* open-loop
+//! arrivals path (the one all 16 pre-workload parity goldens run
+//! through) against `OpenLoopSource`, the pluggable form of the same
+//! Bernoulli process: same seed, same draw order, same bytes.
+
+use iadm_bench::json::sim_stats_json;
+use iadm_sim::{
+    EngineKind, OpenLoopSource, RoutingPolicy, SimConfig, Simulator, TrafficPattern, WorkloadSpec,
+};
+use iadm_topology::Size;
+
+/// The workload RNG stream the goldens were captured under (arbitrary,
+/// fixed; the sweep layer derives its own stream per run).
+const WORKLOAD_SEED: u64 = 0xBEEF;
+
+const GOLDEN_REQUEST_RESPONSE: &str = r#"{"injected":986,"delivered":976,"misrouted":0,"dropped":0,"refused":0,"in_flight":10,"latency_sum":4500,"latency_count":735,"latency_max":8,"queue_high_water":2,"queue_mean_occupancy":0.03492187499999997,"cycles":600,"ports":16,"nonstraight_imbalance":0.016046126651660577,"max_link_load":42,"mean_latency":6.122448979591836,"throughput":0.10166666666666667,"latency_p50":7,"latency_p95":7,"latency_p99":8,"latency_buckets":[0,0,725,10],"stage_link_use":[980,979,978,976],"requests_issued":497,"requests_completed":487,"requests_aborted":0,"requests_live":10,"request_latency_sum":4105,"request_latency_count":365,"request_latency_max":14,"request_latency_mean":11.246575342465754,"request_latency_p50":14,"request_latency_p95":14,"request_latency_p99":14,"request_latency_buckets":[0,0,0,365]}"#;
+const GOLDEN_FLOW: &str = r#"{"injected":780,"delivered":777,"misrouted":0,"dropped":0,"refused":0,"in_flight":3,"latency_sum":4094,"latency_count":567,"latency_max":12,"queue_high_water":3,"queue_mean_occupancy":0.02861979166666666,"cycles":600,"ports":16,"nonstraight_imbalance":0.04009597971177647,"max_link_load":66,"mean_latency":7.220458553791887,"throughput":0.0809375,"latency_p50":7,"latency_p95":12,"latency_p99":12,"latency_buckets":[0,0,343,224],"stage_link_use":[777,777,777,777],"requests_issued":260,"requests_completed":259,"requests_aborted":0,"requests_live":1,"request_latency_sum":1574,"request_latency_count":189,"request_latency_max":12,"request_latency_mean":8.328042328042327,"request_latency_p50":12,"request_latency_p95":12,"request_latency_p99":12,"request_latency_buckets":[0,0,0,189]}"#;
+const GOLDEN_ALLREDUCE: &str = r#"{"injected":1840,"delivered":1824,"misrouted":0,"dropped":0,"refused":0,"in_flight":16,"latency_sum":8064,"latency_count":1344,"latency_max":6,"queue_high_water":1,"queue_mean_occupancy":0.06374999999999995,"cycles":600,"ports":16,"nonstraight_imbalance":0.012843906993871486,"max_link_load":100,"mean_latency":6,"throughput":0.19,"latency_p50":6,"latency_p95":6,"latency_p99":6,"latency_buckets":[0,0,1344],"stage_link_use":[1840,1840,1824,1824],"requests_issued":4,"requests_completed":3,"requests_aborted":0,"requests_live":1,"request_latency_sum":302,"request_latency_count":2,"request_latency_max":151,"request_latency_mean":151,"request_latency_p50":151,"request_latency_p95":151,"request_latency_p99":151,"request_latency_buckets":[0,0,0,0,0,0,0,2]}"#;
+const GOLDEN_ADVERSARIAL: &str = r#"{"injected":3846,"delivered":3805,"misrouted":0,"dropped":0,"refused":0,"in_flight":41,"latency_sum":24454,"latency_count":2851,"latency_max":67,"queue_high_water":4,"queue_mean_occupancy":0.21496527777777794,"cycles":600,"ports":16,"nonstraight_imbalance":0.11217195895352113,"max_link_load":166,"mean_latency":8.577341283760084,"throughput":0.3963541666666667,"latency_p50":7,"latency_p95":31,"latency_p99":31,"latency_buckets":[0,0,1607,1077,154,12,1],"stage_link_use":[3832,3819,3812,3805]}"#;
+
+/// The four pinned workloads: `(name, spec label, expected JSON)`.
+fn goldens() -> [(&'static str, WorkloadSpec, &'static str); 4] {
+    [
+        (
+            "request-response",
+            WorkloadSpec::RequestResponse {
+                clients: 0,
+                think: 8,
+                req: 1,
+                resp: 1,
+            },
+            GOLDEN_REQUEST_RESPONSE,
+        ),
+        (
+            "flow",
+            WorkloadSpec::Flow {
+                clients: 8,
+                think: 10,
+                packets: 3,
+            },
+            GOLDEN_FLOW,
+        ),
+        (
+            "allreduce",
+            WorkloadSpec::Collective {
+                participants: 0,
+                think: 16,
+            },
+            GOLDEN_ALLREDUCE,
+        ),
+        (
+            "adversarial",
+            WorkloadSpec::Adversarial {
+                load: 0.4,
+                burst: 16,
+            },
+            GOLDEN_ADVERSARIAL,
+        ),
+    ]
+}
+
+fn config(engine: EngineKind) -> SimConfig {
+    SimConfig {
+        size: Size::new(16).unwrap(),
+        queue_capacity: 4,
+        cycles: 600,
+        warmup: 150,
+        offered_load: 0.0,
+        seed: 0xC10C,
+        engine,
+    }
+}
+
+fn run(spec: &WorkloadSpec, engine: EngineKind) -> String {
+    let stats = Simulator::new(
+        config(engine),
+        RoutingPolicy::SsdtBalance,
+        TrafficPattern::Uniform,
+    )
+    .with_workload(spec, WORKLOAD_SEED)
+    .run();
+    sim_stats_json(&stats).encode()
+}
+
+#[test]
+fn request_response_matches_golden() {
+    let (name, spec, golden) = &goldens()[0];
+    assert_eq!(run(spec, EngineKind::Synchronous), *golden, "{name}");
+}
+
+#[test]
+fn flow_matches_golden() {
+    let (name, spec, golden) = &goldens()[1];
+    assert_eq!(run(spec, EngineKind::Synchronous), *golden, "{name}");
+}
+
+#[test]
+fn allreduce_matches_golden() {
+    let (name, spec, golden) = &goldens()[2];
+    assert_eq!(run(spec, EngineKind::Synchronous), *golden, "{name}");
+}
+
+#[test]
+fn adversarial_matches_golden() {
+    let (name, spec, golden) = &goldens()[3];
+    assert_eq!(run(spec, EngineKind::Synchronous), *golden, "{name}");
+}
+
+#[test]
+fn event_engine_reproduces_every_workload_golden() {
+    // Response-triggered injections ride the event queue instead of a
+    // per-cycle poll, yet every statistic — including each request
+    // latency — must land on the same bytes as the synchronous engine.
+    for (name, spec, golden) in goldens() {
+        assert_eq!(
+            run(&spec, EngineKind::EventDriven),
+            golden,
+            "{name} diverged under the event engine"
+        );
+    }
+}
+
+#[test]
+fn goldens_carry_the_closed_loop_ledger_where_expected() {
+    // Guard against vacuous pins: the three request-tracking workloads
+    // must report the closed-loop stats block, and the adversarial
+    // schedule (fire-and-forget, no ledger) must not.
+    for (name, _, golden) in &goldens()[..3] {
+        assert!(
+            golden.contains("\"requests_issued\":"),
+            "{name} golden lost its workload block"
+        );
+    }
+    assert!(!GOLDEN_ADVERSARIAL.contains("\"requests_issued\":"));
+}
+
+#[test]
+fn open_loop_source_is_byte_identical_to_the_inline_arrivals_path() {
+    // The pre-workload parity goldens all run through the engines'
+    // *inline* Bernoulli arrivals. `OpenLoopSource` is the pluggable
+    // spelling of the same process: seeded with the engine's own seed it
+    // performs the identical draw sequence (per-source `gen_bool`, then
+    // a destination draw), so under a policy that consumes no RNG of its
+    // own the two paths must agree byte for byte.
+    for load in [0.2, 0.45] {
+        let mut config = config(EngineKind::Synchronous);
+        config.offered_load = load;
+        let inline = Simulator::new(config, RoutingPolicy::FixedC, TrafficPattern::Uniform).run();
+
+        let mut closed = config;
+        closed.offered_load = 0.0;
+        let source = Box::new(OpenLoopSource::new(
+            config.size,
+            load,
+            TrafficPattern::Uniform,
+        ));
+        let trait_path = Simulator::new(closed, RoutingPolicy::FixedC, TrafficPattern::Uniform)
+            .with_workload_source(source, config.seed)
+            .run();
+        assert_eq!(
+            sim_stats_json(&inline).encode(),
+            sim_stats_json(&trait_path).encode(),
+            "inline vs OpenLoopSource diverged at load {load}"
+        );
+    }
+}
+
+#[test]
+fn open_loop_spec_builds_to_the_inline_path() {
+    // `WorkloadSpec::OpenLoop` must be compiled away entirely — the
+    // builder returns the simulator untouched, so the run is the inline
+    // path (not a trait-object detour), which is what keeps all 16
+    // pre-workload parity goldens byte-identical by construction.
+    let mut config = config(EngineKind::Synchronous);
+    config.offered_load = 0.45;
+    let plain = Simulator::new(config, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform).run();
+    let via_spec = Simulator::new(config, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
+        .with_workload(&WorkloadSpec::OpenLoop, 0xDEAD)
+        .run();
+    assert_eq!(
+        sim_stats_json(&plain).encode(),
+        sim_stats_json(&via_spec).encode()
+    );
+}

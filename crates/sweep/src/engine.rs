@@ -18,6 +18,13 @@ pub const FAULT_SEED_STREAM: u64 = 0xFA17;
 /// never draw correlated randomness.
 pub const TIMELINE_SEED_STREAM: u64 = 0x71ED;
 
+/// Stream constant for the closed-loop *workload* generator — a fourth
+/// seed stream, so think-time draws never correlate with traffic, fault
+/// realization, or timeline randomness. Public so the CLI's single-run
+/// `simulate --workload` path seeds the generator exactly the way a
+/// sweep run with the same seed would.
+pub const WORKLOAD_SEED_STREAM: u64 = 0x3C10;
+
 /// One completed run: the resolved spec, the number of faulty links its
 /// scenario realized, and the simulator's statistics.
 #[derive(Debug, Clone)]
@@ -44,7 +51,8 @@ pub struct CampaignResult {
 
 /// Executes one grid point. Fully deterministic in the `RunSpec` alone:
 /// the fault scenario realizes from `mix(seed, FAULT_SEED_STREAM)`, its
-/// transient timeline from `mix(seed, TIMELINE_SEED_STREAM)`, and the
+/// transient timeline from `mix(seed, TIMELINE_SEED_STREAM)`, its
+/// closed-loop workload from `mix(seed, WORKLOAD_SEED_STREAM)`, and the
 /// simulator from `seed`, so no state outside the spec is consulted.
 pub fn execute_run(run: &RunSpec) -> RunRecord {
     let blockages = run
@@ -73,6 +81,7 @@ pub fn execute_run(run: &RunSpec) -> RunRecord {
         timeline,
     )
     .with_switching_mode(run.mode)
+    .with_workload(&run.workload, iadm_rng::mix(run.seed, WORKLOAD_SEED_STREAM))
     .run();
     RunRecord {
         spec: run.clone(),

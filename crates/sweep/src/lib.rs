@@ -50,6 +50,7 @@ mod spec;
 
 pub use engine::{
     execute_run, run_campaign, CampaignResult, RunRecord, FAULT_SEED_STREAM, TIMELINE_SEED_STREAM,
+    WORKLOAD_SEED_STREAM,
 };
 pub use report::{campaign_json, pivot_table, summary_table};
 pub use spec::{

@@ -3,7 +3,7 @@
 use crate::engine::{CampaignResult, RunRecord};
 use crate::spec::{engine_label, mode_label, pattern_label, policy_label};
 use iadm_bench::json::{sim_stats_json, Json};
-use iadm_sim::{EngineKind, SwitchingMode};
+use iadm_sim::{EngineKind, SwitchingMode, WorkloadSpec};
 use std::collections::HashMap;
 
 /// The canonical JSON encoding of a campaign. Every run appears in run-
@@ -39,6 +39,11 @@ fn run_json(record: &RunRecord) -> Json {
     // pre-event-engine artifact byte-identical.
     if spec.engine != EngineKind::Synchronous {
         fields.push(("engine", Json::from(engine_label(spec.engine))));
+    }
+    // And open-loop runs omit the workload field, keeping every
+    // pre-workload artifact byte-identical.
+    if spec.workload != WorkloadSpec::OpenLoop {
+        fields.push(("workload", Json::from(spec.workload.label())));
     }
     fields.extend([
         ("scenario", Json::from(spec.scenario.label())),
@@ -127,6 +132,9 @@ pub fn pivot_table(result: &CampaignResult, metric: &dyn Fn(&RunRecord) -> Strin
         if record.spec.engine != EngineKind::Synchronous {
             parts.push(engine_label(record.spec.engine).to_string());
         }
+        if record.spec.workload != WorkloadSpec::OpenLoop {
+            parts.push(record.spec.workload.label());
+        }
         parts.push(record.spec.scenario.label());
         let label = parts.join("/");
         let col = match col_of.get(&label) {
@@ -211,6 +219,32 @@ mod tests {
         let pivot = pivot_table(&result, &|r| r.stats.delivered.to_string());
         assert!(pivot.contains("ssdt/event/none"));
         assert!(pivot.contains("ssdt/none"));
+    }
+
+    #[test]
+    fn closed_loop_runs_carry_a_workload_field_and_open_loop_stays_bare() {
+        let mut spec = SweepSpec::smoke();
+        spec.loads = vec![0.0];
+        spec.workloads = vec![WorkloadSpec::RequestResponse {
+            clients: 0,
+            think: 4,
+            req: 1,
+            resp: 1,
+        }];
+        let result = run_campaign(&spec, 2).unwrap();
+        let text = campaign_json(&result).encode();
+        assert_round_trip(&text).expect("campaign JSON must round-trip");
+        assert!(text.contains("\"workload\":\"rr:all:4\""));
+        assert!(text.contains("\"requests_issued\":"));
+        assert!(text.contains("\"request_latency_p99\":"));
+        let pivot = pivot_table(&result, &|r| r.stats.workload.percentile(0.99).to_string());
+        assert!(pivot.contains("ssdt/rr:all:4/none"));
+
+        // Open-loop runs stay workload-free: the field count differs,
+        // never the spelling of existing fields.
+        let open = campaign_json(&run_campaign(&SweepSpec::smoke(), 2).unwrap()).encode();
+        assert!(!open.contains("\"workload\":"));
+        assert!(!open.contains("\"requests_issued\":"));
     }
 
     #[test]

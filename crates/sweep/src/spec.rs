@@ -1,7 +1,7 @@
 //! Declarative sweep specifications and their expansion into run lists.
 
 use iadm_fault::scenario::{KindFilter, ScenarioSpec};
-use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern, WorkloadSpec};
 use iadm_topology::Size;
 
 /// A declarative campaign: the cartesian grid of every axis, plus the
@@ -22,6 +22,10 @@ pub struct SweepSpec {
     pub patterns: Vec<TrafficPattern>,
     /// Switching modes (store-and-forward and/or wormhole variants).
     pub modes: Vec<SwitchingMode>,
+    /// Workloads (`OpenLoop` and/or closed-loop request/flow/collective/
+    /// adversarial sources). Closed workloads own injection, so they may
+    /// only be crossed with `loads = [0.0]` and store-and-forward modes.
+    pub workloads: Vec<WorkloadSpec>,
     /// Scheduling engines (synchronous and/or event-driven; statistics
     /// are engine-independent, so this axis is for performance
     /// comparison and differential testing).
@@ -55,6 +59,8 @@ pub struct RunSpec {
     pub pattern: TrafficPattern,
     /// Switching mode.
     pub mode: SwitchingMode,
+    /// Workload.
+    pub workload: WorkloadSpec,
     /// Scheduling engine.
     pub engine: EngineKind,
     /// Fault scenario recipe.
@@ -79,14 +85,15 @@ impl SweepSpec {
             * self.policies.len()
             * self.patterns.len()
             * self.modes.len()
+            * self.workloads.len()
             * self.engines.len()
             * self.scenarios.len()
     }
 
     /// Expands the grid into the campaign's run list, in the canonical
-    /// axis order (size, load, queue, policy, pattern, mode, engine,
-    /// scenario — the innermost axis varies fastest) with derived
-    /// per-run seeds.
+    /// axis order (size, load, queue, policy, pattern, mode, workload,
+    /// engine, scenario — the innermost axis varies fastest) with
+    /// derived per-run seeds.
     ///
     /// Validates every axis value; an empty axis or an out-of-range
     /// entry is an error, not a silent no-op.
@@ -121,6 +128,19 @@ impl SweepSpec {
                 }
             }
         }
+        // The grid is cartesian, so a closed workload anywhere on the
+        // workload axis is crossed with *every* load and mode — reject
+        // up front rather than panicking mid-campaign.
+        if self.workloads.iter().any(WorkloadSpec::is_closed) {
+            if self.loads.iter().any(|&l| l > 0.0) {
+                return Err(
+                    "closed-loop workloads own injection: the loads axis must be [0.0]".into(),
+                );
+            }
+            if self.modes.iter().any(|&m| m != SwitchingMode::StoreForward) {
+                return Err("closed-loop workloads drive store-and-forward runs only".into());
+            }
+        }
         let mut runs = Vec::with_capacity(self.grid_len());
         for &n in &self.sizes {
             let size = Size::new(n).map_err(|e| e.to_string())?;
@@ -130,48 +150,54 @@ impl SweepSpec {
             for pattern in &self.patterns {
                 validate_pattern(pattern, size)?;
             }
+            for workload in &self.workloads {
+                workload.validate(size)?;
+            }
             for &offered_load in &self.loads {
                 for &queue_capacity in &self.queue_capacities {
                     for &policy in &self.policies {
                         for pattern in &self.patterns {
                             for &mode in &self.modes {
-                                for (engine_idx, &engine) in self.engines.iter().enumerate() {
-                                    for (scenario_idx, scenario) in
-                                        self.scenarios.iter().enumerate()
-                                    {
-                                        let index = runs.len();
-                                        // Seed derivation skips the engine
-                                        // coordinate: the engines must agree
-                                        // byte-for-byte on every statistic
-                                        // (the equivalence contract), so runs
-                                        // that differ only in engine share a
-                                        // seed — the axis compares wall
-                                        // clocks, never realizations. With a
-                                        // single engine this is exactly the
-                                        // run index, so pre-engine campaigns
-                                        // (E13/E15/E16) are unchanged.
-                                        let seed_index = (index
-                                            - engine_idx * self.scenarios.len()
-                                            - scenario_idx)
-                                            / self.engines.len()
-                                            + scenario_idx;
-                                        runs.push(RunSpec {
-                                            index,
-                                            size,
-                                            offered_load,
-                                            queue_capacity,
-                                            policy,
-                                            pattern: pattern.clone(),
-                                            mode,
-                                            engine,
-                                            scenario: scenario.clone(),
-                                            cycles: self.cycles,
-                                            warmup: self.warmup,
-                                            seed: iadm_rng::mix(
-                                                self.campaign_seed,
-                                                seed_index as u64,
-                                            ),
-                                        });
+                                for workload in &self.workloads {
+                                    for (engine_idx, &engine) in self.engines.iter().enumerate() {
+                                        for (scenario_idx, scenario) in
+                                            self.scenarios.iter().enumerate()
+                                        {
+                                            let index = runs.len();
+                                            // Seed derivation skips the engine
+                                            // coordinate: the engines must agree
+                                            // byte-for-byte on every statistic
+                                            // (the equivalence contract), so runs
+                                            // that differ only in engine share a
+                                            // seed — the axis compares wall
+                                            // clocks, never realizations. With a
+                                            // single engine this is exactly the
+                                            // run index, so pre-engine campaigns
+                                            // (E13/E15/E16) are unchanged.
+                                            let seed_index = (index
+                                                - engine_idx * self.scenarios.len()
+                                                - scenario_idx)
+                                                / self.engines.len()
+                                                + scenario_idx;
+                                            runs.push(RunSpec {
+                                                index,
+                                                size,
+                                                offered_load,
+                                                queue_capacity,
+                                                policy,
+                                                pattern: pattern.clone(),
+                                                mode,
+                                                workload: workload.clone(),
+                                                engine,
+                                                scenario: scenario.clone(),
+                                                cycles: self.cycles,
+                                                warmup: self.warmup,
+                                                seed: iadm_rng::mix(
+                                                    self.campaign_seed,
+                                                    seed_index as u64,
+                                                ),
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -195,6 +221,7 @@ impl SweepSpec {
             policies: vec![RoutingPolicy::FixedC, RoutingPolicy::SsdtBalance],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            workloads: vec![WorkloadSpec::OpenLoop],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -225,6 +252,7 @@ impl SweepSpec {
             ],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            workloads: vec![WorkloadSpec::OpenLoop],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -257,6 +285,7 @@ impl SweepSpec {
             ],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            workloads: vec![WorkloadSpec::OpenLoop],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -297,6 +326,7 @@ impl SweepSpec {
                 SwitchingMode::StoreForward,
                 SwitchingMode::Wormhole { flits: 4, lanes: 1 },
             ],
+            workloads: vec![WorkloadSpec::OpenLoop],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -327,6 +357,7 @@ impl SweepSpec {
             policies: vec![RoutingPolicy::FixedC, RoutingPolicy::SsdtBalance],
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
+            workloads: vec![WorkloadSpec::OpenLoop],
             engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -341,6 +372,69 @@ impl SweepSpec {
         }
     }
 
+    /// Experiment E18: closed-loop request/response service over the
+    /// fabric. Every port is a client looping request → response → think;
+    /// the think time sets the offered request rate (think 0 is the
+    /// saturating limit, think 128 a lightly-loaded service). Four think
+    /// times × four policies × two sizes, healthy and under gentle MTBF
+    /// churn (64 runs). The loads axis is pinned to `[0.0]` because the
+    /// workload owns injection; the observable is p99 *request* latency —
+    /// the full request+response round trip — rather than per-packet
+    /// delivery latency.
+    pub fn e18() -> SweepSpec {
+        SweepSpec {
+            name: "e18".into(),
+            sizes: vec![64, 256],
+            loads: vec![0.0],
+            queue_capacities: vec![4],
+            policies: vec![
+                RoutingPolicy::FixedC,
+                RoutingPolicy::SsdtBalance,
+                RoutingPolicy::RandomSign,
+                RoutingPolicy::TsdtSender,
+            ],
+            patterns: vec![TrafficPattern::Uniform],
+            modes: vec![SwitchingMode::StoreForward],
+            workloads: vec![
+                WorkloadSpec::RequestResponse {
+                    clients: 0,
+                    think: 0,
+                    req: 1,
+                    resp: 1,
+                },
+                WorkloadSpec::RequestResponse {
+                    clients: 0,
+                    think: 8,
+                    req: 1,
+                    resp: 1,
+                },
+                WorkloadSpec::RequestResponse {
+                    clients: 0,
+                    think: 32,
+                    req: 1,
+                    resp: 1,
+                },
+                WorkloadSpec::RequestResponse {
+                    clients: 0,
+                    think: 128,
+                    req: 1,
+                    resp: 1,
+                },
+            ],
+            engines: vec![EngineKind::Synchronous],
+            scenarios: vec![
+                ScenarioSpec::None,
+                ScenarioSpec::Mtbf {
+                    mtbf: 1000,
+                    mttr: 200,
+                },
+            ],
+            cycles: 1500,
+            warmup: 300,
+            campaign_seed: 0xE18,
+        }
+    }
+
     /// Looks a built-in campaign up by name.
     pub fn builtin(name: &str) -> Result<SweepSpec, String> {
         match name {
@@ -349,8 +443,9 @@ impl SweepSpec {
             "e15" => Ok(SweepSpec::e15()),
             "e16" => Ok(SweepSpec::e16()),
             "e17" => Ok(SweepSpec::e17()),
+            "e18" => Ok(SweepSpec::e18()),
             other => Err(format!(
-                "unknown built-in sweep spec {other} (smoke, e13, e15, e16, e17)"
+                "unknown built-in sweep spec {other} (smoke, e13, e15, e16, e17, e18)"
             )),
         }
     }
@@ -915,5 +1010,78 @@ mod tests {
     fn loads_parse_or_fail_loudly() {
         assert_eq!(parse_loads("0.1, 0.5,0.9").unwrap(), vec![0.1, 0.5, 0.9]);
         assert!(parse_loads("0.1,heavy").is_err());
+    }
+
+    #[test]
+    fn workload_axis_multiplies_the_grid_and_varies_before_engine() {
+        let mut spec = SweepSpec::smoke();
+        spec.loads = vec![0.0];
+        spec.workloads = vec![
+            WorkloadSpec::RequestResponse {
+                clients: 0,
+                think: 4,
+                req: 1,
+                resp: 1,
+            },
+            WorkloadSpec::Flow {
+                clients: 4,
+                think: 4,
+                packets: 3,
+            },
+        ];
+        spec.engines = vec![EngineKind::Synchronous, EngineKind::EventDriven];
+        // 2 policies × 2 workloads × 2 engines × 2 scenarios (one load).
+        assert_eq!(spec.grid_len(), 16);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 16);
+        // Workload holds across the full engine × scenario block (4 runs),
+        // then flips; engine pairs inside each block still share seeds.
+        assert_eq!(runs[0].workload, runs[3].workload);
+        assert_ne!(runs[0].workload, runs[4].workload);
+        assert_eq!(runs[0].seed, runs[2].seed, "sync/event pair shares a seed");
+        assert_ne!(runs[0].seed, runs[4].seed, "workloads draw fresh seeds");
+    }
+
+    #[test]
+    fn closed_loop_workloads_reject_open_loop_axes() {
+        let mut spec = SweepSpec::smoke();
+        spec.workloads = vec![WorkloadSpec::RequestResponse {
+            clients: 0,
+            think: 4,
+            req: 1,
+            resp: 1,
+        }];
+        // smoke's loads are nonzero: the workload owns injection, so the
+        // loads axis must collapse to [0.0].
+        assert!(spec.expand().unwrap_err().contains("loads axis"));
+        spec.loads = vec![0.0];
+        spec.modes = vec![SwitchingMode::Wormhole { flits: 4, lanes: 1 }];
+        assert!(spec
+            .expand()
+            .unwrap_err()
+            .contains("store-and-forward runs only"));
+        spec.modes = vec![SwitchingMode::StoreForward];
+        spec.expand()
+            .expect("load 0.0 + SF is the closed-loop shape");
+
+        // Per-size validation: more clients than ports is rejected.
+        spec.workloads = vec![WorkloadSpec::RequestResponse {
+            clients: 1024,
+            think: 4,
+            req: 1,
+            resp: 1,
+        }];
+        assert!(spec.expand().is_err(), "N=8 cannot host 1024 clients");
+    }
+
+    #[test]
+    fn e18_matches_its_advertised_shape() {
+        let spec = SweepSpec::e18();
+        assert_eq!(spec.grid_len(), 2 * 4 * 4 * 2);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 64);
+        assert!(runs.iter().all(|r| r.offered_load == 0.0));
+        assert!(runs.iter().all(|r| r.workload.is_closed()));
+        assert!(SweepSpec::builtin("e18").is_ok());
     }
 }

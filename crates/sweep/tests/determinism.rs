@@ -4,7 +4,7 @@
 
 use iadm_bench::json::assert_round_trip;
 use iadm_fault::scenario::{KindFilter, ScenarioSpec};
-use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern};
+use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern, WorkloadSpec};
 use iadm_sweep::{campaign_json, run_campaign, SweepSpec};
 
 /// A campaign just big and heterogeneous enough that worker scheduling
@@ -32,6 +32,7 @@ fn contract_spec() -> SweepSpec {
             SwitchingMode::StoreForward,
             SwitchingMode::Wormhole { flits: 4, lanes: 1 },
         ],
+        workloads: vec![WorkloadSpec::OpenLoop],
         engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
         scenarios: vec![
             ScenarioSpec::None,
@@ -123,6 +124,114 @@ fn engine_pairs_report_byte_identical_statistics() {
                 b.spec.index
             );
         }
+    }
+}
+
+/// The closed-loop analogue of [`contract_spec`]: the workload axis
+/// carries all four source kinds (request/response, multi-packet flows,
+/// a ring allreduce, and the adversarial schedule) across both engines
+/// and a churning fault scenario, with the loads axis pinned to `[0.0]`
+/// because the workloads own injection.
+fn closed_loop_spec() -> SweepSpec {
+    SweepSpec {
+        name: "closed-loop-contract".into(),
+        sizes: vec![8, 16],
+        loads: vec![0.0],
+        queue_capacities: vec![4],
+        policies: vec![RoutingPolicy::SsdtBalance, RoutingPolicy::TsdtSender],
+        patterns: vec![TrafficPattern::Uniform],
+        modes: vec![SwitchingMode::StoreForward],
+        workloads: vec![
+            WorkloadSpec::RequestResponse {
+                clients: 0,
+                think: 6,
+                req: 1,
+                resp: 1,
+            },
+            WorkloadSpec::Flow {
+                clients: 4,
+                think: 10,
+                packets: 3,
+            },
+            WorkloadSpec::Collective {
+                participants: 8,
+                think: 12,
+            },
+            WorkloadSpec::Adversarial {
+                load: 0.4,
+                burst: 16,
+            },
+        ],
+        engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
+        scenarios: vec![
+            ScenarioSpec::None,
+            ScenarioSpec::Mtbf { mtbf: 60, mttr: 20 },
+        ],
+        cycles: 200,
+        warmup: 40,
+        campaign_seed: 0xC105ED,
+    }
+}
+
+#[test]
+fn closed_loop_artifacts_are_byte_identical_across_1_2_and_8_threads() {
+    // Same-seed closed-loop campaigns must land byte-identically at any
+    // thread count — including every request-latency histogram bucket,
+    // which is the part scheduling jitter would scramble first.
+    let spec = closed_loop_spec();
+    let one = campaign_json(&run_campaign(&spec, 1).unwrap()).encode();
+    let two = campaign_json(&run_campaign(&spec, 2).unwrap()).encode();
+    let eight = campaign_json(&run_campaign(&spec, 8).unwrap()).encode();
+    assert_eq!(one, two, "1-thread vs 2-thread artifacts diverged");
+    assert_eq!(one, eight, "1-thread vs 8-thread artifacts diverged");
+    let value = assert_round_trip(&one).expect("artifact must round-trip");
+    let encoded = value.encode();
+    assert!(encoded.contains("\"run_count\":64"));
+    // All four workload kinds made it into the artifact with the
+    // closed-loop stats block.
+    for label in ["rr:all:6", "flow:4:10:3", "allreduce:8:12", "adv:0.4:16"] {
+        assert!(
+            encoded.contains(&format!("\"workload\":\"{label}\"")),
+            "missing workload {label}"
+        );
+    }
+    assert!(encoded.contains("\"requests_issued\":"));
+    assert!(encoded.contains("\"request_latency_buckets\":["));
+}
+
+#[test]
+fn closed_loop_engine_pairs_report_byte_identical_statistics() {
+    // The sync/event equivalence contract extends to every closed-loop
+    // workload: response-triggered injections scheduled as events must
+    // reproduce the cycle-driven engine's statistics bit-for-bit.
+    use iadm_bench::json::sim_stats_json;
+    let spec = closed_loop_spec();
+    let scenarios = spec.scenarios.len();
+    let result = run_campaign(&spec, 4).unwrap();
+    for block in result.runs.chunks(2 * scenarios) {
+        let (sync, event) = block.split_at(scenarios);
+        for (a, b) in sync.iter().zip(event) {
+            assert_eq!(a.spec.engine, EngineKind::Synchronous);
+            assert_eq!(b.spec.engine, EngineKind::EventDriven);
+            assert_eq!(a.spec.workload, b.spec.workload);
+            assert_eq!(a.spec.seed, b.spec.seed);
+            assert_eq!(
+                sim_stats_json(&a.stats).encode(),
+                sim_stats_json(&b.stats).encode(),
+                "engine pair diverged at run {} / {} ({})",
+                a.spec.index,
+                b.spec.index,
+                a.spec.workload.label()
+            );
+        }
+        // The runs did real work (not a vacuous pass): request-tracking
+        // workloads issued requests; the adversarial schedule (which has
+        // no request ledger) at least injected packets.
+        assert!(block.iter().all(
+            |r| matches!(r.spec.workload, WorkloadSpec::Adversarial { .. })
+                || r.stats.workload.issued > 0
+        ));
+        assert!(block.iter().all(|r| r.stats.injected > 0));
     }
 }
 

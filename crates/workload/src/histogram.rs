@@ -6,8 +6,8 @@
 //! edges records every delivery in O(1) with a fixed 64-word footprint,
 //! and its percentile bounds are exact enough to rank policies: the p-th
 //! percentile is reported as the upper edge of the bucket holding the
-//! p-th ranked sample (tightened to the observed maximum by
-//! [`crate::SimStats::percentile`]).
+//! p-th ranked sample (consumers tighten the bound to the observed
+//! maximum — see the simulator's `SimStats::percentile`).
 
 /// Number of buckets: one per possible bit-length of a `u64` latency.
 pub const BUCKETS: usize = 64;

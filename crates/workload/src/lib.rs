@@ -1,0 +1,41 @@
+//! Workload sources for the IADM packet simulator: the subsystem that
+//! turns the fabric from a packet testbed into the interconnect of a
+//! *service*.
+//!
+//! The paper (and experiments E7/E13–E17) evaluates routing policies
+//! under open-loop synthetic injection: every source flips a Bernoulli
+//! coin every cycle, regardless of whether earlier packets ever arrived.
+//! Real services are closed-loop — a client issues a request, waits for
+//! the response, thinks, and only then issues again — so offered load
+//! *reacts* to fabric performance, and the metric that matters is
+//! end-to-end completion latency (p50/p95/p99 per request), not
+//! per-packet hop statistics. This crate provides:
+//!
+//! - [`WorkloadSource`] — the pull-based trait the simulator engines
+//!   drive, with delivery/loss feedback hooks and an event-engine wake
+//!   contract (see `source.rs` for the determinism rules);
+//! - [`ClosedLoop`] — request/response clients and multi-packet flows
+//!   with per-operation completion tracking and latency histograms;
+//! - [`Collective`] — a barrier-synchronized ring allreduce whose
+//!   completion time is a straggler metric;
+//! - [`Adversarial`] — a phase-shifting bit-reversal schedule in the
+//!   Andrews et al. adversarial-queueing style;
+//! - [`WorkloadSpec`] — the declarative sweep/CLI axis that builds the
+//!   above (with `OpenLoop` as the do-nothing compatibility point);
+//! - the [`LatencyHistogram`] and [`TrafficPattern`] types that
+//!   previously lived in `iadm-sim` (re-exported from there unchanged).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+mod source;
+mod sources;
+mod spec;
+mod traffic;
+
+pub use histogram::LatencyHistogram;
+pub use source::{Injection, WorkloadSource, WorkloadStats, NO_OP};
+pub use sources::{Adversarial, ClosedLoop, Collective, OpenLoopSource};
+pub use spec::WorkloadSpec;
+pub use traffic::TrafficPattern;

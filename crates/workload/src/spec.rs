@@ -1,0 +1,443 @@
+//! Declarative workload specs: the sweep-grid/CLI face of the workload
+//! subsystem. A spec is a pure value (labelable, parseable, comparable)
+//! that [`WorkloadSpec::build`]s into a live [`WorkloadSource`] for one
+//! run.
+
+use crate::source::WorkloadSource;
+use crate::sources::{Adversarial, ClosedLoop, Collective};
+use iadm_topology::Size;
+
+/// Largest accepted mean think time (keeps timer arithmetic far from
+/// overflow and labels readable).
+const MAX_THINK: u64 = 1 << 20;
+
+/// Largest accepted packets-per-leg count.
+const MAX_PACKETS: u32 = 64;
+
+/// A declarative workload choice for one simulation run.
+///
+/// `OpenLoop` is the compatibility point: it builds to *no* source at
+/// all, leaving the engines' inline Bernoulli arrivals phase in charge —
+/// which is what keeps every pre-workload parity golden byte-identical.
+/// Every other variant requires `offered_load == 0.0` (the workload owns
+/// injection) and store-and-forward switching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Open-loop Bernoulli injection at the run's `offered_load` over
+    /// the run's traffic pattern (the inline arrivals phase; default).
+    OpenLoop,
+    /// Closed-loop request/response clients (`clients == 0` means every
+    /// node): issue `req` packets to a random server, await `resp`
+    /// response packets, think (mean `think` cycles), repeat.
+    RequestResponse {
+        /// Client population (`0` = all nodes).
+        clients: usize,
+        /// Mean think time in cycles (sampled uniform on `[0, 2·think]`).
+        think: u64,
+        /// Packets per request leg.
+        req: u32,
+        /// Packets per response leg.
+        resp: u32,
+    },
+    /// Closed-loop multi-packet flows: like requests, but the operation
+    /// completes when the `packets` forward packets land (no response).
+    Flow {
+        /// Flow-issuing population (`0` = all nodes).
+        clients: usize,
+        /// Mean think time between flows.
+        think: u64,
+        /// Packets per flow.
+        packets: u32,
+    },
+    /// Repeating barrier-synchronized ring allreduce over nodes
+    /// `0..participants` (`0` = all nodes).
+    Collective {
+        /// Ring size (`0` = all nodes; otherwise `2..=N`).
+        participants: usize,
+        /// Mean think time between instances.
+        think: u64,
+    },
+    /// Andrews-style adversarial schedule: Bernoulli injection at
+    /// `load` toward a bit-reversal permutation that shifts every
+    /// `burst` cycles.
+    Adversarial {
+        /// Per-source injection probability per cycle.
+        load: f64,
+        /// Phase length in cycles.
+        burst: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Does this spec drive injection itself (every variant but
+    /// [`WorkloadSpec::OpenLoop`])?
+    pub fn is_closed(&self) -> bool {
+        !matches!(self, WorkloadSpec::OpenLoop)
+    }
+
+    /// Validates the spec against a network size.
+    pub fn validate(&self, size: Size) -> Result<(), String> {
+        let check_clients = |clients: usize| {
+            if clients > size.n() {
+                Err(format!(
+                    "{clients} clients exceed network size {}",
+                    size.n()
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let check_think = |think: u64| {
+            if think > MAX_THINK {
+                Err(format!("think time {think} exceeds {MAX_THINK}"))
+            } else {
+                Ok(())
+            }
+        };
+        let check_packets = |what: &str, count: u32, min: u32| {
+            if count < min || count > MAX_PACKETS {
+                Err(format!(
+                    "{what} count {count} outside {min}..={MAX_PACKETS}"
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            WorkloadSpec::OpenLoop => Ok(()),
+            WorkloadSpec::RequestResponse {
+                clients,
+                think,
+                req,
+                resp,
+            } => {
+                check_clients(clients)?;
+                check_think(think)?;
+                check_packets("request packet", req, 1)?;
+                check_packets("response packet", resp, 1)
+            }
+            WorkloadSpec::Flow {
+                clients,
+                think,
+                packets,
+            } => {
+                check_clients(clients)?;
+                check_think(think)?;
+                check_packets("flow packet", packets, 1)
+            }
+            WorkloadSpec::Collective {
+                participants,
+                think,
+            } => {
+                check_think(think)?;
+                if participants == 1 || participants > size.n() {
+                    Err(format!(
+                        "ring size {participants} outside 2..={} (or 0 for all)",
+                        size.n()
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            WorkloadSpec::Adversarial { load, burst } => {
+                if !load.is_finite() || load <= 0.0 || load > 1.0 {
+                    Err(format!("adversarial load {load} outside (0, 1]"))
+                } else if burst == 0 {
+                    Err("adversarial burst must be at least 1 cycle".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Builds the live source for a run, or `None` for the open-loop
+    /// compatibility spec (the engine keeps its inline arrivals phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics on specs [`WorkloadSpec::validate`] rejects.
+    pub fn build(&self, size: Size, warmup: u64) -> Option<Box<dyn WorkloadSource>> {
+        self.validate(size)
+            .unwrap_or_else(|e| panic!("invalid workload spec: {e}"));
+        let all = |count: usize| if count == 0 { size.n() } else { count };
+        match *self {
+            WorkloadSpec::OpenLoop => None,
+            WorkloadSpec::RequestResponse {
+                clients,
+                think,
+                req,
+                resp,
+            } => Some(Box::new(ClosedLoop::new(
+                size,
+                all(clients),
+                think,
+                req,
+                resp,
+                warmup,
+            ))),
+            WorkloadSpec::Flow {
+                clients,
+                think,
+                packets,
+            } => Some(Box::new(ClosedLoop::new(
+                size,
+                all(clients),
+                think,
+                packets,
+                0,
+                warmup,
+            ))),
+            WorkloadSpec::Collective {
+                participants,
+                think,
+            } => Some(Box::new(Collective::new(
+                size,
+                all(participants),
+                think,
+                warmup,
+            ))),
+            WorkloadSpec::Adversarial { load, burst } => {
+                Some(Box::new(Adversarial::new(size, load, burst)))
+            }
+        }
+    }
+
+    /// The canonical grid/CLI label (`open`, `rr:all:8`,
+    /// `rr:16:8:2x2`, `flow:all:0:4`, `allreduce:8:32`, `adv:0.3:50`).
+    pub fn label(&self) -> String {
+        let pop = |count: usize| {
+            if count == 0 {
+                "all".to_string()
+            } else {
+                count.to_string()
+            }
+        };
+        match *self {
+            WorkloadSpec::OpenLoop => "open".into(),
+            WorkloadSpec::RequestResponse {
+                clients,
+                think,
+                req,
+                resp,
+            } => {
+                if (req, resp) == (1, 1) {
+                    format!("rr:{}:{think}", pop(clients))
+                } else {
+                    format!("rr:{}:{think}:{req}x{resp}", pop(clients))
+                }
+            }
+            WorkloadSpec::Flow {
+                clients,
+                think,
+                packets,
+            } => format!("flow:{}:{think}:{packets}", pop(clients)),
+            WorkloadSpec::Collective {
+                participants,
+                think,
+            } => format!("allreduce:{}:{think}", pop(participants)),
+            WorkloadSpec::Adversarial { load, burst } => format!("adv:{load}:{burst}"),
+        }
+    }
+
+    /// Parses a label produced by [`WorkloadSpec::label`] (the sweep
+    /// `--workloads` / simulate `--workload` syntax).
+    pub fn parse(text: &str) -> Result<WorkloadSpec, String> {
+        let bad = |what: &str| format!("bad workload `{text}`: {what}");
+        let parse_pop = |part: &str| -> Result<usize, String> {
+            if part == "all" {
+                Ok(0)
+            } else {
+                part.parse::<usize>()
+                    .ok()
+                    .filter(|&c| c > 0)
+                    .ok_or_else(|| bad("population must be a positive count or `all`"))
+            }
+        };
+        let parse_u64 = |part: &str, what: &str| -> Result<u64, String> {
+            part.parse::<u64>().map_err(|_| bad(what))
+        };
+        let parts: Vec<&str> = text.split(':').collect();
+        match parts.as_slice() {
+            ["open"] => Ok(WorkloadSpec::OpenLoop),
+            ["rr", clients, think] => Ok(WorkloadSpec::RequestResponse {
+                clients: parse_pop(clients)?,
+                think: parse_u64(think, "think time must be an integer")?,
+                req: 1,
+                resp: 1,
+            }),
+            ["rr", clients, think, shape] => {
+                let (req, resp) = shape
+                    .split_once('x')
+                    .and_then(|(r, s)| Some((r.parse::<u32>().ok()?, s.parse::<u32>().ok()?)))
+                    .ok_or_else(|| bad("packet shape must be <req>x<resp>"))?;
+                Ok(WorkloadSpec::RequestResponse {
+                    clients: parse_pop(clients)?,
+                    think: parse_u64(think, "think time must be an integer")?,
+                    req,
+                    resp,
+                })
+            }
+            ["flow", clients, think, packets] => Ok(WorkloadSpec::Flow {
+                clients: parse_pop(clients)?,
+                think: parse_u64(think, "think time must be an integer")?,
+                packets: packets
+                    .parse::<u32>()
+                    .map_err(|_| bad("flow packet count must be an integer"))?,
+            }),
+            ["allreduce", participants, think] => Ok(WorkloadSpec::Collective {
+                participants: parse_pop(participants)?,
+                think: parse_u64(think, "think time must be an integer")?,
+            }),
+            ["adv", load, burst] => Ok(WorkloadSpec::Adversarial {
+                load: load
+                    .parse::<f64>()
+                    .map_err(|_| bad("adversarial load must be a number"))?,
+                burst: parse_u64(burst, "burst must be an integer")?,
+            }),
+            _ => Err(bad(
+                "expected open | rr:<clients|all>:<think>[:<req>x<resp>] | \
+                 flow:<clients|all>:<think>:<packets> | \
+                 allreduce:<participants|all>:<think> | adv:<load>:<burst>",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size16() -> Size {
+        Size::new(16).unwrap()
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        let specs = [
+            WorkloadSpec::OpenLoop,
+            WorkloadSpec::RequestResponse {
+                clients: 0,
+                think: 8,
+                req: 1,
+                resp: 1,
+            },
+            WorkloadSpec::RequestResponse {
+                clients: 12,
+                think: 0,
+                req: 2,
+                resp: 3,
+            },
+            WorkloadSpec::Flow {
+                clients: 0,
+                think: 16,
+                packets: 4,
+            },
+            WorkloadSpec::Collective {
+                participants: 8,
+                think: 32,
+            },
+            WorkloadSpec::Adversarial {
+                load: 0.3,
+                burst: 50,
+            },
+        ];
+        for spec in specs {
+            let label = spec.label();
+            assert_eq!(WorkloadSpec::parse(&label).unwrap(), spec, "{label}");
+            assert!(spec.validate(size16()).is_ok(), "{label}");
+        }
+    }
+
+    #[test]
+    fn default_packet_shape_is_elided_from_the_label() {
+        let spec = WorkloadSpec::RequestResponse {
+            clients: 0,
+            think: 5,
+            req: 1,
+            resp: 1,
+        };
+        assert_eq!(spec.label(), "rr:all:5");
+    }
+
+    #[test]
+    fn malformed_labels_are_rejected() {
+        for text in [
+            "",
+            "bogus",
+            "rr",
+            "rr:all",
+            "rr:all:x",
+            "rr:0:5",
+            "rr:all:5:2",
+            "rr:all:5:2x",
+            "flow:all:5",
+            "allreduce:8",
+            "adv:0.3",
+            "adv:x:50",
+            "open:1",
+        ] {
+            assert!(WorkloadSpec::parse(text).is_err(), "{text:?} parsed");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_specs() {
+        let size = size16();
+        let bad = [
+            WorkloadSpec::RequestResponse {
+                clients: 17,
+                think: 0,
+                req: 1,
+                resp: 1,
+            },
+            WorkloadSpec::RequestResponse {
+                clients: 0,
+                think: 0,
+                req: 0,
+                resp: 1,
+            },
+            WorkloadSpec::Flow {
+                clients: 0,
+                think: 0,
+                packets: 65,
+            },
+            WorkloadSpec::Collective {
+                participants: 1,
+                think: 0,
+            },
+            WorkloadSpec::Collective {
+                participants: 17,
+                think: 0,
+            },
+            WorkloadSpec::Adversarial {
+                load: 0.0,
+                burst: 10,
+            },
+            WorkloadSpec::Adversarial {
+                load: 1.5,
+                burst: 10,
+            },
+            WorkloadSpec::Adversarial {
+                load: 0.5,
+                burst: 0,
+            },
+        ];
+        for spec in bad {
+            assert!(spec.validate(size).is_err(), "{spec:?} validated");
+        }
+    }
+
+    #[test]
+    fn open_loop_builds_to_no_source_and_closed_specs_build_to_one() {
+        assert!(WorkloadSpec::OpenLoop.build(size16(), 0).is_none());
+        assert!(!WorkloadSpec::OpenLoop.is_closed());
+        let rr = WorkloadSpec::parse("rr:all:4").unwrap();
+        assert!(rr.is_closed());
+        assert!(rr.build(size16(), 10).is_some());
+        assert!(WorkloadSpec::parse("allreduce:all:4")
+            .unwrap()
+            .build(size16(), 0)
+            .is_some());
+    }
+}

@@ -12,6 +12,9 @@
 # Every run — pass or fail — also appends its fresh report as one JSON
 # line to results/bench_history.jsonl, so the perf trajectory accumulates
 # PR over PR instead of only ever being "within tolerance of last time".
+# The --history flag gates against the *best* rate each (n, policy) has
+# ever posted to that file — the ratchet — and prints a one-line delta
+# per case so a glance shows where this PR sits on the trajectory.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,7 +31,8 @@ history="results/bench_history.jsonl"
 cargo build --release --offline -p iadm-bench
 
 status=0
-report="$(./target/release/simbench --check "$baseline" --tolerance "$tolerance")" || status=$?
+report="$(./target/release/simbench --check "$baseline" --tolerance "$tolerance" \
+    --history "$history")" || status=$?
 if [ -n "$report" ]; then
     mkdir -p results
     printf '%s\n' "$report" >> "$history"

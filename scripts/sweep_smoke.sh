@@ -97,7 +97,59 @@ fi
 
 echo "sweep_smoke: engines OK ($(wc -c < "$eng_out") bytes)"
 
+# Lane smoke (E16-style row): a wormhole campaign across lanes ∈ {1,2,4}
+# must label each lane count distinctly — the multi-lane axis is how the
+# virtual-channel experiments scale, so all three labels must survive the
+# artifact round-trip.
+lanes_out="$(mktemp /tmp/iadm_sweep_lanes.XXXXXX.json)"
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out"' EXIT
+
+./target/release/iadm-cli sweep --n 8 --loads 0.4 --policies ssdt \
+    --cycles 300 --modes wormhole:4,wormhole:4:2,wormhole:4:4 \
+    --threads 2 --out "$lanes_out"
+
+[ -s "$lanes_out" ] || { echo "sweep_smoke: empty lanes artifact" >&2; exit 1; }
+for lane_mode in '"mode":"wormhole:4"' '"mode":"wormhole:4:2"' '"mode":"wormhole:4:4"'; do
+    grep -q "$lane_mode" "$lanes_out" || {
+        echo "sweep_smoke: lanes artifact missing $lane_mode" >&2
+        exit 1
+    }
+done
+
+echo "sweep_smoke: lanes {1,2,4} OK ($(wc -c < "$lanes_out") bytes)"
+
+# Closed-loop smoke: a tiny request/response + flow campaign must label
+# each workload and report the request-latency ledger (issued counts and
+# p99) that only closed-loop runs emit.
+wl_out="$(mktemp /tmp/iadm_sweep_wl.XXXXXX.json)"
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$wl_out"' EXIT
+
+./target/release/iadm-cli sweep --n 8 --policies ssdt,tsdt \
+    --cycles 300 --workloads rr:all:8,flow:4:8:2 --engines sync,event \
+    --faults none,mtbf:80:30 --threads 2 --out "$wl_out"
+
+[ -s "$wl_out" ] || { echo "sweep_smoke: empty closed-loop artifact" >&2; exit 1; }
+grep -q '"workload":"rr:all:8"' "$wl_out" || {
+    echo "sweep_smoke: closed-loop artifact missing the rr workload label" >&2
+    exit 1
+}
+grep -q '"workload":"flow:4:8:2"' "$wl_out" || {
+    echo "sweep_smoke: closed-loop artifact missing the flow workload label" >&2
+    exit 1
+}
+grep -q '"requests_issued":' "$wl_out" || {
+    echo "sweep_smoke: closed-loop runs reported no request ledger" >&2
+    exit 1
+}
+grep -q '"request_latency_p99":' "$wl_out" || {
+    echo "sweep_smoke: closed-loop runs reported no request-latency tail" >&2
+    exit 1
+}
+
+echo "sweep_smoke: closed-loop OK ($(wc -c < "$wl_out") bytes)"
+
 # Perf trajectory: the simulator benchmark must stay within tolerance of
-# the checked-in BENCH_sim.json (see scripts/bench_gate.sh), and each
-# gate run appends its report to results/bench_history.jsonl.
+# the checked-in BENCH_sim.json (see scripts/bench_gate.sh) AND of the
+# best rate each configuration ever posted to results/bench_history.jsonl;
+# each gate run appends its report to that history.
 sh scripts/bench_gate.sh
