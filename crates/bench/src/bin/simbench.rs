@@ -14,6 +14,16 @@
 //! `FixedC/lowload/event`) so the (n, policy) gate key keeps both
 //! trajectories separately.
 //!
+//! A third section (`campbench`) measures campaign throughput — **runs
+//! per second** over a 1000-run grid that shares one (size, scenario)
+//! pair, the fleet-campaign shape where per-run setup dominates. The
+//! `campbench/fresh` case rebuilds the blockage map and route table
+//! every run (the pre-sharing executor); `campbench/shared` hands every
+//! run one `Arc<BlockageMap>` + `Arc<RouteLut>` pair the way
+//! `iadm-sweep`'s executor does. For these two cases `packets_per_sec`
+//! carries runs/sec, so the same (n, policy) gate machinery tracks
+//! campaign throughput PR over PR.
+//!
 //! Usage:
 //!   simbench                      print the report JSON to stdout
 //!   simbench --out PATH           also write it to PATH
@@ -34,8 +44,10 @@
 //! of last time".
 
 use iadm_bench::json::{assert_round_trip, parse, Json};
-use iadm_sim::{EngineKind, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
+use iadm_fault::scenario::ScenarioSpec;
+use iadm_sim::{EngineKind, RouteLut, RoutingPolicy, SimConfig, Simulator, TrafficPattern};
 use iadm_topology::Size;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// `(N, simulated cycles)`: cycle counts scaled down with N so every
@@ -66,6 +78,86 @@ const ENGINES: [(EngineKind, &str); 2] = [
     (EngineKind::Synchronous, "FixedC/lowload/sync"),
     (EngineKind::EventDriven, "FixedC/lowload/event"),
 ];
+
+/// Campaign-engine section (`campbench`): `(N, cycles per run, runs)`
+/// for a many-run shared-topology grid — the fleet-campaign shape where
+/// per-run setup (scenario realization + route-table build) is a large
+/// share of each run's cost. The grid holds one `(size, scenario)` pair
+/// and varies only seed and load, exactly the case the campaign
+/// executor's shared immutable bases exist for.
+const CAMPAIGN: (usize, usize, usize) = (1024, 12, 1000);
+
+/// `campbench/fresh` rebuilds the blockage map and route table per run
+/// (the pre-sharing executor); `campbench/shared` clones one
+/// `Arc<BlockageMap>` + `Arc<RouteLut>` pair per run. For these two
+/// cases `packets_per_sec` carries **runs per second** (the campaign
+/// throughput the gate tracks); `delivered` still counts packets and
+/// must be identical between the two — sharing may never change
+/// statistics.
+const CAMPAIGN_VARIANTS: [(bool, &str); 2] =
+    [(false, "campbench/fresh"), (true, "campbench/shared")];
+
+fn bench_campaign(share_bases: bool, name: &'static str) -> Case {
+    let (n, cycles, runs) = CAMPAIGN;
+    let size = Size::new(n).expect("benchmark sizes are powers of two");
+    let scenario = ScenarioSpec::SwitchBandBurst {
+        stage: 0,
+        first: 0,
+        count: 64,
+    };
+    let mut delivered = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let shared = share_bases.then(|| {
+            let blockages = Arc::new(scenario.realize(size, SEED));
+            let lut = Arc::new(RouteLut::new(size, &blockages));
+            (blockages, lut)
+        });
+        delivered = 0;
+        for run in 0..runs {
+            let config = SimConfig {
+                size,
+                queue_capacity: 4,
+                cycles,
+                warmup: cycles / 5,
+                // Low absolute rate (the event engine's regime), varied
+                // per run like a load axis would.
+                offered_load: (0.5 + (run % 8) as f64 * 0.1) / n as f64,
+                seed: iadm_rng::mix(SEED, run as u64),
+                engine: EngineKind::EventDriven,
+            };
+            let timeline = scenario.timeline(size, config.seed, cycles as u64);
+            let sim = match &shared {
+                Some((blockages, lut)) => Simulator::with_shared_lut(
+                    config,
+                    RoutingPolicy::SsdtBalance,
+                    TrafficPattern::Uniform,
+                    blockages.clone(),
+                    lut.clone(),
+                    timeline,
+                ),
+                None => Simulator::with_fault_timeline(
+                    config,
+                    RoutingPolicy::SsdtBalance,
+                    TrafficPattern::Uniform,
+                    scenario.realize(size, SEED),
+                    timeline,
+                ),
+            };
+            delivered += sim.run().delivered;
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Case {
+        n,
+        policy: name,
+        cycles: cycles * runs,
+        delivered,
+        cycles_per_sec: (cycles * runs) as f64 / best,
+        packets_per_sec: runs as f64 / best,
+    }
+}
 
 struct Case {
     n: usize,
@@ -341,6 +433,26 @@ fn main() {
             event.packets_per_sec / sync.packets_per_sec
         );
     }
+    for (share_bases, name) in CAMPAIGN_VARIANTS {
+        let case = bench_campaign(share_bases, name);
+        eprintln!(
+            "N={:<5} {:<22} {:>12.1} cycles/s {:>14.1} runs/s    (delivered {})",
+            case.n, case.policy, case.cycles_per_sec, case.packets_per_sec, case.delivered
+        );
+        cases.push(case);
+    }
+    let [fresh, shared] = &cases[cases.len() - 2..] else {
+        unreachable!()
+    };
+    assert_eq!(
+        fresh.delivered, shared.delivered,
+        "shared bases must not change campaign statistics"
+    );
+    eprintln!(
+        "N={:<5} campaign shared-bases speedup: {:.2}x",
+        CAMPAIGN.0,
+        shared.packets_per_sec / fresh.packets_per_sec
+    );
 
     let doc = report(&cases);
     let encoded = doc.encode();

@@ -53,6 +53,7 @@ const USAGE: &str = "usage:
                 [--workloads open,rr:all:32,flow:8:16:4,allreduce:all:64,adv:0.5:32]
                 [--cycles <c>] [--warmup <w>] [--seed <s>]
                 [--faults none,rand:<k>,mtbf:<m>:<r>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]
+                [--shard <k>/<m>] [--journal <path>] [--resume <path>] [--merge <p1,p2,…>]
 
 fault scenarios: `mtbf:<mtbf>:<mttr>` schedules transient link failures
 (exponential fail/repair holding times, repaired online mid-run); the
@@ -73,7 +74,16 @@ must stay 0): `rr:<clients>:<think>` runs a closed request → response →
 think loop (`all` = one client per port) and reports request-latency
 percentiles, `flow:…:<pkts>` sends multi-packet flows, `allreduce`
 runs a barrier-synchronized ring allreduce, and `adv:<load>:<burst>`
-plays an adversarial moving-permutation schedule.";
+plays an adversarial moving-permutation schedule.
+
+fleet-scale sweeps: `--journal <path>` streams the campaign (memory
+stays flat) and appends each finished run to an on-disk progress
+journal; `--resume <path>` picks an interrupted journal back up,
+re-running only the missing runs; `--shard <k>/<m>` executes the k-th
+of m contiguous run-index ranges (combine with --journal, one journal
+per shard, possibly on separate machines); `--merge <p1,p2,…>` stitches
+shard journals into the single artifact, byte-identical to a
+one-process `--out` run. Streamed sweeps skip the summary tables.";
 
 /// A tiny flag parser: collects `--key value`, `-k value` pairs and
 /// repeated `--block` occurrences.
@@ -228,6 +238,10 @@ fn run(args: &[String]) -> Result<(), String> {
             "warmup",
             "seed",
             "faults",
+            "shard",
+            "journal",
+            "resume",
+            "merge",
         ],
         other => return Err(format!("unknown command {other}")),
     };
@@ -625,6 +639,13 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
 
     let threads = args.usize_or("threads", 1)?;
+    if let Some(paths) = args.get("merge") {
+        return cmd_sweep_merge(&spec, paths, args.get("out"));
+    }
+    if args.get("shard").is_some() || args.get("journal").is_some() || args.get("resume").is_some()
+    {
+        return cmd_sweep_stream(&spec, threads, args);
+    }
     let started = std::time::Instant::now();
     let result = run_campaign(&spec, threads)?;
     let elapsed = started.elapsed();
@@ -659,6 +680,203 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             println!();
             println!("{text}");
         }
+    }
+    Ok(())
+}
+
+/// Parses the `--shard k/m` syntax into its 1-based (k, m) pair.
+fn parse_shard(text: &str) -> Result<(usize, usize), String> {
+    let err = || format!("--shard wants k/m (e.g. 2/4), got {text:?}");
+    let (k, m) = text.split_once('/').ok_or_else(err)?;
+    Ok((
+        k.trim().parse().map_err(|_| err())?,
+        m.trim().parse().map_err(|_| err())?,
+    ))
+}
+
+/// The fleet-scale sweep path: stream fragments to a progress journal
+/// and (for a full-range run) the artifact, holding only the
+/// out-of-order reassembly window in memory.
+fn cmd_sweep_stream(
+    spec: &iadm_sweep::SweepSpec,
+    threads: usize,
+    args: &Args,
+) -> Result<(), String> {
+    use std::io::Write;
+
+    let total = spec.grid_len();
+    let (k, m) = match args.get("shard") {
+        Some(text) => parse_shard(text)?,
+        None => (1, 1),
+    };
+    let range = iadm_sweep::shard_range(total, k, m)?;
+    let journal_path = match (args.get("journal"), args.get("resume")) {
+        (Some(_), Some(_)) => {
+            return Err("--resume already names the journal; drop --journal".into())
+        }
+        (Some(path), None) => {
+            // A fresh journal must not clobber an interrupted one.
+            if std::fs::metadata(path)
+                .map(|meta| meta.len() > 0)
+                .unwrap_or(false)
+            {
+                return Err(format!(
+                    "journal {path} already exists; resume it with --resume {path}"
+                ));
+            }
+            Some(path)
+        }
+        (None, path) => path,
+    };
+    // Resumed fragments: validated against this spec's name, seed and
+    // run count, so a journal can never leak into the wrong campaign.
+    let done = match args.get("resume") {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => iadm_sweep::parse_journal(&text, spec, total)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+            Err(e) => return Err(format!("cannot read {path}: {e}")),
+        },
+        None => Default::default(),
+    };
+    // The journal is rewritten from its validated lines (header first,
+    // replayed fragments by index), which also heals a torn final line
+    // from a killed process before fresh appends land after it.
+    let mut journal = match journal_path {
+        Some(path) => {
+            let mut file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot write journal {path}: {e}"))?;
+            let mut text = iadm_sweep::journal_header(spec, total);
+            let mut indices: Vec<&usize> = done.keys().collect();
+            indices.sort_unstable();
+            for index in indices {
+                text.push('\n');
+                text.push_str(&done[index]);
+            }
+            text.push('\n');
+            file.write_all(text.as_bytes())
+                .map_err(|e| format!("cannot write journal {path}: {e}"))?;
+            Some((file, path))
+        }
+        None => None,
+    };
+    let full_range = range == (0..total);
+    if !full_range && journal.is_none() {
+        return Err(format!(
+            "shard {k}/{m} covers runs {}..{} only; add --journal <path> to record it, \
+             then stitch shards with --merge",
+            range.start, range.end
+        ));
+    }
+    // The artifact streams to --out (or stdout) only when this process
+    // covers the whole campaign; a shard's output is its journal.
+    let mut artifact: Option<Box<dyn Write>> = if full_range {
+        match args.get("out") {
+            Some(path) => Some(Box::new(std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?,
+            ))),
+            None => None,
+        }
+    } else {
+        if args.get("out").is_some() {
+            return Err("a shard cannot write --out; merge the shard journals instead".into());
+        }
+        None
+    };
+    if let Some(writer) = artifact.as_mut() {
+        writer
+            .write_all(
+                iadm_sweep::artifact_prefix(&spec.name, spec.campaign_seed, total).as_bytes(),
+            )
+            .map_err(|e| format!("artifact write failed: {e}"))?;
+    }
+    let started = std::time::Instant::now();
+    let first = std::cell::Cell::new(true);
+    let summary = iadm_sweep::stream_campaign(
+        spec,
+        threads,
+        range.clone(),
+        &done,
+        &mut |_, fragment| {
+            if let Some((file, path)) = journal.as_mut() {
+                file.write_all(fragment.as_bytes())
+                    .and_then(|()| file.write_all(b"\n"))
+                    .map_err(|e| format!("cannot append to journal {path}: {e}"))?;
+            }
+            Ok(())
+        },
+        &mut |_, fragment| {
+            let Some(writer) = artifact.as_mut() else {
+                return Ok(());
+            };
+            if !first.replace(false) {
+                writer
+                    .write_all(b",")
+                    .map_err(|e| format!("artifact write failed: {e}"))?;
+            }
+            writer
+                .write_all(fragment.as_bytes())
+                .map_err(|e| format!("artifact write failed: {e}"))
+        },
+    )?;
+    let elapsed = started.elapsed();
+    if let Some(writer) = artifact.as_mut() {
+        writer
+            .write_all(iadm_sweep::ARTIFACT_SUFFIX.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("artifact write failed: {e}"))?;
+    }
+    println!(
+        "campaign {} · shard {}/{} · runs {}..{} of {} · {} executed, {} replayed · {} thread(s) · {:.2} s wall",
+        spec.name,
+        k,
+        m,
+        summary.range.start,
+        summary.range.end,
+        summary.total,
+        summary.executed,
+        summary.replayed,
+        threads,
+        elapsed.as_secs_f64()
+    );
+    if let Some((_, path)) = journal {
+        println!("journal {path}");
+    }
+    if full_range {
+        if let Some(path) = args.get("out") {
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Stitches shard journals into the canonical campaign artifact —
+/// byte-identical to a single-process `--out` run of the same spec.
+fn cmd_sweep_merge(
+    spec: &iadm_sweep::SweepSpec,
+    paths: &str,
+    out: Option<&str>,
+) -> Result<(), String> {
+    let total = spec.grid_len();
+    let mut journals = Vec::new();
+    for path in paths.split(',') {
+        let path = path.trim();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        journals.push(
+            iadm_sweep::parse_journal(&text, spec, total).map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    let fragments = iadm_sweep::union_fragments(journals)?;
+    let text = iadm_sweep::merge_fragments(spec, total, &fragments)?;
+    iadm_bench::json::assert_round_trip(&text)
+        .map_err(|e| format!("merged campaign JSON failed validation: {e}"))?;
+    println!("campaign {} · merged {} runs", spec.name, total);
+    match out {
+        Some(path) => {
+            std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
     }
     Ok(())
 }
@@ -1000,6 +1218,72 @@ mod tests {
             vec!["simulate", "-n", "8", "--faults", "double:S9:0"],
             vec!["simulate", "-n", "8", "--mode", "wormhole:4:0"],
             vec!["simulate", "-n", "8", "--mode", "virtual-cut"],
+        ] {
+            let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            assert!(run(&args).is_err(), "{case:?} must fail");
+        }
+    }
+
+    /// Runs `sweep` with the given extra flags, as strings.
+    fn sweep(extra: &[&str]) -> Result<(), String> {
+        let mut args: Vec<String> = ["sweep", "--spec", "smoke", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        args.extend(extra.iter().map(|s| s.to_string()));
+        run(&args)
+    }
+
+    #[test]
+    fn sharded_sweeps_merge_into_the_single_process_artifact() {
+        let dir = std::env::temp_dir().join(format!("iadm-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        // Reference: one process, whole campaign, in-memory path.
+        sweep(&["--out", &p("direct.json")]).unwrap();
+        // Same campaign streamed whole: identical bytes.
+        sweep(&["--journal", &p("whole.jnl"), "--out", &p("streamed.json")]).unwrap();
+        let direct = std::fs::read(p("direct.json")).unwrap();
+        assert_eq!(std::fs::read(p("streamed.json")).unwrap(), direct);
+        // Two shards, then merge: identical bytes again.
+        sweep(&["--shard", "1/2", "--journal", &p("s1.jnl")]).unwrap();
+        sweep(&["--shard", "2/2", "--journal", &p("s2.jnl")]).unwrap();
+        let merge_list = format!("{},{}", p("s1.jnl"), p("s2.jnl"));
+        sweep(&["--merge", &merge_list, "--out", &p("merged.json")]).unwrap();
+        assert_eq!(std::fs::read(p("merged.json")).unwrap(), direct);
+        // A complete journal resumes to a no-op and still writes the
+        // exact artifact.
+        sweep(&["--resume", &p("whole.jnl"), "--out", &p("resumed.json")]).unwrap();
+        assert_eq!(std::fs::read(p("resumed.json")).unwrap(), direct);
+        // Merging only one shard must fail loudly (coverage gap).
+        assert!(sweep(&["--merge", &p("s1.jnl"), "--out", &p("bad.json")]).is_err());
+        // An existing journal cannot be clobbered by --journal.
+        assert!(sweep(&["--journal", &p("whole.jnl")]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_shard_and_merge_usage() {
+        for case in [
+            vec!["sweep", "--shard", "0/2"],
+            vec!["sweep", "--shard", "3/2"],
+            vec!["sweep", "--shard", "two/3"],
+            // A partial shard without a journal has nowhere to record
+            // progress (the smoke spec has 8 runs, so 1/2 is partial).
+            vec!["sweep", "--spec", "smoke", "--shard", "1/2"],
+            // A shard's artifact is its journal, never --out.
+            vec![
+                "sweep",
+                "--spec",
+                "smoke",
+                "--shard",
+                "1/2",
+                "--journal",
+                "/dev/null",
+                "--out",
+                "x.json",
+            ],
+            vec!["sweep", "--merge", "/nonexistent-journal.jnl"],
         ] {
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
             assert!(run(&args).is_err(), "{case:?} must fail");

@@ -149,6 +149,29 @@ impl RouteLut {
         self.size
     }
 
+    /// Does every entry of this table agree with a fresh build against
+    /// `blockages`? Campaign engines that share one prebuilt table across
+    /// many runs use this (behind `debug_assert!`) to pin the sharing
+    /// contract: a shared table must be indistinguishable from the one
+    /// the run would have built itself. `O(N n)` with no allocation.
+    pub fn matches(&self, blockages: &BlockageMap) -> bool {
+        if blockages.size() != self.size {
+            return false;
+        }
+        let mut i = 0;
+        for stage in self.size.stage_indices() {
+            for sw in self.size.switches() {
+                for t in 0..2 {
+                    if self.entries[i] != entry_for(stage, sw, t, blockages) {
+                        return false;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        true
+    }
+
     /// The entry for switch `sw` of `stage` under tag bit `t`.
     ///
     /// # Panics
@@ -302,6 +325,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn matches_tracks_the_blockage_map_exactly() {
+        let size = Size::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xBA5E);
+        let map = scenario::random_faults(&mut rng, size, 10, KindFilter::Any);
+        let lut = RouteLut::new(size, &map);
+        assert!(lut.matches(&map));
+        // Any divergence — a different map or a different size — is seen.
+        let mut other = map.clone();
+        other.unblock(*map.blocked_links().first().unwrap());
+        assert!(!lut.matches(&other));
+        assert!(!lut.matches(&BlockageMap::new(Size::new(8).unwrap())));
     }
 
     #[test]

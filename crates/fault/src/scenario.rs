@@ -276,6 +276,20 @@ impl ScenarioSpec {
         }
     }
 
+    /// Does [`ScenarioSpec::realize`] consume the seed? Randomized
+    /// recipes (`RandomLinks`, `Bernoulli`) realize a different map per
+    /// seed; every other recipe — including `Mtbf`, whose *static* map is
+    /// always the healthy network — realizes identically for any seed.
+    /// Campaign engines use this to decide whether runs can share one
+    /// realized `BlockageMap` + route table: seed-independent recipes
+    /// share per `(size, label)` key, seed-dependent ones cannot.
+    pub fn realization_is_seeded(&self) -> bool {
+        matches!(
+            self,
+            ScenarioSpec::RandomLinks { .. } | ScenarioSpec::Bernoulli { .. }
+        )
+    }
+
     /// Expands the recipe into a concrete [`BlockageMap`] for `size`.
     /// `seed` feeds only the randomized variants.
     ///
@@ -424,6 +438,48 @@ mod spec_tests {
         assert!(ScenarioSpec::StageNonstraightBurst { stage: 1 }
             .timeline(size, 5, 4000)
             .is_empty());
+    }
+
+    #[test]
+    fn seed_independence_flag_matches_realize_behavior() {
+        // The sharing contract: every recipe reporting an unseeded
+        // realization must produce identical maps under wildly different
+        // seeds (so a campaign may realize it once and share the result),
+        // and the seeded ones must actually use the seed.
+        let size = size8();
+        let unseeded = [
+            ScenarioSpec::None,
+            ScenarioSpec::SingleLink(Link::plus(1, 2)),
+            ScenarioSpec::DoubleNonstraight {
+                stage: 1,
+                switch: 4,
+            },
+            ScenarioSpec::StageNonstraightBurst { stage: 2 },
+            ScenarioSpec::SwitchBandBurst {
+                stage: 0,
+                first: 6,
+                count: 3,
+            },
+            ScenarioSpec::Mtbf { mtbf: 50, mttr: 20 },
+        ];
+        for spec in &unseeded {
+            assert!(!spec.realization_is_seeded(), "{}", spec.label());
+            assert_eq!(spec.realize(size, 1), spec.realize(size, 0xDEAD_BEEF));
+        }
+        let seeded = [
+            ScenarioSpec::RandomLinks {
+                count: 4,
+                filter: KindFilter::Any,
+            },
+            ScenarioSpec::Bernoulli {
+                p: 0.5,
+                filter: KindFilter::Any,
+            },
+        ];
+        for spec in &seeded {
+            assert!(spec.realization_is_seeded(), "{}", spec.label());
+            assert_ne!(spec.realize(size, 1), spec.realize(size, 0xDEAD_BEEF));
+        }
     }
 
     #[test]

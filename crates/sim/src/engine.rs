@@ -379,8 +379,13 @@ pub struct Simulator {
     pattern: TrafficPattern,
     blockages: Arc<BlockageMap>,
     /// Precomputed `(stage, switch, tag bit)` decision table with the
-    /// blockage map baked in.
-    lut: RouteLut,
+    /// blockage map baked in. Held behind an `Arc` so campaigns can share
+    /// one table across every run over the same realized scenario
+    /// ([`Simulator::with_shared_lut`]); a fault timeline patches it
+    /// copy-on-write via `Arc::make_mut`, so a run that never churns
+    /// never clones it — and a run built the ordinary way owns the sole
+    /// reference, making `make_mut` free.
+    lut: Arc<RouteLut>,
     /// All link buffers; queue index = `Link::flat_index`.
     queues: QueueArena,
     /// Queued packets per `(stage, switch)` (all three kinds), letting the
@@ -504,10 +509,47 @@ impl Simulator {
         blockages: impl Into<Arc<BlockageMap>>,
         timeline: FaultTimeline,
     ) -> Self {
+        let blockages: Arc<BlockageMap> = blockages.into();
+        let lut = Arc::new(RouteLut::new(config.size, &blockages));
+        Self::with_shared_lut(config, policy, pattern, blockages, lut, timeline)
+    }
+
+    /// Creates a simulator over *shared immutable bases*: a blockage map
+    /// and a [`RouteLut`] already built for it, both behind `Arc`s so a
+    /// campaign can build them once per realized scenario and hand every
+    /// run a pointer instead of paying `O(topology)` setup per run. The
+    /// run is byte-identical to one built via
+    /// [`Simulator::with_fault_timeline`] over the same map.
+    ///
+    /// The table is only ever touched copy-on-write: a static run reads
+    /// the shared allocation for its whole lifetime, while a run whose
+    /// `timeline` fires clones map and table on the first event and
+    /// patches its private copies — the caller's bases are never
+    /// modified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SimConfig::validate`] fails, or if the blockage map,
+    /// table or timeline is for a different size. In debug builds,
+    /// additionally panics unless `lut` matches a fresh build against
+    /// `blockages` (the sharing contract).
+    pub fn with_shared_lut(
+        config: SimConfig,
+        policy: RoutingPolicy,
+        pattern: TrafficPattern,
+        blockages: impl Into<Arc<BlockageMap>>,
+        lut: Arc<RouteLut>,
+        timeline: FaultTimeline,
+    ) -> Self {
         if let Err(msg) = config.validate() {
             panic!("{msg}");
         }
         let blockages: Arc<BlockageMap> = blockages.into();
+        assert_eq!(lut.size(), config.size, "route table size mismatch");
+        debug_assert!(
+            lut.matches(&blockages),
+            "shared RouteLut does not match the blockage map"
+        );
         assert_eq!(blockages.size(), config.size, "blockage map size mismatch");
         assert_eq!(timeline.size(), config.size, "fault timeline size mismatch");
         let size = config.size;
@@ -546,7 +588,7 @@ impl Simulator {
                 ports: size.n(),
                 ..SimStats::default()
             },
-            lut: RouteLut::new(size, &blockages),
+            lut,
             // The event engine keeps its buffers in the dense
             // `ActiveArena`; give it a zero-queue flat arena instead of a
             // dead O(network) allocation.
@@ -745,8 +787,11 @@ impl Simulator {
                 // of a link the static map had blocked): nothing to do.
                 continue;
             }
-            self.lut
-                .refresh_switch(event.link.stage, event.link.from, &self.blockages);
+            Arc::make_mut(&mut self.lut).refresh_switch(
+                event.link.stage,
+                event.link.from,
+                &self.blockages,
+            );
             self.tag_cache.invalidate_all();
             let idx = event.link.flat_index(self.config.size);
             if event.up {

@@ -63,7 +63,10 @@ mod stats;
 pub use iadm_workload::histogram;
 
 pub use engine::{run_once, EngineKind, RoutingPolicy, SimConfig, Simulator, SwitchingMode};
+// Re-exported so campaign engines can prebuild shared route tables for
+// [`Simulator::with_shared_lut`] without depending on `iadm-core`.
 pub use event::{Event, EventQueue};
+pub use iadm_core::lut::RouteLut;
 pub use iadm_workload::{
     Adversarial, ClosedLoop, Collective, Injection, LatencyHistogram, OpenLoopSource,
     TrafficPattern, WorkloadSource, WorkloadSpec, WorkloadStats, NO_OP,

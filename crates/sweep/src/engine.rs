@@ -1,10 +1,31 @@
 //! The campaign executor: a `std::thread` worker pool over the expanded
-//! run list, with index-ordered result aggregation.
+//! run list, with shared immutable per-scenario bases and index-ordered
+//! result aggregation.
+//!
+//! # Shared bases
+//!
+//! Every run needs a realized [`BlockageMap`] and a [`RouteLut`] built
+//! against it — `O(topology)` setup that used to be paid per grid point.
+//! Runs that differ only in seed, load, policy, engine or workload
+//! realize the *same* map whenever their scenario's realization is
+//! seed-independent ([`ScenarioSpec::realization_is_seeded`]), so the
+//! executor builds one `Arc<BlockageMap>` + `Arc<RouteLut>` per
+//! `(size, scenario label)` key up front and hands every matching run a
+//! pointer ([`Simulator::with_shared_lut`]). A run whose fault timeline
+//! fires patches its table copy-on-write, so the shared base is never
+//! modified; a seed-dependent scenario (random faults) keeps the old
+//! build-per-run path. Statistics are byte-identical either way — the
+//! table a run would have built is exactly the shared one (pinned by
+//! `debug_assert!(lut.matches(..))` in the simulator and by the
+//! determinism tests).
 
 use crate::spec::{RunSpec, SweepSpec};
-use iadm_sim::{SimConfig, SimStats, Simulator};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use iadm_fault::BlockageMap;
+use iadm_sim::{RouteLut, SimConfig, SimStats, Simulator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Stream constant separating a run's *fault* seed from its *traffic*
 /// seed (both derive from the run seed; they must not collide). Public so
@@ -49,16 +70,62 @@ pub struct CampaignResult {
     pub runs: Vec<RunRecord>,
 }
 
-/// Executes one grid point. Fully deterministic in the `RunSpec` alone:
-/// the fault scenario realizes from `mix(seed, FAULT_SEED_STREAM)`, its
-/// transient timeline from `mix(seed, TIMELINE_SEED_STREAM)`, its
-/// closed-loop workload from `mix(seed, WORKLOAD_SEED_STREAM)`, and the
-/// simulator from `seed`, so no state outside the spec is consulted.
-pub fn execute_run(run: &RunSpec) -> RunRecord {
-    let blockages = run
-        .scenario
-        .realize(run.size, iadm_rng::mix(run.seed, FAULT_SEED_STREAM));
-    let faults = blockages.blocked_count();
+/// The immutable bases of one realized scenario, shared across every run
+/// over it: the blockage map, the route table built against it, and the
+/// realized fault count (a pure function of the map, precomputed so
+/// workers never rescan it).
+#[derive(Debug, Clone)]
+pub struct RunBases {
+    /// The realized (static) fault map.
+    pub blockages: Arc<BlockageMap>,
+    /// The route table built against `blockages`.
+    pub lut: Arc<RouteLut>,
+    /// `blockages.blocked_count()`.
+    pub faults: usize,
+}
+
+impl RunBases {
+    /// Realizes `run`'s scenario and builds its route table — the
+    /// `O(topology)` setup shared bases exist to amortize.
+    pub fn realize(run: &RunSpec) -> RunBases {
+        let blockages = Arc::new(
+            run.scenario
+                .realize(run.size, iadm_rng::mix(run.seed, FAULT_SEED_STREAM)),
+        );
+        let faults = blockages.blocked_count();
+        let lut = Arc::new(RouteLut::new(run.size, &blockages));
+        RunBases {
+            blockages,
+            lut,
+            faults,
+        }
+    }
+}
+
+/// The sharing key of a run's bases, or `None` when the run cannot share
+/// (its scenario realizes differently per seed). Two runs with equal keys
+/// realize byte-identical maps, so one [`RunBases`] serves both.
+fn base_key(run: &RunSpec) -> Option<(usize, String)> {
+    (!run.scenario.realization_is_seeded()).then(|| (run.size.n(), run.scenario.label()))
+}
+
+/// Builds one [`RunBases`] per distinct sharing key among `runs`
+/// (seed-dependent scenarios are skipped — they build per run). The
+/// number of keys is bounded by `#sizes × #scenarios`, never by the run
+/// count, so the map stays small even for 10^6-run campaigns.
+pub fn build_shared_bases(runs: &[RunSpec]) -> HashMap<(usize, String), RunBases> {
+    let mut bases = HashMap::new();
+    for run in runs {
+        if let Some(key) = base_key(run) {
+            bases.entry(key).or_insert_with(|| RunBases::realize(run));
+        }
+    }
+    bases
+}
+
+/// Simulates one grid point over `bases` (shared, or `None` to build
+/// fresh), returning the realized fault count and the statistics.
+fn run_stats(run: &RunSpec, bases: Option<&RunBases>) -> (usize, SimStats) {
     let timeline = run.scenario.timeline(
         run.size,
         iadm_rng::mix(run.seed, TIMELINE_SEED_STREAM),
@@ -73,16 +140,38 @@ pub fn execute_run(run: &RunSpec) -> RunRecord {
         seed: run.seed,
         engine: run.engine,
     };
-    let stats = Simulator::with_fault_timeline(
+    let workload_seed = iadm_rng::mix(run.seed, WORKLOAD_SEED_STREAM);
+    let owned;
+    let bases = match bases {
+        Some(shared) => shared,
+        None => {
+            owned = RunBases::realize(run);
+            &owned
+        }
+    };
+    let stats = Simulator::with_shared_lut(
         config,
         run.policy,
         run.pattern.clone(),
-        blockages,
+        bases.blockages.clone(),
+        bases.lut.clone(),
         timeline,
     )
     .with_switching_mode(run.mode)
-    .with_workload(&run.workload, iadm_rng::mix(run.seed, WORKLOAD_SEED_STREAM))
+    .with_workload(&run.workload, workload_seed)
     .run();
+    (bases.faults, stats)
+}
+
+/// Executes one grid point. Fully deterministic in the `RunSpec` alone:
+/// the fault scenario realizes from `mix(seed, FAULT_SEED_STREAM)`, its
+/// transient timeline from `mix(seed, TIMELINE_SEED_STREAM)`, its
+/// closed-loop workload from `mix(seed, WORKLOAD_SEED_STREAM)`, and the
+/// simulator from `seed`, so no state outside the spec is consulted.
+/// Builds its bases from scratch — the campaign executor's shared-bases
+/// fast path must agree with this byte-for-byte (tested below).
+pub fn execute_run(run: &RunSpec) -> RunRecord {
+    let (faults, stats) = run_stats(run, None);
     RunRecord {
         spec: run.clone(),
         faults,
@@ -90,55 +179,138 @@ pub fn execute_run(run: &RunSpec) -> RunRecord {
     }
 }
 
+/// One completed run flowing back from a worker. Deliberately *not* the
+/// full [`RunRecord`]: shipping the spec (pattern and workload clones)
+/// through the channel per run was pure overhead — the collector already
+/// knows the spec by index.
+pub(crate) struct Completion {
+    /// Run index (the aggregation key).
+    pub index: usize,
+    /// Blocked links in the realized scenario.
+    pub faults: usize,
+    /// Simulation results.
+    pub stats: SimStats,
+    /// The run's encoded JSON fragment, when the caller asked workers to
+    /// encode (streaming mode — encoding parallelizes across the pool and
+    /// the collector never touches the spec).
+    pub encoded: Option<String>,
+}
+
+/// Executes `runs[i]` for every `i` in `todo` on `threads` workers,
+/// invoking `deliver` once per run in *completion* order (callers that
+/// need index order reassemble — see the streaming writer). `encode`
+/// asks workers to pre-encode each run's JSON fragment. An error from
+/// `deliver` aborts the pool promptly (workers stop at their next
+/// completion) and is returned.
+pub(crate) fn execute_pool(
+    runs: &[RunSpec],
+    todo: &[usize],
+    bases: &HashMap<(usize, String), RunBases>,
+    threads: usize,
+    encode: bool,
+    deliver: &mut dyn FnMut(Completion) -> Result<(), String>,
+) -> Result<(), String> {
+    assert!(threads >= 1, "thread count must be at least 1");
+    let complete = |i: usize| -> Completion {
+        let run = &runs[i];
+        let shared = base_key(run).and_then(|key| bases.get(&key));
+        let (faults, stats) = run_stats(run, shared);
+        let encoded = encode.then(|| crate::report::run_json(run, faults, &stats).encode());
+        Completion {
+            index: run.index,
+            faults,
+            stats,
+            encoded,
+        }
+    };
+    if threads == 1 {
+        // Single-threaded fast path: no pool, no channel, same bytes.
+        for &i in todo {
+            deliver(complete(i))?;
+        }
+        return Ok(());
+    }
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<Completion>();
+    let mut failure: Option<String> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(todo.len()) {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let stop = &stop;
+            let complete = &complete;
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = todo.get(slot) else { break };
+                // A send fails only when the collector bailed early (a
+                // sink error); stop quietly, the error is already
+                // recorded on the collector side.
+                if tx.send(complete(i)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for completion in rx {
+            if let Err(msg) = deliver(completion) {
+                failure = Some(msg);
+                stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        // Drain without delivering so in-flight sends never block a
+        // worker (the channel is unbounded, but be explicit about the
+        // abandoned results).
+    });
+    match failure {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
 /// Expands `spec` and executes every run on `threads` worker threads.
 ///
 /// Work distribution is a shared atomic cursor over the run list (workers
-/// race for the next index); results flow back over a channel and are
-/// re-ordered by run index before the `CampaignResult` is assembled, so
+/// race for the next index); workers return `(index, faults, stats)`
+/// triples over a channel and the collector places them by run index, so
 /// the output — and any JSON encoded from it — is byte-identical for any
-/// `threads >= 1`.
+/// `threads >= 1`. Immutable bases (blockage map + route table) are
+/// built once per `(size, scenario)` key and shared across the pool.
+///
+/// This variant holds every [`RunRecord`] in memory (the tables the CLI
+/// prints need them all); fleet-scale campaigns should stream instead —
+/// see [`crate::stream_campaign`], which keeps peak memory at the
+/// out-of-order reassembly window.
 pub fn run_campaign(spec: &SweepSpec, threads: usize) -> Result<CampaignResult, String> {
     if threads == 0 {
         return Err("thread count must be at least 1".into());
     }
     let runs = spec.expand()?;
-    let mut records: Vec<Option<RunRecord>> = (0..runs.len()).map(|_| None).collect();
-    if threads == 1 {
-        // Single-threaded fast path: no pool, same records.
-        for run in &runs {
-            records[run.index] = Some(execute_run(run));
-        }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<RunRecord>();
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(runs.len()) {
-                let tx = tx.clone();
-                let runs = &runs;
-                let cursor = &cursor;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(run) = runs.get(i) else { break };
-                    // A send can only fail if the collector hung up,
-                    // which it never does before all workers exit.
-                    tx.send(execute_run(run)).expect("collector alive");
-                });
-            }
-            drop(tx);
-            // Collect in completion order; placement by index restores
-            // the canonical order.
-            for record in rx {
-                let slot = record.spec.index;
-                debug_assert!(records[slot].is_none(), "run {slot} executed twice");
-                records[slot] = Some(record);
-            }
-        });
-    }
-    let runs = records
+    let bases = build_shared_bases(&runs);
+    let todo: Vec<usize> = (0..runs.len()).collect();
+    let mut slots: Vec<Option<(usize, SimStats)>> = (0..runs.len()).map(|_| None).collect();
+    execute_pool(&runs, &todo, &bases, threads, false, &mut |c| {
+        debug_assert!(slots[c.index].is_none(), "run {} executed twice", c.index);
+        slots[c.index] = Some((c.faults, c.stats));
+        Ok(())
+    })?;
+    let runs = runs
         .into_iter()
+        .zip(slots)
         .enumerate()
-        .map(|(i, r)| r.ok_or_else(|| format!("run {i} produced no record")))
-        .collect::<Result<Vec<_>, _>>()?;
+        .map(|(i, (spec, slot))| {
+            let (faults, stats) = slot.ok_or_else(|| format!("run {i} produced no record"))?;
+            Ok(RunRecord {
+                spec,
+                faults,
+                stats,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     Ok(CampaignResult {
         name: spec.name.clone(),
         campaign_seed: spec.campaign_seed,
@@ -149,6 +321,7 @@ pub fn run_campaign(spec: &SweepSpec, threads: usize) -> Result<CampaignResult, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::campaign_json;
 
     #[test]
     fn zero_threads_is_an_error() {
@@ -172,6 +345,46 @@ mod tests {
         assert_eq!(a.stats.delivered, b.stats.delivered);
         assert_eq!(a.stats.latency_sum, b.stats.latency_sum);
         assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn shared_bases_reproduce_the_fresh_build_byte_for_byte() {
+        // The sharing fast path against the build-per-run reference:
+        // identical artifacts, including a churn scenario (whose runs
+        // must copy-on-write the shared table, never corrupt it).
+        let mut spec = SweepSpec::smoke();
+        spec.scenarios
+            .push(iadm_fault::scenario::ScenarioSpec::Mtbf { mtbf: 60, mttr: 20 });
+        let shared = run_campaign(&spec, 2).unwrap();
+        let fresh = CampaignResult {
+            name: spec.name.clone(),
+            campaign_seed: spec.campaign_seed,
+            runs: spec.expand().unwrap().iter().map(execute_run).collect(),
+        };
+        assert_eq!(
+            campaign_json(&shared).encode(),
+            campaign_json(&fresh).encode()
+        );
+    }
+
+    #[test]
+    fn shared_bases_cover_exactly_the_unseeded_scenarios() {
+        let mut spec = SweepSpec::smoke();
+        spec.scenarios
+            .push(iadm_fault::scenario::ScenarioSpec::RandomLinks {
+                count: 1,
+                filter: iadm_fault::scenario::KindFilter::Any,
+            });
+        let runs = spec.expand().unwrap();
+        let bases = build_shared_bases(&runs);
+        // smoke has two unseeded scenarios (none, double) at one size;
+        // the random scenario must not be cached.
+        assert_eq!(bases.len(), 2);
+        assert!(bases.contains_key(&(8, "none".to_string())));
+        assert!(bases.contains_key(&(8, "double:S1:1".to_string())));
+        let doubled = &bases[&(8, "double:S1:1".to_string())];
+        assert_eq!(doubled.faults, 2);
+        assert!(doubled.lut.matches(&doubled.blockages));
     }
 
     #[test]
@@ -238,5 +451,24 @@ mod tests {
         assert!(result.runs.iter().any(|r| r.faults == 2));
         assert!(result.runs.iter().any(|r| r.faults == 0));
         assert!(result.runs.iter().all(|r| r.stats.is_conserved()));
+    }
+
+    #[test]
+    fn a_sink_error_aborts_the_pool_and_propagates() {
+        let runs = SweepSpec::smoke().expand().unwrap();
+        let bases = build_shared_bases(&runs);
+        let todo: Vec<usize> = (0..runs.len()).collect();
+        let mut delivered = 0usize;
+        let err = execute_pool(&runs, &todo, &bases, 3, false, &mut |_| {
+            delivered += 1;
+            if delivered == 2 {
+                Err("sink full".into())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "sink full");
+        assert_eq!(delivered, 2, "no deliveries after the error");
     }
 }

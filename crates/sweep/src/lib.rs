@@ -22,13 +22,28 @@
 //!    out of `i` before mixing: runs differing only in engine share a
 //!    realization, so the engine axis compares wall clocks, never
 //!    statistics.
-//! 2. *Ordered aggregation.* Workers return `(run_index, record)` pairs;
-//!    the collector re-orders them by run index before any aggregation or
-//!    encoding, so the JSON writer sees the same sequence whether one
-//!    worker ran everything or eight raced.
+//! 2. *Ordered aggregation.* Workers return `(run_index, faults, stats)`
+//!    triples; the collector re-orders them by run index before any
+//!    aggregation or encoding, so the JSON writer sees the same sequence
+//!    whether one worker ran everything or eight raced.
 //!
 //! `tests/determinism.rs` enforces the contract end-to-end (1, 2 and 8
 //! worker threads must produce identical bytes).
+//!
+//! # Fleet scale
+//!
+//! Three mechanisms keep throughput and memory flat as campaigns grow:
+//! immutable bases (blockage map + route table) built once per
+//! `(size, scenario)` and shared across all matching runs
+//! ([`build_shared_bases`], [`Simulator::with_shared_lut`]); a streaming
+//! executor whose peak memory is the out-of-order reassembly window, not
+//! the run count ([`stream_campaign`]); and contiguous shard ranges with
+//! append-only progress journals that resume and merge deterministically
+//! ([`shard_range`], [`parse_journal`], [`merge_fragments`]). The
+//! streamed, sharded, or resumed artifact is byte-identical to the
+//! in-memory one (`tests/resume.rs`).
+//!
+//! [`Simulator::with_shared_lut`]: iadm_sim::Simulator::with_shared_lut
 //!
 //! # Example
 //!
@@ -47,13 +62,18 @@
 mod engine;
 mod report;
 mod spec;
+mod stream;
 
 pub use engine::{
-    execute_run, run_campaign, CampaignResult, RunRecord, FAULT_SEED_STREAM, TIMELINE_SEED_STREAM,
-    WORKLOAD_SEED_STREAM,
+    build_shared_bases, execute_run, run_campaign, CampaignResult, RunBases, RunRecord,
+    FAULT_SEED_STREAM, TIMELINE_SEED_STREAM, WORKLOAD_SEED_STREAM,
 };
 pub use report::{campaign_json, pivot_table, summary_table};
 pub use spec::{
     engine_label, mode_label, parse_engine, parse_loads, parse_mode, parse_pattern, parse_policy,
     parse_scenario, pattern_label, policy_label, validate_scenario, RunSpec, SweepSpec,
+};
+pub use stream::{
+    artifact_prefix, journal_header, merge_fragments, parse_journal, shard_range, stream_campaign,
+    union_fragments, StreamSummary, ARTIFACT_SUFFIX, JOURNAL_FORMAT,
 };

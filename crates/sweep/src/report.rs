@@ -1,9 +1,9 @@
 //! Campaign artifacts: the byte-stable JSON document and human tables.
 
 use crate::engine::{CampaignResult, RunRecord};
-use crate::spec::{engine_label, mode_label, pattern_label, policy_label};
+use crate::spec::{engine_label, mode_label, pattern_label, policy_label, RunSpec};
 use iadm_bench::json::{sim_stats_json, Json};
-use iadm_sim::{EngineKind, SwitchingMode, WorkloadSpec};
+use iadm_sim::{EngineKind, SimStats, SwitchingMode, WorkloadSpec};
 use std::collections::HashMap;
 
 /// The canonical JSON encoding of a campaign. Every run appears in run-
@@ -16,12 +16,23 @@ pub fn campaign_json(result: &CampaignResult) -> Json {
         ("campaign", Json::from(result.name.as_str())),
         ("campaign_seed", Json::from(result.campaign_seed)),
         ("run_count", Json::from(result.runs.len())),
-        ("runs", Json::arr(result.runs.iter().map(run_json))),
+        (
+            "runs",
+            Json::arr(
+                result
+                    .runs
+                    .iter()
+                    .map(|r| run_json(&r.spec, r.faults, &r.stats)),
+            ),
+        ),
     ])
 }
 
-fn run_json(record: &RunRecord) -> Json {
-    let spec = &record.spec;
+/// One run's JSON object. Takes the pieces rather than a [`RunRecord`]
+/// so the streaming executor's workers — which ship `(index, faults,
+/// stats)` and never materialize a record — can encode their own
+/// fragments.
+pub(crate) fn run_json(spec: &RunSpec, faults: usize, stats: &SimStats) -> Json {
     let mut fields = vec![
         ("index", Json::from(spec.index)),
         ("n", Json::from(spec.size.n())),
@@ -50,8 +61,8 @@ fn run_json(record: &RunRecord) -> Json {
         ("cycles", Json::from(spec.cycles)),
         ("warmup", Json::from(spec.warmup)),
         ("seed", Json::from(spec.seed)),
-        ("faults", Json::from(record.faults)),
-        ("stats", sim_stats_json(&record.stats)),
+        ("faults", Json::from(faults)),
+        ("stats", sim_stats_json(stats)),
     ]);
     Json::obj(fields)
 }

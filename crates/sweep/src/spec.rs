@@ -77,17 +77,29 @@ pub struct RunSpec {
 }
 
 impl SweepSpec {
+    /// The length of every axis, in the canonical (outermost-first)
+    /// expansion order. The single source of truth for the grid shape:
+    /// [`grid_len`](Self::grid_len) is its product, and adding an axis
+    /// without updating both this array and [`expand`](Self::expand)'s
+    /// loop nest fails the `expansion_length_always_matches_grid_len`
+    /// property test.
+    fn axis_lens(&self) -> [usize; 9] {
+        [
+            self.sizes.len(),
+            self.loads.len(),
+            self.queue_capacities.len(),
+            self.policies.len(),
+            self.patterns.len(),
+            self.modes.len(),
+            self.workloads.len(),
+            self.engines.len(),
+            self.scenarios.len(),
+        ]
+    }
+
     /// Number of grid points (runs) this spec expands to.
     pub fn grid_len(&self) -> usize {
-        self.sizes.len()
-            * self.loads.len()
-            * self.queue_capacities.len()
-            * self.policies.len()
-            * self.patterns.len()
-            * self.modes.len()
-            * self.workloads.len()
-            * self.engines.len()
-            * self.scenarios.len()
+        self.axis_lens().iter().product()
     }
 
     /// Expands the grid into the campaign's run list, in the canonical
@@ -206,6 +218,11 @@ impl SweepSpec {
                 }
             }
         }
+        debug_assert_eq!(
+            runs.len(),
+            self.grid_len(),
+            "expand()'s loop nest drifted from axis_lens()"
+        );
         Ok(runs)
     }
 

@@ -1,0 +1,414 @@
+//! Fleet-scale campaign execution: streaming artifacts, shard ranges,
+//! progress journals, and deterministic merge.
+//!
+//! [`run_campaign`](crate::run_campaign) materializes every record
+//! because the CLI's tables need them all; at fleet scale (10^5–10^6
+//! runs, or many machines) that is the wrong shape. This module provides
+//! the other one:
+//!
+//! - [`stream_campaign`] pushes each run's **encoded JSON fragment**
+//!   through two sinks — one in completion order (the append-only
+//!   progress journal) and one in run-index order (the artifact body) —
+//!   holding only the out-of-order reassembly window in memory. The
+//!   ordered fragment stream, wrapped in [`artifact_prefix`] and
+//!   [`ARTIFACT_SUFFIX`], is byte-identical to
+//!   `campaign_json(&run_campaign(..)).encode()` (pinned by
+//!   `tests/resume.rs`).
+//! - [`shard_range`] splits the run-index space into `m` contiguous,
+//!   disjoint, covering ranges so shards can execute on separate
+//!   processes or machines.
+//! - [`parse_journal`] / [`merge_fragments`] turn any set of journals —
+//!   one interrupted run, or `m` shards — back into the single canonical
+//!   artifact, rejecting gaps, conflicts, and header mismatches.
+//!
+//! A journal is a text file: line 1 is a JSON header binding it to a
+//! campaign (name, seed, run count — see [`journal_header`]); every
+//! further line is one run's exact artifact fragment, appended the
+//! moment the run completes. Because fragments are the artifact's own
+//! bytes, resume and merge never re-encode: they validate, reorder, and
+//! concatenate.
+
+use crate::engine::{build_shared_bases, execute_pool};
+use crate::spec::SweepSpec;
+use iadm_bench::json::{parse, Json};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
+
+/// First field of every journal header; bump on incompatible change.
+pub const JOURNAL_FORMAT: &str = "iadm-sweep-journal/1";
+
+/// Everything in the campaign artifact before the first run fragment.
+/// `artifact_prefix(..) + fragments.join(",") + ARTIFACT_SUFFIX` must
+/// equal `campaign_json(..).encode()` byte-for-byte.
+pub fn artifact_prefix(name: &str, campaign_seed: u64, run_count: usize) -> String {
+    // Encode the scalar fields through the Json writer (string escaping,
+    // integer formatting), then splice the runs array open.
+    let head = Json::obj([
+        ("campaign", Json::from(name)),
+        ("campaign_seed", Json::from(campaign_seed)),
+        ("run_count", Json::from(run_count)),
+    ])
+    .encode();
+    debug_assert!(head.ends_with('}'));
+    format!("{},\"runs\":[", &head[..head.len() - 1])
+}
+
+/// Everything in the campaign artifact after the last run fragment.
+pub const ARTIFACT_SUFFIX: &str = "]}";
+
+/// The header line binding a journal to one campaign. Resume and merge
+/// refuse journals whose header does not match the spec they are given,
+/// so fragments can never leak between campaigns.
+pub fn journal_header(spec: &SweepSpec, run_count: usize) -> String {
+    Json::obj([
+        ("journal", Json::from(JOURNAL_FORMAT)),
+        ("campaign", Json::from(spec.name.as_str())),
+        ("campaign_seed", Json::from(spec.campaign_seed)),
+        ("run_count", Json::from(run_count)),
+    ])
+    .encode()
+}
+
+/// The contiguous half-open run-index range shard `k` of `m` covers
+/// (`k` is 1-based, as on the CLI: `--shard 2/4`). The `m` ranges
+/// partition `0..total`: disjoint, covering, and within one run of equal
+/// length.
+pub fn shard_range(total: usize, k: usize, m: usize) -> Result<Range<usize>, String> {
+    if m == 0 || k == 0 || k > m {
+        return Err(format!("shard must be k/m with 1 <= k <= m, got {k}/{m}"));
+    }
+    // The first (total % m) shards get one extra run; the quotient-and-
+    // remainder form never overflows, unlike total * k / m.
+    let lo = (total / m) * (k - 1) + (total % m).min(k - 1);
+    let hi = (total / m) * k + (total % m).min(k);
+    Ok(lo..hi)
+}
+
+/// Looks up an unsigned-integer field of a parsed journal line.
+fn int_field(json: &Json, key: &str) -> Option<u64> {
+    match json {
+        Json::Obj(fields) => fields.iter().find_map(|(k, v)| match v {
+            Json::UInt(x) if k == key => Some(*x),
+            Json::Int(x) if k == key && *x >= 0 => Some(*x as u64),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+/// Looks up a string field of a parsed journal line.
+fn str_field<'j>(json: &'j Json, key: &str) -> Option<&'j str> {
+    match json {
+        Json::Obj(fields) => fields.iter().find_map(|(k, v)| match v {
+            Json::Str(s) if k == key => Some(s.as_str()),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+/// Parses one journal's text into an `index -> fragment` map, validating
+/// the header against `spec`/`run_count`.
+///
+/// A journal written by a killed process may end in a torn line; a final
+/// line that fails to parse is discarded (its run simply re-executes on
+/// resume). A torn or malformed line anywhere *else* is an error — the
+/// file is corrupt, not merely truncated.
+pub fn parse_journal(
+    text: &str,
+    spec: &SweepSpec,
+    run_count: usize,
+) -> Result<HashMap<usize, String>, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("journal is empty")?;
+    let header = parse(header).map_err(|e| format!("journal header: {e}"))?;
+    if str_field(&header, "journal") != Some(JOURNAL_FORMAT) {
+        return Err("not a sweep journal (missing format marker)".into());
+    }
+    if str_field(&header, "campaign") != Some(spec.name.as_str()) {
+        return Err(format!(
+            "journal belongs to campaign {:?}, not {:?}",
+            str_field(&header, "campaign").unwrap_or("?"),
+            spec.name
+        ));
+    }
+    if int_field(&header, "campaign_seed") != Some(spec.campaign_seed) {
+        return Err("journal campaign_seed does not match the spec".into());
+    }
+    if int_field(&header, "run_count") != Some(run_count as u64) {
+        return Err("journal run_count does not match the spec".into());
+    }
+    let mut fragments = HashMap::new();
+    let mut torn: Option<usize> = None;
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(at) = torn {
+            return Err(format!("journal line {} is corrupt", at + 1));
+        }
+        let Ok(json) = parse(line) else {
+            // Possibly a torn final write; fatal only if more lines follow.
+            torn = Some(lineno);
+            continue;
+        };
+        let index = int_field(&json, "index")
+            .ok_or_else(|| format!("journal line {} has no run index", lineno + 1))?
+            as usize;
+        if index >= run_count {
+            return Err(format!(
+                "journal line {} names run {index}, but the campaign has {run_count}",
+                lineno + 1
+            ));
+        }
+        if let Some(prev) = fragments.insert(index, line.to_string()) {
+            if prev != line {
+                return Err(format!(
+                    "journal records run {index} twice, with different bytes"
+                ));
+            }
+        }
+    }
+    Ok(fragments)
+}
+
+/// Assembles the canonical campaign artifact from completed fragments —
+/// the merge step after sharded or interrupted execution. Every run
+/// `0..run_count` must be present; a duplicate across journals is fine
+/// if byte-identical (union the maps via [`parse_journal`] + extend,
+/// checking conflicts first). Returns the artifact text (no trailing
+/// newline; the CLI adds one, as it always has).
+pub fn merge_fragments(
+    spec: &SweepSpec,
+    run_count: usize,
+    fragments: &HashMap<usize, String>,
+) -> Result<String, String> {
+    let missing: Vec<usize> = (0..run_count)
+        .filter(|i| !fragments.contains_key(i))
+        .take(8)
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "cannot merge: {} of {run_count} runs missing (first: {missing:?})",
+            (0..run_count)
+                .filter(|i| !fragments.contains_key(i))
+                .count()
+        ));
+    }
+    let mut out = artifact_prefix(&spec.name, spec.campaign_seed, run_count);
+    for i in 0..run_count {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fragments[&i]);
+    }
+    out.push_str(ARTIFACT_SUFFIX);
+    Ok(out)
+}
+
+/// Unions fragment maps from several journals (shards), rejecting
+/// byte-level conflicts on overlapping indices.
+pub fn union_fragments(
+    journals: Vec<HashMap<usize, String>>,
+) -> Result<HashMap<usize, String>, String> {
+    let mut all: HashMap<usize, String> = HashMap::new();
+    for journal in journals {
+        for (index, fragment) in journal {
+            if let Some(prev) = all.get(&index) {
+                if *prev != fragment {
+                    return Err(format!(
+                        "journals disagree on run {index}: merge would be ambiguous"
+                    ));
+                }
+            } else {
+                all.insert(index, fragment);
+            }
+        }
+    }
+    Ok(all)
+}
+
+/// What a [`stream_campaign`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Total runs in the expanded campaign.
+    pub total: usize,
+    /// The run-index range this call covered.
+    pub range: Range<usize>,
+    /// Runs actually simulated by this call.
+    pub executed: usize,
+    /// Runs replayed from the resume map instead of simulated.
+    pub replayed: usize,
+}
+
+/// Executes the campaign's runs in `range` on `threads` workers,
+/// streaming encoded fragments instead of materializing records.
+///
+/// `done` maps already-completed indices to their journal fragments
+/// (empty for a fresh start); those runs are skipped and their fragments
+/// replayed into the ordered stream. Two sinks observe the fragments:
+///
+/// - `on_complete(index, fragment)` fires once per *freshly executed*
+///   run, in completion order, the moment it finishes — the journal
+///   append. Replayed runs never re-fire it.
+/// - `on_ordered(index, fragment)` fires once per run of `range`, in
+///   strict index order — the artifact body writer. Peak buffering is
+///   the out-of-order window between the slowest in-flight run and the
+///   fastest, not the campaign size.
+///
+/// An error from either sink aborts the pool and propagates. Statistics
+/// are byte-identical to [`run_campaign`](crate::run_campaign) at any
+/// thread count; sharing of immutable bases applies the same way.
+pub fn stream_campaign(
+    spec: &SweepSpec,
+    threads: usize,
+    range: Range<usize>,
+    done: &HashMap<usize, String>,
+    on_complete: &mut dyn FnMut(usize, &str) -> Result<(), String>,
+    on_ordered: &mut dyn FnMut(usize, &str) -> Result<(), String>,
+) -> Result<StreamSummary, String> {
+    if threads == 0 {
+        return Err("thread count must be at least 1".into());
+    }
+    let runs = spec.expand()?;
+    if range.end > runs.len() || range.start > range.end {
+        return Err(format!(
+            "run range {}..{} is outside the campaign's {} runs",
+            range.start,
+            range.end,
+            runs.len()
+        ));
+    }
+    let todo: Vec<usize> = range.clone().filter(|i| !done.contains_key(i)).collect();
+    let bases = build_shared_bases(&runs[range.clone()]);
+    let mut window: BTreeMap<usize, String> = BTreeMap::new();
+    let mut next = range.start;
+    let executed = todo.len();
+    execute_pool(&runs, &todo, &bases, threads, true, &mut |c| {
+        let fragment = c.encoded.expect("streaming pool encodes");
+        on_complete(c.index, &fragment)?;
+        window.insert(c.index, fragment);
+        // Drain the ready prefix: freshly executed fragments from the
+        // window, resumed ones from `done`.
+        while next < range.end {
+            if let Some(fragment) = window.remove(&next) {
+                on_ordered(next, &fragment)?;
+            } else if let Some(fragment) = done.get(&next) {
+                on_ordered(next, fragment)?;
+            } else {
+                break;
+            }
+            next += 1;
+        }
+        Ok(())
+    })?;
+    // A trailing replayed suffix (or a fully-resumed range) never sees a
+    // completion; flush it here.
+    while next < range.end {
+        match done.get(&next) {
+            Some(fragment) => on_ordered(next, fragment)?,
+            None => return Err(format!("run {next} missing after execution")),
+        }
+        next += 1;
+    }
+    debug_assert!(window.is_empty());
+    Ok(StreamSummary {
+        total: runs.len(),
+        range: range.clone(),
+        executed,
+        replayed: range.len() - executed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_run_space() {
+        for total in [0usize, 1, 7, 8, 100, 1001] {
+            for m in 1..=9usize {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for k in 1..=m {
+                    let r = shard_range(total, k, m).unwrap();
+                    assert_eq!(r.start, prev_end, "shard {k}/{m} of {total} not contiguous");
+                    assert!(r.end >= r.start);
+                    // Balanced to within one run.
+                    assert!(r.len() >= total / m && r.len() <= total / m + 1);
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, total);
+                assert_eq!(prev_end, total);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_shard_args_are_rejected() {
+        assert!(shard_range(10, 0, 2).is_err());
+        assert!(shard_range(10, 3, 2).is_err());
+        assert!(shard_range(10, 1, 0).is_err());
+    }
+
+    #[test]
+    fn journal_headers_bind_to_the_campaign() {
+        let spec = SweepSpec::smoke();
+        let header = journal_header(&spec, 8);
+        assert!(parse_journal(&header, &spec, 8).unwrap().is_empty());
+        // Wrong run count, wrong seed, wrong name: all rejected.
+        assert!(parse_journal(&header, &spec, 9).is_err());
+        let mut reseeded = SweepSpec::smoke();
+        reseeded.campaign_seed ^= 1;
+        assert!(parse_journal(&header, &reseeded, 8).is_err());
+        let mut renamed = SweepSpec::smoke();
+        renamed.name = "other".into();
+        assert!(parse_journal(&header, &renamed, 8).is_err());
+        assert!(parse_journal("{\"x\":1}", &spec, 8).is_err());
+    }
+
+    #[test]
+    fn torn_final_lines_are_discarded_but_interior_corruption_is_fatal() {
+        let spec = SweepSpec::smoke();
+        let header = journal_header(&spec, 8);
+        let good = "{\"index\":3,\"stats\":1}";
+        let torn_tail = format!("{header}\n{good}\n{{\"index\":4,\"sta");
+        let map = parse_journal(&torn_tail, &spec, 8).unwrap();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&3], good);
+        let torn_middle = format!("{header}\n{{\"index\":4,\"sta\n{good}");
+        assert!(parse_journal(&torn_middle, &spec, 8).is_err());
+    }
+
+    #[test]
+    fn duplicate_indices_must_agree_byte_for_byte() {
+        let spec = SweepSpec::smoke();
+        let header = journal_header(&spec, 8);
+        let same = format!("{header}\n{{\"index\":3,\"v\":1}}\n{{\"index\":3,\"v\":1}}");
+        assert_eq!(parse_journal(&same, &spec, 8).unwrap().len(), 1);
+        let differ = format!("{header}\n{{\"index\":3,\"v\":1}}\n{{\"index\":3,\"v\":2}}");
+        assert!(parse_journal(&differ, &spec, 8).is_err());
+        let a = HashMap::from([(3usize, "{\"index\":3,\"v\":1}".to_string())]);
+        let b = HashMap::from([(3usize, "{\"index\":3,\"v\":2}".to_string())]);
+        assert!(union_fragments(vec![a.clone(), a.clone()]).is_ok());
+        assert!(union_fragments(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn merge_requires_full_coverage_and_out_of_range_runs_are_rejected() {
+        let spec = SweepSpec::smoke();
+        let mut fragments = HashMap::new();
+        for i in 0..8usize {
+            fragments.insert(i, format!("{{\"index\":{i}}}"));
+        }
+        let merged = merge_fragments(&spec, 8, &fragments).unwrap();
+        assert!(merged.starts_with(&artifact_prefix(&spec.name, spec.campaign_seed, 8)));
+        assert!(merged.ends_with(ARTIFACT_SUFFIX));
+        fragments.remove(&5);
+        assert!(merge_fragments(&spec, 8, &fragments).is_err());
+        let header = journal_header(&spec, 8);
+        let oob = format!("{header}\n{{\"index\":9,\"v\":1}}");
+        assert!(parse_journal(&oob, &spec, 8).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! End-to-end contracts for the fleet-scale path: the streamed artifact,
+//! an interrupted-then-resumed campaign, and sharded execution must all
+//! produce bytes identical to the in-memory `run_campaign` +
+//! `campaign_json` reference — at 1, 2 and 8 worker threads.
+
+use iadm_fault::scenario::{KindFilter, ScenarioSpec};
+use iadm_sweep::{
+    artifact_prefix, campaign_json, journal_header, merge_fragments, parse_journal, run_campaign,
+    shard_range, stream_campaign, union_fragments, SweepSpec, ARTIFACT_SUFFIX,
+};
+use std::collections::HashMap;
+
+/// A campaign exercising all three base-sharing regimes: shared static
+/// scenarios (none + a burst), a seed-dependent scenario (random, built
+/// per run), and a churn scenario (shared base, copy-on-write patching).
+fn spec() -> SweepSpec {
+    let mut spec = SweepSpec::smoke();
+    spec.name = "resume-contract".into();
+    spec.scenarios = vec![
+        ScenarioSpec::None,
+        ScenarioSpec::DoubleNonstraight {
+            stage: 1,
+            switch: 1,
+        },
+        ScenarioSpec::RandomLinks {
+            count: 2,
+            filter: KindFilter::Any,
+        },
+        ScenarioSpec::Mtbf { mtbf: 60, mttr: 20 },
+    ];
+    spec.engines = vec![
+        iadm_sim::EngineKind::Synchronous,
+        iadm_sim::EngineKind::EventDriven,
+    ];
+    spec
+}
+
+/// The reference bytes: the in-memory executor's encoded artifact.
+fn reference(spec: &SweepSpec) -> String {
+    campaign_json(&run_campaign(spec, 1).unwrap()).encode()
+}
+
+/// Streams the whole campaign at `threads`, returning (journal text,
+/// assembled artifact text).
+fn stream_all(spec: &SweepSpec, threads: usize, done: &HashMap<usize, String>) -> (String, String) {
+    let total = spec.grid_len();
+    let mut journal = journal_header(spec, total);
+    let mut artifact = artifact_prefix(&spec.name, spec.campaign_seed, total);
+    let mut first = true;
+    let summary = stream_campaign(
+        spec,
+        threads,
+        0..total,
+        done,
+        &mut |_, fragment| {
+            journal.push('\n');
+            journal.push_str(fragment);
+            Ok(())
+        },
+        &mut |_, fragment| {
+            if !first {
+                artifact.push(',');
+            }
+            first = false;
+            artifact.push_str(fragment);
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(summary.total, total);
+    assert_eq!(summary.executed + summary.replayed, total);
+    artifact.push_str(ARTIFACT_SUFFIX);
+    (journal, artifact)
+}
+
+#[test]
+fn streamed_artifact_is_byte_identical_at_any_thread_count() {
+    let spec = spec();
+    let want = reference(&spec);
+    for threads in [1, 2, 8] {
+        let (_, artifact) = stream_all(&spec, threads, &HashMap::new());
+        assert_eq!(
+            artifact, want,
+            "streamed bytes drifted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn a_killed_campaign_resumes_from_its_journal_byte_identically() {
+    let spec = spec();
+    let want = reference(&spec);
+    let total = spec.grid_len();
+    for threads in [1, 2, 8] {
+        for kill_after in [1, 3, total - 1] {
+            // Phase 1: the journal grows one line per completion until
+            // the "crash" — an error from the journal sink, aborting the
+            // pool exactly the way a dying process stops appending.
+            let mut journal = journal_header(&spec, total);
+            let mut appended = 0usize;
+            let crashed = stream_campaign(
+                &spec,
+                threads,
+                0..total,
+                &HashMap::new(),
+                &mut |_, fragment| {
+                    if appended == kill_after {
+                        return Err("killed".into());
+                    }
+                    journal.push('\n');
+                    journal.push_str(fragment);
+                    appended += 1;
+                    Ok(())
+                },
+                &mut |_, _| Ok(()),
+            );
+            assert!(crashed.is_err(), "the kill must abort the stream");
+            // Phase 2: resume from the journal; completed runs replay,
+            // the rest execute fresh.
+            let done = parse_journal(&journal, &spec, total).unwrap();
+            assert_eq!(done.len(), kill_after);
+            let (_, artifact) = stream_all(&spec, threads, &done);
+            assert_eq!(
+                artifact, want,
+                "resume drifted at {threads} threads, killed after {kill_after}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_journals_merge_into_the_single_process_artifact() {
+    let spec = spec();
+    let want = reference(&spec);
+    let total = spec.grid_len();
+    for threads in [1, 2, 8] {
+        for m in [2usize, 3] {
+            let mut journals = Vec::new();
+            for k in 1..=m {
+                let range = shard_range(total, k, m).unwrap();
+                let mut journal = journal_header(&spec, total);
+                stream_campaign(
+                    &spec,
+                    threads,
+                    range,
+                    &HashMap::new(),
+                    &mut |_, fragment| {
+                        journal.push('\n');
+                        journal.push_str(fragment);
+                        Ok(())
+                    },
+                    &mut |_, _| Ok(()),
+                )
+                .unwrap();
+                journals.push(parse_journal(&journal, &spec, total).unwrap());
+            }
+            let all = union_fragments(journals).unwrap();
+            let merged = merge_fragments(&spec, total, &all).unwrap();
+            assert_eq!(
+                merged, want,
+                "merge of {m} shards drifted at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_fully_resumed_stream_replays_without_executing() {
+    let spec = spec();
+    let total = spec.grid_len();
+    let (journal, want) = stream_all(&spec, 2, &HashMap::new());
+    let done = parse_journal(&journal, &spec, total).unwrap();
+    assert_eq!(done.len(), total);
+    let mut artifact = artifact_prefix(&spec.name, spec.campaign_seed, total);
+    let mut first = true;
+    let mut completions = 0usize;
+    let summary = stream_campaign(
+        &spec,
+        1,
+        0..total,
+        &done,
+        &mut |_, _| {
+            completions += 1;
+            Ok(())
+        },
+        &mut |_, fragment| {
+            if !first {
+                artifact.push(',');
+            }
+            first = false;
+            artifact.push_str(fragment);
+            Ok(())
+        },
+    )
+    .unwrap();
+    artifact.push_str(ARTIFACT_SUFFIX);
+    assert_eq!(completions, 0, "replayed runs must not re-execute");
+    assert_eq!(summary.executed, 0);
+    assert_eq!(summary.replayed, total);
+    assert_eq!(artifact, want);
+}

@@ -1,0 +1,98 @@
+//! `SweepSpec` shape properties: for ANY valid spec, `grid_len()` and
+//! `expand()` must agree — on the run count, on index assignment, and on
+//! the engine-factored seed-sharing rule. `grid_len()` is derived from
+//! the same per-axis lengths the expansion loop nest iterates, and this
+//! suite is the drift alarm: add an axis to one without the other and
+//! these properties fail on the first random spec that varies it.
+
+use iadm_check::{check, check_assert_eq};
+use iadm_fault::scenario::ScenarioSpec;
+use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern, WorkloadSpec};
+use iadm_sweep::SweepSpec;
+
+/// A random valid spec with every axis length varying independently.
+fn random_spec(g: &mut iadm_check::Gen) -> SweepSpec {
+    let policies = [
+        RoutingPolicy::FixedC,
+        RoutingPolicy::SsdtBalance,
+        RoutingPolicy::RandomSign,
+    ];
+    let scenarios = [
+        ScenarioSpec::None,
+        ScenarioSpec::DoubleNonstraight {
+            stage: 1,
+            switch: 1,
+        },
+        ScenarioSpec::Mtbf { mtbf: 60, mttr: 20 },
+    ];
+    SweepSpec {
+        name: "prop".into(),
+        sizes: vec![8, 16][..g.usize_in(1..=2)].to_vec(),
+        loads: (0..g.usize_in(1..=3))
+            .map(|i| 0.1 + 0.2 * i as f64)
+            .collect(),
+        queue_capacities: vec![2, 4, 8][..g.usize_in(1..=3)].to_vec(),
+        policies: policies[..g.usize_in(1..=3)].to_vec(),
+        patterns: vec![TrafficPattern::Uniform, TrafficPattern::BitReversal][..g.usize_in(1..=2)]
+            .to_vec(),
+        modes: vec![
+            SwitchingMode::StoreForward,
+            SwitchingMode::Wormhole { flits: 2, lanes: 1 },
+        ][..g.usize_in(1..=2)]
+            .to_vec(),
+        workloads: vec![WorkloadSpec::OpenLoop],
+        engines: vec![EngineKind::Synchronous, EngineKind::EventDriven][..g.usize_in(1..=2)]
+            .to_vec(),
+        scenarios: scenarios[..g.usize_in(1..=3)].to_vec(),
+        cycles: 50 + g.usize_in(0..=100),
+        warmup: g.usize_in(0..=20),
+        campaign_seed: g.u64_any(),
+    }
+}
+
+check! {
+    fn prop_expansion_length_always_matches_grid_len(g; cases = 64) {
+        let spec = random_spec(g);
+        let runs = spec.expand().map_err(|e| format!("expand failed: {e}"))?;
+        check_assert_eq!(
+            runs.len(),
+            spec.grid_len(),
+            "grid_len drifted from the expansion loop nest"
+        );
+        // Indices are the positions, densely.
+        for (i, run) in runs.iter().enumerate() {
+            check_assert_eq!(run.index, i);
+        }
+    }
+
+    fn prop_runs_differing_only_in_engine_share_a_seed(g; cases = 32) {
+        let mut spec = random_spec(g);
+        spec.engines = vec![EngineKind::Synchronous, EngineKind::EventDriven];
+        let runs = spec.expand().map_err(|e| format!("expand failed: {e}"))?;
+        let stride = spec.scenarios.len();
+        for pair_base in (0..runs.len()).step_by(2 * stride) {
+            for s in 0..stride {
+                let sync = &runs[pair_base + s];
+                let event = &runs[pair_base + stride + s];
+                check_assert_eq!(sync.engine, EngineKind::Synchronous);
+                check_assert_eq!(event.engine, EngineKind::EventDriven);
+                check_assert_eq!(
+                    sync.seed,
+                    event.seed,
+                    "engine pair at index {} must share a realization",
+                    sync.index
+                );
+            }
+        }
+        // Distinct grid points never collide on seed within an engine.
+        let mut seeds: Vec<u64> = runs
+            .iter()
+            .filter(|r| r.engine == EngineKind::Synchronous)
+            .map(|r| r.seed)
+            .collect();
+        let unique = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        check_assert_eq!(seeds.len(), unique, "seed collision across grid points");
+    }
+}

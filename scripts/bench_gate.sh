@@ -28,6 +28,17 @@ history="results/bench_history.jsonl"
     exit 1
 }
 
+# The campaign-throughput cases (runs/sec with fresh vs shared route
+# bases) must stay in the baseline: simbench --check fails when a
+# baseline case is "no longer measured", so their presence here is what
+# keeps the campaign-engine perf gate armed.
+for campcase in campbench/fresh campbench/shared; do
+    grep -q "\"$campcase\"" "$baseline" || {
+        echo "bench_gate: $baseline lost the $campcase case; the campaign gate is disarmed" >&2
+        exit 1
+    }
+done
+
 cargo build --release --offline -p iadm-bench
 
 status=0

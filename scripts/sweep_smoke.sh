@@ -148,6 +148,26 @@ grep -q '"request_latency_p99":' "$wl_out" || {
 
 echo "sweep_smoke: closed-loop OK ($(wc -c < "$wl_out") bytes)"
 
+# Shard-then-merge smoke: the same smoke campaign split across two shard
+# processes (each writing a journal) and merged must be byte-identical to
+# the single-process artifact — the distributed-execution contract.
+shard_dir="$(mktemp -d /tmp/iadm_sweep_shard.XXXXXX)"
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$wl_out"; rm -rf "$shard_dir"' EXIT
+
+./target/release/iadm-cli sweep --spec smoke --threads 2 \
+    --shard 1/2 --journal "$shard_dir/s1.jnl"
+./target/release/iadm-cli sweep --spec smoke --threads 2 \
+    --shard 2/2 --journal "$shard_dir/s2.jnl"
+./target/release/iadm-cli sweep --spec smoke \
+    --merge "$shard_dir/s1.jnl,$shard_dir/s2.jnl" --out "$shard_dir/merged.json"
+
+diff -q "$out" "$shard_dir/merged.json" || {
+    echo "sweep_smoke: 2-shard merged artifact differs from the single-process artifact" >&2
+    exit 1
+}
+
+echo "sweep_smoke: shard+merge OK ($(wc -c < "$shard_dir/merged.json") bytes)"
+
 # Perf trajectory: the simulator benchmark must stay within tolerance of
 # the checked-in BENCH_sim.json (see scripts/bench_gate.sh) AND of the
 # best rate each configuration ever posted to results/bench_history.jsonl;
