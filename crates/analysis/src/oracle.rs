@@ -8,7 +8,7 @@
 //! for validating REROUTE's iff-completeness claim (experiment E3).
 
 use iadm_fault::BlockageMap;
-use iadm_topology::{Link, LinkKind, Path, Size};
+use iadm_topology::{bit, Link, LinkKind, Path, Size};
 
 /// Finds any blockage-free path from `source` (stage 0) to `dest`
 /// (the output column) by breadth-first search over the layered IADM graph,
@@ -117,6 +117,78 @@ pub fn reachable_destinations(size: Size, blockages: &BlockageMap, source: usize
         frontier = next;
     }
     frontier
+}
+
+/// The exhaustively-routable output links of switch `sw` at `stage` for a
+/// message destined to `dest`: every link kind that (a) leaves the switch
+/// toward a stage-`(stage+1)` switch whose destination-tag remainder still
+/// reaches `dest`, and (b) is itself free.
+///
+/// "Still reaches" is decided by the same layered sweep as
+/// [`reachable_destinations`], but restricted to the *destination-tag*
+/// successors of the remaining stages: from an intermediate switch `j` at
+/// stage `i`, a tag-routed message may only use a link whose target has
+/// bit `i` equal to bit `i` of `dest` (Theorem 3.1 — the tag is the
+/// destination address, so every hop fixes one address bit). This is the
+/// ground truth the d-choice candidate enumeration
+/// (`iadm_core::candidates`) must reproduce: pivot theory says the local
+/// `{ΔC, ΔC̄}` filter *is* the routable set, and the property tests pin
+/// that claim against this oracle.
+///
+/// # Panics
+///
+/// Panics if `stage`, `sw` or `dest` is out of range for `size`.
+pub fn routable_kinds(
+    size: Size,
+    blockages: &BlockageMap,
+    stage: usize,
+    sw: usize,
+    dest: usize,
+) -> Vec<LinkKind> {
+    assert!(
+        stage < size.stages(),
+        "stage {stage} out of range for {size}"
+    );
+    assert!(sw < size.n(), "switch {sw} out of range for {size}");
+    assert!(
+        dest < size.n(),
+        "destination {dest} out of range for {size}"
+    );
+    let n = size.n();
+    LinkKind::ALL
+        .into_iter()
+        .filter(|&kind| {
+            let link = Link::new(stage, sw, kind);
+            if blockages.is_blocked(link) {
+                return false;
+            }
+            // Tag routing fixes bit `stage` of the address at this hop.
+            let to = link.target(size);
+            if bit(to, stage) != bit(dest, stage) {
+                return false;
+            }
+            // Sweep the remaining stages under the same per-hop tag-bit
+            // constraint: does `dest` survive to the output column?
+            let mut frontier = vec![false; n];
+            frontier[to] = true;
+            for later in stage + 1..size.stages() {
+                let mut next = vec![false; n];
+                for (j, _) in frontier.iter().enumerate().filter(|(_, &f)| f) {
+                    for k in LinkKind::ALL {
+                        let l = Link::new(later, j, k);
+                        if blockages.is_free(l) {
+                            let tgt = l.target(size);
+                            if bit(tgt, later) == bit(dest, later) {
+                                next[tgt] = true;
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            frontier[dest]
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Pivot-theory exactness of the d-choice candidate enumeration.
+//!
+//! `iadm_core::candidates::candidate_kinds` builds the set a d-choice
+//! policy samples from *locally*: the static `{ΔC, ΔC̄}` pair of Lemma
+//! A2.1 filtered by this stage's blockages. `oracle::routable_kinds` is
+//! the exhaustive ground truth: a link is routable iff it is free *and*
+//! the destination survives a tag-constrained sweep of every remaining
+//! stage. These properties pin the relationship at N = 4 and 8 for every
+//! `(stage, switch, tag)`:
+//!
+//! * when faults are confined to the current stage (the only ones a
+//!   local decision can see), the two sets are **equal** — the paper's
+//!   claim that pivot theory makes d-choice sampling exact, not a
+//!   heuristic;
+//! * under arbitrary fault maps the candidate set still **contains**
+//!   every exhaustively-routable link — a local filter may be too
+//!   optimistic about later stages, never too strict;
+//! * fault-free, a nonstraight-bound message has exactly the two signed
+//!   candidates and a straight-bound message exactly one (Theorem 3.2).
+//!
+//! Seed-replayable via `IADM_CHECK_SEED`.
+
+use iadm_analysis::oracle;
+use iadm_core::candidates::candidate_kinds;
+use iadm_fault::scenario::{self, KindFilter};
+use iadm_fault::BlockageMap;
+use iadm_topology::{LinkKind, Size};
+
+/// Sorted copy for order-insensitive set comparison.
+fn sorted(mut kinds: Vec<LinkKind>) -> Vec<LinkKind> {
+    kinds.sort();
+    kinds
+}
+
+/// Can a packet destined to `dest` actually occupy switch `sw` at
+/// `stage`? Each stage `i` fixes address bit `i` and later stages never
+/// disturb it (±2^later touches bits ≥ later only), so the bits below
+/// `stage` must already agree. The equality properties quantify over
+/// exactly these reachable router states; for the impossible ones the
+/// oracle correctly reports an empty routable set (pinned below).
+fn occupancy_consistent(stage: usize, sw: usize, dest: usize) -> bool {
+    let mask = (1usize << stage) - 1;
+    sw & mask == dest & mask
+}
+
+iadm_check::check! {
+    /// Faults at the decision stage only: local candidate set == the
+    /// oracle's exhaustive routable set, everywhere.
+    fn candidates_equal_oracle_under_same_stage_faults(g; cases = 40) {
+        let size = Size::new(if g.bool_with(0.5) { 4 } else { 8 }).unwrap();
+        let faults = g.usize_in(0..=2 * size.n());
+        let full = scenario::random_faults(&mut g.rng(), size, faults, KindFilter::Any);
+        for stage in size.stage_indices() {
+            // Keep only this stage's blockages: the remainder is
+            // fault-free, so Lemma A2.1 applies to both candidates.
+            let masked = BlockageMap::from_links(
+                size,
+                full.blocked_links().into_iter().filter(|l| l.stage == stage),
+            );
+            for sw in size.switches() {
+                for dest in size.switches() {
+                    let exhaustive = oracle::routable_kinds(size, &masked, stage, sw, dest);
+                    if !occupancy_consistent(stage, sw, dest) {
+                        iadm_check::check_assert!(
+                            exhaustive.is_empty(),
+                            "unreachable router state routed: stage {} switch {} dest {}",
+                            stage, sw, dest
+                        );
+                        continue;
+                    }
+                    let local = candidate_kinds(size, &masked, stage, sw, dest);
+                    iadm_check::check_assert_eq!(
+                        sorted(local.as_slice().to_vec()),
+                        sorted(exhaustive),
+                        "stage {} switch {} dest {}", stage, sw, dest
+                    );
+                }
+            }
+        }
+    }
+
+    /// Arbitrary fault maps: every exhaustively-routable link is a
+    /// candidate (the local filter is never stricter than ground truth).
+    fn candidates_contain_every_routable_kind(g; cases = 40) {
+        let size = Size::new(if g.bool_with(0.5) { 4 } else { 8 }).unwrap();
+        let faults = g.usize_in(0..=3 * size.n());
+        let map = scenario::random_faults(&mut g.rng(), size, faults, KindFilter::Any);
+        for stage in size.stage_indices() {
+            for sw in size.switches() {
+                for dest in size.switches() {
+                    let local = candidate_kinds(size, &map, stage, sw, dest);
+                    for kind in oracle::routable_kinds(size, &map, stage, sw, dest) {
+                        iadm_check::check_assert!(
+                            local.contains(kind),
+                            "routable {:?} missing from candidates at stage {} switch {} dest {}",
+                            kind, stage, sw, dest
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fault-free: candidate counts restate Theorem 3.2 — one straight
+    /// link when the tag bit matches the switch parity, else exactly the
+    /// signed pair, and the oracle agrees bit for bit.
+    fn fault_free_counts_match_theorem_3_2(g; cases = 8) {
+        let size = Size::new(if g.bool_with(0.5) { 4 } else { 8 }).unwrap();
+        let map = BlockageMap::new(size);
+        for stage in size.stage_indices() {
+            for sw in size.switches() {
+                for dest in size.switches() {
+                    if !occupancy_consistent(stage, sw, dest) {
+                        continue;
+                    }
+                    let local = candidate_kinds(size, &map, stage, sw, dest);
+                    let straight = local.contains(LinkKind::Straight);
+                    iadm_check::check_assert_eq!(local.len(), if straight { 1 } else { 2 });
+                    iadm_check::check_assert_eq!(
+                        sorted(local.as_slice().to_vec()),
+                        sorted(oracle::routable_kinds(size, &map, stage, sw, dest))
+                    );
+                }
+            }
+        }
+    }
+}

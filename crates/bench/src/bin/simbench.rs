@@ -54,11 +54,20 @@ use std::time::Instant;
 /// configuration runs in comparable wall time on a small machine.
 const SIZES: [(usize, usize); 3] = [(64, 3000), (256, 1500), (1024, 400)];
 
-const POLICIES: [(RoutingPolicy, &str); 4] = [
+const POLICIES: [(RoutingPolicy, &str); 5] = [
     (RoutingPolicy::FixedC, "FixedC"),
     (RoutingPolicy::SsdtBalance, "SsdtBalance"),
     (RoutingPolicy::RandomSign, "RandomSign"),
     (RoutingPolicy::TsdtSender, "TsdtSender"),
+    // d = 2 samples the full pivot-theory candidate set, so this case
+    // prices the occupancy comparison on top of the SSDT decision path.
+    (
+        RoutingPolicy::DChoice {
+            d: 2,
+            sticky: false,
+        },
+        "DChoice2",
+    ),
 ];
 
 const OFFERED_LOAD: f64 = 0.3;

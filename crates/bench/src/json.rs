@@ -263,6 +263,13 @@ pub fn sim_stats_json(stats: &SimStats) -> Json {
             ),
         ]);
     }
+    // Present iff the run stopped at a steady-state convergence boundary
+    // (`Simulator::with_convergence`); fixed-horizon runs — every
+    // artifact written before convergence detection existed — keep their
+    // exact historical encoding.
+    if stats.converged_at_cycle > 0 {
+        fields.push(("converged_at_cycle", Json::from(stats.converged_at_cycle)));
+    }
     Json::obj(fields)
 }
 
@@ -619,6 +626,19 @@ mod tests {
         assert!(text.contains("\"request_latency_mean\":12"));
         let wl_at = text.find("\"requests_issued\"").unwrap();
         assert!(text.find("\"availability_mean\"").unwrap() < wl_at);
+        assert!(
+            !text.contains("converged_at_cycle"),
+            "fixed-horizon runs keep the historical encoding: {text}"
+        );
+        // A run stopped by steady-state convergence stamps the window
+        // boundary as the final field, still round-trippable.
+        stats.converged_at_cycle = 1200;
+        let text = sim_stats_json(&stats).encode();
+        assert_round_trip(&text).expect("converged stats JSON must round-trip");
+        assert!(text.contains("\"converged_at_cycle\":1200"));
+        let cv_at = text.find("\"converged_at_cycle\"").unwrap();
+        assert!(text.find("\"requests_issued\"").unwrap() < cv_at);
+        assert!(text[cv_at..].ends_with("\"converged_at_cycle\":1200}"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use iadm_analysis::{dot, enumerate, oracle, render};
 use iadm_core::route::{trace, trace_tsdt};
 use iadm_core::{reroute::reroute, NetworkState};
 use iadm_fault::{BlockageMap, FaultTimeline};
-use iadm_sim::{run_once, RoutingPolicy, SimConfig, SwitchingMode, TrafficPattern};
+use iadm_sim::{run_once, SimConfig, SwitchingMode, TrafficPattern};
 use iadm_topology::{Adm, Gamma, GeneralizedCube, ICube, Iadm, Link, LinkKind, Size};
 use std::process::ExitCode;
 
@@ -39,19 +39,20 @@ const USAGE: &str = "usage:
   iadm reroute  -n <N> -s <src> -d <dst> [--block ...]...
   iadm paths    -n <N> -s <src> -d <dst> [--block ...]...
   iadm render   -n <N> [--net iadm|icube|adm|gamma|gcube]
-  iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>] [--policy fixed|ssdt|random|tsdt]
+  iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>]
+                [--policy fixed|ssdt|random|tsdt|dchoice:<d>[:sticky]]
                 [--mode sf|wormhole:<flits>[:<lanes>]] [--engine sync|event]
                 [--workload open|rr:<clients>:<think>[:<req>x<resp>]|flow:<clients>:<think>:<pkts>|allreduce:<p>:<think>|adv:<load>:<burst>]
-                [--faults <scenario>] [--block ...]...
+                [--converge <window>:<tol>] [--faults <scenario>] [--block ...]...
   iadm subgraphs -n <N>
   iadm dot      -n <N> [--net ...] [-s <src> -d <dst>] [--block ...]...   (Graphviz output)
   iadm broadcast -n <N> -s <src> [--dests 1,2,5]
-  iadm sweep    [--spec smoke|e13|e15|e16|e17|e18] [--threads <t>] [--out results/….json]
-                [--n 8,64] [--loads 0.1,0.5] [--policies fixed,ssdt,tsdt]
+  iadm sweep    [--spec smoke|e13|e15|e16|e17|e18|e19] [--threads <t>] [--out results/….json]
+                [--n 8,64] [--loads 0.1,0.5] [--policies fixed,ssdt,tsdt,dchoice:2,dchoice:2:sticky]
                 [--patterns uniform,bitrev,hotspot:<d>] [--queues 4]
                 [--modes sf,wormhole:<flits>[:<lanes>]] [--engines sync,event]
                 [--workloads open,rr:all:32,flow:8:16:4,allreduce:all:64,adv:0.5:32]
-                [--cycles <c>] [--warmup <w>] [--seed <s>]
+                [--cycles <c>] [--warmup <w>] [--seed <s>] [--converge <window>:<tol>]
                 [--faults none,rand:<k>,mtbf:<m>:<r>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]
                 [--shard <k>/<m>] [--journal <path>] [--resume <path>] [--merge <p1,p2,…>]
 
@@ -75,6 +76,16 @@ think loop (`all` = one client per port) and reports request-latency
 percentiles, `flow:…:<pkts>` sends multi-packet flows, `allreduce`
 runs a barrier-synchronized ring allreduce, and `adv:<load>:<burst>`
 plays an adversarial moving-permutation schedule.
+
+policies: `dchoice:<d>` samples d of the pivot-theory candidate links
+and takes the least-loaded (d=2 is the full power-of-two-choices
+policy, exact on the IADM — a message never has more than two routable
+links); `:sticky` keeps the previous winner until its queue fills.
+
+steady state: `--converge <window>:<tol>` (e.g. 250:0.05) stops a run
+early once two consecutive <window>-cycle mean latencies agree within
+relative <tol>; the stop cycle lands in the artifact as
+`converged_at_cycle`. Identical across engines and thread counts.
 
 fleet-scale sweeps: `--journal <path>` streams the campaign (memory
 stays flat) and appends each finished run to an on-disk progress
@@ -217,7 +228,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "render" => &["n", "net"],
         "simulate" => &[
             "n", "load", "cycles", "warmup", "policy", "mode", "engine", "workload", "queue",
-            "seed", "faults", "block",
+            "seed", "faults", "block", "converge",
         ],
         "subgraphs" => &["n"],
         "dot" => &["n", "net", "s", "d", "block"],
@@ -242,6 +253,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "journal",
             "resume",
             "merge",
+            "converge",
         ],
         other => return Err(format!("unknown command {other}")),
     };
@@ -347,17 +359,25 @@ fn cmd_render(size: Size, args: &Args) -> Result<(), String> {
 }
 
 fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
-    let policy = match args.get("policy").unwrap_or("ssdt") {
-        "fixed" => RoutingPolicy::FixedC,
-        "ssdt" => RoutingPolicy::SsdtBalance,
-        "random" => RoutingPolicy::RandomSign,
-        "tsdt" => RoutingPolicy::TsdtSender,
-        other => return Err(format!("unknown policy {other}")),
-    };
+    let policy = iadm_sweep::parse_policy(args.get("policy").unwrap_or("ssdt"))?;
     let cycles = args.usize_or("cycles", 2000)?;
     let warmup = args.usize_or("warmup", cycles / 5)?;
     if warmup > cycles {
         return Err(format!("warmup {warmup} exceeds cycles {cycles}"));
+    }
+    let converge = args
+        .get("converge")
+        .map(iadm_sweep::parse_converge)
+        .transpose()?;
+    if let Some((window, _)) = converge {
+        if window == 0 {
+            return Err("--converge window must be at least 1 cycle".into());
+        }
+        if 2 * window > cycles as u64 {
+            return Err(format!(
+                "--converge window {window} needs two windows within {cycles} cycles"
+            ));
+        }
     }
     let engine = match args.get("engine") {
         Some(text) => iadm_sweep::parse_engine(text)?,
@@ -426,13 +446,14 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
         && timeline.is_empty()
         && mode == SwitchingMode::StoreForward
         && !workload.is_closed()
+        && converge.is_none()
     {
         run_once(config, policy, TrafficPattern::Uniform)
     } else {
         // The workload seeds from the same stream a sweep run uses, so
         // `simulate --workload … --seed S` reproduces a campaign point.
         let workload_seed = iadm_rng::mix(config.seed, iadm_sweep::WORKLOAD_SEED_STREAM);
-        iadm_sim::Simulator::with_fault_timeline(
+        let mut sim = iadm_sim::Simulator::with_fault_timeline(
             config,
             policy,
             TrafficPattern::Uniform,
@@ -440,8 +461,11 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
             timeline,
         )
         .with_switching_mode(mode)
-        .with_workload(&workload, workload_seed)
-        .run()
+        .with_workload(&workload, workload_seed);
+        if let Some((window, tol)) = converge {
+            sim = sim.with_convergence(window, tol);
+        }
+        sim.run()
     };
     println!("cycles          {}", stats.cycles);
     println!("injected        {}", stats.injected);
@@ -454,6 +478,9 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
     println!("max latency     {} cycles", stats.latency_max);
     println!("throughput      {:.4} pkts/port/cycle", stats.throughput());
     println!("peak queue      {}", stats.queue_high_water);
+    if stats.converged_at_cycle > 0 {
+        println!("converged at    cycle {}", stats.converged_at_cycle);
+    }
     if stats.flits_per_packet > 0 {
         println!("flits/packet    {}", stats.flits_per_packet);
         println!("flits injected  {}", stats.flits_injected);
@@ -573,6 +600,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             scenarios: vec![iadm_fault::scenario::ScenarioSpec::None],
             cycles: 2000,
             warmup: 400,
+            converge: None,
             campaign_seed: 1,
         },
     };
@@ -636,6 +664,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
     if args.get("seed").is_some() {
         spec.campaign_seed = args.usize_or("seed", 0)? as u64;
+    }
+    if let Some(text) = args.get("converge") {
+        spec.converge = Some(iadm_sweep::parse_converge(text)?);
     }
 
     let threads = args.usize_or("threads", 1)?;
@@ -1061,6 +1092,39 @@ mod tests {
                 "--policy",
                 "tsdt",
             ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "200",
+                "--policy",
+                "dchoice:2",
+                "--converge",
+                "25:0.2",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "120",
+                "--policy",
+                "dchoice:2:sticky",
+                "--faults",
+                "rand:2",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "120",
+                "--policy",
+                "dchoice:1",
+                "--mode",
+                "wormhole:4",
+            ],
             vec!["subgraphs", "-n", "16"],
             vec!["dot", "-n", "4"],
             vec!["dot", "-n", "8", "-s", "1", "-d", "0", "--block", "S0:1-"],
@@ -1138,6 +1202,21 @@ mod tests {
                 "--faults",
                 "none,mtbf:40:15",
             ],
+            vec![
+                "sweep",
+                "--n",
+                "8",
+                "--loads",
+                "0.4",
+                "--policies",
+                "ssdt,dchoice:2,dchoice:2:sticky",
+                "--engines",
+                "sync,event",
+                "--cycles",
+                "120",
+                "--converge",
+                "20:0.2",
+            ],
         ];
         for case in cases {
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
@@ -1193,6 +1272,27 @@ mod tests {
             vec!["sweep", "--workloads", "bogus"],
             vec!["sweep", "--workloads", "rr:all:8", "--loads", "0.5"],
             vec!["sweep", "--workloads", "rr:all:8", "--modes", "wormhole:4"],
+            vec!["sweep", "--policies", "dchoice:0"],
+            vec!["sweep", "--policies", "dchoice:3"],
+            vec!["sweep", "--policies", "dchoice:2:styck"],
+            vec!["sweep", "--converge", "250"],
+            vec!["sweep", "--converge", "soon:0.05"],
+            vec!["sweep", "--converge", "250:-0.1"],
+            // Two 5000-cycle windows cannot fit in the 2000-cycle default.
+            vec!["sweep", "--converge", "5000:0.05"],
+            vec!["simulate", "-n", "8", "--policy", "dchoice:3"],
+            vec!["simulate", "-n", "8", "--policy", "dchoice:2:sicky"],
+            vec!["simulate", "-n", "8", "--converge", "0:0.05"],
+            vec!["simulate", "-n", "8", "--converge", "250"],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "100",
+                "--converge",
+                "80:0.05",
+            ],
             vec!["simulate", "-n", "8", "--engine", "async"],
             vec!["simulate", "-n", "8", "--workload", "bogus"],
             vec![

@@ -1,0 +1,168 @@
+//! Per-stage candidate enumeration for balanced-allocation routing.
+//!
+//! The pivot theory of Appendix A2 (Lemma A2.1, Theorem 3.2) bounds the
+//! choices a d-choice policy can sample from: a straight-bound message
+//! (`ΔC_i(j, t_i) = Straight`) has *only* the straight link — both switch
+//! states map it there — while a nonstraight-bound message has *exactly*
+//! the signed pair `{ΔC_i, ΔC̄_i} = {±2^i}`, and in a fault-free network
+//! both members reach the destination (the alternative pivot). So "sample
+//! d candidates and take the least loaded" (Anagnostopoulos, Kontoyiannis
+//! & Upfal's balanced allocations) is *exact* on the IADM: the candidate
+//! set below is not a heuristic subsample but the complete routable set
+//! at the switch, as the `analysis::oracle` cross-check property tests
+//! prove at N = 4, 8.
+//!
+//! [`candidate_kinds`] filters that static pair by the blockage map: a
+//! faulted candidate is dropped, which is precisely the SSDT evasion of
+//! Section 4 restated as set membership. The set is ordered `ΔC` before
+//! `ΔC̄` so deterministic tie-breaks prefer the state-`C` link.
+
+use crate::connect::delta_c_kind;
+use iadm_fault::BlockageMap;
+use iadm_topology::{bit, Link, LinkKind, Size};
+
+/// The candidate output links of one switch for one destination: at most
+/// two (Lemma A2.1), in `ΔC`-first preference order, already filtered by
+/// the blockage map. An empty set means the message is stuck at this
+/// switch (every candidate link is faulted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateSet {
+    kinds: [LinkKind; 2],
+    len: u8,
+}
+
+impl CandidateSet {
+    /// The candidates in preference order (`ΔC` first).
+    #[inline]
+    pub fn as_slice(&self) -> &[LinkKind] {
+        &self.kinds[..self.len as usize]
+    }
+
+    /// How many routable candidates remain after fault filtering.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when every candidate link is faulted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is `kind` a member of the set?
+    #[inline]
+    pub fn contains(&self, kind: LinkKind) -> bool {
+        self.as_slice().contains(&kind)
+    }
+}
+
+/// Enumerates the routable candidate links of switch `sw` at `stage` for
+/// a message destined to `dest`, under `blockages`.
+///
+/// Straight-bound messages yield `[Straight]` (or the empty set if the
+/// straight link is blocked); nonstraight-bound messages yield the
+/// fault-free subset of `[ΔC_i, ΔC̄_i]` in that order. This is the exact
+/// routable set at the switch — see the module docs.
+///
+/// # Panics
+///
+/// May panic (out-of-range link construction) if `stage`, `sw` or `dest`
+/// is out of range for `size`.
+pub fn candidate_kinds(
+    size: Size,
+    blockages: &BlockageMap,
+    stage: usize,
+    sw: usize,
+    dest: usize,
+) -> CandidateSet {
+    debug_assert_eq!(blockages.size(), size, "blockage map size mismatch");
+    let c = delta_c_kind(sw, stage, bit(dest, stage));
+    let mut set = CandidateSet {
+        kinds: [c; 2],
+        len: 0,
+    };
+    if blockages.is_free(Link::new(stage, sw, c)) {
+        set.kinds[set.len as usize] = c;
+        set.len += 1;
+    }
+    // Straight-bound: both states use the same physical link (Theorem
+    // 3.2), so there is no second candidate to consider.
+    if c != LinkKind::Straight && blockages.is_free(Link::new(stage, sw, c.opposite())) {
+        set.kinds[set.len as usize] = c.opposite();
+        set.len += 1;
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::RouteLut;
+    use iadm_fault::scenario::{self, KindFilter};
+    use iadm_rng::StdRng;
+
+    #[test]
+    fn fault_free_sets_match_theorem_3_2_exactly() {
+        // Straight-bound: exactly one candidate. Nonstraight-bound:
+        // exactly the signed pair, ΔC first.
+        let size = Size::new(16).unwrap();
+        let map = BlockageMap::new(size);
+        for stage in size.stage_indices() {
+            for sw in size.switches() {
+                for dest in size.switches() {
+                    let set = candidate_kinds(size, &map, stage, sw, dest);
+                    let c = delta_c_kind(sw, stage, bit(dest, stage));
+                    if c == LinkKind::Straight {
+                        assert_eq!(set.as_slice(), [LinkKind::Straight]);
+                    } else {
+                        assert_eq!(set.as_slice(), [c, c.opposite()]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sets_agree_with_the_route_lut_under_random_faults() {
+        // The LUT packs the same static decision + availability bits the
+        // candidate set is built from; the two must never drift.
+        let size = Size::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xCA9D);
+        for faults in [0usize, 4, 12, 30] {
+            let map = scenario::random_faults(&mut rng, size, faults, KindFilter::Any);
+            let lut = RouteLut::new(size, &map);
+            for stage in size.stage_indices() {
+                for sw in size.switches() {
+                    for dest in size.switches() {
+                        let t = bit(dest, stage);
+                        let e = lut.entry(stage, sw, t);
+                        let set = candidate_kinds(size, &map, stage, sw, dest);
+                        assert_eq!(set.contains(e.c_kind()), e.c_free());
+                        if !e.is_straight() {
+                            assert_eq!(set.contains(e.cbar_kind()), e.cbar_free());
+                        }
+                        let expected = usize::from(e.c_free())
+                            + usize::from(!e.is_straight() && e.cbar_free());
+                        assert_eq!(set.len(), expected);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_candidates_are_dropped_in_order() {
+        let size = Size::new(8).unwrap();
+        // Switch 1 at stage 0 is odd_0: t=0 is nonstraight with ΔC = -1.
+        let c = delta_c_kind(1, 0, 0);
+        assert_eq!(c, LinkKind::Minus);
+        let mut map = BlockageMap::new(size);
+        map.block(Link::new(0, 1, LinkKind::Minus));
+        let set = candidate_kinds(size, &map, 0, 1, 0);
+        assert_eq!(set.as_slice(), [LinkKind::Plus]);
+        map.block(Link::new(0, 1, LinkKind::Plus));
+        let set = candidate_kinds(size, &map, 0, 1, 0);
+        assert!(set.is_empty());
+    }
+}

@@ -21,7 +21,10 @@
 //!   combination of blockages whenever one exists ([`backtrack`],
 //!   [`reroute()`]);
 //! * the **pivot theory** of Appendix A2 (Lemma A2.1) used in the
-//!   algorithms' correctness proofs ([`pivot`]);
+//!   algorithms' correctness proofs ([`pivot`]), and the per-stage
+//!   **candidate enumeration** it makes exact — the at-most-two routable
+//!   links a balanced-allocation (d-choice) policy samples from
+//!   ([`candidates`]);
 //! * classic destination-tag routing on the embedded ICube network
 //!   ([`icube_routing`]), and the state model transferred to the ADM
 //!   network ([`adm_routing`]) per the paper's concluding remark;
@@ -58,6 +61,7 @@
 pub mod adm_routing;
 pub mod backtrack;
 pub mod broadcast;
+pub mod candidates;
 pub mod connect;
 pub mod icube_routing;
 pub mod lut;
@@ -68,6 +72,7 @@ pub mod ssdt;
 pub mod state;
 pub mod tsdt;
 
+pub use candidates::{candidate_kinds, CandidateSet};
 pub use connect::{c, cbar, delta_c_kind, delta_cbar_kind, is_even, route_kind};
 pub use lut::{LutEntry, RouteLut};
 pub use reroute::{reroute, RerouteError};

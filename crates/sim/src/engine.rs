@@ -124,6 +124,23 @@ pub enum RoutingPolicy {
     /// know the location of faulty links and switches"). Unroutable pairs
     /// are dropped at the source.
     TsdtSender,
+    /// Power-of-two-choices over the exact pivot-theory candidate set
+    /// (Lemma A2.1: at most two routable switches per stage, so sampling
+    /// `d = 2` candidates *is* exhaustive): compare the occupancy of the
+    /// `{ΔC, ΔC̄}` buffers and take the least loaded, ties keeping the
+    /// state-`C` link deterministically (no switch-state flip, no RNG —
+    /// deliberately stateless, unlike [`RoutingPolicy::SsdtBalance`]).
+    /// `d = 1` degenerates to ΔC-always with fault evasion. The `sticky`
+    /// variant is Dynamic Alternative Routing's retention rule: keep the
+    /// per-`(stage, switch)` previous choice until that buffer fills (or
+    /// faults away), and only then re-balance — trading a little peak
+    /// balance for route stability.
+    DChoice {
+        /// Candidates examined (1 or 2; 2 is the full pivot pair).
+        d: u8,
+        /// Keep the previous choice until its buffer is full.
+        sticky: bool,
+    },
 }
 
 /// How packets move through the network.
@@ -208,6 +225,33 @@ struct WormState {
     eject_hold: Vec<u32>,
 }
 
+/// Steady-state convergence detector ([`Simulator::with_convergence`]):
+/// the run is cut into consecutive `window`-cycle windows, each window's
+/// mean latency is computed from the deltas of the cumulative latency
+/// counters, and the run stops early once two consecutive *non-empty*
+/// windows agree within a relative tolerance — the long-run regime the
+/// paper's steady-state analysis assumes has been reached, and further
+/// cycles only re-measure it. Works identically under both engines: the
+/// event engine clamps its idle-time jumps to the next window boundary,
+/// so the poll sequence — and therefore the stop cycle and every
+/// statistic — is byte-identical to the synchronous engine's.
+#[derive(Debug)]
+struct ConvergeState {
+    /// Window length in cycles (> 0).
+    window: u64,
+    /// Relative tolerance: converged when
+    /// `|mean - prev_mean| <= tol * prev_mean`.
+    tol: f64,
+    /// Next window boundary (the cycle the next poll fires at).
+    next: u64,
+    /// Cumulative `latency_sum` at the previous boundary.
+    prev_sum: u64,
+    /// Cumulative `latency_count` at the previous boundary.
+    prev_count: u64,
+    /// The previous non-empty window's mean latency, once one exists.
+    prev_mean: Option<f64>,
+}
+
 /// What the switching decision did with a packet this cycle.
 enum Decision {
     /// Enqueue on this output link.
@@ -217,6 +261,259 @@ enum Decision {
     /// Every link that could carry this packet is fault-blocked; the packet
     /// is undeliverable under this policy.
     Drop,
+}
+
+/// Uniform occupancy view over the three buffer backends a switching
+/// decision balances across: the flat FIFO [`QueueArena`]
+/// (store-and-forward, occupancy = queued packets), the
+/// [`ReservationTable`] (wormhole, occupancy = held lanes), and the event
+/// engine's dense [`ActiveArena`]. One [`PolicyCtx::decide`] body serves
+/// all three hot paths through this trait; monomorphization turns each
+/// instantiation back into direct calls, so the generated code — and the
+/// byte-exact statistics the parity goldens pin — match the three
+/// hand-specialized copies this replaced.
+trait BufferView {
+    /// Current occupancy of buffer slot `q` (queue length, held lanes).
+    fn occupancy(&self, q: usize) -> usize;
+    /// Can slot `q` not accept another packet (or worm head)?
+    fn is_full(&self, q: usize) -> bool;
+}
+
+impl BufferView for QueueArena {
+    #[inline]
+    fn occupancy(&self, q: usize) -> usize {
+        self.len(q)
+    }
+    #[inline]
+    fn is_full(&self, q: usize) -> bool {
+        QueueArena::is_full(self, q)
+    }
+}
+
+impl BufferView for ReservationTable {
+    #[inline]
+    fn occupancy(&self, q: usize) -> usize {
+        self.held(q)
+    }
+    #[inline]
+    fn is_full(&self, q: usize) -> bool {
+        ReservationTable::is_full(self, q)
+    }
+}
+
+impl BufferView for ActiveArena {
+    #[inline]
+    fn occupancy(&self, q: usize) -> usize {
+        self.len(q)
+    }
+    #[inline]
+    fn is_full(&self, q: usize) -> bool {
+        ActiveArena::is_full(self, q)
+    }
+}
+
+/// The routing-relevant slice of a [`Simulator`], reborrowed field by
+/// field so the decision logic can mutate policy state (SSDT switch
+/// states, the RNG, reroute counters, sticky choices) while the caller
+/// still holds a shared borrow of whichever buffer backend is in play.
+/// Built inline by the three `decide*` wrappers; never stored.
+struct PolicyCtx<'a> {
+    policy: RoutingPolicy,
+    n: usize,
+    dynamic: bool,
+    blockages: &'a BlockageMap,
+    lut: &'a RouteLut,
+    stats: &'a mut SimStats,
+    states: &'a mut NetworkState,
+    rng: &'a mut StdRng,
+    /// Per-`(stage, switch)` sticky d-choice memory: 0 = no previous
+    /// choice, else `LinkKind::index() + 1`. Empty unless the policy is
+    /// `DChoice { sticky: true, .. }`.
+    sticky: &'a mut [u8],
+}
+
+impl PolicyCtx<'_> {
+    /// Decides which output buffer of switch `sw` at `stage` a packet
+    /// bound for `dest` (carrying TSDT state word `tag_state`, if any)
+    /// enters. This is the single shared body behind
+    /// [`Simulator::decide`], [`Simulator::decide_worm`] and
+    /// [`Simulator::decide_active`] — the policy match lives here once,
+    /// parameterized over the occupancy backend.
+    fn decide<B: BufferView>(
+        &mut self,
+        buffers: &B,
+        stage: usize,
+        sw: usize,
+        dest: u32,
+        tag_state: Option<u32>,
+    ) -> Decision {
+        let qbase = (stage * self.n + sw) * 3;
+        if let Some(tag_state) = tag_state {
+            // TSDT: the tag dictates the link (destination bit from the
+            // address, state bit from the sender-computed state word); the
+            // sender avoided every fault *it knew about*, so only queue
+            // pressure can delay the packet — unless a transient fault
+            // arrived after the tag was computed, in which case the link
+            // the tag insists on may now be down and the packet is
+            // undeliverable under this policy (TSDT switches have no
+            // rerouting discretion).
+            let state = SwitchState::from_bit(bit(tag_state as usize, stage));
+            let kind = kind_for(bit(sw, stage), bit(dest as usize, stage), state);
+            if self.blockages.is_blocked(Link::new(stage, sw, kind)) {
+                debug_assert!(
+                    self.dynamic,
+                    "sender-computed tag steered into a blocked link in a static run"
+                );
+                return Decision::Drop;
+            }
+            return if buffers.is_full(qbase + kind.index()) {
+                Decision::Stall
+            } else {
+                Decision::Enqueue(kind)
+            };
+        }
+        let t = bit(dest as usize, stage);
+        let entry = self.lut.entry(stage, sw, t);
+        if entry.is_straight() {
+            // Straight-bound: no alternative exists (Theorem 3.2).
+            if !entry.c_free() {
+                return Decision::Drop;
+            }
+            return if buffers.is_full(qbase + LinkKind::Straight.index()) {
+                Decision::Stall
+            } else {
+                Decision::Enqueue(LinkKind::Straight)
+            };
+        }
+        // Nonstraight-bound: the two signed links both reach the
+        // destination (Theorem 3.2); the policy picks. Candidates are a
+        // fixed-size inline array in preference order.
+        let c_kind = entry.c_kind();
+        let cbar_kind = entry.cbar_kind();
+        let mut candidates = [c_kind, cbar_kind];
+        let count = match self.policy {
+            RoutingPolicy::FixedC => {
+                if !entry.c_free() {
+                    return Decision::Drop;
+                }
+                1
+            }
+            RoutingPolicy::SsdtBalance => match (entry.c_free(), entry.cbar_free()) {
+                (false, false) => return Decision::Drop,
+                (true, false) => 1,
+                (false, true) => {
+                    // Forced off the preferred ΔC sign onto the spare —
+                    // the paper's single-nonstraight-blockage reroute.
+                    self.stats.reroutes += 1;
+                    candidates[0] = cbar_kind;
+                    1
+                }
+                (true, true) => {
+                    let len0 = buffers.occupancy(qbase + c_kind.index());
+                    let len1 = buffers.occupancy(qbase + cbar_kind.index());
+                    // Shorter buffer wins; on ties the switch state decides
+                    // and then flips, alternating the sign (the SSDT state
+                    // flip reused as a balancing device).
+                    let prefer_second = match len0.cmp(&len1) {
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Equal => {
+                            let state = self.states.get(stage, sw);
+                            self.states.flip(stage, sw);
+                            // State C keeps the ΔC (first) candidate.
+                            state == SwitchState::Cbar
+                        }
+                    };
+                    if prefer_second {
+                        candidates.swap(0, 1);
+                    }
+                    2
+                }
+            },
+            RoutingPolicy::RandomSign => match (entry.c_free(), entry.cbar_free()) {
+                (false, false) => return Decision::Drop,
+                (true, false) => 1,
+                (false, true) => {
+                    // Forced off the preferred ΔC sign onto the spare —
+                    // the paper's single-nonstraight-blockage reroute.
+                    self.stats.reroutes += 1;
+                    candidates[0] = cbar_kind;
+                    1
+                }
+                (true, true) => {
+                    if self.rng.gen_bool(0.5) {
+                        candidates.swap(0, 1);
+                    }
+                    2
+                }
+            },
+            RoutingPolicy::DChoice { d, sticky } => {
+                match (entry.c_free(), entry.cbar_free()) {
+                    (false, false) => return Decision::Drop,
+                    (true, false) => 1,
+                    (false, true) => {
+                        // Forced off the preferred ΔC sign onto the spare —
+                        // the same single-nonstraight-blockage reroute SSDT
+                        // counts.
+                        self.stats.reroutes += 1;
+                        candidates[0] = cbar_kind;
+                        1
+                    }
+                    (true, true) if d >= 2 => {
+                        let slot = stage * self.n + sw;
+                        // Sticky (Dynamic Alternative Routing): keep the
+                        // remembered sign while its buffer accepts; a full
+                        // buffer is the congestion threshold that releases
+                        // the route.
+                        let prev = if sticky {
+                            match self.sticky[slot] {
+                                0 => None,
+                                k => Some(LinkKind::from_index(k as usize - 1)),
+                            }
+                        } else {
+                            None
+                        };
+                        let choice = match prev {
+                            Some(kind) if !buffers.is_full(qbase + kind.index()) => kind,
+                            _ => {
+                                // Balanced allocation over the exact
+                                // candidate pair: least loaded wins, ties
+                                // keep ΔC (deterministic, stateless).
+                                let len0 = buffers.occupancy(qbase + c_kind.index());
+                                let len1 = buffers.occupancy(qbase + cbar_kind.index());
+                                if len1 < len0 {
+                                    cbar_kind
+                                } else {
+                                    c_kind
+                                }
+                            }
+                        };
+                        if sticky {
+                            self.sticky[slot] = choice.index() as u8 + 1;
+                        }
+                        if choice != c_kind {
+                            candidates.swap(0, 1);
+                        }
+                        2
+                    }
+                    // d = 1: sample only the preferred ΔC candidate.
+                    (true, true) => 1,
+                }
+            }
+            RoutingPolicy::TsdtSender => {
+                // Unreachable: TsdtSender packets always carry a tag and
+                // are handled above; a tagless packet under this policy is
+                // a bug.
+                unreachable!("TsdtSender packets must carry a tag")
+            }
+        };
+        for &kind in &candidates[..count] {
+            if !buffers.is_full(qbase + kind.index()) {
+                return Decision::Enqueue(kind);
+            }
+        }
+        Decision::Stall
+    }
 }
 
 /// A direct-mapped cache of sender-computed TSDT tags, one way per
@@ -454,6 +751,14 @@ pub struct Simulator {
     /// the nonstraight sign on queue-length ties — the paper's state
     /// concept applied to load balancing.
     states: NetworkState,
+    /// Per-`(stage, switch)` sticky d-choice memory (0 = no previous
+    /// choice, else `LinkKind::index() + 1`). Allocated only under
+    /// `DChoice { sticky: true, .. }`; empty — and therefore invisible
+    /// to the hot path — for every other policy.
+    sticky: Vec<u8>,
+    /// Steady-state convergence detector; `None` = fixed-horizon run
+    /// (the default), costing the run loop exactly one branch per cycle.
+    converge: Option<ConvergeState>,
 }
 
 impl Simulator {
@@ -630,6 +935,12 @@ impl Simulator {
             downed_scratch: Vec::new(),
             accept_limit: 1,
             states: NetworkState::all_c(size),
+            sticky: if matches!(policy, RoutingPolicy::DChoice { sticky: true, .. }) {
+                vec![0; size.stages() * size.n()]
+            } else {
+                Vec::new()
+            },
+            converge: None,
         }
     }
 
@@ -753,6 +1064,76 @@ impl Simulator {
         }
         self.workload = Some(wl);
         self
+    }
+
+    /// Enables steady-state termination: every `window` cycles the run
+    /// compares the window's mean latency against the previous non-empty
+    /// window's and stops once they agree within relative tolerance
+    /// `tol`, recording the stop cycle as
+    /// [`SimStats::converged_at_cycle`]. A run that never converges (or
+    /// whose windows never carry samples) executes the full fixed
+    /// horizon, with `converged_at_cycle` left at its `0` sentinel.
+    ///
+    /// Detection is engine-independent: both engines poll at exactly the
+    /// window boundaries with identical cumulative counters, so an
+    /// early-stopped run's statistics stay byte-identical between
+    /// [`EngineKind::Synchronous`] and [`EngineKind::EventDriven`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `tol` is negative or non-finite.
+    #[must_use]
+    pub fn with_convergence(mut self, window: u64, tol: f64) -> Self {
+        assert!(window > 0, "convergence window must be positive");
+        assert!(
+            tol.is_finite() && tol >= 0.0,
+            "convergence tolerance must be finite and non-negative, got {tol}"
+        );
+        self.converge = Some(ConvergeState {
+            window,
+            tol,
+            next: window,
+            prev_sum: 0,
+            prev_count: 0,
+            prev_mean: None,
+        });
+        self
+    }
+
+    /// Convergence poll, called with `self.cycle` positioned at a cycle
+    /// boundary (after the boundary cycle's work): returns `true` when
+    /// the run just crossed a window boundary *and* the last two
+    /// non-empty windows' mean latencies agree within tolerance. Stamps
+    /// [`SimStats::converged_at_cycle`] on the deciding boundary.
+    #[inline]
+    fn converge_poll(&mut self) -> bool {
+        let Some(cv) = self.converge.as_mut() else {
+            return false;
+        };
+        if self.cycle < cv.next {
+            return false;
+        }
+        let count = self.stats.latency_count - cv.prev_count;
+        let mean = if count > 0 {
+            Some((self.stats.latency_sum - cv.prev_sum) as f64 / count as f64)
+        } else {
+            // An empty window (warmup, idle traffic) carries no evidence;
+            // it neither converges nor becomes the comparison baseline.
+            None
+        };
+        if let (Some(cur), Some(prev)) = (mean, cv.prev_mean) {
+            if (cur - prev).abs() <= cv.tol * prev {
+                self.stats.converged_at_cycle = cv.next;
+                return true;
+            }
+        }
+        cv.prev_sum = self.stats.latency_sum;
+        cv.prev_count = self.stats.latency_count;
+        if mean.is_some() {
+            cv.prev_mean = mean;
+        }
+        cv.next += cv.window;
+        false
     }
 
     /// Queue-arena index of the `kind` output link of switch `sw` at
@@ -903,121 +1284,22 @@ impl Simulator {
     /// bound for `dest` (carrying TSDT state word `tag_state`, if any)
     /// enters. Takes the two routing-relevant fields instead of the whole
     /// packet so callers can peek them through a borrow without copying
-    /// the queued packet.
+    /// the queued packet. Thin wrapper over the shared
+    /// [`PolicyCtx::decide`] body, instantiated with the flat queue
+    /// arena.
     fn decide(&mut self, stage: usize, sw: usize, dest: u32, tag_state: Option<u32>) -> Decision {
-        let qbase = (stage * self.config.size.n() + sw) * 3;
-        if let Some(tag_state) = tag_state {
-            // TSDT: the tag dictates the link (destination bit from the
-            // address, state bit from the sender-computed state word); the
-            // sender avoided every fault *it knew about*, so only queue
-            // pressure can delay the packet — unless a transient fault
-            // arrived after the tag was computed, in which case the link
-            // the tag insists on may now be down and the packet is
-            // undeliverable under this policy (TSDT switches have no
-            // rerouting discretion).
-            let state = SwitchState::from_bit(bit(tag_state as usize, stage));
-            let kind = kind_for(bit(sw, stage), bit(dest as usize, stage), state);
-            if self.blockages.is_blocked(Link::new(stage, sw, kind)) {
-                debug_assert!(
-                    self.dynamic,
-                    "sender-computed tag steered into a blocked link in a static run"
-                );
-                return Decision::Drop;
-            }
-            return if self.queues.is_full(qbase + kind.index()) {
-                Decision::Stall
-            } else {
-                Decision::Enqueue(kind)
-            };
-        }
-        let t = bit(dest as usize, stage);
-        let entry = self.lut.entry(stage, sw, t);
-        if entry.is_straight() {
-            // Straight-bound: no alternative exists (Theorem 3.2).
-            if !entry.c_free() {
-                return Decision::Drop;
-            }
-            return if self.queues.is_full(qbase + LinkKind::Straight.index()) {
-                Decision::Stall
-            } else {
-                Decision::Enqueue(LinkKind::Straight)
-            };
-        }
-        // Nonstraight-bound: the two signed links both reach the
-        // destination (Theorem 3.2); the policy picks. Candidates are a
-        // fixed-size inline array in preference order.
-        let c_kind = entry.c_kind();
-        let cbar_kind = entry.cbar_kind();
-        let mut candidates = [c_kind, cbar_kind];
-        let count = match self.policy {
-            RoutingPolicy::FixedC => {
-                if !entry.c_free() {
-                    return Decision::Drop;
-                }
-                1
-            }
-            RoutingPolicy::SsdtBalance => match (entry.c_free(), entry.cbar_free()) {
-                (false, false) => return Decision::Drop,
-                (true, false) => 1,
-                (false, true) => {
-                    // Forced off the preferred ΔC sign onto the spare —
-                    // the paper's single-nonstraight-blockage reroute.
-                    self.stats.reroutes += 1;
-                    candidates[0] = cbar_kind;
-                    1
-                }
-                (true, true) => {
-                    let len0 = self.queues.len(qbase + c_kind.index());
-                    let len1 = self.queues.len(qbase + cbar_kind.index());
-                    // Shorter buffer wins; on ties the switch state decides
-                    // and then flips, alternating the sign (the SSDT state
-                    // flip reused as a balancing device).
-                    let prefer_second = match len0.cmp(&len1) {
-                        std::cmp::Ordering::Less => false,
-                        std::cmp::Ordering::Greater => true,
-                        std::cmp::Ordering::Equal => {
-                            let state = self.states.get(stage, sw);
-                            self.states.flip(stage, sw);
-                            // State C keeps the ΔC (first) candidate.
-                            state == SwitchState::Cbar
-                        }
-                    };
-                    if prefer_second {
-                        candidates.swap(0, 1);
-                    }
-                    2
-                }
-            },
-            RoutingPolicy::RandomSign => match (entry.c_free(), entry.cbar_free()) {
-                (false, false) => return Decision::Drop,
-                (true, false) => 1,
-                (false, true) => {
-                    // Forced off the preferred ΔC sign onto the spare —
-                    // the paper's single-nonstraight-blockage reroute.
-                    self.stats.reroutes += 1;
-                    candidates[0] = cbar_kind;
-                    1
-                }
-                (true, true) => {
-                    if self.rng.gen_bool(0.5) {
-                        candidates.swap(0, 1);
-                    }
-                    2
-                }
-            },
-            RoutingPolicy::TsdtSender => {
-                // Unreachable: TsdtSender packets always carry a tag and
-                // are handled above; a tagless packet under this policy is
-                // a bug.
-                unreachable!("TsdtSender packets must carry a tag")
-            }
+        let mut ctx = PolicyCtx {
+            policy: self.policy,
+            n: self.config.size.n(),
+            dynamic: self.dynamic,
+            blockages: &self.blockages,
+            lut: &self.lut,
+            stats: &mut self.stats,
+            states: &mut self.states,
+            rng: &mut self.rng,
+            sticky: &mut self.sticky,
         };
-        for &kind in &candidates[..count] {
-            if !self.queues.is_full(qbase + kind.index()) {
-                return Decision::Enqueue(kind);
-            }
-        }
-        Decision::Stall
+        ctx.decide(&self.queues, stage, sw, dest, tag_state)
     }
 
     /// The sender-side TSDT tag for `(source, dest)`: the cached REROUTE
@@ -1481,11 +1763,11 @@ impl Simulator {
         self.cycle += 1;
     }
 
-    /// [`Simulator::decide`]'s wormhole twin: the same policy logic with
-    /// lane availability (`ReservationTable`) in place of buffer space,
-    /// so SSDT balances *held-lane* counts and TSDT tags steer worms the
-    /// way they steer packets. Kept separate from `decide` so the
-    /// store-and-forward hot path stays untouched.
+    /// [`Simulator::decide`]'s wormhole twin: the shared
+    /// [`PolicyCtx::decide`] body instantiated with lane availability
+    /// (`ReservationTable`) in place of buffer space, so SSDT and
+    /// d-choice balance *held-lane* counts and TSDT tags steer worms the
+    /// way they steer packets.
     fn decide_worm(
         &mut self,
         res: &ReservationTable,
@@ -1494,96 +1776,18 @@ impl Simulator {
         dest: u32,
         tag_state: Option<u32>,
     ) -> Decision {
-        let qbase = (stage * self.config.size.n() + sw) * 3;
-        if let Some(tag_state) = tag_state {
-            let state = SwitchState::from_bit(bit(tag_state as usize, stage));
-            let kind = kind_for(bit(sw, stage), bit(dest as usize, stage), state);
-            if self.blockages.is_blocked(Link::new(stage, sw, kind)) {
-                debug_assert!(
-                    self.dynamic,
-                    "sender-computed tag steered into a blocked link in a static run"
-                );
-                return Decision::Drop;
-            }
-            return if res.is_full(qbase + kind.index()) {
-                Decision::Stall
-            } else {
-                Decision::Enqueue(kind)
-            };
-        }
-        let t = bit(dest as usize, stage);
-        let entry = self.lut.entry(stage, sw, t);
-        if entry.is_straight() {
-            if !entry.c_free() {
-                return Decision::Drop;
-            }
-            return if res.is_full(qbase + LinkKind::Straight.index()) {
-                Decision::Stall
-            } else {
-                Decision::Enqueue(LinkKind::Straight)
-            };
-        }
-        let c_kind = entry.c_kind();
-        let cbar_kind = entry.cbar_kind();
-        let mut candidates = [c_kind, cbar_kind];
-        let count = match self.policy {
-            RoutingPolicy::FixedC => {
-                if !entry.c_free() {
-                    return Decision::Drop;
-                }
-                1
-            }
-            RoutingPolicy::SsdtBalance => match (entry.c_free(), entry.cbar_free()) {
-                (false, false) => return Decision::Drop,
-                (true, false) => 1,
-                (false, true) => {
-                    self.stats.reroutes += 1;
-                    candidates[0] = cbar_kind;
-                    1
-                }
-                (true, true) => {
-                    let held0 = res.held(qbase + c_kind.index());
-                    let held1 = res.held(qbase + cbar_kind.index());
-                    let prefer_second = match held0.cmp(&held1) {
-                        std::cmp::Ordering::Less => false,
-                        std::cmp::Ordering::Greater => true,
-                        std::cmp::Ordering::Equal => {
-                            let state = self.states.get(stage, sw);
-                            self.states.flip(stage, sw);
-                            state == SwitchState::Cbar
-                        }
-                    };
-                    if prefer_second {
-                        candidates.swap(0, 1);
-                    }
-                    2
-                }
-            },
-            RoutingPolicy::RandomSign => match (entry.c_free(), entry.cbar_free()) {
-                (false, false) => return Decision::Drop,
-                (true, false) => 1,
-                (false, true) => {
-                    self.stats.reroutes += 1;
-                    candidates[0] = cbar_kind;
-                    1
-                }
-                (true, true) => {
-                    if self.rng.gen_bool(0.5) {
-                        candidates.swap(0, 1);
-                    }
-                    2
-                }
-            },
-            RoutingPolicy::TsdtSender => {
-                unreachable!("TsdtSender packets must carry a tag")
-            }
+        let mut ctx = PolicyCtx {
+            policy: self.policy,
+            n: self.config.size.n(),
+            dynamic: self.dynamic,
+            blockages: &self.blockages,
+            lut: &self.lut,
+            stats: &mut self.stats,
+            states: &mut self.states,
+            rng: &mut self.rng,
+            sticky: &mut self.sticky,
         };
-        for &kind in &candidates[..count] {
-            if !res.is_full(qbase + kind.index()) {
-                return Decision::Enqueue(kind);
-            }
-        }
-        Decision::Stall
+        ctx.decide(res, stage, sw, dest, tag_state)
     }
 
     /// One event-driven cycle. A cycle with no due events is *idle*: by
@@ -2015,10 +2219,9 @@ impl Simulator {
         }
     }
 
-    /// [`Simulator::decide`]'s event-engine twin: the same policy logic
-    /// with the dense arena in place of the flat one. Kept separate (the
-    /// `decide_worm` pattern) so the synchronous hot path stays
-    /// untouched.
+    /// [`Simulator::decide`]'s event-engine twin: the shared
+    /// [`PolicyCtx::decide`] body instantiated with the dense arena in
+    /// place of the flat one.
     fn decide_active(
         &mut self,
         arena: &ActiveArena,
@@ -2027,96 +2230,18 @@ impl Simulator {
         dest: u32,
         tag_state: Option<u32>,
     ) -> Decision {
-        let qbase = (stage * self.config.size.n() + sw) * 3;
-        if let Some(tag_state) = tag_state {
-            let state = SwitchState::from_bit(bit(tag_state as usize, stage));
-            let kind = kind_for(bit(sw, stage), bit(dest as usize, stage), state);
-            if self.blockages.is_blocked(Link::new(stage, sw, kind)) {
-                debug_assert!(
-                    self.dynamic,
-                    "sender-computed tag steered into a blocked link in a static run"
-                );
-                return Decision::Drop;
-            }
-            return if arena.is_full(qbase + kind.index()) {
-                Decision::Stall
-            } else {
-                Decision::Enqueue(kind)
-            };
-        }
-        let t = bit(dest as usize, stage);
-        let entry = self.lut.entry(stage, sw, t);
-        if entry.is_straight() {
-            if !entry.c_free() {
-                return Decision::Drop;
-            }
-            return if arena.is_full(qbase + LinkKind::Straight.index()) {
-                Decision::Stall
-            } else {
-                Decision::Enqueue(LinkKind::Straight)
-            };
-        }
-        let c_kind = entry.c_kind();
-        let cbar_kind = entry.cbar_kind();
-        let mut candidates = [c_kind, cbar_kind];
-        let count = match self.policy {
-            RoutingPolicy::FixedC => {
-                if !entry.c_free() {
-                    return Decision::Drop;
-                }
-                1
-            }
-            RoutingPolicy::SsdtBalance => match (entry.c_free(), entry.cbar_free()) {
-                (false, false) => return Decision::Drop,
-                (true, false) => 1,
-                (false, true) => {
-                    self.stats.reroutes += 1;
-                    candidates[0] = cbar_kind;
-                    1
-                }
-                (true, true) => {
-                    let len0 = arena.len(qbase + c_kind.index());
-                    let len1 = arena.len(qbase + cbar_kind.index());
-                    let prefer_second = match len0.cmp(&len1) {
-                        std::cmp::Ordering::Less => false,
-                        std::cmp::Ordering::Greater => true,
-                        std::cmp::Ordering::Equal => {
-                            let state = self.states.get(stage, sw);
-                            self.states.flip(stage, sw);
-                            state == SwitchState::Cbar
-                        }
-                    };
-                    if prefer_second {
-                        candidates.swap(0, 1);
-                    }
-                    2
-                }
-            },
-            RoutingPolicy::RandomSign => match (entry.c_free(), entry.cbar_free()) {
-                (false, false) => return Decision::Drop,
-                (true, false) => 1,
-                (false, true) => {
-                    self.stats.reroutes += 1;
-                    candidates[0] = cbar_kind;
-                    1
-                }
-                (true, true) => {
-                    if self.rng.gen_bool(0.5) {
-                        candidates.swap(0, 1);
-                    }
-                    2
-                }
-            },
-            RoutingPolicy::TsdtSender => {
-                unreachable!("TsdtSender packets must carry a tag")
-            }
+        let mut ctx = PolicyCtx {
+            policy: self.policy,
+            n: self.config.size.n(),
+            dynamic: self.dynamic,
+            blockages: &self.blockages,
+            lut: &self.lut,
+            stats: &mut self.stats,
+            states: &mut self.states,
+            rng: &mut self.rng,
+            sticky: &mut self.sticky,
         };
-        for &kind in &candidates[..count] {
-            if !arena.is_full(qbase + kind.index()) {
-                return Decision::Enqueue(kind);
-            }
-        }
-        Decision::Stall
+        ctx.decide(arena, stage, sw, dest, tag_state)
     }
 
     /// Drains one flit of worm `id` into its output port, releasing the
@@ -2194,7 +2319,9 @@ impl Simulator {
         flits
     }
 
-    /// Runs the configured number of cycles and returns the statistics.
+    /// Runs until the configured horizon — or until steady-state
+    /// convergence, when [`Simulator::with_convergence`] armed it — and
+    /// returns the statistics.
     pub fn run(mut self) -> SimStats {
         if self.event.is_some() {
             self.run_event();
@@ -2202,6 +2329,9 @@ impl Simulator {
         }
         for _ in 0..self.config.cycles {
             self.step();
+            if self.converge_poll() {
+                break;
+            }
         }
         self.finish()
     }
@@ -2213,6 +2343,13 @@ impl Simulator {
     fn run_event(&mut self) {
         let horizon = self.config.cycles as u64;
         while self.cycle < horizon {
+            // Clamp idle-time jumps to the next convergence window
+            // boundary: the poll must fire at exactly the cycles the
+            // synchronous engine polls at, or an early stop could land on
+            // a different cycle and break the engine-equivalence
+            // contract. Without convergence the clamp is `u64::MAX` and
+            // the jump is unchanged.
+            let boundary = self.converge.as_ref().map_or(u64::MAX, |cv| cv.next);
             let next = self
                 .event
                 .as_ref()
@@ -2220,7 +2357,8 @@ impl Simulator {
                 .queue
                 .peek_cycle()
                 .unwrap_or(horizon)
-                .min(horizon);
+                .min(horizon)
+                .min(boundary);
             if next > self.cycle {
                 let span = next - self.cycle;
                 if let Some(ws) = self.wormhole.as_mut() {
@@ -2233,11 +2371,17 @@ impl Simulator {
                         .fast_forward(span);
                 }
                 self.cycle = next;
-                if self.cycle == horizon {
+                if self.converge_poll() || self.cycle == horizon {
                     break;
                 }
+                // Jump landed on a window boundary with no due events:
+                // loop around and keep jumping from here.
+                continue;
             }
             self.step_event();
+            if self.converge_poll() {
+                break;
+            }
         }
     }
 
@@ -3366,5 +3510,271 @@ mod permutation_throughput_tests {
             crossbar.throughput(),
             single.throughput()
         );
+    }
+}
+
+#[cfg(test)]
+mod dchoice_convergence_tests {
+    use super::*;
+    use iadm_fault::scenario::{self, KindFilter};
+
+    fn config(n: usize, load: f64, cycles: usize) -> SimConfig {
+        SimConfig {
+            size: Size::new(n).unwrap(),
+            queue_capacity: 4,
+            cycles,
+            warmup: cycles / 4,
+            offered_load: load,
+            seed: 7,
+            engine: EngineKind::Synchronous,
+        }
+    }
+
+    #[test]
+    fn dchoice_conserves_and_delivers_in_every_flavor() {
+        for (d, sticky) in [(1u8, false), (2, false), (2, true)] {
+            let stats = run_once(
+                config(8, 0.5, 400),
+                RoutingPolicy::DChoice { d, sticky },
+                TrafficPattern::Uniform,
+            );
+            assert!(stats.is_conserved(), "d={d} sticky={sticky}: {stats:?}");
+            assert_eq!(stats.misrouted, 0, "d={d} sticky={sticky}");
+            assert_eq!(stats.dropped, 0, "no faults => no drops");
+            assert!(stats.delivered > 0, "d={d} sticky={sticky}");
+        }
+    }
+
+    #[test]
+    fn dchoice_one_matches_fixed_c_without_faults() {
+        // d = 1 samples only the preferred ΔC candidate, which fault-free
+        // is exactly the FixedC behavior: identical statistics, not just
+        // similar ones (both policies are deterministic).
+        let fixed = run_once(
+            config(16, 0.45, 400),
+            RoutingPolicy::FixedC,
+            TrafficPattern::Uniform,
+        );
+        let one = run_once(
+            config(16, 0.45, 400),
+            RoutingPolicy::DChoice {
+                d: 1,
+                sticky: false,
+            },
+            TrafficPattern::Uniform,
+        );
+        assert_eq!(fixed.delivered, one.delivered);
+        assert_eq!(fixed.latency_sum, one.latency_sum);
+        assert_eq!(fixed.nonstraight_imbalance, one.nonstraight_imbalance);
+    }
+
+    #[test]
+    fn dchoice_one_survives_faults_fixed_c_drops_on() {
+        // Under nonstraight faults, d = 1 still evades onto the spare
+        // sign (the (false, true) reroute arm) where FixedC drops.
+        let size = Size::new(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xFA);
+        let map = scenario::random_faults(&mut rng, size, 6, KindFilter::NonstraightOnly);
+        let cfg = config(16, 0.45, 400);
+        let fixed = Simulator::with_blockages(
+            cfg,
+            RoutingPolicy::FixedC,
+            TrafficPattern::Uniform,
+            map.clone(),
+        )
+        .run();
+        let one = Simulator::with_blockages(
+            cfg,
+            RoutingPolicy::DChoice {
+                d: 1,
+                sticky: false,
+            },
+            TrafficPattern::Uniform,
+            map,
+        )
+        .run();
+        assert!(one.is_conserved() && fixed.is_conserved());
+        assert!(one.reroutes > 0, "the spare sign was never used");
+        assert!(
+            one.dropped < fixed.dropped,
+            "fault evasion must save packets: {} vs {}",
+            one.dropped,
+            fixed.dropped
+        );
+    }
+
+    #[test]
+    fn dchoice_balances_where_fixed_c_cannot() {
+        // The balanced-allocation claim, measurably: at saturating load
+        // the two-choice policy spreads nonstraight traffic across both
+        // signs while FixedC puts every packet on ΔC by construction.
+        let two = run_once(
+            config(16, 0.9, 600),
+            RoutingPolicy::DChoice {
+                d: 2,
+                sticky: false,
+            },
+            TrafficPattern::Uniform,
+        );
+        let fixed = run_once(
+            config(16, 0.9, 600),
+            RoutingPolicy::FixedC,
+            TrafficPattern::Uniform,
+        );
+        assert_eq!(fixed.nonstraight_imbalance, 1.0);
+        // Ties keep ΔC deterministically, so d-choice retains a mild ΔC
+        // skew (unlike SSDT's alternating flip) — but occupancy
+        // comparison still pulls it far off the all-one-sign extreme.
+        assert!(
+            two.nonstraight_imbalance < 0.75,
+            "two choices left imbalance at {}",
+            two.nonstraight_imbalance
+        );
+    }
+
+    #[test]
+    fn sticky_dchoice_diverges_from_plain_dchoice() {
+        // Sticky retention must actually change routing under load (a
+        // sticky flag that never changes a decision is dead code).
+        let plain = run_once(
+            config(16, 0.8, 600),
+            RoutingPolicy::DChoice {
+                d: 2,
+                sticky: false,
+            },
+            TrafficPattern::Uniform,
+        );
+        let sticky = run_once(
+            config(16, 0.8, 600),
+            RoutingPolicy::DChoice { d: 2, sticky: true },
+            TrafficPattern::Uniform,
+        );
+        assert!(plain.is_conserved() && sticky.is_conserved());
+        assert_ne!(
+            (plain.latency_sum, plain.delivered),
+            (sticky.latency_sum, sticky.delivered),
+            "sticky retention never altered a route"
+        );
+    }
+
+    #[test]
+    fn dchoice_runs_under_wormhole_switching() {
+        let stats = Simulator::new(
+            config(8, 0.3, 400),
+            RoutingPolicy::DChoice { d: 2, sticky: true },
+            TrafficPattern::Uniform,
+        )
+        .with_wormhole_switching(4, 1)
+        .run();
+        assert!(stats.flits_conserved(), "{stats:?}");
+        assert!(stats.delivered > 0);
+        assert_eq!(stats.misrouted, 0);
+    }
+
+    #[test]
+    fn convergence_stops_early_and_stamps_the_boundary() {
+        let cfg = config(16, 0.3, 20_000);
+        let stats = Simulator::new(cfg, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
+            .with_convergence(200, 0.05)
+            .run();
+        assert!(
+            stats.converged_at_cycle > 0,
+            "a 20k-cycle uniform run must reach steady state: {stats:?}"
+        );
+        assert_eq!(stats.cycles, stats.converged_at_cycle);
+        assert!(stats.cycles < 20_000, "never stopped early");
+        assert_eq!(stats.converged_at_cycle % 200, 0, "not a window boundary");
+        assert!(stats.is_conserved());
+    }
+
+    #[test]
+    fn convergence_off_leaves_the_sentinel_zero() {
+        let stats = run_once(
+            config(8, 0.4, 400),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        );
+        assert_eq!(stats.converged_at_cycle, 0);
+        assert_eq!(stats.cycles, 400);
+    }
+
+    #[test]
+    fn zero_load_windows_never_converge() {
+        // Empty windows carry no evidence: a run with no latency samples
+        // must execute its full horizon, not "converge" on 0 == 0.
+        let stats = Simulator::new(
+            config(8, 0.0, 1000),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        )
+        .with_convergence(50, 0.1)
+        .run();
+        assert_eq!(stats.converged_at_cycle, 0);
+        assert_eq!(stats.cycles, 1000);
+    }
+
+    #[test]
+    fn converged_runs_match_across_engines_byte_for_byte() {
+        // The clamped-jump contract: an early-stopped event-engine run
+        // must stop at the same boundary with the same statistics as the
+        // synchronous engine.
+        for load in [0.2, 0.6] {
+            let mut cfg = config(16, load, 20_000);
+            let sync = Simulator::new(cfg, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
+                .with_convergence(200, 0.05)
+                .run();
+            cfg.engine = EngineKind::EventDriven;
+            let event = Simulator::new(cfg, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
+                .with_convergence(200, 0.05)
+                .run();
+            assert_eq!(sync.converged_at_cycle, event.converged_at_cycle);
+            assert_eq!(sync.cycles, event.cycles);
+            assert_eq!(sync.delivered, event.delivered);
+            assert_eq!(sync.latency_sum, event.latency_sum);
+            assert_eq!(sync.in_flight, event.in_flight);
+            assert_eq!(
+                sync.queue_mean_occupancy.to_bits(),
+                event.queue_mean_occupancy.to_bits(),
+                "occupancy integrals diverged at load {load}"
+            );
+        }
+    }
+
+    #[test]
+    fn dchoice_matches_across_engines_with_convergence() {
+        let mut cfg = config(16, 0.5, 10_000);
+        let policy = RoutingPolicy::DChoice { d: 2, sticky: true };
+        let sync = Simulator::new(cfg, policy, TrafficPattern::Uniform)
+            .with_convergence(100, 0.1)
+            .run();
+        cfg.engine = EngineKind::EventDriven;
+        let event = Simulator::new(cfg, policy, TrafficPattern::Uniform)
+            .with_convergence(100, 0.1)
+            .run();
+        assert_eq!(sync.converged_at_cycle, event.converged_at_cycle);
+        assert_eq!(sync.delivered, event.delivered);
+        assert_eq!(sync.latency_sum, event.latency_sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_convergence_window_is_rejected() {
+        let _ = Simulator::new(
+            config(8, 0.4, 100),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        )
+        .with_convergence(0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn negative_convergence_tolerance_is_rejected() {
+        let _ = Simulator::new(
+            config(8, 0.4, 100),
+            RoutingPolicy::SsdtBalance,
+            TrafficPattern::Uniform,
+        )
+        .with_convergence(10, -0.5);
     }
 }

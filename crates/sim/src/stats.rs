@@ -99,6 +99,15 @@ pub struct SimStats {
     /// `workload.issued == 0` — for open-loop runs, which is what keeps
     /// the workload block out of their JSON artifacts.
     pub workload: WorkloadStats,
+    /// The cycle at which steady-state convergence stopped the run
+    /// (`Simulator::with_convergence`): the window boundary where two
+    /// consecutive non-empty windows' mean latencies agreed within
+    /// tolerance. `0` is the sentinel for "not applicable" — detection
+    /// off, or the run reached its fixed horizon without converging —
+    /// and is unambiguous because a poll can only fire at the end of the
+    /// first window, which is at least cycle 1. Keeps the field (and its
+    /// JSON emission) out of every pre-convergence artifact.
+    pub converged_at_cycle: u64,
 }
 
 impl SimStats {
@@ -241,6 +250,36 @@ mod tests {
         for p in [0.0, 0.5, 0.99, 1.0] {
             assert_eq!(stats.percentile(p), 8, "p={p}");
         }
+    }
+
+    #[test]
+    fn percentile_is_the_documented_bound_convention() {
+        // `SimStats::percentile` and the histogram's `percentile_bound`
+        // must never drift apart: the former is definitionally the
+        // latter tightened to the observed maximum, with `None` mapped
+        // to the scalar sentinel 0 — the exact convention
+        // `WorkloadStats::percentile` also follows (pinned in the
+        // `percentile_bound` doc).
+        let mut stats = SimStats::default();
+        for v in [2u64, 5, 9, 33, 120, 121] {
+            stats.latency_histogram.record(v);
+            stats.latency_max = stats.latency_max.max(v);
+        }
+        for p in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let expect = stats
+                .latency_histogram
+                .percentile_bound(p)
+                .map_or(0, |b| b.min(stats.latency_max));
+            assert_eq!(stats.percentile(p), expect, "p={p}");
+        }
+        // p = 0 is the lowest sample's tightened bucket edge (3 for the
+        // [2,3] bucket), never a fabricated zero.
+        assert_eq!(stats.percentile(0.0), 3);
+        // And absence agrees across the API boundary: None upstream is
+        // exactly the 0 sentinel downstream.
+        let empty = SimStats::default();
+        assert_eq!(empty.latency_histogram.percentile_bound(0.5), None);
+        assert_eq!(empty.percentile(0.5), 0);
     }
 
     #[test]

@@ -149,7 +149,7 @@ fn run_stats(run: &RunSpec, bases: Option<&RunBases>) -> (usize, SimStats) {
             &owned
         }
     };
-    let stats = Simulator::with_shared_lut(
+    let mut sim = Simulator::with_shared_lut(
         config,
         run.policy,
         run.pattern.clone(),
@@ -158,8 +158,11 @@ fn run_stats(run: &RunSpec, bases: Option<&RunBases>) -> (usize, SimStats) {
         timeline,
     )
     .with_switching_mode(run.mode)
-    .with_workload(&run.workload, workload_seed)
-    .run();
+    .with_workload(&run.workload, workload_seed);
+    if let Some((window, tol)) = run.converge {
+        sim = sim.with_convergence(window, tol);
+    }
+    let stats = sim.run();
     (bases.faults, stats)
 }
 

@@ -70,8 +70,9 @@ pub use engine::{
 };
 pub use report::{campaign_json, pivot_table, summary_table};
 pub use spec::{
-    engine_label, mode_label, parse_engine, parse_loads, parse_mode, parse_pattern, parse_policy,
-    parse_scenario, pattern_label, policy_label, validate_scenario, RunSpec, SweepSpec,
+    converge_label, engine_label, mode_label, parse_converge, parse_engine, parse_loads,
+    parse_mode, parse_pattern, parse_policy, parse_scenario, pattern_label, policy_label,
+    validate_scenario, RunSpec, SweepSpec,
 };
 pub use stream::{
     artifact_prefix, journal_header, merge_fragments, parse_journal, shard_range, stream_campaign,

@@ -1,7 +1,7 @@
 //! Campaign artifacts: the byte-stable JSON document and human tables.
 
 use crate::engine::{CampaignResult, RunRecord};
-use crate::spec::{engine_label, mode_label, pattern_label, policy_label, RunSpec};
+use crate::spec::{converge_label, engine_label, mode_label, pattern_label, policy_label, RunSpec};
 use iadm_bench::json::{sim_stats_json, Json};
 use iadm_sim::{EngineKind, SimStats, SwitchingMode, WorkloadSpec};
 use std::collections::HashMap;
@@ -55,6 +55,12 @@ pub(crate) fn run_json(spec: &RunSpec, faults: usize, stats: &SimStats) -> Json 
     // pre-workload artifact byte-identical.
     if spec.workload != WorkloadSpec::OpenLoop {
         fields.push(("workload", Json::from(spec.workload.label())));
+    }
+    // And fixed-horizon runs omit the converge field, keeping every
+    // pre-convergence artifact byte-identical. The stats block reports
+    // the outcome (`converged_at_cycle`); this field records the recipe.
+    if let Some((window, tol)) = spec.converge {
+        fields.push(("converge", Json::from(converge_label(window, tol))));
     }
     fields.extend([
         ("scenario", Json::from(spec.scenario.label())),
@@ -136,7 +142,7 @@ pub fn pivot_table(result: &CampaignResult, metric: &dyn Fn(&RunRecord) -> Strin
         // Column label: policy, then any non-default mode/engine axis
         // values, then scenario — default-axis campaigns keep their old
         // labels.
-        let mut parts = vec![policy_label(record.spec.policy).to_string()];
+        let mut parts = vec![policy_label(record.spec.policy)];
         if record.spec.mode != SwitchingMode::StoreForward {
             parts.push(mode_label(record.spec.mode));
         }
@@ -256,6 +262,29 @@ mod tests {
         let open = campaign_json(&run_campaign(&SweepSpec::smoke(), 2).unwrap()).encode();
         assert!(!open.contains("\"workload\":"));
         assert!(!open.contains("\"requests_issued\":"));
+    }
+
+    #[test]
+    fn converging_runs_carry_the_recipe_and_fixed_horizon_stays_bare() {
+        let mut spec = SweepSpec::smoke();
+        spec.converge = Some((50, 0.1));
+        let result = run_campaign(&spec, 2).unwrap();
+        let text = campaign_json(&result).encode();
+        assert_round_trip(&text).expect("campaign JSON must round-trip");
+        // Every run records the recipe; runs that actually stopped early
+        // also record the outcome in their stats block.
+        assert!(text.contains("\"converge\":\"50:0.1\""));
+        assert!(text.contains("\"converged_at_cycle\":"));
+        assert!(result
+            .runs
+            .iter()
+            .any(|r| r.stats.converged_at_cycle > 0 && r.stats.cycles < 200));
+
+        // Fixed-horizon runs stay converge-free: the field count differs,
+        // never the spelling of existing fields.
+        let bare = campaign_json(&run_campaign(&SweepSpec::smoke(), 2).unwrap()).encode();
+        assert!(!bare.contains("\"converge\""));
+        assert!(!bare.contains("\"converged_at_cycle\""));
     }
 
     #[test]

@@ -36,6 +36,18 @@ pub struct SweepSpec {
     pub cycles: usize,
     /// Warm-up cycles excluded from latency statistics.
     pub warmup: usize,
+    /// Steady-state early termination, applied to *every* run of the
+    /// grid: `Some((window, tol))` stops a run at the first window
+    /// boundary where two consecutive windowed mean latencies agree
+    /// within relative tolerance `tol`
+    /// ([`Simulator::with_convergence`]). A campaign-level knob, not a
+    /// tenth axis — convergence changes *when* runs stop, not *what* is
+    /// being compared, so crossing it with itself would only duplicate
+    /// grid points. `None` (the default everywhere predating it) keeps
+    /// the fixed horizon and byte-identical historical artifacts.
+    ///
+    /// [`Simulator::with_convergence`]: iadm_sim::Simulator::with_convergence
+    pub converge: Option<(u64, f64)>,
     /// Master seed; every run seed is derived from it by index.
     pub campaign_seed: u64,
 }
@@ -69,6 +81,9 @@ pub struct RunSpec {
     pub cycles: usize,
     /// Warm-up cycles.
     pub warmup: usize,
+    /// Steady-state convergence `(window, tol)`, inherited from the
+    /// campaign spec (`None` = fixed horizon).
+    pub converge: Option<(u64, f64)>,
     /// Derived simulation seed: `mix(campaign_seed, index)` with the
     /// engine coordinate factored out of the index, so runs that differ
     /// only in engine share a realization (and must agree byte-for-byte
@@ -121,6 +136,24 @@ impl SweepSpec {
                 "warmup {} must be below cycles {}",
                 self.warmup, self.cycles
             ));
+        }
+        if let Some((window, tol)) = self.converge {
+            if window == 0 {
+                return Err("convergence window must be at least 1 cycle".into());
+            }
+            if !tol.is_finite() || tol < 0.0 {
+                return Err(format!(
+                    "convergence tolerance must be finite and non-negative, got {tol}"
+                ));
+            }
+            // A verdict needs two complete windows; a window the horizon
+            // cannot fit twice would silently degenerate to fixed-horizon.
+            if 2 * window > self.cycles as u64 {
+                return Err(format!(
+                    "convergence window {window} needs two windows within {} cycles",
+                    self.cycles
+                ));
+            }
         }
         for &load in &self.loads {
             if !(0.0..=1.0).contains(&load) {
@@ -204,6 +237,7 @@ impl SweepSpec {
                                                 scenario: scenario.clone(),
                                                 cycles: self.cycles,
                                                 warmup: self.warmup,
+                                                converge: self.converge,
                                                 seed: iadm_rng::mix(
                                                     self.campaign_seed,
                                                     seed_index as u64,
@@ -249,6 +283,7 @@ impl SweepSpec {
             ],
             cycles: 200,
             warmup: 40,
+            converge: None,
             campaign_seed: 7,
         }
     }
@@ -280,6 +315,7 @@ impl SweepSpec {
             ],
             cycles: 1200,
             warmup: 240,
+            converge: None,
             campaign_seed: 0xE13,
         }
     }
@@ -317,6 +353,7 @@ impl SweepSpec {
             ],
             cycles: 2000,
             warmup: 400,
+            converge: None,
             campaign_seed: 0xE15,
         }
     }
@@ -354,6 +391,7 @@ impl SweepSpec {
             ],
             cycles: 1200,
             warmup: 240,
+            converge: None,
             campaign_seed: 0xE16,
         }
     }
@@ -385,6 +423,7 @@ impl SweepSpec {
             ],
             cycles: 1200,
             warmup: 240,
+            converge: None,
             campaign_seed: 0xE17,
         }
     }
@@ -448,7 +487,49 @@ impl SweepSpec {
             ],
             cycles: 1500,
             warmup: 300,
+            converge: None,
             campaign_seed: 0xE18,
+        }
+    }
+
+    /// Experiment E19: power-of-two-choices routing at steady state.
+    /// D-choice (plain and sticky) against the paper's SSDT balance and
+    /// TSDT sender across three traffic shapes — uniform, a single hot
+    /// spot, and the bit-reversal permutation (the adversarial pattern
+    /// for an open-loop grid: it drives every switch's nonstraight pair
+    /// maximally asymmetrically) — at two loads, N=64 (24 runs). Every
+    /// run carries steady-state termination (window 250 cycles, 5%
+    /// relative tolerance), so the artifact records `converged_at_cycle`
+    /// per run: the observable is not just *how well* each policy
+    /// balances but *how fast* its latency distribution settles.
+    pub fn e19() -> SweepSpec {
+        SweepSpec {
+            name: "e19".into(),
+            sizes: vec![64],
+            loads: vec![0.3, 0.6],
+            queue_capacities: vec![4],
+            policies: vec![
+                RoutingPolicy::SsdtBalance,
+                RoutingPolicy::TsdtSender,
+                RoutingPolicy::DChoice {
+                    d: 2,
+                    sticky: false,
+                },
+                RoutingPolicy::DChoice { d: 2, sticky: true },
+            ],
+            patterns: vec![
+                TrafficPattern::Uniform,
+                TrafficPattern::HotSpot(0),
+                TrafficPattern::BitReversal,
+            ],
+            modes: vec![SwitchingMode::StoreForward],
+            workloads: vec![WorkloadSpec::OpenLoop],
+            engines: vec![EngineKind::Synchronous],
+            scenarios: vec![ScenarioSpec::None],
+            cycles: 4000,
+            warmup: 400,
+            converge: Some((250, 0.05)),
+            campaign_seed: 0xE19,
         }
     }
 
@@ -461,8 +542,9 @@ impl SweepSpec {
             "e16" => Ok(SweepSpec::e16()),
             "e17" => Ok(SweepSpec::e17()),
             "e18" => Ok(SweepSpec::e18()),
+            "e19" => Ok(SweepSpec::e19()),
             other => Err(format!(
-                "unknown built-in sweep spec {other} (smoke, e13, e15, e16, e17, e18)"
+                "unknown built-in sweep spec {other} (smoke, e13, e15, e16, e17, e18, e19)"
             )),
         }
     }
@@ -576,27 +658,82 @@ fn validate_pattern(pattern: &TrafficPattern, size: Size) -> Result<(), String> 
     }
 }
 
-/// The stable label of a policy (also the spelling `parse_policy` accepts).
-pub fn policy_label(policy: RoutingPolicy) -> &'static str {
+/// The stable label of a policy (also the spelling `parse_policy`
+/// accepts): `fixed | ssdt | random | tsdt | dchoice:<d>[:sticky]`.
+pub fn policy_label(policy: RoutingPolicy) -> String {
     match policy {
-        RoutingPolicy::FixedC => "fixed",
-        RoutingPolicy::SsdtBalance => "ssdt",
-        RoutingPolicy::RandomSign => "random",
-        RoutingPolicy::TsdtSender => "tsdt",
+        RoutingPolicy::FixedC => "fixed".into(),
+        RoutingPolicy::SsdtBalance => "ssdt".into(),
+        RoutingPolicy::RandomSign => "random".into(),
+        RoutingPolicy::TsdtSender => "tsdt".into(),
+        RoutingPolicy::DChoice { d, sticky: false } => format!("dchoice:{d}"),
+        RoutingPolicy::DChoice { d, sticky: true } => format!("dchoice:{d}:sticky"),
     }
 }
 
-/// Parses a policy name (`fixed | ssdt | random | tsdt`).
+/// Parses a policy name (`fixed | ssdt | random | tsdt |
+/// dchoice:<d>[:sticky]`).
 pub fn parse_policy(text: &str) -> Result<RoutingPolicy, String> {
+    if let Some(rest) = text.strip_prefix("dchoice:") {
+        let (d, sticky) = match rest.split_once(':') {
+            Some((d, "sticky")) => (d, true),
+            Some((_, other)) => {
+                return Err(format!("unknown dchoice modifier {other} (only sticky)"))
+            }
+            None => (rest, false),
+        };
+        let d: u8 = d
+            .parse()
+            .map_err(|_| format!("bad choice count in {text}"))?;
+        // Pivot theory caps the candidate set: a message ever has at most
+        // two routable output links (Theorem 3.2), so d > 2 would lie
+        // about the sampling width.
+        if !(1..=2).contains(&d) {
+            return Err(format!(
+                "dchoice takes d in 1..=2 (the IADM offers at most two \
+                 routable links per stage), got {d}"
+            ));
+        }
+        return Ok(RoutingPolicy::DChoice { d, sticky });
+    }
     match text {
         "fixed" => Ok(RoutingPolicy::FixedC),
         "ssdt" => Ok(RoutingPolicy::SsdtBalance),
         "random" => Ok(RoutingPolicy::RandomSign),
         "tsdt" => Ok(RoutingPolicy::TsdtSender),
         other => Err(format!(
-            "unknown policy {other} (fixed, ssdt, random, tsdt)"
+            "unknown policy {other} (fixed, ssdt, random, tsdt, dchoice:<d>[:sticky])"
         )),
     }
+}
+
+/// The stable label of a convergence setting (also the spelling
+/// `parse_converge` accepts): `<window>:<tol>`.
+pub fn converge_label(window: u64, tol: f64) -> String {
+    format!("{window}:{tol}")
+}
+
+/// Parses a steady-state convergence setting (`<window>:<tol>`, e.g.
+/// `250:0.05` — compare 250-cycle windowed mean latencies, stop when two
+/// consecutive windows agree within 5%). Range validation (window ≥ 1,
+/// two windows within the horizon) happens in [`SweepSpec::expand`],
+/// which knows the cycle budget.
+pub fn parse_converge(text: &str) -> Result<(u64, f64), String> {
+    let (window, tol) = text
+        .split_once(':')
+        .ok_or_else(|| format!("{text} must look like <window>:<tol>"))?;
+    let window = window
+        .parse()
+        .map_err(|_| format!("bad window in {text}"))?;
+    let tol: f64 = tol
+        .parse()
+        .map_err(|_| format!("bad tolerance in {text}"))?;
+    if !tol.is_finite() || tol < 0.0 {
+        return Err(format!(
+            "tolerance in {text} must be finite and non-negative"
+        ));
+    }
+    Ok((window, tol))
 }
 
 /// The stable label of a traffic pattern.
@@ -844,9 +981,29 @@ mod tests {
             RoutingPolicy::SsdtBalance,
             RoutingPolicy::RandomSign,
             RoutingPolicy::TsdtSender,
+            RoutingPolicy::DChoice {
+                d: 1,
+                sticky: false,
+            },
+            RoutingPolicy::DChoice {
+                d: 2,
+                sticky: false,
+            },
+            RoutingPolicy::DChoice { d: 2, sticky: true },
         ] {
-            assert_eq!(parse_policy(policy_label(policy)).unwrap(), policy);
+            assert_eq!(parse_policy(&policy_label(policy)).unwrap(), policy);
         }
+        assert_eq!(
+            policy_label(RoutingPolicy::DChoice { d: 2, sticky: true }),
+            "dchoice:2:sticky"
+        );
+        assert!(parse_policy("dchoice:0").is_err(), "zero choices");
+        assert!(
+            parse_policy("dchoice:3").is_err(),
+            "pivot theory caps d at 2"
+        );
+        assert!(parse_policy("dchoice:2:styck").is_err(), "typo'd modifier");
+        assert!(parse_policy("dchoice:").is_err());
         for pattern in [
             TrafficPattern::Uniform,
             TrafficPattern::BitReversal,
@@ -1089,6 +1246,59 @@ mod tests {
             resp: 1,
         }];
         assert!(spec.expand().is_err(), "N=8 cannot host 1024 clients");
+    }
+
+    #[test]
+    fn e19_matches_its_advertised_shape() {
+        let spec = SweepSpec::e19();
+        assert_eq!(spec.grid_len(), 2 * 4 * 3);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 24);
+        assert!(runs.iter().all(|r| r.size.n() == 64));
+        assert!(runs.iter().all(|r| r.converge == Some((250, 0.05))));
+        assert_eq!(
+            runs.iter()
+                .filter(|r| matches!(r.policy, RoutingPolicy::DChoice { .. }))
+                .count(),
+            12,
+            "half the grid runs d-choice"
+        );
+        assert!(SweepSpec::builtin("e19").is_ok());
+    }
+
+    #[test]
+    fn converge_labels_round_trip_and_reject_garbage() {
+        for (window, tol) in [(250u64, 0.05), (1, 0.0), (50, 0.1)] {
+            assert_eq!(
+                parse_converge(&converge_label(window, tol)).unwrap(),
+                (window, tol)
+            );
+        }
+        assert!(parse_converge("250").is_err(), "missing tolerance");
+        assert!(parse_converge("soon:0.05").is_err(), "bad window");
+        assert!(parse_converge("250:tight").is_err(), "bad tolerance");
+        assert!(parse_converge("250:-0.1").is_err(), "negative tolerance");
+        assert!(parse_converge("250:inf").is_err(), "non-finite tolerance");
+    }
+
+    #[test]
+    fn expansion_validates_the_convergence_recipe() {
+        let mut spec = SweepSpec::smoke();
+        spec.converge = Some((50, 0.1));
+        let runs = spec.expand().unwrap();
+        assert!(runs.iter().all(|r| r.converge == Some((50, 0.1))));
+
+        spec.converge = Some((0, 0.1));
+        assert!(spec.expand().is_err(), "zero window");
+        spec.converge = Some((150, 0.1));
+        assert!(
+            spec.expand().is_err(),
+            "two 150-cycle windows cannot fit in 200 cycles"
+        );
+        spec.converge = Some((100, -0.5));
+        assert!(spec.expand().is_err(), "negative tolerance");
+        spec.converge = Some((100, f64::NAN));
+        assert!(spec.expand().is_err(), "NaN tolerance");
     }
 
     #[test]

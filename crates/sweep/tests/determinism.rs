@@ -44,6 +44,7 @@ fn contract_spec() -> SweepSpec {
         ],
         cycles: 150,
         warmup: 30,
+        converge: None,
         campaign_seed: 0xC0FFEE,
     }
 }
@@ -169,6 +170,7 @@ fn closed_loop_spec() -> SweepSpec {
         ],
         cycles: 200,
         warmup: 40,
+        converge: None,
         campaign_seed: 0xC105ED,
     }
 }
@@ -233,6 +235,94 @@ fn closed_loop_engine_pairs_report_byte_identical_statistics() {
         ));
         assert!(block.iter().all(|r| r.stats.injected > 0));
     }
+}
+
+/// The convergence analogue of [`contract_spec`]: d-choice (plain and
+/// sticky) next to SSDT, with steady-state termination on every run, so
+/// the early-stop cycle itself is under the byte-identity contract —
+/// across thread counts *and* across scheduling engines (the event
+/// engine clamps its idle jumps to window boundaries precisely so its
+/// polls land on the synchronous engine's cycles).
+fn convergence_spec() -> SweepSpec {
+    SweepSpec {
+        name: "convergence-contract".into(),
+        sizes: vec![8, 16],
+        loads: vec![0.4, 0.8],
+        queue_capacities: vec![4],
+        policies: vec![
+            RoutingPolicy::SsdtBalance,
+            RoutingPolicy::DChoice {
+                d: 2,
+                sticky: false,
+            },
+            RoutingPolicy::DChoice { d: 2, sticky: true },
+        ],
+        patterns: vec![TrafficPattern::Uniform],
+        modes: vec![SwitchingMode::StoreForward],
+        workloads: vec![WorkloadSpec::OpenLoop],
+        engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
+        scenarios: vec![
+            ScenarioSpec::None,
+            ScenarioSpec::Mtbf { mtbf: 60, mttr: 20 },
+        ],
+        cycles: 300,
+        warmup: 50,
+        converge: Some((50, 0.1)),
+        campaign_seed: 0xC0171,
+    }
+}
+
+#[test]
+fn converging_campaigns_are_byte_identical_across_1_2_and_8_threads() {
+    let spec = convergence_spec();
+    let one = campaign_json(&run_campaign(&spec, 1).unwrap()).encode();
+    let two = campaign_json(&run_campaign(&spec, 2).unwrap()).encode();
+    let eight = campaign_json(&run_campaign(&spec, 8).unwrap()).encode();
+    assert_eq!(one, two, "1-thread vs 2-thread artifacts diverged");
+    assert_eq!(one, eight, "1-thread vs 8-thread artifacts diverged");
+    let value = assert_round_trip(&one).expect("artifact must round-trip");
+    let encoded = value.encode();
+    assert!(encoded.contains("\"run_count\":48"));
+    // The recipe is recorded on every run; the outcome on those that
+    // actually stopped early.
+    assert!(encoded.contains("\"converge\":\"50:0.1\""));
+    assert!(encoded.contains("\"converged_at_cycle\":"));
+    assert!(encoded.contains("\"policy\":\"dchoice:2\""));
+    assert!(encoded.contains("\"policy\":\"dchoice:2:sticky\""));
+}
+
+#[test]
+fn converging_engine_pairs_stop_at_the_same_window_boundary() {
+    // Early termination must not break the sync/event equivalence
+    // contract: paired runs stop at the same boundary with identical
+    // statistics — converged_at_cycle included, byte for byte.
+    use iadm_bench::json::sim_stats_json;
+    let spec = convergence_spec();
+    let scenarios = spec.scenarios.len();
+    let result = run_campaign(&spec, 4).unwrap();
+    let mut converged = 0usize;
+    for block in result.runs.chunks(2 * scenarios) {
+        let (sync, event) = block.split_at(scenarios);
+        for (a, b) in sync.iter().zip(event) {
+            assert_eq!(a.spec.engine, EngineKind::Synchronous);
+            assert_eq!(b.spec.engine, EngineKind::EventDriven);
+            assert_eq!(a.spec.seed, b.spec.seed);
+            assert_eq!(
+                sim_stats_json(&a.stats).encode(),
+                sim_stats_json(&b.stats).encode(),
+                "engine pair diverged at run {} / {}",
+                a.spec.index,
+                b.spec.index
+            );
+            if a.stats.converged_at_cycle > 0 {
+                converged += 1;
+                assert_eq!(a.stats.cycles, a.stats.converged_at_cycle);
+                assert_eq!(a.stats.converged_at_cycle % 50, 0);
+            }
+            assert!(a.stats.is_conserved(), "run {}", a.spec.index);
+        }
+    }
+    assert!(converged > 0, "no run ever reached steady state");
 }
 
 #[test]

@@ -46,6 +46,13 @@ fn random_spec(g: &mut iadm_check::Gen) -> SweepSpec {
         scenarios: scenarios[..g.usize_in(1..=3)].to_vec(),
         cycles: 50 + g.usize_in(0..=100),
         warmup: g.usize_in(0..=20),
+        // The spec-level steady-state knob: varying it must never change
+        // the grid shape, indices, or seed assignment.
+        converge: if g.bool_with(0.3) {
+            Some((10, 0.1))
+        } else {
+            None
+        },
         campaign_seed: g.u64_any(),
     }
 }

@@ -87,10 +87,20 @@ impl LatencyHistogram {
 
     /// Upper bound on the `p`-th percentile (`p` in `[0, 1]`): the upper
     /// edge of the bucket containing the sample of rank `ceil(p * count)`
-    /// (at least rank 1). An empty histogram has no percentiles — the
-    /// sentinel is `None` at the type level, so callers cannot mistake
-    /// "no samples" for a bucket edge (the old `0` return collided with
-    /// bucket 0's genuine upper region).
+    /// (at least rank 1 — so `p = 0` names the lowest-ranked sample's
+    /// bucket, never a fabricated zero). An empty histogram has no
+    /// percentiles — the sentinel is `None` at the type level, so callers
+    /// cannot mistake "no samples" for a bucket edge (the old `0` return
+    /// collided with bucket 0's genuine upper region).
+    ///
+    /// **Convention for consumers**: this is the raw, untightened bucket
+    /// edge. The reporting layers (`SimStats::percentile` in `iadm-sim`,
+    /// [`WorkloadStats::percentile`](crate::WorkloadStats::percentile))
+    /// both apply the same two-step normalization — tighten the edge to
+    /// the observed maximum (`bound.min(max)`, which makes single-bucket
+    /// populations exact) and map `None` to the scalar sentinel `0`
+    /// (unambiguous there because a real latency is at least 1 cycle).
+    /// Cross-check tests on both sides pin the two APIs together.
     ///
     /// # Panics
     ///
@@ -183,6 +193,30 @@ mod tests {
         assert_eq!(h.percentile_bound(0.95), Some(15));
         assert_eq!(h.percentile_bound(0.99), Some(15));
         assert_eq!(h.percentile_bound(1.0), Some(127));
+    }
+
+    #[test]
+    fn p_zero_names_the_lowest_ranked_sample_not_zero() {
+        // Rank clamps to 1: p = 0 is the smallest sample's bucket edge,
+        // never bucket 0 by accident.
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        h.record(900);
+        assert_eq!(h.percentile_bound(0.0), Some(127), "bucket [64,127]");
+    }
+
+    #[test]
+    fn single_bucket_population_collapses_to_one_edge() {
+        // All samples in one bucket: every percentile is that bucket's
+        // edge, so the consumer-side `min(max)` tightening (see the
+        // percentile_bound doc) is what restores exactness.
+        let mut h = LatencyHistogram::new();
+        for v in [8u64, 9, 12, 15] {
+            h.record(v);
+        }
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile_bound(p), Some(15), "p={p}");
+        }
     }
 
     #[test]

@@ -39,6 +39,14 @@ for campcase in campbench/fresh campbench/shared; do
     }
 done
 
+# Likewise the d-choice case: DChoice2 prices the occupancy comparison
+# on top of the SSDT decision path, so losing it from the baseline would
+# silently disarm the perf gate on the power-of-two-choices policy.
+grep -q '"DChoice2"' "$baseline" || {
+    echo "bench_gate: $baseline lost the DChoice2 case; the d-choice gate is disarmed" >&2
+    exit 1
+}
+
 cargo build --release --offline -p iadm-bench
 
 status=0

@@ -148,11 +148,60 @@ grep -q '"request_latency_p99":' "$wl_out" || {
 
 echo "sweep_smoke: closed-loop OK ($(wc -c < "$wl_out") bytes)"
 
+# D-choice + convergence smoke: a tiny campaign over both dchoice
+# variants with a convergence recipe must label each policy, carry the
+# run-level recipe, and report a steady-state stop (`converged_at_cycle`)
+# for at least one run; fixed-horizon campaigns never emit either field.
+dc_out="$(mktemp /tmp/iadm_sweep_dc.XXXXXX.json)"
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$wl_out" "$dc_out"' EXIT
+
+./target/release/iadm-cli sweep --n 8 --loads 0.4 \
+    --policies ssdt,dchoice:2,dchoice:2:sticky --engines sync,event \
+    --cycles 400 --converge 50:0.2 --threads 2 --out "$dc_out"
+
+[ -s "$dc_out" ] || { echo "sweep_smoke: empty d-choice artifact" >&2; exit 1; }
+for dc_policy in '"policy":"dchoice:2"' '"policy":"dchoice:2:sticky"'; do
+    grep -q "$dc_policy" "$dc_out" || {
+        echo "sweep_smoke: d-choice artifact missing $dc_policy" >&2
+        exit 1
+    }
+done
+grep -q '"converge":"50:0.2"' "$dc_out" || {
+    echo "sweep_smoke: converging runs must carry the recipe label" >&2
+    exit 1
+}
+grep -q '"converged_at_cycle":' "$dc_out" || {
+    echo "sweep_smoke: no run reported a steady-state stop" >&2
+    exit 1
+}
+if grep -q '"converge"' "$out"; then
+    echo "sweep_smoke: fixed-horizon smoke artifact must not carry converge fields" >&2
+    exit 1
+fi
+
+echo "sweep_smoke: d-choice+converge OK ($(wc -c < "$dc_out") bytes)"
+
+# Strict flag hygiene: the CLI must reject unknown flags instead of
+# silently ignoring them — a typo like --convergence must not produce a
+# fixed-horizon artifact that looks like a converging one.
+if ./target/release/iadm-cli sweep --n 8 --loads 0.4 --policies ssdt \
+    --cycles 200 --convergence 50:0.2 --out /dev/null 2>/dev/null; then
+    echo "sweep_smoke: CLI accepted the unknown flag --convergence" >&2
+    exit 1
+fi
+if ./target/release/iadm-cli simulate --n 8 --cycles 200 \
+    --policy dchoice:2 --window 50 2>/dev/null; then
+    echo "sweep_smoke: CLI accepted the unknown flag --window" >&2
+    exit 1
+fi
+
+echo "sweep_smoke: unknown-flag rejection OK"
+
 # Shard-then-merge smoke: the same smoke campaign split across two shard
 # processes (each writing a journal) and merged must be byte-identical to
 # the single-process artifact — the distributed-execution contract.
 shard_dir="$(mktemp -d /tmp/iadm_sweep_shard.XXXXXX)"
-trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$wl_out"; rm -rf "$shard_dir"' EXIT
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$wl_out" "$dc_out"; rm -rf "$shard_dir"' EXIT
 
 ./target/release/iadm-cli sweep --spec smoke --threads 2 \
     --shard 1/2 --journal "$shard_dir/s1.jnl"
