@@ -74,6 +74,14 @@ const OFFERED_LOAD: f64 = 0.3;
 const SEED: u64 = 42;
 const REPS: usize = 3;
 
+/// The multi-lane wormhole case (`wormhole:4:4`): 4-flit worms over
+/// 4-lane links, priced at every main size. This is the reservation
+/// pipeline's hot path — lane grant scans, per-worm flit advances, and
+/// teardown-free steady pipelining — none of which the store-and-forward
+/// cases touch, so it gets its own gate trajectory under the
+/// `SsdtBalance/wormhole:4:4` label.
+const WORMHOLE_CASE: (u32, u32, &str) = (4, 4, "SsdtBalance/wormhole:4:4");
+
 /// `(N, simulated cycles)` for the low-load engine comparison. The
 /// cycle counts shrink with N like the main section's; the offered load
 /// is chosen per size so every configuration sees the same absolute
@@ -199,6 +207,38 @@ fn bench_config(config: SimConfig, policy: RoutingPolicy, name: &'static str) ->
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
         let sim = Simulator::new(config, policy, TrafficPattern::Uniform);
+        let start = Instant::now();
+        let stats = sim.run();
+        let dt = start.elapsed().as_secs_f64();
+        delivered = stats.delivered;
+        best = best.min(dt);
+    }
+    Case {
+        n,
+        policy: name,
+        cycles,
+        delivered,
+        cycles_per_sec: cycles as f64 / best,
+        packets_per_sec: delivered as f64 / best,
+    }
+}
+
+fn bench_wormhole(n: usize, cycles: usize) -> Case {
+    let (flits, lanes, name) = WORMHOLE_CASE;
+    let config = SimConfig {
+        size: Size::new(n).expect("benchmark sizes are powers of two"),
+        queue_capacity: 4,
+        cycles,
+        warmup: cycles / 5,
+        offered_load: OFFERED_LOAD,
+        seed: SEED,
+        engine: EngineKind::Synchronous,
+    };
+    let mut delivered = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let sim = Simulator::new(config, RoutingPolicy::SsdtBalance, TrafficPattern::Uniform)
+            .with_wormhole_switching(flits, lanes);
         let start = Instant::now();
         let stats = sim.run();
         let dt = start.elapsed().as_secs_f64();
@@ -410,6 +450,14 @@ fn main() {
             );
             cases.push(case);
         }
+    }
+    for (n, cycles) in SIZES {
+        let case = bench_wormhole(n, cycles);
+        eprintln!(
+            "N={:<5} {:<22} {:>12.1} cycles/s {:>14.1} packets/s (delivered {})",
+            case.n, case.policy, case.cycles_per_sec, case.packets_per_sec, case.delivered
+        );
+        cases.push(case);
     }
     for (n, cycles) in LOWLOAD_SIZES {
         for (engine, name) in ENGINES {

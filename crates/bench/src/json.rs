@@ -239,6 +239,16 @@ pub fn sim_stats_json(stats: &SimStats) -> Json {
             ("availability_min", Json::from(stats.availability_min)),
             ("availability_mean", Json::from(stats.availability_mean)),
         ]);
+        // Repair-side counters only exist when a repair actually landed
+        // (and, for retags, a repair-aware TSDT sender reacted to one), so
+        // failure-only timelines — every artifact written before repair
+        // awareness existed — keep their exact historical encoding.
+        if stats.repair_events > 0 {
+            fields.push(("repair_events", Json::from(stats.repair_events)));
+        }
+        if stats.retags_on_repair > 0 {
+            fields.push(("retags_on_repair", Json::from(stats.retags_on_repair)));
+        }
     }
     // Closed-loop runs additionally report the workload request ledger;
     // open-loop runs (workload.issued == 0) keep their exact historical
@@ -588,9 +598,29 @@ mod tests {
         assert!(text.contains("\"latency_buckets\":[0,0,50]"));
         assert!(text.contains("\"stage_link_use\":[50,50,50]"));
         assert!(
+            !text.contains("repair_events") && !text.contains("retags_on_repair"),
+            "failure-only timelines keep the historical encoding: {text}"
+        );
+        assert!(
             !text.contains("flits_"),
             "SF runs must not grow flit fields: {text}"
         );
+        // A timeline that repaired links (and a repair-aware sender that
+        // reacted) appends the repair counters to the degradation block,
+        // each present only when nonzero.
+        stats.repair_events = 2;
+        let text = sim_stats_json(&stats).encode();
+        assert_round_trip(&text).expect("repaired stats JSON must round-trip");
+        assert!(text.contains("\"repair_events\":2"));
+        assert!(!text.contains("retags_on_repair"));
+        stats.retags_on_repair = 5;
+        let text = sim_stats_json(&stats).encode();
+        assert_round_trip(&text).expect("retagged stats JSON must round-trip");
+        assert!(text.contains("\"retags_on_repair\":5"));
+        let repair_at = text.find("\"repair_events\"").unwrap();
+        assert!(text.find("\"availability_mean\"").unwrap() < repair_at);
+        stats.repair_events = 0;
+        stats.retags_on_repair = 0;
         // A wormhole run grows the flit ledger between the link-use and
         // fault blocks, still round-trippable.
         stats.flits_per_packet = 4;

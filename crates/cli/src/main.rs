@@ -42,27 +42,43 @@ const USAGE: &str = "usage:
   iadm simulate -n <N> [--load <f>] [--cycles <c>] [--warmup <w>]
                 [--policy fixed|ssdt|random|tsdt|dchoice:<d>[:sticky]]
                 [--mode sf|wormhole:<flits>[:<lanes>]] [--engine sync|event]
+                [--arbitration first-free|round-robin|least-held] [--repair aware|blind]
                 [--workload open|rr:<clients>:<think>[:<req>x<resp>]|flow:<clients>:<think>:<pkts>|allreduce:<p>:<think>|adv:<load>:<burst>]
                 [--converge <window>:<tol>] [--faults <scenario>] [--block ...]...
   iadm subgraphs -n <N>
   iadm dot      -n <N> [--net ...] [-s <src> -d <dst>] [--block ...]...   (Graphviz output)
   iadm broadcast -n <N> -s <src> [--dests 1,2,5]
-  iadm sweep    [--spec smoke|e13|e15|e16|e17|e18|e19] [--threads <t>] [--out results/….json]
+  iadm sweep    [--spec smoke|e13|e15|e16|e17|e18|e19|e20] [--threads <t>] [--out results/….json]
                 [--n 8,64] [--loads 0.1,0.5] [--policies fixed,ssdt,tsdt,dchoice:2,dchoice:2:sticky]
                 [--patterns uniform,bitrev,hotspot:<d>] [--queues 4]
                 [--modes sf,wormhole:<flits>[:<lanes>]] [--engines sync,event]
+                [--arbitrations first-free,round-robin,least-held] [--repairs aware,blind]
                 [--workloads open,rr:all:32,flow:8:16:4,allreduce:all:64,adv:0.5:32]
                 [--cycles <c>] [--warmup <w>] [--seed <s>] [--converge <window>:<tol>]
-                [--faults none,rand:<k>,mtbf:<m>:<r>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]
+                [--faults none,rand:<k>,mtbf:<m>:<r>,outage:<k>:<down>:<up>,double:S<i>:<j>,stageburst:S<i>,band:S<i>:<j>x<w>,link:S<i>:<j><-|=|+>]
                 [--shard <k>/<m>] [--journal <path>] [--resume <path>] [--merge <p1,p2,…>]
 
 fault scenarios: `mtbf:<mtbf>:<mttr>` schedules transient link failures
-(exponential fail/repair holding times, repaired online mid-run); the
-other forms block links for the whole run.
+(exponential fail/repair holding times, repaired online mid-run);
+`outage:<links>:<down>:<up>` fails a random burst of links at cycle
+`down` and repairs them all at cycle `up` with no other churn (the
+repair-recovery scenario); the other forms block links for the whole
+run.
 
 switching modes: `sf` is store-and-forward (default); `wormhole:<flits>`
 pipelines each packet as a worm of that many flits over reserved link
-lanes (one lane per link unless `:<lanes>` is given).
+lanes (one lane per link unless `:<lanes>` is given). With multiple
+lanes, `--arbitration` picks which free lane a grant lands on:
+`first-free` (default) scans from lane 0, `round-robin` rotates a
+per-link cursor, `least-held` levels cumulative grants. Every published
+statistic is lane-invariant, so the choice never changes results — the
+axis exists to pin that invariance.
+
+tag repair: under `--policy tsdt` with an mtbf or outage scenario, `aware`
+(default) senders retag destinations whose cached route was refused or
+bent the moment the blamed link is repaired; `blind` senders keep stale
+tags until the next failure flushes the cache. The delta is the E20
+repair-awareness experiment.
 
 engines: `sync` (default) visits the whole network every cycle; `event`
 wakes only the work that can progress. Statistics are identical either
@@ -227,8 +243,21 @@ fn run(args: &[String]) -> Result<(), String> {
         "route" | "reroute" | "paths" => &["n", "s", "d", "block"],
         "render" => &["n", "net"],
         "simulate" => &[
-            "n", "load", "cycles", "warmup", "policy", "mode", "engine", "workload", "queue",
-            "seed", "faults", "block", "converge",
+            "n",
+            "load",
+            "cycles",
+            "warmup",
+            "policy",
+            "mode",
+            "engine",
+            "arbitration",
+            "repair",
+            "workload",
+            "queue",
+            "seed",
+            "faults",
+            "block",
+            "converge",
         ],
         "subgraphs" => &["n"],
         "dot" => &["n", "net", "s", "d", "block"],
@@ -243,6 +272,8 @@ fn run(args: &[String]) -> Result<(), String> {
             "patterns",
             "modes",
             "engines",
+            "arbitrations",
+            "repairs",
             "workloads",
             "queues",
             "cycles",
@@ -420,6 +451,14 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
     if workload.is_closed() && mode != SwitchingMode::StoreForward {
         return Err("closed-loop workloads drive store-and-forward runs only".into());
     }
+    let arbitration = match args.get("arbitration") {
+        Some(text) => iadm_sweep::parse_arbitration(text)?,
+        None => iadm_sim::LaneArbitration::FirstFree,
+    };
+    let tag_repair = match args.get("repair") {
+        Some(text) => iadm_sweep::parse_tag_repair(text)?,
+        None => iadm_sim::TagRepair::Aware,
+    };
     // A --faults scenario realizes (initial map + transient timeline) from
     // the same seed streams a sweep run uses, so `simulate --seed S` and a
     // one-point campaign seeded to derive S agree exactly.
@@ -461,6 +500,8 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
             timeline,
         )
         .with_switching_mode(mode)
+        .with_lane_arbitration(arbitration)
+        .with_tag_repair(tag_repair)
         .with_workload(&workload, workload_seed);
         if let Some((window, tol)) = converge {
             sim = sim.with_convergence(window, tol);
@@ -518,6 +559,12 @@ fn cmd_simulate(size: Size, args: &Args) -> Result<(), String> {
             "availability    min {:.4} / mean {:.4}",
             stats.availability_min, stats.availability_mean
         );
+        if stats.repair_events > 0 {
+            println!("repair events   {}", stats.repair_events);
+        }
+        if stats.retags_on_repair > 0 {
+            println!("repair retags   {}", stats.retags_on_repair);
+        }
     }
     Ok(())
 }
@@ -596,6 +643,8 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
             workloads: vec![iadm_sim::WorkloadSpec::OpenLoop],
+            arbitrations: vec![iadm_sim::LaneArbitration::FirstFree],
+            tag_repairs: vec![iadm_sim::TagRepair::Aware],
             engines: vec![iadm_sim::EngineKind::Synchronous],
             scenarios: vec![iadm_fault::scenario::ScenarioSpec::None],
             cycles: 2000,
@@ -627,6 +676,18 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         spec.modes = list
             .split(',')
             .map(|m| iadm_sweep::parse_mode(m.trim()))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("arbitrations") {
+        spec.arbitrations = list
+            .split(',')
+            .map(|a| iadm_sweep::parse_arbitration(a.trim()))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("repairs") {
+        spec.tag_repairs = list
+            .split(',')
+            .map(|r| iadm_sweep::parse_tag_repair(r.trim()))
             .collect::<Result<_, _>>()?;
     }
     if let Some(list) = args.get("engines") {
@@ -1125,6 +1186,41 @@ mod tests {
                 "--mode",
                 "wormhole:4",
             ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "120",
+                "--mode",
+                "wormhole:4:2",
+                "--arbitration",
+                "round-robin",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "200",
+                "--policy",
+                "tsdt",
+                "--faults",
+                "mtbf:40:15",
+                "--repair",
+                "blind",
+            ],
+            vec![
+                "simulate",
+                "-n",
+                "8",
+                "--cycles",
+                "300",
+                "--policy",
+                "tsdt",
+                "--faults",
+                "outage:6:50:120",
+            ],
             vec!["subgraphs", "-n", "16"],
             vec!["dot", "-n", "4"],
             vec!["dot", "-n", "8", "-s", "1", "-d", "0", "--block", "S0:1-"],
@@ -1216,6 +1312,25 @@ mod tests {
                 "120",
                 "--converge",
                 "20:0.2",
+            ],
+            vec![
+                "sweep",
+                "--n",
+                "8",
+                "--loads",
+                "0.3",
+                "--policies",
+                "tsdt",
+                "--modes",
+                "wormhole:4:2",
+                "--arbitrations",
+                "first-free,round-robin,least-held",
+                "--repairs",
+                "aware,blind",
+                "--cycles",
+                "100",
+                "--faults",
+                "none,mtbf:40:15",
             ],
         ];
         for case in cases {
@@ -1318,6 +1433,16 @@ mod tests {
             vec!["simulate", "-n", "8", "--faults", "double:S9:0"],
             vec!["simulate", "-n", "8", "--mode", "wormhole:4:0"],
             vec!["simulate", "-n", "8", "--mode", "virtual-cut"],
+            // A lane count beyond the reservation table's u16 counters
+            // must be a parse error, never a panic inside the table.
+            vec!["simulate", "-n", "8", "--mode", "wormhole:4:70000"],
+            vec!["sweep", "--modes", "wormhole:4:70000"],
+            vec!["simulate", "-n", "8", "--arbitration", "lottery"],
+            vec!["simulate", "-n", "8", "--repair", "psychic"],
+            vec!["sweep", "--arbitrations", "lottery"],
+            vec!["sweep", "--repairs", "psychic"],
+            vec!["simulate", "-n", "8", "--faults", "outage:6:50"],
+            vec!["sweep", "--faults", "outage:6:120:50"],
         ] {
             let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
             assert!(run(&args).is_err(), "{case:?} must fail");

@@ -328,6 +328,56 @@ mod tests {
     }
 
     #[test]
+    fn refresh_switch_survives_fail_repair_fail_cycles_on_one_link() {
+        // The repair-aware sender path leans on this exactly: a link
+        // that fails, is repaired, and fails again is patched through
+        // three targeted refreshes of the same switch, and after every
+        // transition the table must equal a from-scratch build — no
+        // residue from the earlier states of that entry. Run the cycle
+        // over every link of a switch, with a second unrelated fault
+        // held blocked throughout so the refreshed entry is rebuilt
+        // against a non-trivial map.
+        let size = Size::new(16).unwrap();
+        let mut map = BlockageMap::new(size);
+        let bystander = Link::minus(2, 5);
+        map.block(bystander);
+        let mut lut = RouteLut::new(size, &map);
+        lut.refresh_switch(2, 5, &map);
+        let (stage, sw) = (1, 3);
+        for kind_idx in 0..3 {
+            let link = Link::new(stage, sw, LinkKind::from_index(kind_idx));
+            for (phase, blocked) in [
+                ("fail", true),
+                ("repair", false),
+                ("refail", true),
+                ("final repair", false),
+            ] {
+                if blocked {
+                    map.block(link);
+                } else {
+                    map.unblock(link);
+                }
+                lut.refresh_switch(stage, sw, &map);
+                let fresh = RouteLut::new(size, &map);
+                for s in size.stage_indices() {
+                    for j in size.switches() {
+                        for t in 0..2 {
+                            assert_eq!(
+                                lut.entry(s, j, t),
+                                fresh.entry(s, j, t),
+                                "{link}: stale entry after {phase} at stage {s} switch {j} t {t}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // The bystander fault never moved, and the table still sees it.
+        assert!(lut.matches(&map));
+        assert!(map.is_blocked(bystander));
+    }
+
+    #[test]
     fn matches_tracks_the_blockage_map_exactly() {
         let size = Size::new(16).unwrap();
         let mut rng = StdRng::seed_from_u64(0xBA5E);

@@ -6,7 +6,7 @@
 //! (the paper's SSDT scheme only evades nonstraight blockages, so comparing
 //! schemes requires controlling which kinds fail).
 
-use crate::timeline::FaultTimeline;
+use crate::timeline::{FaultEvent, FaultTimeline};
 use crate::BlockageMap;
 use iadm_rng::{Rng, SliceRandom};
 use iadm_topology::{Link, LinkKind, Size};
@@ -242,6 +242,21 @@ pub enum ScenarioSpec {
         /// Mean cycles to repair (per link, while down).
         mttr: u64,
     },
+    /// Deterministic burst outage: `links` uniformly random links (any
+    /// kind, chosen from the run's timeline seed) all fail at cycle
+    /// `down` and are all repaired at cycle `up`, with no churn before
+    /// or after — the repair-recovery scenario. MTTR sweeps hold the
+    /// burst fixed and vary `up - down`. Like `Mtbf`, the *static*
+    /// realization is the fault-free map; the burst arrives mid-run via
+    /// [`ScenarioSpec::timeline`].
+    Outage {
+        /// Number of links in the burst.
+        links: usize,
+        /// Cycle at which every burst link fails.
+        down: u64,
+        /// Cycle at which every burst link is repaired.
+        up: u64,
+    },
 }
 
 impl ScenarioSpec {
@@ -273,6 +288,7 @@ impl ScenarioSpec {
                 count,
             } => format!("band:S{stage}:{first}x{count}"),
             ScenarioSpec::Mtbf { mtbf, mttr } => format!("mtbf:{mtbf}:{mttr}"),
+            ScenarioSpec::Outage { links, down, up } => format!("outage:{links}:{down}:{up}"),
         }
     }
 
@@ -319,7 +335,7 @@ impl ScenarioSpec {
             } => switch_band_burst(size, *stage, *first, *count),
             // Transient scenarios start from the healthy network; their
             // faults arrive via [`ScenarioSpec::timeline`].
-            ScenarioSpec::Mtbf { .. } => BlockageMap::new(size),
+            ScenarioSpec::Mtbf { .. } | ScenarioSpec::Outage { .. } => BlockageMap::new(size),
         }
     }
 
@@ -330,6 +346,30 @@ impl ScenarioSpec {
         match self {
             ScenarioSpec::Mtbf { mtbf, mttr } => {
                 FaultTimeline::mtbf(size, seed, *mtbf, *mttr, horizon)
+            }
+            ScenarioSpec::Outage { links, down, up } => {
+                use iadm_rng::StdRng;
+                let burst = random_faults(
+                    &mut StdRng::seed_from_u64(seed),
+                    size,
+                    *links,
+                    KindFilter::Any,
+                );
+                let events = burst.blocked_links().into_iter().flat_map(|link| {
+                    [
+                        FaultEvent {
+                            cycle: *down,
+                            link,
+                            up: false,
+                        },
+                        FaultEvent {
+                            cycle: *up,
+                            link,
+                            up: true,
+                        },
+                    ]
+                });
+                FaultTimeline::from_events(size, events)
             }
             _ => FaultTimeline::empty(size),
         }
@@ -382,6 +422,11 @@ mod spec_tests {
             ScenarioSpec::Mtbf {
                 mtbf: 1000,
                 mttr: 200,
+            },
+            ScenarioSpec::Outage {
+                links: 4,
+                down: 100,
+                up: 300,
             },
         ];
         let labels: Vec<String> = specs.iter().map(ScenarioSpec::label).collect();
@@ -441,6 +486,37 @@ mod spec_tests {
     }
 
     #[test]
+    fn outage_realizes_healthy_and_schedules_one_burst_and_one_repair() {
+        let size = size8();
+        let spec = ScenarioSpec::Outage {
+            links: 5,
+            down: 100,
+            up: 300,
+        };
+        assert_eq!(spec.label(), "outage:5:100:300");
+        assert!(spec.realize(size, 9).is_empty(), "static part is healthy");
+        let tl = spec.timeline(size, 9, 4000);
+        assert_eq!(tl, spec.timeline(size, 9, 4000), "deterministic");
+        let events = tl.events();
+        assert_eq!(events.len(), 2 * 5, "one failure + one repair per link");
+        let downs: Vec<_> = events.iter().filter(|e| !e.up).collect();
+        let ups: Vec<_> = events.iter().filter(|e| e.up).collect();
+        assert_eq!(downs.len(), 5);
+        assert!(downs.iter().all(|e| e.cycle == 100));
+        assert!(ups.iter().all(|e| e.cycle == 300));
+        // Every failed link is repaired, and the burst links are distinct.
+        let mut failed: Vec<_> = downs.iter().map(|e| e.link).collect();
+        let mut repaired: Vec<_> = ups.iter().map(|e| e.link).collect();
+        failed.sort_by_key(|l| l.flat_index(size));
+        repaired.sort_by_key(|l| l.flat_index(size));
+        failed.dedup();
+        assert_eq!(failed.len(), 5);
+        assert_eq!(failed, repaired);
+        // A different timeline seed picks a different burst.
+        assert_ne!(tl, spec.timeline(size, 10, 4000));
+    }
+
+    #[test]
     fn seed_independence_flag_matches_realize_behavior() {
         // The sharing contract: every recipe reporting an unseeded
         // realization must produce identical maps under wildly different
@@ -461,6 +537,11 @@ mod spec_tests {
                 count: 3,
             },
             ScenarioSpec::Mtbf { mtbf: 50, mttr: 20 },
+            ScenarioSpec::Outage {
+                links: 4,
+                down: 10,
+                up: 50,
+            },
         ];
         for spec in &unseeded {
             assert!(!spec.realization_is_seeded(), "{}", spec.label());

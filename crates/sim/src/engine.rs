@@ -15,7 +15,7 @@
 use crate::active::ActiveArena;
 use crate::event::{Event, EventQueue};
 use crate::packet::Packet;
-use crate::queue::{QueueArena, ReservationTable};
+use crate::queue::{LaneArbitration, QueueArena, ReservationTable};
 use crate::stats::SimStats;
 use iadm_core::lut::{kind_for, RouteLut};
 use iadm_core::{NetworkState, SwitchState, TsdtTag};
@@ -223,6 +223,24 @@ struct WormState {
     /// drains per port per cycle — the wormhole analogue of the exit
     /// column's single-packet acceptance.
     eject_hold: Vec<u32>,
+}
+
+/// Test-support snapshot of the wormhole lane ledger
+/// ([`Simulator::lane_ledger`]): the reservation table's holders and
+/// held counts plus every live worm's held lane slots, copied out so a
+/// checker can cross-validate them cycle by cycle.
+#[derive(Debug, Clone)]
+pub struct LaneLedger {
+    /// Lanes per link.
+    pub lanes: usize,
+    /// Per global lane slot (`link * lanes + lane`): the holding worm's
+    /// id, or `None` for a free lane.
+    pub holders: Vec<Option<u32>>,
+    /// Per link: held-lane count from the table's metadata records.
+    pub held: Vec<usize>,
+    /// Per live worm, in admission order: `(worm id, held lane slots)`
+    /// (rear first).
+    pub live: Vec<(u32, Vec<u32>)>,
 }
 
 /// Steady-state convergence detector ([`Simulator::with_convergence`]):
@@ -516,25 +534,72 @@ impl PolicyCtx<'_> {
     }
 }
 
+/// How the sender-side TSDT tag cache reacts to a link *repair* event
+/// ([`Simulator::with_tag_repair`]). Failures always invalidate the whole
+/// cache — a stale tag could steer straight into the new fault — but a
+/// repair only ever *unblocks* paths, so the two modes differ in how
+/// quickly senders rediscover them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TagRepair {
+    /// Repairs lazily invalidate exactly the affected lines (refusals and
+    /// bent tags, which a wider map could improve); clean all-C tags are
+    /// repair-invariant and keep hitting. Byte-identical routing behavior
+    /// to a full invalidation on repair — see DESIGN.md §13 — at O(1)
+    /// per event and per lookup. The default.
+    #[default]
+    Aware,
+    /// Repairs do not touch the cache: senders replay stale refusals and
+    /// bent tags until the *next failure's* epoch turnover recomputes
+    /// them. Still correct (a stale outcome never routes into a fault —
+    /// the map only got wider) but slower to recover; the E20 baseline.
+    Blind,
+}
+
 /// A direct-mapped cache of sender-computed TSDT tags, one way per
 /// `(source, dest mod SLOTS)` line. REROUTE is a pure function of the
 /// blockage map and the `(source, dest)` pair, so a hit replays the
 /// stored outcome — including the "provably disconnected, refuse at the
 /// source" case — without rerunning the algorithm. Every line is stamped
-/// with the *map epoch* it was computed under; a transient fault event
+/// with the *map epoch* it was computed under; a transient link failure
 /// bumps the epoch ([`TagCache::invalidate_all`], O(1)), so tags derived
 /// from a superseded map can never be replayed (a stale tag could steer
 /// straight into the new fault, which would be a misroute or a bogus
-/// drop).
+/// drop). Link *repairs* only widen the map, so they advance a separate
+/// repair epoch instead ([`TagCache::note_repair`]): clean all-C tags —
+/// REROUTE starts from the all-C default path and only bends it around
+/// blockages, so a tag with zero state bits proves that path was already
+/// free — stay valid forever, while refusals and bent tags from before
+/// the repair miss lazily and recompute ([`Lookup::RepairStale`]).
 #[derive(Debug)]
 struct TagCache {
     /// Cache lines per source (a power of two; 0 when the cache is off).
     slots: usize,
     /// The current blockage-map version; lines from older epochs miss.
     epoch: u64,
-    /// `sources * slots` lines of `(dest, epoch, outcome)`;
-    /// `None` = cold line.
-    lines: Vec<Option<(u32, u64, Option<TsdtTag>)>>,
+    /// The current repair version; lines from older repair epochs miss
+    /// when their outcome could have improved. Frozen under
+    /// [`TagRepair::Blind`].
+    repair_epoch: u64,
+    /// Whether repair events advance `repair_epoch`.
+    repair: TagRepair,
+    /// `sources * slots` lines; `None` = cold line.
+    lines: Vec<Option<TagLine>>,
+}
+
+/// One occupied [`TagCache`] line: `(dest, epoch, repair_epoch, outcome)`,
+/// where a `None` outcome is a cached refusal (provably disconnected).
+type TagLine = (u32, u64, u64, Option<TsdtTag>);
+
+/// One [`TagCache::lookup`] result.
+enum Lookup {
+    /// The line holds a valid outcome for this `(source, dest)` pair.
+    Hit(Option<TsdtTag>),
+    /// Cold line, conflicting destination, or a superseded map epoch.
+    Miss,
+    /// The line's refusal or bent tag predates a repair that could have
+    /// improved it — the repair-aware re-tag trigger
+    /// (`retags_on_repair`).
+    RepairStale,
 }
 
 impl TagCache {
@@ -547,6 +612,8 @@ impl TagCache {
         TagCache {
             slots,
             epoch: 0,
+            repair_epoch: 0,
+            repair: TagRepair::default(),
             lines: vec![None; size.n() * slots],
         }
     }
@@ -556,6 +623,8 @@ impl TagCache {
         TagCache {
             slots: 0,
             epoch: 0,
+            repair_epoch: 0,
+            repair: TagRepair::default(),
             lines: Vec::new(),
         }
     }
@@ -566,24 +635,47 @@ impl TagCache {
     }
 
     #[inline]
-    fn get(&self, source: usize, dest: usize) -> Option<Option<TsdtTag>> {
+    fn lookup(&self, source: usize, dest: usize) -> Lookup {
         match self.lines[self.line(source, dest)] {
-            Some((d, epoch, outcome)) if d as usize == dest && epoch == self.epoch => Some(outcome),
-            _ => None,
+            Some((d, epoch, repaired, outcome)) if d as usize == dest && epoch == self.epoch => {
+                // A clean tag (zero state bits) pins the blockage-free
+                // all-C path REROUTE starts from; no amount of repair
+                // changes what it would recompute. Anything else could
+                // improve under a wider map.
+                if repaired == self.repair_epoch
+                    || matches!(outcome, Some(tag) if tag.state_bits() == 0)
+                {
+                    Lookup::Hit(outcome)
+                } else {
+                    Lookup::RepairStale
+                }
+            }
+            _ => Lookup::Miss,
         }
     }
 
     #[inline]
     fn put(&mut self, source: usize, dest: usize, outcome: Option<TsdtTag>) {
         let line = self.line(source, dest);
-        self.lines[line] = Some((dest as u32, self.epoch, outcome));
+        self.lines[line] = Some((dest as u32, self.epoch, self.repair_epoch, outcome));
     }
 
-    /// Invalidates every line by advancing the epoch — called whenever
-    /// the blockage map changes mid-run.
+    /// Invalidates every line by advancing the map epoch — called when a
+    /// link *fails* mid-run (the map narrowed; every cached outcome is
+    /// suspect).
     #[inline]
     fn invalidate_all(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Notes a link *repair* (the map widened): advances the repair
+    /// epoch, lazily invalidating exactly the lines whose outcome could
+    /// have improved. A no-op under [`TagRepair::Blind`].
+    #[inline]
+    fn note_repair(&mut self) {
+        if self.repair == TagRepair::Aware {
+            self.repair_epoch += 1;
+        }
     }
 }
 
@@ -733,6 +825,11 @@ pub struct Simulator {
     cycle: u64,
     /// Wormhole-mode state; `None` = store-and-forward (the default).
     wormhole: Option<WormState>,
+    /// How wormhole reservations pick among a link's free lanes
+    /// ([`Simulator::with_lane_arbitration`]). Pure lane tie-breaking —
+    /// every statistic is lane-invariant (see [`LaneArbitration`]) —
+    /// and inert outside wormhole mode.
+    lane_arb: LaneArbitration,
     /// Event-driven-engine state; `None` = synchronous (the default).
     event: Option<Box<EventState>>,
     /// Closed-loop workload state; `None` = open-loop Bernoulli arrivals
@@ -930,6 +1027,7 @@ impl Simulator {
             blockages,
             cycle: 0,
             wormhole: None,
+            lane_arb: LaneArbitration::default(),
             event,
             workload: None,
             downed_scratch: Vec::new(),
@@ -982,12 +1080,47 @@ impl Simulator {
         self.stats.flits_per_packet = u64::from(flits);
         self.wormhole = Some(WormState {
             flits,
-            reservations: ReservationTable::new(Link::slot_count(size), lanes as usize),
+            reservations: ReservationTable::with_arbitration(
+                Link::slot_count(size),
+                lanes as usize,
+                self.lane_arb,
+            ),
             worms: Vec::new(),
             free: Vec::new(),
             order: Vec::new(),
             eject_hold: vec![ReservationTable::FREE; size.n()],
         });
+        self
+    }
+
+    /// Sets the lane-arbitration policy wormhole reservations use to pick
+    /// among a link's free lanes (default: [`LaneArbitration::FirstFree`],
+    /// byte-exact to the engine before arbitration was configurable).
+    /// Composes with [`Simulator::with_wormhole_switching`] in either
+    /// order; a no-op for store-and-forward runs, where no lanes exist.
+    #[must_use]
+    pub fn with_lane_arbitration(mut self, arb: LaneArbitration) -> Self {
+        self.lane_arb = arb;
+        if let Some(worm) = self.wormhole.as_mut() {
+            debug_assert!(
+                worm.order.is_empty(),
+                "arbitration must be set before the run starts"
+            );
+            worm.reservations = ReservationTable::with_arbitration(
+                worm.reservations.link_count(),
+                worm.reservations.lanes(),
+                arb,
+            );
+        }
+        self
+    }
+
+    /// Sets how the sender-side TSDT tag cache reacts to link repair
+    /// events (default: [`TagRepair::Aware`]). Inert for every policy but
+    /// `TsdtSender`, and for runs whose timeline never repairs a link.
+    #[must_use]
+    pub fn with_tag_repair(mut self, repair: TagRepair) -> Self {
+        self.tag_cache.repair = repair;
         self
     }
 
@@ -1146,7 +1279,8 @@ impl Simulator {
     /// Applies every timeline event scheduled at or before the current
     /// cycle: folds the transition into the blockage map, re-derives the
     /// affected switch's two [`RouteLut`] entries, invalidates the TSDT
-    /// tag cache, and keeps the per-link outage clocks. Packets already
+    /// tag cache (fully on a failure, lazily for the affected lines on a
+    /// repair — see [`TagRepair`]), and keeps the per-link outage clocks. Packets already
     /// buffered on a failed link stay put until the repair (the advance
     /// loop skips downed queues); only packets whose *every* usable
     /// candidate is down get dropped, by the ordinary `decide` path.
@@ -1173,13 +1307,19 @@ impl Simulator {
                 event.link.from,
                 &self.blockages,
             );
-            self.tag_cache.invalidate_all();
             let idx = event.link.flat_index(self.config.size);
             if event.up {
+                // The map only widened: repair-aware caches lazily re-tag
+                // the affected lines, blind ones wait out epoch turnover.
+                self.stats.repair_events += 1;
+                self.tag_cache.note_repair();
                 self.links_down_now -= 1;
                 self.down_cycles[idx] += self.cycle - self.down_since[idx];
                 self.down_since[idx] = u64::MAX;
             } else {
+                // The map narrowed: every cached tag is suspect (a stale
+                // one could steer into the new fault) — full epoch bump.
+                self.tag_cache.invalidate_all();
                 self.links_down_now += 1;
                 self.down_since[idx] = self.cycle;
                 self.ever_down[idx] = true;
@@ -1305,10 +1445,13 @@ impl Simulator {
     /// The sender-side TSDT tag for `(source, dest)`: the cached REROUTE
     /// outcome when the direct-mapped line holds it, otherwise a fresh
     /// REROUTE whose outcome (tag, or "provably disconnected") fills the
-    /// line.
+    /// line. A miss caused purely by an intervening link repair is the
+    /// repair-aware re-tag path, counted in `retags_on_repair`.
     fn sender_tag(&mut self, source: usize, dest: usize) -> Option<TsdtTag> {
-        if let Some(outcome) = self.tag_cache.get(source, dest) {
-            return outcome;
+        match self.tag_cache.lookup(source, dest) {
+            Lookup::Hit(outcome) => return outcome,
+            Lookup::Miss => {}
+            Lookup::RepairStale => self.stats.retags_on_repair += 1,
         }
         let outcome =
             iadm_core::reroute::reroute(self.config.size, &self.blockages, source, dest).ok();
@@ -2317,6 +2460,29 @@ impl Simulator {
             }
         }
         flits
+    }
+
+    /// Test-support snapshot of the wormhole lane ledger (`None` in
+    /// store-and-forward mode), for per-cycle invariant checks: every
+    /// lane is FREE or held by exactly one live worm, per-link held
+    /// counts equal the occupied-lane sums, and teardown releases
+    /// everything (`tests/util`'s lane-ledger checker).
+    pub fn lane_ledger(&self) -> Option<LaneLedger> {
+        let ws = self.wormhole.as_ref()?;
+        let res = &ws.reservations;
+        Some(LaneLedger {
+            lanes: res.lanes(),
+            holders: (0..res.link_count() * res.lanes())
+                .map(|slot| res.holder(slot))
+                .collect(),
+            held: (0..res.link_count()).map(|q| res.held(q)).collect(),
+            live: ws
+                .order
+                .iter()
+                .filter(|&&id| !ws.worms[id as usize].dead)
+                .map(|&id| (id, ws.worms[id as usize].held.iter().copied().collect()))
+                .collect(),
+        })
     }
 
     /// Runs until the configured horizon — or until steady-state

@@ -62,7 +62,9 @@ mod stats;
 // keep every established `iadm_sim::` path working unchanged.
 pub use iadm_workload::histogram;
 
-pub use engine::{run_once, EngineKind, RoutingPolicy, SimConfig, Simulator, SwitchingMode};
+pub use engine::{
+    run_once, EngineKind, LaneLedger, RoutingPolicy, SimConfig, Simulator, SwitchingMode, TagRepair,
+};
 // Re-exported so campaign engines can prebuild shared route tables for
 // [`Simulator::with_shared_lut`] without depending on `iadm-core`.
 pub use event::{Event, EventQueue};
@@ -72,5 +74,5 @@ pub use iadm_workload::{
     TrafficPattern, WorkloadSource, WorkloadSpec, WorkloadStats, NO_OP,
 };
 pub use packet::Packet;
-pub use queue::{QueueArena, ReservationTable};
+pub use queue::{LaneArbitration, QueueArena, ReservationTable};
 pub use stats::SimStats;

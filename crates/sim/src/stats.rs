@@ -79,6 +79,16 @@ pub struct SimStats {
     pub availability_min: f64,
     /// Mean per-link availability over all links of the network.
     pub availability_mean: f64,
+    /// Timeline events that brought a blocked link back *up* (the repair
+    /// subset of `fault_events`; 0 for static runs and failure-only
+    /// timelines, which keeps the field out of their JSON artifacts).
+    pub repair_events: u64,
+    /// TSDT sender re-tags triggered by repair awareness: cache lookups
+    /// that missed *only* because a repair had landed since the line was
+    /// filled and the cached outcome (a refusal or a bent tag) could have
+    /// improved. Always 0 under `TagRepair::Blind`, where senders wait
+    /// out epoch turnover instead.
+    pub retags_on_repair: u64,
     /// Flits per packet (0 for store-and-forward runs; the flit counters
     /// below are only meaningful when this is nonzero).
     pub flits_per_packet: u64,

@@ -47,6 +47,18 @@ const GOLDEN_WORMHOLE_RANDOM_SIGN_FAULTED: &str = r#"{"injected":4287,"delivered
 const GOLDEN_WORMHOLE_TSDT_FAULT_FREE: &str = r#"{"injected":4298,"delivered":1386,"misrouted":0,"dropped":0,"refused":0,"in_flight":2912,"latency_sum":106086,"latency_count":309,"latency_max":434,"queue_high_water":1,"queue_mean_occupancy":0.3288107638888891,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":261,"mean_latency":343.3203883495146,"throughput":0.144375,"latency_p50":434,"latency_p95":434,"latency_p99":434,"latency_buckets":[0,0,0,0,0,0,0,23,286],"stage_link_use":[5604,5583,5568,5559],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":5553,"flits_dropped":0,"flits_refused":0,"flits_in_flight":11639}"#;
 const GOLDEN_WORMHOLE_TSDT_FAULTED: &str = r#"{"injected":4298,"delivered":1318,"misrouted":0,"dropped":0,"refused":210,"in_flight":2770,"latency_sum":98864,"latency_count":293,"latency_max":448,"queue_high_water":1,"queue_mean_occupancy":0.30949652777777775,"cycles":600,"ports":16,"nonstraight_imbalance":0.9886006289308176,"max_link_load":273,"mean_latency":337.419795221843,"throughput":0.13729166666666667,"latency_p50":448,"latency_p95":448,"latency_p99":448,"latency_buckets":[0,0,0,0,0,0,0,15,278],"stage_link_use":[5359,5335,5315,5301],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":5290,"flits_dropped":0,"flits_refused":840,"flits_in_flight":11062}"#;
 
+// Two-lane wormhole goldens (PR 10): the same fault-free config run
+// under `with_wormhole_switching(4, 2)`. The second lane roughly
+// doubles the link bandwidth a saturated worm pipeline can reserve, so
+// these pins sit in the multi-lane regime where the arbitration axis
+// actually chooses between free lanes — and because every statistic is
+// lane-granular only in aggregate, all three arbitration policies and
+// both engines must reproduce them byte for byte (enforced below).
+const GOLDEN_WORMHOLE_2LANE_FIXED_C: &str = r#"{"injected":4298,"delivered":1796,"misrouted":0,"dropped":0,"refused":0,"in_flight":2502,"latency_sum":192769,"latency_count":714,"latency_max":412,"queue_high_water":2,"queue_mean_occupancy":0.6667274305555554,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":299,"mean_latency":269.984593837535,"throughput":0.18708333333333332,"latency_p50":412,"latency_p95":412,"latency_p99":412,"latency_buckets":[0,0,0,0,0,0,0,308,406],"stage_link_use":[7342,7301,7270,7241],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":7212,"flits_dropped":0,"flits_refused":0,"flits_in_flight":9980}"#;
+const GOLDEN_WORMHOLE_2LANE_SSDT: &str = r#"{"injected":4298,"delivered":2003,"misrouted":0,"dropped":0,"refused":0,"in_flight":2295,"latency_sum":207093,"latency_count":921,"latency_max":390,"queue_high_water":2,"queue_mean_occupancy":0.9624826388888894,"cycles":600,"ports":16,"nonstraight_imbalance":0.05173373904535934,"max_link_load":341,"mean_latency":224.85667752442995,"throughput":0.20864583333333334,"latency_p50":255,"latency_p95":390,"latency_p99":390,"latency_buckets":[0,0,0,0,0,15,42,568,296],"stage_link_use":[8204,8144,8101,8063],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":8032,"flits_dropped":0,"flits_refused":0,"flits_in_flight":9160}"#;
+const GOLDEN_WORMHOLE_2LANE_RANDOM_SIGN: &str = r#"{"injected":4352,"delivered":2055,"misrouted":0,"dropped":0,"refused":0,"in_flight":2297,"latency_sum":204818,"latency_count":995,"latency_max":419,"queue_high_water":2,"queue_mean_occupancy":0.9634895833333329,"cycles":600,"ports":16,"nonstraight_imbalance":0.08421418116712258,"max_link_load":351,"mean_latency":205.84723618090453,"throughput":0.2140625,"latency_p50":255,"latency_p95":419,"latency_p99":419,"latency_buckets":[0,0,0,0,0,9,131,616,239],"stage_link_use":[8400,8343,8301,8265],"flits_per_packet":4,"flits_injected":17408,"flits_delivered":8236,"flits_dropped":0,"flits_refused":0,"flits_in_flight":9172}"#;
+const GOLDEN_WORMHOLE_2LANE_TSDT: &str = r#"{"injected":4298,"delivered":1796,"misrouted":0,"dropped":0,"refused":0,"in_flight":2502,"latency_sum":192769,"latency_count":714,"latency_max":412,"queue_high_water":2,"queue_mean_occupancy":0.6667274305555554,"cycles":600,"ports":16,"nonstraight_imbalance":1,"max_link_load":299,"mean_latency":269.984593837535,"throughput":0.18708333333333332,"latency_p50":412,"latency_p95":412,"latency_p99":412,"latency_buckets":[0,0,0,0,0,0,0,308,406],"stage_link_use":[7342,7301,7270,7241],"flits_per_packet":4,"flits_injected":17192,"flits_delivered":7212,"flits_dropped":0,"flits_refused":0,"flits_in_flight":9980}"#;
+
 /// All eight golden combinations: `(policy, faulted, expected JSON)`.
 const GOLDENS: [(RoutingPolicy, bool, &str); 8] = [
     (RoutingPolicy::FixedC, false, GOLDEN_FIXED_C_FAULT_FREE),
@@ -101,6 +113,14 @@ const WORMHOLE_GOLDENS: [(RoutingPolicy, bool, &str); 8] = [
         true,
         GOLDEN_WORMHOLE_TSDT_FAULTED,
     ),
+];
+
+/// The two-lane combinations, fault-free, captured at 4 flits / 2 lanes.
+const WORMHOLE_2LANE_GOLDENS: [(RoutingPolicy, &str); 4] = [
+    (RoutingPolicy::FixedC, GOLDEN_WORMHOLE_2LANE_FIXED_C),
+    (RoutingPolicy::SsdtBalance, GOLDEN_WORMHOLE_2LANE_SSDT),
+    (RoutingPolicy::RandomSign, GOLDEN_WORMHOLE_2LANE_RANDOM_SIGN),
+    (RoutingPolicy::TsdtSender, GOLDEN_WORMHOLE_2LANE_TSDT),
 ];
 
 fn config() -> SimConfig {
@@ -227,6 +247,54 @@ fn wormhole_mode_matches_every_golden_byte_for_byte() {
             golden,
             "wormhole {policy:?} (faulted: {faulted}) diverged"
         );
+    }
+}
+
+#[test]
+fn two_lane_wormhole_matches_every_golden_for_every_arbitration_and_engine() {
+    // The PR-10 contract: the multi-lane pins hold for all three lane
+    // arbitrations and both scheduling engines — six byte-identical
+    // reproductions per policy. This is lane invariance made golden:
+    // which free lane a grant lands on is unobservable in any
+    // published statistic.
+    use iadm_sim::LaneArbitration;
+    for (policy, golden) in WORMHOLE_2LANE_GOLDENS {
+        for engine in [EngineKind::Synchronous, EngineKind::EventDriven] {
+            for arb in [
+                LaneArbitration::FirstFree,
+                LaneArbitration::RoundRobin,
+                LaneArbitration::LeastHeld,
+            ] {
+                let stats = Simulator::with_blockages(
+                    SimConfig { engine, ..config() },
+                    policy,
+                    TrafficPattern::Uniform,
+                    blockages(false),
+                )
+                .with_wormhole_switching(4, 2)
+                .with_lane_arbitration(arb)
+                .run();
+                assert_eq!(
+                    sim_stats_json(&stats).encode(),
+                    golden,
+                    "two-lane wormhole {policy:?} diverged under {engine:?}/{arb:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_lane_goldens_differ_from_single_lane_goldens() {
+    // Guards the new pins against a second lane that silently never
+    // carries traffic: the extra bandwidth must show up in delivery.
+    for ((policy, _, one_lane), (_, two_lane)) in WORMHOLE_GOLDENS
+        .iter()
+        .filter(|(_, faulted, _)| !faulted)
+        .zip(WORMHOLE_2LANE_GOLDENS.iter())
+    {
+        assert_ne!(one_lane, two_lane, "{policy:?}");
+        assert!(two_lane.contains("\"queue_high_water\":2"));
     }
 }
 

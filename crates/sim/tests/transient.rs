@@ -134,6 +134,84 @@ fn single_outage_window_accounts_exactly() {
 }
 
 #[test]
+fn repair_aware_senders_recover_refused_destinations_where_blind_senders_stall() {
+    // The repair-awareness contract. Fail six random links at cycle 50
+    // and repair them all at cycle 300: TSDT senders cache `None` for
+    // destinations the faulted map cannot reach and refuse every later
+    // packet to them. A repair-aware cache retags those destinations the
+    // moment the repairs land (counted in `retags_on_repair`) and
+    // resumes delivering; a blind cache keeps the stale refusals until
+    // the next *failure* — which never comes — so it refuses for the
+    // remaining 300 cycles too.
+    use iadm_fault::scenario::{self, KindFilter};
+    use iadm_rng::StdRng;
+    use iadm_sim::TagRepair;
+
+    let cfg = config(16, 0.45, 600);
+    let mut rng = StdRng::seed_from_u64(0xFA);
+    let faults = scenario::random_faults(&mut rng, cfg.size, 6, KindFilter::Any);
+    let blocked = faults.blocked_links();
+    let events = blocked.iter().flat_map(|&link| {
+        [
+            FaultEvent {
+                cycle: 50,
+                link,
+                up: false,
+            },
+            FaultEvent {
+                cycle: 300,
+                link,
+                up: true,
+            },
+        ]
+    });
+    let timeline = FaultTimeline::from_events(cfg.size, events);
+    let run = |repair: TagRepair| {
+        Simulator::with_fault_timeline(
+            cfg,
+            RoutingPolicy::TsdtSender,
+            TrafficPattern::Uniform,
+            BlockageMap::new(cfg.size),
+            timeline.clone(),
+        )
+        .with_tag_repair(repair)
+        .run()
+    };
+    let aware = run(TagRepair::Aware);
+    let blind = run(TagRepair::Blind);
+    for (label, stats) in [("aware", &aware), ("blind", &blind)] {
+        assert!(stats.is_conserved(), "{label}: {stats:?}");
+        assert_eq!(stats.misrouted, 0, "{label}: {stats:?}");
+        assert_eq!(stats.fault_events, 12, "{label}: {stats:?}");
+        assert_eq!(stats.repair_events, 6, "{label}: {stats:?}");
+        assert!(stats.refused > 0, "{label} never hit a refusal: {stats:?}");
+    }
+    // The counters are the scheme's signature…
+    assert!(
+        aware.retags_on_repair > 0,
+        "the repairs must trigger targeted retags: {aware:?}"
+    );
+    assert_eq!(
+        blind.retags_on_repair, 0,
+        "a blind cache never retags: {blind:?}"
+    );
+    // …and the recovery gap is behavioral, not cosmetic: blind senders
+    // keep refusing reachable destinations after the repairs.
+    assert!(
+        blind.refused > aware.refused,
+        "blind refused {} <= aware refused {}",
+        blind.refused,
+        aware.refused
+    );
+    assert!(
+        blind.delivered < aware.delivered,
+        "blind delivered {} >= aware delivered {}",
+        blind.delivered,
+        aware.delivered
+    );
+}
+
+#[test]
 fn ssdt_reroutes_around_the_outage_that_makes_fixed_c_drop() {
     // Same outage window: SSDT shifts traffic onto the spare sign
     // (counted as reroutes) and loses nothing.

@@ -158,6 +158,8 @@ fn run_stats(run: &RunSpec, bases: Option<&RunBases>) -> (usize, SimStats) {
         timeline,
     )
     .with_switching_mode(run.mode)
+    .with_lane_arbitration(run.arbitration)
+    .with_tag_repair(run.tag_repair)
     .with_workload(&run.workload, workload_seed);
     if let Some((window, tol)) = run.converge {
         sim = sim.with_convergence(window, tol);

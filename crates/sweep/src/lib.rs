@@ -70,9 +70,10 @@ pub use engine::{
 };
 pub use report::{campaign_json, pivot_table, summary_table};
 pub use spec::{
-    converge_label, engine_label, mode_label, parse_converge, parse_engine, parse_loads,
-    parse_mode, parse_pattern, parse_policy, parse_scenario, pattern_label, policy_label,
-    validate_scenario, RunSpec, SweepSpec,
+    arbitration_label, converge_label, engine_label, mode_label, parse_arbitration, parse_converge,
+    parse_engine, parse_loads, parse_mode, parse_pattern, parse_policy, parse_scenario,
+    parse_tag_repair, pattern_label, policy_label, tag_repair_label, validate_scenario, RunSpec,
+    SweepSpec,
 };
 pub use stream::{
     artifact_prefix, journal_header, merge_fragments, parse_journal, shard_range, stream_campaign,

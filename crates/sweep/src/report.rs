@@ -1,9 +1,12 @@
 //! Campaign artifacts: the byte-stable JSON document and human tables.
 
 use crate::engine::{CampaignResult, RunRecord};
-use crate::spec::{converge_label, engine_label, mode_label, pattern_label, policy_label, RunSpec};
+use crate::spec::{
+    arbitration_label, converge_label, engine_label, mode_label, pattern_label, policy_label,
+    tag_repair_label, RunSpec,
+};
 use iadm_bench::json::{sim_stats_json, Json};
-use iadm_sim::{EngineKind, SimStats, SwitchingMode, WorkloadSpec};
+use iadm_sim::{EngineKind, LaneArbitration, SimStats, SwitchingMode, TagRepair, WorkloadSpec};
 use std::collections::HashMap;
 
 /// The canonical JSON encoding of a campaign. Every run appears in run-
@@ -45,6 +48,18 @@ pub(crate) fn run_json(spec: &RunSpec, faults: usize, stats: &SimStats) -> Json 
     // campaign artifact stays byte-identical.
     if spec.mode != SwitchingMode::StoreForward {
         fields.push(("mode", Json::from(mode_label(spec.mode).as_str())));
+    }
+    // First-free runs omit the arbitration field and repair-aware runs
+    // the tag_repair field, keeping every pre-lane-arbitration artifact
+    // byte-identical.
+    if spec.arbitration != LaneArbitration::FirstFree {
+        fields.push((
+            "arbitration",
+            Json::from(arbitration_label(spec.arbitration)),
+        ));
+    }
+    if spec.tag_repair != TagRepair::Aware {
+        fields.push(("tag_repair", Json::from(tag_repair_label(spec.tag_repair))));
     }
     // Likewise synchronous runs omit the engine field, keeping every
     // pre-event-engine artifact byte-identical.
@@ -145,6 +160,12 @@ pub fn pivot_table(result: &CampaignResult, metric: &dyn Fn(&RunRecord) -> Strin
         let mut parts = vec![policy_label(record.spec.policy)];
         if record.spec.mode != SwitchingMode::StoreForward {
             parts.push(mode_label(record.spec.mode));
+        }
+        if record.spec.arbitration != LaneArbitration::FirstFree {
+            parts.push(arbitration_label(record.spec.arbitration).to_string());
+        }
+        if record.spec.tag_repair != TagRepair::Aware {
+            parts.push(tag_repair_label(record.spec.tag_repair).to_string());
         }
         if record.spec.engine != EngineKind::Synchronous {
             parts.push(engine_label(record.spec.engine).to_string());

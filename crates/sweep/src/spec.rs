@@ -1,7 +1,10 @@
 //! Declarative sweep specifications and their expansion into run lists.
 
 use iadm_fault::scenario::{KindFilter, ScenarioSpec};
-use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern, WorkloadSpec};
+use iadm_sim::{
+    EngineKind, LaneArbitration, RoutingPolicy, SwitchingMode, TagRepair, TrafficPattern,
+    WorkloadSpec,
+};
 use iadm_topology::Size;
 
 /// A declarative campaign: the cartesian grid of every axis, plus the
@@ -26,6 +29,21 @@ pub struct SweepSpec {
     /// adversarial sources). Closed workloads own injection, so they may
     /// only be crossed with `loads = [0.0]` and store-and-forward modes.
     pub workloads: Vec<WorkloadSpec>,
+    /// Wormhole lane-arbitration policies. Statistics are lane-invariant
+    /// (every counter is link-granular — see
+    /// [`iadm_sim::LaneArbitration`]), so like `engines` this axis pins
+    /// an equivalence rather than re-seeding realizations: runs that
+    /// differ only in arbitration share a seed and must agree
+    /// byte-for-byte on every statistic. Inert for store-and-forward
+    /// modes.
+    pub arbitrations: Vec<LaneArbitration>,
+    /// TSDT tag-cache repair reactions ([`iadm_sim::TagRepair`]): aware
+    /// senders re-tag affected pairs as soon as a link repair lands,
+    /// blind ones wait out the next failure's epoch turnover. Factored
+    /// out of seed derivation so an aware/blind pair churns through the
+    /// *identical* fault timeline — the recovery comparison is
+    /// apples-to-apples. Inert for every policy but `tsdt`.
+    pub tag_repairs: Vec<TagRepair>,
     /// Scheduling engines (synchronous and/or event-driven; statistics
     /// are engine-independent, so this axis is for performance
     /// comparison and differential testing).
@@ -73,6 +91,10 @@ pub struct RunSpec {
     pub mode: SwitchingMode,
     /// Workload.
     pub workload: WorkloadSpec,
+    /// Wormhole lane-arbitration policy.
+    pub arbitration: LaneArbitration,
+    /// TSDT tag-cache repair reaction.
+    pub tag_repair: TagRepair,
     /// Scheduling engine.
     pub engine: EngineKind,
     /// Fault scenario recipe.
@@ -85,9 +107,11 @@ pub struct RunSpec {
     /// campaign spec (`None` = fixed horizon).
     pub converge: Option<(u64, f64)>,
     /// Derived simulation seed: `mix(campaign_seed, index)` with the
-    /// engine coordinate factored out of the index, so runs that differ
-    /// only in engine share a realization (and must agree byte-for-byte
-    /// on every statistic).
+    /// arbitration, tag-repair, and engine coordinates factored out of
+    /// the index, so runs that differ only in those axes share a
+    /// realization (engines and arbitrations must then agree
+    /// byte-for-byte on every statistic; an aware/blind tag-repair pair
+    /// churns through the identical fault timeline).
     pub seed: u64,
 }
 
@@ -98,7 +122,7 @@ impl SweepSpec {
     /// without updating both this array and [`expand`](Self::expand)'s
     /// loop nest fails the `expansion_length_always_matches_grid_len`
     /// property test.
-    fn axis_lens(&self) -> [usize; 9] {
+    fn axis_lens(&self) -> [usize; 11] {
         [
             self.sizes.len(),
             self.loads.len(),
@@ -107,6 +131,8 @@ impl SweepSpec {
             self.patterns.len(),
             self.modes.len(),
             self.workloads.len(),
+            self.arbitrations.len(),
+            self.tag_repairs.len(),
             self.engines.len(),
             self.scenarios.len(),
         ]
@@ -119,8 +145,8 @@ impl SweepSpec {
 
     /// Expands the grid into the campaign's run list, in the canonical
     /// axis order (size, load, queue, policy, pattern, mode, workload,
-    /// engine, scenario — the innermost axis varies fastest) with
-    /// derived per-run seeds.
+    /// arbitration, tag-repair, engine, scenario — the innermost axis
+    /// varies fastest) with derived per-run seeds.
     ///
     /// Validates every axis value; an empty axis or an out-of-range
     /// entry is an error, not a silent no-op.
@@ -171,6 +197,13 @@ impl SweepSpec {
                 if lanes == 0 {
                     return Err("wormhole mode needs at least one lane per link".into());
                 }
+                if lanes > u32::from(u16::MAX) {
+                    return Err(format!(
+                        "wormhole mode: {lanes} lanes per link exceeds the reservation \
+                         table's u16 lane counters (max {})",
+                        u16::MAX
+                    ));
+                }
             }
         }
         // The grid is cartesian, so a closed workload anywhere on the
@@ -204,45 +237,68 @@ impl SweepSpec {
                         for pattern in &self.patterns {
                             for &mode in &self.modes {
                                 for workload in &self.workloads {
-                                    for (engine_idx, &engine) in self.engines.iter().enumerate() {
-                                        for (scenario_idx, scenario) in
-                                            self.scenarios.iter().enumerate()
+                                    for (arb_idx, &arbitration) in
+                                        self.arbitrations.iter().enumerate()
+                                    {
+                                        for (repair_idx, &tag_repair) in
+                                            self.tag_repairs.iter().enumerate()
                                         {
-                                            let index = runs.len();
-                                            // Seed derivation skips the engine
-                                            // coordinate: the engines must agree
-                                            // byte-for-byte on every statistic
-                                            // (the equivalence contract), so runs
-                                            // that differ only in engine share a
-                                            // seed — the axis compares wall
-                                            // clocks, never realizations. With a
-                                            // single engine this is exactly the
-                                            // run index, so pre-engine campaigns
-                                            // (E13/E15/E16) are unchanged.
-                                            let seed_index = (index
-                                                - engine_idx * self.scenarios.len()
-                                                - scenario_idx)
-                                                / self.engines.len()
-                                                + scenario_idx;
-                                            runs.push(RunSpec {
-                                                index,
-                                                size,
-                                                offered_load,
-                                                queue_capacity,
-                                                policy,
-                                                pattern: pattern.clone(),
-                                                mode,
-                                                workload: workload.clone(),
-                                                engine,
-                                                scenario: scenario.clone(),
-                                                cycles: self.cycles,
-                                                warmup: self.warmup,
-                                                converge: self.converge,
-                                                seed: iadm_rng::mix(
-                                                    self.campaign_seed,
-                                                    seed_index as u64,
-                                                ),
-                                            });
+                                            for (engine_idx, &engine) in
+                                                self.engines.iter().enumerate()
+                                            {
+                                                for (scenario_idx, scenario) in
+                                                    self.scenarios.iter().enumerate()
+                                                {
+                                                    let index = runs.len();
+                                                    // Seed derivation skips the arbitration,
+                                                    // tag-repair, and engine coordinates:
+                                                    // engines and arbitrations must agree
+                                                    // byte-for-byte on every statistic (the
+                                                    // equivalence and lane-invariance
+                                                    // contracts), and an aware/blind
+                                                    // tag-repair pair must churn through the
+                                                    // identical fault timeline for its
+                                                    // recovery comparison to mean anything —
+                                                    // so runs differing only in those axes
+                                                    // share a seed. With one value on each
+                                                    // (every campaign predating them) this
+                                                    // is exactly the historical formula, so
+                                                    // E13–E19 artifacts are unchanged.
+                                                    let pres = (arb_idx * self.tag_repairs.len()
+                                                        + repair_idx)
+                                                        * self.engines.len()
+                                                        + engine_idx;
+                                                    let pres_len = self.arbitrations.len()
+                                                        * self.tag_repairs.len()
+                                                        * self.engines.len();
+                                                    let seed_index = (index
+                                                        - pres * self.scenarios.len()
+                                                        - scenario_idx)
+                                                        / pres_len
+                                                        + scenario_idx;
+                                                    runs.push(RunSpec {
+                                                        index,
+                                                        size,
+                                                        offered_load,
+                                                        queue_capacity,
+                                                        policy,
+                                                        pattern: pattern.clone(),
+                                                        mode,
+                                                        workload: workload.clone(),
+                                                        arbitration,
+                                                        tag_repair,
+                                                        engine,
+                                                        scenario: scenario.clone(),
+                                                        cycles: self.cycles,
+                                                        warmup: self.warmup,
+                                                        converge: self.converge,
+                                                        seed: iadm_rng::mix(
+                                                            self.campaign_seed,
+                                                            seed_index as u64,
+                                                        ),
+                                                    });
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -273,6 +329,8 @@ impl SweepSpec {
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
             workloads: vec![WorkloadSpec::OpenLoop],
+            arbitrations: vec![LaneArbitration::FirstFree],
+            tag_repairs: vec![TagRepair::Aware],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -305,6 +363,8 @@ impl SweepSpec {
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
             workloads: vec![WorkloadSpec::OpenLoop],
+            arbitrations: vec![LaneArbitration::FirstFree],
+            tag_repairs: vec![TagRepair::Aware],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -339,6 +399,8 @@ impl SweepSpec {
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
             workloads: vec![WorkloadSpec::OpenLoop],
+            arbitrations: vec![LaneArbitration::FirstFree],
+            tag_repairs: vec![TagRepair::Aware],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -381,6 +443,8 @@ impl SweepSpec {
                 SwitchingMode::Wormhole { flits: 4, lanes: 1 },
             ],
             workloads: vec![WorkloadSpec::OpenLoop],
+            arbitrations: vec![LaneArbitration::FirstFree],
+            tag_repairs: vec![TagRepair::Aware],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -413,6 +477,8 @@ impl SweepSpec {
             patterns: vec![TrafficPattern::Uniform],
             modes: vec![SwitchingMode::StoreForward],
             workloads: vec![WorkloadSpec::OpenLoop],
+            arbitrations: vec![LaneArbitration::FirstFree],
+            tag_repairs: vec![TagRepair::Aware],
             engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -477,6 +543,8 @@ impl SweepSpec {
                     resp: 1,
                 },
             ],
+            arbitrations: vec![LaneArbitration::FirstFree],
+            tag_repairs: vec![TagRepair::Aware],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![
                 ScenarioSpec::None,
@@ -524,12 +592,87 @@ impl SweepSpec {
             ],
             modes: vec![SwitchingMode::StoreForward],
             workloads: vec![WorkloadSpec::OpenLoop],
+            arbitrations: vec![LaneArbitration::FirstFree],
+            tag_repairs: vec![TagRepair::Aware],
             engines: vec![EngineKind::Synchronous],
             scenarios: vec![ScenarioSpec::None],
             cycles: 4000,
             warmup: 400,
             converge: Some((250, 0.05)),
             campaign_seed: 0xE19,
+        }
+    }
+
+    /// Experiment E20: the multi-lane wormhole frontier and repair-aware
+    /// recovery. TSDT worms at loads 0.3 (under-saturated, where every
+    /// stale refusal costs a delivery) and 0.9 (the saturation frontier),
+    /// flits {2, 4, 8} × lanes {1, 2, 4}, every lane arbitration, two
+    /// buffer depths (documented inert in wormhole mode — the axis pins
+    /// that), healthy plus two repair climates at a fixed failure rate
+    /// (MTBF 60000 per link, MTTR 150 vs 900 — the availability-SLO
+    /// sweep) plus two deterministic 72-link burst outages at cycle 300
+    /// repaired after 150 vs 600 cycles (the recovery-window sweep —
+    /// under steady churn any failure anywhere refreshes a blind
+    /// sender's cache, so only a burst with a quiet tail separates aware
+    /// from blind), and the aware/blind tag-repair pair over identical
+    /// timelines (1080 runs).
+    /// Measures how the lane count lifts the E16 single-lane throughput
+    /// ceiling (~0.123–0.150 delivered/port/cycle), pins arbitration
+    /// lane-invariance campaign-wide, and quantifies how much faster
+    /// repair-aware senders recover delivered throughput than
+    /// epoch-turnover senders.
+    pub fn e20() -> SweepSpec {
+        SweepSpec {
+            name: "e20".into(),
+            sizes: vec![64],
+            loads: vec![0.3, 0.9],
+            queue_capacities: vec![2, 8],
+            policies: vec![RoutingPolicy::TsdtSender],
+            patterns: vec![TrafficPattern::Uniform],
+            modes: vec![
+                SwitchingMode::Wormhole { flits: 2, lanes: 1 },
+                SwitchingMode::Wormhole { flits: 2, lanes: 2 },
+                SwitchingMode::Wormhole { flits: 2, lanes: 4 },
+                SwitchingMode::Wormhole { flits: 4, lanes: 1 },
+                SwitchingMode::Wormhole { flits: 4, lanes: 2 },
+                SwitchingMode::Wormhole { flits: 4, lanes: 4 },
+                SwitchingMode::Wormhole { flits: 8, lanes: 1 },
+                SwitchingMode::Wormhole { flits: 8, lanes: 2 },
+                SwitchingMode::Wormhole { flits: 8, lanes: 4 },
+            ],
+            workloads: vec![WorkloadSpec::OpenLoop],
+            arbitrations: vec![
+                LaneArbitration::FirstFree,
+                LaneArbitration::RoundRobin,
+                LaneArbitration::LeastHeld,
+            ],
+            tag_repairs: vec![TagRepair::Aware, TagRepair::Blind],
+            engines: vec![EngineKind::Synchronous],
+            scenarios: vec![
+                ScenarioSpec::None,
+                ScenarioSpec::Mtbf {
+                    mtbf: 60000,
+                    mttr: 150,
+                },
+                ScenarioSpec::Mtbf {
+                    mtbf: 60000,
+                    mttr: 900,
+                },
+                ScenarioSpec::Outage {
+                    links: 72,
+                    down: 300,
+                    up: 450,
+                },
+                ScenarioSpec::Outage {
+                    links: 72,
+                    down: 300,
+                    up: 900,
+                },
+            ],
+            cycles: 1200,
+            warmup: 240,
+            converge: None,
+            campaign_seed: 0xE20,
         }
     }
 
@@ -543,8 +686,9 @@ impl SweepSpec {
             "e17" => Ok(SweepSpec::e17()),
             "e18" => Ok(SweepSpec::e18()),
             "e19" => Ok(SweepSpec::e19()),
+            "e20" => Ok(SweepSpec::e20()),
             other => Err(format!(
-                "unknown built-in sweep spec {other} (smoke, e13, e15, e16, e17, e18, e19)"
+                "unknown built-in sweep spec {other} (smoke, e13, e15, e16, e17, e18, e19, e20)"
             )),
         }
     }
@@ -612,6 +756,22 @@ pub fn validate_scenario(spec: &ScenarioSpec, size: Size) -> Result<(), String> 
             if *mtbf == 0 || *mttr == 0 {
                 Err(format!(
                     "scenario {}: mtbf and mttr must both be at least 1 cycle",
+                    spec.label()
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        ScenarioSpec::Outage { links, down, up } => {
+            let candidates = iadm_fault::scenario::candidate_links(size, KindFilter::Any).len();
+            if *links == 0 || *links > candidates {
+                Err(format!(
+                    "scenario {}: burst of {links} links but only {candidates} candidate links",
+                    spec.label()
+                ))
+            } else if down >= up {
+                Err(format!(
+                    "scenario {}: the repair cycle must come after the failure cycle",
                     spec.label()
                 ))
             } else {
@@ -813,11 +973,61 @@ pub fn parse_mode(text: &str) -> Result<SwitchingMode, String> {
         if lanes == 0 {
             return Err(format!("{text}: a link needs at least one lane"));
         }
+        // The reservation table counts held lanes in u16; rejecting here
+        // turns what used to be a mid-run panic into a parse error.
+        if lanes > u32::from(u16::MAX) {
+            return Err(format!(
+                "{text}: {lanes} lanes per link exceeds the reservation table's \
+                 u16 lane counters (max {})",
+                u16::MAX
+            ));
+        }
         return Ok(SwitchingMode::Wormhole { flits, lanes });
     }
     Err(format!(
         "unknown switching mode {text} (sf, wormhole:<flits>[:<lanes>])"
     ))
+}
+
+/// The stable label of a lane-arbitration policy (also the spelling
+/// `parse_arbitration` accepts): `first-free | round-robin | least-held`.
+pub fn arbitration_label(arb: LaneArbitration) -> &'static str {
+    match arb {
+        LaneArbitration::FirstFree => "first-free",
+        LaneArbitration::RoundRobin => "round-robin",
+        LaneArbitration::LeastHeld => "least-held",
+    }
+}
+
+/// Parses a lane-arbitration label (`first-free | round-robin |
+/// least-held`).
+pub fn parse_arbitration(text: &str) -> Result<LaneArbitration, String> {
+    match text {
+        "first-free" => Ok(LaneArbitration::FirstFree),
+        "round-robin" => Ok(LaneArbitration::RoundRobin),
+        "least-held" => Ok(LaneArbitration::LeastHeld),
+        other => Err(format!(
+            "unknown lane arbitration {other} (first-free, round-robin, least-held)"
+        )),
+    }
+}
+
+/// The stable label of a tag-repair reaction (also the spelling
+/// `parse_tag_repair` accepts): `aware | blind`.
+pub fn tag_repair_label(repair: TagRepair) -> &'static str {
+    match repair {
+        TagRepair::Aware => "aware",
+        TagRepair::Blind => "blind",
+    }
+}
+
+/// Parses a tag-repair label (`aware | blind`).
+pub fn parse_tag_repair(text: &str) -> Result<TagRepair, String> {
+    match text {
+        "aware" => Ok(TagRepair::Aware),
+        "blind" => Ok(TagRepair::Blind),
+        other => Err(format!("unknown tag-repair mode {other} (aware, blind)")),
+    }
 }
 
 /// The stable label of a scheduling engine (also the spelling
@@ -850,7 +1060,7 @@ pub fn parse_loads(text: &str) -> Result<Vec<f64>, String> {
 /// and is assembled by the CLI from its `--block` syntax):
 /// `none | rand:<count> | bernoulli:<p> | double:S<stage>:<switch> |
 /// stageburst:S<stage> | band:S<stage>:<first>x<count> |
-/// mtbf:<mtbf>:<mttr>`.
+/// mtbf:<mtbf>:<mttr> | outage:<links>:<down>:<up>`.
 pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
     if text == "none" {
         return Ok(ScenarioSpec::None);
@@ -862,6 +1072,22 @@ pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
         return Ok(ScenarioSpec::Mtbf {
             mtbf: mtbf.parse().map_err(|_| format!("bad mtbf in {text}"))?,
             mttr: mttr.parse().map_err(|_| format!("bad mttr in {text}"))?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("outage:") {
+        let usage = || format!("{text} must look like outage:<links>:<down>:<up>");
+        let (links, cycles) = rest.split_once(':').ok_or_else(usage)?;
+        let (down, up) = cycles.split_once(':').ok_or_else(usage)?;
+        return Ok(ScenarioSpec::Outage {
+            links: links
+                .parse()
+                .map_err(|_| format!("bad link count in {text}"))?,
+            down: down
+                .parse()
+                .map_err(|_| format!("bad failure cycle in {text}"))?,
+            up: up
+                .parse()
+                .map_err(|_| format!("bad repair cycle in {text}"))?,
         });
     }
     if let Some(count) = text.strip_prefix("rand:") {
@@ -1025,6 +1251,7 @@ mod tests {
             "stageburst:S2",
             "band:S0:6x3",
             "mtbf:1000:200",
+            "outage:12:300:450",
         ] {
             // parse_scenario accepts the label spelling without the
             // filter suffix; normalize before comparing.
@@ -1038,6 +1265,35 @@ mod tests {
         assert!(parse_scenario("double:S1").is_err());
         assert!(parse_scenario("mtbf:1000").is_err());
         assert!(parse_scenario("mtbf:fast:slow").is_err());
+        assert!(parse_scenario("outage:12").is_err());
+        assert!(parse_scenario("outage:12:300").is_err());
+        assert!(parse_scenario("outage:many:300:450").is_err());
+    }
+
+    #[test]
+    fn outage_scenarios_validate_burst_size_and_cycle_order() {
+        let base = SweepSpec::smoke();
+        let mut spec = base.clone();
+        spec.scenarios = vec![ScenarioSpec::Outage {
+            links: 6,
+            down: 50,
+            up: 200,
+        }];
+        assert!(spec.expand().is_ok());
+        // More burst links than the N=8 network has (3*8*3 = 72).
+        spec.scenarios = vec![ScenarioSpec::Outage {
+            links: 73,
+            down: 50,
+            up: 200,
+        }];
+        assert!(spec.expand().is_err());
+        // Repair must come strictly after the failure.
+        spec.scenarios = vec![ScenarioSpec::Outage {
+            links: 6,
+            down: 200,
+            up: 200,
+        }];
+        assert!(spec.expand().is_err());
     }
 
     #[test]
@@ -1057,6 +1313,114 @@ mod tests {
         assert!(parse_mode("wormhole:0").is_err(), "zero flits");
         assert!(parse_mode("wormhole:4:0").is_err(), "zero lanes");
         assert!(parse_mode("wormhole:soggy").is_err());
+    }
+
+    #[test]
+    fn mode_parsing_rejects_lane_counts_beyond_the_table_counters() {
+        // Lane counts live in the reservation table's u16 held counters;
+        // this used to parse fine and panic inside ReservationTable::new.
+        assert_eq!(
+            parse_mode("wormhole:4:65535").unwrap(),
+            SwitchingMode::Wormhole {
+                flits: 4,
+                lanes: 65535
+            }
+        );
+        let err = parse_mode("wormhole:4:65536").unwrap_err();
+        assert!(err.contains("u16 lane counters"), "{err}");
+        assert!(parse_mode("wormhole:4:4294967295").is_err());
+
+        let mut spec = SweepSpec::smoke();
+        spec.modes = vec![SwitchingMode::Wormhole {
+            flits: 4,
+            lanes: 70000,
+        }];
+        let err = spec.expand().unwrap_err();
+        assert!(err.contains("u16 lane counters"), "{err}");
+    }
+
+    #[test]
+    fn arbitration_and_tag_repair_labels_round_trip() {
+        for arb in [
+            LaneArbitration::FirstFree,
+            LaneArbitration::RoundRobin,
+            LaneArbitration::LeastHeld,
+        ] {
+            assert_eq!(parse_arbitration(arbitration_label(arb)).unwrap(), arb);
+        }
+        assert!(parse_arbitration("lottery").is_err());
+        for repair in [TagRepair::Aware, TagRepair::Blind] {
+            assert_eq!(parse_tag_repair(tag_repair_label(repair)).unwrap(), repair);
+        }
+        assert!(parse_tag_repair("psychic").is_err());
+    }
+
+    #[test]
+    fn arbitration_and_tag_repair_axes_share_seeds_like_the_engine_axis() {
+        // All three presentation axes (arbitration, tag-repair, engine)
+        // are factored out of seed derivation: runs that differ only in
+        // them share a realization, and the single-value grid keeps the
+        // exact historical mix(campaign_seed, run_index) seeds.
+        let single = SweepSpec::smoke().expand().unwrap();
+        let mut spec = SweepSpec::smoke();
+        spec.arbitrations = vec![
+            LaneArbitration::FirstFree,
+            LaneArbitration::RoundRobin,
+            LaneArbitration::LeastHeld,
+        ];
+        spec.tag_repairs = vec![TagRepair::Aware, TagRepair::Blind];
+        spec.engines = vec![EngineKind::Synchronous, EngineKind::EventDriven];
+        assert_eq!(spec.grid_len(), 8 * 3 * 2 * 2);
+        let runs = spec.expand().unwrap();
+        // Each outer grid point expands to a 3 × 2 × 2 × 2-scenario
+        // presentation block whose members pair up by scenario.
+        for (outer, block) in runs.chunks(3 * 2 * 2 * 2).enumerate() {
+            for run in block {
+                let scenario_idx = usize::from(run.scenario != ScenarioSpec::None);
+                assert_eq!(
+                    run.seed,
+                    single[2 * outer + scenario_idx].seed,
+                    "presentation axes must never re-seed realizations"
+                );
+            }
+            // And the block really does vary all three axes.
+            assert!(block
+                .iter()
+                .any(|r| r.arbitration == LaneArbitration::LeastHeld));
+            assert!(block.iter().any(|r| r.tag_repair == TagRepair::Blind));
+            assert!(block.iter().any(|r| r.engine == EngineKind::EventDriven));
+        }
+    }
+
+    #[test]
+    fn e20_matches_its_advertised_shape() {
+        let spec = SweepSpec::e20();
+        assert_eq!(spec.grid_len(), 2 * 2 * 9 * 3 * 2 * 5);
+        let runs = spec.expand().unwrap();
+        assert_eq!(runs.len(), 1080);
+        assert!(runs.iter().all(|r| r.size.n() == 64));
+        assert!(runs
+            .iter()
+            .all(|r| matches!(r.mode, SwitchingMode::Wormhole { .. })));
+        assert!(runs.iter().all(|r| r.policy == RoutingPolicy::TsdtSender));
+        // Aware/blind pairs differ only in tag repair: identical seeds,
+        // so identical fault timelines.
+        let aware: Vec<_> = runs
+            .iter()
+            .filter(|r| r.tag_repair == TagRepair::Aware)
+            .collect();
+        let blind: Vec<_> = runs
+            .iter()
+            .filter(|r| r.tag_repair == TagRepair::Blind)
+            .collect();
+        assert_eq!(aware.len(), blind.len());
+        for (a, b) in aware.iter().zip(&blind) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.arbitration, b.arbitration);
+        }
+        assert!(SweepSpec::builtin("e20").is_ok());
     }
 
     #[test]

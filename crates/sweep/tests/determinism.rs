@@ -4,7 +4,10 @@
 
 use iadm_bench::json::assert_round_trip;
 use iadm_fault::scenario::{KindFilter, ScenarioSpec};
-use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern, WorkloadSpec};
+use iadm_sim::{
+    EngineKind, LaneArbitration, RoutingPolicy, SwitchingMode, TagRepair, TrafficPattern,
+    WorkloadSpec,
+};
 use iadm_sweep::{campaign_json, run_campaign, SweepSpec};
 
 /// A campaign just big and heterogeneous enough that worker scheduling
@@ -14,8 +17,10 @@ use iadm_sweep::{campaign_json, run_campaign, SweepSpec};
 /// contract for the whole timeline pipeline: per-run schedule realization,
 /// online LUT repair, and the degradation counters all have to land
 /// byte-identically at any thread count — the wormhole mode axis extends
-/// the contract to reservation state and worm teardown under churn, and
-/// the engine axis extends it to the event-driven scheduling core.
+/// the contract to reservation state and worm teardown under churn, the
+/// arbitration and tag-repair axes to multi-lane grant bookkeeping and
+/// repair-triggered cache invalidation, and the engine axis to the
+/// event-driven scheduling core.
 fn contract_spec() -> SweepSpec {
     SweepSpec {
         name: "determinism-contract".into(),
@@ -30,9 +35,11 @@ fn contract_spec() -> SweepSpec {
         patterns: vec![TrafficPattern::Uniform],
         modes: vec![
             SwitchingMode::StoreForward,
-            SwitchingMode::Wormhole { flits: 4, lanes: 1 },
+            SwitchingMode::Wormhole { flits: 4, lanes: 2 },
         ],
         workloads: vec![WorkloadSpec::OpenLoop],
+        arbitrations: vec![LaneArbitration::FirstFree, LaneArbitration::LeastHeld],
+        tag_repairs: vec![TagRepair::Aware, TagRepair::Blind],
         engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
         scenarios: vec![
             ScenarioSpec::None,
@@ -60,14 +67,22 @@ fn campaign_json_is_byte_identical_across_1_2_and_8_threads() {
     // The artifact is substantive, valid JSON — not an empty accident.
     let value = assert_round_trip(&one).expect("artifact must round-trip");
     let encoded = value.encode();
-    assert!(encoded.contains("\"run_count\":144"));
+    assert!(encoded.contains("\"run_count\":576"));
     assert!(encoded.contains("\"latency_buckets\":["));
-    // The transient-fault runs are present and report degradation.
+    // The transient-fault runs are present and report degradation —
+    // including the repair-event counter the mtbf churn must produce.
     assert!(encoded.contains("\"scenario\":\"mtbf:50:15\""));
     assert!(encoded.contains("\"fault_events\":"));
+    assert!(encoded.contains("\"repair_events\":"));
     // The wormhole runs are present and report the flit ledger.
-    assert!(encoded.contains("\"mode\":\"wormhole:4\""));
+    assert!(encoded.contains("\"mode\":\"wormhole:4:2\""));
     assert!(encoded.contains("\"flits_in_flight\":"));
+    // The non-default presentation-axis runs are present; default-axis
+    // runs stay bare so pre-existing artifacts keep their encoding.
+    assert!(encoded.contains("\"arbitration\":\"least-held\""));
+    assert!(!encoded.contains("\"arbitration\":\"first-free\""));
+    assert!(encoded.contains("\"tag_repair\":\"blind\""));
+    assert!(!encoded.contains("\"tag_repair\":\"aware\""));
     // The event-engine runs are present; synchronous runs stay bare.
     assert!(encoded.contains("\"engine\":\"event\""));
     assert!(!encoded.contains("\"engine\":\"sync\""));
@@ -76,7 +91,7 @@ fn campaign_json_is_byte_identical_across_1_2_and_8_threads() {
 #[test]
 fn every_run_of_a_campaign_conserves_packets() {
     let result = run_campaign(&contract_spec(), 4).unwrap();
-    assert_eq!(result.runs.len(), 144);
+    assert_eq!(result.runs.len(), 576);
     for record in &result.runs {
         assert!(
             record.stats.is_conserved(),
@@ -128,6 +143,44 @@ fn engine_pairs_report_byte_identical_statistics() {
     }
 }
 
+#[test]
+fn arbitration_pairs_report_byte_identical_statistics() {
+    // Lane invariance, end to end: every published statistic is
+    // link-granular (held counts, carried flits, occupancy sums), so
+    // which lane a grant lands on is unobservable — first-free and
+    // least-held runs of the same realization must carry byte-identical
+    // statistics even across multi-lane wormhole churn. The arbitration
+    // axis varies above tag-repair × engine × scenario, so the grid
+    // lands in blocks of [first-free × inner, least-held × inner].
+    use iadm_bench::json::sim_stats_json;
+    let spec = contract_spec();
+    let inner = spec.tag_repairs.len() * spec.engines.len() * spec.scenarios.len();
+    let result = run_campaign(&spec, 4).unwrap();
+    for block in result.runs.chunks(2 * inner) {
+        let (first_free, least_held) = block.split_at(inner);
+        for (a, b) in first_free.iter().zip(least_held) {
+            assert_eq!(a.spec.arbitration, LaneArbitration::FirstFree);
+            assert_eq!(b.spec.arbitration, LaneArbitration::LeastHeld);
+            assert_eq!(a.spec.scenario, b.spec.scenario);
+            assert_eq!(a.spec.seed, b.spec.seed);
+            assert_eq!(
+                sim_stats_json(&a.stats).encode(),
+                sim_stats_json(&b.stats).encode(),
+                "arbitration pair diverged at run {} / {}",
+                a.spec.index,
+                b.spec.index
+            );
+        }
+    }
+    // Blind senders never retag on repair — that counter is the aware
+    // scheme's signature.
+    assert!(result
+        .runs
+        .iter()
+        .filter(|r| r.spec.tag_repair == TagRepair::Blind)
+        .all(|r| r.stats.retags_on_repair == 0));
+}
+
 /// The closed-loop analogue of [`contract_spec`]: the workload axis
 /// carries all four source kinds (request/response, multi-packet flows,
 /// a ring allreduce, and the adversarial schedule) across both engines
@@ -163,6 +216,8 @@ fn closed_loop_spec() -> SweepSpec {
                 burst: 16,
             },
         ],
+        arbitrations: vec![LaneArbitration::FirstFree],
+        tag_repairs: vec![TagRepair::Aware],
         engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
         scenarios: vec![
             ScenarioSpec::None,
@@ -260,6 +315,8 @@ fn convergence_spec() -> SweepSpec {
         patterns: vec![TrafficPattern::Uniform],
         modes: vec![SwitchingMode::StoreForward],
         workloads: vec![WorkloadSpec::OpenLoop],
+        arbitrations: vec![LaneArbitration::FirstFree],
+        tag_repairs: vec![TagRepair::Aware],
         engines: vec![EngineKind::Synchronous, EngineKind::EventDriven],
         scenarios: vec![
             ScenarioSpec::None,

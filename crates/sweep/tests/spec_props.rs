@@ -7,7 +7,10 @@
 
 use iadm_check::{check, check_assert_eq};
 use iadm_fault::scenario::ScenarioSpec;
-use iadm_sim::{EngineKind, RoutingPolicy, SwitchingMode, TrafficPattern, WorkloadSpec};
+use iadm_sim::{
+    EngineKind, LaneArbitration, RoutingPolicy, SwitchingMode, TagRepair, TrafficPattern,
+    WorkloadSpec,
+};
 use iadm_sweep::SweepSpec;
 
 /// A random valid spec with every axis length varying independently.
@@ -37,10 +40,17 @@ fn random_spec(g: &mut iadm_check::Gen) -> SweepSpec {
             .to_vec(),
         modes: vec![
             SwitchingMode::StoreForward,
-            SwitchingMode::Wormhole { flits: 2, lanes: 1 },
+            SwitchingMode::Wormhole { flits: 2, lanes: 2 },
         ][..g.usize_in(1..=2)]
             .to_vec(),
         workloads: vec![WorkloadSpec::OpenLoop],
+        arbitrations: vec![
+            LaneArbitration::FirstFree,
+            LaneArbitration::RoundRobin,
+            LaneArbitration::LeastHeld,
+        ][..g.usize_in(1..=3)]
+            .to_vec(),
+        tag_repairs: vec![TagRepair::Aware, TagRepair::Blind][..g.usize_in(1..=2)].to_vec(),
         engines: vec![EngineKind::Synchronous, EngineKind::EventDriven][..g.usize_in(1..=2)]
             .to_vec(),
         scenarios: scenarios[..g.usize_in(1..=3)].to_vec(),
@@ -91,15 +101,63 @@ check! {
                 );
             }
         }
-        // Distinct grid points never collide on seed within an engine.
+        // Distinct grid points never collide on seed within one value of
+        // each presentation axis (arbitration and tag-repair variants
+        // deliberately share seeds, so restrict to the first of each).
         let mut seeds: Vec<u64> = runs
             .iter()
-            .filter(|r| r.engine == EngineKind::Synchronous)
+            .filter(|r| {
+                r.engine == EngineKind::Synchronous
+                    && r.arbitration == spec.arbitrations[0]
+                    && r.tag_repair == spec.tag_repairs[0]
+            })
             .map(|r| r.seed)
             .collect();
         let unique = seeds.len();
         seeds.sort_unstable();
         seeds.dedup();
         check_assert_eq!(seeds.len(), unique, "seed collision across grid points");
+    }
+
+    fn prop_presentation_axes_never_reseed_realizations(g; cases = 32) {
+        // Arbitration, tag-repair, and engine are presentation axes:
+        // every run sharing the same physical coordinates (size, load,
+        // queue, policy, pattern, mode, workload, scenario) must share a
+        // realization seed, and distinct physical points must not collide.
+        let spec = random_spec(g);
+        let runs = spec.expand().map_err(|e| format!("expand failed: {e}"))?;
+        let pres = spec.arbitrations.len() * spec.tag_repairs.len() * spec.engines.len();
+        let mut by_realization: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
+        for run in &runs {
+            let key = format!(
+                "{}|{}|{}|{:?}|{:?}|{:?}|{}|{}",
+                run.size.n(),
+                run.offered_load,
+                run.queue_capacity,
+                run.policy,
+                run.pattern,
+                run.mode,
+                run.workload.label(),
+                run.scenario.label()
+            );
+            match by_realization.get(&key) {
+                Some(&seed) => check_assert_eq!(
+                    seed,
+                    run.seed,
+                    "presentation axes re-seeded realization {}",
+                    key
+                ),
+                None => {
+                    by_realization.insert(key, run.seed);
+                }
+            }
+        }
+        check_assert_eq!(by_realization.len() * pres, runs.len());
+        let mut seeds: Vec<u64> = by_realization.values().copied().collect();
+        let unique = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        check_assert_eq!(seeds.len(), unique, "seed collision across realizations");
     }
 }

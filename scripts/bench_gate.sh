@@ -47,6 +47,14 @@ grep -q '"DChoice2"' "$baseline" || {
     exit 1
 }
 
+# And the multi-lane wormhole case: it is the only one that prices the
+# reservation pipeline (lane grant scans + flit advances), so losing it
+# would disarm the perf gate on the whole wormhole switching layer.
+grep -q '"SsdtBalance/wormhole:4:4"' "$baseline" || {
+    echo "bench_gate: $baseline lost the wormhole:4:4 case; the wormhole gate is disarmed" >&2
+    exit 1
+}
+
 cargo build --release --offline -p iadm-bench
 
 status=0

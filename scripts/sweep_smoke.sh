@@ -118,11 +118,45 @@ done
 
 echo "sweep_smoke: lanes {1,2,4} OK ($(wc -c < "$lanes_out") bytes)"
 
+# Arbitration + tag-repair smoke (E20-style row): a multi-lane campaign
+# across both presentation axes must label only the non-default values —
+# `first-free` and `aware` runs stay bare, so every pre-existing artifact
+# keeps its byte encoding (checked against the plain smoke artifact too).
+arb_out="$(mktemp /tmp/iadm_sweep_arb.XXXXXX.json)"
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$arb_out"' EXIT
+
+./target/release/iadm-cli sweep --n 8 --loads 0.4 --policies tsdt \
+    --cycles 300 --modes wormhole:4:2 \
+    --arbitrations first-free,round-robin,least-held --repairs aware,blind \
+    --faults none,mtbf:80:30 --threads 2 --out "$arb_out"
+
+[ -s "$arb_out" ] || { echo "sweep_smoke: empty arbitration artifact" >&2; exit 1; }
+for arb_label in '"arbitration":"round-robin"' '"arbitration":"least-held"' '"tag_repair":"blind"'; do
+    grep -q "$arb_label" "$arb_out" || {
+        echo "sweep_smoke: arbitration artifact missing $arb_label" >&2
+        exit 1
+    }
+done
+if grep -q '"arbitration":"first-free"' "$arb_out"; then
+    echo "sweep_smoke: first-free runs must not carry an arbitration field" >&2
+    exit 1
+fi
+if grep -q '"tag_repair":"aware"' "$arb_out"; then
+    echo "sweep_smoke: repair-aware runs must not carry a tag_repair field" >&2
+    exit 1
+fi
+if grep -q '"arbitration"' "$out" || grep -q '"tag_repair"' "$out"; then
+    echo "sweep_smoke: default-axis smoke artifact must stay bare of the new fields" >&2
+    exit 1
+fi
+
+echo "sweep_smoke: arbitration+repair OK ($(wc -c < "$arb_out") bytes)"
+
 # Closed-loop smoke: a tiny request/response + flow campaign must label
 # each workload and report the request-latency ledger (issued counts and
 # p99) that only closed-loop runs emit.
 wl_out="$(mktemp /tmp/iadm_sweep_wl.XXXXXX.json)"
-trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$wl_out"' EXIT
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$arb_out" "$wl_out"' EXIT
 
 ./target/release/iadm-cli sweep --n 8 --policies ssdt,tsdt \
     --cycles 300 --workloads rr:all:8,flow:4:8:2 --engines sync,event \
@@ -153,7 +187,7 @@ echo "sweep_smoke: closed-loop OK ($(wc -c < "$wl_out") bytes)"
 # run-level recipe, and report a steady-state stop (`converged_at_cycle`)
 # for at least one run; fixed-horizon campaigns never emit either field.
 dc_out="$(mktemp /tmp/iadm_sweep_dc.XXXXXX.json)"
-trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$wl_out" "$dc_out"' EXIT
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$arb_out" "$wl_out" "$dc_out"' EXIT
 
 ./target/release/iadm-cli sweep --n 8 --loads 0.4 \
     --policies ssdt,dchoice:2,dchoice:2:sticky --engines sync,event \
@@ -201,7 +235,7 @@ echo "sweep_smoke: unknown-flag rejection OK"
 # processes (each writing a journal) and merged must be byte-identical to
 # the single-process artifact — the distributed-execution contract.
 shard_dir="$(mktemp -d /tmp/iadm_sweep_shard.XXXXXX)"
-trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$wl_out" "$dc_out"; rm -rf "$shard_dir"' EXIT
+trap 'rm -f "$out" "$mtbf_out" "$wh_out" "$eng_out" "$lanes_out" "$arb_out" "$wl_out" "$dc_out"; rm -rf "$shard_dir"' EXIT
 
 ./target/release/iadm-cli sweep --spec smoke --threads 2 \
     --shard 1/2 --journal "$shard_dir/s1.jnl"
